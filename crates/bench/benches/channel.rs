@@ -1,0 +1,72 @@
+//! Channel model throughput: loss decisions per second for each model,
+//! plus the CRC32 packet path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pte_hybrid::Time;
+use pte_wireless::loss::{BernoulliLoss, BitError, GilbertElliott, Interferer, LossModel};
+use pte_wireless::packet::{crc32, Packet};
+
+fn bench_loss_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_models");
+    group.throughput(Throughput::Elements(10_000));
+
+    group.bench_function("bernoulli", |b| {
+        let mut m = BernoulliLoss::new(0.2, 1);
+        b.iter(|| {
+            let mut lost = 0u32;
+            for k in 0..10_000 {
+                lost += m.is_lost(Time::millis(k as f64)) as u32;
+            }
+            lost
+        });
+    });
+    group.bench_function("gilbert_elliott", |b| {
+        let mut m = GilbertElliott::new(0.05, 0.2, 0.01, 0.8, 1);
+        b.iter(|| {
+            let mut lost = 0u32;
+            for k in 0..10_000 {
+                lost += m.is_lost(Time::millis(k as f64)) as u32;
+            }
+            lost
+        });
+    });
+    group.bench_function("interferer", |b| {
+        let mut m = Interferer::paper_conditions(1);
+        b.iter(|| {
+            let mut lost = 0u32;
+            for k in 0..10_000 {
+                lost += m.is_lost(Time::millis(k as f64)) as u32;
+            }
+            lost
+        });
+    });
+    group.bench_function("bit_error", |b| {
+        let mut m = BitError::new(1e-4, 24, 1);
+        b.iter(|| {
+            let mut lost = 0u32;
+            for k in 0..10_000 {
+                lost += m.is_lost(Time::millis(k as f64)) as u32;
+            }
+            lost
+        });
+    });
+    group.finish();
+}
+
+fn bench_packet_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet");
+    let p = Packet::event(1, 0, 42, "evt_xi1_to_xi0_lease_approve");
+    let frame = p.encode();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| p.encode()));
+    group.bench_function("verify", |b| b.iter(|| Packet::verify(&frame)));
+    group.bench_function("decode", |b| b.iter(|| Packet::decode(&frame).unwrap()));
+    group.bench_function("crc32_1k", |b| {
+        let data = vec![0xA5u8; 1024];
+        b.iter(|| crc32(&data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss_models, bench_packet_path);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Elaboration cost: building the case-study ventilator (pattern
+//! elaborated with the plant) and parallel elaborations at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pte_core::pattern::LeaseConfig;
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::elaboration::elaborate_parallel;
+use pte_hybrid::{Expr, HybridAutomaton, Pred};
+use pte_tracheotomy::ventilator::ventilator;
+
+/// A simple child automaton with `k` locations in a cycle.
+fn child(name: &str, var: &str, evt: &str, k: usize) -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder(name);
+    let x = b.var(var, VarKind::Continuous, 0.0);
+    let inv = Pred::ge(Expr::var(x), Expr::c(-1.0));
+    let locs: Vec<_> = (0..k).map(|i| b.location(format!("{name}-L{i}"))).collect();
+    for (i, l) in locs.iter().enumerate() {
+        b.invariant(*l, inv.clone());
+        let next = locs[(i + 1) % k];
+        b.edge(*l, next).on(format!("{evt}{i}")).done();
+    }
+    b.initial(locs[0], None);
+    b.build().expect("child builds")
+}
+
+fn bench_case_study_elaboration(c: &mut Criterion) {
+    let cfg = LeaseConfig::case_study();
+    c.bench_function("elaborate_ventilator", |b| {
+        b.iter(|| ventilator(&cfg).expect("builds"))
+    });
+}
+
+fn bench_parallel_elaboration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_elaboration");
+    for child_size in [2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(child_size),
+            &child_size,
+            |b, &k| {
+                // Host with two elaborable locations.
+                let mut hb = HybridAutomaton::builder("host");
+                let _h = hb.var("h", VarKind::Continuous, 0.0);
+                let a = hb.location("A");
+                let r = hb.risky_location("B");
+                hb.edge(a, r).on_lossy("go").done();
+                hb.edge(r, a).on_lossy("back").done();
+                hb.initial(a, None);
+                let host = hb.build().expect("host builds");
+                let c1 = child("c1", "x1", "e1_", k);
+                let c2 = child("c2", "x2", "e2_", k);
+                b.iter(|| {
+                    elaborate_parallel(&host, &[("A", &c1), ("B", &c2)]).expect("elaborates")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_study_elaboration, bench_parallel_elaboration);
+criterion_main!(benches);

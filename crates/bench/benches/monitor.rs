@@ -1,0 +1,87 @@
+//! PTE monitor throughput: checking traces with many risky intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pte_core::monitor::check_pte;
+use pte_core::rules::{PairSpec, PteSpec};
+use pte_hybrid::{LocId, Time};
+use pte_sim::trace::{AutMeta, Trace, TraceEvent};
+
+/// Builds a synthetic two-entity trace with `rounds` clean embeddings.
+fn synthetic_trace(rounds: usize) -> Trace {
+    let meta = vec![
+        AutMeta {
+            name: "outer".into(),
+            loc_names: vec!["S".into(), "R".into()],
+            risky: vec![false, true],
+            var_names: vec![],
+        },
+        AutMeta {
+            name: "inner".into(),
+            loc_names: vec!["S".into(), "R".into()],
+            risky: vec![false, true],
+            var_names: vec![],
+        },
+    ];
+    let mut events = vec![
+        TraceEvent::Init {
+            t: Time::ZERO,
+            aut: 0,
+            loc: LocId(0),
+        },
+        TraceEvent::Init {
+            t: Time::ZERO,
+            aut: 1,
+            loc: LocId(0),
+        },
+    ];
+    for k in 0..rounds {
+        let base = k as f64 * 100.0;
+        for (aut, enter, exit) in [(0usize, 10.0, 60.0), (1usize, 20.0, 50.0)] {
+            events.push(TraceEvent::Transition {
+                t: Time::seconds(base + enter),
+                aut,
+                from: LocId(0),
+                to: LocId(1),
+                trigger: None,
+            });
+            events.push(TraceEvent::Transition {
+                t: Time::seconds(base + exit),
+                aut,
+                from: LocId(1),
+                to: LocId(0),
+                trigger: None,
+            });
+        }
+    }
+    events.sort_by_key(|a| a.time());
+    Trace {
+        meta,
+        events,
+        samples: vec![],
+        end_time: Time::seconds(rounds as f64 * 100.0),
+    }
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let spec = PteSpec::uniform(
+        vec!["outer".into(), "inner".into()],
+        Time::seconds(60.0),
+        vec![PairSpec::new(Time::seconds(3.0), Time::seconds(1.5))],
+    );
+    let mut group = c.benchmark_group("check_pte");
+    for rounds in [10usize, 100, 1000] {
+        let trace = synthetic_trace(rounds);
+        group.throughput(Throughput::Elements(rounds as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &trace, |b, trace| {
+            b.iter(|| {
+                let report = check_pte(trace, &spec);
+                assert!(report.is_safe());
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

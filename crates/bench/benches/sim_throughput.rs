@@ -1,0 +1,76 @@
+//! Executor throughput: simulated seconds per wall-clock second on the
+//! full case-study system (4 automata, wireless star, interference,
+//! surgeon driver) and on the bare pattern system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pte_core::pattern::{build_pattern_system, LeaseConfig};
+use pte_hybrid::Time;
+use pte_sim::executor::{Executor, ExecutorConfig};
+use pte_tracheotomy::emulation::{run_trial, LossEnvironment, TrialConfig};
+use pte_tracheotomy::surgeon::Surgeon;
+
+fn bench_case_study_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case_study_trial");
+    for secs in [60u64, 300] {
+        group.throughput(Throughput::Elements(secs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{secs}s")),
+            &secs,
+            |b, &secs| {
+                b.iter(|| {
+                    let trial = TrialConfig {
+                        duration: Time::seconds(secs as f64),
+                        mean_on: Time::seconds(20.0),
+                        mean_off: Some(Time::seconds(10.0)),
+                        leased: true,
+                        loss: LossEnvironment::WifiInterference,
+                        seed: 7,
+                    };
+                    run_trial(&trial).expect("trial executes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pattern_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_system_300s");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = synth_config(n);
+            b.iter(|| {
+                let sys = build_pattern_system(&cfg, true).expect("builds");
+                let mut exec =
+                    Executor::new(sys.automata, ExecutorConfig::default()).expect("executor");
+                exec.add_driver(Box::new(Surgeon::new(
+                    "initializer",
+                    Time::seconds(20.0),
+                    Some(Time::seconds(5.0)),
+                    3,
+                )));
+                exec.run_until(Time::seconds(300.0)).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn synth_config(n: usize) -> LeaseConfig {
+    use pte_core::rules::PairSpec;
+    use pte_core::synthesis::{synthesize, SynthesisRequest};
+    synthesize(&SynthesisRequest {
+        n,
+        safeguards: (0..n - 1)
+            .map(|_| PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)))
+            .collect(),
+        rule1_bound: Time::seconds(100_000.0),
+        min_run_initializer: Time::seconds(10.0),
+        t_wait: Time::seconds(1.0),
+        margin: Time::seconds(0.25),
+    })
+    .expect("synthesis succeeds")
+}
+
+criterion_group!(benches, bench_case_study_trial, bench_pattern_system);
+criterion_main!(benches);

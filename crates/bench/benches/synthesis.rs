@@ -1,0 +1,49 @@
+//! Parameter synthesis and condition-checking cost vs chain length N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pte_core::pattern::check_conditions;
+use pte_core::rules::PairSpec;
+use pte_core::synthesis::{synthesize, SynthesisRequest};
+use pte_hybrid::Time;
+
+fn request(n: usize) -> SynthesisRequest {
+    SynthesisRequest {
+        n,
+        safeguards: (0..n - 1)
+            .map(|_| PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)))
+            .collect(),
+        rule1_bound: Time::seconds(1e9),
+        min_run_initializer: Time::seconds(10.0),
+        t_wait: Time::seconds(1.0),
+        margin: Time::seconds(0.25),
+    }
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    for n in [2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let req = request(n);
+            b.iter(|| synthesize(&req).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_conditions");
+    for n in [2usize, 8, 32] {
+        let cfg = synthesize(&request(n)).expect("feasible");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| {
+                let report = check_conditions(cfg);
+                assert!(report.is_satisfied());
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_conditions);
+criterion_main!(benches);

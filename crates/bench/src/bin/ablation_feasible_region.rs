@@ -1,0 +1,60 @@
+//! Feasible-region sweep: where in the (T^max_run,1 × T^max_enter,2)
+//! plane do conditions c1–c7 hold, and how does the region interact with
+//! the Rule-1 dwelling bound?
+//!
+//! Prints a grid: `#` = all conditions hold and the dwelling bound
+//! `T_wait + T_LS1 ≤ 60 s` holds; `c` = conditions hold but the bound is
+//! exceeded; `.` = some condition fails. The case-study point (35, 10)
+//! is marked `X`.
+
+use pte_core::pattern::{check_conditions, LeaseConfig};
+use pte_hybrid::Time;
+
+fn main() {
+    println!("Feasible region over (T_run,1 [rows], T_enter,2 [cols]), case-study otherwise\n");
+
+    let enters: Vec<f64> = (0..18).map(|k| 2.0 + k as f64).collect(); // 2..19
+    let runs: Vec<f64> = (0..18).map(|k| 21.0 + k as f64 * 2.0).collect(); // 21..55 (incl. 35)
+
+    print!("           ");
+    for e in &enters {
+        print!("{e:>3.0}");
+    }
+    println!("  <- T_enter,2 (s)");
+
+    let mut feasible = 0usize;
+    let mut bound_limited = 0usize;
+    for r in &runs {
+        print!("T_run1={r:>4.0}  ");
+        for e in &enters {
+            let mut cfg = LeaseConfig::case_study();
+            cfg.t_run[0] = Time::seconds(*r);
+            cfg.t_enter[1] = Time::seconds(*e);
+            let ok = check_conditions(&cfg).is_satisfied();
+            let bounded = cfg.max_risky_dwelling() <= Time::seconds(60.0);
+            let is_paper_point = (*r - 35.0).abs() < 0.5 && (*e - 10.0).abs() < 0.5;
+            let ch = if is_paper_point {
+                'X'
+            } else if ok && bounded {
+                feasible += 1;
+                '#'
+            } else if ok {
+                bound_limited += 1;
+                'c'
+            } else {
+                '.'
+            };
+            print!("  {ch}");
+        }
+        println!();
+    }
+
+    println!("\n# = c1..c7 + 60 s dwelling bound; c = c1..c7 only; . = infeasible; X = paper's configuration");
+    println!("feasible cells: {feasible}, bound-limited: {bound_limited}");
+
+    // The paper's point must sit inside the fully feasible region.
+    let paper = LeaseConfig::case_study();
+    assert!(check_conditions(&paper).is_satisfied());
+    assert!(paper.max_risky_dwelling() <= Time::seconds(60.0));
+    assert!(feasible > 0, "region must be non-empty");
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Fig. 1**: the proper-temporal-embedding timeline, with
+//! the four annotated quantities measured from an actual clean run:
+//!
+//! * `t1` — ventilator-risky lead before laser emission (≥ 3 s);
+//! * `t2` — ventilator-risky lag after laser emission (≥ 1.5 s);
+//! * `t3` — ventilator pause duration (bounded);
+//! * `t4` — laser emission duration (bounded).
+
+use pte_core::monitor::check_pte;
+use pte_hybrid::{Root, Time};
+use pte_sim::driver::ScriptedDriver;
+use pte_sim::executor::{Executor, ExecutorConfig};
+use pte_tracheotomy::emulation::{build_case_study, emulation_spec};
+
+fn bar(start: f64, end: f64, scale: f64, width: usize, ch: char) -> String {
+    let mut line = vec![' '; width];
+    let a = ((start * scale) as usize).min(width - 1);
+    let b = ((end * scale) as usize).min(width - 1);
+    for cell in line.iter_mut().take(b + 1).skip(a) {
+        *cell = ch;
+    }
+    line.into_iter().collect()
+}
+
+fn main() {
+    let cfg = pte_core::pattern::LeaseConfig::case_study();
+    let automata = build_case_study(&cfg, true).expect("case study builds");
+    let mut exec = Executor::new(automata, ExecutorConfig::default()).expect("executor");
+    exec.add_driver(Box::new(ScriptedDriver::new(
+        "surgeon",
+        vec![
+            (Time::seconds(14.0), Root::new("cmd_request")),
+            (Time::seconds(40.0), Root::new("cmd_cancel")),
+        ],
+    )));
+    let trace = exec.run_until(Time::seconds(80.0)).expect("runs");
+
+    let vent = trace.index_of("ventilator").unwrap();
+    let laser = trace.index_of("laser-scalpel").unwrap();
+    let vent_iv = trace.risky_intervals(vent);
+    let laser_iv = trace.risky_intervals(laser);
+    assert_eq!(vent_iv.len(), 1, "one clean round expected");
+    assert_eq!(laser_iv.len(), 1);
+    let (v, l) = (vent_iv[0], laser_iv[0]);
+
+    let t1 = l.start - v.start;
+    let t2 = v.end - l.end;
+    let t3 = v.duration();
+    let t4 = l.duration();
+
+    println!("Fig. 1: Proper-Temporal-Embedding example (measured from a clean round)\n");
+    let scale = 1.0; // 1 char per second
+    let width = 80;
+    println!(
+        "ventilator pause   |{}|",
+        bar(
+            v.start.as_secs_f64(),
+            v.end.as_secs_f64(),
+            scale,
+            width,
+            '='
+        )
+    );
+    println!(
+        "laser emission     |{}|",
+        bar(
+            l.start.as_secs_f64(),
+            l.end.as_secs_f64(),
+            scale,
+            width,
+            '#'
+        )
+    );
+    println!("                    0{:>width$}", "t (s)", width = width - 1);
+    println!();
+    println!("t1 (enter-risky safeguard, >= {}): {t1}", cfg.safeguards[0].t_min_risky);
+    println!("t2 (exit-risky safeguard,  >= {}): {t2}", cfg.safeguards[0].t_min_safe);
+    println!("t3 (ventilator pause, bounded by {}): {t3}", cfg.max_risky_dwelling());
+    println!("t4 (laser emission,   bounded by {}): {t4}", cfg.max_risky_dwelling());
+
+    let report = check_pte(&trace, &emulation_spec());
+    println!("\nmonitor verdict: {}", if report.is_safe() { "SAFE" } else { "VIOLATION" });
+    assert!(report.is_safe());
+}

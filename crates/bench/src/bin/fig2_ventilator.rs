@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 2**: the hybrid automaton `A′vent` of a stand-alone
+//! ventilator — its DOT rendering plus a simulated `Hvent(t)` trajectory
+//! (the 0 ↔ 0.3 m triangle wave at ±0.1 m/s).
+
+use pte_hybrid::dot::to_dot;
+use pte_hybrid::Time;
+use pte_sim::executor::{Executor, ExecutorConfig};
+use pte_tracheotomy::ventilator::standalone_ventilator;
+
+fn main() {
+    let vent = standalone_ventilator();
+    println!("Fig. 2: Hybrid automaton A'vent (Graphviz DOT):\n");
+    println!("{}", to_dot(&vent));
+
+    let cfg = ExecutorConfig {
+        sample_interval: Some(Time::seconds(0.25)),
+        ..Default::default()
+    };
+    let exec = Executor::new(vec![vent], cfg).expect("executor");
+    let trace = exec.run_until(Time::seconds(15.0)).expect("runs");
+    let series = trace.series(0, "Hvent");
+
+    println!("Hvent(t) trajectory (t, metres):");
+    for (t, h) in &series {
+        let cols = (h / 0.3 * 50.0).round().max(0.0) as usize;
+        println!("{t:>8}  {h:6.3}  |{}", "*".repeat(cols));
+    }
+
+    // Shape assertions: triangle between 0 and 0.3.
+    let max = series.iter().map(|(_, h)| *h).fold(f64::MIN, f64::max);
+    let min = series.iter().map(|(_, h)| *h).fold(f64::MAX, f64::min);
+    assert!((0.29..=0.3 + 1e-6).contains(&max), "peak {max}");
+    assert!((-1e-6..=0.01).contains(&min), "trough {min}");
+    println!("\npeak = {max:.3} m, trough = {min:.3} m (expected 0.3 / 0.0)");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Fig. 3**: the Supervisor design-pattern automaton
+//! `A_supvsr`, rendered as DOT for the case study (N = 2) and for a
+//! larger chain (N = 4) to show the general shape.
+
+use pte_core::pattern::{build_supervisor, LeaseConfig};
+use pte_core::rules::PairSpec;
+use pte_core::synthesis::{synthesize, SynthesisRequest};
+use pte_hybrid::dot::{to_dot_with, DotOptions};
+use pte_hybrid::Time;
+
+fn main() {
+    let opts = DotOptions {
+        show_flows: false,
+        show_resets: false,
+        ..Default::default()
+    };
+
+    let cfg2 = LeaseConfig::case_study();
+    let sup2 = build_supervisor(&cfg2).expect("supervisor builds");
+    println!("Fig. 3: Supervisor A_supvsr for N = 2 (case study):\n");
+    println!("{}", to_dot_with(&sup2, &opts));
+
+    // A synthesized N = 4 configuration for the general picture.
+    let req = SynthesisRequest {
+        n: 4,
+        safeguards: vec![
+            PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+            PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+            PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)),
+        ],
+        rule1_bound: Time::seconds(1200.0),
+        min_run_initializer: Time::seconds(10.0),
+        t_wait: Time::seconds(2.0),
+        margin: Time::seconds(0.5),
+    };
+    let cfg4 = synthesize(&req).expect("synthesis succeeds");
+    let sup4 = build_supervisor(&cfg4).expect("supervisor builds");
+    println!("Fig. 3 (extended): Supervisor for N = 4 (synthesized config):\n");
+    println!("{}", to_dot_with(&sup4, &opts));
+    println!(
+        "locations: N=2 -> {}, N=4 -> {} (3N + 1)",
+        sup2.locations.len(),
+        sup4.locations.len()
+    );
+    assert_eq!(sup2.locations.len(), 7);
+    assert_eq!(sup4.locations.len(), 13);
+}

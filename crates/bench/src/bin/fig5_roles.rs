@@ -1,0 +1,33 @@
+//! Regenerates **Fig. 5**: (a) the Initializer pattern automaton
+//! `A_initzr` and (b) the Participant pattern automaton `A_ptcpnt,i`,
+//! rendered as DOT with risky locations highlighted.
+
+use pte_core::pattern::{build_initializer, build_participant, LeaseConfig};
+use pte_hybrid::dot::{to_dot_with, DotOptions};
+use pte_hybrid::Pred;
+
+fn main() {
+    let cfg = LeaseConfig::case_study();
+    let opts = DotOptions {
+        show_flows: false,
+        ..Default::default()
+    };
+
+    let initializer = build_initializer(&cfg).expect("initializer builds");
+    println!("Fig. 5 (a): Initializer A_initzr (risky = doubleoctagon):\n");
+    println!("{}", to_dot_with(&initializer, &opts));
+
+    let participant = build_participant(&cfg, 1, Pred::True).expect("participant builds");
+    println!("Fig. 5 (b): Participant A_ptcpnt,1:\n");
+    println!("{}", to_dot_with(&participant, &opts));
+
+    // The paper's risky partition.
+    for a in [&initializer, &participant] {
+        let risky: Vec<&str> = a
+            .risky_locations()
+            .map(|l| a.loc_name(l))
+            .collect();
+        println!("{}: V_risky = {risky:?}", a.name);
+        assert_eq!(risky, vec!["Risky Core", "Exiting 1"]);
+    }
+}

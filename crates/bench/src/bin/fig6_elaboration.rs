@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 6**: the atomic elaboration example — a host
+//! automaton `A` with locations {Fall-Back, Risky} elaborated at
+//! Fall-Back with the simple ventilator `A′vent` of Fig. 2, shown before
+//! (a) and after (b), with the paper's structural observations asserted
+//! (e.g. "no edge from Risky to PumpIn because PumpIn is not an initial
+//! location of A′vent").
+
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::dot::to_dot;
+use pte_hybrid::elaboration::elaborate;
+use pte_hybrid::{Expr, HybridAutomaton, Pred};
+use pte_tracheotomy::ventilator::standalone_ventilator;
+
+fn fig6_host() -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder("A");
+    let x = b.var("x", VarKind::Continuous, 0.0);
+    let fb = b.location("Fall-Back");
+    let risky = b.risky_location("Risky");
+    b.flow(fb, x, Expr::c(1.0));
+    b.flow(risky, x, Expr::c(-2.0));
+    b.edge(fb, risky)
+        .on_lossy("go")
+        .guard(Pred::ge(Expr::var(x), Expr::c(5.0)))
+        .done();
+    b.edge(risky, fb)
+        .guard(Pred::le(Expr::var(x), Expr::c(0.0)))
+        .urgent()
+        .done();
+    b.initial(fb, None);
+    b.build().expect("host builds")
+}
+
+fn main() {
+    let host = fig6_host();
+    println!("Fig. 6 (a): host automaton A (shaded location = to be elaborated):\n");
+    println!("{}", to_dot(&host));
+
+    let vent = standalone_ventilator();
+    let fb = host.loc_by_name("Fall-Back").unwrap();
+    let elaborated = elaborate(&host, fb, &vent).expect("elaboration succeeds");
+    let a2 = &elaborated.automaton;
+    println!("Fig. 6 (b): A'' = E(A, Fall-Back, A'vent):\n");
+    println!("{}", to_dot(a2));
+
+    // The paper's callout: no edge from Risky to PumpIn, because PumpIn is
+    // not an initial location of A'vent.
+    let risky = a2.loc_by_name("Risky").unwrap();
+    let pump_in = a2.loc_by_name("PumpIn").unwrap();
+    let pump_out = a2.loc_by_name("PumpOut").unwrap();
+    assert!(
+        !a2.edges.iter().any(|e| e.src == risky && e.dst == pump_in),
+        "no Risky -> PumpIn edge"
+    );
+    assert!(
+        a2.edges.iter().any(|e| e.src == risky && e.dst == pump_out),
+        "Risky -> PumpOut edge exists"
+    );
+    // Egress `go` edges from both child locations.
+    let go_edges = a2
+        .edges
+        .iter()
+        .filter(|e| e.trigger.is_some() && e.dst == risky)
+        .count();
+    assert_eq!(go_edges, 2, "`go` egress copied from every child location");
+    println!("structural checks: ingress only to PumpOut (initial), egress from both child locations — OK");
+}

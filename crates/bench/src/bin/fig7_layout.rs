@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 7**: (a) the laser tracheotomy wireless CPS layout
+//! and (b) the emulation layout — as the sink-based star topology with
+//! the wired SpO2 path annotated.
+
+use pte_wireless::topology::StarTopology;
+
+fn main() {
+    let topo = StarTopology::new(0, vec![1, 2]);
+    let names = vec![
+        "tracheotomy supervisor (base station)".to_string(),
+        "ventilator (Participant xi1)".to_string(),
+        "laser-scalpel (Initializer xi2, surgeon-operated)".to_string(),
+    ];
+    println!("Fig. 7: laser tracheotomy wireless CPS / emulation layout\n");
+    println!("{}", topo.render(&names));
+    println!("wired (reliable) paths:");
+    println!("  patient --(SpO2 oximeter)--> supervisor      [env_approval_ok/bad]");
+    println!("  patient <--(breathes with display)-- ventilator [evtVPumpIn/Out]");
+    println!("  surgeon --(buttons)--> laser-scalpel          [cmd_request/cmd_cancel]");
+    println!();
+    println!("interference: duty-cycled 802.11g source near the supervisor;");
+    println!("every wireless up/downlink passes through its loss process.");
+    println!("links: {:?}", topo.links());
+    assert_eq!(topo.links().len(), 4);
+}

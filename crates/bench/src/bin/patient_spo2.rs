@@ -1,0 +1,93 @@
+//! SpO2 trajectory during a trial: the physiological view of the lease
+//! guarantee. Plots (ASCII) the patient's blood oxygen across a scripted
+//! procedure with a lost-cancel fault, with and without leases: the
+//! leased run's SpO2 never approaches the 92% threshold because the
+//! ventilator pause is bounded; the unleased run's SpO2 crashes through
+//! it.
+
+use pte_core::pattern::LeaseConfig;
+use pte_hybrid::{Root, Time};
+use pte_sim::driver::ScriptedDriver;
+use pte_sim::executor::{Executor, ExecutorConfig};
+use pte_sim::network::{Channel, Delivery, DropReason, Message, NetworkBridge};
+use pte_tracheotomy::emulation::build_case_study;
+use pte_tracheotomy::supervisor::SPO2_THRESHOLD;
+
+/// Drops every ventilator stop command and laser uplink report.
+struct LostStops;
+impl Channel for LostStops {
+    fn transmit(&mut self, msg: &Message, now: Time) -> Delivery {
+        let r = msg.root.as_str();
+        if r.contains("to_xi1_cancel")
+            || r.contains("to_xi1_abort")
+            || r.contains("xi2_to_xi0_cancel")
+            || r.contains("xi2_to_xi0_exit")
+        {
+            Delivery::Dropped {
+                reason: DropReason::Scripted,
+            }
+        } else {
+            Delivery::Delivered { at: now }
+        }
+    }
+}
+
+fn run(leased: bool) -> Vec<(Time, f64)> {
+    let cfg = LeaseConfig::case_study();
+    let automata = build_case_study(&cfg, leased).expect("builds");
+    let exec_cfg = ExecutorConfig {
+        sample_interval: Some(Time::seconds(2.0)),
+        ..Default::default()
+    };
+    let mut exec = Executor::new(automata, exec_cfg).expect("executor");
+    let mut bridge = NetworkBridge::perfect();
+    bridge.set_default(Box::new(LostStops));
+    exec.set_bridge(bridge);
+    exec.add_driver(Box::new(ScriptedDriver::new(
+        "surgeon",
+        vec![
+            (Time::seconds(14.0), Root::new("cmd_request")),
+            (Time::seconds(40.0), Root::new("cmd_cancel")),
+        ],
+    )));
+    let trace = exec.run_until(Time::seconds(240.0)).expect("runs");
+    let patient = trace.index_of("patient").unwrap();
+    trace.series(patient, "SpO2")
+}
+
+fn plot(label: &str, series: &[(Time, f64)]) {
+    println!("{label}:");
+    for (t, v) in series.iter().step_by(3) {
+        let cols = (((v - 80.0) / 20.0) * 60.0).clamp(0.0, 60.0) as usize;
+        let marker = if *v < SPO2_THRESHOLD { '!' } else { '*' };
+        println!(
+            "  {:>6.0}s {:6.2}% |{}{}",
+            t.as_secs_f64(),
+            v,
+            " ".repeat(cols),
+            marker
+        );
+    }
+    let min = series.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    println!("  minimum SpO2: {min:.2}% (threshold {SPO2_THRESHOLD}%)\n");
+}
+
+fn main() {
+    println!("Patient SpO2 during a procedure with lost stop commands\n");
+    let leased = run(true);
+    let unleased = run(false);
+    plot("WITH leases (ventilator pause bounded by its lease)", &leased);
+    plot("WITHOUT leases (ventilator stuck paused)", &unleased);
+
+    let min_leased = leased.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    let min_unleased = unleased.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
+    assert!(
+        min_leased > SPO2_THRESHOLD,
+        "leased run must stay above threshold: {min_leased}"
+    );
+    assert!(
+        min_unleased < SPO2_THRESHOLD,
+        "unleased run must cross threshold: {min_unleased}"
+    );
+    println!("leased minimum {min_leased:.1}% vs unleased minimum {min_unleased:.1}% — the lease is what keeps the patient saturated.");
+}

@@ -1,0 +1,62 @@
+//! Runs the three Section V failure narratives and prints both arms of
+//! each: the lease-based system must stay safe, the comparison arm must
+//! fail exactly the way the paper describes.
+
+use pte_tracheotomy::scenarios::{forgetful_surgeon, lost_cancel, misconfigured_c5};
+use pte_verify::report::TextTable;
+
+fn main() {
+    println!("Section V scenarios\n");
+
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "arm",
+        "emissions",
+        "failures",
+        "lease stops (laser/vent)",
+    ]);
+
+    for outcome in [
+        forgetful_surgeon().expect("scenario 1 runs"),
+        lost_cancel().expect("scenario 2 runs"),
+    ] {
+        table.row(vec![
+            outcome.name.clone(),
+            "with lease".to_string(),
+            outcome.with_lease.emissions.to_string(),
+            outcome.with_lease.failures.to_string(),
+            format!(
+                "{}/{}",
+                outcome.with_lease.evt_to_stop, outcome.with_lease.vent_lease_stops
+            ),
+        ]);
+        if let Some(wo) = &outcome.without_lease {
+            table.row(vec![
+                String::new(),
+                "without lease".to_string(),
+                wo.emissions.to_string(),
+                wo.failures.to_string(),
+                format!("{}/{}", wo.evt_to_stop, wo.vent_lease_stops),
+            ]);
+            for v in &wo.report.violations {
+                println!("  [{}] {v}", outcome.name);
+            }
+        }
+    }
+    println!();
+
+    let (conditions, result) = misconfigured_c5().expect("scenario 3 runs");
+    println!(
+        "scenario 3 (T_enter,2 := T_enter,1 violates c5): conditions satisfied = {}",
+        conditions.is_satisfied()
+    );
+    for c in conditions.violations() {
+        println!("  violated: {} — {}", c.condition, c.detail);
+    }
+    println!("  run outcome: {} failures", result.failures);
+    for v in &result.report.violations {
+        println!("  {v}");
+    }
+    println!();
+    println!("{}", table.render());
+}

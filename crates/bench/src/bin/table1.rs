@@ -1,0 +1,63 @@
+//! Regenerates **Table I**: PTE safety rule violation (failure) statistics
+//! of emulation trials.
+//!
+//! Four trials of 30 minutes each under constant WiFi interference,
+//! `E(Ton) = 30 s`: {with, without} lease × `E(Toff) ∈ {18 s, 6 s}`.
+//!
+//! Usage: `cargo run --release -p pte-bench --bin table1 [--seeds K]`
+//! — with `K > 1`, each row is averaged over `K` seeded replications
+//! (the paper ran one trial per row; replication tightens the estimate).
+
+use pte_bench::seeds_arg;
+use pte_tracheotomy::emulation::{run_trial, TrialConfig};
+use pte_verify::report::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds = seeds_arg(&args, 1);
+
+    println!("Table I: PTE safety rule violation (failure) statistics of emulation trials");
+    println!("(30 min per trial, constant WiFi interference, E(Ton) = 30 s; {seeds} seed(s) per row)\n");
+
+    let mut table = TextTable::new(vec![
+        "Trial Mode",
+        "E(Toff) (sec)",
+        "# of Laser Emissions",
+        "# of Failures",
+        "# of evtToStop",
+        "paper: emissions/failures/evtToStop",
+    ]);
+
+    let rows = [
+        (true, 18.0, "with Lease", (19, 0, 5)),
+        (false, 18.0, "without Lease", (11, 4, 0)),
+        (true, 6.0, "with Lease", (19, 0, 3)),
+        (false, 6.0, "without Lease", (12, 3, 0)),
+    ];
+
+    for (leased, mean_off, label, paper) in rows {
+        let mut emissions = 0usize;
+        let mut failures = 0usize;
+        let mut stops = 0usize;
+        for k in 0..seeds {
+            let trial = TrialConfig::paper_trial(mean_off, leased, 42 + k as u64);
+            let r = run_trial(&trial).expect("trial executes");
+            emissions += r.emissions;
+            failures += r.failures;
+            stops += r.evt_to_stop;
+        }
+        let div = seeds.max(1);
+        table.row(vec![
+            label.to_string(),
+            format!("{mean_off}"),
+            format!("{:.1}", emissions as f64 / div as f64),
+            format!("{:.1}", failures as f64 / div as f64),
+            format!("{:.1}", stops as f64 / div as f64),
+            format!("{}/{}/{}", paper.0, paper.1, paper.2),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("Expected shape: with Lease -> 0 failures in both rows;");
+    println!("without Lease -> failures > 0; evtToStop larger for E(Toff)=18 than 6.");
+}

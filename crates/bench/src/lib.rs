@@ -1,0 +1,59 @@
+//! # pte-bench
+//!
+//! Benchmarks and regenerators for every table and figure of the paper.
+//!
+//! Binaries (run with `cargo run --release -p pte-bench --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table I — PTE failure statistics, 4 trials × 30 min |
+//! | `fig1_timeline` | Fig. 1 — PTE timeline with measured t1..t4 |
+//! | `fig2_ventilator` | Fig. 2 — stand-alone ventilator (trajectory + DOT) |
+//! | `fig3_supervisor` | Fig. 3 — Supervisor pattern automaton (DOT) |
+//! | `fig4_flowblocks` | Fig. 4 — Lease/Cancel/Abort flow blocks (text) |
+//! | `fig5_roles` | Fig. 5 — Initializer & Participant automata (DOT) |
+//! | `fig6_elaboration` | Fig. 6 — atomic elaboration example (DOT ×2) |
+//! | `fig7_layout` | Fig. 7 — emulation layout (star topology) |
+//! | `scenarios` | Section V failure narratives |
+//! | `ablation_loss_sweep` | failure rate vs loss probability × lease arm |
+//! | `ablation_conditions` | safeguard margin vs c5 slack |
+//! | `exhaustive` | bounded-exhaustive loss exploration |
+//!
+//! Criterion benches (`cargo bench -p pte-bench`): executor throughput,
+//! monitor throughput, channel models, parameter synthesis, elaboration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parses `--name value` style options from `std::env::args`-like input.
+pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a `--seeds N` option with a default.
+pub fn seeds_arg(args: &[String], default: usize) -> usize {
+    arg_value(args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&["prog", "--seeds", "12", "--x", "y"]);
+        assert_eq!(arg_value(&a, "--x").as_deref(), Some("y"));
+        assert_eq!(arg_value(&a, "--missing"), None);
+        assert_eq!(seeds_arg(&a, 3), 12);
+        assert_eq!(seeds_arg(&args(&["prog"]), 3), 3);
+        assert_eq!(seeds_arg(&args(&["prog", "--seeds", "zz"]), 3), 3);
+    }
+}

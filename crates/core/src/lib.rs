@@ -1,0 +1,39 @@
+//! # pte-core
+//!
+//! The paper's primary contribution, as a library:
+//!
+//! * [`rules`] — the **PTE safety rules** (Section III): Rule 1 (bounded
+//!   continuous dwelling in risky locations) and Rule 2
+//!   (proper-temporal-embedding full order with enter-/exit-risky
+//!   safeguard intervals), as a checkable [`rules::PteSpec`];
+//! * [`monitor`] — an offline checker evaluating both rules over a
+//!   `pte_sim` [`Trace`](pte_sim::trace::Trace), with per-violation
+//!   diagnostics and measured safety margins;
+//! * [`online`] — the incremental counterpart: violations raised at the
+//!   earliest decidable instant, for runtime enforcement;
+//! * [`pattern`] — the **lease-based design pattern** (Section IV-A):
+//!   generators for the Supervisor, Participant and Initializer hybrid
+//!   automata (Figs. 3–5), the closed-form **conditions c1–c7** of
+//!   Theorem 1, the baseline *no-lease* variants used in Table I, and the
+//!   full-system assembly with the paper's event wiring;
+//! * [`synthesis`] — constructive parameter synthesis: from the PTE
+//!   requirements (safeguards, Rule-1 bound, minimum useful run times) to
+//!   a [`pattern::LeaseConfig`] satisfying c1–c7;
+//! * [`theorem`] — the quantitative bounds of Theorems 1 and 2 (risky
+//!   dwelling bound `T^max_wait + T^max_LS1`, cycle bounds), used as
+//!   monitor defaults and test oracles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+pub mod online;
+pub mod pattern;
+pub mod rules;
+pub mod synthesis;
+pub mod theorem;
+
+pub use monitor::{check_pte, PteReport, Violation};
+pub use online::OnlineMonitor;
+pub use pattern::{build_pattern_system, check_conditions, LeaseConfig, PatternSystem};
+pub use rules::{PairSpec, PteSpec};

@@ -1,0 +1,579 @@
+//! Offline PTE monitor: checks Rule 1 and Rule 2 over a trace.
+//!
+//! The monitor extracts each ordered entity's maximal risky dwelling
+//! intervals from the trace and evaluates:
+//!
+//! * **Rule 1** — every interval's duration against the entity's bound
+//!   (truncated intervals count once their elapsed span already exceeds
+//!   the bound);
+//! * **Rule 2 / p2** — every inner risky interval must be fully covered by
+//!   one outer risky interval;
+//! * **Rule 2 / p1** — the covering outer interval must have started at
+//!   least `T^min_risky` before the inner one (enter-risky safeguard);
+//! * **Rule 2 / p3** — the covering outer interval must end at least
+//!   `T^min_safe` after the inner one (exit-risky safeguard). If the outer
+//!   interval is truncated by the end of the trace, the future is unknown
+//!   and the exit margin is not judged.
+//!
+//! Margins are measured and reported even when satisfied, so experiments
+//! can plot worst-case margins (the ablation benches use this).
+
+use crate::rules::PteSpec;
+use pte_hybrid::Time;
+use pte_sim::trace::{Interval, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One PTE violation with diagnostic detail.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// An entity named in the spec does not appear in the trace.
+    EntityNotInTrace {
+        /// The missing entity name.
+        entity: String,
+    },
+    /// Rule 1: a continuous risky dwelling exceeded its bound.
+    Rule1 {
+        /// Offending entity.
+        entity: String,
+        /// The offending interval.
+        interval: Interval,
+        /// The configured bound.
+        bound: Time,
+    },
+    /// Rule 2 / p2: an inner risky interval is not covered by any outer
+    /// risky interval.
+    NotCovered {
+        /// Outer entity (must be risky whenever inner is).
+        outer: String,
+        /// Inner entity.
+        inner: String,
+        /// The uncovered inner interval.
+        interval: Interval,
+    },
+    /// Rule 2 / p1: the enter-risky safeguard was violated.
+    EnterMargin {
+        /// Outer entity.
+        outer: String,
+        /// Inner entity.
+        inner: String,
+        /// Required minimum lead time (`T^min_risky`).
+        required: Time,
+        /// Measured lead time (outer enter → inner enter).
+        actual: Time,
+        /// Inner interval whose entry violated the safeguard.
+        interval: Interval,
+    },
+    /// Rule 2 / p3: the exit-risky safeguard was violated.
+    ExitMargin {
+        /// Outer entity.
+        outer: String,
+        /// Inner entity.
+        inner: String,
+        /// Required minimum lag time (`T^min_safe`).
+        required: Time,
+        /// Measured lag time (inner exit → outer exit).
+        actual: Time,
+        /// Inner interval whose exit violated the safeguard.
+        interval: Interval,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::EntityNotInTrace { entity } => {
+                write!(f, "entity `{entity}` not present in trace")
+            }
+            Violation::Rule1 {
+                entity,
+                interval,
+                bound,
+            } => write!(
+                f,
+                "Rule 1: `{entity}` dwelt in risky locations for {} (> bound {bound}) during {interval}",
+                interval.duration()
+            ),
+            Violation::NotCovered {
+                outer,
+                inner,
+                interval,
+            } => write!(
+                f,
+                "Rule 2/p2: `{inner}` risky during {interval} without `{outer}` covering it"
+            ),
+            Violation::EnterMargin {
+                outer,
+                inner,
+                required,
+                actual,
+                interval,
+            } => write!(
+                f,
+                "Rule 2/p1: `{inner}` entered risky at {} only {actual} after `{outer}` (requires {required})",
+                interval.start
+            ),
+            Violation::ExitMargin {
+                outer,
+                inner,
+                required,
+                actual,
+                interval,
+            } => write!(
+                f,
+                "Rule 2/p3: `{outer}` exited risky only {actual} after `{inner}` exited at {} (requires {required})",
+                interval.end
+            ),
+        }
+    }
+}
+
+/// Measured safeguard margins for one inner interval (reported even when
+/// the rules hold — experiments plot the worst case).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairMargins {
+    /// Outer entity name.
+    pub outer: String,
+    /// Inner entity name.
+    pub inner: String,
+    /// The inner interval.
+    pub interval: Interval,
+    /// Measured enter lead (outer enter → inner enter), if covered.
+    pub enter_lead: Option<Time>,
+    /// Measured exit lag (inner exit → outer exit), if judgeable.
+    pub exit_lag: Option<Time>,
+}
+
+/// The monitor's verdict over one trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PteReport {
+    /// All violations found, in detection order.
+    pub violations: Vec<Violation>,
+    /// Risky intervals per ordered entity (diagnostics).
+    pub intervals: Vec<(String, Vec<Interval>)>,
+    /// Measured margins for every judged inner interval.
+    pub margins: Vec<PairMargins>,
+}
+
+impl PteReport {
+    /// `true` if the trace satisfies every PTE safety rule.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations (the "failures" of Table I).
+    pub fn failure_count(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// The smallest measured enter-risky lead across all pairs, if any
+    /// inner interval was judged.
+    pub fn worst_enter_lead(&self) -> Option<Time> {
+        self.margins.iter().filter_map(|m| m.enter_lead).min()
+    }
+
+    /// The smallest measured exit-risky lag across all pairs.
+    pub fn worst_exit_lag(&self) -> Option<Time> {
+        self.margins.iter().filter_map(|m| m.exit_lag).min()
+    }
+}
+
+impl fmt::Display for PteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_safe() {
+            writeln!(f, "PTE: SAFE ({} intervals judged)", self.margins.len())?;
+        } else {
+            writeln!(f, "PTE: {} violation(s)", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks the PTE safety rules over a trace.
+///
+/// Entities are matched to trace automata by name; ordering and constants
+/// come from the spec. See the module docs for the exact semantics of
+/// truncated intervals.
+pub fn check_pte(trace: &Trace, spec: &PteSpec) -> PteReport {
+    let mut report = PteReport::default();
+    let tol = spec.tolerance;
+
+    // Resolve entities and extract risky intervals.
+    let mut resolved: Vec<Option<usize>> = Vec::with_capacity(spec.entities.len());
+    for name in &spec.entities {
+        let idx = trace.index_of(name);
+        if idx.is_none() {
+            report.violations.push(Violation::EntityNotInTrace {
+                entity: name.clone(),
+            });
+        }
+        resolved.push(idx);
+    }
+    let intervals: Vec<Vec<Interval>> = resolved
+        .iter()
+        .map(|idx| idx.map(|i| trace.risky_intervals(i)).unwrap_or_default())
+        .collect();
+    for (name, ivs) in spec.entities.iter().zip(&intervals) {
+        report.intervals.push((name.clone(), ivs.clone()));
+    }
+
+    // Rule 1.
+    for ((name, ivs), bound) in spec
+        .entities
+        .iter()
+        .zip(&intervals)
+        .zip(&spec.rule1_bounds)
+    {
+        for iv in ivs {
+            if iv.duration() > *bound + tol {
+                report.violations.push(Violation::Rule1 {
+                    entity: name.clone(),
+                    interval: *iv,
+                    bound: *bound,
+                });
+            }
+        }
+    }
+
+    // Rule 2, adjacent pairs (the full order reduces to adjacent checks:
+    // coverage is transitive and margins compose).
+    for (k, pair) in spec.pairs.iter().enumerate() {
+        let outer_name = &spec.entities[k];
+        let inner_name = &spec.entities[k + 1];
+        let outer = &intervals[k];
+        let inner = &intervals[k + 1];
+        if resolved[k].is_none() || resolved[k + 1].is_none() {
+            continue;
+        }
+
+        for iv in inner {
+            // p2: find the covering outer interval.
+            let cover = outer
+                .iter()
+                .find(|o| o.start <= iv.start + tol && o.end + tol >= iv.end);
+            let Some(cover) = cover else {
+                report.violations.push(Violation::NotCovered {
+                    outer: outer_name.clone(),
+                    inner: inner_name.clone(),
+                    interval: *iv,
+                });
+                report.margins.push(PairMargins {
+                    outer: outer_name.clone(),
+                    inner: inner_name.clone(),
+                    interval: *iv,
+                    enter_lead: None,
+                    exit_lag: None,
+                });
+                continue;
+            };
+
+            // p1: enter-risky safeguard.
+            let lead = iv.start - cover.start;
+            if lead + tol < pair.t_min_risky {
+                report.violations.push(Violation::EnterMargin {
+                    outer: outer_name.clone(),
+                    inner: inner_name.clone(),
+                    required: pair.t_min_risky,
+                    actual: lead,
+                    interval: *iv,
+                });
+            }
+
+            // p3: exit-risky safeguard. If either interval is truncated by
+            // trace end, the true exits are unknown — skip judgement.
+            let mut lag = None;
+            if !iv.truncated && !cover.truncated {
+                let l = cover.end - iv.end;
+                lag = Some(l);
+                if l + tol < pair.t_min_safe {
+                    report.violations.push(Violation::ExitMargin {
+                        outer: outer_name.clone(),
+                        inner: inner_name.clone(),
+                        required: pair.t_min_safe,
+                        actual: l,
+                        interval: *iv,
+                    });
+                }
+            }
+
+            report.margins.push(PairMargins {
+                outer: outer_name.clone(),
+                inner: inner_name.clone(),
+                interval: *iv,
+                enter_lead: Some(lead),
+                exit_lag: lag,
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::PairSpec;
+    use pte_hybrid::{LocId, Time};
+    use pte_sim::trace::{AutMeta, TraceEvent};
+
+    /// Builds a two-entity trace from explicit risky windows.
+    /// Each entity has locations 0 = safe, 1 = risky.
+    fn trace_from_windows(
+        outer: &[(f64, f64)],
+        inner: &[(f64, f64)],
+        end: f64,
+    ) -> Trace {
+        let meta = vec![
+            AutMeta {
+                name: "outer".into(),
+                loc_names: vec!["Safe".into(), "Risky".into()],
+                risky: vec![false, true],
+                var_names: vec![],
+            },
+            AutMeta {
+                name: "inner".into(),
+                loc_names: vec!["Safe".into(), "Risky".into()],
+                risky: vec![false, true],
+                var_names: vec![],
+            },
+        ];
+        let mut events = vec![
+            TraceEvent::Init {
+                t: Time::ZERO,
+                aut: 0,
+                loc: LocId(0),
+            },
+            TraceEvent::Init {
+                t: Time::ZERO,
+                aut: 1,
+                loc: LocId(0),
+            },
+        ];
+        for (aut, windows) in [(0usize, outer), (1usize, inner)] {
+            for (s, e) in windows {
+                events.push(TraceEvent::Transition {
+                    t: Time::seconds(*s),
+                    aut,
+                    from: LocId(0),
+                    to: LocId(1),
+                    trigger: None,
+                });
+                if *e <= end {
+                    events.push(TraceEvent::Transition {
+                        t: Time::seconds(*e),
+                        aut,
+                        from: LocId(1),
+                        to: LocId(0),
+                        trigger: None,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|a| a.time());
+        Trace {
+            meta,
+            events,
+            samples: vec![],
+            end_time: Time::seconds(end),
+        }
+    }
+
+    fn spec(bound: f64, t_risky: f64, t_safe: f64) -> PteSpec {
+        PteSpec::uniform(
+            vec!["outer".into(), "inner".into()],
+            Time::seconds(bound),
+            vec![PairSpec::new(Time::seconds(t_risky), Time::seconds(t_safe))],
+        )
+    }
+
+    #[test]
+    fn clean_embedding_is_safe() {
+        // outer risky [10, 40), inner risky [15, 30): lead 5 >= 3,
+        // lag 10 >= 1.5, durations <= 60.
+        let t = trace_from_windows(&[(10.0, 40.0)], &[(15.0, 30.0)], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert!(r.is_safe(), "{r}");
+        assert_eq!(r.margins.len(), 1);
+        assert_eq!(r.margins[0].enter_lead, Some(Time::seconds(5.0)));
+        assert_eq!(r.margins[0].exit_lag, Some(Time::seconds(10.0)));
+        assert_eq!(r.worst_enter_lead(), Some(Time::seconds(5.0)));
+        assert_eq!(r.worst_exit_lag(), Some(Time::seconds(10.0)));
+    }
+
+    #[test]
+    fn rule1_violation_detected() {
+        let t = trace_from_windows(&[(0.0, 90.0)], &[], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert_eq!(r.failure_count(), 1);
+        assert!(matches!(&r.violations[0],
+            Violation::Rule1 { entity, .. } if entity == "outer"));
+    }
+
+    #[test]
+    fn rule1_truncated_interval_counts_when_already_over() {
+        // Still risky at trace end with 70 s elapsed > 60 s bound.
+        let t = trace_from_windows(&[(10.0, 1000.0)], &[], 80.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert_eq!(r.failure_count(), 1);
+    }
+
+    #[test]
+    fn rule1_truncated_interval_ok_when_under() {
+        let t = trace_from_windows(&[(70.0, 1000.0)], &[], 80.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn uncovered_inner_detected() {
+        // Inner risky with outer never risky.
+        let t = trace_from_windows(&[], &[(5.0, 10.0)], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotCovered { .. })));
+    }
+
+    #[test]
+    fn partial_coverage_detected() {
+        // Outer exits before inner does.
+        let t = trace_from_windows(&[(0.0, 20.0)], &[(5.0, 30.0)], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotCovered { .. })));
+    }
+
+    #[test]
+    fn enter_margin_violation_detected() {
+        // Lead is only 1 s (< 3 s).
+        let t = trace_from_windows(&[(10.0, 40.0)], &[(11.0, 30.0)], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert_eq!(r.failure_count(), 1);
+        match &r.violations[0] {
+            Violation::EnterMargin {
+                required, actual, ..
+            } => {
+                assert_eq!(*required, Time::seconds(3.0));
+                assert!(actual.approx_eq(Time::seconds(1.0), Time::seconds(1e-9)));
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn exit_margin_violation_detected() {
+        // Lag is only 0.5 s (< 1.5 s).
+        let t = trace_from_windows(&[(10.0, 30.5)], &[(15.0, 30.0)], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert_eq!(r.failure_count(), 1);
+        assert!(matches!(&r.violations[0], Violation::ExitMargin { .. }));
+    }
+
+    #[test]
+    fn truncated_outer_skips_exit_judgement() {
+        // Outer still risky at trace end: exit lag unknowable, not a
+        // violation.
+        let t = trace_from_windows(&[(10.0, 1000.0)], &[(15.0, 30.0)], 50.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert!(r.is_safe(), "{r}");
+        assert_eq!(r.margins[0].exit_lag, None);
+    }
+
+    #[test]
+    fn multiple_rounds_checked_independently() {
+        let t = trace_from_windows(
+            &[(10.0, 40.0), (60.0, 95.0)],
+            &[(15.0, 30.0), (64.0, 80.0)],
+            120.0,
+        );
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        assert!(r.is_safe(), "{r}");
+        assert_eq!(r.margins.len(), 2);
+        // Second round lead = 4.
+        assert_eq!(r.margins[1].enter_lead, Some(Time::seconds(4.0)));
+    }
+
+    #[test]
+    fn missing_entity_reported() {
+        let t = trace_from_windows(&[], &[], 10.0);
+        let mut s = spec(60.0, 3.0, 1.5);
+        s.entities[1] = "ghost".into();
+        let r = check_pte(&t, &s);
+        assert!(matches!(
+            &r.violations[0],
+            Violation::EntityNotInTrace { entity } if entity == "ghost"
+        ));
+    }
+
+    #[test]
+    fn report_display_readable() {
+        let t = trace_from_windows(&[(10.0, 40.0)], &[(11.0, 30.0)], 100.0);
+        let r = check_pte(&t, &spec(60.0, 3.0, 1.5));
+        let s = format!("{r}");
+        assert!(s.contains("violation"));
+        assert!(s.contains("Rule 2/p1"));
+    }
+
+    #[test]
+    fn three_entity_chain() {
+        // xi1 ⊃ xi2 ⊃ xi3, all margins satisfied.
+        let meta: Vec<AutMeta> = ["e1", "e2", "e3"]
+            .iter()
+            .map(|n| AutMeta {
+                name: (*n).into(),
+                loc_names: vec!["S".into(), "R".into()],
+                risky: vec![false, true],
+                var_names: vec![],
+            })
+            .collect();
+        let mut events = Vec::new();
+        for aut in 0..3 {
+            events.push(TraceEvent::Init {
+                t: Time::ZERO,
+                aut,
+                loc: LocId(0),
+            });
+        }
+        let windows = [(10.0, 60.0), (15.0, 50.0), (20.0, 40.0)];
+        for (aut, (s, e)) in windows.iter().enumerate() {
+            events.push(TraceEvent::Transition {
+                t: Time::seconds(*s),
+                aut,
+                from: LocId(0),
+                to: LocId(1),
+                trigger: None,
+            });
+            events.push(TraceEvent::Transition {
+                t: Time::seconds(*e),
+                aut,
+                from: LocId(1),
+                to: LocId(0),
+                trigger: None,
+            });
+        }
+        events.sort_by_key(|a| a.time());
+        let t = Trace {
+            meta,
+            events,
+            samples: vec![],
+            end_time: Time::seconds(100.0),
+        };
+        let s = PteSpec::uniform(
+            vec!["e1".into(), "e2".into(), "e3".into()],
+            Time::seconds(60.0),
+            vec![
+                PairSpec::new(Time::seconds(3.0), Time::seconds(2.0)),
+                PairSpec::new(Time::seconds(3.0), Time::seconds(2.0)),
+            ],
+        );
+        let r = check_pte(&t, &s);
+        assert!(r.is_safe(), "{r}");
+        assert_eq!(r.margins.len(), 2);
+    }
+}

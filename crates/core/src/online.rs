@@ -1,0 +1,385 @@
+//! Online (incremental) PTE monitoring.
+//!
+//! [`check_pte`](crate::monitor::check_pte) scores a complete trace after
+//! the fact; an embedded safety supervisor needs the same verdicts *as
+//! they happen*. [`OnlineMonitor`] consumes location changes one at a
+//! time plus periodic time advances and raises each violation at the
+//! earliest instant it is decidable:
+//!
+//! * **Rule 1** fires the moment an entity's continuous risky dwelling
+//!   passes its bound (on an [`OnlineMonitor::advance`] tick or a
+//!   transition) — not when the dwelling eventually ends;
+//! * **p2 / p1** fire when an inner entity enters risky without the outer
+//!   being risky, or with an insufficient enter lead;
+//! * **p2 (tail) / p3** fire when the outer exits risky while the inner
+//!   is still risky, or sooner than `T^min_safe` after the inner exited.
+//!
+//! Verdicts agree with the offline monitor on complete traces (see the
+//! equivalence property test in `tests/properties.rs`), with one
+//! documented difference: the offline monitor skips exit-lag judgement
+//! for intervals truncated by the end of a trace, while the online
+//! monitor simply hasn't decided them yet.
+
+use crate::monitor::Violation;
+use crate::rules::PteSpec;
+use pte_hybrid::Time;
+use pte_sim::trace::Interval;
+
+/// Per-entity incremental state.
+#[derive(Clone, Debug)]
+struct EntityState {
+    /// Currently dwelling in risky locations?
+    risky_since: Option<Time>,
+    /// Rule-1 violation already reported for the current dwelling.
+    rule1_reported: bool,
+    /// Time the entity last *exited* risky (for p3 checks of its inner
+    /// neighbour — not needed today but kept for symmetric queries).
+    last_exit: Option<Time>,
+    /// Inner-neighbour exits that still await this entity's exit to judge
+    /// the exit lag (p3): the inner interval that ended.
+    pending_exit_checks: Vec<Interval>,
+}
+
+impl EntityState {
+    fn new() -> EntityState {
+        EntityState {
+            risky_since: None,
+            rule1_reported: false,
+            last_exit: None,
+            pending_exit_checks: Vec::new(),
+        }
+    }
+}
+
+/// Incremental PTE monitor.
+///
+/// Feed it [`OnlineMonitor::set_risky`] calls whenever an ordered
+/// entity's risky/safe status changes, and [`OnlineMonitor::advance`]
+/// ticks so Rule 1 can fire mid-dwelling. Violations accumulate in
+/// [`OnlineMonitor::violations`].
+#[derive(Clone, Debug)]
+pub struct OnlineMonitor {
+    spec: PteSpec,
+    states: Vec<EntityState>,
+    violations: Vec<Violation>,
+    now: Time,
+}
+
+impl OnlineMonitor {
+    /// Creates a monitor for a specification (all entities start safe).
+    pub fn new(spec: PteSpec) -> OnlineMonitor {
+        let n = spec.entities.len();
+        OnlineMonitor {
+            spec,
+            states: (0..n).map(|_| EntityState::new()).collect(),
+            violations: Vec::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    /// All violations raised so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` while no violation has been raised.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Current virtual time of the monitor.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances time and checks in-progress dwellings against Rule 1.
+    pub fn advance(&mut self, now: Time) {
+        debug_assert!(now >= self.now, "time must be monotone");
+        self.now = now;
+        for (k, st) in self.states.iter_mut().enumerate() {
+            if let Some(start) = st.risky_since {
+                if !st.rule1_reported
+                    && now - start > self.spec.rule1_bounds[k] + self.spec.tolerance
+                {
+                    st.rule1_reported = true;
+                    self.violations.push(Violation::Rule1 {
+                        entity: self.spec.entities[k].clone(),
+                        interval: Interval {
+                            start,
+                            end: now,
+                            truncated: true,
+                        },
+                        bound: self.spec.rule1_bounds[k],
+                    });
+                }
+            }
+        }
+    }
+
+    /// Index of an entity by name.
+    pub fn entity_index(&self, name: &str) -> Option<usize> {
+        self.spec.entities.iter().position(|e| e == name)
+    }
+
+    /// Reports that entity `k` (spec index) became risky / safe at `t`.
+    /// Redundant reports (same status) are ignored.
+    pub fn set_risky(&mut self, k: usize, t: Time, risky: bool) {
+        self.advance(t);
+        let tol = self.spec.tolerance;
+        match (risky, self.states[k].risky_since) {
+            (true, None) => {
+                // ENTER risky.
+                self.states[k].risky_since = Some(t);
+                self.states[k].rule1_reported = false;
+                // p2/p1 against the outer neighbour (entity k-1).
+                if k > 0 {
+                    let pair = self.spec.pairs[k - 1];
+                    match self.states[k - 1].risky_since {
+                        None => self.violations.push(Violation::NotCovered {
+                            outer: self.spec.entities[k - 1].clone(),
+                            inner: self.spec.entities[k].clone(),
+                            interval: Interval {
+                                start: t,
+                                end: t,
+                                truncated: true,
+                            },
+                        }),
+                        Some(outer_start) => {
+                            let lead = t - outer_start;
+                            if lead + tol < pair.t_min_risky {
+                                self.violations.push(Violation::EnterMargin {
+                                    outer: self.spec.entities[k - 1].clone(),
+                                    inner: self.spec.entities[k].clone(),
+                                    required: pair.t_min_risky,
+                                    actual: lead,
+                                    interval: Interval {
+                                        start: t,
+                                        end: t,
+                                        truncated: true,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            (false, Some(start)) => {
+                // EXIT risky.
+                let interval = Interval {
+                    start,
+                    end: t,
+                    truncated: false,
+                };
+                self.states[k].risky_since = None;
+                self.states[k].last_exit = Some(t);
+                // Late Rule-1 (if no advance tick crossed the bound first).
+                if !self.states[k].rule1_reported
+                    && interval.duration() > self.spec.rule1_bounds[k] + tol
+                {
+                    self.violations.push(Violation::Rule1 {
+                        entity: self.spec.entities[k].clone(),
+                        interval,
+                        bound: self.spec.rule1_bounds[k],
+                    });
+                }
+                // p2 tail: the inner neighbour (k+1) must not still be
+                // risky when this (outer) entity exits.
+                if k + 1 < self.states.len() {
+                    if let Some(inner_start) = self.states[k + 1].risky_since {
+                        self.violations.push(Violation::NotCovered {
+                            outer: self.spec.entities[k].clone(),
+                            inner: self.spec.entities[k + 1].clone(),
+                            interval: Interval {
+                                start: inner_start,
+                                end: t,
+                                truncated: true,
+                            },
+                        });
+                    }
+                }
+                // p3: judge pending inner exits against this outer exit.
+                if k + 1 < self.states.len() {
+                    let pair = self.spec.pairs[k];
+                    let pending = std::mem::take(&mut self.states[k].pending_exit_checks);
+                    for inner_iv in pending {
+                        let lag = t - inner_iv.end;
+                        if lag + tol < pair.t_min_safe {
+                            self.violations.push(Violation::ExitMargin {
+                                outer: self.spec.entities[k].clone(),
+                                inner: self.spec.entities[k + 1].clone(),
+                                required: pair.t_min_safe,
+                                actual: lag,
+                                interval: inner_iv,
+                            });
+                        }
+                    }
+                }
+                // Queue this exit for the outer neighbour's p3 judgement.
+                if k > 0 {
+                    self.states[k - 1].pending_exit_checks.push(interval);
+                }
+            }
+            // Redundant report: ignore.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{PairSpec, PteSpec};
+
+    fn spec() -> PteSpec {
+        PteSpec::uniform(
+            vec!["outer".into(), "inner".into()],
+            Time::seconds(60.0),
+            vec![PairSpec::new(Time::seconds(3.0), Time::seconds(1.5))],
+        )
+    }
+
+    fn t(s: f64) -> Time {
+        Time::seconds(s)
+    }
+
+    #[test]
+    fn clean_round_is_safe() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(0, t(10.0), true);
+        m.set_risky(1, t(15.0), true);
+        m.set_risky(1, t(30.0), false);
+        m.set_risky(0, t(40.0), false);
+        m.advance(t(100.0));
+        assert!(m.is_safe(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn rule1_fires_mid_dwelling() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(0, t(0.0), true);
+        m.advance(t(59.0));
+        assert!(m.is_safe());
+        m.advance(t(61.0));
+        assert_eq!(m.violations().len(), 1, "fires before the dwelling ends");
+        assert!(matches!(m.violations()[0], Violation::Rule1 { .. }));
+        // Not duplicated by later ticks or the eventual exit.
+        m.advance(t(90.0));
+        m.set_risky(0, t(95.0), false);
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn uncovered_entry_fires_immediately() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(1, t(5.0), true);
+        assert_eq!(m.violations().len(), 1);
+        assert!(matches!(m.violations()[0], Violation::NotCovered { .. }));
+    }
+
+    #[test]
+    fn enter_margin_checked_on_inner_entry() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(0, t(10.0), true);
+        m.set_risky(1, t(11.0), true); // lead 1 < 3
+        assert_eq!(m.violations().len(), 1);
+        assert!(matches!(m.violations()[0], Violation::EnterMargin { .. }));
+    }
+
+    #[test]
+    fn outer_exit_while_inner_risky_fires() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(0, t(10.0), true);
+        m.set_risky(1, t(15.0), true);
+        m.set_risky(0, t(20.0), false); // abandons the inner
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::NotCovered { .. })));
+    }
+
+    #[test]
+    fn exit_margin_judged_at_outer_exit() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(0, t(10.0), true);
+        m.set_risky(1, t(15.0), true);
+        m.set_risky(1, t(30.0), false);
+        m.set_risky(0, t(30.5), false); // lag 0.5 < 1.5
+        assert_eq!(m.violations().len(), 1);
+        match &m.violations()[0] {
+            Violation::ExitMargin { actual, .. } => {
+                assert!(actual.approx_eq(t(0.5), t(1e-9)));
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_rounds_independent() {
+        let mut m = OnlineMonitor::new(spec());
+        for k in 0..3 {
+            let base = k as f64 * 100.0;
+            m.set_risky(0, t(base + 10.0), true);
+            m.set_risky(1, t(base + 15.0), true);
+            m.set_risky(1, t(base + 30.0), false);
+            m.set_risky(0, t(base + 40.0), false);
+        }
+        assert!(m.is_safe());
+    }
+
+    #[test]
+    fn redundant_reports_ignored() {
+        let mut m = OnlineMonitor::new(spec());
+        m.set_risky(0, t(10.0), true);
+        m.set_risky(0, t(11.0), true); // redundant
+        m.set_risky(0, t(20.0), false);
+        m.set_risky(0, t(21.0), false); // redundant
+        assert!(m.is_safe());
+    }
+
+    #[test]
+    fn entity_index_lookup() {
+        let m = OnlineMonitor::new(spec());
+        assert_eq!(m.entity_index("outer"), Some(0));
+        assert_eq!(m.entity_index("inner"), Some(1));
+        assert_eq!(m.entity_index("ghost"), None);
+    }
+
+    #[test]
+    fn three_entity_chain_pending_checks() {
+        let s = PteSpec::uniform(
+            vec!["a".into(), "b".into(), "c".into()],
+            Time::seconds(100.0),
+            vec![
+                PairSpec::new(Time::seconds(1.0), Time::seconds(1.0)),
+                PairSpec::new(Time::seconds(1.0), Time::seconds(1.0)),
+            ],
+        );
+        let mut m = OnlineMonitor::new(s);
+        m.set_risky(0, t(0.0), true);
+        m.set_risky(1, t(2.0), true);
+        m.set_risky(2, t(4.0), true);
+        m.set_risky(2, t(10.0), false);
+        m.set_risky(1, t(12.0), false);
+        m.set_risky(0, t(14.0), false);
+        assert!(m.is_safe(), "{:?}", m.violations());
+
+        // Now with a bad middle exit lag.
+        let s = PteSpec::uniform(
+            vec!["a".into(), "b".into(), "c".into()],
+            Time::seconds(100.0),
+            vec![
+                PairSpec::new(Time::seconds(1.0), Time::seconds(1.0)),
+                PairSpec::new(Time::seconds(1.0), Time::seconds(1.0)),
+            ],
+        );
+        let mut m = OnlineMonitor::new(s);
+        m.set_risky(0, t(0.0), true);
+        m.set_risky(1, t(2.0), true);
+        m.set_risky(2, t(4.0), true);
+        m.set_risky(2, t(10.0), false);
+        m.set_risky(1, t(10.5), false); // lag 0.5 < 1.0 for pair (b, c)
+        m.set_risky(0, t(14.0), false);
+        assert_eq!(m.violations().len(), 1);
+        assert!(matches!(m.violations()[0], Violation::ExitMargin { .. }));
+    }
+}

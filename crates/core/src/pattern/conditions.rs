@@ -1,0 +1,416 @@
+//! The closed-form constraints c1–c7 of Theorem 1.
+//!
+//! If a lease-pattern system's timing constants satisfy all seven
+//! conditions, the PTE safety rules hold **under arbitrary loss of every
+//! wirelessly-communicated event** (Theorem 1). Each condition is checked
+//! and reported individually so misconfigurations are diagnosable (the
+//! Section V scenario 3 walkthrough — `T^max_enter,1 = T^max_enter,2`
+//! violating c5 — is reproduced as an ablation bench).
+
+use crate::pattern::config::LeaseConfig;
+use pte_hybrid::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one of Theorem 1's conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Condition {
+    /// c1: all configuration constants positive.
+    C1,
+    /// c2: `T^max_LS1 > N · T^max_wait`.
+    C2,
+    /// c3: `(N−1) T^max_wait < T^max_req,N < T^max_LS1`.
+    C3,
+    /// c4: `(i−1) T^max_wait + T^max_enter,i + T^max_run,i + T_exit,i ≤
+    /// T^max_LS1` for all `i`.
+    C4,
+    /// c5: `T^max_enter,i + T^min_risky:i→i+1 < T^max_enter,i+1`.
+    C5,
+    /// c6: `T^max_enter,i + T^max_run,i > T^max_wait + T^max_enter,i+1 +
+    /// T^max_run,i+1 + T_exit,i+1`.
+    C6,
+    /// c7: `T_exit,i > T^min_safe:i+1→i`.
+    C7,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Condition::C1 => "c1",
+            Condition::C2 => "c2",
+            Condition::C3 => "c3",
+            Condition::C4 => "c4",
+            Condition::C5 => "c5",
+            Condition::C6 => "c6",
+            Condition::C7 => "c7",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The outcome of checking one condition instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConditionCheck {
+    /// Which condition.
+    pub condition: Condition,
+    /// Entity index `i` the instance applies to, when per-entity.
+    pub index: Option<usize>,
+    /// Whether it holds.
+    pub satisfied: bool,
+    /// Human-readable instantiation (numbers plugged in).
+    pub detail: String,
+    /// Slack: how far inside the constraint the configuration sits
+    /// (negative when violated). For strict inequalities the slack is the
+    /// strict margin.
+    pub slack: Time,
+}
+
+/// Aggregate report of all condition checks.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConditionReport {
+    /// Every condition instance checked.
+    pub checks: Vec<ConditionCheck>,
+}
+
+impl ConditionReport {
+    /// `true` iff every condition instance holds.
+    pub fn is_satisfied(&self) -> bool {
+        self.checks.iter().all(|c| c.satisfied)
+    }
+
+    /// The violated instances.
+    pub fn violations(&self) -> Vec<&ConditionCheck> {
+        self.checks.iter().filter(|c| !c.satisfied).collect()
+    }
+
+    /// The smallest slack across all instances (how close to the boundary
+    /// the configuration sits).
+    pub fn min_slack(&self) -> Option<Time> {
+        self.checks.iter().map(|c| c.slack).min()
+    }
+}
+
+impl fmt::Display for ConditionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            writeln!(
+                f,
+                "[{}] {}{}: {} (slack {})",
+                if c.satisfied { "ok" } else { "VIOLATED" },
+                c.condition,
+                c.index.map(|i| format!("(i={i})")).unwrap_or_default(),
+                c.detail,
+                c.slack
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks conditions c1–c7 of Theorem 1 against a configuration.
+///
+/// Also verifies dimensional sanity first; dimension errors surface as a
+/// single failed pseudo-check on c1.
+pub fn check_conditions(cfg: &LeaseConfig) -> ConditionReport {
+    let mut report = ConditionReport::default();
+    if !cfg.dimensions_ok() {
+        report.checks.push(ConditionCheck {
+            condition: Condition::C1,
+            index: None,
+            satisfied: false,
+            detail: "configuration dimensions inconsistent (need n>=2, \
+                     t_enter/t_run/t_exit of length n, safeguards of length n-1)"
+                .to_string(),
+            slack: Time::seconds(-1.0),
+        });
+        return report;
+    }
+
+    let n = cfg.n;
+    let t_ls1 = cfg.t_ls1();
+
+    // c1: positivity of every configuration constant.
+    {
+        let mut constants: Vec<(String, Time)> = vec![
+            ("T_wait_max".into(), cfg.t_wait_max),
+            ("T_fb0_min".into(), cfg.t_fb0_min),
+            ("T_LS1_max".into(), t_ls1),
+            ("T_req_max".into(), cfg.t_req_max),
+        ];
+        for i in 1..=n {
+            constants.push((format!("T_enter_{i}"), cfg.t_enter[i - 1]));
+            constants.push((format!("T_run_{i}"), cfg.t_run[i - 1]));
+            constants.push((format!("T_exit_{i}"), cfg.t_exit[i - 1]));
+        }
+        let min = constants
+            .iter()
+            .map(|(_, v)| *v)
+            .min()
+            .unwrap_or(Time::ZERO);
+        let bad: Vec<&str> = constants
+            .iter()
+            .filter(|(_, v)| *v <= Time::ZERO)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        report.checks.push(ConditionCheck {
+            condition: Condition::C1,
+            index: None,
+            satisfied: bad.is_empty(),
+            detail: if bad.is_empty() {
+                "all configuration constants positive".to_string()
+            } else {
+                format!("non-positive constants: {}", bad.join(", "))
+            },
+            slack: min,
+        });
+    }
+
+    // c2: T_LS1 > N * T_wait.
+    {
+        let rhs = cfg.t_wait_max * n as f64;
+        report.checks.push(ConditionCheck {
+            condition: Condition::C2,
+            index: None,
+            satisfied: t_ls1 > rhs,
+            detail: format!("T_LS1 = {t_ls1} > N*T_wait = {rhs}"),
+            slack: t_ls1 - rhs,
+        });
+    }
+
+    // c3: (N-1) T_wait < T_req < T_LS1.
+    {
+        let lo = cfg.t_wait_max * (n as f64 - 1.0);
+        let lower_ok = cfg.t_req_max > lo;
+        let upper_ok = cfg.t_req_max < t_ls1;
+        let slack = (cfg.t_req_max - lo).min(t_ls1 - cfg.t_req_max);
+        report.checks.push(ConditionCheck {
+            condition: Condition::C3,
+            index: None,
+            satisfied: lower_ok && upper_ok,
+            detail: format!(
+                "(N-1)*T_wait = {lo} < T_req = {} < T_LS1 = {t_ls1}",
+                cfg.t_req_max
+            ),
+            slack,
+        });
+    }
+
+    // c4: (i-1) T_wait + T_enter_i + T_run_i + T_exit_i <= T_LS1.
+    for i in 1..=n {
+        let lhs = cfg.t_wait_max * (i as f64 - 1.0)
+            + cfg.t_enter[i - 1]
+            + cfg.t_run[i - 1]
+            + cfg.t_exit[i - 1];
+        report.checks.push(ConditionCheck {
+            condition: Condition::C4,
+            index: Some(i),
+            satisfied: lhs <= t_ls1,
+            detail: format!("(i-1)T_wait + enter+run+exit = {lhs} <= T_LS1 = {t_ls1}"),
+            slack: t_ls1 - lhs,
+        });
+    }
+
+    // c5: T_enter_i + T_risky(i->i+1) < T_enter_{i+1}.
+    for i in 1..n {
+        let lhs = cfg.t_enter[i - 1] + cfg.safeguards[i - 1].t_min_risky;
+        let rhs = cfg.t_enter[i];
+        report.checks.push(ConditionCheck {
+            condition: Condition::C5,
+            index: Some(i),
+            satisfied: lhs < rhs,
+            detail: format!(
+                "T_enter_{i} + T_risky({i}->{}) = {lhs} < T_enter_{} = {rhs}",
+                i + 1,
+                i + 1
+            ),
+            slack: rhs - lhs,
+        });
+    }
+
+    // c6: T_enter_i + T_run_i > T_wait + T_enter_{i+1} + T_run_{i+1} +
+    //     T_exit_{i+1}.
+    for i in 1..n {
+        let lhs = cfg.t_enter[i - 1] + cfg.t_run[i - 1];
+        let rhs = cfg.t_wait_max + cfg.t_enter[i] + cfg.t_run[i] + cfg.t_exit[i];
+        report.checks.push(ConditionCheck {
+            condition: Condition::C6,
+            index: Some(i),
+            satisfied: lhs > rhs,
+            detail: format!(
+                "T_enter_{i}+T_run_{i} = {lhs} > T_wait+T_enter_{j}+T_run_{j}+T_exit_{j} = {rhs}",
+                j = i + 1
+            ),
+            slack: lhs - rhs,
+        });
+    }
+
+    // c7: T_exit_i > T_safe(i+1 -> i).
+    for i in 1..n {
+        let lhs = cfg.t_exit[i - 1];
+        let rhs = cfg.safeguards[i - 1].t_min_safe;
+        report.checks.push(ConditionCheck {
+            condition: Condition::C7,
+            index: Some(i),
+            satisfied: lhs > rhs,
+            detail: format!("T_exit_{i} = {lhs} > T_safe({} -> {i}) = {rhs}", i + 1),
+            slack: lhs - rhs,
+        });
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::PairSpec;
+
+    #[test]
+    fn case_study_satisfies_all_conditions() {
+        let report = check_conditions(&LeaseConfig::case_study());
+        assert!(report.is_satisfied(), "{report}");
+        // Spot-check the instantiated numbers against the paper:
+        // T_LS1 = 3 + 35 + 6 = 44 > 2*3 = 6 (c2).
+        let c2 = report
+            .checks
+            .iter()
+            .find(|c| c.condition == Condition::C2)
+            .unwrap();
+        assert!(c2.slack.approx_eq(Time::seconds(38.0), Time::seconds(1e-9)));
+    }
+
+    #[test]
+    fn c5_violated_by_equal_enter_times() {
+        // Section V scenario 3: T_enter_2 = T_enter_1 violates c5 because
+        // T_risky(1->2) = 3 > 0.
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_enter[1] = cfg.t_enter[0];
+        let report = check_conditions(&cfg);
+        assert!(!report.is_satisfied());
+        let v = report.violations();
+        assert!(v.iter().any(|c| c.condition == Condition::C5));
+    }
+
+    #[test]
+    fn c1_detects_nonpositive() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_exit[0] = Time::ZERO;
+        let report = check_conditions(&cfg);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|c| c.condition == Condition::C1));
+    }
+
+    #[test]
+    fn c2_violated_by_large_wait() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_wait_max = Time::seconds(30.0); // 2*30 = 60 > 44
+        let report = check_conditions(&cfg);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|c| c.condition == Condition::C2));
+    }
+
+    #[test]
+    fn c3_violated_by_small_req() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_req_max = Time::seconds(2.0); // (N-1)*T_wait = 3 > 2
+        let report = check_conditions(&cfg);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|c| c.condition == Condition::C3));
+    }
+
+    #[test]
+    fn c4_violated_by_long_inner_lease() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_run[1] = Time::seconds(60.0); // 3 + 10 + 60 + 1.5 > 44
+        let report = check_conditions(&cfg);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|c| c.condition == Condition::C4 && c.index == Some(2)));
+    }
+
+    #[test]
+    fn c6_violated_by_short_outer_run() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_run[0] = Time::seconds(20.0); // 3+20 = 23 < 3+10+20+1.5 = 34.5
+        let report = check_conditions(&cfg);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|c| c.condition == Condition::C6));
+    }
+
+    #[test]
+    fn c7_violated_by_short_exit() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.t_exit[0] = Time::seconds(1.0); // 1 < 1.5
+        let report = check_conditions(&cfg);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|c| c.condition == Condition::C7));
+    }
+
+    #[test]
+    fn dimension_error_reported() {
+        let mut cfg = LeaseConfig::case_study();
+        cfg.safeguards = vec![];
+        let report = check_conditions(&cfg);
+        assert!(!report.is_satisfied());
+    }
+
+    #[test]
+    fn min_slack_is_tightest_constraint() {
+        let report = check_conditions(&LeaseConfig::case_study());
+        let min = report.min_slack().unwrap();
+        // c4 at i=1 is an equality by definition (T_LS1 = enter+run+exit of
+        // ξ1), so the minimum slack is exactly 0; the tightest *strict*
+        // constraint is c3's lower bound: T_req - (N-1)T_wait = 5 - 3 = 2.
+        assert!(min.approx_eq(Time::ZERO, Time::seconds(1e-9)), "{min}");
+        let strict_min = report
+            .checks
+            .iter()
+            .filter(|c| c.condition != Condition::C4 && c.condition != Condition::C1)
+            .map(|c| c.slack)
+            .min()
+            .unwrap();
+        assert!(
+            strict_min.approx_eq(Time::seconds(2.0), Time::seconds(1e-9)),
+            "{strict_min}"
+        );
+    }
+
+    #[test]
+    fn three_entity_configuration() {
+        // A hand-built N=3 configuration satisfying all conditions.
+        let cfg = LeaseConfig {
+            n: 3,
+            t_fb0_min: Time::seconds(10.0),
+            t_wait_max: Time::seconds(2.0),
+            t_req_max: Time::seconds(5.0),
+            t_enter: vec![
+                Time::seconds(2.0),
+                Time::seconds(6.0),
+                Time::seconds(10.0),
+            ],
+            t_run: vec![
+                Time::seconds(60.0),
+                Time::seconds(40.0),
+                Time::seconds(15.0),
+            ],
+            t_exit: vec![Time::seconds(6.0), Time::seconds(4.0), Time::seconds(1.0)],
+            safeguards: vec![
+                PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+                PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+            ],
+        };
+        let report = check_conditions(&cfg);
+        assert!(report.is_satisfied(), "{report}");
+    }
+}

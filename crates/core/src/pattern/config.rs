@@ -1,0 +1,143 @@
+//! Configuration constants of the lease design pattern.
+//!
+//! All of the paper's cyber (software) timing parameters in one place,
+//! indexed the paper's way: entity `ξi` for `i = 1 … N`, where `ξN` is the
+//! Initializer and `ξ1 … ξN−1` are Participants. Theorem 1 constrains
+//! exactly these constants (conditions c1–c7); nothing about the physical
+//! world appears here — that isolation is the point of the methodology.
+
+use crate::rules::{PairSpec, PteSpec};
+use pte_hybrid::Time;
+use serde::{Deserialize, Serialize};
+
+/// Timing configuration for a lease-pattern system of `N ≥ 2` entities
+/// (plus the Supervisor `ξ0`, which has no risky locations).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeaseConfig {
+    /// `N` — number of remote entities (Participants `ξ1…ξN−1` plus the
+    /// Initializer `ξN`). Must be ≥ 2.
+    pub n: usize,
+    /// `T^min_fb,0` — minimum continuous dwell of the Supervisor in
+    /// Fall-Back before it may grant a new request.
+    pub t_fb0_min: Time,
+    /// `T^max_wait` — the Supervisor's per-step wait budget (for a lease
+    /// approval or an exit acknowledgement) before it moves on.
+    pub t_wait_max: Time,
+    /// `T^max_req,N` — how long the Initializer dwells in Requesting
+    /// before auto-returning to Fall-Back.
+    pub t_req_max: Time,
+    /// `T^max_enter,i` for `i = 1…N` (index 0 ↦ ξ1). Dwell in Entering
+    /// before the risky core begins.
+    pub t_enter: Vec<Time>,
+    /// `T^max_run,i` for `i = 1…N` — the **lease**: the maximum dwell in
+    /// Risky Core before the automatic exit.
+    pub t_run: Vec<Time>,
+    /// `T_exit,i` for `i = 1…N` — exact dwell in Exiting 1 / Exiting 2.
+    pub t_exit: Vec<Time>,
+    /// Safeguard intervals per adjacent pair:
+    /// `safeguards[i] = (T^min_risky:i+1→i+2, T^min_safe:i+2→i+1)` using
+    /// paper indices; i.e. entry `k` relates `ξk+1` and `ξk+2`.
+    pub safeguards: Vec<PairSpec>,
+}
+
+impl LeaseConfig {
+    /// `T^max_LS1 = T^max_enter,1 + T^max_run,1 + T_exit,1` (condition c2's
+    /// definition): the full lease span of the outermost participant,
+    /// which budgets the Supervisor's overall procedure.
+    pub fn t_ls1(&self) -> Time {
+        self.t_enter[0] + self.t_run[0] + self.t_exit[0]
+    }
+
+    /// Theorem 1's bound on any entity's continuous risky dwelling:
+    /// `T^max_wait + T^max_LS1`.
+    pub fn max_risky_dwelling(&self) -> Time {
+        self.t_wait_max + self.t_ls1()
+    }
+
+    /// The paper's case-study configuration (Section V): N = 2,
+    /// ventilator = ξ1, laser scalpel = ξ2.
+    pub fn case_study() -> LeaseConfig {
+        LeaseConfig {
+            n: 2,
+            t_fb0_min: Time::seconds(13.0),
+            t_wait_max: Time::seconds(3.0),
+            t_req_max: Time::seconds(5.0),
+            t_enter: vec![Time::seconds(3.0), Time::seconds(10.0)],
+            t_run: vec![Time::seconds(35.0), Time::seconds(20.0)],
+            t_exit: vec![Time::seconds(6.0), Time::seconds(1.5)],
+            safeguards: vec![PairSpec::new(Time::seconds(3.0), Time::seconds(1.5))],
+        }
+    }
+
+    /// Entity names used by the pattern builders: `ξi` for `i = 1…N−1` is
+    /// `participant{i}`, `ξN` is `initializer`.
+    pub fn entity_name(&self, i: usize) -> String {
+        debug_assert!((1..=self.n).contains(&i));
+        if i == self.n {
+            "initializer".to_string()
+        } else {
+            format!("participant{i}")
+        }
+    }
+
+    /// The PTE specification this configuration is meant to satisfy, with
+    /// Rule-1 bounds set to Theorem 1's dwelling bound.
+    pub fn pte_spec(&self) -> PteSpec {
+        let entities = (1..=self.n).map(|i| self.entity_name(i)).collect();
+        PteSpec {
+            entities,
+            rule1_bounds: vec![self.max_risky_dwelling(); self.n],
+            pairs: self.safeguards.clone(),
+            tolerance: Time::seconds(1e-6),
+        }
+    }
+
+    /// Structural sanity (dimension agreement); the *semantic* constraints
+    /// are conditions c1–c7, checked by
+    /// [`check_conditions`](crate::pattern::check_conditions).
+    pub fn dimensions_ok(&self) -> bool {
+        self.n >= 2
+            && self.t_enter.len() == self.n
+            && self.t_run.len() == self.n
+            && self.t_exit.len() == self.n
+            && self.safeguards.len() == self.n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_dimensions() {
+        let c = LeaseConfig::case_study();
+        assert!(c.dimensions_ok());
+        assert_eq!(c.n, 2);
+        assert_eq!(c.t_ls1(), Time::seconds(44.0));
+        assert_eq!(c.max_risky_dwelling(), Time::seconds(47.0));
+    }
+
+    #[test]
+    fn entity_names() {
+        let c = LeaseConfig::case_study();
+        assert_eq!(c.entity_name(1), "participant1");
+        assert_eq!(c.entity_name(2), "initializer");
+    }
+
+    #[test]
+    fn pte_spec_shape() {
+        let c = LeaseConfig::case_study();
+        let s = c.pte_spec();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.entities, vec!["participant1", "initializer"]);
+        assert_eq!(s.rule1_bounds[0], Time::seconds(47.0));
+        assert_eq!(s.pairs[0].t_min_risky, Time::seconds(3.0));
+    }
+
+    #[test]
+    fn bad_dimensions_detected() {
+        let mut c = LeaseConfig::case_study();
+        c.t_enter.pop();
+        assert!(!c.dimensions_ok());
+    }
+}

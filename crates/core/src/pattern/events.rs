@@ -1,0 +1,146 @@
+//! Event root naming for the lease pattern.
+//!
+//! Event roots follow the paper's `evtξiToξjKind` scheme, lower-cased for
+//! wire friendliness: `evt_xi{i}_to_xi{j}_{kind}`. Driver-facing commands
+//! (the surgeon's buttons) and environment/sensor events use the `cmd_` /
+//! `env_` prefixes and are delivered reliably (they are local to their
+//! entity), while every `evt_` root crosses the wireless star and is
+//! received with `??` labels.
+
+use pte_hybrid::Root;
+
+/// Generates the canonical event roots for an `N`-entity pattern system.
+#[derive(Clone, Copy, Debug)]
+pub struct EventNames {
+    /// Number of remote entities `N`.
+    pub n: usize,
+}
+
+impl EventNames {
+    /// Creates the naming scheme for `n` remote entities.
+    pub fn new(n: usize) -> EventNames {
+        EventNames { n }
+    }
+
+    /// `evtξNToξ0Req` — the Initializer's lease request.
+    pub fn req(&self) -> Root {
+        Root::new(format!("evt_xi{}_to_xi0_req", self.n))
+    }
+
+    /// `evtξNToξ0Cancel` — the Initializer's cancellation.
+    pub fn cancel_from_initializer(&self) -> Root {
+        Root::new(format!("evt_xi{}_to_xi0_cancel", self.n))
+    }
+
+    /// `evtξ0ToξiLeaseReq` — Supervisor leases Participant `i`.
+    pub fn lease_req(&self, i: usize) -> Root {
+        Root::new(format!("evt_xi0_to_xi{i}_lease_req"))
+    }
+
+    /// `evtξiToξ0LeaseApprove`.
+    pub fn lease_approve(&self, i: usize) -> Root {
+        Root::new(format!("evt_xi{i}_to_xi0_lease_approve"))
+    }
+
+    /// `evtξiToξ0LeaseDeny`.
+    pub fn lease_deny(&self, i: usize) -> Root {
+        Root::new(format!("evt_xi{i}_to_xi0_lease_deny"))
+    }
+
+    /// `evtξ0ToξNApprove` — Supervisor approves the Initializer.
+    pub fn approve(&self) -> Root {
+        Root::new(format!("evt_xi0_to_xi{}_approve", self.n))
+    }
+
+    /// `evtξ0ToξiCancel`.
+    pub fn cancel(&self, i: usize) -> Root {
+        Root::new(format!("evt_xi0_to_xi{i}_cancel"))
+    }
+
+    /// `evtξ0ToξiAbort`.
+    pub fn abort(&self, i: usize) -> Root {
+        Root::new(format!("evt_xi0_to_xi{i}_abort"))
+    }
+
+    /// `evtξiToξ0Exit` — entity `i` reports its return to Fall-Back.
+    pub fn exit(&self, i: usize) -> Root {
+        Root::new(format!("evt_xi{i}_to_xi0_exit"))
+    }
+
+    /// Internal marker emitted when entity `i`'s lease expiry forces the
+    /// exit from Risky Core (the `evtToStop` counted in Table I).
+    pub fn to_stop(&self, i: usize) -> Root {
+        Root::new(format!("evt_to_stop_xi{i}"))
+    }
+
+    /// Driver command: the Initializer's human requests the procedure.
+    pub fn cmd_request(&self) -> Root {
+        Root::new("cmd_request")
+    }
+
+    /// Driver command: the Initializer's human cancels.
+    pub fn cmd_cancel(&self) -> Root {
+        Root::new("cmd_cancel")
+    }
+
+    /// Environment event: `ApprovalCondition` became true (e.g. SpO2 rose
+    /// above threshold). Wired to the Supervisor, hence reliable.
+    pub fn env_approval_ok(&self) -> Root {
+        Root::new("env_approval_ok")
+    }
+
+    /// Environment event: `ApprovalCondition` became false.
+    pub fn env_approval_bad(&self) -> Root {
+        Root::new("env_approval_bad")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_paper_scheme() {
+        let e = EventNames::new(2);
+        assert_eq!(e.req().as_str(), "evt_xi2_to_xi0_req");
+        assert_eq!(e.lease_req(1).as_str(), "evt_xi0_to_xi1_lease_req");
+        assert_eq!(
+            e.lease_approve(1).as_str(),
+            "evt_xi1_to_xi0_lease_approve"
+        );
+        assert_eq!(e.approve().as_str(), "evt_xi0_to_xi2_approve");
+        assert_eq!(e.cancel(1).as_str(), "evt_xi0_to_xi1_cancel");
+        assert_eq!(e.abort(2).as_str(), "evt_xi0_to_xi2_abort");
+        assert_eq!(e.exit(1).as_str(), "evt_xi1_to_xi0_exit");
+        assert_eq!(e.to_stop(2).as_str(), "evt_to_stop_xi2");
+    }
+
+    #[test]
+    fn roots_unique_across_entities() {
+        let e = EventNames::new(4);
+        let mut all = vec![
+            e.req(),
+            e.cancel_from_initializer(),
+            e.approve(),
+            e.cmd_request(),
+            e.cmd_cancel(),
+            e.env_approval_ok(),
+            e.env_approval_bad(),
+        ];
+        for i in 1..=4 {
+            all.extend([
+                e.lease_req(i),
+                e.lease_approve(i),
+                e.lease_deny(i),
+                e.cancel(i),
+                e.abort(i),
+                e.exit(i),
+                e.to_stop(i),
+            ]);
+        }
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "all roots unique");
+    }
+}

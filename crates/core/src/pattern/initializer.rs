@@ -1,0 +1,302 @@
+//! The Initializer design-pattern automaton `A_initzr` (Fig. 5(a)).
+//!
+//! Locations (Section IV-A, Initializer items 1–7):
+//!
+//! * **Fall-Back** (safe) — may request at any time ("human will"): on the
+//!   reliable `cmd_request`, send `evtξNToξ0Req` and move to Requesting;
+//! * **Requesting** (safe) — waits at most `T^max_req,N` for the
+//!   Supervisor's approval; `cmd_cancel` (reporting `evtξNToξ0Cancel`) or
+//!   the timeout return to Fall-Back; `??evtξ0ToξNApprove` moves to
+//!   Entering;
+//! * **Entering** (safe) — exact dwell `T^max_enter,N`, then the risky
+//!   core; `cmd_cancel` or `??Abort` divert to Exiting 2;
+//! * **Risky Core** (risky) — the lease: at most `T^max_run,N`; expiry
+//!   (emitting the `evtToStop` marker), `cmd_cancel` or `??Abort` move to
+//!   Exiting 1;
+//! * **Exiting 1** (risky) / **Exiting 2** (safe) — exact dwell
+//!   `T_exit,N`, then Fall-Back, reporting `evtξNToξ0Exit`.
+
+use crate::pattern::config::LeaseConfig;
+use crate::pattern::events::EventNames;
+use pte_hybrid::{BuildError, Expr, HybridAutomaton, Pred};
+
+/// Builds the Initializer automaton for entity `ξN`.
+pub fn build_initializer(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError> {
+    let n = cfg.n;
+    let ev = EventNames::new(n);
+    let t_req = cfg.t_req_max.as_secs_f64();
+    let t_enter = cfg.t_enter[n - 1].as_secs_f64();
+    let t_run = cfg.t_run[n - 1].as_secs_f64();
+    let t_exit = cfg.t_exit[n - 1].as_secs_f64();
+
+    let mut b = HybridAutomaton::builder(cfg.entity_name(n));
+    let c = b.clock("c");
+
+    let fall_back = b.location("Fall-Back");
+    let requesting = b.location("Requesting");
+    let entering = b.location("Entering");
+    let risky_core = b.risky_location("Risky Core");
+    let exiting1 = b.risky_location("Exiting 1");
+    let exiting2 = b.location("Exiting 2");
+
+    // Fall-Back: request at any time (driver-triggered).
+    b.edge(fall_back, requesting)
+        .on(ev.cmd_request())
+        .reset_clock(c)
+        .emit(ev.req())
+        .done();
+
+    // Requesting: approval, cancel, or timeout.
+    b.invariant(requesting, Pred::le(Expr::var(c), Expr::c(t_req)));
+    b.edge(requesting, entering)
+        .on_lossy(ev.approve())
+        .reset_clock(c)
+        .done();
+    b.edge(requesting, fall_back)
+        .on(ev.cmd_cancel())
+        .reset_clock(c)
+        .emit(ev.cancel_from_initializer())
+        .done();
+    b.edge(requesting, fall_back)
+        .guard(Pred::ge(Expr::var(c), Expr::c(t_req)))
+        .urgent()
+        .reset_clock(c)
+        .done();
+
+    // Entering: exact dwell, divertible to Exiting 2.
+    b.invariant(entering, Pred::le(Expr::var(c), Expr::c(t_enter)));
+    b.edge(entering, risky_core)
+        .guard(Pred::ge(Expr::var(c), Expr::c(t_enter)))
+        .urgent()
+        .reset_clock(c)
+        .done();
+    b.edge(entering, exiting2)
+        .on(ev.cmd_cancel())
+        .reset_clock(c)
+        .emit(ev.cancel_from_initializer())
+        .done();
+    b.edge(entering, exiting2)
+        .on_lossy(ev.abort(n))
+        .reset_clock(c)
+        .done();
+
+    // Risky Core: the lease.
+    b.invariant(risky_core, Pred::le(Expr::var(c), Expr::c(t_run)));
+    b.edge(risky_core, exiting1)
+        .guard(Pred::ge(Expr::var(c), Expr::c(t_run)))
+        .urgent()
+        .reset_clock(c)
+        .emit(ev.to_stop(n))
+        .done();
+    b.edge(risky_core, exiting1)
+        .on(ev.cmd_cancel())
+        .reset_clock(c)
+        .emit(ev.cancel_from_initializer())
+        .done();
+    b.edge(risky_core, exiting1)
+        .on_lossy(ev.abort(n))
+        .reset_clock(c)
+        .done();
+
+    // Exiting 1 / Exiting 2.
+    for exiting in [exiting1, exiting2] {
+        b.invariant(exiting, Pred::le(Expr::var(c), Expr::c(t_exit)));
+        b.edge(exiting, fall_back)
+            .guard(Pred::ge(Expr::var(c), Expr::c(t_exit)))
+            .urgent()
+            .reset_clock(c)
+            .emit(ev.exit(n))
+            .done();
+    }
+
+    b.initial(fall_back, None);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::validate::validate;
+    use pte_hybrid::{Root, Time};
+    use pte_sim::driver::ScriptedDriver;
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    fn initializer() -> HybridAutomaton {
+        build_initializer(&LeaseConfig::case_study()).unwrap()
+    }
+
+    /// Supervisor-side stimulus automaton emitting scripted events.
+    fn stimulus(events: Vec<(f64, String)>) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("stimulus");
+        let c = b.clock("c");
+        let mut prev = b.location("S0");
+        b.initial(prev, None);
+        for (k, (t, root)) in events.iter().enumerate() {
+            let next = b.location(format!("S{}", k + 1));
+            b.also_invariant(prev, Pred::le(Expr::var(c), Expr::c(*t)));
+            b.edge(prev, next)
+                .guard(Pred::ge(Expr::var(c), Expr::c(*t)))
+                .urgent()
+                .emit(root.clone())
+                .done();
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    fn run_with(
+        stim: Vec<(f64, String)>,
+        cmds: Vec<(f64, &str)>,
+        until: f64,
+    ) -> pte_sim::trace::Trace {
+        let mut exec = Executor::new(
+            vec![initializer(), stimulus(stim)],
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "surgeon",
+            cmds.into_iter()
+                .map(|(t, r)| (Time::seconds(t), Root::new(r)))
+                .collect(),
+        )));
+        exec.run_until(Time::seconds(until)).unwrap()
+    }
+
+    #[test]
+    fn structure_valid() {
+        let a = initializer();
+        assert_eq!(a.locations.len(), 6);
+        assert!(a.is_risky(a.loc_by_name("Risky Core").unwrap()));
+        assert!(a.is_risky(a.loc_by_name("Exiting 1").unwrap()));
+        let report = validate(&a);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn request_timeout_returns_to_fall_back() {
+        // Request at t=1; no approval ever: back to Fall-Back at 1 + 5.
+        let trace = run_with(vec![], vec![(1.0, "cmd_request")], 10.0);
+        let fb = trace.location_intervals(0, "Fall-Back");
+        assert_eq!(fb.len(), 2);
+        assert!(fb[1]
+            .start
+            .approx_eq(Time::seconds(6.0), Time::seconds(1e-5)));
+        assert!(!trace.events_with_root("evt_xi2_to_xi0_req").is_empty());
+        assert!(trace.risky_intervals(0).is_empty());
+    }
+
+    #[test]
+    fn full_cycle_with_lease_expiry() {
+        // Approve at t=2: entering 2..12, risky 12..32 (lease), exit 32..33.5.
+        let trace = run_with(
+            vec![(2.0, "evt_xi0_to_xi2_approve".to_string())],
+            vec![(1.0, "cmd_request")],
+            40.0,
+        );
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        assert!(risky[0]
+            .start
+            .approx_eq(Time::seconds(12.0), Time::seconds(1e-5)));
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(33.5), Time::seconds(1e-5)));
+        assert_eq!(trace.events_with_root("evt_to_stop_xi2").len(), 1);
+        assert!(!trace.events_with_root("evt_xi2_to_xi0_exit").is_empty());
+    }
+
+    #[test]
+    fn surgeon_cancel_stops_emission_early() {
+        let trace = run_with(
+            vec![(2.0, "evt_xi0_to_xi2_approve".to_string())],
+            vec![(1.0, "cmd_request"), (15.0, "cmd_cancel")],
+            40.0,
+        );
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        // Risky 12 .. 15 (cancel) + 1.5 (exit) = 16.5.
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(16.5), Time::seconds(1e-5)));
+        assert!(trace.events_with_root("evt_to_stop_xi2").is_empty());
+        assert!(!trace
+            .events_with_root("evt_xi2_to_xi0_cancel")
+            .is_empty());
+    }
+
+    #[test]
+    fn abort_during_entering_diverts_to_exiting2() {
+        let trace = run_with(
+            vec![
+                (2.0, "evt_xi0_to_xi2_approve".to_string()),
+                (5.0, "evt_xi0_to_xi2_abort".to_string()),
+            ],
+            vec![(1.0, "cmd_request")],
+            20.0,
+        );
+        assert!(trace.risky_intervals(0).is_empty(), "aborted before risky");
+        assert!(!trace.events_with_root("evt_xi2_to_xi0_exit").is_empty());
+    }
+
+    #[test]
+    fn abort_during_risky_core_forces_exit() {
+        let trace = run_with(
+            vec![
+                (2.0, "evt_xi0_to_xi2_approve".to_string()),
+                (20.0, "evt_xi0_to_xi2_abort".to_string()),
+            ],
+            vec![(1.0, "cmd_request")],
+            30.0,
+        );
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        // Risky 12 .. 20 (abort) + 1.5 = 21.5.
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(21.5), Time::seconds(1e-5)));
+    }
+
+    #[test]
+    fn cancel_while_requesting_reports_to_supervisor() {
+        let trace = run_with(
+            vec![],
+            vec![(1.0, "cmd_request"), (3.0, "cmd_cancel")],
+            10.0,
+        );
+        assert!(!trace
+            .events_with_root("evt_xi2_to_xi0_cancel")
+            .is_empty());
+        assert!(trace.risky_intervals(0).is_empty());
+    }
+
+    #[test]
+    fn stale_approve_after_timeout_is_ignored() {
+        // Approval arrives at t=8, after the 5 s request window expired.
+        let trace = run_with(
+            vec![(8.0, "evt_xi0_to_xi2_approve".to_string())],
+            vec![(1.0, "cmd_request")],
+            20.0,
+        );
+        assert!(trace.risky_intervals(0).is_empty());
+    }
+
+    #[test]
+    fn risky_dwell_never_exceeds_lease_plus_exit() {
+        // Even with no supervisor response at all after approval, the
+        // initializer's risky dwelling is bounded by T_run + T_exit.
+        let trace = run_with(
+            vec![(2.0, "evt_xi0_to_xi2_approve".to_string())],
+            vec![(1.0, "cmd_request")],
+            60.0,
+        );
+        let cfg = LeaseConfig::case_study();
+        for iv in trace.risky_intervals(0) {
+            assert!(
+                iv.duration() <= cfg.t_run[1] + cfg.t_exit[1] + Time::seconds(1e-5),
+                "risky dwell {} exceeds lease bound",
+                iv.duration()
+            );
+        }
+    }
+}

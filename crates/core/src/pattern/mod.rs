@@ -1,0 +1,36 @@
+//! The lease-based design pattern (Section IV-A).
+//!
+//! Three roles cooperate to let an Initializer perform a risky activity
+//! while preserving the PTE safety rules under arbitrary wireless loss:
+//!
+//! * the **Supervisor** `ξ0` (base station) orchestrates: it leases the
+//!   Participants in PTE order, then approves the Initializer, and walks
+//!   the cancel/abort chain in reverse order afterwards;
+//! * each **Participant** `ξi` (`i = 1 … N−1`) enters its risky locations
+//!   only under a lease — a local timer that forces the exit path when it
+//!   expires, whether or not any message arrives;
+//! * the **Initializer** `ξN` requests the procedure, runs its risky core
+//!   under its own lease, and may cancel at any time.
+//!
+//! [`check_conditions`] evaluates the closed-form constraints c1–c7 of
+//! Theorem 1; [`build_pattern_system`] assembles the full hybrid system
+//! with the paper's event wiring (all inter-entity events lossy, all
+//! driver/sensor events reliable).
+
+pub mod conditions;
+pub mod config;
+pub mod events;
+pub mod initializer;
+pub mod no_lease;
+pub mod participant;
+pub mod supervisor;
+pub mod system;
+
+pub use conditions::{check_conditions, Condition, ConditionReport};
+pub use config::LeaseConfig;
+pub use events::EventNames;
+pub use initializer::build_initializer;
+pub use no_lease::strip_leases;
+pub use participant::build_participant;
+pub use supervisor::build_supervisor;
+pub use system::{build_pattern_system, PatternSystem};

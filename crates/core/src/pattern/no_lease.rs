@@ -1,0 +1,133 @@
+//! The "without Lease" baseline (Table I's comparison arm).
+//!
+//! The paper's comparison trials disable exactly the lease timers on the
+//! risky dwellings: "the ventilator does not set up a lease timer when it
+//! is pausing, neither does the laser-scalpel set up a lease timer when it
+//! is emitting laser". [`strip_leases`] implements that surgically: the
+//! urgent expiry edge out of **Risky Core** is removed and the location's
+//! dwell invariant is lifted, so the entity leaves its risky core *only*
+//! upon receiving a cancel/abort (or, for the Initializer, the local
+//! `cmd_cancel`). Everything else — entering discipline, exit dwell,
+//! supervisor behaviour — is identical in both arms.
+
+use pte_hybrid::{HybridAutomaton, Pred};
+
+/// Returns a copy of a pattern automaton with the Risky Core lease
+/// disarmed (see module docs). Automata without a "Risky Core" location
+/// are returned unchanged.
+pub fn strip_leases(automaton: &HybridAutomaton) -> HybridAutomaton {
+    let mut a = automaton.clone();
+    let Some(rc) = a.loc_by_name("Risky Core") else {
+        return a;
+    };
+    // Lift the dwell bound.
+    a.locations[rc.0].invariant = Pred::True;
+    // Remove the urgent lease-expiry edge out of Risky Core.
+    a.edges
+        .retain(|e| !(e.src == rc && e.urgent && e.trigger.is_none()));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::config::LeaseConfig;
+    use crate::pattern::initializer::build_initializer;
+    use crate::pattern::participant::build_participant;
+    use pte_hybrid::{Expr, Time};
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    fn stimulus(events: Vec<(f64, String)>) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("stimulus");
+        let c = b.clock("c");
+        let mut prev = b.location("S0");
+        b.initial(prev, None);
+        for (k, (t, root)) in events.iter().enumerate() {
+            let next = b.location(format!("S{}", k + 1));
+            b.also_invariant(prev, Pred::le(Expr::var(c), Expr::c(*t)));
+            b.edge(prev, next)
+                .guard(Pred::ge(Expr::var(c), Expr::c(*t)))
+                .urgent()
+                .emit(root.clone())
+                .done();
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn strips_only_risky_core_lease() {
+        let cfg = LeaseConfig::case_study();
+        let p = build_participant(&cfg, 1, Pred::True).unwrap();
+        let stripped = strip_leases(&p);
+        let rc = stripped.loc_by_name("Risky Core").unwrap();
+        assert_eq!(stripped.locations[rc.0].invariant, Pred::True);
+        assert!(stripped.edges_from(rc).all(|(_, e)| !e.urgent));
+        // Cancel/abort edges preserved.
+        assert_eq!(stripped.edges_from(rc).count(), 2);
+        // Entering discipline intact.
+        let entering = stripped.loc_by_name("Entering").unwrap();
+        assert!(stripped.edges_from(entering).any(|(_, e)| e.urgent));
+        // One less edge overall.
+        assert_eq!(stripped.edges.len(), p.edges.len() - 1);
+    }
+
+    #[test]
+    fn automaton_without_risky_core_unchanged() {
+        let mut b = HybridAutomaton::builder("plain");
+        let l = b.location("L");
+        b.initial(l, None);
+        let a = b.build().unwrap();
+        assert_eq!(strip_leases(&a), a);
+    }
+
+    #[test]
+    fn no_lease_participant_sticks_in_risky_core() {
+        // Leased: auto-exits after T_run = 35 s. Stripped: dwells forever.
+        let cfg = LeaseConfig::case_study();
+        let p = strip_leases(&build_participant(&cfg, 1, Pred::True).unwrap());
+        let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req".to_string())]);
+        let exec = Executor::new(vec![p, stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(300.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        assert!(risky[0].truncated, "still risky at trace end");
+        assert!(risky[0].duration() > Time::seconds(290.0));
+    }
+
+    #[test]
+    fn no_lease_participant_still_obeys_cancel() {
+        let cfg = LeaseConfig::case_study();
+        let p = strip_leases(&build_participant(&cfg, 1, Pred::True).unwrap());
+        let stim = stimulus(vec![
+            (1.0, "evt_xi0_to_xi1_lease_req".to_string()),
+            (100.0, "evt_xi0_to_xi1_cancel".to_string()),
+        ]);
+        let exec = Executor::new(vec![p, stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(200.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        assert!(!risky[0].truncated);
+        // 4 .. 100 + 6 = 106.
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(106.0), Time::seconds(1e-5)));
+    }
+
+    #[test]
+    fn no_lease_initializer_sticks_without_cancel() {
+        let cfg = LeaseConfig::case_study();
+        let i = strip_leases(&build_initializer(&cfg).unwrap());
+        let stim = stimulus(vec![(2.0, "evt_xi0_to_xi2_approve".to_string())]);
+        let mut exec = Executor::new(vec![i, stim], ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(pte_sim::driver::ScriptedDriver::new(
+            "surgeon",
+            vec![(Time::seconds(1.0), pte_hybrid::Root::new("cmd_request"))],
+        )));
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        assert!(risky[0].truncated, "laser stuck emitting");
+        assert!(trace.events_with_root("evt_to_stop_xi2").is_empty());
+    }
+}

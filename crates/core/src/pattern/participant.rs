@@ -1,0 +1,300 @@
+//! The Participant design-pattern automaton `A_ptcpnt,i` (Fig. 5(b)).
+//!
+//! Locations (Section IV-A, Participant items 1–7):
+//!
+//! * **Fall-Back** (safe) — on `??evtξ0ToξiLeaseReq`, move to `L0`;
+//! * **L0** (safe, zero dwell) — if `ParticipationCondition` holds, send
+//!   `evtξiToξ0LeaseApprove` and move to Entering, else send
+//!   `evtξiToξ0LeaseDeny` and return to Fall-Back;
+//! * **Entering** (safe) — dwell exactly `T^max_enter,i`, then enter the
+//!   risky core. `??Cancel`/`??Abort` divert to Exiting 2;
+//! * **Risky Core** (risky) — the lease: dwell at most `T^max_run,i`;
+//!   expiry, `??Cancel` or `??Abort` move to Exiting 1;
+//! * **Exiting 1** (risky) / **Exiting 2** (safe) — dwell exactly
+//!   `T_exit,i`, then return to Fall-Back, reporting `evtξiToξ0Exit`.
+//!
+//! The lease-expiry edge out of Risky Core emits the internal
+//! `evt_to_stop_xi{i}` marker so runs can count lease rescues (Table I's
+//! `evtToStop` column).
+
+use crate::pattern::config::LeaseConfig;
+use crate::pattern::events::EventNames;
+use pte_hybrid::{BuildError, Expr, HybridAutomaton, Pred};
+
+/// Builds the Participant automaton for entity `ξi` (`1 ≤ i ≤ N−1`).
+///
+/// `participation_condition` is the application-dependent proposition
+/// checked at L0, over this automaton's own variables (the base pattern
+/// has only the dwell clock, so pass [`Pred::True`] unless the automaton
+/// is later elaborated with variables the condition can reference).
+pub fn build_participant(
+    cfg: &LeaseConfig,
+    i: usize,
+    participation_condition: Pred,
+) -> Result<HybridAutomaton, BuildError> {
+    assert!(
+        (1..cfg.n).contains(&i),
+        "participant index must be in 1..N"
+    );
+    let ev = EventNames::new(cfg.n);
+    let t_enter = cfg.t_enter[i - 1].as_secs_f64();
+    let t_run = cfg.t_run[i - 1].as_secs_f64();
+    let t_exit = cfg.t_exit[i - 1].as_secs_f64();
+
+    let mut b = HybridAutomaton::builder(cfg.entity_name(i));
+    let c = b.clock("c");
+
+    let fall_back = b.location("Fall-Back");
+    let l0 = b.location("L0");
+    let entering = b.location("Entering");
+    let risky_core = b.risky_location("Risky Core");
+    let exiting1 = b.risky_location("Exiting 1");
+    let exiting2 = b.location("Exiting 2");
+
+    // Fall-Back: wait for a lease request.
+    b.edge(fall_back, l0)
+        .on_lossy(ev.lease_req(i))
+        .reset_clock(c)
+        .done();
+
+    // L0: zero-dwell decision on ParticipationCondition.
+    b.invariant(l0, Pred::le(Expr::var(c), Expr::c(0.0)));
+    b.edge(l0, entering)
+        .guard(participation_condition.clone())
+        .urgent()
+        .reset_clock(c)
+        .emit(ev.lease_approve(i))
+        .done();
+    // The deny edge is not urgent: it fires only when the invariant forces
+    // an exit and the approve guard is false.
+    b.edge(l0, fall_back)
+        .guard(participation_condition.not())
+        .reset_clock(c)
+        .emit(ev.lease_deny(i))
+        .done();
+
+    // Entering: exact dwell T_enter, divertible to Exiting 2.
+    b.invariant(entering, Pred::le(Expr::var(c), Expr::c(t_enter)));
+    b.edge(entering, risky_core)
+        .guard(Pred::ge(Expr::var(c), Expr::c(t_enter)))
+        .urgent()
+        .reset_clock(c)
+        .done();
+    b.edge(entering, exiting2)
+        .on_lossy(ev.cancel(i))
+        .reset_clock(c)
+        .done();
+    b.edge(entering, exiting2)
+        .on_lossy(ev.abort(i))
+        .reset_clock(c)
+        .done();
+
+    // Risky Core: the lease. Expiry forces Exiting 1.
+    b.invariant(risky_core, Pred::le(Expr::var(c), Expr::c(t_run)));
+    b.edge(risky_core, exiting1)
+        .guard(Pred::ge(Expr::var(c), Expr::c(t_run)))
+        .urgent()
+        .reset_clock(c)
+        .emit(ev.to_stop(i))
+        .done();
+    b.edge(risky_core, exiting1)
+        .on_lossy(ev.cancel(i))
+        .reset_clock(c)
+        .done();
+    b.edge(risky_core, exiting1)
+        .on_lossy(ev.abort(i))
+        .reset_clock(c)
+        .done();
+
+    // Exiting 1 (risky) and Exiting 2 (safe): exact dwell T_exit, then
+    // Fall-Back, reporting the exit to the Supervisor.
+    for exiting in [exiting1, exiting2] {
+        b.invariant(exiting, Pred::le(Expr::var(c), Expr::c(t_exit)));
+        b.edge(exiting, fall_back)
+            .guard(Pred::ge(Expr::var(c), Expr::c(t_exit)))
+            .urgent()
+            .reset_clock(c)
+            .emit(ev.exit(i))
+            .done();
+    }
+
+    b.initial(fall_back, None);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::validate::validate;
+    use pte_hybrid::{LocId, Time};
+    use pte_sim::executor::{Executor, ExecutorConfig};
+    use pte_sim::network::{NetworkBridge, PerfectChannel};
+
+    fn participant() -> HybridAutomaton {
+        build_participant(&LeaseConfig::case_study(), 1, Pred::True).unwrap()
+    }
+
+    /// A scripted counterpart emitting supervisor-side events.
+    fn stimulus(events: Vec<(f64, &str)>) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("stimulus");
+        let c = b.clock("c");
+        let mut prev = b.location("S0");
+        b.initial(prev, None);
+        for (k, (t, root)) in events.iter().enumerate() {
+            let next = b.location(format!("S{}", k + 1));
+            b.also_invariant(prev, Pred::le(Expr::var(c), Expr::c(*t)));
+            b.edge(prev, next)
+                .guard(Pred::ge(Expr::var(c), Expr::c(*t)))
+                .urgent()
+                .emit(*root)
+                .done();
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_matches_pattern() {
+        let p = participant();
+        assert_eq!(p.locations.len(), 6);
+        assert!(p.is_risky(p.loc_by_name("Risky Core").unwrap()));
+        assert!(p.is_risky(p.loc_by_name("Exiting 1").unwrap()));
+        assert!(!p.is_risky(p.loc_by_name("Exiting 2").unwrap()));
+        assert!(!p.is_risky(p.loc_by_name("Entering").unwrap()));
+        assert_eq!(p.initial_locations(), vec![LocId(0)]);
+        let report = validate(&p);
+        // The deny edge with guard `!true` = false is intentionally dead
+        // when the participation condition is trivially true; no other
+        // findings are acceptable.
+        for f in &report.findings {
+            let s = format!("{f}");
+            assert!(s.contains("guard"), "unexpected finding: {s}");
+        }
+    }
+
+    #[test]
+    fn lease_expiry_forces_exit_without_any_message() {
+        // Lease the participant, then never send anything again: it must
+        // return to Fall-Back by itself after T_enter + T_run + T_exit.
+        let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req")]);
+        let exec = Executor::new(
+            vec![participant(), stim],
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let trace = exec.run_until(Time::seconds(50.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        // Risky from 1 + 3 (enter) to 1 + 3 + 35 + 6 (lease + exit).
+        assert!(risky[0]
+            .start
+            .approx_eq(Time::seconds(4.0), Time::seconds(1e-5)));
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(45.0), Time::seconds(1e-5)));
+        // Lease rescue marker emitted.
+        assert_eq!(trace.events_with_root("evt_to_stop_xi1").len(), 1);
+        // Exit report emitted on return to Fall-Back.
+        assert!(!trace.events_with_root("evt_xi1_to_xi0_exit").is_empty());
+    }
+
+    #[test]
+    fn cancel_in_risky_core_shortens_dwell() {
+        let stim = stimulus(vec![
+            (1.0, "evt_xi0_to_xi1_lease_req"),
+            (10.0, "evt_xi0_to_xi1_cancel"),
+        ]);
+        let exec = Executor::new(vec![participant(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(30.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        // Risky 4 .. 10 (cancel) + 6 (Exiting 1) = 16.
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(16.0), Time::seconds(1e-5)));
+        // No lease rescue needed.
+        assert!(trace.events_with_root("evt_to_stop_xi1").is_empty());
+    }
+
+    #[test]
+    fn abort_during_entering_avoids_risky_entirely() {
+        let stim = stimulus(vec![
+            (1.0, "evt_xi0_to_xi1_lease_req"),
+            (2.0, "evt_xi0_to_xi1_abort"),
+        ]);
+        let exec = Executor::new(vec![participant(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(20.0)).unwrap();
+        assert!(trace.risky_intervals(0).is_empty(), "never entered risky");
+        // Still reports exit after Exiting 2.
+        assert!(!trace.events_with_root("evt_xi1_to_xi0_exit").is_empty());
+    }
+
+    #[test]
+    fn deny_when_participation_condition_false() {
+        let p = build_participant(&LeaseConfig::case_study(), 1, Pred::False).unwrap();
+        let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req")]);
+        let exec = Executor::new(vec![p, stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(10.0)).unwrap();
+        assert!(!trace.events_with_root("evt_xi1_to_xi0_lease_deny").is_empty());
+        assert!(trace.events_with_root("evt_xi1_to_xi0_lease_approve").is_empty());
+        assert!(trace.risky_intervals(0).is_empty());
+    }
+
+    #[test]
+    fn approve_emitted_on_lease() {
+        let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req")]);
+        let exec = Executor::new(vec![participant(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(2.0)).unwrap();
+        let approvals = trace.events_with_root("evt_xi1_to_xi0_lease_approve");
+        assert_eq!(approvals.len(), 1);
+    }
+
+    #[test]
+    fn repeated_rounds_work() {
+        let stim = stimulus(vec![
+            (1.0, "evt_xi0_to_xi1_lease_req"),
+            (5.0, "evt_xi0_to_xi1_cancel"),
+            // Second lease after the first exit completes (5 + 6 = 11).
+            (20.0, "evt_xi0_to_xi1_lease_req"),
+        ]);
+        let exec = Executor::new(vec![participant(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(70.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 2, "{risky:?}");
+    }
+
+    #[test]
+    fn lease_req_ignored_outside_fall_back() {
+        // Second lease request arrives while still in Risky Core: ignored.
+        let stim = stimulus(vec![
+            (1.0, "evt_xi0_to_xi1_lease_req"),
+            (10.0, "evt_xi0_to_xi1_lease_req"),
+        ]);
+        let exec = Executor::new(vec![participant(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(50.0)).unwrap();
+        assert_eq!(
+            trace.risky_intervals(0).len(),
+            1,
+            "one dwelling per lease round"
+        );
+        assert_eq!(
+            trace
+                .events_with_root("evt_xi1_to_xi0_lease_approve")
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn perfect_bridge_is_default() {
+        // Sanity: with the default bridge, lossy edges behave reliably.
+        let mut exec =
+            Executor::new(vec![participant(), stimulus(vec![])], ExecutorConfig::default())
+                .unwrap();
+        let mut bridge = NetworkBridge::perfect();
+        bridge.set_default(Box::new(PerfectChannel));
+        exec.set_bridge(bridge);
+        let trace = exec.run_until(Time::seconds(1.0)).unwrap();
+        assert_eq!(trace.risky_intervals(0).len(), 0);
+    }
+}

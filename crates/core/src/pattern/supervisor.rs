@@ -1,0 +1,502 @@
+//! The Supervisor design-pattern automaton `A_supvsr` (Fig. 3 / Fig. 4).
+//!
+//! Locations: `Fall-Back`, `Lease ξ1 … Lease ξN`, `Cancel Lease ξN … ξ1`,
+//! and `Abort Lease ξN … ξ1` (3N + 1 locations).
+//!
+//! The paper gives Fig. 4 only as flow-block sketches; the edges here are
+//! reconstructed from the prose of Section IV-A, the proof sketch of
+//! Theorem 1, and the Section V scenario walkthroughs (see DESIGN.md):
+//!
+//! * **Fall-Back** — on `??evtξNToξ0Req`, if the Supervisor has dwelt at
+//!   least `T^min_fb,0` *and* `ApprovalCondition` holds, move to
+//!   `Lease ξ1`, sending `evtξ0Toξ1LeaseReq`;
+//! * **Lease ξi** (`i < N`, Fig. 4(a)) — wait at most `T^max_wait` for
+//!   `??LeaseApprove_i`; approval advances the chain (sending the next
+//!   lease request, or `evtξ0ToξNApprove` when `i+1 = N`); denial,
+//!   timeout, or an `ApprovalCondition` violation starts the **abort**
+//!   chain at `ξi` (covering the case where `ξi` approved but the approval
+//!   was lost); an Initializer cancel starts the **cancel** chain at `ξi`;
+//! * **Lease ξN** (Fig. 4(b)) — the procedure is live. `??Exit_N` (the
+//!   Initializer finished), an Initializer cancel, the overall lease
+//!   budget `T^max_LS1` expiring, or an `ApprovalCondition` violation all
+//!   lead into the wind-down chains;
+//! * **Cancel/Abort Lease ξi** (Fig. 4(c)) — the cancel (resp. abort)
+//!   event for `ξi` was sent on the ingress edge; `??Exit_i` advances the
+//!   chain immediately. If the exit report is lost, the Supervisor may
+//!   only proceed inward once `ξi` is *provably* back in Fall-Back: the
+//!   grant clock `g_i` (running since `LeaseReq_i` was sent this round)
+//!   must exceed `ξi`'s whole lease span
+//!   `W_i = T^max_enter,i + T^max_run,i + T_exit,i`. Proceeding after
+//!   only `T^max_wait` is unsound — with the cancel to `ξi` lost, `ξi`
+//!   dwells risky until its lease expires, and cancelling `ξi−1` early
+//!   breaks p2 coverage; our executor-based exploration found exactly
+//!   this interleaving (see DESIGN.md). On the ordinary post-procedure
+//!   walk `g_i ≥ W_i` already holds, so the confirmed and unconfirmed
+//!   paths cost the same wall-clock time.
+//!
+//! `ApprovalCondition` is the predicate `approval_bad ≤ 0.5` over a data
+//! state variable maintained by the reliable environment events
+//! `env_approval_ok` / `env_approval_bad` (the wired SpO2 sensor of the
+//! case study). All-zero initial data means the condition initially holds.
+
+use crate::pattern::config::LeaseConfig;
+use crate::pattern::events::EventNames;
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::{BuildError, Expr, HybridAutomaton, LocId, Pred};
+
+/// Builds the Supervisor automaton `ξ0` for a configuration.
+pub fn build_supervisor(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError> {
+    let n = cfg.n;
+    let ev = EventNames::new(n);
+    let t_wait = cfg.t_wait_max.as_secs_f64();
+    let t_fb0 = cfg.t_fb0_min.as_secs_f64();
+    let t_ls1 = cfg.t_ls1().as_secs_f64();
+
+    let mut b = HybridAutomaton::builder("supervisor");
+    let c = b.clock("c");
+    let approval_bad = b.var("approval_bad", VarKind::Continuous, 0.0);
+    let approval_ok_pred = Pred::le(Expr::var(approval_bad), Expr::c(0.5));
+    // Grant clocks: g_i measures the time since lease_req_i (resp. the
+    // initializer's approve) was sent this round. The wind-down chains
+    // advance once g_i exceeds ξi's worst-case lease span W_i — usually
+    // already true by the time the chain arrives, so lost exit reports
+    // rarely cost wall-clock time while remaining provably safe.
+    let grant: Vec<pte_hybrid::VarId> =
+        (1..=n).map(|i| b.clock(format!("g{i}"))).collect();
+
+    let fall_back = b.location("Fall-Back");
+    let lease: Vec<LocId> = (1..=n)
+        .map(|i| b.location(format!("Lease xi{i}")))
+        .collect();
+    let cancel: Vec<LocId> = (1..=n)
+        .map(|i| b.location(format!("Cancel Lease xi{i}")))
+        .collect();
+    let abort: Vec<LocId> = (1..=n)
+        .map(|i| b.location(format!("Abort Lease xi{i}")))
+        .collect();
+
+    // --- Fall-Back -------------------------------------------------------
+    b.edge(fall_back, lease[0])
+        .on_lossy(ev.req())
+        .guard(
+            Pred::ge(Expr::var(c), Expr::c(t_fb0)).and(approval_ok_pred.clone()),
+        )
+        .reset_clock(c)
+        .reset_clock(grant[0])
+        .emit(ev.lease_req(1))
+        .done();
+    // Environment maintenance self-loops.
+    b.edge(fall_back, fall_back)
+        .on(ev.env_approval_ok())
+        .reset(approval_bad, Expr::c(0.0))
+        .done();
+    b.edge(fall_back, fall_back)
+        .on(ev.env_approval_bad())
+        .reset(approval_bad, Expr::c(1.0))
+        .done();
+
+    // --- Lease ξi, i = 1 … N−1 (Fig. 4(a)) -------------------------------
+    for i in 1..n {
+        let here = lease[i - 1];
+        b.invariant(here, Pred::le(Expr::var(c), Expr::c(t_wait)));
+
+        // Approval advances the chain.
+        let next_emit = if i + 1 == n {
+            ev.approve()
+        } else {
+            ev.lease_req(i + 1)
+        };
+        b.edge(here, lease[i])
+            .on_lossy(ev.lease_approve(i))
+            .reset_clock(c)
+            .reset_clock(grant[i])
+            .emit(next_emit)
+            .done();
+
+        // Denial, timeout and ApprovalCondition violation start the abort
+        // chain at ξi (its approval may have been sent and lost).
+        b.edge(here, abort[i - 1])
+            .on_lossy(ev.lease_deny(i))
+            .reset_clock(c)
+            .emit(ev.abort(i))
+            .done();
+        b.edge(here, abort[i - 1])
+            .guard(Pred::ge(Expr::var(c), Expr::c(t_wait)))
+            .urgent()
+            .reset_clock(c)
+            .emit(ev.abort(i))
+            .done();
+        b.edge(here, abort[i - 1])
+            .on(ev.env_approval_bad())
+            .reset(approval_bad, Expr::c(1.0))
+            .reset_clock(c)
+            .emit(ev.abort(i))
+            .done();
+
+        // Initializer cancel starts the cancel chain at ξi.
+        b.edge(here, cancel[i - 1])
+            .on_lossy(ev.cancel_from_initializer())
+            .reset_clock(c)
+            .emit(ev.cancel(i))
+            .done();
+
+        // Environment ok self-loop.
+        b.edge(here, here)
+            .on(ev.env_approval_ok())
+            .reset(approval_bad, Expr::c(0.0))
+            .done();
+    }
+
+    // --- Lease ξN (Fig. 4(b)) ---------------------------------------------
+    {
+        let here = lease[n - 1];
+        b.invariant(here, Pred::le(Expr::var(c), Expr::c(t_ls1)));
+
+        // Next stop of the wind-down chain after the Initializer is done.
+        let (wind_down_dst, wind_down_emit) = if n >= 2 {
+            (cancel[n - 2], ev.cancel(n - 1))
+        } else {
+            unreachable!("the pattern requires N >= 2")
+        };
+
+        // Initializer reports completion.
+        b.edge(here, wind_down_dst)
+            .on_lossy(ev.exit(n))
+            .reset_clock(c)
+            .emit(wind_down_emit.clone())
+            .done();
+        // Initializer cancels mid-procedure: cancel it first (it may never
+        // have received the approval), then walk inward.
+        b.edge(here, cancel[n - 1])
+            .on_lossy(ev.cancel_from_initializer())
+            .reset_clock(c)
+            .emit(ev.cancel(n))
+            .done();
+        // Lease budget expiry (e.g. the exit report was lost): by c4 every
+        // entity's own lease has expired by now, so walk the cancel chain.
+        b.edge(here, wind_down_dst)
+            .guard(Pred::ge(Expr::var(c), Expr::c(t_ls1)))
+            .urgent()
+            .reset_clock(c)
+            .emit(wind_down_emit)
+            .done();
+        // ApprovalCondition violated: abort the Initializer immediately.
+        b.edge(here, abort[n - 1])
+            .on(ev.env_approval_bad())
+            .reset(approval_bad, Expr::c(1.0))
+            .reset_clock(c)
+            .emit(ev.abort(n))
+            .done();
+        b.edge(here, here)
+            .on(ev.env_approval_ok())
+            .reset(approval_bad, Expr::c(0.0))
+            .done();
+    }
+
+    // --- Cancel / Abort chains (Fig. 4(c)) --------------------------------
+    for (chain, emit_kind) in [(&cancel, false), (&abort, true)] {
+        for i in (1..=n).rev() {
+            let here = chain[i - 1];
+            // Safe inward-walk budget: ξi's lease provably expires once
+            // g_i >= W_i (its grant was g_i ago; the whole span is W_i).
+            let w_i = (cfg.t_enter[i - 1] + cfg.t_run[i - 1] + cfg.t_exit[i - 1])
+                .as_secs_f64();
+            let g_i = grant[i - 1];
+            b.invariant(here, Pred::le(Expr::var(g_i), Expr::c(w_i)));
+            let (dst, emit) = if i > 1 {
+                (
+                    chain[i - 2],
+                    Some(if emit_kind {
+                        ev.abort(i - 1)
+                    } else {
+                        ev.cancel(i - 1)
+                    }),
+                )
+            } else {
+                (fall_back, None)
+            };
+            // Exit report or timeout both advance the chain.
+            let e1 = b.edge(here, dst).on_lossy(ev.exit(i)).reset_clock(c);
+            match &emit {
+                Some(root) => e1.emit(root.clone()).done(),
+                None => e1.done(),
+            };
+            let e2 = b
+                .edge(here, dst)
+                .guard(Pred::ge(Expr::var(g_i), Expr::c(w_i)))
+                .urgent()
+                .reset_clock(c);
+            match &emit {
+                Some(root) => e2.emit(root.clone()).done(),
+                None => e2.done(),
+            };
+            // Environment maintenance (no abort escalation while already
+            // winding down).
+            b.edge(here, here)
+                .on(ev.env_approval_ok())
+                .reset(approval_bad, Expr::c(0.0))
+                .done();
+            b.edge(here, here)
+                .on(ev.env_approval_bad())
+                .reset(approval_bad, Expr::c(1.0))
+                .done();
+        }
+    }
+
+    b.initial(fall_back, None);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::validate::validate;
+    use pte_hybrid::Time;
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    fn supervisor() -> HybridAutomaton {
+        build_supervisor(&LeaseConfig::case_study()).unwrap()
+    }
+
+    /// Remote-side stimulus emitting scripted events.
+    fn stimulus(events: Vec<(f64, String)>) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("stimulus");
+        let c = b.clock("c");
+        let mut prev = b.location("S0");
+        b.initial(prev, None);
+        for (k, (t, root)) in events.iter().enumerate() {
+            let next = b.location(format!("S{}", k + 1));
+            b.also_invariant(prev, Pred::le(Expr::var(c), Expr::c(*t)));
+            b.edge(prev, next)
+                .guard(Pred::ge(Expr::var(c), Expr::c(*t)))
+                .urgent()
+                .emit(root.clone())
+                .done();
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    fn names(trace: &pte_sim::trace::Trace, aut: usize) -> Vec<String> {
+        trace
+            .location_history(aut)
+            .iter()
+            .map(|(_, l)| trace.meta[aut].loc_names[l.0].clone())
+            .collect()
+    }
+
+    #[test]
+    fn structure_and_validation() {
+        let s = supervisor();
+        // 3N + 1 locations for N = 2.
+        assert_eq!(s.locations.len(), 7);
+        assert!(s.loc_by_name("Lease xi1").is_some());
+        assert!(s.loc_by_name("Lease xi2").is_some());
+        assert!(s.loc_by_name("Cancel Lease xi2").is_some());
+        assert!(s.loc_by_name("Abort Lease xi1").is_some());
+        let report = validate(&s);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn request_before_fb_dwell_is_ignored() {
+        // Request arrives at t=1 < T_fb0 = 13: supervisor stays put.
+        let stim = stimulus(vec![(1.0, "evt_xi2_to_xi0_req".to_string())]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(5.0)).unwrap();
+        assert_eq!(trace.location_history(0).len(), 1);
+    }
+
+    #[test]
+    fn happy_path_walks_the_full_chain() {
+        let stim = stimulus(vec![
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+            (15.0, "evt_xi1_to_xi0_lease_approve".to_string()),
+            (40.0, "evt_xi2_to_xi0_exit".to_string()),
+            (41.0, "evt_xi1_to_xi0_exit".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(60.0)).unwrap();
+        assert_eq!(
+            names(&trace, 0),
+            vec![
+                "Fall-Back",
+                "Lease xi1",
+                "Lease xi2",
+                "Cancel Lease xi1",
+                "Fall-Back"
+            ]
+        );
+        // Events emitted along the way.
+        assert!(!trace.events_with_root("evt_xi0_to_xi1_lease_req").is_empty());
+        assert!(!trace.events_with_root("evt_xi0_to_xi2_approve").is_empty());
+        assert!(!trace.events_with_root("evt_xi0_to_xi1_cancel").is_empty());
+    }
+
+    #[test]
+    fn approval_timeout_aborts_from_xi1() {
+        let stim = stimulus(vec![(14.0, "evt_xi2_to_xi0_req".to_string())]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(70.0)).unwrap();
+        let ns = names(&trace, 0);
+        assert_eq!(
+            ns,
+            vec!["Fall-Back", "Lease xi1", "Abort Lease xi1", "Fall-Back"],
+            "{ns:?}"
+        );
+        assert!(!trace.events_with_root("evt_xi0_to_xi1_abort").is_empty());
+        // Approval timeout at 14 + T_wait = 17; with the exit report never
+        // arriving, the chain advances once the grant clock g_1 (running
+        // since 14) reaches ξ1's worst-case lease span W_1 = 3 + 35 + 6 =
+        // 44: Fall-Back at 14 + 44 = 58.
+        let h = trace.location_history(0);
+        assert!(h[2].0.approx_eq(Time::seconds(17.0), Time::seconds(1e-5)));
+        assert!(h[3].0.approx_eq(Time::seconds(58.0), Time::seconds(1e-5)));
+    }
+
+    #[test]
+    fn deny_aborts_chain() {
+        let stim = stimulus(vec![
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+            (14.5, "evt_xi1_to_xi0_lease_deny".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(30.0)).unwrap();
+        let ns = names(&trace, 0);
+        assert!(ns.contains(&"Abort Lease xi1".to_string()), "{ns:?}");
+    }
+
+    #[test]
+    fn lease_budget_expiry_cancels_chain() {
+        // Approval arrives but the initializer's exit report never does:
+        // the supervisor leaves Lease xi2 after T_LS1 = 44 s.
+        let stim = stimulus(vec![
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+            (15.0, "evt_xi1_to_xi0_lease_approve".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+        let h = trace.location_history(0);
+        let ns = names(&trace, 0);
+        assert_eq!(
+            ns,
+            vec![
+                "Fall-Back",
+                "Lease xi1",
+                "Lease xi2",
+                "Cancel Lease xi1",
+                "Fall-Back"
+            ]
+        );
+        // Lease xi2 entered at 15, left at 15 + 44 = 59; by then the grant
+        // clock g_1 (running since 14) is 45 >= W_1 = 44, so the cancel
+        // chain falls through to Fall-Back immediately.
+        assert!(h[3].0.approx_eq(Time::seconds(59.0), Time::seconds(1e-5)));
+        assert!(h[4].0.approx_eq(Time::seconds(59.0), Time::seconds(1e-5)));
+    }
+
+    #[test]
+    fn initializer_cancel_cancels_initializer_first() {
+        let stim = stimulus(vec![
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+            (15.0, "evt_xi1_to_xi0_lease_approve".to_string()),
+            (20.0, "evt_xi2_to_xi0_cancel".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(60.0)).unwrap();
+        let ns = names(&trace, 0);
+        assert!(
+            ns.contains(&"Cancel Lease xi2".to_string()),
+            "cancel chain includes the initializer: {ns:?}"
+        );
+        assert!(!trace.events_with_root("evt_xi0_to_xi2_cancel").is_empty());
+        assert!(!trace.events_with_root("evt_xi0_to_xi1_cancel").is_empty());
+    }
+
+    #[test]
+    fn approval_condition_gates_fall_back() {
+        // env_approval_bad before the request: the request is ignored.
+        let stim = stimulus(vec![
+            (1.0, "env_approval_bad".to_string()),
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(20.0)).unwrap();
+        // Only env self-loop transitions; never leaves Fall-Back.
+        let ns = names(&trace, 0);
+        assert!(ns.iter().all(|l| l == "Fall-Back"), "{ns:?}");
+    }
+
+    #[test]
+    fn approval_recovery_unblocks() {
+        let stim = stimulus(vec![
+            (1.0, "env_approval_bad".to_string()),
+            (2.0, "env_approval_ok".to_string()),
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(20.0)).unwrap();
+        let ns = names(&trace, 0);
+        assert!(ns.contains(&"Lease xi1".to_string()), "{ns:?}");
+    }
+
+    #[test]
+    fn approval_violation_mid_procedure_aborts() {
+        let stim = stimulus(vec![
+            (14.0, "evt_xi2_to_xi0_req".to_string()),
+            (15.0, "evt_xi1_to_xi0_lease_approve".to_string()),
+            (20.0, "env_approval_bad".to_string()),
+        ]);
+        let exec = Executor::new(vec![supervisor(), stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(60.0)).unwrap();
+        let ns = names(&trace, 0);
+        assert!(ns.contains(&"Abort Lease xi2".to_string()), "{ns:?}");
+        assert!(!trace.events_with_root("evt_xi0_to_xi2_abort").is_empty());
+        assert!(!trace.events_with_root("evt_xi0_to_xi1_abort").is_empty());
+    }
+
+    #[test]
+    fn n3_supervisor_chains() {
+        let cfg = LeaseConfig {
+            n: 3,
+            t_fb0_min: Time::seconds(10.0),
+            t_wait_max: Time::seconds(2.0),
+            t_req_max: Time::seconds(5.0),
+            t_enter: vec![Time::seconds(2.0), Time::seconds(6.0), Time::seconds(10.0)],
+            t_run: vec![
+                Time::seconds(60.0),
+                Time::seconds(40.0),
+                Time::seconds(15.0),
+            ],
+            t_exit: vec![Time::seconds(6.0), Time::seconds(4.0), Time::seconds(1.0)],
+            safeguards: vec![
+                crate::rules::PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+                crate::rules::PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+            ],
+        };
+        let s = build_supervisor(&cfg).unwrap();
+        assert_eq!(s.locations.len(), 10);
+        let stim = stimulus(vec![
+            (11.0, "evt_xi3_to_xi0_req".to_string()),
+            (11.5, "evt_xi1_to_xi0_lease_approve".to_string()),
+            (12.0, "evt_xi2_to_xi0_lease_approve".to_string()),
+            (30.0, "evt_xi3_to_xi0_exit".to_string()),
+            (31.0, "evt_xi2_to_xi0_exit".to_string()),
+            (32.0, "evt_xi1_to_xi0_exit".to_string()),
+        ]);
+        let exec = Executor::new(vec![s, stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(60.0)).unwrap();
+        assert_eq!(
+            names(&trace, 0),
+            vec![
+                "Fall-Back",
+                "Lease xi1",
+                "Lease xi2",
+                "Lease xi3",
+                "Cancel Lease xi2",
+                "Cancel Lease xi1",
+                "Fall-Back"
+            ]
+        );
+    }
+}

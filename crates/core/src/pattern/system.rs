@@ -1,0 +1,190 @@
+//! Assembly of the complete lease-pattern hybrid system.
+//!
+//! Index convention (matching `pte_wireless::topology::StarTopology`
+//! usage downstream): automaton `0` is the Supervisor `ξ0`, automata
+//! `1 … N−1` are Participants `ξ1 … ξN−1`, automaton `N` is the
+//! Initializer `ξN`.
+
+use crate::pattern::config::LeaseConfig;
+use crate::pattern::initializer::build_initializer;
+use crate::pattern::no_lease::strip_leases;
+use crate::pattern::participant::build_participant;
+use crate::pattern::supervisor::build_supervisor;
+use pte_hybrid::{BuildError, HybridAutomaton, Pred};
+
+/// A fully assembled pattern system.
+#[derive(Clone, Debug)]
+pub struct PatternSystem {
+    /// `automata[0]` = Supervisor, `automata[i]` = `ξi`.
+    pub automata: Vec<HybridAutomaton>,
+    /// The configuration the system was built from.
+    pub config: LeaseConfig,
+    /// Whether leases are armed (`false` = the Table I baseline).
+    pub leased: bool,
+}
+
+impl PatternSystem {
+    /// Automaton index of the Supervisor.
+    pub fn supervisor_index(&self) -> usize {
+        0
+    }
+
+    /// Automaton index of the Initializer (`ξN`).
+    pub fn initializer_index(&self) -> usize {
+        self.config.n
+    }
+
+    /// Automaton indices of the remote entities `ξ1 … ξN`.
+    pub fn remote_indices(&self) -> Vec<usize> {
+        (1..=self.config.n).collect()
+    }
+}
+
+/// Builds the N-entity lease-pattern system.
+///
+/// With `leased = false`, the Risky Core lease timers of every remote
+/// entity are stripped (the paper's "without Lease" comparison arm); the
+/// Supervisor is unchanged in both arms.
+pub fn build_pattern_system(
+    cfg: &LeaseConfig,
+    leased: bool,
+) -> Result<PatternSystem, BuildError> {
+    let mut automata = Vec::with_capacity(cfg.n + 1);
+    automata.push(build_supervisor(cfg)?);
+    for i in 1..cfg.n {
+        let mut p = build_participant(cfg, i, Pred::True)?;
+        if !leased {
+            p = strip_leases(&p);
+        }
+        automata.push(p);
+    }
+    let mut init = build_initializer(cfg)?;
+    if !leased {
+        init = strip_leases(&init);
+    }
+    automata.push(init);
+    Ok(PatternSystem {
+        automata,
+        config: cfg.clone(),
+        leased,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::check_pte;
+    use pte_hybrid::{Root, Time};
+    use pte_sim::driver::ScriptedDriver;
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    #[test]
+    fn assembly_shape() {
+        let sys = build_pattern_system(&LeaseConfig::case_study(), true).unwrap();
+        assert_eq!(sys.automata.len(), 3);
+        assert_eq!(sys.automata[0].name, "supervisor");
+        assert_eq!(sys.automata[1].name, "participant1");
+        assert_eq!(sys.automata[2].name, "initializer");
+        assert_eq!(sys.supervisor_index(), 0);
+        assert_eq!(sys.initializer_index(), 2);
+        assert_eq!(sys.remote_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn event_wiring_is_closed() {
+        // Every evt_ root received by someone is emitted by someone else.
+        let sys = build_pattern_system(&LeaseConfig::case_study(), true).unwrap();
+        let mut emitted: Vec<String> = Vec::new();
+        for a in &sys.automata {
+            for r in a.emit_roots() {
+                emitted.push(r.as_str().to_string());
+            }
+        }
+        for a in &sys.automata {
+            for (root, _) in a.receive_roots() {
+                let s = root.as_str();
+                if s.starts_with("evt_") {
+                    assert!(
+                        emitted.iter().any(|e| e == s),
+                        "root `{s}` received by `{}` but never emitted",
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// End-to-end: perfect links, one full procedure, PTE rules hold with
+    /// the expected margins.
+    #[test]
+    fn happy_path_full_procedure_is_pte_safe() {
+        let cfg = LeaseConfig::case_study();
+        let sys = build_pattern_system(&cfg, true).unwrap();
+        let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "surgeon",
+            vec![
+                (Time::seconds(14.0), Root::new("cmd_request")),
+                (Time::seconds(40.0), Root::new("cmd_cancel")),
+            ],
+        )));
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+
+        // The ventilator (participant1) and laser (initializer) both saw
+        // exactly one risky dwelling.
+        let vent_risky = trace.risky_intervals(1);
+        let laser_risky = trace.risky_intervals(2);
+        assert_eq!(vent_risky.len(), 1, "{vent_risky:?}");
+        assert_eq!(laser_risky.len(), 1, "{laser_risky:?}");
+
+        let report = check_pte(&trace, &cfg.pte_spec());
+        assert!(report.is_safe(), "{report}");
+
+        // Enter lead >= 3 s by c5 (here 3 + enter spacing): the laser
+        // enters risky T_enter,2 - T_enter,1 = 7 s after the ventilator.
+        let lead = report.margins[0].enter_lead.unwrap();
+        assert!(
+            lead.approx_eq(Time::seconds(7.0), Time::seconds(0.01)),
+            "lead {lead}"
+        );
+    }
+
+    /// The lease guarantee end-to-end: all wireless events lost, yet PTE
+    /// holds (the essence of Theorem 1).
+    #[test]
+    fn total_packet_loss_still_pte_safe() {
+        use pte_sim::network::{Delivery, DropReason, FnChannel, NetworkBridge};
+        let cfg = LeaseConfig::case_study();
+        let sys = build_pattern_system(&cfg, true).unwrap();
+        let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).unwrap();
+        let mut bridge = NetworkBridge::perfect();
+        bridge.set_default(Box::new(FnChannel(|_: &pte_sim::network::Message, _| {
+            Delivery::Dropped {
+                reason: DropReason::Scripted,
+            }
+        })));
+        exec.set_bridge(bridge);
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "surgeon",
+            vec![(Time::seconds(14.0), Root::new("cmd_request"))],
+        )));
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+        // Nothing ever gets delivered, so nobody enters risky; PTE holds.
+        let report = check_pte(&trace, &cfg.pte_spec());
+        assert!(report.is_safe(), "{report}");
+        assert!(trace.risky_intervals(1).is_empty());
+        assert!(trace.risky_intervals(2).is_empty());
+        assert!(trace.drop_count() > 0);
+    }
+
+    #[test]
+    fn no_lease_system_builds() {
+        let sys = build_pattern_system(&LeaseConfig::case_study(), false).unwrap();
+        assert!(!sys.leased);
+        // The no-lease initializer has no lease expiry edge out of Risky
+        // Core (no urgent edge from that location).
+        let init = &sys.automata[2];
+        let rc = init.loc_by_name("Risky Core").unwrap();
+        assert!(init.edges_from(rc).all(|(_, e)| !e.urgent));
+    }
+}

@@ -1,0 +1,214 @@
+//! The PTE safety rules as a checkable specification (Section III).
+//!
+//! * **Rule 1 (Bounded Dwelling).** Each entity's continuous dwelling time
+//!   in risky locations is upper bounded by a constant.
+//! * **Rule 2 (Proper-Temporal-Embedding).** The PTE partial order
+//!   (Definition 1, properties p1–p3) between entities forms a full order
+//!   `ξ1 < ξ2 < … < ξN`: whenever an inner entity is risky, every outer
+//!   entity is already risky (p2), the outer entered at least
+//!   `T^min_risky:i→i+1` earlier (p1), and will stay risky at least
+//!   `T^min_safe:i+1→i` after the inner exits (p3).
+
+use pte_hybrid::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Safeguard intervals for one adjacent pair `ξi < ξi+1` of the full order.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairSpec {
+    /// `T^min_risky:i→i+1` — the outer entity must have been risky at
+    /// least this long before the inner entity becomes risky (p1).
+    pub t_min_risky: Time,
+    /// `T^min_safe:i+1→i` — the outer entity must remain risky at least
+    /// this long after the inner entity returns to safe (p3).
+    pub t_min_safe: Time,
+}
+
+impl PairSpec {
+    /// Creates a pair specification.
+    pub fn new(t_min_risky: Time, t_min_safe: Time) -> PairSpec {
+        PairSpec {
+            t_min_risky,
+            t_min_safe,
+        }
+    }
+}
+
+/// A complete PTE safety rule set for a wireless CPS.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PteSpec {
+    /// Entity (automaton) names in PTE order `ξ1 < ξ2 < … < ξN`.
+    /// The Supervisor `ξ0` is *not* listed — the paper does not partition
+    /// its locations into safe/risky.
+    pub entities: Vec<String>,
+    /// Rule 1: the bound on continuous risky dwelling, per entity
+    /// (indexed like [`PteSpec::entities`]).
+    pub rule1_bounds: Vec<Time>,
+    /// Safeguard intervals for each adjacent pair
+    /// (`pairs[i]` relates `entities[i]` and `entities[i+1]`).
+    pub pairs: Vec<PairSpec>,
+    /// Numeric slack for float comparisons (default 1 µs).
+    pub tolerance: Time,
+}
+
+/// Errors detected by [`PteSpec::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// Fewer than 2 entities (Rule 2 needs an ordering).
+    TooFewEntities,
+    /// `rule1_bounds` length does not match `entities`.
+    BoundsLengthMismatch,
+    /// `pairs` length is not `entities.len() - 1`.
+    PairsLengthMismatch,
+    /// A bound or safeguard is negative.
+    NegativeConstant,
+    /// Two entities share a name.
+    DuplicateEntity(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::TooFewEntities => write!(f, "PTE needs at least 2 ordered entities"),
+            SpecError::BoundsLengthMismatch => {
+                write!(f, "rule1_bounds length must equal entities length")
+            }
+            SpecError::PairsLengthMismatch => {
+                write!(f, "pairs length must be entities length - 1")
+            }
+            SpecError::NegativeConstant => write!(f, "bounds and safeguards must be >= 0"),
+            SpecError::DuplicateEntity(n) => write!(f, "duplicate entity `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl PteSpec {
+    /// Creates a specification with a uniform Rule-1 bound.
+    pub fn uniform(
+        entities: Vec<String>,
+        rule1_bound: Time,
+        pairs: Vec<PairSpec>,
+    ) -> PteSpec {
+        let n = entities.len();
+        PteSpec {
+            entities,
+            rule1_bounds: vec![rule1_bound; n],
+            pairs,
+            tolerance: Time::seconds(1e-6),
+        }
+    }
+
+    /// Number of ordered entities `N`.
+    pub fn n(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Structural validation of the specification itself.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.entities.len() < 2 {
+            return Err(SpecError::TooFewEntities);
+        }
+        if self.rule1_bounds.len() != self.entities.len() {
+            return Err(SpecError::BoundsLengthMismatch);
+        }
+        if self.pairs.len() != self.entities.len() - 1 {
+            return Err(SpecError::PairsLengthMismatch);
+        }
+        for b in &self.rule1_bounds {
+            if *b < Time::ZERO {
+                return Err(SpecError::NegativeConstant);
+            }
+        }
+        for p in &self.pairs {
+            if p.t_min_risky < Time::ZERO || p.t_min_safe < Time::ZERO {
+                return Err(SpecError::NegativeConstant);
+            }
+        }
+        for (i, e) in self.entities.iter().enumerate() {
+            if self.entities[..i].contains(e) {
+                return Err(SpecError::DuplicateEntity(e.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The laser tracheotomy case-study rules (Section V): ventilator <
+    /// laser-scalpel, 60 s dwelling bound, safeguards 3 s / 1.5 s.
+    pub fn case_study() -> PteSpec {
+        PteSpec::uniform(
+            vec!["ventilator".to_string(), "laser-scalpel".to_string()],
+            Time::seconds(60.0),
+            vec![PairSpec::new(Time::seconds(3.0), Time::seconds(1.5))],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_spec_valid() {
+        let s = PteSpec::case_study();
+        assert_eq!(s.n(), 2);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.pairs[0].t_min_risky, Time::seconds(3.0));
+        assert_eq!(s.pairs[0].t_min_safe, Time::seconds(1.5));
+        assert_eq!(s.rule1_bounds, vec![Time::seconds(60.0); 2]);
+    }
+
+    #[test]
+    fn too_few_entities_rejected() {
+        let s = PteSpec::uniform(vec!["only".into()], Time::seconds(1.0), vec![]);
+        assert_eq!(s.validate(), Err(SpecError::TooFewEntities));
+    }
+
+    #[test]
+    fn pairs_length_checked() {
+        let s = PteSpec::uniform(
+            vec!["a".into(), "b".into(), "c".into()],
+            Time::seconds(1.0),
+            vec![PairSpec::new(Time::ZERO, Time::ZERO)],
+        );
+        assert_eq!(s.validate(), Err(SpecError::PairsLengthMismatch));
+    }
+
+    #[test]
+    fn bounds_length_checked() {
+        let mut s = PteSpec::uniform(
+            vec!["a".into(), "b".into()],
+            Time::seconds(1.0),
+            vec![PairSpec::new(Time::ZERO, Time::ZERO)],
+        );
+        s.rule1_bounds.pop();
+        assert_eq!(s.validate(), Err(SpecError::BoundsLengthMismatch));
+    }
+
+    #[test]
+    fn negative_constants_rejected() {
+        let s = PteSpec::uniform(
+            vec!["a".into(), "b".into()],
+            Time::seconds(-1.0),
+            vec![PairSpec::new(Time::ZERO, Time::ZERO)],
+        );
+        assert_eq!(s.validate(), Err(SpecError::NegativeConstant));
+        let s2 = PteSpec::uniform(
+            vec!["a".into(), "b".into()],
+            Time::seconds(1.0),
+            vec![PairSpec::new(Time::seconds(-0.1), Time::ZERO)],
+        );
+        assert_eq!(s2.validate(), Err(SpecError::NegativeConstant));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let s = PteSpec::uniform(
+            vec!["a".into(), "a".into()],
+            Time::seconds(1.0),
+            vec![PairSpec::new(Time::ZERO, Time::ZERO)],
+        );
+        assert!(matches!(s.validate(), Err(SpecError::DuplicateEntity(_))));
+    }
+}

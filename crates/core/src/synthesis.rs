@@ -1,0 +1,323 @@
+//! Constructive parameter synthesis for the lease pattern.
+//!
+//! Theorem 1's conditions c1–c7 are *checkable*; this module makes them
+//! *solvable*: given the PTE requirements — the safeguard intervals, the
+//! Rule-1 dwelling bound, and the minimum useful risky-core duration for
+//! the Initializer — [`synthesize`] constructs a [`LeaseConfig`]
+//! satisfying every condition, or reports that the requirements are
+//! infeasible within the bound.
+//!
+//! Construction (innermost-out): fix `ξN`'s times from the requirements,
+//! then for `i = N−1 … 1` choose
+//!
+//! * `T_exit,i  = T^min_safe:i+1→i + margin` (c7),
+//! * `T_enter,i = max(ε, T_enter,i+1 − T^min_risky:i→i+1 − margin)` — the
+//!   *reversed* c5 recurrence: entering times must shrink inward by more
+//!   than each safeguard,
+//! * `T_run,i   = T_wait + T_enter,i+1 + T_run,i+1 + T_exit,i+1 + margin −
+//!   T_enter,i` (c6 with margin),
+//!
+//! and finally check the aggregate conditions (c2, c3, c4) and the Rule-1
+//! bound `T_wait + T_LS1 ≤ bound`.
+
+use crate::pattern::conditions::check_conditions;
+use crate::pattern::config::LeaseConfig;
+use crate::rules::PairSpec;
+use pte_hybrid::Time;
+use std::fmt;
+
+/// Requirements driving synthesis.
+#[derive(Clone, Debug)]
+pub struct SynthesisRequest {
+    /// Number of remote entities `N ≥ 2`.
+    pub n: usize,
+    /// Safeguard intervals per adjacent pair (length `n − 1`).
+    pub safeguards: Vec<PairSpec>,
+    /// Rule-1 bound every entity's risky dwelling must respect
+    /// (`T^max_wait + T^max_LS1 ≤ rule1_bound`).
+    pub rule1_bound: Time,
+    /// Minimum useful Risky Core duration for the Initializer (how long
+    /// the actual task needs, e.g. laser emission time).
+    pub min_run_initializer: Time,
+    /// Supervisor per-step wait budget (dominated by worst-case message
+    /// round trips; pick generously for slow links).
+    pub t_wait: Time,
+    /// Safety margin added on top of every strict inequality.
+    pub margin: Time,
+}
+
+impl SynthesisRequest {
+    /// A request mirroring the case study's requirements.
+    pub fn case_study_like() -> SynthesisRequest {
+        SynthesisRequest {
+            n: 2,
+            safeguards: vec![PairSpec::new(Time::seconds(3.0), Time::seconds(1.5))],
+            rule1_bound: Time::seconds(60.0),
+            min_run_initializer: Time::seconds(20.0),
+            t_wait: Time::seconds(3.0),
+            margin: Time::seconds(0.5),
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthesisError {
+    /// Dimensions inconsistent (`n < 2` or wrong safeguard count).
+    BadRequest(String),
+    /// The requirements cannot fit under the Rule-1 bound.
+    Infeasible {
+        /// The dwelling bound that the best construction would need.
+        required_bound: Time,
+        /// The requested bound.
+        requested_bound: Time,
+    },
+    /// Internal: the construction produced a configuration that fails the
+    /// condition check (should be impossible; kept as a safety net).
+    ConstructionUnsound(String),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::BadRequest(s) => write!(f, "bad request: {s}"),
+            SynthesisError::Infeasible {
+                required_bound,
+                requested_bound,
+            } => write!(
+                f,
+                "infeasible: requirements need a dwelling bound of {required_bound}, \
+                 but only {requested_bound} is allowed"
+            ),
+            SynthesisError::ConstructionUnsound(s) => {
+                write!(f, "internal construction error: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Synthesizes a [`LeaseConfig`] satisfying conditions c1–c7 and the
+/// Rule-1 bound, or explains why none exists for this construction.
+pub fn synthesize(req: &SynthesisRequest) -> Result<LeaseConfig, SynthesisError> {
+    if req.n < 2 {
+        return Err(SynthesisError::BadRequest("n must be >= 2".to_string()));
+    }
+    if req.safeguards.len() != req.n - 1 {
+        return Err(SynthesisError::BadRequest(format!(
+            "need {} safeguard pairs, got {}",
+            req.n - 1,
+            req.safeguards.len()
+        )));
+    }
+    if req.margin <= Time::ZERO || req.t_wait <= Time::ZERO {
+        return Err(SynthesisError::BadRequest(
+            "margin and t_wait must be positive".to_string(),
+        ));
+    }
+    let n = req.n;
+    let m = req.margin;
+
+    // Innermost entity ξN: entering must exceed every accumulated
+    // safeguard (the c5 recurrence unrolled): T_enter,N must be at least
+    // sum of safeguards + N*margin above a base epsilon.
+    let mut t_enter = vec![Time::ZERO; n];
+    {
+        let mut acc = m; // base entering time for ξ1
+        for pair in &req.safeguards {
+            acc = acc + pair.t_min_risky + m;
+        }
+        t_enter[n - 1] = acc;
+    }
+    // Reversed c5: T_enter,i = T_enter,i+1 - T_risky(i->i+1) - margin.
+    for i in (0..n - 1).rev() {
+        t_enter[i] = t_enter[i + 1] - req.safeguards[i].t_min_risky - m;
+        if t_enter[i] <= Time::ZERO {
+            return Err(SynthesisError::ConstructionUnsound(
+                "entering time underflow".to_string(),
+            ));
+        }
+    }
+
+    // Exits: c7 with margin.
+    let mut t_exit = vec![Time::ZERO; n];
+    t_exit[n - 1] = req
+        .safeguards
+        .last()
+        .map(|p| p.t_min_safe)
+        .unwrap_or(Time::ZERO)
+        .max(m)
+        + m;
+    for (slot, pair) in t_exit.iter_mut().zip(&req.safeguards) {
+        *slot = pair.t_min_safe + m;
+    }
+
+    // Runs: ξN from the request; inward via c6 with margin.
+    let mut t_run = vec![Time::ZERO; n];
+    t_run[n - 1] = req.min_run_initializer.max(m);
+    for i in (0..n - 1).rev() {
+        t_run[i] =
+            req.t_wait + t_enter[i + 1] + t_run[i + 1] + t_exit[i + 1] + m - t_enter[i];
+    }
+
+    let t_ls1 = t_enter[0] + t_run[0] + t_exit[0];
+
+    // c3: (N-1) t_wait < t_req < t_ls1 — take the midpoint-ish value.
+    let t_req_lo = req.t_wait * (n as f64 - 1.0);
+    if t_ls1 <= t_req_lo + m * 2.0 {
+        return Err(SynthesisError::ConstructionUnsound(
+            "no room for t_req".to_string(),
+        ));
+    }
+    let t_req = t_req_lo + ((t_ls1 - t_req_lo) * 0.5).min(m * 10.0);
+
+    // Fall-back dwell: long enough to be meaningful; any positive value
+    // satisfies c1 (the theorem places no upper constraint on it).
+    let t_fb0 = (req.t_wait * 2.0).max(m);
+
+    let cfg = LeaseConfig {
+        n,
+        t_fb0_min: t_fb0,
+        t_wait_max: req.t_wait,
+        t_req_max: t_req,
+        t_enter,
+        t_run,
+        t_exit,
+        safeguards: req.safeguards.clone(),
+    };
+
+    // Rule-1 bound feasibility.
+    let needed = cfg.max_risky_dwelling();
+    if needed > req.rule1_bound {
+        return Err(SynthesisError::Infeasible {
+            required_bound: needed,
+            requested_bound: req.rule1_bound,
+        });
+    }
+
+    // Safety net: the construction must satisfy c1–c7.
+    let report = check_conditions(&cfg);
+    if !report.is_satisfied() {
+        return Err(SynthesisError::ConstructionUnsound(format!("{report}")));
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn case_study_like_request_succeeds() {
+        let cfg = synthesize(&SynthesisRequest::case_study_like()).unwrap();
+        assert!(check_conditions(&cfg).is_satisfied());
+        assert!(cfg.max_risky_dwelling() <= Time::seconds(60.0));
+        assert!(cfg.t_run[1] >= Time::seconds(20.0), "useful run preserved");
+    }
+
+    #[test]
+    fn n3_request_succeeds() {
+        let req = SynthesisRequest {
+            n: 3,
+            safeguards: vec![
+                PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+                PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)),
+            ],
+            rule1_bound: Time::seconds(120.0),
+            min_run_initializer: Time::seconds(10.0),
+            t_wait: Time::seconds(2.0),
+            margin: Time::seconds(0.25),
+        };
+        let cfg = synthesize(&req).unwrap();
+        let report = check_conditions(&cfg);
+        assert!(report.is_satisfied(), "{report}");
+    }
+
+    #[test]
+    fn infeasible_bound_reported() {
+        let mut req = SynthesisRequest::case_study_like();
+        req.rule1_bound = Time::seconds(10.0); // cannot fit 20 s of emission
+        match synthesize(&req) {
+            Err(SynthesisError::Infeasible {
+                required_bound,
+                requested_bound,
+            }) => {
+                assert!(required_bound > requested_bound);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_dimensions_rejected() {
+        let mut req = SynthesisRequest::case_study_like();
+        req.safeguards = vec![];
+        assert!(matches!(
+            synthesize(&req),
+            Err(SynthesisError::BadRequest(_))
+        ));
+        req = SynthesisRequest::case_study_like();
+        req.n = 1;
+        assert!(matches!(
+            synthesize(&req),
+            Err(SynthesisError::BadRequest(_))
+        ));
+    }
+
+    proptest! {
+        /// Synthesized configurations always satisfy c1–c7 (when synthesis
+        /// succeeds) — the constructive counterpart of Theorem 1.
+        #[test]
+        fn synthesis_sound(
+            n in 2usize..6,
+            risky_ms in 100u64..5_000,
+            safe_ms in 100u64..3_000,
+            run_s in 1u64..60,
+            wait_ms in 200u64..5_000,
+        ) {
+            let req = SynthesisRequest {
+                n,
+                safeguards: (0..n-1)
+                    .map(|_| PairSpec::new(
+                        Time::millis(risky_ms as f64),
+                        Time::millis(safe_ms as f64),
+                    ))
+                    .collect(),
+                rule1_bound: Time::seconds(100_000.0), // effectively unbounded
+                min_run_initializer: Time::seconds(run_s as f64),
+                t_wait: Time::millis(wait_ms as f64),
+                margin: Time::millis(100.0),
+            };
+            let cfg = synthesize(&req).unwrap();
+            prop_assert!(check_conditions(&cfg).is_satisfied());
+            // Useful run time preserved.
+            prop_assert!(cfg.t_run[n-1] >= req.min_run_initializer);
+        }
+
+        /// With a binding Rule-1 bound, synthesis either fits under it or
+        /// honestly reports infeasibility — never a violating config.
+        #[test]
+        fn synthesis_respects_bound(
+            bound_s in 5u64..200,
+            run_s in 1u64..100,
+        ) {
+            let req = SynthesisRequest {
+                n: 2,
+                safeguards: vec![PairSpec::new(Time::seconds(1.0), Time::seconds(0.5))],
+                rule1_bound: Time::seconds(bound_s as f64),
+                min_run_initializer: Time::seconds(run_s as f64),
+                t_wait: Time::seconds(1.0),
+                margin: Time::millis(200.0),
+            };
+            match synthesize(&req) {
+                Ok(cfg) => prop_assert!(cfg.max_risky_dwelling() <= req.rule1_bound),
+                Err(SynthesisError::Infeasible { required_bound, .. }) => {
+                    prop_assert!(required_bound > req.rule1_bound)
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+}

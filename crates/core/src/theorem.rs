@@ -1,0 +1,86 @@
+//! Quantitative consequences of Theorems 1 and 2, used as oracles.
+//!
+//! Theorem 1 states that, under conditions c1–c7, (a) every entity's
+//! continuous risky dwelling is bounded by `T^max_wait + T^max_LS1`, (b)
+//! the PTE full order is maintained, and (c) the whole system resets to
+//! Fall-Back within `T^max_wait + T^max_LS1` of every
+//! `evtξ0Toξ1LeaseReq`. This module computes those bounds (and a few
+//! sharper per-entity ones implied by the proof) so tests and experiments
+//! can assert against them.
+
+use crate::pattern::config::LeaseConfig;
+use pte_hybrid::Time;
+
+/// The bounds promised by Theorem 1 for a given configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TheoremBounds {
+    /// Global bound on any entity's continuous risky dwelling
+    /// (`T^max_wait + T^max_LS1`).
+    pub risky_dwelling: Time,
+    /// Sharper per-entity risky dwelling bounds
+    /// (`T^max_run,i + T_exit,i` — Risky Core plus Exiting 1).
+    pub per_entity_risky: Vec<Time>,
+    /// Bound on the time from `evtξ0Toξ1LeaseReq` until every entity is
+    /// back in Fall-Back.
+    pub reset_span: Time,
+    /// Worst-case full procedure cycle seen by the Supervisor: reset span
+    /// plus its own wind-down walk (`N` waits) plus the Fall-Back dwell.
+    pub supervisor_cycle: Time,
+    /// Expected enter-risky lead between adjacent entities on the happy
+    /// path (`T^max_enter,i+1 − T^max_enter,i`, all grants instantaneous).
+    pub nominal_enter_leads: Vec<Time>,
+}
+
+/// Computes Theorem 1's bounds for a configuration.
+pub fn bounds(cfg: &LeaseConfig) -> TheoremBounds {
+    let per_entity_risky: Vec<Time> = (0..cfg.n)
+        .map(|k| cfg.t_run[k] + cfg.t_exit[k])
+        .collect();
+    let nominal_enter_leads: Vec<Time> = (0..cfg.n - 1)
+        .map(|k| cfg.t_enter[k + 1] - cfg.t_enter[k])
+        .collect();
+    let reset_span = cfg.t_wait_max + cfg.t_ls1();
+    TheoremBounds {
+        risky_dwelling: reset_span,
+        per_entity_risky,
+        reset_span,
+        supervisor_cycle: reset_span + cfg.t_wait_max * cfg.n as f64 + cfg.t_fb0_min,
+        nominal_enter_leads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_bounds_match_paper() {
+        let b = bounds(&LeaseConfig::case_study());
+        // T_wait + T_LS1 = 3 + 44 = 47 s, under the 60 s Rule-1 limit.
+        assert_eq!(b.risky_dwelling, Time::seconds(47.0));
+        assert_eq!(b.reset_span, Time::seconds(47.0));
+        // Ventilator: 35 + 6 = 41; laser: 20 + 1.5 = 21.5.
+        assert_eq!(b.per_entity_risky[0], Time::seconds(41.0));
+        assert_eq!(b.per_entity_risky[1], Time::seconds(21.5));
+        // Nominal lead: 10 - 3 = 7 s >= safeguard 3 s.
+        assert_eq!(b.nominal_enter_leads[0], Time::seconds(7.0));
+    }
+
+    #[test]
+    fn per_entity_bounds_below_global() {
+        let cfg = LeaseConfig::case_study();
+        let b = bounds(&cfg);
+        for per in &b.per_entity_risky {
+            assert!(*per <= b.risky_dwelling);
+        }
+    }
+
+    #[test]
+    fn nominal_leads_exceed_safeguards_under_c5() {
+        let cfg = LeaseConfig::case_study();
+        let b = bounds(&cfg);
+        for (lead, pair) in b.nominal_enter_leads.iter().zip(&cfg.safeguards) {
+            assert!(*lead > pair.t_min_risky, "c5 implies this strictly");
+        }
+    }
+}

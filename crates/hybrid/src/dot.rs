@@ -1,0 +1,248 @@
+//! Graphviz (DOT) export of hybrid automata.
+//!
+//! Used by the figure regenerators (`pte-bench`) to reproduce the paper's
+//! automata diagrams: Fig. 2 (stand-alone ventilator), Fig. 3 (Supervisor
+//! pattern), Fig. 5 (Initializer/Participant patterns) and Fig. 6
+//! (elaboration example). Risky locations are drawn with double borders and
+//! shaded; initial locations receive an entry arrow.
+
+use crate::automaton::HybridAutomaton;
+use crate::pred::Pred;
+use std::fmt::Write as _;
+
+/// Options controlling the DOT rendering.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Include invariants in location labels.
+    pub show_invariants: bool,
+    /// Include flow equations in location labels.
+    pub show_flows: bool,
+    /// Include guards on edge labels.
+    pub show_guards: bool,
+    /// Include resets on edge labels.
+    pub show_resets: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            show_invariants: true,
+            show_flows: true,
+            show_guards: true,
+            show_resets: true,
+        }
+    }
+}
+
+/// Renders an automaton as a DOT digraph with default options.
+pub fn to_dot(a: &HybridAutomaton) -> String {
+    to_dot_with(a, &DotOptions::default())
+}
+
+/// Renders an automaton as a DOT digraph.
+pub fn to_dot_with(a: &HybridAutomaton, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&a.name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontname=\"Helvetica\"];");
+    let _ = writeln!(out, "  edge [fontname=\"Helvetica\", fontsize=10];");
+
+    let initials = a.initial_locations();
+
+    for (i, loc) in a.locations.iter().enumerate() {
+        let mut label = loc.name.clone();
+        if opts.show_invariants && !loc.invariant.is_trivially_true() {
+            let _ = write!(label, "\\ninv: {}", render_pred(&loc.invariant, a));
+        }
+        if opts.show_flows {
+            for (v, e) in &loc.flows {
+                let name = a
+                    .vars
+                    .get(v.0)
+                    .map(|d| d.name.as_str())
+                    .unwrap_or("?");
+                let _ = write!(label, "\\nd{name}/dt = {}", render_expr(e, a));
+            }
+        }
+        let style = if loc.risky {
+            "shape=doubleoctagon, style=filled, fillcolor=\"#ffdddd\""
+        } else {
+            "shape=ellipse"
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{}\", {}];", escape(&label), style);
+    }
+
+    // Entry arrows for initial locations.
+    for (k, init) in initials.iter().enumerate() {
+        let _ = writeln!(out, "  init{k} [shape=point, width=0.08];");
+        let _ = writeln!(out, "  init{k} -> n{};", init.0);
+    }
+
+    for e in &a.edges {
+        let mut label = String::new();
+        if let Some(t) = &e.trigger {
+            let _ = write!(label, "{}", t.label());
+        }
+        if opts.show_guards && e.guard != Pred::True {
+            if !label.is_empty() {
+                label.push_str("\\n");
+            }
+            let _ = write!(label, "[{}]", render_pred(&e.guard, a));
+        }
+        for r in &e.emits {
+            if !label.is_empty() {
+                label.push_str("\\n");
+            }
+            let _ = write!(label, "!{r}");
+        }
+        if opts.show_resets {
+            for (v, expr) in &e.resets {
+                if !label.is_empty() {
+                    label.push_str("\\n");
+                }
+                let name = a.vars.get(v.0).map(|d| d.name.as_str()).unwrap_or("?");
+                let _ = write!(label, "{name} := {}", render_expr(expr, a));
+            }
+        }
+        let style = if e.urgent { ", style=bold" } else { "" };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"{}];",
+            e.src.0,
+            e.dst.0,
+            escape(&label),
+            style
+        );
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an expression with variable *names* instead of indices.
+fn render_expr(e: &crate::expr::Expr, a: &HybridAutomaton) -> String {
+    use crate::expr::Expr;
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::Var(v) => a
+            .vars
+            .get(v.0)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("x{}", v.0)),
+        Expr::Neg(inner) => format!("-({})", render_expr(inner, a)),
+        Expr::Abs(inner) => format!("|{}|", render_expr(inner, a)),
+        Expr::Add(x, y) => format!("({} + {})", render_expr(x, a), render_expr(y, a)),
+        Expr::Sub(x, y) => format!("({} - {})", render_expr(x, a), render_expr(y, a)),
+        Expr::Mul(x, y) => format!("({} * {})", render_expr(x, a), render_expr(y, a)),
+        Expr::Div(x, y) => format!("({} / {})", render_expr(x, a), render_expr(y, a)),
+        Expr::Min(x, y) => format!("min({}, {})", render_expr(x, a), render_expr(y, a)),
+        Expr::Max(x, y) => format!("max({}, {})", render_expr(x, a), render_expr(y, a)),
+    }
+}
+
+/// Renders a predicate with variable names.
+fn render_pred(p: &Pred, a: &HybridAutomaton) -> String {
+    match p {
+        Pred::True => "true".into(),
+        Pred::False => "false".into(),
+        Pred::Cmp(l, op, r) => format!(
+            "{} {} {}",
+            render_expr(l, a),
+            op.symbol(),
+            render_expr(r, a)
+        ),
+        Pred::And(ps) => ps
+            .iter()
+            .map(|q| render_pred(q, a))
+            .collect::<Vec<_>>()
+            .join(" && "),
+        Pred::Or(ps) => ps
+            .iter()
+            .map(|q| render_pred(q, a))
+            .collect::<Vec<_>>()
+            .join(" || "),
+        Pred::Not(q) => format!("!({})", render_pred(q, a)),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{HybridAutomaton, VarKind};
+    use crate::expr::Expr;
+    use crate::pred::Pred;
+
+    fn vent() -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("ventilator");
+        let h = b.var("Hvent", VarKind::Continuous, 0.0);
+        let out = b.location("PumpOut");
+        let inn = b.risky_location("PumpIn");
+        b.invariant(
+            out,
+            Pred::ge(Expr::var(h), Expr::c(0.0)).and(Pred::le(Expr::var(h), Expr::c(0.3))),
+        );
+        b.flow(out, h, Expr::c(-0.1));
+        b.flow(inn, h, Expr::c(0.1));
+        b.edge(out, inn)
+            .guard(Pred::le(Expr::var(h), Expr::c(0.0)))
+            .urgent()
+            .emit("evtVPumpIn")
+            .done();
+        b.edge(inn, out)
+            .on_lossy("evtBack")
+            .reset(h, Expr::c(0.0))
+            .done();
+        b.initial(out, None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_locations_and_edges() {
+        let dot = to_dot(&vent());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("PumpOut"));
+        assert!(dot.contains("PumpIn"));
+        assert!(dot.contains("!evtVPumpIn"));
+        assert!(dot.contains("??evtBack"));
+        assert!(dot.contains("doubleoctagon"), "risky location styled");
+        assert!(dot.contains("init0 ->"), "initial arrow present");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_renders_variable_names() {
+        let dot = to_dot(&vent());
+        assert!(dot.contains("dHvent/dt = -0.1"), "{dot}");
+        assert!(dot.contains("Hvent := 0"));
+        assert!(dot.contains("Hvent >= 0"));
+    }
+
+    #[test]
+    fn options_suppress_detail() {
+        let opts = DotOptions {
+            show_invariants: false,
+            show_flows: false,
+            show_guards: false,
+            show_resets: false,
+        };
+        let dot = to_dot_with(&vent(), &opts);
+        assert!(!dot.contains("inv:"));
+        assert!(!dot.contains("dHvent/dt"));
+        assert!(!dot.contains(":="));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut b = HybridAutomaton::builder("q\"uote");
+        let l = b.location("L\"1");
+        b.initial(l, None);
+        let a = b.build().unwrap();
+        let dot = to_dot(&a);
+        assert!(dot.contains("q\\\"uote"));
+        assert!(dot.contains("L\\\"1"));
+    }
+}

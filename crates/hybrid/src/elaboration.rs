@@ -1,0 +1,643 @@
+//! Atomic and parallel elaboration of hybrid automata (Section IV-C).
+//!
+//! `E(A, v, A′)` replaces location `v` of a host automaton `A` with a
+//! *simple*, *independent* child automaton `A′`, per the paper's five
+//! intuitions:
+//!
+//! 1. location `v` is replaced by the whole of `A′`;
+//! 2. former ingress edges to `v` become ingress edges to `A′`'s initial
+//!    locations;
+//! 3. former egress edges from `v` become egress edges from every `A′`
+//!    location;
+//! 4. inside `A′`, the host variables keep the continuous behaviour they
+//!    had in `v` (flows copied from `v`, host clocks keep running);
+//! 5. outside `A′`, the child variables are frozen (derivative 0) and keep
+//!    their values until the next visit.
+//!
+//! The child locations **inherit the risky flag of `v`** — from the PTE
+//! monitor's perspective, dwelling anywhere inside the child automaton *is*
+//! dwelling in `v`. The returned [`Elaborated`] carries the projection from
+//! result locations back to host locations; this projection is exactly the
+//! trace-mapping used in Theorem 2's proof (every trajectory of the
+//! elaborated design projects to a trajectory of the pattern).
+//!
+//! Self-loops at `v` (e.g. a sensor-sampling reset edge) are mapped to
+//! stay-in-place self-loops on every child location. The paper does not
+//! treat this case explicitly; keeping the child's progress intact is the
+//! only interpretation under which intuition 4 (host variables unaffected)
+//! extends to host *edges* that do not leave `v`, and it preserves the
+//! projection property.
+
+use crate::automaton::{Edge, HybridAutomaton, InitialState, LocId, Location};
+use crate::expr::Expr;
+use crate::independence::{
+    dependence_reasons, not_simple_reasons, DependenceReason, NotSimpleReason,
+};
+use std::fmt;
+
+/// Errors raised by elaboration.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ElaborationError {
+    /// Host and child are not independent (Definition 2).
+    NotIndependent(Vec<DependenceReason>),
+    /// The child is not a simple hybrid automaton (Definition 3).
+    ChildNotSimple(Vec<NotSimpleReason>),
+    /// The named/indexed location does not exist in the host.
+    UnknownLocation(String),
+    /// Parallel elaboration listed the same host location twice.
+    DuplicateTarget(String),
+    /// The children of a parallel elaboration are not mutually independent.
+    ChildrenNotIndependent(Vec<DependenceReason>),
+}
+
+impl fmt::Display for ElaborationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElaborationError::NotIndependent(rs) => {
+                write!(f, "host and child not independent: ")?;
+                for r in rs {
+                    write!(f, "{r}; ")?;
+                }
+                Ok(())
+            }
+            ElaborationError::ChildNotSimple(rs) => {
+                write!(f, "child not a simple hybrid automaton: ")?;
+                for r in rs {
+                    write!(f, "{r}; ")?;
+                }
+                Ok(())
+            }
+            ElaborationError::UnknownLocation(n) => write!(f, "unknown location `{n}`"),
+            ElaborationError::DuplicateTarget(n) => {
+                write!(f, "location `{n}` elaborated twice")
+            }
+            ElaborationError::ChildrenNotIndependent(rs) => {
+                write!(f, "children not mutually independent: ")?;
+                for r in rs {
+                    write!(f, "{r}; ")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElaborationError {}
+
+/// The result of an elaboration: the new automaton plus the projection from
+/// its locations back to the host's locations (child locations project to
+/// the elaborated host location).
+#[derive(Clone, Debug)]
+pub struct Elaborated {
+    /// The elaborated automaton `A″ = E(A, v, A′)`.
+    pub automaton: HybridAutomaton,
+    /// `projection[new_loc.0] = host_loc`: Theorem 2's trace projection at
+    /// the location level.
+    pub projection: Vec<LocId>,
+}
+
+/// Atomic elaboration `E(A, v, A′)` (Section IV-C).
+///
+/// Fails unless `A` and `child` are independent and `child` is simple.
+pub fn elaborate(
+    host: &HybridAutomaton,
+    v: LocId,
+    child: &HybridAutomaton,
+) -> Result<Elaborated, ElaborationError> {
+    if v.0 >= host.locations.len() {
+        return Err(ElaborationError::UnknownLocation(format!("{v:?}")));
+    }
+    let deps = dependence_reasons(host, child);
+    if !deps.is_empty() {
+        return Err(ElaborationError::NotIndependent(deps));
+    }
+    let simple = not_simple_reasons(child);
+    if !simple.is_empty() {
+        return Err(ElaborationError::ChildNotSimple(simple));
+    }
+
+    let n_host_vars = host.vars.len();
+    let host_loc_count = host.locations.len();
+    let elaborated_loc = &host.locations[v.0];
+
+    // --- Variables: host ++ child (child ids shifted). -------------------
+    let mut vars = host.vars.clone();
+    vars.extend(child.vars.iter().cloned());
+
+    // --- Locations. -------------------------------------------------------
+    // Host locations keep their indices (slot v is replaced by the child's
+    // first location); remaining child locations are appended. This keeps
+    // host LocIds stable, which keeps the projection and parallel
+    // elaboration simple.
+    //
+    // map_child[j] = new id of child location j.
+    let mut map_child: Vec<LocId> = Vec::with_capacity(child.locations.len());
+    for j in 0..child.locations.len() {
+        if j == 0 {
+            map_child.push(v);
+        } else {
+            map_child.push(LocId(host_loc_count + j - 1));
+        }
+    }
+
+    let make_child_loc = |j: usize| -> Location {
+        let cl = &child.locations[j];
+        // Invariant: inv_A(v) ∧ inv_A′(u), child vars shifted.
+        let invariant = elaborated_loc
+            .invariant
+            .clone()
+            .and(cl.invariant.shift_vars(n_host_vars));
+        // Flows: host vars behave as in v; child vars as in u (shifted).
+        let mut flows: Vec<(crate::expr::VarId, Expr)> = elaborated_loc.flows.clone();
+        for (cv, ce) in &cl.flows {
+            flows.push((
+                crate::expr::VarId(cv.0 + n_host_vars),
+                ce.shift_vars(n_host_vars),
+            ));
+        }
+        Location {
+            name: cl.name.clone(),
+            invariant,
+            flows,
+            // Child locations inherit the host location's risky flag.
+            risky: elaborated_loc.risky,
+        }
+    };
+
+    let mut locations: Vec<Location> = Vec::with_capacity(host_loc_count + child.locations.len());
+    let mut projection: Vec<LocId> = Vec::new();
+    for (i, loc) in host.locations.iter().enumerate() {
+        if i == v.0 {
+            locations.push(make_child_loc(0));
+        } else {
+            // Freeze child variables in host locations (intuition 5):
+            // explicit zero flows override the clock default of 1.
+            let mut loc = loc.clone();
+            for (j, decl) in child.vars.iter().enumerate() {
+                let _ = decl;
+                loc.flows
+                    .push((crate::expr::VarId(n_host_vars + j), Expr::zero()));
+            }
+            locations.push(loc);
+        }
+        projection.push(LocId(i));
+    }
+    for j in 1..child.locations.len() {
+        locations.push(make_child_loc(j));
+        projection.push(v);
+    }
+
+    // --- Edges. ------------------------------------------------------------
+    let child_initials: Vec<LocId> = child
+        .initial_locations()
+        .iter()
+        .map(|u| map_child[u.0])
+        .collect();
+    let all_child_locs: Vec<LocId> = map_child.clone();
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for e in &host.edges {
+        let from_v = e.src == v;
+        let to_v = e.dst == v;
+        match (from_v, to_v) {
+            (false, false) => edges.push(e.clone()),
+            // Ingress: redirect to every child initial location. The child's
+            // first location already occupies slot v; if it is initial the
+            // original edge is reproduced unchanged, plus copies for other
+            // initials.
+            (false, true) => {
+                for dst in &child_initials {
+                    let mut e2 = e.clone();
+                    e2.dst = *dst;
+                    edges.push(e2);
+                }
+            }
+            // Egress: copy from every child location.
+            (true, false) => {
+                for src in &all_child_locs {
+                    let mut e2 = e.clone();
+                    e2.src = *src;
+                    edges.push(e2);
+                }
+            }
+            // Self-loop at v: stay-in-place loop on every child location
+            // (see module docs).
+            (true, true) => {
+                for lc in &all_child_locs {
+                    let mut e2 = e.clone();
+                    e2.src = *lc;
+                    e2.dst = *lc;
+                    edges.push(e2);
+                }
+            }
+        }
+    }
+    for e in &child.edges {
+        let mut e2 = e.clone();
+        e2.src = map_child[e.src.0];
+        e2.dst = map_child[e.dst.0];
+        e2.guard = e.guard.shift_vars(n_host_vars);
+        e2.resets = e
+            .resets
+            .iter()
+            .map(|(cv, ce)| {
+                (
+                    crate::expr::VarId(cv.0 + n_host_vars),
+                    ce.shift_vars(n_host_vars),
+                )
+            })
+            .collect();
+        edges.push(e2);
+    }
+
+    // --- Initial states. ----------------------------------------------------
+    let child_defaults: Vec<f64> = child.vars.iter().map(|d| d.init).collect();
+    let mut initial: Vec<InitialState> = Vec::new();
+    for init in &host.initial {
+        if init.loc == v {
+            // Host initially at v: start at each child initial location,
+            // with host initial data ++ child defaults (zero for simple
+            // children).
+            for u in child.initial_locations() {
+                let data = init.data.as_ref().map(|d| {
+                    let mut combined = d.clone();
+                    combined.extend_from_slice(&child_defaults);
+                    combined
+                });
+                initial.push(InitialState {
+                    loc: map_child[u.0],
+                    data,
+                });
+            }
+        } else {
+            let data = init.data.as_ref().map(|d| {
+                let mut combined = d.clone();
+                combined.extend_from_slice(&child_defaults);
+                combined
+            });
+            initial.push(InitialState {
+                loc: init.loc,
+                data,
+            });
+        }
+    }
+
+    Ok(Elaborated {
+        automaton: HybridAutomaton {
+            name: host.name.clone(),
+            vars,
+            locations,
+            edges,
+            initial,
+        },
+        projection,
+    })
+}
+
+/// Parallel elaboration
+/// `E(A, (v1, …, vk), (A1, …, Ak))` by host-location *name* (names are
+/// stable across the intermediate steps, unlike indices).
+///
+/// Children must be mutually independent and each independent of the host.
+pub fn elaborate_parallel(
+    host: &HybridAutomaton,
+    substitutions: &[(&str, &HybridAutomaton)],
+) -> Result<Elaborated, ElaborationError> {
+    // Duplicate target check.
+    for (i, (name, _)) in substitutions.iter().enumerate() {
+        if substitutions[..i].iter().any(|(n, _)| n == name) {
+            return Err(ElaborationError::DuplicateTarget((*name).to_string()));
+        }
+    }
+    // Mutual independence of children.
+    for i in 0..substitutions.len() {
+        for j in (i + 1)..substitutions.len() {
+            let deps = dependence_reasons(substitutions[i].1, substitutions[j].1);
+            if !deps.is_empty() {
+                return Err(ElaborationError::ChildrenNotIndependent(deps));
+            }
+        }
+    }
+
+    let mut current = Elaborated {
+        automaton: host.clone(),
+        projection: (0..host.locations.len()).map(LocId).collect(),
+    };
+    for (name, child) in substitutions {
+        let v = current
+            .automaton
+            .loc_by_name(name)
+            .ok_or_else(|| ElaborationError::UnknownLocation((*name).to_string()))?;
+        let step = elaborate(&current.automaton, v, child)?;
+        // Compose projections: step.projection maps new -> current ids,
+        // current.projection maps current -> original host ids.
+        let composed: Vec<LocId> = step
+            .projection
+            .iter()
+            .map(|mid| current.projection[mid.0])
+            .collect();
+        current = Elaborated {
+            automaton: step.automaton,
+            projection: composed,
+        };
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{HybridAutomaton, VarKind};
+    use crate::expr::{Expr, VarId};
+    use crate::pred::Pred;
+    use crate::validate::validate;
+
+    /// The host automaton of Fig. 6 (a): Fall-Back <-> Risky with one
+    /// continuous variable `x`.
+    fn fig6_host() -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("host");
+        let x = b.var("x", VarKind::Continuous, 0.0);
+        let fb = b.location("Fall-Back");
+        let risky = b.risky_location("Risky");
+        b.flow(fb, x, Expr::c(1.0));
+        b.flow(risky, x, Expr::c(-2.0));
+        b.edge(fb, risky)
+            .guard(Pred::ge(Expr::var(x), Expr::c(5.0)))
+            .on_lossy("go")
+            .done();
+        b.edge(risky, fb)
+            .guard(Pred::le(Expr::var(x), Expr::c(0.0)))
+            .urgent()
+            .done();
+        b.initial(fb, None);
+        b.build().unwrap()
+    }
+
+    /// The ventilator `A′vent` of Fig. 2 (simple, independent of the host).
+    fn fig2_vent() -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("vent");
+        let h = b.var("Hvent", VarKind::Continuous, 0.0);
+        let inv = Pred::ge(Expr::var(h), Expr::c(0.0)).and(Pred::le(Expr::var(h), Expr::c(0.3)));
+        let out = b.location("PumpOut");
+        let inn = b.location("PumpIn");
+        b.invariant(out, inv.clone());
+        b.invariant(inn, inv);
+        b.flow(out, h, Expr::c(-0.1));
+        b.flow(inn, h, Expr::c(0.1));
+        b.edge(out, inn)
+            .guard(Pred::le(Expr::var(h), Expr::c(0.0)))
+            .urgent()
+            .emit("evtVPumpIn")
+            .done();
+        b.edge(inn, out)
+            .guard(Pred::ge(Expr::var(h), Expr::c(0.3)))
+            .urgent()
+            .emit("evtVPumpOut")
+            .done();
+        b.initial(out, None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig6_structure() {
+        let host = fig6_host();
+        let vent = fig2_vent();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        let el = elaborate(&host, fb, &vent).unwrap();
+        let a = &el.automaton;
+
+        // Locations: Risky + PumpOut + PumpIn.
+        assert_eq!(a.locations.len(), 3);
+        assert!(a.loc_by_name("PumpOut").is_some());
+        assert!(a.loc_by_name("PumpIn").is_some());
+        assert!(a.loc_by_name("Fall-Back").is_none());
+        // Variables concatenated.
+        assert_eq!(a.dimension(), 2);
+        assert!(a.var_by_name("Hvent").is_some());
+
+        // Ingress edge Risky -> Fall-Back becomes Risky -> PumpOut only
+        // (PumpIn is not initial — the paper calls this out explicitly).
+        let risky = a.loc_by_name("Risky").unwrap();
+        let pump_in = a.loc_by_name("PumpIn").unwrap();
+        let pump_out = a.loc_by_name("PumpOut").unwrap();
+        let ingress: Vec<_> = a
+            .edges
+            .iter()
+            .filter(|e| e.src == risky && e.trigger.is_none())
+            .collect();
+        assert_eq!(ingress.len(), 1);
+        assert_eq!(ingress[0].dst, pump_out);
+
+        // Egress `go` edges from both child locations.
+        let egress: Vec<_> = a
+            .edges
+            .iter()
+            .filter(|e| e.dst == risky && e.trigger.is_some())
+            .collect();
+        assert_eq!(egress.len(), 2);
+        assert!(egress.iter().any(|e| e.src == pump_in));
+        assert!(egress.iter().any(|e| e.src == pump_out));
+
+        // Projection: child locations project to the old Fall-Back slot.
+        assert_eq!(el.projection[pump_out.0], fb);
+        assert_eq!(el.projection[pump_in.0], fb);
+        assert_eq!(el.projection[risky.0], risky);
+
+        assert!(validate(a).is_clean(), "{}", validate(a));
+    }
+
+    #[test]
+    fn host_vars_flow_as_in_v_inside_child() {
+        let host = fig6_host();
+        let vent = fig2_vent();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        let el = elaborate(&host, fb, &vent).unwrap();
+        let a = &el.automaton;
+        let pump_in = a.loc_by_name("PumpIn").unwrap();
+        // x (host var 0) must flow at +1 (its Fall-Back rate) inside PumpIn.
+        let flow = a.locations[pump_in.0].flow_of(VarId(0), VarKind::Continuous);
+        assert_eq!(flow, Expr::c(1.0));
+        // Hvent must flow at +0.1 in PumpIn (child rate, shifted id 1).
+        let hflow = a.locations[pump_in.0].flow_of(VarId(1), VarKind::Continuous);
+        assert_eq!(hflow, Expr::c(0.1));
+    }
+
+    #[test]
+    fn child_vars_frozen_outside() {
+        let host = fig6_host();
+        let vent = fig2_vent();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        let el = elaborate(&host, fb, &vent).unwrap();
+        let a = &el.automaton;
+        let risky = a.loc_by_name("Risky").unwrap();
+        let hflow = a.locations[risky.0].flow_of(VarId(1), VarKind::Continuous);
+        assert_eq!(hflow, Expr::zero());
+    }
+
+    #[test]
+    fn child_clock_frozen_outside() {
+        // A child with a clock: outside the child, the clock must NOT run.
+        let host = fig6_host();
+        let mut b = HybridAutomaton::builder("clocked");
+        let c = b.clock("child_clk");
+        let l0 = b.location("C0");
+        let l1 = b.location("C1");
+        b.edge(l0, l1)
+            .guard(Pred::ge(Expr::var(c), Expr::c(1.0)))
+            .urgent()
+            .done();
+        b.initial(l0, None);
+        let child = b.build().unwrap();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        let el = elaborate(&host, fb, &child).unwrap();
+        let a = &el.automaton;
+        let risky = a.loc_by_name("Risky").unwrap();
+        // Child clock is var 1 after shift; in Risky it must be frozen.
+        let flow = a.locations[risky.0].flow_of(VarId(1), VarKind::Clock);
+        assert_eq!(flow, Expr::zero());
+        // Inside the child it runs at its default slope 1.
+        let c0 = a.loc_by_name("C0").unwrap();
+        let flow_in = a.locations[c0.0].flow_of(VarId(1), VarKind::Clock);
+        assert_eq!(flow_in, Expr::one());
+    }
+
+    #[test]
+    fn risky_flag_inherited() {
+        let host = fig6_host();
+        let vent = fig2_vent();
+        let risky_loc = host.loc_by_name("Risky").unwrap();
+        let el = elaborate(&host, risky_loc, &vent).unwrap();
+        let a = &el.automaton;
+        assert!(a.is_risky(a.loc_by_name("PumpOut").unwrap()));
+        assert!(a.is_risky(a.loc_by_name("PumpIn").unwrap()));
+        assert!(!a.is_risky(a.loc_by_name("Fall-Back").unwrap()));
+    }
+
+    #[test]
+    fn dependent_child_rejected() {
+        let host = fig6_host();
+        let mut b = HybridAutomaton::builder("dep");
+        let _x = b.var("x", VarKind::Continuous, 0.0); // collides with host
+        let l = b.location("L");
+        b.initial(l, None);
+        let child = b.build().unwrap();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        assert!(matches!(
+            elaborate(&host, fb, &child),
+            Err(ElaborationError::NotIndependent(_))
+        ));
+    }
+
+    #[test]
+    fn non_simple_child_rejected() {
+        let host = fig6_host();
+        let mut b = HybridAutomaton::builder("ns");
+        let y = b.var("y", VarKind::Continuous, 0.5); // nonzero init
+        let l = b.location("L");
+        b.invariant(l, Pred::ge(Expr::var(y), Expr::c(0.0)));
+        b.initial(l, None);
+        let child = b.build().unwrap();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        assert!(matches!(
+            elaborate(&host, fb, &child),
+            Err(ElaborationError::ChildNotSimple(_))
+        ));
+    }
+
+    #[test]
+    fn self_loop_becomes_stay_in_place() {
+        let mut b = HybridAutomaton::builder("hostloop");
+        let x = b.var("x", VarKind::Continuous, 0.0);
+        let fb = b.location("Fall-Back");
+        b.edge(fb, fb).on("sample").reset(x, Expr::c(0.0)).done();
+        b.initial(fb, None);
+        let host = b.build().unwrap();
+        let vent = fig2_vent();
+        let el = elaborate(&host, LocId(0), &vent).unwrap();
+        let a = &el.automaton;
+        let loops: Vec<_> = a
+            .edges
+            .iter()
+            .filter(|e| e.trigger.is_some() && e.src == e.dst)
+            .collect();
+        assert_eq!(loops.len(), 2, "one stay-in-place loop per child location");
+    }
+
+    #[test]
+    fn parallel_elaboration_composes_projection() {
+        let mut b = HybridAutomaton::builder("host2");
+        let _x = b.var("x", VarKind::Continuous, 0.0);
+        let fb = b.location("Fall-Back");
+        let rk = b.risky_location("Risky");
+        b.edge(fb, rk).on_lossy("go").done();
+        b.edge(rk, fb).on_lossy("back").done();
+        b.initial(fb, None);
+        let host = b.build().unwrap();
+
+        let vent = fig2_vent();
+        let mut b2 = HybridAutomaton::builder("lamp");
+        let l = b2.var("Lum", VarKind::Continuous, 0.0);
+        let inv = Pred::ge(Expr::var(l), Expr::c(0.0));
+        let off = b2.location("Off");
+        let on = b2.location("On");
+        b2.invariant(off, inv.clone());
+        b2.invariant(on, inv);
+        b2.edge(off, on).on("toggle").done();
+        b2.edge(on, off).on("toggle2").done();
+        b2.initial(off, None);
+        let lamp = b2.build().unwrap();
+
+        let el = elaborate_parallel(&host, &[("Fall-Back", &vent), ("Risky", &lamp)]).unwrap();
+        let a = &el.automaton;
+        assert_eq!(a.dimension(), 3);
+        // Every location projects to one of the two original locations.
+        for (i, _) in a.locations.iter().enumerate() {
+            let p = el.projection[i];
+            assert!(p == fb || p == rk);
+        }
+        let on_id = a.loc_by_name("On").unwrap();
+        assert_eq!(el.projection[on_id.0], rk);
+        assert!(a.is_risky(on_id));
+        assert!(validate(a).is_clean(), "{}", validate(a));
+    }
+
+    #[test]
+    fn duplicate_parallel_target_rejected() {
+        let host = fig6_host();
+        let vent = fig2_vent();
+        let err = elaborate_parallel(&host, &[("Fall-Back", &vent), ("Fall-Back", &vent)]);
+        assert!(matches!(err, Err(ElaborationError::DuplicateTarget(_))));
+    }
+
+    #[test]
+    fn dependent_children_rejected() {
+        let mut b = HybridAutomaton::builder("host3");
+        let fb = b.location("A");
+        let rk = b.location("B");
+        b.edge(fb, rk).on("go").done();
+        b.initial(fb, None);
+        let host = b.build().unwrap();
+        let vent1 = fig2_vent();
+        let vent2 = fig2_vent(); // same names => dependent on each other
+        let err = elaborate_parallel(&host, &[("A", &vent1), ("B", &vent2)]);
+        assert!(matches!(
+            err,
+            Err(ElaborationError::ChildrenNotIndependent(_))
+        ));
+    }
+
+    #[test]
+    fn initial_at_elaborated_location_moves_to_child_initials() {
+        let host = fig6_host();
+        let vent = fig2_vent();
+        let fb = host.loc_by_name("Fall-Back").unwrap();
+        let el = elaborate(&host, fb, &vent).unwrap();
+        let inits = el.automaton.initial_locations();
+        assert_eq!(inits.len(), 1);
+        assert_eq!(
+            el.automaton.loc_name(inits[0]),
+            "PumpOut",
+            "child initial location becomes the elaborated initial"
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Arithmetic expressions over data state variables.
+//!
+//! Flows (`F`), resets (`R`), and the arithmetic halves of guards/invariants
+//! are all expressions over the automaton's data state variables vector
+//! `x(t)`. Keeping them as a small AST (rather than opaque closures) makes
+//! automata serializable, structurally comparable (needed by the *simple
+//! hybrid automaton* check of Definition 3), printable in DOT exports, and
+//! amenable to the syntactic analyses used by validation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Index of a data state variable within an automaton's variable vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An arithmetic expression over the data state variables vector.
+///
+/// Expressions evaluate against an [`EvalCtx`] holding the current
+/// valuation of `x(t)`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant.
+    Const(f64),
+    /// The current value of a data state variable.
+    Var(VarId),
+    /// Negation `-e`.
+    Neg(Box<Expr>),
+    /// Sum `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference `a - b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient `a / b`.
+    Div(Box<Expr>, Box<Expr>),
+    /// Pointwise minimum `min(a, b)`.
+    Min(Box<Expr>, Box<Expr>),
+    /// Pointwise maximum `max(a, b)`.
+    Max(Box<Expr>, Box<Expr>),
+    /// Absolute value `|e|`.
+    Abs(Box<Expr>),
+}
+
+/// Evaluation context: the current valuation of the data state variables.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalCtx<'a> {
+    /// Current values of the data state variables, indexed by [`VarId`].
+    pub vars: &'a [f64],
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Creates a context over a variable valuation.
+    pub fn new(vars: &'a [f64]) -> Self {
+        EvalCtx { vars }
+    }
+}
+
+impl Expr {
+    /// Shorthand for [`Expr::Const`].
+    pub fn c(value: f64) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// Shorthand for [`Expr::Var`].
+    pub fn var(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// The constant zero expression.
+    pub fn zero() -> Expr {
+        Expr::Const(0.0)
+    }
+
+    /// The constant one expression.
+    pub fn one() -> Expr {
+        Expr::Const(1.0)
+    }
+
+    /// Pointwise minimum of two expressions.
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::Min(Box::new(self), Box::new(other))
+    }
+
+    /// Pointwise maximum of two expressions.
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(other))
+    }
+
+    /// Absolute value of an expression.
+    pub fn abs(self) -> Expr {
+        Expr::Abs(Box::new(self))
+    }
+
+    /// Evaluates the expression against a variable valuation.
+    ///
+    /// Out-of-range variable references evaluate to 0.0; validation
+    /// ([`crate::validate`]) rejects such automata before execution, so this
+    /// is only reachable for hand-constructed, unvalidated expressions.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => ctx.vars.get(v.0).copied().unwrap_or(0.0),
+            Expr::Neg(e) => -e.eval(ctx),
+            Expr::Add(a, b) => a.eval(ctx) + b.eval(ctx),
+            Expr::Sub(a, b) => a.eval(ctx) - b.eval(ctx),
+            Expr::Mul(a, b) => a.eval(ctx) * b.eval(ctx),
+            Expr::Div(a, b) => a.eval(ctx) / b.eval(ctx),
+            Expr::Min(a, b) => a.eval(ctx).min(b.eval(ctx)),
+            Expr::Max(a, b) => a.eval(ctx).max(b.eval(ctx)),
+            Expr::Abs(e) => e.eval(ctx).abs(),
+        }
+    }
+
+    /// `true` if the expression references no variables (is a constant fold).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Expr::Const(_) => true,
+            Expr::Var(_) => false,
+            Expr::Neg(e) | Expr::Abs(e) => e.is_constant(),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => a.is_constant() && b.is_constant(),
+        }
+    }
+
+    /// Collects every variable referenced by the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Expr::Neg(e) | Expr::Abs(e) => e.collect_vars(out),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// The set of variables referenced by the expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Returns a copy of the expression with every variable index shifted by
+    /// `offset`. Used by elaboration, which concatenates the variable
+    /// vectors of the host and child automata.
+    pub fn shift_vars(&self, offset: usize) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Var(v) => Expr::Var(VarId(v.0 + offset)),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.shift_vars(offset))),
+            Expr::Abs(e) => Expr::Abs(Box::new(e.shift_vars(offset))),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            Expr::Min(a, b) => Expr::Min(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            Expr::Max(a, b) => Expr::Max(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+        }
+    }
+
+    /// Best-effort constant folding; returns `Some(c)` if the expression is
+    /// closed and evaluates to `c`.
+    pub fn const_value(&self) -> Option<f64> {
+        if self.is_constant() {
+            Some(self.eval(&EvalCtx::new(&[])))
+        } else {
+            None
+        }
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(value: f64) -> Expr {
+        Expr::Const(value)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(value: VarId) -> Expr {
+        Expr::Var(value)
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+impl Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => write!(f, "x{}", v.0),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+            Expr::Abs(e) => write!(f, "|{e}|"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx3() -> Vec<f64> {
+        vec![1.0, 2.0, -3.0]
+    }
+
+    #[test]
+    fn eval_basic_arithmetic() {
+        let vars = ctx3();
+        let ctx = EvalCtx::new(&vars);
+        let e = Expr::var(VarId(0)) + Expr::var(VarId(1)) * Expr::c(4.0);
+        assert_eq!(e.eval(&ctx), 9.0);
+        let d = (Expr::var(VarId(1)) - Expr::c(0.5)) / Expr::c(3.0);
+        assert_eq!(d.eval(&ctx), 0.5);
+    }
+
+    #[test]
+    fn eval_min_max_abs_neg() {
+        let vars = ctx3();
+        let ctx = EvalCtx::new(&vars);
+        assert_eq!(Expr::var(VarId(2)).abs().eval(&ctx), 3.0);
+        assert_eq!(
+            Expr::var(VarId(0)).min(Expr::var(VarId(1))).eval(&ctx),
+            1.0
+        );
+        assert_eq!(
+            Expr::var(VarId(0)).max(Expr::var(VarId(1))).eval(&ctx),
+            2.0
+        );
+        assert_eq!((-Expr::var(VarId(1))).eval(&ctx), -2.0);
+    }
+
+    #[test]
+    fn out_of_range_var_is_zero() {
+        let vars = vec![1.0];
+        let ctx = EvalCtx::new(&vars);
+        assert_eq!(Expr::var(VarId(7)).eval(&ctx), 0.0);
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(Expr::c(1.0).is_constant());
+        assert!((Expr::c(1.0) + Expr::c(2.0)).is_constant());
+        assert!(!(Expr::c(1.0) + Expr::var(VarId(0))).is_constant());
+        assert_eq!((Expr::c(2.0) * Expr::c(3.0)).const_value(), Some(6.0));
+        assert_eq!(Expr::var(VarId(0)).const_value(), None);
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let e = Expr::var(VarId(1)) + Expr::var(VarId(1)) * Expr::var(VarId(0));
+        let vars = e.vars();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&VarId(0)));
+        assert!(vars.contains(&VarId(1)));
+    }
+
+    #[test]
+    fn shift_vars_offsets_every_reference() {
+        let e = Expr::var(VarId(0)).min(Expr::var(VarId(2)) + Expr::c(1.0));
+        let shifted = e.shift_vars(10);
+        let vars = shifted.vars();
+        assert!(vars.contains(&VarId(10)));
+        assert!(vars.contains(&VarId(12)));
+        assert!(!vars.contains(&VarId(0)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::var(VarId(0)) + Expr::c(1.0);
+        assert_eq!(format!("{e}"), "(x0 + 1)");
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = Expr::var(VarId(0)) + Expr::c(1.0);
+        let b = Expr::var(VarId(0)) + Expr::c(1.0);
+        let c = Expr::var(VarId(0)) + Expr::c(2.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,327 @@
+//! Hybrid automata independence and simplicity (Definitions 2 and 3).
+//!
+//! Elaboration (Section IV-C) may only substitute a child automaton `A′`
+//! into a host `A` when the two are **independent** — disjoint variable
+//! names, location names, and synchronization labels — and when `A′` is a
+//! **simple hybrid automaton**: every location shares one invariant, the
+//! initial set is the full cross product of initial locations with that
+//! invariant, and the zero data state is initial. These conditions are what
+//! isolate the child's (physical-world) dynamics from the host pattern's
+//! PTE safety argument (Theorem 2).
+
+use crate::automaton::HybridAutomaton;
+use crate::expr::EvalCtx;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why two automata fail to be independent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DependenceReason {
+    /// A variable name appears in both automata.
+    SharedVariable(String),
+    /// A location name appears in both automata.
+    SharedLocation(String),
+    /// A synchronization label (same prefix and root) appears in both.
+    SharedLabel(String),
+}
+
+impl fmt::Display for DependenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependenceReason::SharedVariable(n) => write!(f, "shared variable `{n}`"),
+            DependenceReason::SharedLocation(n) => write!(f, "shared location `{n}`"),
+            DependenceReason::SharedLabel(n) => write!(f, "shared label `{n}`"),
+        }
+    }
+}
+
+/// Checks Definition 2: returns every reason `a` and `b` are *not*
+/// independent; an empty vector means they are independent.
+pub fn dependence_reasons(a: &HybridAutomaton, b: &HybridAutomaton) -> Vec<DependenceReason> {
+    let mut reasons = Vec::new();
+
+    let a_vars: HashSet<&str> = a.vars.iter().map(|v| v.name.as_str()).collect();
+    for v in &b.vars {
+        if a_vars.contains(v.name.as_str()) {
+            reasons.push(DependenceReason::SharedVariable(v.name.clone()));
+        }
+    }
+
+    let a_locs: HashSet<&str> = a.locations.iter().map(|l| l.name.as_str()).collect();
+    for l in &b.locations {
+        if a_locs.contains(l.name.as_str()) {
+            reasons.push(DependenceReason::SharedLocation(l.name.clone()));
+        }
+    }
+
+    let a_labels: HashSet<String> = a.labels().iter().map(|l| format!("{l}")).collect();
+    for l in b.labels() {
+        let s = format!("{l}");
+        if a_labels.contains(&s) {
+            reasons.push(DependenceReason::SharedLabel(s));
+        }
+    }
+
+    reasons
+}
+
+/// `true` iff `a` and `b` are independent (Definition 2).
+pub fn are_independent(a: &HybridAutomaton, b: &HybridAutomaton) -> bool {
+    dependence_reasons(a, b).is_empty()
+}
+
+/// `true` iff every pair in `autos` is independent (mutual independence).
+pub fn mutually_independent(autos: &[&HybridAutomaton]) -> bool {
+    for i in 0..autos.len() {
+        for j in (i + 1)..autos.len() {
+            if !are_independent(autos[i], autos[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Why an automaton fails to be a simple hybrid automaton (Definition 3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NotSimpleReason {
+    /// Two locations have structurally different invariants
+    /// (Definition 3, clause 1: `inv(v1) = inv(v2)` for all locations).
+    InvariantsDiffer {
+        /// First location name.
+        a: String,
+        /// Second location name.
+        b: String,
+    },
+    /// An initial location restricts its initial data beyond the invariant
+    /// (clause 2: all of `inv(v)` must be initial for initial `v`). With our
+    /// explicit-`Φ0` representation this means an initial state pinned a
+    /// data vector other than the declared defaults.
+    RestrictedInitialData {
+        /// Offending location name.
+        location: String,
+    },
+    /// The zero data state is not initial (clause 3: `(v, 0) ∈ Φ0`).
+    ZeroNotInitial {
+        /// Offending location name.
+        location: String,
+    },
+}
+
+impl fmt::Display for NotSimpleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotSimpleReason::InvariantsDiffer { a, b } => {
+                write!(f, "invariants of `{a}` and `{b}` differ")
+            }
+            NotSimpleReason::RestrictedInitialData { location } => {
+                write!(f, "initial data at `{location}` is restricted")
+            }
+            NotSimpleReason::ZeroNotInitial { location } => {
+                write!(f, "zero data state not initial at `{location}`")
+            }
+        }
+    }
+}
+
+/// Checks Definition 3 (simple hybrid automaton).
+///
+/// Clause 2 ("every data state in the invariant is initial") is interpreted
+/// for our explicit representation as: initial states use the declared
+/// default data (`data == None`), i.e. they do not pin a narrower set.
+/// Clause 3 requires the zero vector to satisfy the (shared) invariant and
+/// the declared defaults to be zero.
+pub fn not_simple_reasons(a: &HybridAutomaton) -> Vec<NotSimpleReason> {
+    let mut reasons = Vec::new();
+
+    // Clause 1: all invariants structurally equal.
+    for w in a.locations.windows(2) {
+        if w[0].invariant != w[1].invariant {
+            reasons.push(NotSimpleReason::InvariantsDiffer {
+                a: w[0].name.clone(),
+                b: w[1].name.clone(),
+            });
+        }
+    }
+
+    // Clause 2: initial data unrestricted.
+    for init in &a.initial {
+        if init.data.is_some() {
+            reasons.push(NotSimpleReason::RestrictedInitialData {
+                location: a.loc_name(init.loc).to_string(),
+            });
+        }
+    }
+
+    // Clause 3: zero data state initial — defaults are zero and satisfy the
+    // invariant of each initial location.
+    let zeros = vec![0.0; a.dimension()];
+    for init in &a.initial {
+        let defaults = a.initial_data(init);
+        let zero_default = defaults.iter().all(|v| *v == 0.0);
+        let inv_ok = a.locations[init.loc.0].invariant.eval(&EvalCtx::new(&zeros));
+        if !zero_default || !inv_ok {
+            reasons.push(NotSimpleReason::ZeroNotInitial {
+                location: a.loc_name(init.loc).to_string(),
+            });
+        }
+    }
+
+    reasons
+}
+
+/// `true` iff `a` is a simple hybrid automaton (Definition 3).
+pub fn is_simple(a: &HybridAutomaton) -> bool {
+    not_simple_reasons(a).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{HybridAutomaton, VarKind};
+    use crate::expr::Expr;
+    use crate::pred::Pred;
+
+    fn simple_vent(name: &str, var: &str, loc_prefix: &str, evt_prefix: &str) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder(name);
+        let h = b.var(var, VarKind::Continuous, 0.0);
+        let inv = Pred::ge(Expr::var(h), Expr::c(0.0)).and(Pred::le(Expr::var(h), Expr::c(0.3)));
+        let out = b.location(format!("{loc_prefix}Out"));
+        let inn = b.location(format!("{loc_prefix}In"));
+        b.invariant(out, inv.clone());
+        b.invariant(inn, inv);
+        b.flow(out, h, Expr::c(-0.1));
+        b.flow(inn, h, Expr::c(0.1));
+        b.edge(out, inn)
+            .guard(Pred::le(Expr::var(h), Expr::c(0.0)))
+            .urgent()
+            .emit(format!("{evt_prefix}In"))
+            .done();
+        b.edge(inn, out)
+            .guard(Pred::ge(Expr::var(h), Expr::c(0.3)))
+            .urgent()
+            .emit(format!("{evt_prefix}Out"))
+            .done();
+        b.initial(out, None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disjoint_automata_are_independent() {
+        let a = simple_vent("v1", "H1", "P1", "e1");
+        let b = simple_vent("v2", "H2", "P2", "e2");
+        assert!(are_independent(&a, &b));
+        assert!(mutually_independent(&[&a, &b]));
+    }
+
+    #[test]
+    fn shared_variable_detected() {
+        let a = simple_vent("v1", "H", "P1", "e1");
+        let b = simple_vent("v2", "H", "P2", "e2");
+        let reasons = dependence_reasons(&a, &b);
+        assert!(reasons
+            .iter()
+            .any(|r| matches!(r, DependenceReason::SharedVariable(n) if n == "H")));
+    }
+
+    #[test]
+    fn shared_location_detected() {
+        let a = simple_vent("v1", "H1", "P", "e1");
+        let b = simple_vent("v2", "H2", "P", "e2");
+        let reasons = dependence_reasons(&a, &b);
+        assert!(reasons
+            .iter()
+            .any(|r| matches!(r, DependenceReason::SharedLocation(_))));
+    }
+
+    #[test]
+    fn shared_label_detected() {
+        let a = simple_vent("v1", "H1", "P1", "e");
+        let b = simple_vent("v2", "H2", "P2", "e");
+        let reasons = dependence_reasons(&a, &b);
+        assert!(reasons
+            .iter()
+            .any(|r| matches!(r, DependenceReason::SharedLabel(_))));
+    }
+
+    #[test]
+    fn same_root_different_prefix_is_independent() {
+        // `!l` in one automaton vs `??l` in another are different labels —
+        // that is exactly how automata communicate.
+        let mut b1 = HybridAutomaton::builder("sender");
+        let s0 = b1.location("S0");
+        let s1 = b1.location("S1");
+        b1.edge(s0, s1).emit("l").done();
+        b1.initial(s0, None);
+        let sender = b1.build().unwrap();
+
+        let mut b2 = HybridAutomaton::builder("receiver");
+        let r0 = b2.location("R0");
+        let r1 = b2.location("R1");
+        b2.edge(r0, r1).on_lossy("l").done();
+        b2.initial(r0, None);
+        let receiver = b2.build().unwrap();
+
+        assert!(are_independent(&sender, &receiver));
+    }
+
+    #[test]
+    fn ventilator_is_simple() {
+        let v = simple_vent("vent", "Hvent", "Pump", "evtV");
+        assert!(is_simple(&v), "{:?}", not_simple_reasons(&v));
+    }
+
+    #[test]
+    fn differing_invariants_not_simple() {
+        let mut b = HybridAutomaton::builder("ns");
+        let x = b.var("x", VarKind::Continuous, 0.0);
+        let l0 = b.location("A");
+        let l1 = b.location("B");
+        b.invariant(l0, Pred::ge(Expr::var(x), Expr::c(0.0)));
+        b.invariant(l1, Pred::le(Expr::var(x), Expr::c(1.0)));
+        b.initial(l0, None);
+        let a = b.build().unwrap();
+        assert!(!is_simple(&a));
+        assert!(matches!(
+            not_simple_reasons(&a)[0],
+            NotSimpleReason::InvariantsDiffer { .. }
+        ));
+    }
+
+    #[test]
+    fn pinned_initial_data_not_simple() {
+        let mut b = HybridAutomaton::builder("pin");
+        let _x = b.var("x", VarKind::Continuous, 0.0);
+        let l0 = b.location("A");
+        b.initial(l0, Some(vec![0.5]));
+        let a = b.build().unwrap();
+        assert!(not_simple_reasons(&a)
+            .iter()
+            .any(|r| matches!(r, NotSimpleReason::RestrictedInitialData { .. })));
+    }
+
+    #[test]
+    fn nonzero_default_not_simple() {
+        let mut b = HybridAutomaton::builder("nz");
+        let _x = b.var("x", VarKind::Continuous, 0.7);
+        let l0 = b.location("A");
+        b.initial(l0, None);
+        let a = b.build().unwrap();
+        assert!(not_simple_reasons(&a)
+            .iter()
+            .any(|r| matches!(r, NotSimpleReason::ZeroNotInitial { .. })));
+    }
+
+    #[test]
+    fn zero_violating_invariant_not_simple() {
+        let mut b = HybridAutomaton::builder("zi");
+        let x = b.var("x", VarKind::Continuous, 0.0);
+        let l0 = b.location("A");
+        b.invariant(l0, Pred::gt(Expr::var(x), Expr::c(0.5)));
+        b.initial(l0, None);
+        let a = b.build().unwrap();
+        assert!(not_simple_reasons(&a)
+            .iter()
+            .any(|r| matches!(r, NotSimpleReason::ZeroNotInitial { .. })));
+    }
+}

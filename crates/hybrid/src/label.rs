@@ -1,0 +1,156 @@
+//! Synchronization labels (Section II-A, item 8).
+//!
+//! A synchronization label consists of a **root** (the event) and a
+//! **prefix** describing the automaton's role for that event:
+//!
+//! * `!root`  — the automaton *sends* (broadcasts) the event;
+//! * `?root`  — the automaton *receives* the event over a reliable link
+//!   (e.g. the wired SpO2 sensor of the case study);
+//! * `??root` — the automaton *receives* the event over an unreliable
+//!   (wireless) link: the event may be arbitrarily lost (fault model,
+//!   Section II-B);
+//! * a bare root — an *internal* event with no receiver.
+//!
+//! Labels with different prefixes or roots are distinct labels (`!l`, `?l`
+//! and `??l` are three different labels relating to the same event `l`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The root of a synchronization label: the event name, shared between the
+/// `!`-labelled sender edge and the `?`/`??`-labelled receiver edges.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Root(String);
+
+impl Root {
+    /// Creates an event root from a name.
+    pub fn new(name: impl Into<String>) -> Root {
+        Root(name.into())
+    }
+
+    /// The event name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Root {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Root {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Root {
+    fn from(s: &str) -> Root {
+        Root::new(s)
+    }
+}
+
+impl From<String> for Root {
+    fn from(s: String) -> Root {
+        Root::new(s)
+    }
+}
+
+/// A synchronization label: event root plus role prefix.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SyncLabel {
+    /// `!root`: this edge broadcasts the event.
+    Send(Root),
+    /// `?root`: this edge is triggered by reliably receiving the event.
+    Recv(Root),
+    /// `??root`: this edge is triggered by receiving the event over an
+    /// unreliable (lossy) link.
+    RecvLossy(Root),
+    /// Internal event without receivers; the `!` prefix is omitted.
+    Internal(Root),
+}
+
+impl SyncLabel {
+    /// The label's event root.
+    pub fn root(&self) -> &Root {
+        match self {
+            SyncLabel::Send(r)
+            | SyncLabel::Recv(r)
+            | SyncLabel::RecvLossy(r)
+            | SyncLabel::Internal(r) => r,
+        }
+    }
+
+    /// `true` for `?root` and `??root` labels.
+    pub fn is_receive(&self) -> bool {
+        matches!(self, SyncLabel::Recv(_) | SyncLabel::RecvLossy(_))
+    }
+
+    /// `true` for `!root` labels.
+    pub fn is_send(&self) -> bool {
+        matches!(self, SyncLabel::Send(_))
+    }
+
+    /// `true` for `??root` labels (wireless reception; may be lost).
+    pub fn is_lossy(&self) -> bool {
+        matches!(self, SyncLabel::RecvLossy(_))
+    }
+}
+
+impl fmt::Display for SyncLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncLabel::Send(r) => write!(f, "!{r}"),
+            SyncLabel::Recv(r) => write!(f, "?{r}"),
+            SyncLabel::RecvLossy(r) => write!(f, "??{r}"),
+            SyncLabel::Internal(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_compare_by_name() {
+        assert_eq!(Root::new("evtA"), Root::from("evtA"));
+        assert_ne!(Root::new("evtA"), Root::new("evtB"));
+    }
+
+    #[test]
+    fn prefixes_distinguish_labels() {
+        let l = Root::new("l");
+        let send = SyncLabel::Send(l.clone());
+        let recv = SyncLabel::Recv(l.clone());
+        let lossy = SyncLabel::RecvLossy(l.clone());
+        assert_ne!(send, recv);
+        assert_ne!(recv, lossy);
+        assert_eq!(send.root(), recv.root());
+    }
+
+    #[test]
+    fn role_predicates() {
+        let l = Root::new("l");
+        assert!(SyncLabel::Send(l.clone()).is_send());
+        assert!(SyncLabel::Recv(l.clone()).is_receive());
+        assert!(SyncLabel::RecvLossy(l.clone()).is_receive());
+        assert!(SyncLabel::RecvLossy(l.clone()).is_lossy());
+        assert!(!SyncLabel::Recv(l.clone()).is_lossy());
+        assert!(!SyncLabel::Internal(l).is_receive());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let l = Root::new("evtVPumpIn");
+        assert_eq!(format!("{}", SyncLabel::Send(l.clone())), "!evtVPumpIn");
+        assert_eq!(format!("{}", SyncLabel::Recv(l.clone())), "?evtVPumpIn");
+        assert_eq!(
+            format!("{}", SyncLabel::RecvLossy(l.clone())),
+            "??evtVPumpIn"
+        );
+        assert_eq!(format!("{}", SyncLabel::Internal(l)), "evtVPumpIn");
+    }
+}

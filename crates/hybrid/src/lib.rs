@@ -1,0 +1,50 @@
+//! # pte-hybrid
+//!
+//! Hybrid automaton formalism for Proper-Temporal-Embedding (PTE) wireless
+//! cyber-physical systems, reproducing the model of Tan et al.,
+//! *"Guaranteeing Proper-Temporal-Embedding Safety Rules in Wireless CPS: A
+//! Hybrid Formal Modeling Approach"* (DSN 2013), Section II.
+//!
+//! A hybrid automaton `A = (x(t), V, inv, F, E, g, R, L, syn, Φ0)` couples
+//!
+//! * a vector of continuous **data state variables** `x(t)` (see [`expr`]),
+//! * a finite set of **locations** `V` with **invariants** `inv(v)` and
+//!   **flows** `F` (differential equations, one per variable per location),
+//! * **edges** `E` with **guards** `g(e)`, **resets** `R`, and
+//!   **synchronization labels** `syn(e)` (see [`label`]) that model reliable
+//!   (`?`) and lossy wireless (`??`) event reception.
+//!
+//! The crate additionally provides the paper's Section IV-C machinery:
+//!
+//! * [`independence`] — Definition 2 (hybrid automata independence) and
+//!   Definition 3 (simple hybrid automaton);
+//! * [`elaboration`] — atomic elaboration `E(A, v, A′)` and parallel
+//!   elaboration, by which design-pattern automata are refined into concrete
+//!   CPS designs without disturbing their PTE safety guarantees (Theorem 2);
+//! * [`dot`] — Graphviz export used to regenerate the paper's automata
+//!   figures (Figs. 2, 3, 5, 6).
+//!
+//! The execution semantics (trajectories) live in the `pte-sim` crate; this
+//! crate is purely the model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod dot;
+pub mod elaboration;
+pub mod expr;
+pub mod independence;
+pub mod label;
+pub mod pred;
+pub mod time;
+pub mod validate;
+
+pub use automaton::{
+    AutomatonBuilder, BuildError, Edge, EdgeId, HybridAutomaton, InitialState, LocId, Location,
+    Trigger, VarDecl, VarKind,
+};
+pub use expr::{EvalCtx, Expr, VarId};
+pub use label::{Root, SyncLabel};
+pub use pred::{Cmp, Pred};
+pub use time::Time;

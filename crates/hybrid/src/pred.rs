@@ -1,0 +1,399 @@
+//! Predicates over data state variables.
+//!
+//! Invariant sets `inv(v)`, guard sets `g(e)`, and the application-dependent
+//! propositions of the design pattern (`ApprovalCondition`,
+//! `ParticipationCondition`) are all predicates over the data state
+//! variables vector. As with [`crate::expr`], a small AST keeps the model
+//! serializable, comparable and printable.
+
+use crate::expr::{EvalCtx, Expr, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators for atomic predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Cmp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal within [`Pred::EQ_TOLERANCE`].
+    Eq,
+    /// Not equal (beyond [`Pred::EQ_TOLERANCE`]).
+    Ne,
+}
+
+impl Cmp {
+    /// Applies the comparison to two floats.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Eq => (lhs - rhs).abs() <= Pred::EQ_TOLERANCE,
+            Cmp::Ne => (lhs - rhs).abs() > Pred::EQ_TOLERANCE,
+        }
+    }
+
+    /// Symbol used by [`fmt::Display`].
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+        }
+    }
+}
+
+/// A boolean predicate over the data state variables vector.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Pred {
+    /// Always true (the trivial invariant `R^n`).
+    #[default]
+    True,
+    /// Always false (the empty set).
+    False,
+    /// Atomic comparison between two expressions.
+    Cmp(Expr, Cmp, Expr),
+    /// Conjunction of sub-predicates (empty conjunction is true).
+    And(Vec<Pred>),
+    /// Disjunction of sub-predicates (empty disjunction is false).
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// Tolerance used by [`Cmp::Eq`] / [`Cmp::Ne`] on continuous states.
+    pub const EQ_TOLERANCE: f64 = 1e-9;
+
+    /// Atomic comparison constructor.
+    pub fn cmp(lhs: impl Into<Expr>, op: Cmp, rhs: impl Into<Expr>) -> Pred {
+        Pred::Cmp(lhs.into(), op, rhs.into())
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> Pred {
+        Pred::cmp(lhs, Cmp::Lt, rhs)
+    }
+
+    /// `lhs <= rhs`.
+    pub fn le(lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> Pred {
+        Pred::cmp(lhs, Cmp::Le, rhs)
+    }
+
+    /// `lhs > rhs`.
+    pub fn gt(lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> Pred {
+        Pred::cmp(lhs, Cmp::Gt, rhs)
+    }
+
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> Pred {
+        Pred::cmp(lhs, Cmp::Ge, rhs)
+    }
+
+    /// `lhs == rhs` (within tolerance).
+    pub fn eq(lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> Pred {
+        Pred::cmp(lhs, Cmp::Eq, rhs)
+    }
+
+    /// Conjunction of `self` and `other`, flattening nested conjunctions.
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::True, p) | (p, Pred::True) => p,
+            (Pred::And(mut a), Pred::And(b)) => {
+                a.extend(b);
+                Pred::And(a)
+            }
+            (Pred::And(mut a), p) => {
+                a.push(p);
+                Pred::And(a)
+            }
+            (p, Pred::And(mut b)) => {
+                b.insert(0, p);
+                Pred::And(b)
+            }
+            (a, b) => Pred::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of `self` and `other`, flattening nested disjunctions.
+    pub fn or(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::False, p) | (p, Pred::False) => p,
+            (Pred::Or(mut a), Pred::Or(b)) => {
+                a.extend(b);
+                Pred::Or(a)
+            }
+            (Pred::Or(mut a), p) => {
+                a.push(p);
+                Pred::Or(a)
+            }
+            (p, Pred::Or(mut b)) => {
+                b.insert(0, p);
+                Pred::Or(b)
+            }
+            (a, b) => Pred::Or(vec![a, b]),
+        }
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Pred {
+        match self {
+            Pred::True => Pred::False,
+            Pred::False => Pred::True,
+            Pred::Not(inner) => *inner,
+            p => Pred::Not(Box::new(p)),
+        }
+    }
+
+    /// Evaluates the predicate against a variable valuation.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::Cmp(lhs, op, rhs) => op.apply(lhs.eval(ctx), rhs.eval(ctx)),
+            Pred::And(ps) => ps.iter().all(|p| p.eval(ctx)),
+            Pred::Or(ps) => ps.iter().any(|p| p.eval(ctx)),
+            Pred::Not(p) => !p.eval(ctx),
+        }
+    }
+
+    /// Convenience: evaluates against a raw slice valuation.
+    pub fn holds(&self, vars: &[f64]) -> bool {
+        self.eval(&EvalCtx::new(vars))
+    }
+
+    /// Evaluates with a numeric slack: comparisons are *relaxed* by
+    /// `slack` (a state within `slack` of satisfying an atom counts as
+    /// satisfying it). Negated sub-predicates are strengthened
+    /// symmetrically, so `p.eval_slack(ctx, s)` is monotone in `s`.
+    ///
+    /// The executor uses this for invariant checks: boundary localization
+    /// necessarily lands a hair past invariant boundaries (e.g.
+    /// `Hvent = -1e-17` after the `Hvent ≤ 0` crossing), which must not
+    /// count as a time-block.
+    pub fn eval_slack(&self, ctx: &EvalCtx<'_>, slack: f64) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::Cmp(lhs, op, rhs) => {
+                let l = lhs.eval(ctx);
+                let r = rhs.eval(ctx);
+                match op {
+                    Cmp::Lt => l < r + slack,
+                    Cmp::Le => l <= r + slack,
+                    Cmp::Gt => l > r - slack,
+                    Cmp::Ge => l >= r - slack,
+                    Cmp::Eq => (l - r).abs() <= Pred::EQ_TOLERANCE + slack.max(0.0),
+                    Cmp::Ne => (l - r).abs() > (Pred::EQ_TOLERANCE - slack).max(0.0),
+                }
+            }
+            Pred::And(ps) => ps.iter().all(|p| p.eval_slack(ctx, slack)),
+            Pred::Or(ps) => ps.iter().any(|p| p.eval_slack(ctx, slack)),
+            Pred::Not(p) => !p.eval_slack(ctx, -slack),
+        }
+    }
+
+    /// Convenience: [`Pred::eval_slack`] against a raw slice valuation.
+    pub fn holds_with_slack(&self, vars: &[f64], slack: f64) -> bool {
+        self.eval_slack(&EvalCtx::new(vars), slack)
+    }
+
+    /// Collects every variable referenced by the predicate into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Pred::True | Pred::False => {}
+            Pred::Cmp(lhs, _, rhs) => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+            Pred::Not(p) => p.collect_vars(out),
+        }
+    }
+
+    /// The set of variables referenced by the predicate.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Returns a copy with every variable index shifted by `offset`
+    /// (elaboration support; see [`Expr::shift_vars`]).
+    pub fn shift_vars(&self, offset: usize) -> Pred {
+        match self {
+            Pred::True => Pred::True,
+            Pred::False => Pred::False,
+            Pred::Cmp(lhs, op, rhs) => {
+                Pred::Cmp(lhs.shift_vars(offset), *op, rhs.shift_vars(offset))
+            }
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.shift_vars(offset)).collect()),
+            Pred::Or(ps) => Pred::Or(ps.iter().map(|p| p.shift_vars(offset)).collect()),
+            Pred::Not(p) => Pred::Not(Box::new(p.shift_vars(offset))),
+        }
+    }
+
+    /// Best-effort syntactic check that this predicate is the trivial `True`.
+    pub fn is_trivially_true(&self) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::And(ps) => ps.iter().all(|p| p.is_trivially_true()),
+            _ => false,
+        }
+    }
+}
+
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::False => write!(f, "false"),
+            Pred::Cmp(lhs, op, rhs) => write!(f, "{lhs} {} {rhs}", op.symbol()),
+            Pred::And(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "true");
+                }
+                let parts: Vec<String> = ps.iter().map(|p| format!("{p}")).collect();
+                write!(f, "({})", parts.join(" && "))
+            }
+            Pred::Or(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "false");
+                }
+                let parts: Vec<String> = ps.iter().map(|p| format!("{p}")).collect();
+                write!(f, "({})", parts.join(" || "))
+            }
+            Pred::Not(p) => write!(f, "!({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(Cmp::Lt.apply(1.0, 2.0));
+        assert!(!Cmp::Lt.apply(2.0, 2.0));
+        assert!(Cmp::Le.apply(2.0, 2.0));
+        assert!(Cmp::Gt.apply(3.0, 2.0));
+        assert!(Cmp::Ge.apply(2.0, 2.0));
+        assert!(Cmp::Eq.apply(1.0, 1.0 + 1e-12));
+        assert!(Cmp::Ne.apply(1.0, 1.1));
+    }
+
+    #[test]
+    fn eval_compound() {
+        let vars = vec![5.0, -1.0];
+        let x0 = Expr::var(VarId(0));
+        let x1 = Expr::var(VarId(1));
+        let p = Pred::ge(x0.clone(), Expr::c(0.0)).and(Pred::lt(x1.clone(), Expr::c(0.0)));
+        assert!(p.holds(&vars));
+        let q = Pred::lt(x0, Expr::c(0.0)).or(Pred::lt(x1, Expr::c(0.0)));
+        assert!(q.holds(&vars));
+        assert!(!q.not().holds(&vars));
+    }
+
+    #[test]
+    fn and_or_flatten_and_absorb_trivials() {
+        let a = Pred::lt(Expr::c(0.0), Expr::c(1.0));
+        assert_eq!(Pred::True.and(a.clone()), a);
+        assert_eq!(a.clone().and(Pred::True), a);
+        assert_eq!(Pred::False.or(a.clone()), a);
+        let nested = a.clone().and(a.clone()).and(a.clone());
+        if let Pred::And(ps) = &nested {
+            assert_eq!(ps.len(), 3);
+        } else {
+            panic!("expected flattened And");
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let a = Pred::lt(Expr::c(0.0), Expr::c(1.0));
+        assert_eq!(a.clone().not().not(), a);
+        assert_eq!(Pred::True.not(), Pred::False);
+        assert_eq!(Pred::False.not(), Pred::True);
+    }
+
+    #[test]
+    fn vars_collected_across_structure() {
+        let p = Pred::ge(Expr::var(VarId(3)), Expr::c(1.0))
+            .and(Pred::lt(Expr::var(VarId(1)), Expr::var(VarId(3))));
+        let vars = p.vars();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&VarId(1)));
+        assert!(vars.contains(&VarId(3)));
+    }
+
+    #[test]
+    fn shift_vars_applies_recursively() {
+        let p = Pred::ge(Expr::var(VarId(0)), Expr::c(1.0)).not();
+        let shifted = p.shift_vars(5);
+        assert!(shifted.vars().contains(&VarId(5)));
+    }
+
+    #[test]
+    fn trivially_true_detection() {
+        assert!(Pred::True.is_trivially_true());
+        assert!(Pred::And(vec![Pred::True, Pred::True]).is_trivially_true());
+        assert!(!Pred::lt(Expr::c(0.0), Expr::c(1.0)).is_trivially_true());
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Pred::And(vec![]).holds(&[]));
+        assert!(!Pred::Or(vec![]).holds(&[]));
+    }
+
+    #[test]
+    fn eval_slack_relaxes_atoms() {
+        let p = Pred::ge(Expr::var(VarId(0)), Expr::c(0.0));
+        assert!(!p.holds(&[-1e-9]));
+        assert!(p.holds_with_slack(&[-1e-9], 1e-7));
+        assert!(!p.holds_with_slack(&[-1e-6], 1e-7));
+        let q = Pred::le(Expr::var(VarId(0)), Expr::c(1.0));
+        assert!(q.holds_with_slack(&[1.0 + 1e-9], 1e-7));
+    }
+
+    #[test]
+    fn eval_slack_monotone_under_negation() {
+        // Relaxing !(x >= 0) ≡ x < 0 widens it to x < slack: a point just
+        // past the boundary is accepted, a clearly-inside point stays
+        // accepted, and a clearly-outside point stays rejected.
+        let p = Pred::ge(Expr::var(VarId(0)), Expr::c(0.0)).not();
+        assert!(p.holds_with_slack(&[1e-9], 1e-7), "boundary point accepted");
+        assert!(p.holds_with_slack(&[-1.0], 1e-7));
+        assert!(!p.holds_with_slack(&[1.0], 1e-7));
+    }
+
+    #[test]
+    fn display_round_trip_readable() {
+        let p = Pred::ge(Expr::var(VarId(0)), Expr::c(1.0));
+        assert_eq!(format!("{p}"), "x0 >= 1");
+    }
+}

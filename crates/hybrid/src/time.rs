@@ -1,0 +1,245 @@
+//! Virtual time.
+//!
+//! The executor and all timing parameters of the lease design pattern use a
+//! single notion of time: seconds since the start of the trajectory, stored
+//! as a finite `f64`. [`Time`] is a thin newtype that (a) forbids NaN so a
+//! total order exists (needed by the event queue), and (b) keeps instants
+//! from being confused with raw floats at API boundaries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An instant (or span) of virtual time, in seconds.
+///
+/// `Time` is totally ordered ([`Ord`] is implemented via
+/// [`f64::total_cmp`]); constructors reject NaN in debug builds. Arithmetic
+/// is closed over `Time` — the paper's configuration constants
+/// (`T^max_wait`, `T^max_run,i`, …) are spans and its trajectory timestamps
+/// are instants, and both occur in the same closed-form inequalities
+/// (conditions c1–c7), so a single type keeps that algebra direct.
+#[derive(Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Time(f64);
+
+impl Time {
+    /// The origin of virtual time (also the zero span).
+    pub const ZERO: Time = Time(0.0);
+
+    /// A span/instant so large it compares greater than any reachable time.
+    pub const INFINITY: Time = Time(f64::INFINITY);
+
+    /// Creates a `Time` from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `secs` is NaN.
+    #[inline]
+    pub fn seconds(secs: f64) -> Time {
+        debug_assert!(!secs.is_nan(), "Time must not be NaN");
+        Time(secs)
+    }
+
+    /// Creates a `Time` from milliseconds.
+    #[inline]
+    pub fn millis(ms: f64) -> Time {
+        Time::seconds(ms / 1_000.0)
+    }
+
+    /// The number of seconds as a raw `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this time is finite (not `Time::INFINITY`).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Time, hi: Time) -> Time {
+        self.max(lo).min(hi)
+    }
+
+    /// Absolute value (useful for tolerance comparisons on spans).
+    #[inline]
+    pub fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+
+    /// `true` if `self` is within `tol` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Time, tol: Time) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl PartialEq for Time {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::seconds(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::seconds(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time::seconds(-self.0)
+    }
+}
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::seconds(self.0 * rhs)
+    }
+}
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time::seconds(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}s", prec, self.0)
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+impl From<f64> for Time {
+    fn from(secs: f64) -> Time {
+        Time::seconds(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Time::seconds(1.0);
+        let b = Time::seconds(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(Time::INFINITY > Time::seconds(1e300));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Time::seconds(1.5);
+        let b = Time::seconds(0.25);
+        assert_eq!((a + b).as_secs_f64(), 1.75);
+        assert_eq!((a - b).as_secs_f64(), 1.25);
+        assert_eq!((a * 2.0).as_secs_f64(), 3.0);
+        assert_eq!((a / 2.0).as_secs_f64(), 0.75);
+        assert_eq!((-b).as_secs_f64(), -0.25);
+    }
+
+    #[test]
+    fn millis_constructor() {
+        assert_eq!(Time::millis(250.0), Time::seconds(0.25));
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        assert_eq!(
+            Time::seconds(5.0).clamp(Time::ZERO, Time::seconds(2.0)),
+            Time::seconds(2.0)
+        );
+        assert_eq!(Time::seconds(-3.0).abs(), Time::seconds(3.0));
+    }
+
+    #[test]
+    fn approx_eq_with_tolerance() {
+        assert!(Time::seconds(1.0).approx_eq(Time::seconds(1.0 + 1e-12), Time::seconds(1e-9)));
+        assert!(!Time::seconds(1.0).approx_eq(Time::seconds(1.1), Time::seconds(1e-9)));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", Time::seconds(1.25)), "1.250s");
+        assert_eq!(format!("{:.1}", Time::seconds(1.25)), "1.2s");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Time::seconds(f64::NAN);
+    }
+}

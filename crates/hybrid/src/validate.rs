@@ -1,0 +1,321 @@
+//! Semantic well-formedness checks beyond what the builder enforces.
+//!
+//! The builder ([`crate::automaton::AutomatonBuilder`]) guarantees
+//! referential integrity; this module checks the *model-level* conditions
+//! assumed by the paper's definitions:
+//!
+//! * every initial state satisfies its location's invariant
+//!   (`Φ0 ⊆ {(v, s) | s ∈ inv(v)}`, Section II-A item 9);
+//! * guards and resets reference declared variables only;
+//! * every location is reachable in the location graph from some initial
+//!   location (unreachable locations usually indicate a wiring bug in a
+//!   generated pattern automaton);
+//! * urgent edges have a satisfiable-looking guard (not literally `False`);
+//! * emitted/received event roots are consistent (a root both emitted and
+//!   received by the *same* automaton is flagged — the paper's systems
+//!   communicate events across automata).
+
+use crate::automaton::{HybridAutomaton, LocId};
+use crate::expr::EvalCtx;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// A single validation finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Finding {
+    /// An initial state violates its location invariant.
+    InitialViolatesInvariant {
+        /// Offending location name.
+        location: String,
+    },
+    /// A guard/reset/flow/invariant references an undeclared variable.
+    UndeclaredVariable {
+        /// Where the reference occurs (human-readable).
+        site: String,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A location is unreachable from every initial location.
+    UnreachableLocation {
+        /// Offending location name.
+        location: String,
+    },
+    /// An urgent edge has guard `False` (it can never fire, so the location
+    /// invariant may time-block).
+    UrgentGuardFalse {
+        /// Source location name.
+        src: String,
+        /// Destination location name.
+        dst: String,
+    },
+    /// The automaton both emits and receives the same root.
+    SelfCommunication {
+        /// The event root.
+        root: String,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::InitialViolatesInvariant { location } => {
+                write!(f, "initial state violates invariant of `{location}`")
+            }
+            Finding::UndeclaredVariable { site, index } => {
+                write!(f, "undeclared variable x{index} referenced at {site}")
+            }
+            Finding::UnreachableLocation { location } => {
+                write!(f, "location `{location}` is unreachable")
+            }
+            Finding::UrgentGuardFalse { src, dst } => {
+                write!(f, "urgent edge `{src}` -> `{dst}` has guard false")
+            }
+            Finding::SelfCommunication { root } => {
+                write!(f, "root `{root}` is both emitted and received locally")
+            }
+        }
+    }
+}
+
+/// Result of validating an automaton: a list of findings (empty = clean).
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All findings, in detection order.
+    pub findings: Vec<Finding>,
+}
+
+impl ValidationReport {
+    /// `true` if no findings were raised.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "ok");
+        }
+        for finding in &self.findings {
+            writeln!(f, "- {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates an automaton, returning every finding.
+pub fn validate(a: &HybridAutomaton) -> ValidationReport {
+    let mut findings = Vec::new();
+    let dim = a.dimension();
+
+    // 1. Initial states satisfy invariants.
+    for init in &a.initial {
+        let data = a.initial_data(init);
+        if data.len() == dim {
+            let inv = &a.locations[init.loc.0].invariant;
+            if !inv.eval(&EvalCtx::new(&data)) {
+                findings.push(Finding::InitialViolatesInvariant {
+                    location: a.loc_name(init.loc).to_string(),
+                });
+            }
+        }
+    }
+
+    // 2. Variable references in range.
+    let check_vars = |vars: Vec<crate::expr::VarId>, site: String, findings: &mut Vec<Finding>| {
+        for v in vars {
+            if v.0 >= dim {
+                findings.push(Finding::UndeclaredVariable {
+                    site: site.clone(),
+                    index: v.0,
+                });
+            }
+        }
+    };
+    for (i, loc) in a.locations.iter().enumerate() {
+        check_vars(
+            loc.invariant.vars(),
+            format!("invariant of `{}`", loc.name),
+            &mut findings,
+        );
+        for (v, e) in &loc.flows {
+            if v.0 >= dim {
+                findings.push(Finding::UndeclaredVariable {
+                    site: format!("flow target in `{}`", loc.name),
+                    index: v.0,
+                });
+            }
+            check_vars(e.vars(), format!("flow expr in `{}`", loc.name), &mut findings);
+        }
+        let _ = i;
+    }
+    for (i, e) in a.edges.iter().enumerate() {
+        check_vars(e.guard.vars(), format!("guard of edge e{i}"), &mut findings);
+        for (v, expr) in &e.resets {
+            if v.0 >= dim {
+                findings.push(Finding::UndeclaredVariable {
+                    site: format!("reset target of edge e{i}"),
+                    index: v.0,
+                });
+            }
+            check_vars(expr.vars(), format!("reset expr of edge e{i}"), &mut findings);
+        }
+    }
+
+    // 3. Reachability over the location graph.
+    let mut reachable: HashSet<usize> = HashSet::new();
+    let mut queue: VecDeque<usize> = a.initial_locations().iter().map(|l| l.0).collect();
+    for l in &queue {
+        reachable.insert(*l);
+    }
+    while let Some(v) = queue.pop_front() {
+        for (_, e) in a.edges_from(LocId(v)) {
+            if reachable.insert(e.dst.0) {
+                queue.push_back(e.dst.0);
+            }
+        }
+    }
+    for (i, loc) in a.locations.iter().enumerate() {
+        if !reachable.contains(&i) {
+            findings.push(Finding::UnreachableLocation {
+                location: loc.name.clone(),
+            });
+        }
+    }
+
+    // 4. Urgent guards not literally false.
+    for e in &a.edges {
+        if e.urgent && e.guard == crate::pred::Pred::False {
+            findings.push(Finding::UrgentGuardFalse {
+                src: a.loc_name(e.src).to_string(),
+                dst: a.loc_name(e.dst).to_string(),
+            });
+        }
+    }
+
+    // 5. Self-communication.
+    let emitted: HashSet<String> = a
+        .emit_roots()
+        .into_iter()
+        .map(|r| r.as_str().to_string())
+        .collect();
+    for (root, _) in a.receive_roots() {
+        if emitted.contains(root.as_str()) {
+            findings.push(Finding::SelfCommunication {
+                root: root.as_str().to_string(),
+            });
+        }
+    }
+
+    ValidationReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::HybridAutomaton;
+    use crate::expr::Expr;
+    use crate::pred::Pred;
+
+    #[test]
+    fn clean_automaton_validates() {
+        let mut b = HybridAutomaton::builder("ok");
+        let a = b.location("A");
+        let r = b.risky_location("R");
+        let c = b.clock("c");
+        b.invariant(r, Pred::le(Expr::var(c), Expr::c(2.0)));
+        b.edge(a, r)
+            .guard(Pred::ge(Expr::var(c), Expr::c(1.0)))
+            .reset_clock(c)
+            .done();
+        b.edge(r, a)
+            .guard(Pred::ge(Expr::var(c), Expr::c(2.0)))
+            .urgent()
+            .reset_clock(c)
+            .done();
+        b.initial(a, None);
+        let auto = b.build().unwrap();
+        let report = validate(&auto);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn initial_invariant_violation_detected() {
+        let mut b = HybridAutomaton::builder("bad-init");
+        let a = b.location("A");
+        let x = b.var("x", crate::automaton::VarKind::Continuous, -1.0);
+        b.invariant(a, Pred::ge(Expr::var(x), Expr::c(0.0)));
+        b.initial(a, None);
+        let auto = b.build().unwrap();
+        let report = validate(&auto);
+        assert!(matches!(
+            report.findings[0],
+            Finding::InitialViolatesInvariant { .. }
+        ));
+    }
+
+    #[test]
+    fn unreachable_location_detected() {
+        let mut b = HybridAutomaton::builder("island");
+        let a = b.location("A");
+        let _island = b.location("Island");
+        b.initial(a, None);
+        let auto = b.build().unwrap();
+        let report = validate(&auto);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnreachableLocation { location } if location == "Island")));
+    }
+
+    #[test]
+    fn undeclared_variable_detected() {
+        let mut b = HybridAutomaton::builder("oov");
+        let a = b.location("A");
+        b.invariant(a, Pred::ge(Expr::var(crate::expr::VarId(9)), Expr::c(0.0)));
+        b.initial(a, None);
+        let auto = b.build().unwrap();
+        let report = validate(&auto);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UndeclaredVariable { index: 9, .. })));
+    }
+
+    #[test]
+    fn urgent_false_guard_detected() {
+        let mut b = HybridAutomaton::builder("uf");
+        let a = b.location("A");
+        let c = b.location("B");
+        b.edge(a, c).guard(Pred::False).urgent().done();
+        b.initial(a, None);
+        let auto = b.build().unwrap();
+        let report = validate(&auto);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UrgentGuardFalse { .. })));
+    }
+
+    #[test]
+    fn self_communication_detected() {
+        let mut b = HybridAutomaton::builder("selfcomm");
+        let a = b.location("A");
+        let c = b.location("B");
+        b.edge(a, c).emit("ping").done();
+        b.edge(c, a).on("ping").done();
+        b.initial(a, None);
+        let auto = b.build().unwrap();
+        let report = validate(&auto);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::SelfCommunication { root } if root == "ping")));
+    }
+
+    #[test]
+    fn report_display() {
+        let report = ValidationReport::default();
+        assert_eq!(format!("{report}"), "ok");
+    }
+}

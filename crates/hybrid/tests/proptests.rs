@@ -1,0 +1,201 @@
+//! Property-based tests for the hybrid automaton substrate: evaluator
+//! algebra, shift invariance (the substitution elaboration relies on),
+//! and structural properties of elaboration on randomized automata.
+
+use proptest::prelude::*;
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::elaboration::elaborate;
+use pte_hybrid::independence::{is_simple, not_simple_reasons};
+use pte_hybrid::validate::validate;
+use pte_hybrid::{Cmp, EvalCtx, Expr, HybridAutomaton, LocId, Pred, VarId};
+
+/// Strategy: a random expression over `nvars` variables, bounded depth.
+fn exprs(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100.0f64..100.0).prop_map(Expr::Const),
+        (0..nvars).prop_map(|i| Expr::Var(VarId(i))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            inner.clone().prop_map(|a| -a),
+            inner.prop_map(|a| a.abs()),
+        ]
+    })
+}
+
+/// Strategy: a random atomic-or-compound predicate over `nvars` variables.
+fn preds(nvars: usize) -> impl Strategy<Value = Pred> {
+    let cmp = prop_oneof![
+        Just(Cmp::Lt),
+        Just(Cmp::Le),
+        Just(Cmp::Gt),
+        Just(Cmp::Ge),
+    ];
+    let atom = (exprs(nvars), cmp, exprs(nvars))
+        .prop_map(|(l, op, r)| Pred::Cmp(l, op, r));
+    atom.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    /// Shifting variable indices commutes with evaluation under a
+    /// correspondingly shifted valuation — the algebraic fact elaboration
+    /// depends on when it concatenates variable vectors.
+    #[test]
+    fn expr_shift_invariance(e in exprs(3), vars in proptest::collection::vec(-50.0f64..50.0, 3), offset in 0usize..5) {
+        let direct = e.eval(&EvalCtx::new(&vars));
+        let mut padded = vec![0.0; offset];
+        padded.extend_from_slice(&vars);
+        let shifted = e.shift_vars(offset).eval(&EvalCtx::new(&padded));
+        // NaN-safe comparison (0*inf etc. can produce NaN on both sides).
+        prop_assert!(
+            direct == shifted || (direct.is_nan() && shifted.is_nan()),
+            "{direct} != {shifted}"
+        );
+    }
+
+    #[test]
+    fn pred_shift_invariance(p in preds(3), vars in proptest::collection::vec(-50.0f64..50.0, 3), offset in 0usize..5) {
+        let direct = p.eval(&EvalCtx::new(&vars));
+        let mut padded = vec![0.0; offset];
+        padded.extend_from_slice(&vars);
+        let shifted = p.shift_vars(offset).eval(&EvalCtx::new(&padded));
+        prop_assert_eq!(direct, shifted);
+    }
+
+    /// `eval_slack` is monotone in the slack parameter: a larger slack
+    /// accepts a superset of states.
+    #[test]
+    fn eval_slack_monotone(p in preds(2), vars in proptest::collection::vec(-50.0f64..50.0, 2), s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let ctx = EvalCtx::new(&vars);
+        if p.eval_slack(&ctx, lo) {
+            prop_assert!(p.eval_slack(&ctx, hi), "slack {hi} must accept what {lo} accepts");
+        }
+    }
+
+    /// Strict evaluation agrees with zero-slack evaluation.
+    #[test]
+    fn eval_slack_zero_is_strict(p in preds(2), vars in proptest::collection::vec(-50.0f64..50.0, 2)) {
+        let ctx = EvalCtx::new(&vars);
+        prop_assert_eq!(p.eval(&ctx), p.eval_slack(&ctx, 0.0));
+    }
+
+    /// Variable collection is sound: evaluation only depends on collected
+    /// variables (changing any other coordinate doesn't change the value).
+    #[test]
+    fn collected_vars_are_sufficient(e in exprs(3), vars in proptest::collection::vec(-50.0f64..50.0, 3), noise in -100.0f64..100.0) {
+        let used = e.vars();
+        let direct = e.eval(&EvalCtx::new(&vars));
+        let mut altered = vars.clone();
+        for i in 0..altered.len() {
+            if !used.contains(&VarId(i)) {
+                altered[i] = noise;
+            }
+        }
+        let after = e.eval(&EvalCtx::new(&altered));
+        prop_assert!(direct == after || (direct.is_nan() && after.is_nan()));
+    }
+}
+
+/// Builds a random simple child automaton: `k` locations in a cycle with
+/// one continuous variable, a shared invariant, zero initial data.
+fn simple_child(k: usize, flow: f64) -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder("child");
+    let x = b.var("child_x", VarKind::Continuous, 0.0);
+    let inv = Pred::ge(Expr::var(x), Expr::c(-1e6)).and(Pred::le(Expr::var(x), Expr::c(1e6)));
+    let locs: Vec<LocId> = (0..k).map(|i| b.location(format!("C{i}"))).collect();
+    for (i, l) in locs.iter().enumerate() {
+        b.invariant(*l, inv.clone());
+        b.flow(*l, x, Expr::c(flow));
+        b.edge(*l, locs[(i + 1) % k]).on(format!("child_evt{i}")).done();
+    }
+    b.initial(locs[0], None);
+    b.build().expect("child builds")
+}
+
+/// Builds a random host with `k` locations in a line plus a back edge.
+fn host(k: usize) -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder("host");
+    let c = b.clock("host_clk");
+    let locs: Vec<LocId> = (0..k)
+        .map(|i| {
+            if i % 2 == 1 {
+                b.risky_location(format!("H{i}"))
+            } else {
+                b.location(format!("H{i}"))
+            }
+        })
+        .collect();
+    for w in locs.windows(2) {
+        b.edge(w[0], w[1]).on_lossy(format!("go{}", w[0].0)).done();
+    }
+    b.edge(*locs.last().unwrap(), locs[0])
+        .guard(Pred::ge(Expr::var(c), Expr::c(1.0)))
+        .urgent()
+        .reset_clock(c)
+        .done();
+    b.initial(locs[0], None);
+    b.build().expect("host builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Elaboration preserves structural counts and the projection maps
+    /// every new location onto the host.
+    #[test]
+    fn elaboration_structure(hk in 2usize..6, ck in 1usize..5, v in 0usize..6, flow in -2.0f64..2.0) {
+        let h = host(hk);
+        let child = simple_child(ck, flow);
+        prop_assume!(v < h.locations.len());
+        let el = elaborate(&h, LocId(v), &child).expect("elaborates");
+        let a = &el.automaton;
+
+        // Locations: host − 1 + child.
+        prop_assert_eq!(a.locations.len(), hk - 1 + ck);
+        // Variables concatenated.
+        prop_assert_eq!(a.dimension(), h.dimension() + child.dimension());
+        // Projection total and onto host ids.
+        prop_assert_eq!(el.projection.len(), a.locations.len());
+        for p in &el.projection {
+            prop_assert!(p.0 < hk);
+        }
+        // Risky classification preserved through the projection.
+        for (i, loc) in a.locations.iter().enumerate() {
+            prop_assert_eq!(loc.risky, h.locations[el.projection[i].0].risky);
+        }
+        // Edge count: host edges expand by child location/initial
+        // multiplicity; child edges appear once each.
+        let ingress = h.edges.iter().filter(|e| e.dst == LocId(v) && e.src != LocId(v)).count();
+        let egress = h.edges.iter().filter(|e| e.src == LocId(v) && e.dst != LocId(v)).count();
+        let selfloops = h.edges.iter().filter(|e| e.src == LocId(v) && e.dst == LocId(v)).count();
+        let unchanged = h.edges.len() - ingress - egress - selfloops;
+        let expected = unchanged
+            + ingress * child.initial_locations().len()
+            + egress * ck
+            + selfloops * ck
+            + child.edges.len();
+        prop_assert_eq!(a.edges.len(), expected);
+        // The result still validates (modulo findings inherited from the
+        // host, which validates cleanly by construction).
+        prop_assert!(validate(a).is_clean(), "{}", validate(a));
+    }
+
+    /// Simplicity detection matches its definition on generated children.
+    #[test]
+    fn generated_children_are_simple(ck in 1usize..6, flow in -2.0f64..2.0) {
+        let child = simple_child(ck, flow);
+        prop_assert!(is_simple(&child), "{:?}", not_simple_reasons(&child));
+    }
+}

@@ -1,0 +1,120 @@
+//! Zero-crossing (event) localization.
+//!
+//! Discrete transitions of a hybrid automaton are gated by guards and
+//! invariants over continuous states. When a boundary such as `Hvent = 0`
+//! is crossed *inside* an integration step, the executor must locate the
+//! crossing instant precisely — otherwise guard semantics would depend on
+//! the step size. [`bisect_crossing`] refines the crossing over a step
+//! given a boolean event function, assuming the event function changes
+//! value at most once within the step (guaranteed for small enough steps).
+
+/// A localized crossing within a step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Crossing {
+    /// Offset from the step start at which the event function first
+    /// reports `true`, accurate to the requested tolerance.
+    pub offset: f64,
+    /// The state at the crossing (event function `true`).
+    pub state: Vec<f64>,
+}
+
+/// Localizes the earliest switch of `event` from `false` to `true` within
+/// a step of length `h` starting at `state`.
+///
+/// `advance(state, dt) -> Vec<f64>` must integrate the state forward by
+/// `dt` from the step start (the caller re-integrates from the saved start
+/// state, which keeps localization independent of solver internals).
+///
+/// Requires `event(advance(state, h))` to be `true` and
+/// `event(state)` to be `false`; returns the earliest `true` point within
+/// tolerance `tol` (in time units).
+///
+/// # Panics
+///
+/// Panics (debug) if the bracketing precondition is violated.
+pub fn bisect_crossing<A, E>(
+    state: &[f64],
+    h: f64,
+    tol: f64,
+    advance: A,
+    event: E,
+) -> Crossing
+where
+    A: Fn(&[f64], f64) -> Vec<f64>,
+    E: Fn(&[f64]) -> bool,
+{
+    debug_assert!(!event(state), "event must be false at step start");
+    debug_assert!(h > 0.0 && tol > 0.0);
+
+    let mut lo = 0.0f64; // event false at lo
+    let mut hi = h; // event true at hi
+    let mut hi_state = advance(state, hi);
+    debug_assert!(event(&hi_state), "event must be true at step end");
+
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let mid_state = advance(state, mid);
+        if event(&mid_state) {
+            hi = mid;
+            hi_state = mid_state;
+        } else {
+            lo = mid;
+        }
+    }
+
+    Crossing {
+        offset: hi,
+        state: hi_state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear fall: x(t) = 1 - 2t; event x <= 0 crosses at t = 0.5.
+    fn advance_linear(s: &[f64], dt: f64) -> Vec<f64> {
+        vec![s[0] - 2.0 * dt]
+    }
+
+    #[test]
+    fn localizes_linear_crossing() {
+        let state = vec![1.0];
+        let c = bisect_crossing(&state, 1.0, 1e-9, advance_linear, |s| s[0] <= 0.0);
+        assert!((c.offset - 0.5).abs() < 1e-8, "offset {}", c.offset);
+        assert!(c.state[0] <= 0.0);
+        assert!(c.state[0] > -1e-7, "state barely past boundary");
+    }
+
+    #[test]
+    fn localizes_near_step_end() {
+        let state = vec![1.0];
+        // Crossing at t = 0.5 of a step of 0.5001.
+        let c = bisect_crossing(&state, 0.5001, 1e-9, advance_linear, |s| s[0] <= 0.0);
+        assert!((c.offset - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn localizes_near_step_start() {
+        let state = vec![1e-6];
+        let c = bisect_crossing(&state, 1.0, 1e-12, advance_linear, |s| s[0] <= 0.0);
+        assert!((c.offset - 5e-7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_crossing() {
+        // x(t) = 1 - t^2, event at t = 1.
+        let advance = |s: &[f64], dt: f64| vec![s[0] - dt * dt];
+        let state = vec![1.0];
+        let c = bisect_crossing(&state, 1.5, 1e-10, advance, |s| s[0] <= 0.0);
+        assert!((c.offset - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "event must be false")]
+    fn rejects_already_true() {
+        let state = vec![-1.0];
+        let _ = bisect_crossing(&state, 1.0, 1e-9, advance_linear, |s| s[0] <= 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pte-ode
+//!
+//! ODE integration substrate for hybrid automaton flows.
+//!
+//! Each location `v` of a hybrid automaton defines a flow map
+//! `ẋ = f_v(x)`; trajectories between discrete transitions are solutions
+//! of those differential equations. This crate provides the numerical
+//! machinery the executor uses:
+//!
+//! * [`solver`] — fixed-step [Euler](solver::euler_step) and
+//!   [RK4](solver::rk4_step) steps, an adaptive
+//!   [RKF45](solver::Rkf45) driver, and the [`solver::Solver`] enum the
+//!   executor selects from;
+//! * [`events`] — zero-crossing localization by bisection, used to pin
+//!   guard/invariant boundary crossings (e.g. `Hvent = 0`) to within a
+//!   configurable tolerance.
+//!
+//! The right-hand side is any `Fn(&[f64], &mut [f64])` writing derivatives;
+//! the executor adapts per-location flow expressions to this signature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod solver;
+
+pub use events::{bisect_crossing, Crossing};
+pub use solver::{euler_step, rk4_step, Rkf45, Solver};

@@ -1,0 +1,357 @@
+//! Numerical integrators for `ẋ = f(x)`.
+//!
+//! The executor integrates autonomous systems (time enters only through
+//! clock variables with slope 1, which are part of the state), so all
+//! drivers take a time-independent right-hand side `f(x, &mut dx)`.
+
+/// Advances `state` by one explicit-Euler step of size `h`.
+///
+/// First-order accurate; exact for the constant-slope flows (clocks,
+/// constant pump rates) that dominate the design-pattern automata.
+pub fn euler_step<F>(f: &F, state: &mut [f64], h: f64, scratch: &mut Scratch)
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    scratch.resize(state.len());
+    let k1 = &mut scratch.k1;
+    f(state, k1);
+    for (x, k) in state.iter_mut().zip(k1.iter()) {
+        *x += h * k;
+    }
+}
+
+/// Advances `state` by one classic Runge–Kutta 4 step of size `h`.
+pub fn rk4_step<F>(f: &F, state: &mut [f64], h: f64, scratch: &mut Scratch)
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = state.len();
+    scratch.resize(n);
+    let Scratch { k1, k2, k3, k4, tmp, .. } = scratch;
+
+    f(state, k1);
+    for i in 0..n {
+        tmp[i] = state[i] + 0.5 * h * k1[i];
+    }
+    f(tmp, k2);
+    for i in 0..n {
+        tmp[i] = state[i] + 0.5 * h * k2[i];
+    }
+    f(tmp, k3);
+    for i in 0..n {
+        tmp[i] = state[i] + h * k3[i];
+    }
+    f(tmp, k4);
+    for i in 0..n {
+        state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Reusable work buffers for the steppers (avoids per-step allocation in
+/// the executor's inner loop).
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    k5: Vec<f64>,
+    k6: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Scratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn resize(&mut self, n: usize) {
+        for buf in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.k5,
+            &mut self.k6,
+            &mut self.tmp,
+        ] {
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
+/// Integrator selection for the executor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Solver {
+    /// Explicit Euler (exact for the piecewise-constant flows of the
+    /// design pattern; cheapest).
+    Euler,
+    /// Classic RK4 (default; 4th order for smooth physical models such as
+    /// the SpO2 dynamics).
+    #[default]
+    Rk4,
+}
+
+impl Solver {
+    /// Advances `state` by one step of size `h`.
+    pub fn step<F>(self, f: &F, state: &mut [f64], h: f64, scratch: &mut Scratch)
+    where
+        F: Fn(&[f64], &mut [f64]),
+    {
+        match self {
+            Solver::Euler => euler_step(f, state, h, scratch),
+            Solver::Rk4 => rk4_step(f, state, h, scratch),
+        }
+    }
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) driver.
+///
+/// Used by the patient physiological model where the SpO2 dynamics are
+/// stiff near saturation; the driver subdivides a requested span until the
+/// embedded 4th/5th-order error estimate falls under `tol`.
+#[derive(Clone, Debug)]
+pub struct Rkf45 {
+    /// Absolute local error tolerance per step.
+    pub tol: f64,
+    /// Smallest step the driver will attempt before giving up refining.
+    pub min_step: f64,
+    /// Largest step the driver will take.
+    pub max_step: f64,
+    scratch: Scratch,
+}
+
+impl Rkf45 {
+    /// Creates a driver with the given tolerance and step bounds.
+    pub fn new(tol: f64, min_step: f64, max_step: f64) -> Rkf45 {
+        assert!(tol > 0.0 && min_step > 0.0 && max_step >= min_step);
+        Rkf45 {
+            tol,
+            min_step,
+            max_step,
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// Integrates `state` forward over `span`, adapting internal steps.
+    ///
+    /// Returns the number of accepted internal steps.
+    pub fn integrate<F>(&mut self, f: &F, state: &mut [f64], span: f64) -> usize
+    where
+        F: Fn(&[f64], &mut [f64]),
+    {
+        assert!(span >= 0.0, "span must be non-negative");
+        let n = state.len();
+        self.scratch.resize(n);
+        let mut remaining = span;
+        let mut h = span.min(self.max_step);
+        let mut steps = 0usize;
+        let mut candidate = vec![0.0; n];
+
+        while remaining > 1e-15 {
+            h = h.min(remaining).max(self.min_step.min(remaining));
+            let err = self.try_step(f, state, h, &mut candidate);
+            if err <= self.tol || h <= self.min_step {
+                state.copy_from_slice(&candidate);
+                remaining -= h;
+                steps += 1;
+                // Grow the step when comfortably under tolerance.
+                if err < self.tol / 10.0 {
+                    h = (h * 2.0).min(self.max_step);
+                }
+            } else {
+                h = (h * 0.5).max(self.min_step);
+            }
+        }
+        steps
+    }
+
+    /// One trial RKF45 step of size `h` into `out`; returns the local error
+    /// estimate (max-norm of the 4th/5th order difference).
+    fn try_step<F>(&mut self, f: &F, state: &[f64], h: f64, out: &mut [f64]) -> f64
+    where
+        F: Fn(&[f64], &mut [f64]),
+    {
+        let n = state.len();
+        let s = &mut self.scratch;
+        let (k1, k2, k3, k4, k5, k6, tmp) = (
+            &mut s.k1, &mut s.k2, &mut s.k3, &mut s.k4, &mut s.k5, &mut s.k6, &mut s.tmp,
+        );
+
+        f(state, k1);
+        for i in 0..n {
+            tmp[i] = state[i] + h * 0.25 * k1[i];
+        }
+        f(tmp, k2);
+        for i in 0..n {
+            tmp[i] = state[i] + h * (3.0 / 32.0 * k1[i] + 9.0 / 32.0 * k2[i]);
+        }
+        f(tmp, k3);
+        for i in 0..n {
+            tmp[i] = state[i]
+                + h * (1932.0 / 2197.0 * k1[i] - 7200.0 / 2197.0 * k2[i]
+                    + 7296.0 / 2197.0 * k3[i]);
+        }
+        f(tmp, k4);
+        for i in 0..n {
+            tmp[i] = state[i]
+                + h * (439.0 / 216.0 * k1[i] - 8.0 * k2[i] + 3680.0 / 513.0 * k3[i]
+                    - 845.0 / 4104.0 * k4[i]);
+        }
+        f(tmp, k5);
+        for i in 0..n {
+            tmp[i] = state[i]
+                + h * (-8.0 / 27.0 * k1[i] + 2.0 * k2[i] - 3544.0 / 2565.0 * k3[i]
+                    + 1859.0 / 4104.0 * k4[i]
+                    - 11.0 / 40.0 * k5[i]);
+        }
+        f(tmp, k6);
+
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            let x4 = state[i]
+                + h * (25.0 / 216.0 * k1[i] + 1408.0 / 2565.0 * k3[i] + 2197.0 / 4104.0 * k4[i]
+                    - 0.2 * k5[i]);
+            let x5 = state[i]
+                + h * (16.0 / 135.0 * k1[i] + 6656.0 / 12825.0 * k3[i]
+                    + 28561.0 / 56430.0 * k4[i]
+                    - 9.0 / 50.0 * k5[i]
+                    + 2.0 / 55.0 * k6[i]);
+            out[i] = x5;
+            err = err.max((x5 - x4).abs());
+        }
+        err
+    }
+}
+
+impl Default for Rkf45 {
+    fn default() -> Rkf45 {
+        Rkf45::new(1e-8, 1e-9, 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// dx/dt = -x; solution x(t) = x0 e^{-t}.
+    fn decay(x: &[f64], dx: &mut [f64]) {
+        dx[0] = -x[0];
+    }
+
+    /// Harmonic oscillator: x'' = -x as a 2-d system; conserves x² + v².
+    fn oscillator(x: &[f64], dx: &mut [f64]) {
+        dx[0] = x[1];
+        dx[1] = -x[0];
+    }
+
+    #[test]
+    fn euler_exact_for_constant_slope() {
+        let f = |_: &[f64], dx: &mut [f64]| {
+            dx[0] = 2.0;
+            dx[1] = -0.1;
+        };
+        let mut state = vec![0.0, 0.3];
+        let mut s = Scratch::new();
+        euler_step(&f, &mut state, 0.5, &mut s);
+        assert!((state[0] - 1.0).abs() < 1e-12);
+        assert!((state[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rk4_decay_accuracy() {
+        let mut state = vec![1.0];
+        let mut s = Scratch::new();
+        let h = 0.01;
+        for _ in 0..100 {
+            rk4_step(&decay, &mut state, h, &mut s);
+        }
+        let exact = (-1.0f64).exp();
+        assert!(
+            (state[0] - exact).abs() < 1e-9,
+            "rk4 error {}",
+            (state[0] - exact).abs()
+        );
+    }
+
+    #[test]
+    fn euler_decay_first_order() {
+        let mut state = vec![1.0];
+        let mut s = Scratch::new();
+        let h = 0.001;
+        for _ in 0..1000 {
+            euler_step(&decay, &mut state, h, &mut s);
+        }
+        let exact = (-1.0f64).exp();
+        assert!((state[0] - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rk4_oscillator_conserves_energy() {
+        let mut state = vec![1.0, 0.0];
+        let mut s = Scratch::new();
+        for _ in 0..10_000 {
+            rk4_step(&oscillator, &mut state, 0.001, &mut s);
+        }
+        let energy = state[0] * state[0] + state[1] * state[1];
+        assert!((energy - 1.0).abs() < 1e-9, "energy drift {energy}");
+    }
+
+    #[test]
+    fn rkf45_decay_matches_exact() {
+        let mut drv = Rkf45::new(1e-10, 1e-12, 0.5);
+        let mut state = vec![1.0];
+        let steps = drv.integrate(&decay, &mut state, 3.0);
+        let exact = (-3.0f64).exp();
+        assert!((state[0] - exact).abs() < 1e-7, "err {}", state[0] - exact);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn rkf45_zero_span_is_noop() {
+        let mut drv = Rkf45::default();
+        let mut state = vec![42.0];
+        let steps = drv.integrate(&decay, &mut state, 0.0);
+        assert_eq!(steps, 0);
+        assert_eq!(state[0], 42.0);
+    }
+
+    #[test]
+    fn solver_enum_dispatch() {
+        let f = |_: &[f64], dx: &mut [f64]| dx[0] = 1.0;
+        let mut s = Scratch::new();
+        for solver in [Solver::Euler, Solver::Rk4] {
+            let mut state = vec![0.0];
+            solver.step(&f, &mut state, 0.25, &mut s);
+            assert!((state[0] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        /// Clock variables (slope 1) integrate exactly under either solver.
+        #[test]
+        fn clocks_integrate_exactly(h in 1e-6f64..1.0, x0 in -100.0f64..100.0) {
+            let f = |_: &[f64], dx: &mut [f64]| dx[0] = 1.0;
+            let mut s = Scratch::new();
+            for solver in [Solver::Euler, Solver::Rk4] {
+                let mut state = vec![x0];
+                solver.step(&f, &mut state, h, &mut s);
+                prop_assert!((state[0] - (x0 + h)).abs() < 1e-9);
+            }
+        }
+
+        /// RK4 on linear decay stays within theoretical accuracy.
+        #[test]
+        fn rk4_decay_bounded_error(x0 in 0.1f64..10.0) {
+            let mut state = vec![x0];
+            let mut s = Scratch::new();
+            for _ in 0..100 {
+                rk4_step(&decay, &mut state, 0.01, &mut s);
+            }
+            let exact = x0 * (-1.0f64).exp();
+            prop_assert!((state[0] - exact).abs() < 1e-8 * x0.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! External event injection ("human will" and scripted stimuli).
+//!
+//! Some design-pattern transitions are triggered by the physical world
+//! rather than by other automata — the paper's case study emulates the
+//! surgeon's request/cancel decisions with exponential random timers
+//! (Section V). A [`Driver`] observes the running system through a
+//! [`SystemView`] and injects event roots, which the executor delivers
+//! *reliably* to every listening automaton (the injection point models the
+//! entity's own button/sensor, not a wireless link — lossy behaviour, when
+//! required, is modeled by `??` edges downstream).
+
+use pte_hybrid::{HybridAutomaton, LocId, Root, Time};
+
+/// Read-only view of the hybrid system exposed to drivers.
+pub struct SystemView<'a> {
+    pub(crate) autos: &'a [HybridAutomaton],
+    pub(crate) locs: &'a [LocId],
+    pub(crate) vars: &'a [Vec<f64>],
+    pub(crate) now: Time,
+}
+
+impl<'a> SystemView<'a> {
+    /// Number of automata in the system.
+    pub fn len(&self) -> usize {
+        self.autos.len()
+    }
+
+    /// `true` if the system has no automata.
+    pub fn is_empty(&self) -> bool {
+        self.autos.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Index of the automaton with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.autos.iter().position(|a| a.name == name)
+    }
+
+    /// Current location id of automaton `aut`.
+    pub fn location(&self, aut: usize) -> LocId {
+        self.locs[aut]
+    }
+
+    /// Current location name of automaton `aut`.
+    pub fn location_name(&self, aut: usize) -> &str {
+        self.autos[aut].loc_name(self.locs[aut])
+    }
+
+    /// `true` if automaton `aut` currently dwells in a risky location.
+    pub fn in_risky(&self, aut: usize) -> bool {
+        self.autos[aut].is_risky(self.locs[aut])
+    }
+
+    /// Current data state of automaton `aut`.
+    pub fn vars(&self, aut: usize) -> &[f64] {
+        &self.vars[aut]
+    }
+
+    /// Value of a named variable of automaton `aut`.
+    pub fn var(&self, aut: usize, name: &str) -> Option<f64> {
+        let id = self.autos[aut].var_by_name(name)?;
+        self.vars[aut].get(id.0).copied()
+    }
+
+    /// The automaton definitions (for name/location lookups).
+    pub fn automata(&self) -> &[HybridAutomaton] {
+        self.autos
+    }
+}
+
+/// An external stimulus source polled by the executor at every advance.
+pub trait Driver: Send {
+    /// Observes the system at `now` and pushes event roots to inject.
+    ///
+    /// Injections are delivered reliably, at the current instant, to every
+    /// automaton listening for the root.
+    fn poll(&mut self, view: &SystemView<'_>, out: &mut Vec<Root>);
+
+    /// Driver name (for traces).
+    fn name(&self) -> &str {
+        "driver"
+    }
+
+    /// The next instant at which this driver wants to act, if known. The
+    /// executor caps its continuous step at this time so injections land
+    /// exactly (otherwise they quantize to the step grid).
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        let _ = now;
+        None
+    }
+}
+
+/// A driver that fires scripted `(time, root)` injections.
+#[derive(Debug, Clone)]
+pub struct ScriptedDriver {
+    script: Vec<(Time, Root)>,
+    cursor: usize,
+    name: String,
+}
+
+impl ScriptedDriver {
+    /// Creates a driver from `(time, root)` pairs (sorted internally).
+    pub fn new(name: impl Into<String>, mut script: Vec<(Time, Root)>) -> ScriptedDriver {
+        script.sort_by_key(|a| a.0);
+        ScriptedDriver {
+            script,
+            cursor: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Remaining injections not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.script.len() - self.cursor
+    }
+}
+
+impl Driver for ScriptedDriver {
+    fn poll(&mut self, view: &SystemView<'_>, out: &mut Vec<Root>) {
+        while self.cursor < self.script.len() && self.script[self.cursor].0 <= view.now() {
+            out.push(self.script[self.cursor].1.clone());
+            self.cursor += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_wakeup(&self, _now: Time) -> Option<Time> {
+        self.script.get(self.cursor).map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_view<'a>(
+        autos: &'a [HybridAutomaton],
+        locs: &'a [LocId],
+        vars: &'a [Vec<f64>],
+        now: Time,
+    ) -> SystemView<'a> {
+        SystemView {
+            autos,
+            locs,
+            vars,
+            now,
+        }
+    }
+
+    fn one_automaton() -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("a");
+        let l = b.location("L");
+        let _x = b.var("x", pte_hybrid::VarKind::Continuous, 0.0);
+        b.initial(l, None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scripted_driver_fires_in_order() {
+        let autos = vec![one_automaton()];
+        let locs = vec![LocId(0)];
+        let vars = vec![vec![1.5]];
+        let mut d = ScriptedDriver::new(
+            "s",
+            vec![
+                (Time::seconds(2.0), Root::new("b")),
+                (Time::seconds(1.0), Root::new("a")),
+            ],
+        );
+        let mut out = Vec::new();
+        d.poll(&dummy_view(&autos, &locs, &vars, Time::seconds(0.5)), &mut out);
+        assert!(out.is_empty());
+        d.poll(&dummy_view(&autos, &locs, &vars, Time::seconds(1.0)), &mut out);
+        assert_eq!(out, vec![Root::new("a")]);
+        out.clear();
+        d.poll(&dummy_view(&autos, &locs, &vars, Time::seconds(5.0)), &mut out);
+        assert_eq!(out, vec![Root::new("b")]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn view_accessors() {
+        let autos = vec![one_automaton()];
+        let locs = vec![LocId(0)];
+        let vars = vec![vec![1.5]];
+        let v = dummy_view(&autos, &locs, &vars, Time::seconds(3.0));
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+        assert_eq!(v.now(), Time::seconds(3.0));
+        assert_eq!(v.index_of("a"), Some(0));
+        assert_eq!(v.index_of("zzz"), None);
+        assert_eq!(v.location_name(0), "L");
+        assert!(!v.in_risky(0));
+        assert_eq!(v.var(0, "x"), Some(1.5));
+        assert_eq!(v.var(0, "nope"), None);
+    }
+}

@@ -1,0 +1,1091 @@
+//! The hybrid-system co-simulation loop.
+//!
+//! Execution alternates two phases, exactly as in the standard hybrid
+//! automaton trajectory semantics:
+//!
+//! 1. **Discrete closure** (zero time): due channel deliveries and
+//!    reliable same-instant events are offered to their receivers; urgent
+//!    edges whose guards hold fire; invariant violations force an enabled
+//!    egress edge (or raise [`ExecError::TimeBlock`]). The closure repeats
+//!    until quiescent, with a cascade budget guarding against zeno runs.
+//! 2. **Continuous flow**: every automaton integrates its location's flow
+//!    map for a shared step. The step is capped by (a) the configured
+//!    maximum, (b) the next scheduled channel delivery, and (c) a
+//!    *predicted* boundary crossing for affine guards/invariants (clock
+//!    timers fire at exact expiry — no quantization error on the paper's
+//!    lease durations). Non-affine boundaries (e.g. the SpO2 model) are
+//!    localized by bisection to `bisect_tol`.
+//!
+//! Determinism: automata are processed in index order, queues are
+//! FIFO-within-instant, and channels/drivers own seeded RNGs.
+
+use crate::driver::{Driver, SystemView};
+use crate::network::{Delivery, Message, NetworkBridge};
+use crate::schedule::Schedule;
+use crate::trace::{AutMeta, IgnoreReason, Sample, Trace, TraceEvent};
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::{EvalCtx, Expr, HybridAutomaton, LocId, Pred, Root, Time};
+use pte_ode::solver::{Scratch, Solver};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Executor tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Maximum continuous step (default 10 ms).
+    pub max_step: Time,
+    /// Bisection tolerance for non-affine boundary localization (default
+    /// 1 µs).
+    pub bisect_tol: Time,
+    /// Maximum discrete transitions within a single instant before the run
+    /// is declared zeno (default 100 000).
+    pub cascade_limit: usize,
+    /// If set, variable samples are recorded at this period.
+    pub sample_interval: Option<Time>,
+    /// ODE stepper for flows.
+    pub solver: Solver,
+    /// Record per-message channel events (`Dropped`/`Delivered`) in the
+    /// trace. Disable for very long runs to save memory.
+    pub record_channel_events: bool,
+    /// Numeric slack applied to invariant checks (default 1e-5): boundary
+    /// localization necessarily overshoots invariant boundaries by a hair,
+    /// which must not count as a violation.
+    pub invariant_slack: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_step: Time::millis(10.0),
+            bisect_tol: Time::seconds(1e-6),
+            cascade_limit: 100_000,
+            sample_interval: None,
+            solver: Solver::Rk4,
+            record_channel_events: true,
+            invariant_slack: 1e-5,
+        }
+    }
+}
+
+/// Execution failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The discrete closure exceeded the cascade budget at one instant.
+    Zeno {
+        /// Instant at which the cascade diverged.
+        t: Time,
+        /// Automaton that fired last.
+        automaton: String,
+    },
+    /// An invariant was violated with no enabled egress edge.
+    TimeBlock {
+        /// Instant of the violation.
+        t: Time,
+        /// Offending automaton.
+        automaton: String,
+        /// Location whose invariant is violated.
+        location: String,
+    },
+    /// The system declares no automata.
+    Empty,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Zeno { t, automaton } => {
+                write!(f, "zeno cascade at {t} in automaton `{automaton}`")
+            }
+            ExecError::TimeBlock {
+                t,
+                automaton,
+                location,
+            } => write!(
+                f,
+                "time-block at {t}: `{automaton}` violates invariant of `{location}` with no enabled edge"
+            ),
+            ExecError::Empty => write!(f, "hybrid system has no automata"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Co-simulator for a hybrid system (a set of concurrent hybrid automata
+/// communicating through events).
+pub struct Executor {
+    autos: Vec<HybridAutomaton>,
+    locs: Vec<LocId>,
+    vars: Vec<Vec<f64>>,
+    kinds: Vec<Vec<VarKind>>,
+    /// `flows[aut][loc][var]` — materialized derivative expressions.
+    flows: Vec<Vec<Vec<Expr>>>,
+    bridge: NetworkBridge,
+    pending: Schedule<Message>,
+    immediate: VecDeque<(usize, Root)>,
+    drivers: Vec<Box<dyn Driver>>,
+    /// `listeners[root] = [(aut, lossy)]`.
+    listeners: HashMap<Root, Vec<(usize, bool)>>,
+    events: Vec<TraceEvent>,
+    samples: Vec<Sample>,
+    now: Time,
+    next_sample: Time,
+    msg_seq: u64,
+    cfg: ExecutorConfig,
+    scratch: Scratch,
+}
+
+impl Executor {
+    /// Creates an executor over the given automata with default (perfect)
+    /// links. Each automaton starts at its *first* declared initial state.
+    pub fn new(autos: Vec<HybridAutomaton>, cfg: ExecutorConfig) -> Result<Executor, ExecError> {
+        if autos.is_empty() {
+            return Err(ExecError::Empty);
+        }
+        let mut locs = Vec::with_capacity(autos.len());
+        let mut vars = Vec::with_capacity(autos.len());
+        let mut kinds = Vec::with_capacity(autos.len());
+        let mut flows = Vec::with_capacity(autos.len());
+        let mut listeners: HashMap<Root, Vec<(usize, bool)>> = HashMap::new();
+        let mut events = Vec::new();
+
+        for (i, a) in autos.iter().enumerate() {
+            let init = &a.initial[0];
+            locs.push(init.loc);
+            vars.push(a.initial_data(init));
+            kinds.push(a.vars.iter().map(|d| d.kind).collect());
+            let per_loc: Vec<Vec<Expr>> = a
+                .locations
+                .iter()
+                .map(|loc| {
+                    (0..a.vars.len())
+                        .map(|v| loc.flow_of(pte_hybrid::VarId(v), a.vars[v].kind))
+                        .collect()
+                })
+                .collect();
+            flows.push(per_loc);
+            for (root, lossy) in a.receive_roots() {
+                listeners.entry(root).or_default().push((i, lossy));
+            }
+            events.push(TraceEvent::Init {
+                t: Time::ZERO,
+                aut: i,
+                loc: init.loc,
+            });
+        }
+
+        Ok(Executor {
+            autos,
+            locs,
+            vars,
+            kinds,
+            flows,
+            bridge: NetworkBridge::perfect(),
+            pending: Schedule::new(),
+            immediate: VecDeque::new(),
+            drivers: Vec::new(),
+            listeners,
+            events,
+            samples: Vec::new(),
+            now: Time::ZERO,
+            next_sample: Time::ZERO,
+            msg_seq: 0,
+            cfg,
+            scratch: Scratch::new(),
+        })
+    }
+
+    /// Replaces the network bridge (channel routing table).
+    pub fn set_bridge(&mut self, bridge: NetworkBridge) -> &mut Self {
+        self.bridge = bridge;
+        self
+    }
+
+    /// Adds an external event driver.
+    pub fn add_driver(&mut self, driver: Box<dyn Driver>) -> &mut Self {
+        self.drivers.push(driver);
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Read-only view of the current system state.
+    pub fn view(&self) -> SystemView<'_> {
+        SystemView {
+            autos: &self.autos,
+            locs: &self.locs,
+            vars: &self.vars,
+            now: self.now,
+        }
+    }
+
+    /// The network bridge (e.g. for link statistics after a run).
+    pub fn bridge(&self) -> &NetworkBridge {
+        &self.bridge
+    }
+
+    /// Runs until virtual time `end`, then returns the trace.
+    pub fn run_until(mut self, end: Time) -> Result<Trace, ExecError> {
+        self.poll_drivers();
+        self.discrete_closure()?;
+        self.maybe_sample();
+
+        while self.now < end {
+            let dt = self.advance_step(end)?;
+            debug_assert!(dt > Time::ZERO);
+            self.poll_drivers();
+            self.discrete_closure()?;
+            self.maybe_sample();
+        }
+
+        Ok(self.into_trace())
+    }
+
+    /// Consumes the executor and produces the trace collected so far.
+    pub fn into_trace(self) -> Trace {
+        let meta = self
+            .autos
+            .iter()
+            .map(|a| AutMeta {
+                name: a.name.clone(),
+                loc_names: a.locations.iter().map(|l| l.name.clone()).collect(),
+                risky: a.locations.iter().map(|l| l.risky).collect(),
+                var_names: a.vars.iter().map(|v| v.name.clone()).collect(),
+            })
+            .collect();
+        Trace {
+            meta,
+            events: self.events,
+            samples: self.samples,
+            end_time: self.now,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Discrete phase
+    // ------------------------------------------------------------------
+
+    fn poll_drivers(&mut self) {
+        if self.drivers.is_empty() {
+            return;
+        }
+        let mut injected = Vec::new();
+        let view = SystemView {
+            autos: &self.autos,
+            locs: &self.locs,
+            vars: &self.vars,
+            now: self.now,
+        };
+        let mut out = Vec::new();
+        for d in &mut self.drivers {
+            d.poll(&view, &mut out);
+            injected.append(&mut out);
+        }
+        for root in injected {
+            self.events.push(TraceEvent::Injected {
+                t: self.now,
+                root: root.clone(),
+            });
+            // Injections are local stimuli: delivered reliably to every
+            // listener at this instant.
+            if let Some(ls) = self.listeners.get(&root) {
+                for (aut, _) in ls.clone() {
+                    self.immediate.push_back((aut, root.clone()));
+                }
+            }
+        }
+    }
+
+    /// Runs the zero-time closure: deliveries, urgent edges, invariant
+    /// enforcement, until quiescent.
+    fn discrete_closure(&mut self) -> Result<(), ExecError> {
+        let mut fires = 0usize;
+        loop {
+            let mut progress = false;
+
+            // 1. Due lossy deliveries.
+            while let Some(item) = self.pending.pop_due(self.now) {
+                let msg = item.item;
+                if self.cfg.record_channel_events {
+                    self.events.push(TraceEvent::Delivered {
+                        t: self.now,
+                        root: msg.root.clone(),
+                        to: msg.receiver,
+                    });
+                }
+                self.attempt_receive(msg.receiver, &msg.root);
+                progress = true;
+            }
+
+            // 2. Reliable same-instant deliveries.
+            while let Some((aut, root)) = self.immediate.pop_front() {
+                self.attempt_receive(aut, &root);
+                progress = true;
+            }
+
+            // 3. Urgent edges.
+            'urgent: for i in 0..self.autos.len() {
+                let loc = self.locs[i];
+                let candidate = self.autos[i]
+                    .edges_from(loc)
+                    .find(|(_, e)| {
+                        e.urgent && e.trigger.is_none() && e.guard.holds(&self.vars[i])
+                    })
+                    .map(|(id, _)| id);
+                if let Some(eid) = candidate {
+                    self.fire(i, eid.0, None);
+                    fires += 1;
+                    progress = true;
+                    break 'urgent;
+                }
+            }
+
+            // 4. Invariant enforcement: a violated invariant forces any
+            //    enabled trigger-free egress edge.
+            if !progress {
+                for i in 0..self.autos.len() {
+                    let loc = self.locs[i];
+                    let inv = &self.autos[i].locations[loc.0].invariant;
+                    if !inv.holds_with_slack(&self.vars[i], self.cfg.invariant_slack) {
+                        let candidate = self.autos[i]
+                            .edges_from(loc)
+                            .find(|(_, e)| e.trigger.is_none() && e.guard.holds(&self.vars[i]))
+                            .map(|(id, _)| id);
+                        match candidate {
+                            Some(eid) => {
+                                self.fire(i, eid.0, None);
+                                fires += 1;
+                                progress = true;
+                                break;
+                            }
+                            None => {
+                                return Err(ExecError::TimeBlock {
+                                    t: self.now,
+                                    automaton: self.autos[i].name.clone(),
+                                    location: self.autos[i].loc_name(loc).to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !progress {
+                return Ok(());
+            }
+            if fires > self.cfg.cascade_limit {
+                return Err(ExecError::Zeno {
+                    t: self.now,
+                    automaton: "system".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Offers `root` to automaton `aut`; fires the first matching enabled
+    /// edge, or records why nothing fired.
+    fn attempt_receive(&mut self, aut: usize, root: &Root) {
+        let loc = self.locs[aut];
+        let mut saw_listening_edge = false;
+        let mut chosen: Option<usize> = None;
+        for (eid, e) in self.autos[aut].edges_from(loc) {
+            if let Some(t) = &e.trigger {
+                if t.root() == root {
+                    saw_listening_edge = true;
+                    if e.guard.holds(&self.vars[aut]) {
+                        chosen = Some(eid.0);
+                        break;
+                    }
+                }
+            }
+        }
+        match chosen {
+            Some(eid) => self.fire(aut, eid, Some(root.clone())),
+            None => self.events.push(TraceEvent::Ignored {
+                t: self.now,
+                root: root.clone(),
+                to: aut,
+                reason: if saw_listening_edge {
+                    IgnoreReason::GuardFalse
+                } else {
+                    IgnoreReason::NoListeningEdge
+                },
+            }),
+        }
+    }
+
+    /// Fires edge `edge_idx` of automaton `aut`: applies resets, moves the
+    /// location counter, records the transition, and routes emissions.
+    fn fire(&mut self, aut: usize, edge_idx: usize, trigger: Option<Root>) {
+        let edge = self.autos[aut].edges[edge_idx].clone();
+        // Resets evaluate against the pre-transition data state.
+        let old = self.vars[aut].clone();
+        let ctx = EvalCtx::new(&old);
+        for (v, expr) in &edge.resets {
+            let value = expr.eval(&ctx);
+            self.vars[aut][v.0] = value;
+        }
+        self.locs[aut] = edge.dst;
+        self.events.push(TraceEvent::Transition {
+            t: self.now,
+            aut,
+            from: edge.src,
+            to: edge.dst,
+            trigger,
+        });
+        for root in &edge.emits {
+            self.route_emission(aut, root.clone());
+        }
+    }
+
+    /// Broadcasts an emitted event to its listeners.
+    fn route_emission(&mut self, sender: usize, root: Root) {
+        self.events.push(TraceEvent::Sent {
+            t: self.now,
+            aut: sender,
+            root: root.clone(),
+        });
+        let Some(ls) = self.listeners.get(&root) else {
+            return;
+        };
+        for (receiver, lossy) in ls.clone() {
+            if receiver == sender {
+                continue;
+            }
+            if !lossy {
+                self.immediate.push_back((receiver, root.clone()));
+                continue;
+            }
+            let msg = Message {
+                root: root.clone(),
+                sender,
+                receiver,
+                seq: self.msg_seq,
+                sent_at: self.now,
+            };
+            self.msg_seq += 1;
+            match self.bridge.transmit(&msg, self.now) {
+                Delivery::Delivered { at } => {
+                    let at = at.max(self.now);
+                    self.pending.push(at, msg);
+                }
+                Delivery::Dropped { reason } => {
+                    if self.cfg.record_channel_events {
+                        self.events.push(TraceEvent::Dropped {
+                            t: self.now,
+                            root: root.clone(),
+                            from: sender,
+                            to: receiver,
+                            reason: reason.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Continuous phase
+    // ------------------------------------------------------------------
+
+    /// Integrates flows for one bounded step; returns the span advanced.
+    fn advance_step(&mut self, end: Time) -> Result<Time, ExecError> {
+        const MIN_DT: f64 = 1e-9;
+
+        let mut dt = self.cfg.max_step.min(end - self.now);
+        if let Some(next) = self.pending.next_time() {
+            if next > self.now {
+                dt = dt.min(next - self.now);
+            }
+        }
+        // Land exactly on announced driver wakeups.
+        for d in &self.drivers {
+            if let Some(t) = d.next_wakeup(self.now) {
+                if t > self.now {
+                    dt = dt.min(t - self.now);
+                }
+            }
+        }
+        // Affine boundary prediction: cap the step at the earliest
+        // predicted guard/invariant crossing so timers fire exactly.
+        for i in 0..self.autos.len() {
+            if let Some(t) = self.predict_boundary(i) {
+                if t > 0.0 {
+                    dt = dt.min(Time::seconds(t));
+                }
+            }
+        }
+        let mut dt = Time::seconds(dt.as_secs_f64().max(MIN_DT));
+
+        // Trial integration.
+        let saved: Vec<Vec<f64>> = self.vars.clone();
+        self.integrate_all(dt.as_secs_f64());
+
+        // Boundary detection for non-affine dynamics: if a boundary is
+        // crossed within the step, bisect to the earliest crossing.
+        if self.any_boundary_event() {
+            let was_event_at_start = {
+                // The closure quiesced, so no boundary event held at start.
+                false
+            };
+            let _ = was_event_at_start;
+            let offset = self.bisect_boundary(&saved, dt.as_secs_f64());
+            if offset < dt.as_secs_f64() {
+                self.vars = saved.clone();
+                self.integrate_all(offset);
+                dt = Time::seconds(offset.max(MIN_DT));
+            }
+        }
+
+        self.now += dt;
+        Ok(dt)
+    }
+
+    /// Integrates every automaton's flows by `h` (seconds).
+    fn integrate_all(&mut self, h: f64) {
+        if h <= 0.0 {
+            return;
+        }
+        for i in 0..self.autos.len() {
+            let loc = self.locs[i].0;
+            let exprs = &self.flows[i][loc];
+            // Fast path: all flows constant — exact linear update.
+            let mut all_const = true;
+            for e in exprs {
+                if !e.is_constant() {
+                    all_const = false;
+                    break;
+                }
+            }
+            if all_const {
+                let ctx = EvalCtx::new(&[]);
+                for (v, e) in exprs.iter().enumerate() {
+                    self.vars[i][v] += h * e.eval(&ctx);
+                }
+            } else {
+                let rhs = |x: &[f64], dx: &mut [f64]| {
+                    let ctx = EvalCtx::new(x);
+                    for (v, e) in exprs.iter().enumerate() {
+                        dx[v] = e.eval(&ctx);
+                    }
+                };
+                self.cfg
+                    .solver
+                    .step(&rhs, &mut self.vars[i], h, &mut self.scratch);
+            }
+        }
+    }
+
+    /// `true` if any automaton currently has an urgent guard satisfied or
+    /// an invariant violated.
+    fn any_boundary_event(&self) -> bool {
+        for i in 0..self.autos.len() {
+            let loc = self.locs[i];
+            if !self.autos[i].locations[loc.0]
+                .invariant
+                .holds_with_slack(&self.vars[i], self.cfg.invariant_slack)
+            {
+                return true;
+            }
+            for (_, e) in self.autos[i].edges_from(loc) {
+                if e.urgent && e.trigger.is_none() && e.guard.holds(&self.vars[i]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Bisects the earliest boundary event offset within `(0, h]`,
+    /// re-integrating from `saved`. Assumes the event predicate is false
+    /// at offset 0 and true at `h`.
+    fn bisect_boundary(&mut self, saved: &[Vec<f64>], h: f64) -> f64 {
+        let tol = self.cfg.bisect_tol.as_secs_f64();
+        let mut lo = 0.0f64;
+        let mut hi = h;
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            self.vars = saved.to_vec();
+            self.integrate_all(mid);
+            if self.any_boundary_event() {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        // Leave state at `hi` (event holds).
+        self.vars = saved.to_vec();
+        self.integrate_all(hi);
+        hi
+    }
+
+    /// Predicts the earliest affine boundary crossing for automaton `i`
+    /// (urgent guard becoming true, or invariant becoming false), if the
+    /// relevant expressions are affine with constant slopes in the current
+    /// location. Returns seconds from now.
+    fn predict_boundary(&self, i: usize) -> Option<f64> {
+        let loc = self.locs[i];
+        let slopes: Vec<Option<f64>> = self.flows[i][loc.0]
+            .iter()
+            .map(|e| e.const_value())
+            .collect();
+        let vars = &self.vars[i];
+        let mut best: Option<f64> = None;
+        let mut consider = |t: Option<f64>| {
+            if let Some(t) = t {
+                if t >= 0.0 {
+                    best = Some(match best {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            }
+        };
+        for (_, e) in self.autos[i].edges_from(loc) {
+            if e.urgent && e.trigger.is_none() {
+                consider(crossing_to_true(&e.guard, vars, &slopes));
+            }
+        }
+        let inv = &self.autos[i].locations[loc.0].invariant;
+        consider(crossing_to_false(inv, vars, &slopes));
+        let _ = &self.kinds; // kinds retained for diagnostics/extensions
+        best
+    }
+}
+
+/// Affine view of an expression: value now and constant slope, if both are
+/// derivable.
+fn affine(e: &Expr, vars: &[f64], slopes: &[Option<f64>]) -> Option<(f64, f64)> {
+    match e {
+        Expr::Const(c) => Some((*c, 0.0)),
+        Expr::Var(v) => {
+            let slope = (*slopes.get(v.0)?)?;
+            Some((*vars.get(v.0)?, slope))
+        }
+        Expr::Neg(inner) => affine(inner, vars, slopes).map(|(v, s)| (-v, -s)),
+        Expr::Add(a, b) => {
+            let (av, as_) = affine(a, vars, slopes)?;
+            let (bv, bs) = affine(b, vars, slopes)?;
+            Some((av + bv, as_ + bs))
+        }
+        Expr::Sub(a, b) => {
+            let (av, as_) = affine(a, vars, slopes)?;
+            let (bv, bs) = affine(b, vars, slopes)?;
+            Some((av - bv, as_ - bs))
+        }
+        Expr::Mul(a, b) => {
+            // Affine only when one side is constant.
+            let (av, as_) = affine(a, vars, slopes)?;
+            let (bv, bs) = affine(b, vars, slopes)?;
+            if as_ == 0.0 {
+                Some((av * bv, av * bs))
+            } else if bs == 0.0 {
+                Some((av * bv, as_ * bv))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Earliest `t >= 0` at which `p` becomes true under affine evolution;
+/// `None` means unknown (fall back to bisection) or never.
+fn crossing_to_true(p: &Pred, vars: &[f64], slopes: &[Option<f64>]) -> Option<f64> {
+    use pte_hybrid::Cmp;
+    match p {
+        Pred::True => Some(0.0),
+        Pred::False => None,
+        Pred::Cmp(lhs, op, rhs) => {
+            let (lv, ls) = affine(lhs, vars, slopes)?;
+            let (rv, rs) = affine(rhs, vars, slopes)?;
+            let d0 = lv - rv;
+            let ds = ls - rs;
+            match op {
+                Cmp::Ge | Cmp::Gt => {
+                    if d0 >= 0.0 {
+                        Some(0.0)
+                    } else if ds > 0.0 {
+                        Some(-d0 / ds)
+                    } else {
+                        None
+                    }
+                }
+                Cmp::Le | Cmp::Lt => {
+                    if d0 <= 0.0 {
+                        Some(0.0)
+                    } else if ds < 0.0 {
+                        Some(-d0 / ds)
+                    } else {
+                        None
+                    }
+                }
+                Cmp::Eq | Cmp::Ne => None,
+            }
+        }
+        // Conjunction of monotone-becoming-true atoms: true at the max.
+        Pred::And(ps) => {
+            let mut worst = 0.0f64;
+            for q in ps {
+                worst = worst.max(crossing_to_true(q, vars, slopes)?);
+            }
+            Some(worst)
+        }
+        // Disjunction: earliest disjunct.
+        Pred::Or(ps) => {
+            let mut best: Option<f64> = None;
+            for q in ps {
+                if let Some(t) = crossing_to_true(q, vars, slopes) {
+                    best = Some(best.map_or(t, |b: f64| b.min(t)));
+                }
+            }
+            best
+        }
+        Pred::Not(q) => crossing_to_false(q, vars, slopes),
+    }
+}
+
+/// Earliest `t >= 0` at which `p` becomes false under affine evolution.
+fn crossing_to_false(p: &Pred, vars: &[f64], slopes: &[Option<f64>]) -> Option<f64> {
+    use pte_hybrid::Cmp;
+    match p {
+        Pred::True => None,
+        Pred::False => Some(0.0),
+        Pred::Cmp(lhs, op, rhs) => {
+            let flipped = match op {
+                Cmp::Ge => Pred::Cmp(lhs.clone(), Cmp::Lt, rhs.clone()),
+                Cmp::Gt => Pred::Cmp(lhs.clone(), Cmp::Le, rhs.clone()),
+                Cmp::Le => Pred::Cmp(lhs.clone(), Cmp::Gt, rhs.clone()),
+                Cmp::Lt => Pred::Cmp(lhs.clone(), Cmp::Ge, rhs.clone()),
+                Cmp::Eq | Cmp::Ne => return None,
+            };
+            crossing_to_true(&flipped, vars, slopes)
+        }
+        // Conjunction becomes false when the first conjunct does.
+        Pred::And(ps) => {
+            let mut best: Option<f64> = None;
+            for q in ps {
+                if let Some(t) = crossing_to_false(q, vars, slopes) {
+                    best = Some(best.map_or(t, |b: f64| b.min(t)));
+                }
+            }
+            best
+        }
+        // Disjunction becomes false when all disjuncts are false.
+        Pred::Or(ps) => {
+            let mut worst = 0.0f64;
+            for q in ps {
+                worst = worst.max(crossing_to_false(q, vars, slopes)?);
+            }
+            Some(worst)
+        }
+        Pred::Not(q) => crossing_to_true(q, vars, slopes),
+    }
+}
+
+impl Executor {
+    fn maybe_sample(&mut self) {
+        let Some(interval) = self.cfg.sample_interval else {
+            return;
+        };
+        while self.next_sample <= self.now {
+            for (i, v) in self.vars.iter().enumerate() {
+                self.samples.push(Sample {
+                    t: self.now,
+                    aut: i,
+                    vars: v.clone(),
+                });
+            }
+            self.next_sample += interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{DropReason, FnChannel};
+    use pte_hybrid::{HybridAutomaton, Pred, VarKind};
+
+    /// Fig. 2 ventilator: triangle wave between 0 and 0.3 at 0.1 m/s.
+    fn ventilator() -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("vent");
+        let h = b.var("Hvent", VarKind::Continuous, 0.15);
+        let out = b.location("PumpOut");
+        let inn = b.location("PumpIn");
+        b.invariant(
+            out,
+            Pred::ge(Expr::var(h), Expr::c(0.0)).and(Pred::le(Expr::var(h), Expr::c(0.3))),
+        );
+        b.invariant(
+            inn,
+            Pred::ge(Expr::var(h), Expr::c(0.0)).and(Pred::le(Expr::var(h), Expr::c(0.3))),
+        );
+        b.flow(out, h, Expr::c(-0.1));
+        b.flow(inn, h, Expr::c(0.1));
+        b.edge(out, inn)
+            .guard(Pred::le(Expr::var(h), Expr::c(0.0)))
+            .urgent()
+            .emit("evtVPumpIn")
+            .done();
+        b.edge(inn, out)
+            .guard(Pred::ge(Expr::var(h), Expr::c(0.3)))
+            .urgent()
+            .emit("evtVPumpOut")
+            .done();
+        b.initial(out, None);
+        b.build().unwrap()
+    }
+
+    /// A two-location timed automaton: dwell exactly `period` in each.
+    fn ping_pong(name: &str, period: f64, emit_a: &str, emit_b: &str) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder(name);
+        let c = b.clock("c");
+        let la = b.location("A");
+        let lb = b.location("B");
+        b.invariant(la, Pred::le(Expr::var(c), Expr::c(period)));
+        b.invariant(lb, Pred::le(Expr::var(c), Expr::c(period)));
+        b.edge(la, lb)
+            .guard(Pred::ge(Expr::var(c), Expr::c(period)))
+            .urgent()
+            .reset_clock(c)
+            .emit(emit_a)
+            .done();
+        b.edge(lb, la)
+            .guard(Pred::ge(Expr::var(c), Expr::c(period)))
+            .urgent()
+            .reset_clock(c)
+            .emit(emit_b)
+            .done();
+        b.initial(la, None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn timed_transitions_fire_at_exact_expiry() {
+        let a = ping_pong("pp", 1.0, "toB", "toA");
+        let exec = Executor::new(vec![a], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(5.5)).unwrap();
+        let hist = trace.location_history(0);
+        // Init + transitions at t = 1, 2, 3, 4, 5.
+        assert_eq!(hist.len(), 6, "{hist:?}");
+        for (k, (t, _)) in hist.iter().enumerate().skip(1) {
+            assert!(
+                t.approx_eq(Time::seconds(k as f64), Time::seconds(1e-6)),
+                "transition {k} at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn ventilator_triangle_wave() {
+        let exec = Executor::new(vec![ventilator()], ExecutorConfig::default()).unwrap();
+        // From 0.15 down at 0.1: hits 0 at t=1.5; up to 0.3 at t=4.5; ...
+        let trace = exec.run_until(Time::seconds(10.0)).unwrap();
+        let hist = trace.location_history(0);
+        assert!(hist.len() >= 3);
+        assert!(hist[1].0.approx_eq(Time::seconds(1.5), Time::seconds(1e-5)));
+        assert!(hist[2].0.approx_eq(Time::seconds(4.5), Time::seconds(1e-5)));
+        let pump_in_events = trace.events_with_root("evtVPumpIn");
+        assert!(!pump_in_events.is_empty());
+    }
+
+    #[test]
+    fn reliable_events_synchronize_automata() {
+        // Sender ping-pongs each second; receiver follows its events.
+        let sender = ping_pong("sender", 1.0, "tick", "tock");
+        let mut b = HybridAutomaton::builder("receiver");
+        let ra = b.location("Ra");
+        let rb = b.location("Rb");
+        b.edge(ra, rb).on("tick").done();
+        b.edge(rb, ra).on("tock").done();
+        b.initial(ra, None);
+        let receiver = b.build().unwrap();
+
+        let exec = Executor::new(vec![sender, receiver], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(4.5)).unwrap();
+        let rh = trace.location_history(1);
+        // Init, then moves at t=1,2,3,4.
+        assert_eq!(rh.len(), 5, "{rh:?}");
+        assert!(rh[1].0.approx_eq(Time::seconds(1.0), Time::seconds(1e-6)));
+    }
+
+    #[test]
+    fn lossy_events_can_be_dropped() {
+        let sender = ping_pong("sender", 1.0, "tick", "tick2");
+        let mut b = HybridAutomaton::builder("receiver");
+        let ra = b.location("Ra");
+        let rb = b.location("Rb");
+        b.edge(ra, rb).on_lossy("tick").done();
+        b.edge(rb, ra).on_lossy("tick2").done();
+        b.initial(ra, None);
+        let receiver = b.build().unwrap();
+
+        let mut exec = Executor::new(vec![sender, receiver], ExecutorConfig::default()).unwrap();
+        let mut bridge = NetworkBridge::perfect();
+        bridge.set_default(Box::new(FnChannel(|_m: &Message, _now: Time| {
+            Delivery::Dropped {
+                reason: DropReason::Scripted,
+            }
+        })));
+        exec.set_bridge(bridge);
+        let trace = exec.run_until(Time::seconds(5.0)).unwrap();
+        assert_eq!(
+            trace.location_history(1).len(),
+            1,
+            "receiver never moves when all packets drop"
+        );
+        assert!(trace.drop_count() >= 4);
+    }
+
+    #[test]
+    fn delayed_delivery_arrives_later() {
+        let sender = ping_pong("sender", 1.0, "tick", "tick2");
+        let mut b = HybridAutomaton::builder("receiver");
+        let ra = b.location("Ra");
+        let rb = b.location("Rb");
+        b.edge(ra, rb).on_lossy("tick").done();
+        b.initial(ra, None);
+        let receiver = b.build().unwrap();
+
+        let mut exec = Executor::new(vec![sender, receiver], ExecutorConfig::default()).unwrap();
+        let mut bridge = NetworkBridge::perfect();
+        bridge.set_default(Box::new(FnChannel(|_m: &Message, now: Time| {
+            Delivery::Delivered {
+                at: now + Time::seconds(0.25),
+            }
+        })));
+        exec.set_bridge(bridge);
+        let trace = exec.run_until(Time::seconds(2.0)).unwrap();
+        let rh = trace.location_history(1);
+        assert_eq!(rh.len(), 2);
+        assert!(
+            rh[1].0.approx_eq(Time::seconds(1.25), Time::seconds(1e-6)),
+            "arrived at {}",
+            rh[1].0
+        );
+    }
+
+    #[test]
+    fn resets_apply_on_transition() {
+        let mut b = HybridAutomaton::builder("resetter");
+        let c = b.clock("c");
+        let x = b.var("x", VarKind::Continuous, 0.0);
+        let la = b.location("A");
+        let lb = b.location("B");
+        b.invariant(la, Pred::le(Expr::var(c), Expr::c(1.0)));
+        b.edge(la, lb)
+            .guard(Pred::ge(Expr::var(c), Expr::c(1.0)))
+            .urgent()
+            .reset(x, Expr::var(c) * Expr::c(2.0))
+            .reset_clock(c)
+            .done();
+        b.initial(la, None);
+        let a = b.build().unwrap();
+        let exec = Executor::new(vec![a], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(1.5)).unwrap();
+        let _ = trace;
+        // x := 2 * c evaluated at c = 1 => 2.0 (pre-reset value used).
+    }
+
+    #[test]
+    fn time_block_reported() {
+        let mut b = HybridAutomaton::builder("stuck");
+        let c = b.clock("c");
+        let la = b.location("A");
+        b.invariant(la, Pred::le(Expr::var(c), Expr::c(1.0)));
+        // No egress edge: invariant will be violated at t=1.
+        b.initial(la, None);
+        let a = b.build().unwrap();
+        let exec = Executor::new(vec![a], ExecutorConfig::default()).unwrap();
+        let err = exec.run_until(Time::seconds(2.0)).unwrap_err();
+        assert!(matches!(err, ExecError::TimeBlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn zeno_cascade_detected() {
+        let mut b = HybridAutomaton::builder("zeno");
+        let la = b.location("A");
+        let lb = b.location("B");
+        b.edge(la, lb).urgent().done();
+        b.edge(lb, la).urgent().done();
+        b.initial(la, None);
+        let a = b.build().unwrap();
+        let exec = Executor::new(vec![a], ExecutorConfig::default()).unwrap();
+        let err = exec.run_until(Time::seconds(1.0)).unwrap_err();
+        assert!(matches!(err, ExecError::Zeno { .. }));
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        assert!(matches!(
+            Executor::new(vec![], ExecutorConfig::default()),
+            Err(ExecError::Empty)
+        ));
+    }
+
+    #[test]
+    fn guard_false_reception_ignored() {
+        let sender = ping_pong("sender", 1.0, "tick", "tick2");
+        let mut b = HybridAutomaton::builder("receiver");
+        let c = b.clock("c");
+        let ra = b.location("Ra");
+        let rb = b.location("Rb");
+        // Guard requires c >= 100: never true in this run.
+        b.edge(ra, rb)
+            .on("tick")
+            .guard(Pred::ge(Expr::var(c), Expr::c(100.0)))
+            .done();
+        b.initial(ra, None);
+        let receiver = b.build().unwrap();
+        let exec = Executor::new(vec![sender, receiver], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(3.0)).unwrap();
+        assert_eq!(trace.location_history(1).len(), 1);
+        assert!(trace.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Ignored {
+                reason: IgnoreReason::GuardFalse,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sampling_records_series() {
+        let cfg = ExecutorConfig {
+            sample_interval: Some(Time::seconds(0.5)),
+            ..Default::default()
+        };
+        let exec = Executor::new(vec![ventilator()], cfg).unwrap();
+        let trace = exec.run_until(Time::seconds(3.0)).unwrap();
+        let series = trace.series(0, "Hvent");
+        assert!(series.len() >= 6, "{}", series.len());
+        // Values stay within the physical range.
+        for (_, v) in &series {
+            assert!(*v >= -1e-6 && *v <= 0.3 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn scripted_driver_injects() {
+        let mut b = HybridAutomaton::builder("listener");
+        let ra = b.location("Ra");
+        let rb = b.location("Rb");
+        b.edge(ra, rb).on("button").done();
+        b.initial(ra, None);
+        let a = b.build().unwrap();
+        let mut exec = Executor::new(vec![a], ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(crate::driver::ScriptedDriver::new(
+            "s",
+            vec![(Time::seconds(1.5), Root::new("button"))],
+        )));
+        let trace = exec.run_until(Time::seconds(3.0)).unwrap();
+        let h = trace.location_history(0);
+        assert_eq!(h.len(), 2);
+        assert!(h[1].0 >= Time::seconds(1.5));
+        assert!(h[1].0 < Time::seconds(1.6));
+    }
+}

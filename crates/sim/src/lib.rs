@@ -1,0 +1,39 @@
+//! # pte-sim
+//!
+//! Co-simulation executor for hybrid systems.
+//!
+//! A *hybrid system* `H` is a collection of hybrid automata executing
+//! concurrently and coordinating via event communication (Section II-B of
+//! the paper). This crate executes such systems:
+//!
+//! * [`schedule`] — deterministic virtual-time event queue;
+//! * [`network`] — the [`network::Channel`] abstraction routing `!root`
+//!   emissions to `?root` (reliable, same-instant) and `??root` (lossy,
+//!   channel-mediated) receivers; concrete wireless channel models live in
+//!   `pte-wireless`;
+//! * [`driver`] — external event injectors for "human will" inputs (the
+//!   surgeon of the case study) and scripted stimuli;
+//! * [`executor`] — the stepping loop: discrete-transition closure with
+//!   zeno protection, urgent timed transitions at exact expiry instants,
+//!   invariant-forced switching, and ODE integration with boundary
+//!   localization (via `pte-ode`);
+//! * [`trace`] — a self-contained record of the trajectory: location
+//!   changes, event send/drop/deliver/ignore, and variable samples, with
+//!   the interval queries the PTE monitor consumes.
+//!
+//! Determinism: given the same automata, drivers, channels (with their own
+//! seeded RNGs) and configuration, a run is bit-for-bit reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod executor;
+pub mod network;
+pub mod schedule;
+pub mod trace;
+
+pub use driver::{Driver, SystemView};
+pub use executor::{ExecError, Executor, ExecutorConfig};
+pub use network::{Channel, Delivery, Message, NetworkBridge, PerfectChannel};
+pub use trace::{Trace, TraceEvent};

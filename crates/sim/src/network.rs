@@ -1,0 +1,346 @@
+//! Event routing between automata, and the channel abstraction.
+//!
+//! When an automaton fires an edge carrying `!root`, the event is
+//! broadcast:
+//!
+//! * receivers whose edges carry `?root` (reliable) observe it at the same
+//!   instant — this models wired/intra-entity links such as the SpO2
+//!   sensor wired to the supervisor;
+//! * receivers whose edges carry `??root` (lossy) observe it only if the
+//!   [`Channel`] for the (sender → receiver) link delivers it, possibly
+//!   with delay — this models the wireless up/downlinks of Section II-B,
+//!   whose packets "can be arbitrarily lost".
+//!
+//! Concrete wireless channel models (Bernoulli, Gilbert–Elliott, duty-cycle
+//! interferer, bit-error + CRC) live in `pte-wireless`; this module defines
+//! the trait, a perfect channel, and the per-link routing table.
+
+use pte_hybrid::{Root, Time};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A single event transmission over a lossy link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// The event root being communicated.
+    pub root: Root,
+    /// Index of the sending automaton within the hybrid system.
+    pub sender: usize,
+    /// Index of the receiving automaton.
+    pub receiver: usize,
+    /// Monotone per-run sequence number.
+    pub seq: u64,
+    /// Time the event was emitted.
+    pub sent_at: Time,
+}
+
+/// Outcome of handing a message to a channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Delivery {
+    /// The message will arrive at the given time (`>= sent_at`).
+    Delivered {
+        /// Arrival time at the receiver.
+        at: Time,
+    },
+    /// The message is lost (never arrives).
+    Dropped {
+        /// Human-readable loss cause (for traces/statistics).
+        reason: DropReason,
+    },
+}
+
+/// Why a channel dropped a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random erasure (fading, collision, …).
+    Erasure,
+    /// The packet arrived with bit errors and failed its checksum.
+    ChecksumFailed,
+    /// An interference burst overlapped the transmission.
+    Interference,
+    /// The topology has no link between the endpoints (e.g. remote-to-
+    /// remote in a sink-based star network).
+    NoLink,
+    /// A scripted/adversarial decision dropped it.
+    Scripted,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::Erasure => write!(f, "erasure"),
+            DropReason::ChecksumFailed => write!(f, "checksum failed"),
+            DropReason::Interference => write!(f, "interference"),
+            DropReason::NoLink => write!(f, "no link"),
+            DropReason::Scripted => write!(f, "scripted drop"),
+        }
+    }
+}
+
+/// A (possibly lossy, possibly delaying) unidirectional link.
+///
+/// Implementations own their RNG state so whole runs are reproducible.
+pub trait Channel: Send {
+    /// Decides the fate of one message sent at `now`.
+    fn transmit(&mut self, msg: &Message, now: Time) -> Delivery;
+
+    /// Short human-readable description (used in statistics output).
+    fn describe(&self) -> String {
+        "channel".to_string()
+    }
+}
+
+/// A channel that delivers everything instantly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfectChannel;
+
+impl Channel for PerfectChannel {
+    fn transmit(&mut self, _msg: &Message, now: Time) -> Delivery {
+        Delivery::Delivered { at: now }
+    }
+
+    fn describe(&self) -> String {
+        "perfect".to_string()
+    }
+}
+
+/// A channel that drops everything (e.g. a forbidden remote-to-remote
+/// link in a sink-based star topology).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoLinkChannel;
+
+impl Channel for NoLinkChannel {
+    fn transmit(&mut self, _msg: &Message, _now: Time) -> Delivery {
+        Delivery::Dropped {
+            reason: DropReason::NoLink,
+        }
+    }
+
+    fn describe(&self) -> String {
+        "no-link".to_string()
+    }
+}
+
+/// A channel defined by a closure (handy in tests).
+pub struct FnChannel<F>(pub F);
+
+impl<F> Channel for FnChannel<F>
+where
+    F: FnMut(&Message, Time) -> Delivery + Send,
+{
+    fn transmit(&mut self, msg: &Message, now: Time) -> Delivery {
+        (self.0)(msg, now)
+    }
+
+    fn describe(&self) -> String {
+        "fn".to_string()
+    }
+}
+
+/// Per-link delivery statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages handed to the channel.
+    pub sent: u64,
+    /// Messages the channel promised to deliver.
+    pub delivered: u64,
+    /// Messages the channel dropped.
+    pub dropped: u64,
+}
+
+impl LinkStats {
+    /// Empirical loss rate (0 if nothing was sent).
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.sent as f64
+        }
+    }
+}
+
+/// The routing table: a channel per (sender, receiver) pair of automata,
+/// with a default for unlisted pairs.
+pub struct NetworkBridge {
+    links: HashMap<(usize, usize), Box<dyn Channel>>,
+    default: Box<dyn Channel>,
+    stats: HashMap<(usize, usize), LinkStats>,
+}
+
+impl fmt::Debug for NetworkBridge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkBridge")
+            .field("links", &self.links.len())
+            .field("default", &self.default.describe())
+            .finish()
+    }
+}
+
+impl Default for NetworkBridge {
+    fn default() -> Self {
+        NetworkBridge::perfect()
+    }
+}
+
+impl NetworkBridge {
+    /// A bridge whose unlisted links are perfect.
+    pub fn perfect() -> NetworkBridge {
+        NetworkBridge {
+            links: HashMap::new(),
+            default: Box::new(PerfectChannel),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Replaces the default channel used for unlisted (sender, receiver)
+    /// pairs.
+    pub fn set_default(&mut self, ch: Box<dyn Channel>) -> &mut Self {
+        self.default = ch;
+        self
+    }
+
+    /// Installs a channel for the (sender → receiver) link.
+    pub fn set_link(&mut self, sender: usize, receiver: usize, ch: Box<dyn Channel>) -> &mut Self {
+        self.links.insert((sender, receiver), ch);
+        self
+    }
+
+    /// Routes one message; records statistics.
+    pub fn transmit(&mut self, msg: &Message, now: Time) -> Delivery {
+        let key = (msg.sender, msg.receiver);
+        let ch = self.links.get_mut(&key).unwrap_or(&mut self.default);
+        let delivery = ch.transmit(msg, now);
+        let stats = self.stats.entry(key).or_default();
+        stats.sent += 1;
+        match &delivery {
+            Delivery::Delivered { .. } => stats.delivered += 1,
+            Delivery::Dropped { .. } => stats.dropped += 1,
+        }
+        delivery
+    }
+
+    /// Statistics for one link.
+    pub fn link_stats(&self, sender: usize, receiver: usize) -> LinkStats {
+        self.stats
+            .get(&(sender, receiver))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Aggregate statistics over all links.
+    pub fn total_stats(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for s in self.stats.values() {
+            total.sent += s.sent;
+            total.delivered += s.delivered;
+            total.dropped += s.dropped;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(sender: usize, receiver: usize) -> Message {
+        Message {
+            root: Root::new("evt"),
+            sender,
+            receiver,
+            seq: 0,
+            sent_at: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn perfect_channel_delivers_now() {
+        let mut ch = PerfectChannel;
+        let d = ch.transmit(&msg(0, 1), Time::seconds(2.0));
+        assert_eq!(
+            d,
+            Delivery::Delivered {
+                at: Time::seconds(2.0)
+            }
+        );
+    }
+
+    #[test]
+    fn no_link_drops() {
+        let mut ch = NoLinkChannel;
+        assert!(matches!(
+            ch.transmit(&msg(1, 2), Time::ZERO),
+            Delivery::Dropped {
+                reason: DropReason::NoLink
+            }
+        ));
+    }
+
+    #[test]
+    fn bridge_routes_per_link() {
+        let mut bridge = NetworkBridge::perfect();
+        bridge.set_link(0, 1, Box::new(NoLinkChannel));
+        assert!(matches!(
+            bridge.transmit(&msg(0, 1), Time::ZERO),
+            Delivery::Dropped { .. }
+        ));
+        assert!(matches!(
+            bridge.transmit(&msg(1, 0), Time::ZERO),
+            Delivery::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn bridge_collects_stats() {
+        let mut bridge = NetworkBridge::perfect();
+        bridge.set_link(0, 1, Box::new(NoLinkChannel));
+        for _ in 0..4 {
+            bridge.transmit(&msg(0, 1), Time::ZERO);
+        }
+        for _ in 0..6 {
+            bridge.transmit(&msg(1, 0), Time::ZERO);
+        }
+        let s01 = bridge.link_stats(0, 1);
+        assert_eq!(s01.sent, 4);
+        assert_eq!(s01.dropped, 4);
+        assert_eq!(s01.loss_rate(), 1.0);
+        let s10 = bridge.link_stats(1, 0);
+        assert_eq!(s10.delivered, 6);
+        assert_eq!(s10.loss_rate(), 0.0);
+        let total = bridge.total_stats();
+        assert_eq!(total.sent, 10);
+        assert_eq!(total.dropped, 4);
+    }
+
+    #[test]
+    fn fn_channel_adapts_closures() {
+        let mut flag = false;
+        let mut ch = FnChannel(move |_m: &Message, now: Time| {
+            flag = !flag;
+            if flag {
+                Delivery::Delivered {
+                    at: now + Time::seconds(0.5),
+                }
+            } else {
+                Delivery::Dropped {
+                    reason: DropReason::Scripted,
+                }
+            }
+        });
+        assert!(matches!(
+            ch.transmit(&msg(0, 1), Time::ZERO),
+            Delivery::Delivered { .. }
+        ));
+        assert!(matches!(
+            ch.transmit(&msg(0, 1), Time::ZERO),
+            Delivery::Dropped { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_stats_default() {
+        let bridge = NetworkBridge::perfect();
+        assert_eq!(bridge.link_stats(3, 4), LinkStats::default());
+        assert_eq!(bridge.link_stats(3, 4).loss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic virtual-time event queue.
+//!
+//! Pending lossy-channel deliveries are kept in a priority queue ordered by
+//! `(delivery time, insertion sequence)`. The sequence number breaks ties
+//! deterministically — two events scheduled for the same instant are
+//! processed in the order they were scheduled, making whole runs
+//! reproducible.
+
+use pte_hybrid::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item scheduled for future processing.
+#[derive(Clone, Debug)]
+pub struct Scheduled<T> {
+    /// Virtual time at which the item becomes due.
+    pub at: Time,
+    /// Insertion sequence (tie-breaker).
+    pub seq: u64,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event queue.
+#[derive(Clone, Debug)]
+pub struct Schedule<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T: Clone> Default for Schedule<T> {
+    fn default() -> Self {
+        Schedule::new()
+    }
+}
+
+impl<T: Clone> Schedule<T> {
+    /// Creates an empty schedule.
+    pub fn new() -> Schedule<T> {
+        Schedule {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` at time `at`.
+    pub fn push(&mut self, at: Time, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, item });
+    }
+
+    /// The time of the earliest pending item, if any.
+    pub fn next_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest item if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<Scheduled<T>> {
+        if self.heap.peek().map(|s| s.at <= now).unwrap_or(false) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending items.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut s: Schedule<&str> = Schedule::new();
+        s.push(Time::seconds(3.0), "c");
+        s.push(Time::seconds(1.0), "a");
+        s.push(Time::seconds(2.0), "b");
+        assert_eq!(s.next_time(), Some(Time::seconds(1.0)));
+        assert_eq!(s.pop_due(Time::seconds(10.0)).unwrap().item, "a");
+        assert_eq!(s.pop_due(Time::seconds(10.0)).unwrap().item, "b");
+        assert_eq!(s.pop_due(Time::seconds(10.0)).unwrap().item, "c");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut s: Schedule<u32> = Schedule::new();
+        for i in 0..100 {
+            s.push(Time::seconds(1.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop_due(Time::seconds(1.0)).unwrap().item, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut s: Schedule<&str> = Schedule::new();
+        s.push(Time::seconds(5.0), "later");
+        assert!(s.pop_due(Time::seconds(4.999)).is_none());
+        assert_eq!(s.len(), 1);
+        assert!(s.pop_due(Time::seconds(5.0)).is_some());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: Schedule<u8> = Schedule::new();
+        s.push(Time::seconds(1.0), 1);
+        s.push(Time::seconds(2.0), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.next_time(), None);
+    }
+}

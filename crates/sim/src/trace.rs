@@ -1,0 +1,470 @@
+//! Trajectory records and interval queries.
+//!
+//! A [`Trace`] is a self-contained record of one execution of a hybrid
+//! system: it carries enough metadata (automaton/location/variable names,
+//! risky flags) that consumers — most importantly the PTE monitor in
+//! `pte-core` — need no access to the original automata.
+
+use pte_hybrid::{LocId, Root, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Metadata describing one automaton of the traced system.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AutMeta {
+    /// Automaton (entity) name.
+    pub name: String,
+    /// Location names indexed by `LocId`.
+    pub loc_names: Vec<String>,
+    /// `risky[loc]` — whether each location is in `V^risky`.
+    pub risky: Vec<bool>,
+    /// Variable names indexed by `VarId`.
+    pub var_names: Vec<String>,
+}
+
+/// Why a delivered event produced no transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IgnoreReason {
+    /// No edge in the current location listens for the root.
+    NoListeningEdge,
+    /// A listening edge exists but its guard was false.
+    GuardFalse,
+}
+
+/// One discrete occurrence in the trajectory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Initial location of an automaton at trace start.
+    Init {
+        /// Timestamp (always 0 for the initial marker).
+        t: Time,
+        /// Automaton index.
+        aut: usize,
+        /// Initial location.
+        loc: LocId,
+    },
+    /// A discrete transition fired.
+    Transition {
+        /// Timestamp.
+        t: Time,
+        /// Automaton index.
+        aut: usize,
+        /// Source location.
+        from: LocId,
+        /// Destination location.
+        to: LocId,
+        /// The receive trigger root, if the edge was event-triggered.
+        trigger: Option<Root>,
+    },
+    /// An event was emitted (broadcast).
+    Sent {
+        /// Timestamp.
+        t: Time,
+        /// Emitting automaton.
+        aut: usize,
+        /// Event root.
+        root: Root,
+    },
+    /// A lossy channel dropped an event.
+    Dropped {
+        /// Timestamp of the (failed) transmission.
+        t: Time,
+        /// Event root.
+        root: Root,
+        /// Sender automaton.
+        from: usize,
+        /// Intended receiver automaton.
+        to: usize,
+        /// Loss cause (display form of the channel's `DropReason`).
+        reason: String,
+    },
+    /// A lossy channel delivered an event to a receiver.
+    Delivered {
+        /// Arrival timestamp.
+        t: Time,
+        /// Event root.
+        root: Root,
+        /// Receiving automaton.
+        to: usize,
+    },
+    /// An event reached a receiver but triggered no transition.
+    Ignored {
+        /// Timestamp.
+        t: Time,
+        /// Event root.
+        root: Root,
+        /// Receiving automaton.
+        to: usize,
+        /// Why nothing fired.
+        reason: IgnoreReason,
+    },
+    /// A driver injected an event.
+    Injected {
+        /// Timestamp.
+        t: Time,
+        /// Event root.
+        root: Root,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of the event.
+    pub fn time(&self) -> Time {
+        match self {
+            TraceEvent::Init { t, .. }
+            | TraceEvent::Transition { t, .. }
+            | TraceEvent::Sent { t, .. }
+            | TraceEvent::Dropped { t, .. }
+            | TraceEvent::Delivered { t, .. }
+            | TraceEvent::Ignored { t, .. }
+            | TraceEvent::Injected { t, .. } => *t,
+        }
+    }
+}
+
+/// A sampled continuous state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sample {
+    /// Timestamp.
+    pub t: Time,
+    /// Automaton index.
+    pub aut: usize,
+    /// Data state variables at `t`.
+    pub vars: Vec<f64>,
+}
+
+/// A half-open dwelling interval `[enter, exit)` in one location class.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Entry time.
+    pub start: Time,
+    /// Exit time (trace end time if still dwelling when the trace ended).
+    pub end: Time,
+    /// `true` if the interval was still open when the trace ended.
+    pub truncated: bool,
+}
+
+impl Interval {
+    /// The interval's duration.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// `true` if `t` lies within `[start, end)`.
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}{})",
+            self.start,
+            self.end,
+            if self.truncated { "+" } else { "" }
+        )
+    }
+}
+
+/// A complete trajectory record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-automaton metadata.
+    pub meta: Vec<AutMeta>,
+    /// Discrete events in chronological order.
+    pub events: Vec<TraceEvent>,
+    /// Continuous samples (present only if sampling was enabled).
+    pub samples: Vec<Sample>,
+    /// The virtual time at which the run ended.
+    pub end_time: Time,
+}
+
+impl Trace {
+    /// Index of the automaton with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.meta.iter().position(|m| m.name == name)
+    }
+
+    /// The location of automaton `aut` at the very start of the trace.
+    pub fn initial_location(&self, aut: usize) -> Option<LocId> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::Init { aut: a, loc, .. } if *a == aut => Some(*loc),
+            _ => None,
+        })
+    }
+
+    /// The sequence of `(time, location)` changes of automaton `aut`,
+    /// starting with its initial location at time 0.
+    pub fn location_history(&self, aut: usize) -> Vec<(Time, LocId)> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Init { aut: a, loc, t } if *a == aut => out.push((*t, *loc)),
+                TraceEvent::Transition { aut: a, to, t, .. } if *a == aut => out.push((*t, *to)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Maximal intervals during which automaton `aut` dwells continuously
+    /// in **risky** locations (the "continuous dwelling" of PTE Safety
+    /// Rule 1). Consecutive risky locations merge into one interval.
+    pub fn risky_intervals(&self, aut: usize) -> Vec<Interval> {
+        let meta = &self.meta[aut];
+        let history = self.location_history(aut);
+        let mut out = Vec::new();
+        let mut open: Option<Time> = None;
+        for (t, loc) in &history {
+            let risky = meta.risky.get(loc.0).copied().unwrap_or(false);
+            match (risky, open) {
+                (true, None) => open = Some(*t),
+                (false, Some(start)) => {
+                    out.push(Interval {
+                        start,
+                        end: *t,
+                        truncated: false,
+                    });
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            out.push(Interval {
+                start,
+                end: self.end_time,
+                truncated: true,
+            });
+        }
+        out
+    }
+
+    /// Intervals spent in a specific location (by name) of automaton `aut`.
+    pub fn location_intervals(&self, aut: usize, loc_name: &str) -> Vec<Interval> {
+        let meta = &self.meta[aut];
+        let Some(target) = meta.loc_names.iter().position(|n| n == loc_name) else {
+            return Vec::new();
+        };
+        let history = self.location_history(aut);
+        let mut out = Vec::new();
+        let mut open: Option<Time> = None;
+        for (t, loc) in &history {
+            let here = loc.0 == target;
+            match (here, open) {
+                (true, None) => open = Some(*t),
+                (false, Some(start)) => {
+                    out.push(Interval {
+                        start,
+                        end: *t,
+                        truncated: false,
+                    });
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            out.push(Interval {
+                start,
+                end: self.end_time,
+                truncated: true,
+            });
+        }
+        out
+    }
+
+    /// All events with a given root, in order.
+    pub fn events_with_root(&self, root: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Sent { root: r, .. }
+                | TraceEvent::Dropped { root: r, .. }
+                | TraceEvent::Delivered { root: r, .. }
+                | TraceEvent::Ignored { root: r, .. }
+                | TraceEvent::Injected { root: r, .. } => r.as_str() == root,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Count of channel drops recorded in the trace.
+    pub fn drop_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
+            .count()
+    }
+
+    /// Count of transitions taken by automaton `aut`.
+    pub fn transition_count(&self, aut: usize) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Transition { aut: a, .. } if *a == aut))
+            .count()
+    }
+
+    /// Sampled series of one named variable of automaton `aut`, as
+    /// `(time, value)` pairs.
+    pub fn series(&self, aut: usize, var_name: &str) -> Vec<(Time, f64)> {
+        let Some(idx) = self.meta[aut]
+            .var_names
+            .iter()
+            .position(|n| n == var_name)
+        else {
+            return Vec::new();
+        };
+        self.samples
+            .iter()
+            .filter(|s| s.aut == aut)
+            .map(|s| (s.t, s.vars[idx]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> Vec<AutMeta> {
+        vec![AutMeta {
+            name: "a".into(),
+            loc_names: vec!["Safe".into(), "Risky1".into(), "Risky2".into()],
+            risky: vec![false, true, true],
+            var_names: vec!["x".into()],
+        }]
+    }
+
+    fn tr(t: f64, from: usize, to: usize) -> TraceEvent {
+        TraceEvent::Transition {
+            t: Time::seconds(t),
+            aut: 0,
+            from: LocId(from),
+            to: LocId(to),
+            trigger: None,
+        }
+    }
+
+    #[test]
+    fn risky_intervals_merge_consecutive_risky_locations() {
+        let trace = Trace {
+            meta: meta(),
+            events: vec![
+                TraceEvent::Init {
+                    t: Time::ZERO,
+                    aut: 0,
+                    loc: LocId(0),
+                },
+                tr(1.0, 0, 1), // enter risky
+                tr(2.0, 1, 2), // risky -> risky: same dwelling
+                tr(3.0, 2, 0), // exit
+                tr(5.0, 0, 1), // enter again
+            ],
+            samples: vec![],
+            end_time: Time::seconds(6.0),
+        };
+        let ivs = trace.risky_intervals(0);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].start, Time::seconds(1.0));
+        assert_eq!(ivs[0].end, Time::seconds(3.0));
+        assert!(!ivs[0].truncated);
+        assert_eq!(ivs[0].duration(), Time::seconds(2.0));
+        assert_eq!(ivs[1].start, Time::seconds(5.0));
+        assert!(ivs[1].truncated, "open at trace end");
+        assert_eq!(ivs[1].end, Time::seconds(6.0));
+    }
+
+    #[test]
+    fn location_intervals_by_name() {
+        let trace = Trace {
+            meta: meta(),
+            events: vec![
+                TraceEvent::Init {
+                    t: Time::ZERO,
+                    aut: 0,
+                    loc: LocId(0),
+                },
+                tr(1.0, 0, 1),
+                tr(2.0, 1, 0),
+            ],
+            samples: vec![],
+            end_time: Time::seconds(4.0),
+        };
+        let safe = trace.location_intervals(0, "Safe");
+        assert_eq!(safe.len(), 2);
+        assert_eq!(safe[0].end, Time::seconds(1.0));
+        assert!(safe[1].truncated);
+        assert!(trace.location_intervals(0, "Nowhere").is_empty());
+    }
+
+    #[test]
+    fn event_queries() {
+        let trace = Trace {
+            meta: meta(),
+            events: vec![
+                TraceEvent::Sent {
+                    t: Time::seconds(1.0),
+                    aut: 0,
+                    root: Root::new("go"),
+                },
+                TraceEvent::Dropped {
+                    t: Time::seconds(1.0),
+                    root: Root::new("go"),
+                    from: 0,
+                    to: 1,
+                    reason: "erasure".into(),
+                },
+                TraceEvent::Injected {
+                    t: Time::seconds(2.0),
+                    root: Root::new("other"),
+                },
+            ],
+            samples: vec![],
+            end_time: Time::seconds(3.0),
+        };
+        assert_eq!(trace.events_with_root("go").len(), 2);
+        assert_eq!(trace.drop_count(), 1);
+        assert_eq!(trace.transition_count(0), 0);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let trace = Trace {
+            meta: meta(),
+            events: vec![],
+            samples: vec![
+                Sample {
+                    t: Time::ZERO,
+                    aut: 0,
+                    vars: vec![0.1],
+                },
+                Sample {
+                    t: Time::seconds(1.0),
+                    aut: 0,
+                    vars: vec![0.2],
+                },
+            ],
+            end_time: Time::seconds(1.0),
+        };
+        let s = trace.series(0, "x");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].1, 0.2);
+        assert!(trace.series(0, "y").is_empty());
+    }
+
+    #[test]
+    fn interval_contains() {
+        let iv = Interval {
+            start: Time::seconds(1.0),
+            end: Time::seconds(2.0),
+            truncated: false,
+        };
+        assert!(iv.contains(Time::seconds(1.0)));
+        assert!(iv.contains(Time::seconds(1.999)));
+        assert!(!iv.contains(Time::seconds(2.0)));
+        assert!(!iv.contains(Time::seconds(0.5)));
+    }
+}

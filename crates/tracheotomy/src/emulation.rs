@@ -1,0 +1,318 @@
+//! Trial runner: the Table I emulation.
+//!
+//! One trial assembles the full case-study hybrid system — supervisor,
+//! elaborated ventilator, laser scalpel, patient — wires the wireless star
+//! with an interference-driven loss process, drives the surgeon's
+//! exponential timers, runs for the trial duration, and scores the trace:
+//!
+//! * **# of Laser Emissions** — maximal risky dwellings of the laser;
+//! * **# of Failures** — PTE rule violations found by the monitor
+//!   (Rule 1 bound of 1 minute; safeguards 3 s / 1.5 s — exactly the
+//!   emulation's safety rules);
+//! * **# of evtToStop** — lease expirations that forced the laser to stop
+//!   emitting.
+
+use crate::laser::laser_scalpel;
+use crate::patient::patient;
+use crate::supervisor::{tracheotomy_supervisor, SPO2_THRESHOLD};
+use crate::surgeon::Surgeon;
+use crate::ventilator::ventilator;
+use pte_core::monitor::{check_pte, PteReport};
+use pte_core::pattern::{strip_leases, LeaseConfig};
+use pte_core::rules::PteSpec;
+use pte_hybrid::Time;
+use pte_sim::executor::{ExecError, Executor, ExecutorConfig};
+use pte_sim::trace::Trace;
+use pte_wireless::loss::{BernoulliLoss, Interferer, LossModel};
+use pte_wireless::topology::StarTopology;
+
+/// The loss environment of a trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossEnvironment {
+    /// No loss (debug/verification baseline).
+    Perfect,
+    /// I.i.d. loss with the given probability on every wireless link.
+    Bernoulli(f64),
+    /// The paper's constant WiFi interference next to the supervisor.
+    WifiInterference,
+}
+
+/// Configuration of one emulation trial.
+#[derive(Clone, Debug)]
+pub struct TrialConfig {
+    /// Trial duration (the paper: 30 minutes).
+    pub duration: Time,
+    /// Mean of the surgeon's `Ton` (the paper: 30 s).
+    pub mean_on: Time,
+    /// Mean of the surgeon's `Toff` (the paper: 18 s and 6 s); `None`
+    /// models a surgeon who never cancels.
+    pub mean_off: Option<Time>,
+    /// Whether lease timers are armed ("with Lease" vs "without Lease").
+    pub leased: bool,
+    /// The wireless loss environment.
+    pub loss: LossEnvironment,
+    /// Trial RNG seed (drives the surgeon and every channel).
+    pub seed: u64,
+}
+
+impl TrialConfig {
+    /// The paper's trial settings for a given `E(Toff)` and arm.
+    pub fn paper_trial(mean_off_secs: f64, leased: bool, seed: u64) -> TrialConfig {
+        TrialConfig {
+            duration: Time::seconds(1800.0),
+            mean_on: Time::seconds(30.0),
+            mean_off: Some(Time::seconds(mean_off_secs)),
+            leased,
+            loss: LossEnvironment::WifiInterference,
+            seed,
+        }
+    }
+}
+
+/// The scored outcome of one trial (one row of Table I).
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// Laser emission episodes.
+    pub emissions: usize,
+    /// PTE safety rule violations.
+    pub failures: usize,
+    /// Lease expirations that stopped the laser (`evtToStop`).
+    pub evt_to_stop: usize,
+    /// Lease expirations that resumed the ventilator (not a Table I
+    /// column, reported for analysis).
+    pub vent_lease_stops: usize,
+    /// Wireless packets dropped during the trial.
+    pub packets_dropped: u64,
+    /// Wireless packets sent during the trial.
+    pub packets_sent: u64,
+    /// The monitor's full report.
+    pub report: PteReport,
+}
+
+impl TrialResult {
+    /// Empirical wireless loss rate during the trial.
+    pub fn loss_rate(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.packets_dropped as f64 / self.packets_sent as f64
+        }
+    }
+}
+
+/// The PTE safety rules enforced during the emulation (Section V): 1 min
+/// dwelling bound; safeguards `T^min_risky:1→2 = 3 s`,
+/// `T^min_safe:2→1 = 1.5 s`.
+pub fn emulation_spec() -> PteSpec {
+    PteSpec::uniform(
+        vec!["ventilator".to_string(), "laser-scalpel".to_string()],
+        Time::seconds(60.0),
+        vec![pte_core::rules::PairSpec::new(
+            Time::seconds(3.0),
+            Time::seconds(1.5),
+        )],
+    )
+}
+
+/// Builds the case-study hybrid system (supervisor, ventilator, laser,
+/// patient) for an arm.
+pub fn build_case_study(
+    cfg: &LeaseConfig,
+    leased: bool,
+) -> Result<Vec<pte_hybrid::HybridAutomaton>, pte_hybrid::BuildError> {
+    build_case_study_partial(cfg, leased, leased)
+}
+
+/// Builds the case study with *per-entity* lease arming — the
+/// partial-lease ablation (which lease protects which entity?).
+pub fn build_case_study_partial(
+    cfg: &LeaseConfig,
+    vent_leased: bool,
+    laser_leased: bool,
+) -> Result<Vec<pte_hybrid::HybridAutomaton>, pte_hybrid::BuildError> {
+    let supervisor = tracheotomy_supervisor(cfg)?;
+    let mut vent = ventilator(cfg)?;
+    let mut laser = laser_scalpel(cfg)?;
+    if !vent_leased {
+        vent = strip_leases(&vent);
+    }
+    if !laser_leased {
+        laser = strip_leases(&laser);
+    }
+    let pat = patient(SPO2_THRESHOLD);
+    Ok(vec![supervisor, vent, laser, pat])
+}
+
+/// Runs one trial with per-entity lease arming (partial-lease ablation).
+pub fn run_trial_partial(
+    trial: &TrialConfig,
+    vent_leased: bool,
+    laser_leased: bool,
+) -> Result<TrialResult, ExecError> {
+    let cfg = LeaseConfig::case_study();
+    let automata =
+        build_case_study_partial(&cfg, vent_leased, laser_leased).expect("case study builds");
+    run_prepared(trial, automata)
+}
+
+/// Runs one trial and scores it.
+pub fn run_trial(trial: &TrialConfig) -> Result<TrialResult, ExecError> {
+    let cfg = LeaseConfig::case_study();
+    let automata =
+        build_case_study(&cfg, trial.leased).expect("case study builds");
+    run_prepared(trial, automata)
+}
+
+/// Shared trial body: wires the star, attaches the surgeon, runs, scores.
+fn run_prepared(
+    trial: &TrialConfig,
+    automata: Vec<pte_hybrid::HybridAutomaton>,
+) -> Result<TrialResult, ExecError> {
+    // Channel events are retained in the trace: the scoring counts drops.
+    let exec_cfg = ExecutorConfig {
+        record_channel_events: true,
+        ..Default::default()
+    };
+    let mut exec = Executor::new(automata, exec_cfg)?;
+
+    // Wireless star: supervisor is automaton 0; ventilator 1, laser 2.
+    // The patient (3) communicates only via reliable (wired/acoustic)
+    // events and never touches the bridge.
+    let topo = StarTopology::new(0, vec![1, 2]);
+    let bridge = topo.wire(trial.seed, |_, _, seed| -> Box<dyn LossModel> {
+        match trial.loss {
+            LossEnvironment::Perfect => Box::new(BernoulliLoss::new(0.0, seed)),
+            LossEnvironment::Bernoulli(p) => Box::new(BernoulliLoss::new(p, seed)),
+            LossEnvironment::WifiInterference => Box::new(Interferer::paper_conditions(seed)),
+        }
+    });
+    exec.set_bridge(bridge);
+
+    exec.add_driver(Box::new(Surgeon::new(
+        "laser-scalpel",
+        trial.mean_on,
+        trial.mean_off,
+        trial.seed.wrapping_add(0xA5A5),
+    )));
+
+    let trace = exec.run_until(trial.duration)?;
+    Ok(score_trace(&trace))
+}
+
+/// Scores an already-recorded trace against the emulation rules.
+pub fn score_trace(trace: &Trace) -> TrialResult {
+    let spec = emulation_spec();
+    let report = check_pte(trace, &spec);
+    let laser_idx = trace.index_of("laser-scalpel").expect("laser in trace");
+    let emissions = trace.risky_intervals(laser_idx).len();
+    let evt_to_stop = trace.events_with_root("evt_to_stop_xi2").len();
+    let vent_lease_stops = trace.events_with_root("evt_to_stop_xi1").len();
+    let packets_dropped = trace.drop_count() as u64;
+    let packets_sent = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(e, pte_sim::trace::TraceEvent::Sent { root, .. }
+                if root.as_str().starts_with("evt_xi"))
+        })
+        .count() as u64;
+    TrialResult {
+        emissions,
+        failures: report.failure_count(),
+        evt_to_stop,
+        vent_lease_stops,
+        packets_dropped,
+        packets_sent,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_links_with_lease_short_trial() {
+        let trial = TrialConfig {
+            duration: Time::seconds(300.0),
+            mean_on: Time::seconds(20.0),
+            mean_off: Some(Time::seconds(10.0)),
+            leased: true,
+            loss: LossEnvironment::Perfect,
+            seed: 1,
+        };
+        let result = run_trial(&trial).unwrap();
+        assert!(result.emissions >= 1, "at least one emission in 5 min");
+        assert_eq!(result.failures, 0, "{}", result.report);
+    }
+
+    #[test]
+    fn interference_with_lease_never_fails() {
+        let trial = TrialConfig {
+            duration: Time::seconds(400.0),
+            mean_on: Time::seconds(20.0),
+            mean_off: Some(Time::seconds(10.0)),
+            leased: true,
+            loss: LossEnvironment::WifiInterference,
+            seed: 7,
+        };
+        let result = run_trial(&trial).unwrap();
+        assert_eq!(result.failures, 0, "{}", result.report);
+        assert!(result.packets_dropped > 0, "interference active");
+    }
+
+    #[test]
+    fn heavy_loss_without_lease_fails() {
+        // Aggressive loss + long stuck windows: the no-lease arm must
+        // violate the 60 s dwelling bound.
+        let trial = TrialConfig {
+            duration: Time::seconds(900.0),
+            mean_on: Time::seconds(20.0),
+            mean_off: Some(Time::seconds(10.0)),
+            leased: false,
+            loss: LossEnvironment::Bernoulli(0.5),
+            seed: 3,
+        };
+        let result = run_trial(&trial).unwrap();
+        assert!(
+            result.failures > 0,
+            "expected failures without leases: {:?}",
+            result.report
+        );
+    }
+
+    #[test]
+    fn scoring_counts_match_trace() {
+        let trial = TrialConfig {
+            duration: Time::seconds(300.0),
+            mean_on: Time::seconds(15.0),
+            mean_off: Some(Time::seconds(5.0)),
+            leased: true,
+            loss: LossEnvironment::Perfect,
+            seed: 5,
+        };
+        let result = run_trial(&trial).unwrap();
+        // With a 5 s mean cancel time and a 20 s lease, most emissions are
+        // cancelled by the surgeon; evtToStop must not exceed emissions.
+        assert!(result.evt_to_stop <= result.emissions);
+        assert_eq!(result.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trial = TrialConfig {
+            duration: Time::seconds(200.0),
+            mean_on: Time::seconds(15.0),
+            mean_off: Some(Time::seconds(8.0)),
+            leased: true,
+            loss: LossEnvironment::WifiInterference,
+            seed: 99,
+        };
+        let a = run_trial(&trial).unwrap();
+        let b = run_trial(&trial).unwrap();
+        assert_eq!(a.emissions, b.emissions);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.evt_to_stop, b.evt_to_stop);
+        assert_eq!(a.packets_dropped, b.packets_dropped);
+    }
+}

@@ -1,0 +1,39 @@
+//! The surgeon-operated laser scalpel: the Initializer `ξ2`.
+//!
+//! The paper uses the Initializer design-pattern automaton directly ("the
+//! Initializer hybrid automaton `A_initzr` … can be directly used to
+//! describe the behavior of laser-scalpel"); we only rename it for the
+//! case study. Risky Core is laser emission; `cmd_request`/`cmd_cancel`
+//! are the surgeon's (reliable, local) controls.
+
+use pte_core::pattern::{build_initializer, LeaseConfig};
+use pte_hybrid::{BuildError, HybridAutomaton};
+
+/// Builds the laser scalpel automaton (the Initializer, renamed).
+pub fn laser_scalpel(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError> {
+    let mut a = build_initializer(cfg)?;
+    a.name = "laser-scalpel".to_string();
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renamed_initializer() {
+        let l = laser_scalpel(&LeaseConfig::case_study()).unwrap();
+        assert_eq!(l.name, "laser-scalpel");
+        assert!(l.loc_by_name("Risky Core").is_some());
+        assert!(l.is_risky(l.loc_by_name("Risky Core").unwrap()));
+        // Emits the paper's request/cancel/exit events for ξ2.
+        let emits: Vec<String> = l
+            .emit_roots()
+            .iter()
+            .map(|r| r.as_str().to_string())
+            .collect();
+        assert!(emits.contains(&"evt_xi2_to_xi0_req".to_string()));
+        assert!(emits.contains(&"evt_xi2_to_xi0_cancel".to_string()));
+        assert!(emits.contains(&"evt_xi2_to_xi0_exit".to_string()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # pte-tracheotomy
+//!
+//! The laser tracheotomy wireless CPS case study (Section V).
+//!
+//! Entities (`N = 2`):
+//!
+//! * `ξ0` — the tracheotomy **supervisor** (base station) with the SpO2
+//!   oximeter wired to it;
+//! * `ξ1` — the **ventilator** (Participant): the design-pattern automaton
+//!   elaborated at Fall-Back with the stand-alone ventilator `A′vent` of
+//!   Fig. 2 (Section IV-C methodology applied verbatim);
+//! * `ξ2` — the surgeon-operated **laser scalpel** (Initializer).
+//!
+//! Supporting physical-world models (the paper's human subject and
+//! surgeon, substituted per DESIGN.md):
+//!
+//! * [`patient`] — a blood-oxygen (SpO2) ODE driven by the ventilator's
+//!   pump events, emitting the reliable `env_approval_ok`/`bad` threshold
+//!   events the supervisor's `ApprovalCondition` consumes;
+//! * [`surgeon`] — the paper's own emulation of the surgeon: exponential
+//!   `Ton`/`Toff` timers injecting `cmd_request`/`cmd_cancel`;
+//! * [`emulation`] — 30-minute trials under WiFi-interferer loss with and
+//!   without leases, producing the rows of **Table I**;
+//! * [`scenarios`] — the three failure narratives of Section V.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emulation;
+pub mod laser;
+pub mod patient;
+pub mod scenarios;
+pub mod supervisor;
+pub mod surgeon;
+pub mod ventilator;
+
+pub use emulation::{run_trial, TrialConfig, TrialResult};
+pub use ventilator::{standalone_ventilator, ventilator};

@@ -1,0 +1,361 @@
+//! The patient: a blood-oxygen (SpO2) physiological model.
+//!
+//! Substitutes the paper's human subject + Nonin 9843 oximeter (see
+//! DESIGN.md). The model couples to the rest of the system exactly the
+//! way the emulation did:
+//!
+//! * it *breathes with the ventilator*: each `evtVPumpIn`/`evtVPumpOut`
+//!   broadcast by the ventilator plant resets a breath watchdog; if no
+//!   pump event arrives within [`BREATH_WINDOW`] seconds the patient is
+//!   holding breath and SpO2 decays;
+//! * it *is wired to the supervisor*: crossing below
+//!   [`crate::supervisor::SPO2_THRESHOLD`] emits the reliable
+//!   `env_approval_bad`, and recovery above the hysteresis level
+//!   [`RECOVERY_LEVEL`] emits `env_approval_ok` — the events the
+//!   supervisor's `ApprovalCondition` consumes.
+//!
+//! Dynamics (first-order, rates from pulse-oximetry literature for a
+//! healthy adult under brief apnea):
+//!
+//! * ventilated: `dSpO2/dt = K_RISE · (SPO2_CEILING − SpO2)`;
+//! * breath-hold: `dSpO2/dt = −DESAT_RATE` (0.12 %/s — SpO2 stays above
+//!   92 % for typical lease-bounded pauses, but crosses it on pathological
+//!   ones, which is what arms the supervisor's abort path).
+
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::{Expr, HybridAutomaton, Pred};
+
+/// Seconds without a pump event after which the patient desaturates.
+pub const BREATH_WINDOW: f64 = 4.0;
+/// Desaturation rate while holding breath (%/s).
+pub const DESAT_RATE: f64 = 0.12;
+/// Resaturation gain while ventilated (1/s toward the ceiling).
+pub const K_RISE: f64 = 0.08;
+/// Saturation ceiling (%).
+pub const SPO2_CEILING: f64 = 98.5;
+/// Initial SpO2 (%).
+pub const SPO2_INITIAL: f64 = 97.0;
+/// Hysteresis recovery level (%): `env_approval_ok` fires here.
+pub const RECOVERY_LEVEL: f64 = 94.0;
+/// Physiological floor (%): desaturation asymptotes here.
+pub const SPO2_FLOOR: f64 = 60.0;
+/// Maximum breath-hold (s): the emulation's *human subject* breathes with
+/// the ventilator display up to a tolerable limit, then resumes breathing
+/// on their own no matter what the display shows (the 60 s safety rule is
+/// *judged* by the monitor; the subject's physical limit sits above it so
+/// a violation is observable before the subject rescues themself).
+/// Measured from the last pump event.
+pub const HOLD_LIMIT: f64 = 75.0;
+
+/// Builds the patient automaton.
+///
+/// Locations: `BreathingHigh` (ventilated, SpO2 adequate), `DesatHigh`
+/// (holding breath, still above threshold), `DesatLow` / `BreathingLow`
+/// (below threshold — supervisor alarm raised until recovery), and
+/// `SelfBreathHigh` / `SelfBreathLow` (the human subject exceeded
+/// [`HOLD_LIMIT`] and resumed breathing on their own, as the emulation's
+/// human subject would).
+pub fn patient(threshold: f64) -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder("patient");
+    let spo2 = b.var("SpO2", VarKind::Continuous, SPO2_INITIAL);
+    let breath = b.clock("breath");
+
+    let breathing_high = b.location("BreathingHigh");
+    let desat_high = b.location("DesatHigh");
+    let desat_low = b.location("DesatLow");
+    let breathing_low = b.location("BreathingLow");
+    let self_breath_high = b.location("SelfBreathHigh");
+    let self_breath_low = b.location("SelfBreathLow");
+
+    let rise = Expr::c(K_RISE) * (Expr::c(SPO2_CEILING) - Expr::var(spo2));
+    let fall = Expr::c(-DESAT_RATE);
+
+    // Flows. DesatLow's decay is floored so SpO2 asymptotes to
+    // SPO2_FLOOR instead of falling without bound during pathological
+    // (no-lease) pauses: max(-rate, FLOOR - SpO2) → -rate while well above
+    // the floor, → 0 at the floor.
+    b.flow(breathing_high, spo2, rise.clone());
+    b.flow(breathing_low, spo2, rise.clone());
+    b.flow(self_breath_high, spo2, rise.clone());
+    b.flow(self_breath_low, spo2, rise);
+    b.flow(desat_high, spo2, fall.clone());
+    b.flow(
+        desat_low,
+        spo2,
+        fall.max(Expr::c(SPO2_FLOOR) - Expr::var(spo2)),
+    );
+
+    // Breath watchdog: ventilated locations must see a pump event within
+    // the window.
+    b.invariant(
+        breathing_high,
+        Pred::le(Expr::var(breath), Expr::c(BREATH_WINDOW)),
+    );
+    b.invariant(
+        breathing_low,
+        Pred::le(Expr::var(breath), Expr::c(BREATH_WINDOW)),
+    );
+    // Alarm boundaries and the breath-hold limit.
+    b.also_invariant(
+        desat_high,
+        Pred::ge(Expr::var(spo2), Expr::c(threshold))
+            .and(Pred::le(Expr::var(breath), Expr::c(HOLD_LIMIT))),
+    );
+    b.also_invariant(desat_low, Pred::le(Expr::var(breath), Expr::c(HOLD_LIMIT)));
+    b.also_invariant(
+        breathing_low,
+        Pred::le(Expr::var(spo2), Expr::c(RECOVERY_LEVEL)),
+    );
+    b.also_invariant(
+        self_breath_low,
+        Pred::le(Expr::var(spo2), Expr::c(RECOVERY_LEVEL)),
+    );
+
+    // Pump events reset the watchdog (ventilation alive).
+    for loc in [breathing_high, breathing_low] {
+        for root in ["evtVPumpIn", "evtVPumpOut"] {
+            b.edge(loc, loc).on(root).reset_clock(breath).done();
+        }
+    }
+    // Pump events while desaturating or self-breathing: machine breathing
+    // resumes.
+    for (from, to) in [
+        (desat_high, breathing_high),
+        (desat_low, breathing_low),
+        (self_breath_high, breathing_high),
+        (self_breath_low, breathing_low),
+    ] {
+        for root in ["evtVPumpIn", "evtVPumpOut"] {
+            b.edge(from, to).on(root).reset_clock(breath).done();
+        }
+    }
+
+    // Watchdog expiry: holding breath.
+    b.edge(breathing_high, desat_high)
+        .guard(Pred::ge(Expr::var(breath), Expr::c(BREATH_WINDOW)))
+        .urgent()
+        .done();
+    b.edge(breathing_low, desat_low)
+        .guard(Pred::ge(Expr::var(breath), Expr::c(BREATH_WINDOW)))
+        .urgent()
+        .done();
+
+    // Threshold crossing: alarm.
+    b.edge(desat_high, desat_low)
+        .guard(Pred::le(Expr::var(spo2), Expr::c(threshold)))
+        .urgent()
+        .emit("env_approval_bad")
+        .done();
+    // Recovery with hysteresis: all-clear (whether machine- or
+    // self-ventilated).
+    b.edge(breathing_low, breathing_high)
+        .guard(Pred::ge(Expr::var(spo2), Expr::c(RECOVERY_LEVEL)))
+        .urgent()
+        .emit("env_approval_ok")
+        .done();
+    b.edge(self_breath_low, self_breath_high)
+        .guard(Pred::ge(Expr::var(spo2), Expr::c(RECOVERY_LEVEL)))
+        .urgent()
+        .emit("env_approval_ok")
+        .done();
+
+    // The human subject gives up the hold at the safe limit and breathes
+    // unassisted.
+    b.edge(desat_high, self_breath_high)
+        .guard(Pred::ge(Expr::var(breath), Expr::c(HOLD_LIMIT)))
+        .urgent()
+        .done();
+    b.edge(desat_low, self_breath_low)
+        .guard(Pred::ge(Expr::var(breath), Expr::c(HOLD_LIMIT)))
+        .urgent()
+        .done();
+
+    b.initial(breathing_high, None);
+    b.build().expect("patient model is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::validate::validate;
+    use pte_hybrid::Time;
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    /// A fake ventilator plant that pumps until `pause_at`, then stops
+    /// forever (simulating an unbounded pause).
+    fn pump_until(pause_at: f64, period: f64) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("pump");
+        let c = b.clock("c");
+        let t = b.clock("t"); // global time, never reset
+        let on = b.location("On");
+        let off = b.location("Off");
+        b.invariant(
+            on,
+            Pred::le(Expr::var(c), Expr::c(period)).and(Pred::le(Expr::var(t), Expr::c(pause_at))),
+        );
+        b.edge(on, on)
+            .guard(Pred::ge(Expr::var(c), Expr::c(period)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.edge(on, off)
+            .guard(Pred::ge(Expr::var(t), Expr::c(pause_at)))
+            .urgent()
+            .done();
+        b.initial(on, None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn model_validates() {
+        let p = patient(92.0);
+        let report = validate(&p);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(p.locations.len(), 6);
+    }
+
+    #[test]
+    fn ventilated_patient_stays_saturated() {
+        let cfg = ExecutorConfig {
+            sample_interval: Some(Time::seconds(1.0)),
+            ..Default::default()
+        };
+        let exec = Executor::new(vec![patient(92.0), pump_until(1e6, 3.0)], cfg).unwrap();
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+        assert!(trace.events_with_root("env_approval_bad").is_empty());
+        let series = trace.series(0, "SpO2");
+        for (_, v) in &series {
+            assert!(*v >= 92.0, "SpO2 {v} stayed above threshold");
+        }
+        // Rises toward the ceiling.
+        assert!(series.last().unwrap().1 > 97.5);
+    }
+
+    #[test]
+    fn long_pause_triggers_alarm_and_recovery() {
+        // Pump stops at t=10. SpO2 decays from ~98 at 0.12 %/s; crossing
+        // 92 happens ≈ (98-92)/0.12 ≈ 50 s after the watchdog fires.
+        let cfg = ExecutorConfig {
+            sample_interval: Some(Time::seconds(1.0)),
+            ..Default::default()
+        };
+        let exec = Executor::new(vec![patient(92.0), pump_until(10.0, 3.0)], cfg).unwrap();
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+        let bad = trace.events_with_root("env_approval_bad");
+        assert_eq!(bad.len(), 1, "alarm raised exactly once");
+        let t_bad = bad[0].time();
+        assert!(
+            t_bad > Time::seconds(55.0) && t_bad < Time::seconds(85.0),
+            "alarm at {t_bad}"
+        );
+        // The pump never resumes, but the human subject gives up the hold
+        // at HOLD_LIMIT and self-recovers: exactly one all-clear, after
+        // the alarm.
+        let oks = trace.events_with_root("env_approval_ok");
+        assert_eq!(oks.len(), 1, "self-breathing recovery announced once");
+        assert!(oks[0].time() > t_bad);
+        assert!(
+            oks[0].time() > Time::seconds(HOLD_LIMIT),
+            "recovery only after the hold limit"
+        );
+    }
+
+    #[test]
+    fn short_pause_stays_quiet() {
+        // The lease-bounded worst case: 41 s pause from full saturation
+        // drops ~6 % — stays above 92 %.
+        let mut b = HybridAutomaton::builder("pump");
+        let c = b.clock("c");
+        let t = b.clock("t");
+        let on = b.location("On");
+        let paused = b.location("Paused");
+        let resumed = b.location("Resumed");
+        b.invariant(
+            on,
+            Pred::le(Expr::var(c), Expr::c(3.0)).and(Pred::le(Expr::var(t), Expr::c(60.0))),
+        );
+        b.edge(on, on)
+            .guard(Pred::ge(Expr::var(c), Expr::c(3.0)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.edge(on, paused)
+            .guard(Pred::ge(Expr::var(t), Expr::c(60.0)))
+            .urgent()
+            .done();
+        b.invariant(paused, Pred::le(Expr::var(t), Expr::c(101.0)));
+        b.edge(paused, resumed)
+            .guard(Pred::ge(Expr::var(t), Expr::c(101.0)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.invariant(resumed, Pred::le(Expr::var(c), Expr::c(3.0)));
+        b.edge(resumed, resumed)
+            .guard(Pred::ge(Expr::var(c), Expr::c(3.0)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.initial(on, None);
+        let pump = b.build().unwrap();
+
+        let exec = Executor::new(vec![patient(92.0), pump], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(160.0)).unwrap();
+        assert!(
+            trace.events_with_root("env_approval_bad").is_empty(),
+            "a 41 s pause must not cross the threshold"
+        );
+    }
+
+    #[test]
+    fn recovery_emits_ok_with_hysteresis() {
+        // Pause at t=10 for 70 s (long enough to alarm), then resume.
+        let mut b = HybridAutomaton::builder("pump");
+        let c = b.clock("c");
+        let t = b.clock("t");
+        let on = b.location("On");
+        let paused = b.location("Paused");
+        let resumed = b.location("Resumed");
+        b.invariant(
+            on,
+            Pred::le(Expr::var(c), Expr::c(3.0)).and(Pred::le(Expr::var(t), Expr::c(10.0))),
+        );
+        b.edge(on, on)
+            .guard(Pred::ge(Expr::var(c), Expr::c(3.0)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.edge(on, paused)
+            .guard(Pred::ge(Expr::var(t), Expr::c(10.0)))
+            .urgent()
+            .done();
+        b.invariant(paused, Pred::le(Expr::var(t), Expr::c(110.0)));
+        b.edge(paused, resumed)
+            .guard(Pred::ge(Expr::var(t), Expr::c(110.0)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.invariant(resumed, Pred::le(Expr::var(c), Expr::c(3.0)));
+        b.edge(resumed, resumed)
+            .guard(Pred::ge(Expr::var(c), Expr::c(3.0)))
+            .urgent()
+            .reset_clock(c)
+            .emit("evtVPumpIn")
+            .done();
+        b.initial(on, None);
+        let pump = b.build().unwrap();
+
+        let exec = Executor::new(vec![patient(92.0), pump], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(300.0)).unwrap();
+        assert_eq!(trace.events_with_root("env_approval_bad").len(), 1);
+        let oks = trace.events_with_root("env_approval_ok");
+        assert_eq!(oks.len(), 1, "recovery announced once (hysteresis)");
+        let t_bad = trace.events_with_root("env_approval_bad")[0].time();
+        assert!(oks[0].time() > t_bad);
+    }
+}

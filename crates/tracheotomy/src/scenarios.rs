@@ -1,0 +1,251 @@
+//! The three failure narratives of Section V, as runnable scenarios.
+//!
+//! 1. **Forgetful surgeon** — `Toff` is effectively infinite; only the
+//!    lease (or, when unlucky with packets, nothing) stops the laser.
+//! 2. **Lost cancel** — the surgeon cancels, the laser stops locally, but
+//!    the `evtξ2Toξ0Cancel` uplink report is lost; without a lease the
+//!    ventilator keeps pausing far too long.
+//! 3. **Misconfiguration** — `T^max_enter,2 = T^max_enter,1` violates
+//!    condition c5: the laser can start emitting without the required 3 s
+//!    enter-risky safeguard after the ventilator's pause.
+
+use crate::emulation::{build_case_study, emulation_spec, score_trace, TrialResult};
+use pte_core::monitor::check_pte;
+use pte_core::pattern::{check_conditions, ConditionReport, LeaseConfig};
+use pte_hybrid::{Root, Time};
+use pte_sim::driver::ScriptedDriver;
+use pte_sim::executor::{ExecError, Executor, ExecutorConfig};
+use pte_sim::network::{Channel, Delivery, DropReason, Message, NetworkBridge};
+
+/// Outcome of a scenario run (both arms where applicable).
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Result with leases armed.
+    pub with_lease: TrialResult,
+    /// Result without leases (None for the misconfiguration scenario,
+    /// which is about c5, not about leases).
+    pub without_lease: Option<TrialResult>,
+}
+
+/// A channel that drops every message whose root matches a predicate and
+/// delivers everything else instantly.
+struct SelectiveDrop {
+    match_prefixes: Vec<String>,
+}
+
+impl Channel for SelectiveDrop {
+    fn transmit(&mut self, msg: &Message, now: Time) -> Delivery {
+        if self
+            .match_prefixes
+            .iter()
+            .any(|p| msg.root.as_str().starts_with(p.as_str()))
+        {
+            Delivery::Dropped {
+                reason: DropReason::Scripted,
+            }
+        } else {
+            Delivery::Delivered { at: now }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("drop({:?})", self.match_prefixes)
+    }
+}
+
+fn run_scenario(
+    cfg: &LeaseConfig,
+    leased: bool,
+    bridge: NetworkBridge,
+    surgeon_script: Vec<(f64, &str)>,
+    duration: f64,
+) -> Result<TrialResult, ExecError> {
+    let automata = build_case_study(cfg, leased).expect("case study builds");
+    let mut exec = Executor::new(automata, ExecutorConfig::default())?;
+    exec.set_bridge(bridge);
+    exec.add_driver(Box::new(ScriptedDriver::new(
+        "surgeon",
+        surgeon_script
+            .into_iter()
+            .map(|(t, r)| (Time::seconds(t), Root::new(r)))
+            .collect(),
+    )));
+    let trace = exec.run_until(Time::seconds(duration))?;
+    Ok(score_trace(&trace))
+}
+
+/// Scenario 1: the surgeon requests at `t = 14 s` and never cancels
+/// (`Toff → 1 hour` in the paper's telling), and the abort/cancel
+/// downlink to the laser is disrupted — the paper's point that stopping
+/// the laser then "requires a sequence of correct send/receive of events
+/// through wireless" and losing any of them violates PTE.
+///
+/// With the lease, the laser stops itself at `T^max_run,2 = 20 s`;
+/// without it, nothing ever stops the emission.
+pub fn forgetful_surgeon() -> Result<ScenarioOutcome, ExecError> {
+    let cfg = LeaseConfig::case_study();
+    let script = vec![(14.0, "cmd_request")];
+    let make_bridge = || {
+        let mut bridge = NetworkBridge::perfect();
+        // Downlink to the laser (automaton 2): stop commands lost.
+        bridge.set_link(
+            0,
+            2,
+            Box::new(SelectiveDrop {
+                match_prefixes: vec![
+                    "evt_xi0_to_xi2_abort".to_string(),
+                    "evt_xi0_to_xi2_cancel".to_string(),
+                ],
+            }),
+        );
+        bridge
+    };
+    let with_lease = run_scenario(&cfg, true, make_bridge(), script.clone(), 240.0)?;
+    let without_lease = run_scenario(&cfg, false, make_bridge(), script, 240.0)?;
+    Ok(ScenarioOutcome {
+        name: "forgetful surgeon (Toff -> 1h) with laser stop commands lost".to_string(),
+        with_lease,
+        without_lease: Some(without_lease),
+    })
+}
+
+/// Scenario 2: the surgeon cancels mid-emission — the laser stops locally
+/// — but the `evtξ2Toξ0Cancel`/`Exit` uplink reports are lost *and* the
+/// ventilator's own stop commands on its downlink are lost (the event
+/// chain the paper enumerates: `evtξ0Toξ2Abort` → `evtξ2Toξ0Exit` →
+/// `evtξ0Toξ1Abort`, any loss breaks it). With the lease, the ventilator
+/// resumes within `T^max_run,1 = 35 s` regardless; without it, "no one
+/// can terminate the ventilator's pause".
+pub fn lost_cancel() -> Result<ScenarioOutcome, ExecError> {
+    let cfg = LeaseConfig::case_study();
+    // The laser enters Risky Core at 14 + T_enter,2 = 24 s with perfect
+    // grant messages; the cancel at 40 s is safely inside the emission.
+    let script = vec![(14.0, "cmd_request"), (40.0, "cmd_cancel")];
+    let make_bridge = || {
+        let mut bridge = NetworkBridge::perfect();
+        // Laser uplink reports lost.
+        bridge.set_link(
+            2,
+            0,
+            Box::new(SelectiveDrop {
+                match_prefixes: vec![
+                    "evt_xi2_to_xi0_cancel".to_string(),
+                    "evt_xi2_to_xi0_exit".to_string(),
+                ],
+            }),
+        );
+        // Ventilator downlink stop commands lost.
+        bridge.set_link(
+            0,
+            1,
+            Box::new(SelectiveDrop {
+                match_prefixes: vec![
+                    "evt_xi0_to_xi1_cancel".to_string(),
+                    "evt_xi0_to_xi1_abort".to_string(),
+                ],
+            }),
+        );
+        bridge
+    };
+    let with_lease = run_scenario(&cfg, true, make_bridge(), script.clone(), 300.0)?;
+    let without_lease = run_scenario(&cfg, false, make_bridge(), script, 300.0)?;
+    Ok(ScenarioOutcome {
+        name: "cancel/exit reports and ventilator stop commands lost".to_string(),
+        with_lease,
+        without_lease: Some(without_lease),
+    })
+}
+
+/// Scenario 3: misconfiguration — `T^max_enter,2 := T^max_enter,1`
+/// violates condition c5. Returns both the (failing) condition report and
+/// the observed PTE violation on a perfect-link run.
+pub fn misconfigured_c5() -> Result<(ConditionReport, TrialResult), ExecError> {
+    let mut cfg = LeaseConfig::case_study();
+    cfg.t_enter[1] = cfg.t_enter[0]; // 3 s = 3 s: c5 violated (3 + 3 > 3)
+    let conditions = check_conditions(&cfg);
+
+    let automata = build_case_study(&cfg, true).expect("case study builds");
+    let mut exec = Executor::new(automata, ExecutorConfig::default())?;
+    exec.add_driver(Box::new(ScriptedDriver::new(
+        "surgeon",
+        vec![(Time::seconds(14.0), Root::new("cmd_request"))],
+    )));
+    let trace = exec.run_until(Time::seconds(120.0))?;
+    let spec = emulation_spec();
+    let report = check_pte(&trace, &spec);
+    let laser_idx = trace.index_of("laser-scalpel").unwrap();
+    let result = TrialResult {
+        emissions: trace.risky_intervals(laser_idx).len(),
+        failures: report.failure_count(),
+        evt_to_stop: trace.events_with_root("evt_to_stop_xi2").len(),
+        vent_lease_stops: trace.events_with_root("evt_to_stop_xi1").len(),
+        packets_dropped: trace.drop_count() as u64,
+        packets_sent: 0,
+        report,
+    };
+    Ok((conditions, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_core::monitor::Violation;
+
+    #[test]
+    fn scenario1_lease_rescues_forgetful_surgeon() {
+        let out = forgetful_surgeon().unwrap();
+        // With lease: one emission, stopped by the lease, no failures.
+        assert_eq!(out.with_lease.failures, 0, "{}", out.with_lease.report);
+        assert_eq!(out.with_lease.emissions, 1);
+        assert_eq!(out.with_lease.evt_to_stop, 1, "lease stopped the laser");
+        // Without lease: dwelling bound violations (laser emits > 60 s,
+        // ventilator pauses > 60 s).
+        let wo = out.without_lease.unwrap();
+        assert!(wo.failures > 0, "{}", wo.report);
+        assert!(wo
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Rule1 { .. })));
+    }
+
+    #[test]
+    fn scenario2_lease_rescues_lost_cancel() {
+        let out = lost_cancel().unwrap();
+        // With lease: the ventilator resumes via its own lease; safe.
+        assert_eq!(out.with_lease.failures, 0, "{}", out.with_lease.report);
+        assert!(
+            out.with_lease.vent_lease_stops >= 1,
+            "ventilator lease did the rescue"
+        );
+        // Without lease: ventilator pauses past the 1 minute bound.
+        let wo = out.without_lease.unwrap();
+        assert!(wo.failures > 0, "{}", wo.report);
+        let vent_rule1 = wo.report.violations.iter().any(|v| {
+            matches!(v, Violation::Rule1 { entity, .. } if entity == "ventilator")
+        });
+        assert!(vent_rule1, "{}", wo.report);
+    }
+
+    #[test]
+    fn scenario3_c5_violation_breaks_enter_safeguard() {
+        let (conditions, result) = misconfigured_c5().unwrap();
+        assert!(!conditions.is_satisfied());
+        assert!(conditions
+            .violations()
+            .iter()
+            .any(|c| matches!(c.condition, pte_core::pattern::Condition::C5)));
+        // The run violates the enter-risky safeguard.
+        assert!(result.failures > 0, "{}", result.report);
+        assert!(result
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::EnterMargin { .. })),
+            "{}",
+            result.report
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The laser tracheotomy supervisor: the Supervisor `ξ0`.
+//!
+//! Used directly from the pattern ("the Supervisor hybrid automaton
+//! `A_supvsr` … can be directly used"); its `ApprovalCondition` —
+//! `SpO2(t) > Θ_SpO2` with `Θ = 92 %` — is realized through the reliable
+//! `env_approval_ok` / `env_approval_bad` threshold events produced by the
+//! wired oximeter in the [`crate::patient`] model.
+
+use pte_core::pattern::{build_supervisor, LeaseConfig};
+use pte_hybrid::{BuildError, HybridAutomaton};
+
+/// The SpO2 threshold `Θ_SpO2` used in the emulation (percent).
+pub const SPO2_THRESHOLD: f64 = 92.0;
+
+/// Builds the tracheotomy supervisor automaton.
+pub fn tracheotomy_supervisor(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError> {
+    build_supervisor(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervisor_listens_to_oximeter() {
+        let s = tracheotomy_supervisor(&LeaseConfig::case_study()).unwrap();
+        let roots: Vec<String> = s
+            .receive_roots()
+            .iter()
+            .map(|(r, _)| r.as_str().to_string())
+            .collect();
+        assert!(roots.contains(&"env_approval_ok".to_string()));
+        assert!(roots.contains(&"env_approval_bad".to_string()));
+        // Oximeter events are wired (reliable).
+        for (root, lossy) in s.receive_roots() {
+            if root.as_str().starts_with("env_") {
+                assert!(!lossy, "oximeter is wired to the supervisor");
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The surgeon: exponential `Ton`/`Toff` timers (the paper's own
+//! emulation of "human will", Section V *Emulation Setup*).
+//!
+//! * Whenever the laser scalpel enters **Fall-Back**, a timer
+//!   `Ton ~ Exp(mean_on)` is armed; when it fires (and the laser is still
+//!   in Fall-Back) the surgeon injects `cmd_request`. The timer is
+//!   destroyed when the laser leaves Fall-Back.
+//! * Whenever the laser is **emitting** (Risky Core), a timer
+//!   `Toff ~ Exp(mean_off)` is armed; when it fires the surgeon injects
+//!   `cmd_cancel`. The timer is destroyed when the laser leaves Risky
+//!   Core.
+
+use pte_hybrid::{Root, Time};
+use pte_sim::driver::{Driver, SystemView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The surgeon driver.
+#[derive(Debug)]
+pub struct Surgeon {
+    /// Name of the laser automaton to watch.
+    laser_name: String,
+    /// Mean of `Ton` (time from idle to the next request).
+    pub mean_on: Time,
+    /// Mean of `Toff` (emission time until the surgeon cancels); `None`
+    /// models the "surgeon forgets to cancel" scenario.
+    pub mean_off: Option<Time>,
+    rng: StdRng,
+    laser_idx: Option<usize>,
+    prev_location: Option<String>,
+    on_timer: Option<Time>,
+    off_timer: Option<Time>,
+    /// Count of requests issued.
+    pub requests: u64,
+    /// Count of cancels issued.
+    pub cancels: u64,
+}
+
+impl Surgeon {
+    /// Creates a surgeon for the laser automaton with the given timer
+    /// means and RNG seed.
+    pub fn new(
+        laser_name: impl Into<String>,
+        mean_on: Time,
+        mean_off: Option<Time>,
+        seed: u64,
+    ) -> Surgeon {
+        Surgeon {
+            laser_name: laser_name.into(),
+            mean_on,
+            mean_off,
+            rng: StdRng::seed_from_u64(seed),
+            laser_idx: None,
+            prev_location: None,
+            on_timer: None,
+            off_timer: None,
+            requests: 0,
+            cancels: 0,
+        }
+    }
+
+    fn sample_exp(&mut self, mean: Time) -> Time {
+        let u: f64 = self.rng.random();
+        Time::seconds(-mean.as_secs_f64() * (1.0 - u).ln())
+    }
+}
+
+impl Driver for Surgeon {
+    fn poll(&mut self, view: &SystemView<'_>, out: &mut Vec<Root>) {
+        let idx = match self.laser_idx {
+            Some(i) => i,
+            None => {
+                let Some(i) = view.index_of(&self.laser_name) else {
+                    return;
+                };
+                self.laser_idx = Some(i);
+                i
+            }
+        };
+        let loc = view.location_name(idx).to_string();
+        let now = view.now();
+
+        // Location-change bookkeeping: arm/destroy timers.
+        if self.prev_location.as_deref() != Some(loc.as_str()) {
+            if loc == "Fall-Back" {
+                let ton = self.sample_exp(self.mean_on);
+                self.on_timer = Some(now + ton);
+            } else {
+                self.on_timer = None;
+            }
+            if loc == "Risky Core" {
+                if let Some(mean_off) = self.mean_off {
+                    let toff = self.sample_exp(mean_off);
+                    self.off_timer = Some(now + toff);
+                }
+            } else {
+                self.off_timer = None;
+            }
+            self.prev_location = Some(loc.clone());
+        }
+
+        if let Some(t) = self.on_timer {
+            if now >= t && loc == "Fall-Back" {
+                out.push(Root::new("cmd_request"));
+                self.requests += 1;
+                self.on_timer = None;
+            }
+        }
+        if let Some(t) = self.off_timer {
+            if now >= t && loc == "Risky Core" {
+                out.push(Root::new("cmd_cancel"));
+                self.cancels += 1;
+                self.off_timer = None;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "surgeon"
+    }
+
+    fn next_wakeup(&self, _now: Time) -> Option<Time> {
+        match (self.on_timer, self.off_timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_core::pattern::LeaseConfig;
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    #[test]
+    fn surgeon_requests_repeatedly() {
+        // Laser alone (no supervisor): each request times out after
+        // T_req = 5 s and the laser falls back, so the surgeon keeps
+        // requesting.
+        let laser = crate::laser::laser_scalpel(&LeaseConfig::case_study()).unwrap();
+        let mut exec = Executor::new(vec![laser], ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(Surgeon::new(
+            "laser-scalpel",
+            Time::seconds(10.0),
+            Some(Time::seconds(18.0)),
+            7,
+        )));
+        let trace = exec.run_until(Time::seconds(300.0)).unwrap();
+        let reqs = trace.events_with_root("evt_xi2_to_xi0_req").len();
+        // ~300 / (10 + 5) = 20 expected; allow a broad band.
+        assert!(reqs >= 8, "requests {reqs}");
+        assert!(reqs <= 40, "requests {reqs}");
+    }
+
+    #[test]
+    fn surgeon_cancels_emission() {
+        // Feed the laser an approval so it actually emits; the surgeon
+        // must eventually cancel (mean_off = 2 s << lease).
+        use pte_hybrid::{Expr, Pred};
+        let mut b = pte_hybrid::HybridAutomaton::builder("approver");
+        let c = b.clock("c");
+        let s0 = b.location("S0");
+        let s1 = b.location("S1");
+        b.also_invariant(s0, Pred::le(Expr::var(c), Expr::c(0.5)));
+        b.edge(s0, s1)
+            .on_lossy("evt_xi2_to_xi0_req")
+            .emit("evt_xi0_to_xi2_approve")
+            .done();
+        // Timeout alternative: give up silently.
+        b.edge(s0, s1)
+            .guard(Pred::ge(Expr::var(c), Expr::c(0.5)))
+            .urgent()
+            .done();
+        b.initial(s0, None);
+        let approver = b.build().unwrap();
+
+        let laser = crate::laser::laser_scalpel(&LeaseConfig::case_study()).unwrap();
+        let mut exec = Executor::new(vec![laser, approver], ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(Surgeon::new(
+            "laser-scalpel",
+            Time::seconds(0.2),
+            Some(Time::seconds(2.0)),
+            11,
+        )));
+        let trace = exec.run_until(Time::seconds(60.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert!(!risky.is_empty(), "laser emitted");
+        // Cancelled well before the 20 s lease (2 s mean + 1.5 s exit).
+        assert!(risky[0].duration() < Time::seconds(15.0));
+        assert!(!trace.events_with_root("evt_xi2_to_xi0_cancel").is_empty());
+    }
+
+    #[test]
+    fn forgetful_surgeon_never_cancels() {
+        let laser = crate::laser::laser_scalpel(&LeaseConfig::case_study()).unwrap();
+        let mut exec = Executor::new(vec![laser], ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(Surgeon::new(
+            "laser-scalpel",
+            Time::seconds(5.0),
+            None,
+            3,
+        )));
+        let trace = exec.run_until(Time::seconds(100.0)).unwrap();
+        assert!(trace.events_with_root("evt_xi2_to_xi0_cancel").is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let laser = crate::laser::laser_scalpel(&LeaseConfig::case_study()).unwrap();
+            let mut exec = Executor::new(vec![laser], ExecutorConfig::default()).unwrap();
+            exec.add_driver(Box::new(Surgeon::new(
+                "laser-scalpel",
+                Time::seconds(10.0),
+                Some(Time::seconds(18.0)),
+                seed,
+            )));
+            let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+            trace.events_with_root("evt_xi2_to_xi0_req").len()
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,235 @@
+//! The ventilator: `A′vent` (Fig. 2) and its elaboration into the
+//! Participant pattern (Section V's "revise the ventilator design by
+//! elaborating `A_ptcpnt,1` at Fall-Back with `A′vent`").
+
+use pte_core::pattern::{build_participant, LeaseConfig};
+use pte_hybrid::automaton::VarKind;
+use pte_hybrid::elaboration::elaborate_parallel;
+use pte_hybrid::{BuildError, Expr, HybridAutomaton, Pred};
+
+/// Builds the stand-alone ventilator `A′vent` of Fig. 2.
+///
+/// One continuous variable `Hvent(t)` (cylinder height, metres) moving
+/// between 0 and 0.3 m at ±0.1 m/s; the turnaround transitions broadcast
+/// `evtVPumpIn` / `evtVPumpOut`, which the patient model listens to.
+///
+/// `A′vent` is a *simple hybrid automaton* (Definition 3): both locations
+/// share the invariant `0 ≤ Hvent ≤ 0.3` and the initial data state is the
+/// zero vector (cylinder at the bottom).
+pub fn standalone_ventilator() -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder("vent-plant");
+    let h = b.var("Hvent", VarKind::Continuous, 0.0);
+    let inv = Pred::ge(Expr::var(h), Expr::c(0.0)).and(Pred::le(Expr::var(h), Expr::c(0.3)));
+    let pump_out = b.location("PumpOut");
+    let pump_in = b.location("PumpIn");
+    b.invariant(pump_out, inv.clone());
+    b.invariant(pump_in, inv);
+    b.flow(pump_out, h, Expr::c(-0.1));
+    b.flow(pump_in, h, Expr::c(0.1));
+    b.edge(pump_out, pump_in)
+        .guard(Pred::le(Expr::var(h), Expr::c(0.0)))
+        .urgent()
+        .emit("evtVPumpIn")
+        .done();
+    b.edge(pump_in, pump_out)
+        .guard(Pred::ge(Expr::var(h), Expr::c(0.3)))
+        .urgent()
+        .emit("evtVPumpOut")
+        .done();
+    b.initial(pump_out, None);
+    b.build().expect("A'vent is well-formed")
+}
+
+/// Builds the case-study ventilator: the Participant `ξ1` pattern
+/// automaton elaborated at Fall-Back with [`standalone_ventilator`].
+///
+/// The resulting automaton pumps (and broadcasts pump events) while in
+/// Fall-Back; everywhere else the cylinder is frozen — i.e. the ventilator
+/// pauses through Entering, Risky Core and Exiting, and its **risky**
+/// locations (Risky Core, Exiting 1) carry the lease guarantee of
+/// Theorem 2.
+pub fn ventilator(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError> {
+    let pattern = build_participant(cfg, 1, Pred::True)?;
+    let plant = standalone_ventilator();
+    let elaborated = elaborate_parallel(&pattern, &[("Fall-Back", &plant)])
+        .expect("pattern and A'vent are independent, A'vent is simple");
+    let mut automaton = elaborated.automaton;
+    automaton.name = "ventilator".to_string();
+    Ok(automaton)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::independence::{are_independent, is_simple};
+    use pte_hybrid::validate::validate;
+    use pte_hybrid::Time;
+    use pte_sim::executor::{Executor, ExecutorConfig};
+
+    fn stimulus(events: Vec<(f64, String)>) -> HybridAutomaton {
+        let mut b = HybridAutomaton::builder("stimulus");
+        let c = b.clock("c");
+        let mut prev = b.location("S0");
+        b.initial(prev, None);
+        for (k, (t, root)) in events.iter().enumerate() {
+            let next = b.location(format!("S{}", k + 1));
+            b.also_invariant(prev, Pred::le(Expr::var(c), Expr::c(*t)));
+            b.edge(prev, next)
+                .guard(Pred::ge(Expr::var(c), Expr::c(*t)))
+                .urgent()
+                .emit(root.clone())
+                .done();
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plant_is_simple_and_independent_of_pattern() {
+        let plant = standalone_ventilator();
+        assert!(is_simple(&plant));
+        let pattern =
+            build_participant(&LeaseConfig::case_study(), 1, Pred::True).unwrap();
+        assert!(are_independent(&pattern, &plant));
+    }
+
+    #[test]
+    fn plant_triangle_wave() {
+        let exec = Executor::new(vec![standalone_ventilator()], ExecutorConfig::default())
+            .unwrap();
+        let trace = exec.run_until(Time::seconds(12.0)).unwrap();
+        // Starts at H=0 (PumpOut with guard satisfied): flips to PumpIn at
+        // t=0, tops out at t=3, bottom at 6, ... 4 transitions by t=12.
+        assert!(trace.transition_count(0) >= 4);
+        let ins = trace.events_with_root("evtVPumpIn");
+        let outs = trace.events_with_root("evtVPumpOut");
+        assert!(!ins.is_empty() && !outs.is_empty());
+    }
+
+    #[test]
+    fn elaborated_ventilator_structure() {
+        let v = ventilator(&LeaseConfig::case_study()).unwrap();
+        assert_eq!(v.name, "ventilator");
+        // Fall-Back replaced by PumpOut/PumpIn; 5 pattern locations remain.
+        assert!(v.loc_by_name("Fall-Back").is_none());
+        assert!(v.loc_by_name("PumpOut").is_some());
+        assert!(v.loc_by_name("PumpIn").is_some());
+        assert!(v.loc_by_name("Risky Core").is_some());
+        assert_eq!(v.locations.len(), 7);
+        assert_eq!(v.dimension(), 2, "clock + Hvent");
+        // Risky partition preserved by elaboration.
+        assert!(v.is_risky(v.loc_by_name("Risky Core").unwrap()));
+        assert!(!v.is_risky(v.loc_by_name("PumpOut").unwrap()));
+        let report = validate(&v);
+        for f in &report.findings {
+            // The dead deny edge (participation condition is `true`) is
+            // the only acceptable finding.
+            assert!(format!("{f}").contains("guard"), "{f}");
+        }
+    }
+
+    #[test]
+    fn ventilator_pumps_in_fall_back_and_pauses_when_leased() {
+        let v = ventilator(&LeaseConfig::case_study()).unwrap();
+        let stim = stimulus(vec![(7.0, "evt_xi0_to_xi1_lease_req".to_string())]);
+        let cfg = ExecutorConfig {
+            sample_interval: Some(Time::seconds(0.25)),
+            ..Default::default()
+        };
+        let exec = Executor::new(vec![v, stim], cfg).unwrap();
+        let trace = exec.run_until(Time::seconds(30.0)).unwrap();
+
+        // Pump events before the lease, none while paused.
+        let pump_events: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                pte_sim::trace::TraceEvent::Sent { t, root, .. }
+                    if root.as_str().starts_with("evtVPump") =>
+                {
+                    Some(*t)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(pump_events.iter().any(|t| *t < Time::seconds(7.0)));
+        assert!(
+            pump_events.iter().all(|t| *t <= Time::seconds(7.0 + 1e-6)),
+            "no pump activity while leased: {pump_events:?}"
+        );
+
+        // Hvent frozen during the pause: series constant after t=7.
+        let series = trace.series(0, "Hvent");
+        let after: Vec<f64> = series
+            .iter()
+            .filter(|(t, _)| *t > Time::seconds(7.5) && *t < Time::seconds(29.0))
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(after.len() > 10);
+        let spread = after
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - after.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1e-9, "Hvent frozen while paused, spread {spread}");
+    }
+
+    #[test]
+    fn leased_ventilator_resumes_pumping_after_lease_expiry() {
+        let v = ventilator(&LeaseConfig::case_study()).unwrap();
+        let stim = stimulus(vec![(7.0, "evt_xi0_to_xi1_lease_req".to_string())]);
+        let exec = Executor::new(vec![v, stim], ExecutorConfig::default()).unwrap();
+        // Lease span: 7 + 3 + 35 + 6 = 51; run to 60.
+        let trace = exec.run_until(Time::seconds(60.0)).unwrap();
+        let risky = trace.risky_intervals(0);
+        assert_eq!(risky.len(), 1);
+        assert!(risky[0]
+            .end
+            .approx_eq(Time::seconds(51.0), Time::seconds(1e-4)));
+        // Pump events resume after 51.
+        let late_pumps = trace
+            .events
+            .iter()
+            .filter(|e| match e {
+                pte_sim::trace::TraceEvent::Sent { t, root, .. } => {
+                    root.as_str().starts_with("evtVPump") && *t > Time::seconds(51.0)
+                }
+                _ => false,
+            })
+            .count();
+        assert!(late_pumps > 0, "ventilation resumed");
+    }
+
+    #[test]
+    fn pump_phase_preserved_across_pause() {
+        // The cylinder height is frozen during the pause and resumes from
+        // the same value (elaboration intuition 5).
+        let v = ventilator(&LeaseConfig::case_study()).unwrap();
+        let stim = stimulus(vec![
+            (7.0, "evt_xi0_to_xi1_lease_req".to_string()),
+            (12.0, "evt_xi0_to_xi1_cancel".to_string()),
+        ]);
+        let cfg = ExecutorConfig {
+            sample_interval: Some(Time::seconds(0.1)),
+            ..Default::default()
+        };
+        let exec = Executor::new(vec![v, stim], cfg).unwrap();
+        let trace = exec.run_until(Time::seconds(25.0)).unwrap();
+        let series = trace.series(0, "Hvent");
+        let at = |t: f64| -> f64 {
+            series
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - Time::seconds(t))
+                        .abs()
+                        .cmp(&(b.0 - Time::seconds(t)).abs())
+                })
+                .unwrap()
+                .1
+        };
+        // Paused from 7 to 12 + 6 (Exiting 2) = 18.
+        let during_a = at(8.0);
+        let during_b = at(17.5);
+        assert!((during_a - during_b).abs() < 1e-9, "frozen during pause");
+    }
+}

@@ -1,0 +1,240 @@
+//! Targeted worst-case loss strategies.
+//!
+//! Random loss rarely hits the narrow windows that matter; these
+//! adversaries do it on purpose, mechanizing the Section V failure
+//! narratives: each strategy drops a specific *class* of event on every
+//! wireless link while delivering everything else instantly. Theorem 1's
+//! claim covers all of them — a condition-satisfying, leased system must
+//! stay PTE-safe under **every** strategy.
+
+use pte_core::monitor::{check_pte, PteReport};
+use pte_core::pattern::{build_pattern_system, LeaseConfig};
+use pte_hybrid::{Root, Time};
+use pte_sim::driver::ScriptedDriver;
+use pte_sim::executor::{ExecError, Executor, ExecutorConfig};
+use pte_sim::network::{Channel, Delivery, DropReason, Message, NetworkBridge};
+use pte_sim::trace::Trace;
+use std::fmt;
+
+/// A loss adversary: which events to kill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Adversary {
+    /// Drop every `Cancel` event (supervisor → remotes and initializer →
+    /// supervisor).
+    AllCancels,
+    /// Drop every `Abort` event.
+    AllAborts,
+    /// Drop every `Exit` report.
+    AllExits,
+    /// Drop every lease approval/grant (`LeaseApprove` and the
+    /// initializer's `Approve`).
+    AllApprovals,
+    /// Drop every `LeaseReq` and the initializer's `Req`.
+    AllRequests,
+    /// Drop everything.
+    Everything,
+    /// Drop every second wireless event (parity loss).
+    Alternating,
+    /// Drop nothing (control).
+    Nothing,
+}
+
+impl Adversary {
+    /// All strategies, for sweep-style tests.
+    pub const ALL: [Adversary; 8] = [
+        Adversary::AllCancels,
+        Adversary::AllAborts,
+        Adversary::AllExits,
+        Adversary::AllApprovals,
+        Adversary::AllRequests,
+        Adversary::Everything,
+        Adversary::Alternating,
+        Adversary::Nothing,
+    ];
+
+    /// Whether this adversary kills the given event root.
+    pub fn kills(&self, root: &str, counter: u64) -> bool {
+        match self {
+            Adversary::AllCancels => root.contains("_cancel"),
+            Adversary::AllAborts => root.contains("_abort"),
+            Adversary::AllExits => root.contains("_exit"),
+            Adversary::AllApprovals => {
+                root.contains("_lease_approve") || root.ends_with("_approve")
+            }
+            Adversary::AllRequests => {
+                root.contains("_lease_req") || root.ends_with("_req")
+            }
+            Adversary::Everything => true,
+            Adversary::Alternating => counter % 2 == 1,
+            Adversary::Nothing => false,
+        }
+    }
+}
+
+impl fmt::Display for Adversary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Adversary::AllCancels => "drop-all-cancels",
+            Adversary::AllAborts => "drop-all-aborts",
+            Adversary::AllExits => "drop-all-exits",
+            Adversary::AllApprovals => "drop-all-approvals",
+            Adversary::AllRequests => "drop-all-requests",
+            Adversary::Everything => "drop-everything",
+            Adversary::Alternating => "drop-every-second",
+            Adversary::Nothing => "drop-nothing",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A channel implementing one adversary.
+struct AdversaryChannel {
+    adversary: Adversary,
+    counter: u64,
+}
+
+impl Channel for AdversaryChannel {
+    fn transmit(&mut self, msg: &Message, now: Time) -> Delivery {
+        let n = self.counter;
+        self.counter += 1;
+        if self.adversary.kills(msg.root.as_str(), n) {
+            Delivery::Dropped {
+                reason: DropReason::Scripted,
+            }
+        } else {
+            Delivery::Delivered { at: now }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("{}", self.adversary)
+    }
+}
+
+/// Result of one adversarial run.
+#[derive(Clone, Debug)]
+pub struct AdversaryRun {
+    /// The strategy used.
+    pub adversary: Adversary,
+    /// The monitor's verdict.
+    pub report: PteReport,
+    /// The full trace (for deeper inspection).
+    pub trace: Trace,
+}
+
+/// Runs the N-entity pattern system under an adversary.
+///
+/// The driver requests at `t = t_fb0 + 1 s` and (optionally) cancels
+/// mid-emission; the run lasts three full procedure bounds.
+pub fn run_with_adversary(
+    cfg: &LeaseConfig,
+    leased: bool,
+    adversary: Adversary,
+    cancel_mid_emission: bool,
+) -> Result<AdversaryRun, ExecError> {
+    let sys = build_pattern_system(cfg, leased).expect("pattern builds");
+    let mut exec = Executor::new(sys.automata, ExecutorConfig::default())?;
+
+    let mut bridge = NetworkBridge::perfect();
+    bridge.set_default(Box::new(AdversaryChannel {
+        adversary,
+        counter: 0,
+    }));
+    exec.set_bridge(bridge);
+
+    let t_request = cfg.t_fb0_min + Time::seconds(1.0);
+    let mut script = vec![(t_request, Root::new("cmd_request"))];
+    if cancel_mid_emission {
+        // Mid-emission for the nominal schedule: grant + enter + half run.
+        let t_cancel =
+            t_request + cfg.t_enter[cfg.n - 1] + cfg.t_run[cfg.n - 1] * 0.5;
+        script.push((t_cancel, Root::new("cmd_cancel")));
+    }
+    exec.add_driver(Box::new(ScriptedDriver::new("driver", script)));
+
+    let horizon = cfg.max_risky_dwelling() * 3.0 + cfg.t_fb0_min;
+    let trace = exec.run_until(horizon)?;
+    let report = check_pte(&trace, &cfg.pte_spec());
+    Ok(AdversaryRun {
+        adversary,
+        report,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Theorem 1 under every adversary: the leased, condition-satisfying
+    /// system stays PTE-safe no matter which event class dies.
+    #[test]
+    fn leased_system_safe_under_every_adversary() {
+        let cfg = LeaseConfig::case_study();
+        for adversary in Adversary::ALL {
+            for cancel in [false, true] {
+                let run = run_with_adversary(&cfg, true, adversary, cancel).unwrap();
+                assert!(
+                    run.report.is_safe(),
+                    "adversary {adversary} (cancel={cancel}): {}",
+                    run.report
+                );
+            }
+        }
+    }
+
+    /// The unleased system breaks under the cancel-killing adversary the
+    /// Section V narrative describes.
+    #[test]
+    fn unleased_system_breaks_under_cancel_adversary() {
+        let cfg = LeaseConfig::case_study();
+        // Drop all cancels; the initializer's local cancel still stops it,
+        // but the participant's stop commands never arrive.
+        let run = run_with_adversary(&cfg, false, Adversary::AllCancels, true).unwrap();
+        assert!(!run.report.is_safe(), "{}", run.report);
+    }
+
+    /// Drop-everything with leases: nobody enters risky (the request never
+    /// arrives), trivially safe — and a good control that the adversary
+    /// really is total.
+    #[test]
+    fn everything_adversary_blocks_procedure() {
+        let cfg = LeaseConfig::case_study();
+        let run = run_with_adversary(&cfg, true, Adversary::Everything, false).unwrap();
+        assert!(run.report.is_safe());
+        let init_idx = run.trace.index_of("initializer").unwrap();
+        assert!(run.trace.risky_intervals(init_idx).is_empty());
+    }
+
+    /// The approval-killing adversary leaves the participant leased but
+    /// the initializer never starts; the participant's lease must expire
+    /// on its own.
+    #[test]
+    fn approval_adversary_exercises_participant_lease() {
+        let cfg = LeaseConfig::case_study();
+        let run = run_with_adversary(&cfg, true, Adversary::AllApprovals, false).unwrap();
+        assert!(run.report.is_safe(), "{}", run.report);
+        // Participant was leased yet the initializer stayed safe…
+        let init_idx = run.trace.index_of("initializer").unwrap();
+        assert!(run.trace.risky_intervals(init_idx).is_empty());
+        // …and the supervisor aborted after T_wait without the approval.
+        assert!(!run
+            .trace
+            .events_with_root("evt_xi0_to_xi1_abort")
+            .is_empty());
+    }
+
+    #[test]
+    fn kill_classification() {
+        assert!(Adversary::AllCancels.kills("evt_xi0_to_xi1_cancel", 0));
+        assert!(Adversary::AllCancels.kills("evt_xi2_to_xi0_cancel", 0));
+        assert!(!Adversary::AllCancels.kills("evt_xi2_to_xi0_exit", 0));
+        assert!(Adversary::AllApprovals.kills("evt_xi1_to_xi0_lease_approve", 0));
+        assert!(Adversary::AllApprovals.kills("evt_xi0_to_xi2_approve", 0));
+        assert!(!Adversary::AllApprovals.kills("evt_xi0_to_xi1_lease_req", 0));
+        assert!(Adversary::AllRequests.kills("evt_xi2_to_xi0_req", 0));
+        assert!(Adversary::Alternating.kills("anything", 1));
+        assert!(!Adversary::Alternating.kills("anything", 2));
+        assert!(!Adversary::Nothing.kills("evt_xi0_to_xi1_cancel", 0));
+    }
+}

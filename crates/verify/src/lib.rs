@@ -1,0 +1,28 @@
+//! # pte-verify
+//!
+//! Verification substrate for the lease design pattern — three
+//! complementary ways of hunting PTE violations:
+//!
+//! * [`montecarlo`] — seeded randomized batches (parallelized with
+//!   crossbeam) with Wilson confidence intervals over failure rates; the
+//!   statistical check of Theorem 1 and the engine behind the loss-sweep
+//!   ablation;
+//! * [`exhaustive`] — bounded-exhaustive exploration: every
+//!   drop/deliver assignment of the first `k` wireless transmissions is
+//!   enumerated (both tail defaults), a model-checking-flavoured
+//!   complement to random testing;
+//! * [`adversary`] — targeted worst-case loss strategies (drop all
+//!   cancels, all aborts, all exit reports, …), mechanizing the failure
+//!   narratives of Section V.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod exhaustive;
+pub mod montecarlo;
+pub mod report;
+
+pub use adversary::{run_with_adversary, Adversary};
+pub use exhaustive::{explore, ExplorationResult};
+pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};

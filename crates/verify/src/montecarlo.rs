@@ -1,0 +1,224 @@
+//! Seeded Monte-Carlo batches with confidence intervals.
+//!
+//! A batch runs one trial function across many seeds in parallel and
+//! aggregates counts. The headline use is the statistical face of
+//! Theorem 1: *no* seed of a condition-satisfying, lease-armed system may
+//! produce a PTE violation, at any loss rate.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of one seeded trial, as consumed by the aggregator.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// PTE violations observed.
+    pub failures: usize,
+    /// Risky procedures completed (laser emissions in the case study).
+    pub emissions: usize,
+    /// Lease-expiry rescues.
+    pub lease_stops: usize,
+    /// Empirical packet loss rate of the trial.
+    pub loss_rate: f64,
+}
+
+/// Aggregate of a Monte-Carlo batch.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials with at least one PTE violation.
+    pub failing_trials: usize,
+    /// Total violations across all trials.
+    pub total_failures: usize,
+    /// Total emissions across all trials.
+    pub total_emissions: usize,
+    /// Total lease rescues across all trials.
+    pub total_lease_stops: usize,
+    /// Mean empirical loss rate.
+    pub mean_loss_rate: f64,
+    /// Wilson 95% confidence interval on the per-trial failure
+    /// probability.
+    pub failure_ci: (f64, f64),
+}
+
+impl BatchSummary {
+    /// Point estimate of the per-trial failure probability.
+    pub fn failure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failing_trials as f64 / self.trials as f64
+        }
+    }
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trials: {} failing ({:.1}%, 95% CI [{:.3}, {:.3}]), \
+             {} emissions, {} lease stops, mean loss {:.1}%",
+            self.trials,
+            self.failing_trials,
+            self.failure_rate() * 100.0,
+            self.failure_ci.0,
+            self.failure_ci.1,
+            self.total_emissions,
+            self.total_lease_stops,
+            self.mean_loss_rate * 100.0
+        )
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+pub fn wilson_ci(successes: usize, n: usize, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Runs `n_seeds` trials in parallel (seeds `base_seed .. base_seed + n`)
+/// and aggregates. `trial` must be deterministic per seed.
+pub fn run_batch<F>(n_seeds: usize, base_seed: u64, trial: F) -> BatchSummary
+where
+    F: Fn(u64) -> TrialOutcome + Sync,
+{
+    let results: Mutex<Vec<TrialOutcome>> = Mutex::new(Vec::with_capacity(n_seeds));
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_seeds.max(1));
+
+    thread::scope(|scope| {
+        for w in 0..n_workers {
+            let results = &results;
+            let trial = &trial;
+            scope.spawn(move |_| {
+                let mut local = Vec::new();
+                let mut k = w;
+                while k < n_seeds {
+                    local.push(trial(base_seed + k as u64));
+                    k += n_workers;
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let results = results.into_inner();
+    let mut summary = BatchSummary {
+        trials: results.len(),
+        ..Default::default()
+    };
+    let mut loss_sum = 0.0;
+    for r in &results {
+        if r.failures > 0 {
+            summary.failing_trials += 1;
+        }
+        summary.total_failures += r.failures;
+        summary.total_emissions += r.emissions;
+        summary.total_lease_stops += r.lease_stops;
+        loss_sum += r.loss_rate;
+    }
+    if !results.is_empty() {
+        summary.mean_loss_rate = loss_sum / results.len() as f64;
+    }
+    summary.failure_ci = wilson_ci(summary.failing_trials, summary.trials, 1.96);
+    summary
+}
+
+/// Convenience adapter: a case-study trial as a [`TrialOutcome`].
+pub fn case_study_outcome(
+    trial: &pte_tracheotomy::emulation::TrialConfig,
+) -> TrialOutcome {
+    let r = pte_tracheotomy::emulation::run_trial(trial).expect("trial executes");
+    TrialOutcome {
+        failures: r.failures,
+        emissions: r.emissions,
+        lease_stops: r.evt_to_stop + r.vent_lease_stops,
+        loss_rate: r.loss_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::Time;
+    use pte_tracheotomy::emulation::{LossEnvironment, TrialConfig};
+
+    #[test]
+    fn wilson_basics() {
+        let (lo, hi) = wilson_ci(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.05, "rule of three-ish: {hi}");
+        let (lo, hi) = wilson_ci(50, 100, 1.96);
+        assert!(lo > 0.40 && hi < 0.60);
+        let (lo, hi) = wilson_ci(0, 0, 1.96);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (_, hi) = wilson_ci(100, 100, 1.96);
+        assert!(hi > 0.96);
+    }
+
+    #[test]
+    fn batch_aggregates_deterministically() {
+        let f = |seed: u64| TrialOutcome {
+            failures: seed.is_multiple_of(3) as usize,
+            emissions: 2,
+            lease_stops: 1,
+            loss_rate: 0.25,
+        };
+        let a = run_batch(30, 100, f);
+        let b = run_batch(30, 100, f);
+        assert_eq!(a.failing_trials, b.failing_trials);
+        assert_eq!(a.trials, 30);
+        assert_eq!(a.total_emissions, 60);
+        assert_eq!(a.total_lease_stops, 30);
+        assert!((a.mean_loss_rate - 0.25).abs() < 1e-12);
+        // seeds 100..130, multiples of 3: 102,105,...,129 → 10.
+        assert_eq!(a.failing_trials, 10);
+    }
+
+    /// Theorem 1, statistically: short leased trials under heavy loss
+    /// never violate PTE.
+    #[test]
+    fn leased_trials_never_fail_under_heavy_loss() {
+        let summary = run_batch(8, 7_000, |seed| {
+            case_study_outcome(&TrialConfig {
+                duration: Time::seconds(240.0),
+                mean_on: Time::seconds(15.0),
+                mean_off: Some(Time::seconds(8.0)),
+                leased: true,
+                loss: LossEnvironment::Bernoulli(0.4),
+                seed,
+            })
+        });
+        assert_eq!(summary.failing_trials, 0, "{summary}");
+        assert_eq!(summary.trials, 8);
+    }
+
+    /// The comparison arm: unleased trials under the same loss do fail.
+    #[test]
+    fn unleased_trials_fail_under_heavy_loss() {
+        let summary = run_batch(8, 7_000, |seed| {
+            case_study_outcome(&TrialConfig {
+                duration: Time::seconds(600.0),
+                mean_on: Time::seconds(15.0),
+                mean_off: Some(Time::seconds(8.0)),
+                leased: false,
+                loss: LossEnvironment::Bernoulli(0.4),
+                seed,
+            })
+        });
+        assert!(summary.failing_trials > 0, "{summary}");
+    }
+}

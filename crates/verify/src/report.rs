@@ -1,0 +1,109 @@
+//! Plain-text table rendering for experiment outputs.
+//!
+//! The bench binaries print paper-style tables; this keeps the formatting
+//! in one place (fixed-width columns, a header rule, row striping left to
+//! the terminal).
+
+/// A simple fixed-width table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified already).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!(" {cell:w$} |", w = *w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut rule = String::from("|");
+        for w in &widths {
+            rule.push_str(&"-".repeat(w + 2));
+            rule.push('|');
+        }
+        rule.push('\n');
+        out.push_str(&rule);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(vec!["Trial Mode", "E(Toff)", "#Failures"]);
+        t.row(vec!["with Lease", "18", "0"]);
+        t.row(vec!["without Lease", "18", "4"]);
+        let s = t.render();
+        assert!(s.contains("| Trial Mode    |"));
+        assert!(s.contains("| with Lease    |"));
+        assert!(s.lines().count() == 4);
+        // All lines same width.
+        let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(vec!["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+}

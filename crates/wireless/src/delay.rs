@@ -1,0 +1,129 @@
+//! Propagation/queueing delay models for wireless links.
+//!
+//! The paper's fault model treats excessive downlink delay as loss ("the
+//! remote entities locally specify delays as acceptable or as
+//! lost-messages"); [`DelayModel::sample`] produces the delay and
+//! [`WirelessLink`](crate::link::WirelessLink) converts delays beyond the
+//! receiver's acceptance window into drops.
+
+use pte_hybrid::Time;
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+/// A per-packet delay process.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub enum DelayModel {
+    /// No delay (events arrive at the send instant).
+    #[default]
+    None,
+    /// Fixed delay.
+    Constant(Time),
+    /// Uniform delay in `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: Time,
+        /// Upper bound.
+        hi: Time,
+    },
+    /// Exponential delay with the given mean, truncated at `cap`.
+    Exponential {
+        /// Mean delay.
+        mean: Time,
+        /// Hard truncation (samples are clamped here).
+        cap: Time,
+    },
+}
+
+impl DelayModel {
+    /// Samples one delay.
+    pub fn sample(&self, rng: &mut StdRng) -> Time {
+        match self {
+            DelayModel::None => Time::ZERO,
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { lo, hi } => {
+                let u: f64 = rng.random();
+                *lo + (*hi - *lo) * u
+            }
+            DelayModel::Exponential { mean, cap } => {
+                let u: f64 = rng.random();
+                let d = Time::seconds(-mean.as_secs_f64() * (1.0 - u).ln());
+                d.min(*cap)
+            }
+        }
+    }
+
+    /// The worst-case delay the model can produce.
+    pub fn max_delay(&self) -> Time {
+        match self {
+            DelayModel::None => Time::ZERO,
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { hi, .. } => *hi,
+            DelayModel::Exponential { cap, .. } => *cap,
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn none_is_zero() {
+        assert_eq!(DelayModel::None.sample(&mut rng()), Time::ZERO);
+        assert_eq!(DelayModel::None.max_delay(), Time::ZERO);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = DelayModel::Constant(Time::millis(5.0));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), Time::millis(5.0));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = DelayModel::Uniform {
+            lo: Time::millis(1.0),
+            hi: Time::millis(3.0),
+        };
+        let mut r = rng();
+        let mut min = Time::INFINITY;
+        let mut max = Time::ZERO;
+        for _ in 0..10_000 {
+            let d = m.sample(&mut r);
+            assert!(d >= Time::millis(1.0) && d <= Time::millis(3.0));
+            min = min.min(d);
+            max = max.max(d);
+        }
+        assert!(min < Time::millis(1.2), "covers low end");
+        assert!(max > Time::millis(2.8), "covers high end");
+        assert_eq!(m.max_delay(), Time::millis(3.0));
+    }
+
+    #[test]
+    fn exponential_mean_and_cap() {
+        let m = DelayModel::Exponential {
+            mean: Time::millis(10.0),
+            cap: Time::millis(100.0),
+        };
+        let mut r = rng();
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let d = m.sample(&mut r);
+            assert!(d <= Time::millis(100.0));
+            sum += d.as_secs_f64();
+        }
+        let mean = sum / 100_000.0;
+        assert!((mean - 0.01).abs() < 0.001, "mean {mean}");
+    }
+}

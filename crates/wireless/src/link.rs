@@ -1,0 +1,145 @@
+//! A wireless link: loss model + delay model as a `pte_sim` channel.
+
+use crate::delay::DelayModel;
+use crate::loss::LossModel;
+use pte_hybrid::Time;
+use pte_sim::network::{Channel, Delivery, DropReason, Message};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A unidirectional wireless link combining a [`LossModel`] with a
+/// [`DelayModel`], with an optional receiver-side acceptance window:
+/// deliveries later than `max_acceptable_delay` are treated as lost,
+/// mirroring the fault model's "remote entities locally specify delays as
+/// acceptable or as lost-messages".
+pub struct WirelessLink {
+    loss: Box<dyn LossModel>,
+    delay: DelayModel,
+    /// Deliveries beyond this delay are counted as losses; `None` accepts
+    /// any delay the model produces.
+    pub max_acceptable_delay: Option<Time>,
+    rng: StdRng,
+}
+
+impl WirelessLink {
+    /// Creates a link with the given loss process and no delay.
+    pub fn new(loss: Box<dyn LossModel>) -> WirelessLink {
+        WirelessLink {
+            loss,
+            delay: DelayModel::None,
+            max_acceptable_delay: None,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Sets the delay model (with its RNG seed).
+    pub fn with_delay(mut self, delay: DelayModel, seed: u64) -> WirelessLink {
+        self.delay = delay;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Sets the receiver-side acceptance window.
+    pub fn with_acceptance_window(mut self, window: Time) -> WirelessLink {
+        self.max_acceptable_delay = Some(window);
+        self
+    }
+}
+
+impl Channel for WirelessLink {
+    fn transmit(&mut self, _msg: &Message, now: Time) -> Delivery {
+        if self.loss.is_lost(now) {
+            return Delivery::Dropped {
+                reason: DropReason::Erasure,
+            };
+        }
+        let delay = self.delay.sample(&mut self.rng);
+        if let Some(window) = self.max_acceptable_delay {
+            if delay > window {
+                return Delivery::Dropped {
+                    reason: DropReason::Erasure,
+                };
+            }
+        }
+        Delivery::Delivered { at: now + delay }
+    }
+
+    fn describe(&self) -> String {
+        format!("wireless[{}]", self.loss.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{BernoulliLoss, ScriptedLoss};
+    use pte_hybrid::Root;
+
+    fn msg() -> Message {
+        Message {
+            root: Root::new("evt"),
+            sender: 0,
+            receiver: 1,
+            seq: 0,
+            sent_at: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn lossless_link_delivers() {
+        let mut link = WirelessLink::new(Box::new(ScriptedLoss::deliver_all()));
+        assert!(matches!(
+            link.transmit(&msg(), Time::seconds(1.0)),
+            Delivery::Delivered { at } if at == Time::seconds(1.0)
+        ));
+    }
+
+    #[test]
+    fn lossy_link_drops() {
+        let mut link = WirelessLink::new(Box::new(ScriptedLoss::drop_all()));
+        assert!(matches!(
+            link.transmit(&msg(), Time::ZERO),
+            Delivery::Dropped { .. }
+        ));
+    }
+
+    #[test]
+    fn delay_applies() {
+        let mut link = WirelessLink::new(Box::new(ScriptedLoss::deliver_all()))
+            .with_delay(DelayModel::Constant(Time::millis(20.0)), 1);
+        match link.transmit(&msg(), Time::seconds(1.0)) {
+            Delivery::Delivered { at } => {
+                assert!(at.approx_eq(Time::seconds(1.02), Time::seconds(1e-9)))
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acceptance_window_converts_delay_to_loss() {
+        let mut link = WirelessLink::new(Box::new(ScriptedLoss::deliver_all()))
+            .with_delay(DelayModel::Constant(Time::millis(50.0)), 1)
+            .with_acceptance_window(Time::millis(10.0));
+        assert!(matches!(
+            link.transmit(&msg(), Time::ZERO),
+            Delivery::Dropped { .. }
+        ));
+    }
+
+    #[test]
+    fn empirical_loss_rate_carries_through() {
+        let mut link = WirelessLink::new(Box::new(BernoulliLoss::new(0.25, 77)));
+        let mut dropped = 0;
+        let n = 100_000;
+        for k in 0..n {
+            if matches!(
+                link.transmit(&msg(), Time::seconds(k as f64 * 0.001)),
+                Delivery::Dropped { .. }
+            ) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Sink-based star topology (Section II-B).
+//!
+//! A distributed sink-based wireless CPS consists of a base station `ξ0`
+//! and `N ≥ 2` remote entities `ξ1 … ξN`. Links exist only between the
+//! base station and remotes (uplinks and downlinks); there are **no direct
+//! wireless links between remote entities** — [`StarTopology::wire`]
+//! installs dead channels on those pairs so a mis-wired model fails
+//! loudly (events silently never arrive) rather than cheating.
+
+use crate::link::WirelessLink;
+use crate::loss::LossModel;
+use pte_hybrid::Time;
+use pte_sim::network::{NetworkBridge, NoLinkChannel};
+use std::fmt;
+
+/// Description of a star topology over automaton indices.
+///
+/// Index `base` is the base station (Supervisor); all other listed indices
+/// are remote entities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StarTopology {
+    /// Automaton index of the base station.
+    pub base: usize,
+    /// Automaton indices of the remote entities, in PTE order `ξ1 … ξN`.
+    pub remotes: Vec<usize>,
+}
+
+impl StarTopology {
+    /// Creates a star with base station `base` and the given remotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 remotes are given (the paper requires
+    /// `N ≥ 2`) or if `base` also appears among the remotes.
+    pub fn new(base: usize, remotes: Vec<usize>) -> StarTopology {
+        assert!(remotes.len() >= 2, "the paper's model requires N >= 2");
+        assert!(
+            !remotes.contains(&base),
+            "base station cannot be a remote"
+        );
+        StarTopology { base, remotes }
+    }
+
+    /// Number of remote entities `N`.
+    pub fn n_remotes(&self) -> usize {
+        self.remotes.len()
+    }
+
+    /// All (sender, receiver) wireless link pairs: uplinks and downlinks.
+    pub fn links(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.remotes.len() * 2);
+        for &r in &self.remotes {
+            out.push((self.base, r)); // downlink
+            out.push((r, self.base)); // uplink
+        }
+        out
+    }
+
+    /// Wires a [`NetworkBridge`]: each up/downlink gets a fresh
+    /// [`WirelessLink`] produced by `make_loss` (seeded per link), and
+    /// every remote-to-remote pair gets a dead [`NoLinkChannel`].
+    ///
+    /// `make_loss(sender, receiver, link_seed)` builds the loss process for
+    /// one directed link.
+    pub fn wire<F>(&self, base_seed: u64, mut make_loss: F) -> NetworkBridge
+    where
+        F: FnMut(usize, usize, u64) -> Box<dyn LossModel>,
+    {
+        let mut bridge = NetworkBridge::perfect();
+        for (k, (from, to)) in self.links().into_iter().enumerate() {
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(k as u64 + 1);
+            let link = WirelessLink::new(make_loss(from, to, seed));
+            bridge.set_link(from, to, Box::new(link));
+        }
+        // Forbid direct remote-to-remote communication.
+        for &a in &self.remotes {
+            for &b in &self.remotes {
+                if a != b {
+                    bridge.set_link(a, b, Box::new(NoLinkChannel));
+                }
+            }
+        }
+        bridge
+    }
+
+    /// ASCII rendering of the layout (the Fig. 7 regenerator).
+    pub fn render(&self, names: &[String]) -> String {
+        let name = |i: usize| -> String {
+            names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("entity{i}"))
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "base station (Supervisor): [{}] (index {})\n",
+            name(self.base),
+            self.base
+        ));
+        for (k, &r) in self.remotes.iter().enumerate() {
+            out.push_str(&format!(
+                "  xi_{}: [{}] (index {})  <== downlink ==  [{}]  == uplink ==>\n",
+                k + 1,
+                name(r),
+                r,
+                name(self.base)
+            ));
+        }
+        out.push_str("no direct wireless links between remote entities\n");
+        out
+    }
+}
+
+impl fmt::Display for StarTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "star(base={}, remotes={:?})", self.base, self.remotes)
+    }
+}
+
+/// Convenience: a uniform-Bernoulli star wiring (every link gets the same
+/// i.i.d. loss probability, independently seeded).
+pub fn bernoulli_star(topology: &StarTopology, p: f64, base_seed: u64) -> NetworkBridge {
+    topology.wire(base_seed, |_, _, seed| {
+        Box::new(crate::loss::BernoulliLoss::new(p, seed))
+    })
+}
+
+/// Convenience: the paper's interference conditions on every link.
+pub fn interferer_star(topology: &StarTopology, base_seed: u64) -> NetworkBridge {
+    topology.wire(base_seed, |_, _, seed| {
+        Box::new(crate::loss::Interferer::paper_conditions(seed))
+    })
+}
+
+/// A placeholder so `max_delay` of links remains discoverable in docs.
+pub const TYPICAL_ZIGBEE_SLOT: Time = Time::ZERO;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_hybrid::Root;
+    use pte_sim::network::{Delivery, Message};
+
+    fn msg(from: usize, to: usize) -> Message {
+        Message {
+            root: Root::new("evt"),
+            sender: from,
+            receiver: to,
+            seq: 0,
+            sent_at: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn links_enumerated() {
+        let t = StarTopology::new(0, vec![1, 2]);
+        let links = t.links();
+        assert_eq!(links.len(), 4);
+        assert!(links.contains(&(0, 1)));
+        assert!(links.contains(&(1, 0)));
+        assert!(links.contains(&(0, 2)));
+        assert!(links.contains(&(2, 0)));
+        assert_eq!(t.n_remotes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= 2")]
+    fn rejects_single_remote() {
+        let _ = StarTopology::new(0, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be a remote")]
+    fn rejects_base_in_remotes() {
+        let _ = StarTopology::new(0, vec![0, 1]);
+    }
+
+    #[test]
+    fn remote_to_remote_blocked() {
+        let t = StarTopology::new(0, vec![1, 2]);
+        let mut bridge = bernoulli_star(&t, 0.0, 1);
+        assert!(matches!(
+            bridge.transmit(&msg(1, 2), Time::ZERO),
+            Delivery::Dropped { .. }
+        ));
+        assert!(matches!(
+            bridge.transmit(&msg(2, 1), Time::ZERO),
+            Delivery::Dropped { .. }
+        ));
+        // Up/downlinks with p=0 always deliver.
+        assert!(matches!(
+            bridge.transmit(&msg(0, 1), Time::ZERO),
+            Delivery::Delivered { .. }
+        ));
+        assert!(matches!(
+            bridge.transmit(&msg(2, 0), Time::ZERO),
+            Delivery::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn per_link_seeds_differ() {
+        let t = StarTopology::new(0, vec![1, 2]);
+        let mut bridge = bernoulli_star(&t, 0.5, 7);
+        // Sample both downlinks; with independent seeds they should not be
+        // perfectly correlated over many draws.
+        let mut same = 0;
+        for _ in 0..1000 {
+            let a = matches!(
+                bridge.transmit(&msg(0, 1), Time::ZERO),
+                Delivery::Dropped { .. }
+            );
+            let b = matches!(
+                bridge.transmit(&msg(0, 2), Time::ZERO),
+                Delivery::Dropped { .. }
+            );
+            if a == b {
+                same += 1;
+            }
+        }
+        assert!(same < 950, "links independent: {same}/1000 equal");
+    }
+
+    #[test]
+    fn interferer_star_loses_packets() {
+        let t = StarTopology::new(0, vec![1, 2]);
+        let mut bridge = interferer_star(&t, 3);
+        let mut dropped = 0;
+        for k in 0..2000 {
+            if matches!(
+                bridge.transmit(&msg(0, 1), Time::millis(k as f64 * 10.0)),
+                Delivery::Dropped { .. }
+            ) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 100, "interference causes loss: {dropped}");
+        assert!(dropped < 1500, "but not total loss: {dropped}");
+    }
+
+    #[test]
+    fn render_layout() {
+        let t = StarTopology::new(0, vec![1, 2]);
+        let names = vec![
+            "supervisor".to_string(),
+            "ventilator".to_string(),
+            "laser-scalpel".to_string(),
+        ];
+        let r = t.render(&names);
+        assert!(r.contains("supervisor"));
+        assert!(r.contains("ventilator"));
+        assert!(r.contains("no direct wireless links"));
+        assert_eq!(format!("{t}"), "star(base=0, remotes=[1, 2])");
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's case study end-to-end: one seeded 10-minute laser
+//! tracheotomy trial under WiFi interference, with a round-by-round
+//! timeline of what the ventilator, laser, and patient did.
+//!
+//! Run with: `cargo run --release --example laser_tracheotomy`
+
+use pte::hybrid::Time;
+use pte::tracheotomy::emulation::{run_trial, LossEnvironment, TrialConfig};
+
+fn main() {
+    let trial = TrialConfig {
+        duration: Time::seconds(600.0),
+        mean_on: Time::seconds(30.0),
+        mean_off: Some(Time::seconds(18.0)),
+        leased: true,
+        loss: LossEnvironment::WifiInterference,
+        seed: 7,
+    };
+    println!("laser tracheotomy trial: 10 min, E(Ton)=30s, E(Toff)=18s, WiFi interference, leases armed\n");
+
+    let result = run_trial(&trial).expect("trial executes");
+
+    println!("emissions:          {}", result.emissions);
+    println!("PTE failures:       {}", result.failures);
+    println!("laser lease stops:  {}", result.evt_to_stop);
+    println!("vent lease stops:   {}", result.vent_lease_stops);
+    println!(
+        "wireless loss:      {:.1}% ({} of {} events dropped)",
+        result.loss_rate() * 100.0,
+        result.packets_dropped,
+        result.packets_sent
+    );
+    println!();
+
+    // Round-by-round margins, as measured by the monitor.
+    println!("per-emission safeguard margins (required: enter >= 3 s, exit >= 1.5 s):");
+    for m in &result.report.margins {
+        let enter = m
+            .enter_lead
+            .map(|t| format!("{:.2} s", t.as_secs_f64()))
+            .unwrap_or_else(|| "-".into());
+        let exit = m
+            .exit_lag
+            .map(|t| format!("{:.2} s", t.as_secs_f64()))
+            .unwrap_or_else(|| "(truncated)".into());
+        println!(
+            "  emission {}: enter lead {enter}, exit lag {exit}",
+            m.interval
+        );
+    }
+
+    assert!(result.report.is_safe(), "{}", result.report);
+    println!("\nall rounds PTE-safe despite {:.0}% event loss.", result.loss_rate() * 100.0);
+}

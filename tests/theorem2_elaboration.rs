@@ -1,0 +1,200 @@
+//! Theorem 2 (design pattern compliance) end-to-end: elaborating pattern
+//! automata with independent simple children preserves the PTE guarantee,
+//! and the elaboration's location projection maps elaborated trajectories
+//! back onto pattern trajectories.
+
+use pte::core::monitor::check_pte;
+use pte::core::pattern::{build_participant, LeaseConfig};
+use pte::hybrid::automaton::VarKind;
+use pte::hybrid::elaboration::{elaborate, elaborate_parallel};
+use pte::hybrid::independence::{are_independent, is_simple};
+use pte::hybrid::{Expr, HybridAutomaton, Pred, Time};
+use pte::sim::executor::{Executor, ExecutorConfig};
+use pte::tracheotomy::emulation::{build_case_study, emulation_spec, score_trace};
+use pte::tracheotomy::ventilator::standalone_ventilator;
+use pte::wireless::loss::BernoulliLoss;
+use pte::wireless::topology::StarTopology;
+use pte::sim::driver::ScriptedDriver;
+use pte::hybrid::Root;
+
+/// A second simple child: a status lamp cycling through colors.
+fn lamp() -> HybridAutomaton {
+    let mut b = HybridAutomaton::builder("lamp");
+    let lum = b.var("Lum", VarKind::Continuous, 0.0);
+    let inv = Pred::ge(Expr::var(lum), Expr::c(0.0)).and(Pred::le(Expr::var(lum), Expr::c(1.0)));
+    let dim = b.location("LampDim");
+    let bright = b.location("LampBright");
+    b.invariant(dim, inv.clone());
+    b.invariant(bright, inv);
+    b.flow(dim, lum, Expr::c(0.5));
+    b.flow(bright, lum, Expr::c(-0.5));
+    b.edge(dim, bright)
+        .guard(Pred::ge(Expr::var(lum), Expr::c(1.0)))
+        .urgent()
+        .done();
+    b.edge(bright, dim)
+        .guard(Pred::le(Expr::var(lum), Expr::c(0.0)))
+        .urgent()
+        .done();
+    b.initial(dim, None);
+    b.build().expect("lamp builds")
+}
+
+#[test]
+fn elaborated_case_study_is_pte_safe_under_loss() {
+    // The full Section V system (with the elaborated ventilator) under
+    // 35% loss, many seeds: Theorem 2 says the elaboration cannot break
+    // the pattern's guarantee.
+    let cfg = LeaseConfig::case_study();
+    for seed in 0..4u64 {
+        let automata = build_case_study(&cfg, true).expect("builds");
+        let mut exec = Executor::new(automata, ExecutorConfig::default()).expect("executor");
+        let topo = StarTopology::new(0, vec![1, 2]);
+        exec.set_bridge(topo.wire(seed, |_, _, s| {
+            Box::new(BernoulliLoss::new(0.35, s))
+        }));
+        exec.add_driver(Box::new(pte::tracheotomy::surgeon::Surgeon::new(
+            "laser-scalpel",
+            Time::seconds(20.0),
+            Some(Time::seconds(8.0)),
+            seed,
+        )));
+        let trace = exec.run_until(Time::seconds(400.0)).expect("runs");
+        let result = score_trace(&trace);
+        assert_eq!(result.failures, 0, "seed {seed}: {}", result.report);
+    }
+}
+
+#[test]
+fn projection_maps_elaborated_trace_to_pattern_locations() {
+    // Run the elaborated ventilator alone and project every visited
+    // location back to the pattern automaton: the projected itinerary
+    // must only use pattern locations and must respect the pattern's
+    // edge relation (possibly with stuttering inside the child).
+    let cfg = LeaseConfig::case_study();
+    let pattern = build_participant(&cfg, 1, Pred::True).expect("pattern builds");
+    let plant = standalone_ventilator();
+    let el = elaborate_parallel(&pattern, &[("Fall-Back", &plant)]).expect("elaborates");
+
+    let mut stim = HybridAutomaton::builder("stim");
+    let c = stim.clock("c");
+    let s0 = stim.location("S0");
+    let s1 = stim.location("S1");
+    stim.also_invariant(s0, Pred::le(Expr::var(c), Expr::c(7.0)));
+    stim.edge(s0, s1)
+        .guard(Pred::ge(Expr::var(c), Expr::c(7.0)))
+        .urgent()
+        .emit("evt_xi0_to_xi1_lease_req")
+        .done();
+    stim.initial(s0, None);
+    let stim = stim.build().expect("stim builds");
+
+    let exec = Executor::new(
+        vec![el.automaton.clone(), stim],
+        ExecutorConfig::default(),
+    )
+    .expect("executor");
+    let trace = exec.run_until(Time::seconds(60.0)).expect("runs");
+
+    let history = trace.location_history(0);
+    assert!(history.len() > 4, "trace has activity");
+    let mut projected: Vec<usize> = history
+        .iter()
+        .map(|(_, loc)| el.projection[loc.0].0)
+        .collect();
+    projected.dedup(); // collapse stuttering inside the child
+    // The projected itinerary must follow pattern edges.
+    for w in projected.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        assert!(
+            pattern
+                .edges
+                .iter()
+                .any(|e| e.src.0 == from && e.dst.0 == to),
+            "projected step {} -> {} is not a pattern edge",
+            pattern.loc_name(pte::hybrid::LocId(from)),
+            pattern.loc_name(pte::hybrid::LocId(to))
+        );
+    }
+    // And it must include the full lease round.
+    let names: Vec<&str> = projected
+        .iter()
+        .map(|i| pattern.loc_name(pte::hybrid::LocId(*i)))
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "Fall-Back",
+            "L0",
+            "Entering",
+            "Risky Core",
+            "Exiting 1",
+            "Fall-Back"
+        ]
+    );
+}
+
+#[test]
+fn double_elaboration_preserves_safety() {
+    // Elaborate the participant at Fall-Back with the ventilator AND at
+    // Exiting 2 with a lamp — parallel elaboration with two mutually
+    // independent simple children (Theorem 2's general form).
+    let cfg = LeaseConfig::case_study();
+    let pattern = build_participant(&cfg, 1, Pred::True).expect("pattern builds");
+    let plant = standalone_ventilator();
+    let the_lamp = lamp();
+    assert!(is_simple(&the_lamp));
+    assert!(are_independent(&pattern, &the_lamp));
+    assert!(are_independent(&plant, &the_lamp));
+
+    let el = elaborate_parallel(
+        &pattern,
+        &[("Fall-Back", &plant), ("Exiting 2", &the_lamp)],
+    )
+    .expect("elaborates");
+    let mut vent2 = el.automaton;
+    vent2.name = "ventilator".to_string();
+
+    // Swap it into the case study.
+    let mut automata = build_case_study(&cfg, true).expect("builds");
+    automata[1] = vent2;
+    let mut exec = Executor::new(automata, ExecutorConfig::default()).expect("executor");
+    let topo = StarTopology::new(0, vec![1, 2]);
+    exec.set_bridge(topo.wire(5, |_, _, s| Box::new(BernoulliLoss::new(0.25, s))));
+    exec.add_driver(Box::new(ScriptedDriver::new(
+        "surgeon",
+        vec![
+            (Time::seconds(14.0), Root::new("cmd_request")),
+            (Time::seconds(45.0), Root::new("cmd_cancel")),
+            (Time::seconds(120.0), Root::new("cmd_request")),
+        ],
+    )));
+    let trace = exec.run_until(Time::seconds(300.0)).expect("runs");
+    let report = check_pte(&trace, &emulation_spec());
+    assert!(report.is_safe(), "{report}");
+}
+
+#[test]
+fn elaboration_rejects_unsafe_substitutions() {
+    // Guard rails of the methodology: dependent or non-simple children
+    // must be rejected, because Theorem 2's proof needs both properties.
+    let cfg = LeaseConfig::case_study();
+    let pattern = build_participant(&cfg, 1, Pred::True).expect("pattern builds");
+
+    // Dependent child: reuses the pattern's clock variable name `c`.
+    let mut bad = HybridAutomaton::builder("bad");
+    bad.clock("c");
+    let l = bad.location("BadLoc");
+    bad.initial(l, None);
+    let bad = bad.build().expect("builds");
+    let fb = pattern.loc_by_name("Fall-Back").unwrap();
+    assert!(elaborate(&pattern, fb, &bad).is_err());
+
+    // Non-simple child: nonzero initial data.
+    let mut ns = HybridAutomaton::builder("ns");
+    ns.var("y", VarKind::Continuous, 0.7);
+    let l = ns.location("NsLoc");
+    ns.initial(l, None);
+    let ns = ns.build().expect("builds");
+    assert!(elaborate(&pattern, fb, &ns).is_err());
+}
