@@ -57,5 +57,9 @@ fn bench_parallel_elaboration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_case_study_elaboration, bench_parallel_elaboration);
+criterion_group!(
+    benches,
+    bench_case_study_elaboration,
+    bench_parallel_elaboration
+);
 criterion_main!(benches);

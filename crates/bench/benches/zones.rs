@@ -1,0 +1,73 @@
+//! Benchmarks of the symbolic zone engine: raw DBM throughput and
+//! end-to-end verdict latency on the case-study pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pte_core::pattern::LeaseConfig;
+use pte_zones::dbm::{Bound, Dbm};
+use pte_zones::{check_lease_pattern_with, lower_network, Limits};
+
+/// Canonicalization cost on a representative matrix (the engine's inner
+/// loop: every successor zone is re-closed).
+fn bench_dbm_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbm");
+    for clocks in [4usize, 8, 16] {
+        // A non-trivial zone: staggered resets and bounds.
+        let mut base = Dbm::zero(clocks);
+        for x in 1..=clocks {
+            base.up();
+            base.reset(x, x as i64);
+            base.constrain(x, 0, Bound::le(40 + x as i64));
+        }
+        base.canonicalize();
+        group.throughput(Throughput::Elements(((clocks + 1) * (clocks + 1)) as u64));
+        group.bench_with_input(BenchmarkId::new("canonicalize", clocks), &base, |b, z| {
+            b.iter(|| {
+                let mut m = z.clone();
+                m.up();
+                m.constrain(1, 0, Bound::le(35));
+                m.canonicalize();
+                m.is_empty()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Lowering the full case-study pattern network to timed automata.
+fn bench_lowering(c: &mut Criterion) {
+    let sys = pte_core::pattern::build_pattern_system(&LeaseConfig::case_study(), true).unwrap();
+    c.bench_function("lower/case_study", |b| {
+        b.iter(|| lower_network(&sys.automata).unwrap().clock_count())
+    });
+}
+
+/// End-to-end symbolic verdicts: the full safety proof of the leased
+/// system and the (much faster) falsification of the baseline.
+fn bench_symbolic_verdicts(c: &mut Criterion) {
+    let cfg = LeaseConfig::case_study();
+    let limits = Limits { max_states: 60_000 };
+    let mut group = c.benchmark_group("symbolic");
+    group.bench_function("prove_leased_safe", |b| {
+        b.iter(|| {
+            assert!(check_lease_pattern_with(&cfg, true, &limits)
+                .unwrap()
+                .is_safe())
+        })
+    });
+    group.bench_function("falsify_unleased", |b| {
+        b.iter(|| {
+            assert!(check_lease_pattern_with(&cfg, false, &limits)
+                .unwrap()
+                .is_unsafe())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dbm_ops,
+    bench_lowering,
+    bench_symbolic_verdicts
+);
+criterion_main!(benches);

@@ -19,7 +19,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seeds = seeds_arg(&args, 10);
 
-    println!("Ablation: failure rate vs wireless loss probability ({seeds} seeds/cell, 10 min trials)\n");
+    println!(
+        "Ablation: failure rate vs wireless loss probability ({seeds} seeds/cell, 10 min trials)\n"
+    );
 
     let mut table = TextTable::new(vec![
         "p(loss)",
@@ -49,10 +51,7 @@ fn main() {
                     "Theorem 1: lease arm must never fail (p = {p})"
                 );
             }
-            cells.push(format!(
-                "{}/{}",
-                summary.failing_trials, summary.trials
-            ));
+            cells.push(format!("{}/{}", summary.failing_trials, summary.trials));
             cells.push(format!("{}", summary.total_emissions));
         }
         // Reorder: p, lease-fail, lease-emissions, nolease-fail, nolease-em.

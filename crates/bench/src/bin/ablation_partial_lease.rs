@@ -19,9 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seeds = seeds_arg(&args, 8);
 
-    println!(
-        "Ablation: per-entity lease arming, {seeds} seeds/arm (10 min, 35% i.i.d. loss)\n"
-    );
+    println!("Ablation: per-entity lease arming, {seeds} seeds/arm (10 min, 35% i.i.d. loss)\n");
     let mut table = TextTable::new(vec![
         "vent lease",
         "laser lease",
@@ -46,8 +44,7 @@ fn main() {
                 loss: LossEnvironment::Bernoulli(0.35),
                 seed: 31_000 + k as u64,
             };
-            let r = run_trial_partial(&trial, vent_leased, laser_leased)
-                .expect("trial executes");
+            let r = run_trial_partial(&trial, vent_leased, laser_leased).expect("trial executes");
             if r.failures > 0 {
                 failing += 1;
             }
@@ -55,8 +52,9 @@ fn main() {
                 let entity = match v {
                     Violation::Rule1 { entity, .. } => Some(entity.as_str()),
                     Violation::NotCovered { inner, .. } => Some(inner.as_str()),
-                    Violation::EnterMargin { inner, .. }
-                    | Violation::ExitMargin { inner, .. } => Some(inner.as_str()),
+                    Violation::EnterMargin { inner, .. } | Violation::ExitMargin { inner, .. } => {
+                        Some(inner.as_str())
+                    }
                     _ => None,
                 };
                 match entity {

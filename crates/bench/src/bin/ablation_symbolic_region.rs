@@ -1,0 +1,97 @@
+//! Symbolic-region ablation: cross-checks the analytic feasible region
+//! of Theorem 1 (conditions c1–c7, as used by `pte-core::synthesis`)
+//! against the zone engine's symbolic verdicts over the
+//! `(T^max_run,1 × T^max_enter,2)` plane.
+//!
+//! Theorem 1 is *sufficient*: every cell where c1–c7 hold must be
+//! symbolically PTE-safe — a disagreement there would falsify either
+//! the proof or the engine. The converse is not implied (the conditions
+//! over-approximate), so cells can be symbolically safe while violating
+//! some ci; the grid makes that conservatism visible.
+//!
+//! Legend: `#` = conditions hold ∧ symbolically safe, `!` = conditions
+//! hold ∧ symbolic violation (**must never appear**), `s` = conditions
+//! fail yet symbolically safe (conservatism of c1–c7), `.` = both agree
+//! the cell is bad, `X` = the paper's configuration.
+
+use pte_core::pattern::{check_conditions, LeaseConfig};
+use pte_hybrid::Time;
+use pte_zones::{check_lease_pattern_with, Limits};
+
+fn main() {
+    println!(
+        "Symbolic vs analytic region over (T_run,1 [rows], T_enter,2 [cols]), \
+         case-study otherwise\n"
+    );
+
+    let enters: Vec<f64> = (0..7).map(|k| 2.0 + k as f64 * 2.5).collect(); // 2..17
+    let runs: Vec<f64> = (0..6).map(|k| 23.0 + k as f64 * 6.0).collect(); // 23..53 (incl. 35)
+    let limits = Limits { max_states: 60_000 };
+
+    print!("           ");
+    for e in &enters {
+        print!("{e:>5.1}");
+    }
+    println!("  <- T_enter,2 (s)");
+
+    let mut soundness_holes = 0usize;
+    let mut conservative = 0usize;
+    let mut agree = 0usize;
+    let mut inconclusive = 0usize;
+    for r in &runs {
+        print!("T_run1={r:>4.0}  ");
+        for e in &enters {
+            let mut cfg = LeaseConfig::case_study();
+            cfg.t_run[0] = Time::seconds(*r);
+            cfg.t_enter[1] = Time::seconds(*e);
+            let analytic = check_conditions(&cfg).is_satisfied();
+            // Three-way verdict: a truncated search or a lowering error
+            // is *inconclusive*, not "unsafe" — conflating them would
+            // report phantom soundness holes.
+            let verdict = check_lease_pattern_with(&cfg, true, &limits);
+            let (symbolic_safe, symbolic_unsafe) = match &verdict {
+                Ok(v) => (v.is_safe(), v.is_unsafe()),
+                Err(_) => (false, false),
+            };
+            let is_paper_point = (*r - 35.0).abs() < 0.5 && (*e - 10.0).abs() < 1.3;
+            let ch = if is_paper_point {
+                'X'
+            } else if !symbolic_safe && !symbolic_unsafe {
+                inconclusive += 1;
+                '?'
+            } else if analytic && symbolic_safe {
+                agree += 1;
+                '#'
+            } else if analytic && symbolic_unsafe {
+                soundness_holes += 1;
+                '!'
+            } else if symbolic_safe {
+                conservative += 1;
+                's'
+            } else {
+                agree += 1;
+                '.'
+            };
+            print!("    {ch}");
+        }
+        println!();
+    }
+
+    println!(
+        "\n# = c1..c7 ∧ symbolic-safe; s = symbolic-safe only (conditions \
+         conservative); . = both reject; ? = inconclusive (budget/lowering); \
+         ! = SOUNDNESS HOLE; X = paper's point"
+    );
+    println!(
+        "agreeing cells: {agree}, conservative cells: {conservative}, \
+         inconclusive: {inconclusive}, soundness holes: {soundness_holes}"
+    );
+
+    // Theorem 1 soundness, mechanically: no condition-satisfying cell may
+    // be symbolically unsafe, and the paper's own point must verify.
+    assert_eq!(soundness_holes, 0, "c1..c7 must imply symbolic safety");
+    let paper = LeaseConfig::case_study();
+    assert!(check_lease_pattern_with(&paper, true, &limits)
+        .expect("paper point lowers")
+        .is_safe());
+}

@@ -71,14 +71,37 @@ fn main() {
             '#'
         )
     );
-    println!("                    0{:>width$}", "t (s)", width = width - 1);
+    println!(
+        "                    0{:>width$}",
+        "t (s)",
+        width = width - 1
+    );
     println!();
-    println!("t1 (enter-risky safeguard, >= {}): {t1}", cfg.safeguards[0].t_min_risky);
-    println!("t2 (exit-risky safeguard,  >= {}): {t2}", cfg.safeguards[0].t_min_safe);
-    println!("t3 (ventilator pause, bounded by {}): {t3}", cfg.max_risky_dwelling());
-    println!("t4 (laser emission,   bounded by {}): {t4}", cfg.max_risky_dwelling());
+    println!(
+        "t1 (enter-risky safeguard, >= {}): {t1}",
+        cfg.safeguards[0].t_min_risky
+    );
+    println!(
+        "t2 (exit-risky safeguard,  >= {}): {t2}",
+        cfg.safeguards[0].t_min_safe
+    );
+    println!(
+        "t3 (ventilator pause, bounded by {}): {t3}",
+        cfg.max_risky_dwelling()
+    );
+    println!(
+        "t4 (laser emission,   bounded by {}): {t4}",
+        cfg.max_risky_dwelling()
+    );
 
     let report = check_pte(&trace, &emulation_spec());
-    println!("\nmonitor verdict: {}", if report.is_safe() { "SAFE" } else { "VIOLATION" });
+    println!(
+        "\nmonitor verdict: {}",
+        if report.is_safe() {
+            "SAFE"
+        } else {
+            "VIOLATION"
+        }
+    );
     assert!(report.is_safe());
 }

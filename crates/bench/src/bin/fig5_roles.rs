@@ -23,10 +23,7 @@ fn main() {
 
     // The paper's risky partition.
     for a in [&initializer, &participant] {
-        let risky: Vec<&str> = a
-            .risky_locations()
-            .map(|l| a.loc_name(l))
-            .collect();
+        let risky: Vec<&str> = a.risky_locations().map(|l| a.loc_name(l)).collect();
         println!("{}: V_risky = {risky:?}", a.name);
         assert_eq!(risky, vec!["Risky Core", "Exiting 1"]);
     }

@@ -76,7 +76,10 @@ fn main() {
     println!("Patient SpO2 during a procedure with lost stop commands\n");
     let leased = run(true);
     let unleased = run(false);
-    plot("WITH leases (ventilator pause bounded by its lease)", &leased);
+    plot(
+        "WITH leases (ventilator pause bounded by its lease)",
+        &leased,
+    );
     plot("WITHOUT leases (ventilator stuck paused)", &unleased);
 
     let min_leased = leased.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);

@@ -17,7 +17,9 @@ fn main() {
     let seeds = seeds_arg(&args, 1);
 
     println!("Table I: PTE safety rule violation (failure) statistics of emulation trials");
-    println!("(30 min per trial, constant WiFi interference, E(Ton) = 30 s; {seeds} seed(s) per row)\n");
+    println!(
+        "(30 min per trial, constant WiFi interference, E(Ton) = 30 s; {seeds} seed(s) per row)\n"
+    );
 
     let mut table = TextTable::new(vec![
         "Trial Mode",

@@ -221,12 +221,7 @@ pub fn check_pte(trace: &Trace, spec: &PteSpec) -> PteReport {
     }
 
     // Rule 1.
-    for ((name, ivs), bound) in spec
-        .entities
-        .iter()
-        .zip(&intervals)
-        .zip(&spec.rule1_bounds)
-    {
+    for ((name, ivs), bound) in spec.entities.iter().zip(&intervals).zip(&spec.rule1_bounds) {
         for iv in ivs {
             if iv.duration() > *bound + tol {
                 report.violations.push(Violation::Rule1 {
@@ -321,11 +316,7 @@ mod tests {
 
     /// Builds a two-entity trace from explicit risky windows.
     /// Each entity has locations 0 = safe, 1 = risky.
-    fn trace_from_windows(
-        outer: &[(f64, f64)],
-        inner: &[(f64, f64)],
-        end: f64,
-    ) -> Trace {
+    fn trace_from_windows(outer: &[(f64, f64)], inner: &[(f64, f64)], end: f64) -> Trace {
         let meta = vec![
             AutMeta {
                 name: "outer".into(),

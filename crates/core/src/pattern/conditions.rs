@@ -394,11 +394,7 @@ mod tests {
             t_fb0_min: Time::seconds(10.0),
             t_wait_max: Time::seconds(2.0),
             t_req_max: Time::seconds(5.0),
-            t_enter: vec![
-                Time::seconds(2.0),
-                Time::seconds(6.0),
-                Time::seconds(10.0),
-            ],
+            t_enter: vec![Time::seconds(2.0), Time::seconds(6.0), Time::seconds(10.0)],
             t_run: vec![
                 Time::seconds(60.0),
                 Time::seconds(40.0),

@@ -104,10 +104,7 @@ mod tests {
         let e = EventNames::new(2);
         assert_eq!(e.req().as_str(), "evt_xi2_to_xi0_req");
         assert_eq!(e.lease_req(1).as_str(), "evt_xi0_to_xi1_lease_req");
-        assert_eq!(
-            e.lease_approve(1).as_str(),
-            "evt_xi1_to_xi0_lease_approve"
-        );
+        assert_eq!(e.lease_approve(1).as_str(), "evt_xi1_to_xi0_lease_approve");
         assert_eq!(e.approve().as_str(), "evt_xi0_to_xi2_approve");
         assert_eq!(e.cancel(1).as_str(), "evt_xi0_to_xi1_cancel");
         assert_eq!(e.abort(2).as_str(), "evt_xi0_to_xi2_abort");

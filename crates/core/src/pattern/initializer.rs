@@ -220,9 +220,7 @@ mod tests {
             .end
             .approx_eq(Time::seconds(16.5), Time::seconds(1e-5)));
         assert!(trace.events_with_root("evt_to_stop_xi2").is_empty());
-        assert!(!trace
-            .events_with_root("evt_xi2_to_xi0_cancel")
-            .is_empty());
+        assert!(!trace.events_with_root("evt_xi2_to_xi0_cancel").is_empty());
     }
 
     #[test]
@@ -264,9 +262,7 @@ mod tests {
             vec![(1.0, "cmd_request"), (3.0, "cmd_cancel")],
             10.0,
         );
-        assert!(!trace
-            .events_with_root("evt_xi2_to_xi0_cancel")
-            .is_empty());
+        assert!(!trace.events_with_root("evt_xi2_to_xi0_cancel").is_empty());
         assert!(trace.risky_intervals(0).is_empty());
     }
 

@@ -32,10 +32,7 @@ pub fn build_participant(
     i: usize,
     participation_condition: Pred,
 ) -> Result<HybridAutomaton, BuildError> {
-    assert!(
-        (1..cfg.n).contains(&i),
-        "participant index must be in 1..N"
-    );
+    assert!((1..cfg.n).contains(&i), "participant index must be in 1..N");
     let ev = EventNames::new(cfg.n);
     let t_enter = cfg.t_enter[i - 1].as_secs_f64();
     let t_run = cfg.t_run[i - 1].as_secs_f64();
@@ -177,11 +174,7 @@ mod tests {
         // Lease the participant, then never send anything again: it must
         // return to Fall-Back by itself after T_enter + T_run + T_exit.
         let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req")]);
-        let exec = Executor::new(
-            vec![participant(), stim],
-            ExecutorConfig::default(),
-        )
-        .unwrap();
+        let exec = Executor::new(vec![participant(), stim], ExecutorConfig::default()).unwrap();
         let trace = exec.run_until(Time::seconds(50.0)).unwrap();
         let risky = trace.risky_intervals(0);
         assert_eq!(risky.len(), 1);
@@ -235,8 +228,12 @@ mod tests {
         let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req")]);
         let exec = Executor::new(vec![p, stim], ExecutorConfig::default()).unwrap();
         let trace = exec.run_until(Time::seconds(10.0)).unwrap();
-        assert!(!trace.events_with_root("evt_xi1_to_xi0_lease_deny").is_empty());
-        assert!(trace.events_with_root("evt_xi1_to_xi0_lease_approve").is_empty());
+        assert!(!trace
+            .events_with_root("evt_xi1_to_xi0_lease_deny")
+            .is_empty());
+        assert!(trace
+            .events_with_root("evt_xi1_to_xi0_lease_approve")
+            .is_empty());
         assert!(trace.risky_intervals(0).is_empty());
     }
 
@@ -278,9 +275,7 @@ mod tests {
             "one dwelling per lease round"
         );
         assert_eq!(
-            trace
-                .events_with_root("evt_xi1_to_xi0_lease_approve")
-                .len(),
+            trace.events_with_root("evt_xi1_to_xi0_lease_approve").len(),
             1
         );
     }
@@ -288,9 +283,11 @@ mod tests {
     #[test]
     fn perfect_bridge_is_default() {
         // Sanity: with the default bridge, lossy edges behave reliably.
-        let mut exec =
-            Executor::new(vec![participant(), stimulus(vec![])], ExecutorConfig::default())
-                .unwrap();
+        let mut exec = Executor::new(
+            vec![participant(), stimulus(vec![])],
+            ExecutorConfig::default(),
+        )
+        .unwrap();
         let mut bridge = NetworkBridge::perfect();
         bridge.set_default(Box::new(PerfectChannel));
         exec.set_bridge(bridge);

@@ -61,8 +61,7 @@ pub fn build_supervisor(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError
     // advance once g_i exceeds ξi's worst-case lease span W_i — usually
     // already true by the time the chain arrives, so lost exit reports
     // rarely cost wall-clock time while remaining provably safe.
-    let grant: Vec<pte_hybrid::VarId> =
-        (1..=n).map(|i| b.clock(format!("g{i}"))).collect();
+    let grant: Vec<pte_hybrid::VarId> = (1..=n).map(|i| b.clock(format!("g{i}"))).collect();
 
     let fall_back = b.location("Fall-Back");
     let lease: Vec<LocId> = (1..=n)
@@ -78,9 +77,7 @@ pub fn build_supervisor(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError
     // --- Fall-Back -------------------------------------------------------
     b.edge(fall_back, lease[0])
         .on_lossy(ev.req())
-        .guard(
-            Pred::ge(Expr::var(c), Expr::c(t_fb0)).and(approval_ok_pred.clone()),
-        )
+        .guard(Pred::ge(Expr::var(c), Expr::c(t_fb0)).and(approval_ok_pred.clone()))
         .reset_clock(c)
         .reset_clock(grant[0])
         .emit(ev.lease_req(1))
@@ -199,8 +196,7 @@ pub fn build_supervisor(cfg: &LeaseConfig) -> Result<HybridAutomaton, BuildError
             let here = chain[i - 1];
             // Safe inward-walk budget: ξi's lease provably expires once
             // g_i >= W_i (its grant was g_i ago; the whole span is W_i).
-            let w_i = (cfg.t_enter[i - 1] + cfg.t_run[i - 1] + cfg.t_exit[i - 1])
-                .as_secs_f64();
+            let w_i = (cfg.t_enter[i - 1] + cfg.t_run[i - 1] + cfg.t_exit[i - 1]).as_secs_f64();
             let g_i = grant[i - 1];
             b.invariant(here, Pred::le(Expr::var(g_i), Expr::c(w_i)));
             let (dst, emit) = if i > 1 {
@@ -328,7 +324,9 @@ mod tests {
             ]
         );
         // Events emitted along the way.
-        assert!(!trace.events_with_root("evt_xi0_to_xi1_lease_req").is_empty());
+        assert!(!trace
+            .events_with_root("evt_xi0_to_xi1_lease_req")
+            .is_empty());
         assert!(!trace.events_with_root("evt_xi0_to_xi2_approve").is_empty());
         assert!(!trace.events_with_root("evt_xi0_to_xi1_cancel").is_empty());
     }

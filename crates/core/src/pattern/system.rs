@@ -45,10 +45,7 @@ impl PatternSystem {
 /// With `leased = false`, the Risky Core lease timers of every remote
 /// entity are stripped (the paper's "without Lease" comparison arm); the
 /// Supervisor is unchanged in both arms.
-pub fn build_pattern_system(
-    cfg: &LeaseConfig,
-    leased: bool,
-) -> Result<PatternSystem, BuildError> {
+pub fn build_pattern_system(cfg: &LeaseConfig, leased: bool) -> Result<PatternSystem, BuildError> {
     let mut automata = Vec::with_capacity(cfg.n + 1);
     automata.push(build_supervisor(cfg)?);
     for i in 1..cfg.n {

@@ -86,11 +86,7 @@ impl std::error::Error for SpecError {}
 
 impl PteSpec {
     /// Creates a specification with a uniform Rule-1 bound.
-    pub fn uniform(
-        entities: Vec<String>,
-        rule1_bound: Time,
-        pairs: Vec<PairSpec>,
-    ) -> PteSpec {
+    pub fn uniform(entities: Vec<String>, rule1_bound: Time, pairs: Vec<PairSpec>) -> PteSpec {
         let n = entities.len();
         PteSpec {
             entities,

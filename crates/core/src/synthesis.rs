@@ -157,8 +157,7 @@ pub fn synthesize(req: &SynthesisRequest) -> Result<LeaseConfig, SynthesisError>
     let mut t_run = vec![Time::ZERO; n];
     t_run[n - 1] = req.min_run_initializer.max(m);
     for i in (0..n - 1).rev() {
-        t_run[i] =
-            req.t_wait + t_enter[i + 1] + t_run[i + 1] + t_exit[i + 1] + m - t_enter[i];
+        t_run[i] = req.t_wait + t_enter[i + 1] + t_run[i + 1] + t_exit[i + 1] + m - t_enter[i];
     }
 
     let t_ls1 = t_enter[0] + t_run[0] + t_exit[0];

@@ -33,9 +33,7 @@ pub struct TheoremBounds {
 
 /// Computes Theorem 1's bounds for a configuration.
 pub fn bounds(cfg: &LeaseConfig) -> TheoremBounds {
-    let per_entity_risky: Vec<Time> = (0..cfg.n)
-        .map(|k| cfg.t_run[k] + cfg.t_exit[k])
-        .collect();
+    let per_entity_risky: Vec<Time> = (0..cfg.n).map(|k| cfg.t_run[k] + cfg.t_exit[k]).collect();
     let nominal_enter_leads: Vec<Time> = (0..cfg.n - 1)
         .map(|k| cfg.t_enter[k + 1] - cfg.t_enter[k])
         .collect();

@@ -422,7 +422,8 @@ impl AutomatonBuilder {
     pub fn var(&mut self, name: impl Into<String>, kind: VarKind, init: f64) -> VarId {
         let name = name.into();
         if self.vars.iter().any(|v| v.name == name) {
-            self.errors.push(BuildError::DuplicateVariable(name.clone()));
+            self.errors
+                .push(BuildError::DuplicateVariable(name.clone()));
         }
         self.vars.push(VarDecl { name, kind, init });
         VarId(self.vars.len() - 1)
@@ -446,7 +447,8 @@ impl AutomatonBuilder {
     fn push_location(&mut self, name: impl Into<String>, risky: bool) -> LocId {
         let name = name.into();
         if self.locations.iter().any(|l| l.name == name) {
-            self.errors.push(BuildError::DuplicateLocation(name.clone()));
+            self.errors
+                .push(BuildError::DuplicateLocation(name.clone()));
         }
         self.locations.push(Location {
             name,
@@ -737,7 +739,10 @@ mod tests {
         b.initial(a, Some(vec![0.0, 1.0]));
         assert!(matches!(
             b.build(),
-            Err(BuildError::InitialDimensionMismatch { expected: 1, got: 2 })
+            Err(BuildError::InitialDimensionMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -751,10 +756,7 @@ mod tests {
         b.initial(l, None);
         let a = b.build().unwrap();
         assert_eq!(a.locations[0].flow_of(clk, VarKind::Clock), Expr::one());
-        assert_eq!(
-            a.locations[0].flow_of(x, VarKind::Continuous),
-            Expr::c(2.5)
-        );
+        assert_eq!(a.locations[0].flow_of(x, VarKind::Continuous), Expr::c(2.5));
     }
 
     #[test]

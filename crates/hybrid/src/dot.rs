@@ -56,11 +56,7 @@ pub fn to_dot_with(a: &HybridAutomaton, opts: &DotOptions) -> String {
         }
         if opts.show_flows {
             for (v, e) in &loc.flows {
-                let name = a
-                    .vars
-                    .get(v.0)
-                    .map(|d| d.name.as_str())
-                    .unwrap_or("?");
+                let name = a.vars.get(v.0).map(|d| d.name.as_str()).unwrap_or("?");
                 let _ = write!(label, "\\nd{name}/dt = {}", render_expr(e, a));
             }
         }

@@ -299,14 +299,8 @@ mod tests {
         let vars = ctx3();
         let ctx = EvalCtx::new(&vars);
         assert_eq!(Expr::var(VarId(2)).abs().eval(&ctx), 3.0);
-        assert_eq!(
-            Expr::var(VarId(0)).min(Expr::var(VarId(1))).eval(&ctx),
-            1.0
-        );
-        assert_eq!(
-            Expr::var(VarId(0)).max(Expr::var(VarId(1))).eval(&ctx),
-            2.0
-        );
+        assert_eq!(Expr::var(VarId(0)).min(Expr::var(VarId(1))).eval(&ctx), 1.0);
+        assert_eq!(Expr::var(VarId(0)).max(Expr::var(VarId(1))).eval(&ctx), 2.0);
         assert_eq!((-Expr::var(VarId(1))).eval(&ctx), -2.0);
     }
 

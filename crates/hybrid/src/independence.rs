@@ -159,7 +159,9 @@ pub fn not_simple_reasons(a: &HybridAutomaton) -> Vec<NotSimpleReason> {
     for init in &a.initial {
         let defaults = a.initial_data(init);
         let zero_default = defaults.iter().all(|v| *v == 0.0);
-        let inv_ok = a.locations[init.loc.0].invariant.eval(&EvalCtx::new(&zeros));
+        let inv_ok = a.locations[init.loc.0]
+            .invariant
+            .eval(&EvalCtx::new(&zeros));
         if !zero_default || !inv_ok {
             reasons.push(NotSimpleReason::ZeroNotInitial {
                 location: a.loc_name(init.loc).to_string(),

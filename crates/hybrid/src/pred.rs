@@ -54,8 +54,7 @@ impl Cmp {
 }
 
 /// A boolean predicate over the data state variables vector.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Pred {
     /// Always true (the trivial invariant `R^n`).
     #[default]
@@ -258,7 +257,6 @@ impl Pred {
         }
     }
 }
-
 
 impl fmt::Debug for Pred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -145,7 +145,11 @@ pub fn validate(a: &HybridAutomaton) -> ValidationReport {
                     index: v.0,
                 });
             }
-            check_vars(e.vars(), format!("flow expr in `{}`", loc.name), &mut findings);
+            check_vars(
+                e.vars(),
+                format!("flow expr in `{}`", loc.name),
+                &mut findings,
+            );
         }
         let _ = i;
     }
@@ -158,7 +162,11 @@ pub fn validate(a: &HybridAutomaton) -> ValidationReport {
                     index: v.0,
                 });
             }
-            check_vars(expr.vars(), format!("reset expr of edge e{i}"), &mut findings);
+            check_vars(
+                expr.vars(),
+                format!("reset expr of edge e{i}"),
+                &mut findings,
+            );
         }
     }
 
@@ -262,10 +270,9 @@ mod tests {
         b.initial(a, None);
         let auto = b.build().unwrap();
         let report = validate(&auto);
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, Finding::UnreachableLocation { location } if location == "Island")));
+        assert!(report.findings.iter().any(
+            |f| matches!(f, Finding::UnreachableLocation { location } if location == "Island")
+        ));
     }
 
     #[test]

@@ -30,14 +30,8 @@ fn exprs(nvars: usize) -> impl Strategy<Value = Expr> {
 
 /// Strategy: a random atomic-or-compound predicate over `nvars` variables.
 fn preds(nvars: usize) -> impl Strategy<Value = Pred> {
-    let cmp = prop_oneof![
-        Just(Cmp::Lt),
-        Just(Cmp::Le),
-        Just(Cmp::Gt),
-        Just(Cmp::Ge),
-    ];
-    let atom = (exprs(nvars), cmp, exprs(nvars))
-        .prop_map(|(l, op, r)| Pred::Cmp(l, op, r));
+    let cmp = prop_oneof![Just(Cmp::Lt), Just(Cmp::Le), Just(Cmp::Gt), Just(Cmp::Ge),];
+    let atom = (exprs(nvars), cmp, exprs(nvars)).prop_map(|(l, op, r)| Pred::Cmp(l, op, r));
     atom.prop_recursive(2, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
@@ -98,9 +92,9 @@ proptest! {
         let used = e.vars();
         let direct = e.eval(&EvalCtx::new(&vars));
         let mut altered = vars.clone();
-        for i in 0..altered.len() {
+        for (i, slot) in altered.iter_mut().enumerate() {
             if !used.contains(&VarId(i)) {
-                altered[i] = noise;
+                *slot = noise;
             }
         }
         let after = e.eval(&EvalCtx::new(&altered));
@@ -118,7 +112,9 @@ fn simple_child(k: usize, flow: f64) -> HybridAutomaton {
     for (i, l) in locs.iter().enumerate() {
         b.invariant(*l, inv.clone());
         b.flow(*l, x, Expr::c(flow));
-        b.edge(*l, locs[(i + 1) % k]).on(format!("child_evt{i}")).done();
+        b.edge(*l, locs[(i + 1) % k])
+            .on(format!("child_evt{i}"))
+            .done();
     }
     b.initial(locs[0], None);
     b.build().expect("child builds")

@@ -32,13 +32,7 @@ pub struct Crossing {
 /// # Panics
 ///
 /// Panics (debug) if the bracketing precondition is violated.
-pub fn bisect_crossing<A, E>(
-    state: &[f64],
-    h: f64,
-    tol: f64,
-    advance: A,
-    event: E,
-) -> Crossing
+pub fn bisect_crossing<A, E>(state: &[f64], h: f64, tol: f64, advance: A, event: E) -> Crossing
 where
     A: Fn(&[f64], f64) -> Vec<f64>,
     E: Fn(&[f64]) -> bool,

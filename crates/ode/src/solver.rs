@@ -27,7 +27,14 @@ where
 {
     let n = state.len();
     scratch.resize(n);
-    let Scratch { k1, k2, k3, k4, tmp, .. } = scratch;
+    let Scratch {
+        k1,
+        k2,
+        k3,
+        k4,
+        tmp,
+        ..
+    } = scratch;
 
     f(state, k1);
     for i in 0..n {
@@ -190,8 +197,7 @@ impl Rkf45 {
         f(tmp, k3);
         for i in 0..n {
             tmp[i] = state[i]
-                + h * (1932.0 / 2197.0 * k1[i] - 7200.0 / 2197.0 * k2[i]
-                    + 7296.0 / 2197.0 * k3[i]);
+                + h * (1932.0 / 2197.0 * k1[i] - 7200.0 / 2197.0 * k2[i] + 7296.0 / 2197.0 * k3[i]);
         }
         f(tmp, k4);
         for i in 0..n {
@@ -214,8 +220,7 @@ impl Rkf45 {
                 + h * (25.0 / 216.0 * k1[i] + 1408.0 / 2565.0 * k3[i] + 2197.0 / 4104.0 * k4[i]
                     - 0.2 * k5[i]);
             let x5 = state[i]
-                + h * (16.0 / 135.0 * k1[i] + 6656.0 / 12825.0 * k3[i]
-                    + 28561.0 / 56430.0 * k4[i]
+                + h * (16.0 / 135.0 * k1[i] + 6656.0 / 12825.0 * k3[i] + 28561.0 / 56430.0 * k4[i]
                     - 9.0 / 50.0 * k5[i]
                     + 2.0 / 55.0 * k6[i]);
             out[i] = x5;

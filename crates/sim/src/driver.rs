@@ -175,12 +175,21 @@ mod tests {
             ],
         );
         let mut out = Vec::new();
-        d.poll(&dummy_view(&autos, &locs, &vars, Time::seconds(0.5)), &mut out);
+        d.poll(
+            &dummy_view(&autos, &locs, &vars, Time::seconds(0.5)),
+            &mut out,
+        );
         assert!(out.is_empty());
-        d.poll(&dummy_view(&autos, &locs, &vars, Time::seconds(1.0)), &mut out);
+        d.poll(
+            &dummy_view(&autos, &locs, &vars, Time::seconds(1.0)),
+            &mut out,
+        );
         assert_eq!(out, vec![Root::new("a")]);
         out.clear();
-        d.poll(&dummy_view(&autos, &locs, &vars, Time::seconds(5.0)), &mut out);
+        d.poll(
+            &dummy_view(&autos, &locs, &vars, Time::seconds(5.0)),
+            &mut out,
+        );
         assert_eq!(out, vec![Root::new("b")]);
         assert_eq!(d.remaining(), 0);
     }

@@ -331,9 +331,7 @@ impl Executor {
                 let loc = self.locs[i];
                 let candidate = self.autos[i]
                     .edges_from(loc)
-                    .find(|(_, e)| {
-                        e.urgent && e.trigger.is_none() && e.guard.holds(&self.vars[i])
-                    })
+                    .find(|(_, e)| e.urgent && e.trigger.is_none() && e.guard.holds(&self.vars[i]))
                     .map(|(id, _)| id);
                 if let Some(eid) = candidate {
                     self.fire(i, eid.0, None);

@@ -310,11 +310,7 @@ impl Trace {
     /// Sampled series of one named variable of automaton `aut`, as
     /// `(time, value)` pairs.
     pub fn series(&self, aut: usize, var_name: &str) -> Vec<(Time, f64)> {
-        let Some(idx) = self.meta[aut]
-            .var_names
-            .iter()
-            .position(|n| n == var_name)
-        else {
+        let Some(idx) = self.meta[aut].var_names.iter().position(|n| n == var_name) else {
             return Vec::new();
         };
         self.samples

@@ -158,8 +158,7 @@ pub fn run_trial_partial(
 /// Runs one trial and scores it.
 pub fn run_trial(trial: &TrialConfig) -> Result<TrialResult, ExecError> {
     let cfg = LeaseConfig::case_study();
-    let automata =
-        build_case_study(&cfg, trial.leased).expect("case study builds");
+    let automata = build_case_study(&cfg, trial.leased).expect("case study builds");
     run_prepared(trial, automata)
 }
 

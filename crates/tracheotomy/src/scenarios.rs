@@ -223,9 +223,11 @@ mod tests {
         // Without lease: ventilator pauses past the 1 minute bound.
         let wo = out.without_lease.unwrap();
         assert!(wo.failures > 0, "{}", wo.report);
-        let vent_rule1 = wo.report.violations.iter().any(|v| {
-            matches!(v, Violation::Rule1 { entity, .. } if entity == "ventilator")
-        });
+        let vent_rule1 = wo
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Rule1 { entity, .. } if entity == "ventilator"));
         assert!(vent_rule1, "{}", wo.report);
     }
 
@@ -239,11 +241,12 @@ mod tests {
             .any(|c| matches!(c.condition, pte_core::pattern::Condition::C5)));
         // The run violates the enter-risky safeguard.
         assert!(result.failures > 0, "{}", result.report);
-        assert!(result
-            .report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::EnterMargin { .. })),
+        assert!(
+            result
+                .report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::EnterMargin { .. })),
             "{}",
             result.report
         );

@@ -88,15 +88,13 @@ mod tests {
     fn plant_is_simple_and_independent_of_pattern() {
         let plant = standalone_ventilator();
         assert!(is_simple(&plant));
-        let pattern =
-            build_participant(&LeaseConfig::case_study(), 1, Pred::True).unwrap();
+        let pattern = build_participant(&LeaseConfig::case_study(), 1, Pred::True).unwrap();
         assert!(are_independent(&pattern, &plant));
     }
 
     #[test]
     fn plant_triangle_wave() {
-        let exec = Executor::new(vec![standalone_ventilator()], ExecutorConfig::default())
-            .unwrap();
+        let exec = Executor::new(vec![standalone_ventilator()], ExecutorConfig::default()).unwrap();
         let trace = exec.run_until(Time::seconds(12.0)).unwrap();
         // Starts at H=0 (PumpOut with guard satisfied): flips to PumpIn at
         // t=0, tops out at t=3, bottom at 6, ... 4 transitions by t=12.
@@ -166,10 +164,7 @@ mod tests {
             .map(|(_, v)| *v)
             .collect();
         assert!(after.len() > 10);
-        let spread = after
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = after.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - after.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread < 1e-9, "Hvent frozen while paused, spread {spread}");
     }

@@ -69,7 +69,9 @@ fn oximeter_alarm_aborts_procedure_before_any_lease_expires() {
     assert_eq!(laser_iv.len(), 1);
     assert!(!laser_iv[0].truncated);
     assert!(
-        laser_iv[0].end.approx_eq(t_bad + Time::seconds(1.5), Time::seconds(0.1)),
+        laser_iv[0]
+            .end
+            .approx_eq(t_bad + Time::seconds(1.5), Time::seconds(0.1)),
         "laser stopped right after the alarm: {:?} vs alarm {t_bad}",
         laser_iv[0]
     );

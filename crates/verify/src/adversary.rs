@@ -61,9 +61,7 @@ impl Adversary {
             Adversary::AllApprovals => {
                 root.contains("_lease_approve") || root.ends_with("_approve")
             }
-            Adversary::AllRequests => {
-                root.contains("_lease_req") || root.ends_with("_req")
-            }
+            Adversary::AllRequests => root.contains("_lease_req") || root.ends_with("_req"),
             Adversary::Everything => true,
             Adversary::Alternating => counter % 2 == 1,
             Adversary::Nothing => false,
@@ -146,8 +144,7 @@ pub fn run_with_adversary(
     let mut script = vec![(t_request, Root::new("cmd_request"))];
     if cancel_mid_emission {
         // Mid-emission for the nominal schedule: grant + enter + half run.
-        let t_cancel =
-            t_request + cfg.t_enter[cfg.n - 1] + cfg.t_run[cfg.n - 1] * 0.5;
+        let t_cancel = t_request + cfg.t_enter[cfg.n - 1] + cfg.t_run[cfg.n - 1] * 0.5;
         script.push((t_cancel, Root::new("cmd_cancel")));
     }
     exec.add_driver(Box::new(ScriptedDriver::new("driver", script)));

@@ -1,6 +1,6 @@
 //! # pte-verify
 //!
-//! Verification substrate for the lease design pattern — three
+//! Verification substrate for the lease design pattern — four
 //! complementary ways of hunting PTE violations:
 //!
 //! * [`montecarlo`] — seeded randomized batches (parallelized with
@@ -13,7 +13,22 @@
 //!   complement to random testing;
 //! * [`adversary`] — targeted worst-case loss strategies (drop all
 //!   cancels, all aborts, all exit reports, …), mechanizing the failure
-//!   narratives of Section V.
+//!   narratives of Section V;
+//! * [`symbolic`] — zone-based symbolic model checking (via
+//!   [`pte_zones`]): the pattern automata are lowered to a network of
+//!   timed automata and the zone graph is explored with DBMs, covering
+//!   **all** real-valued timings, **all** drop/deliver fates, and every
+//!   driver schedule at once. Where the first three backends sample or
+//!   bound the behaviour space, this one closes it — a `Safe` verdict is
+//!   a proof over the timed abstraction, and an `Unsafe` verdict comes
+//!   with a symbolic counter-example trace.
+//!
+//! | backend        | timings covered    | loss fates covered  | verdict strength |
+//! |----------------|--------------------|---------------------|------------------|
+//! | `montecarlo`   | sampled            | sampled (Bernoulli) | statistical      |
+//! | `exhaustive`   | one concrete run   | all `2^k` prefixes  | bounded proof    |
+//! | `adversary`    | one concrete run   | targeted strategies | falsification    |
+//! | `symbolic`     | all (dense time)   | all (unbounded)     | proof            |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +37,9 @@ pub mod adversary;
 pub mod exhaustive;
 pub mod montecarlo;
 pub mod report;
+pub mod symbolic;
 
 pub use adversary::{run_with_adversary, Adversary};
 pub use exhaustive::{explore, ExplorationResult};
 pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};
+pub use symbolic::{cross_check, cross_check_with, verify_symbolic, CrossCheck, SymbolicOutcome};

@@ -138,9 +138,7 @@ where
 }
 
 /// Convenience adapter: a case-study trial as a [`TrialOutcome`].
-pub fn case_study_outcome(
-    trial: &pte_tracheotomy::emulation::TrialConfig,
-) -> TrialOutcome {
+pub fn case_study_outcome(trial: &pte_tracheotomy::emulation::TrialConfig) -> TrialOutcome {
     let r = pte_tracheotomy::emulation::run_trial(trial).expect("trial executes");
     TrialOutcome {
         failures: r.failures,

@@ -1,0 +1,167 @@
+//! The symbolic (zone-based) verification backend.
+//!
+//! Thin integration of [`pte_zones`] into the verify API: where
+//! [`crate::montecarlo`] samples timings and [`crate::exhaustive`]
+//! enumerates the `2^k` loss fates of a prefix, the symbolic backend
+//! covers *every* real-valued timing and *every* drop/deliver assignment
+//! at once by exploring the zone graph of the lowered timed-automata
+//! network. A `Safe` verdict is a proof over the timed abstraction; an
+//! `Unsafe` verdict carries a symbolic counter-example trace.
+
+use pte_core::pattern::LeaseConfig;
+use pte_zones::{check_lease_pattern_with, Limits, SymbolicVerdict, ZonesError};
+use std::fmt;
+
+/// Runs the symbolic backend on a lease configuration with the default
+/// exploration budget.
+///
+/// Builds the pattern system (leased or baseline), lowers it, and
+/// checks PTE reachability over all timings and loss fates.
+pub fn verify_symbolic(cfg: &LeaseConfig, leased: bool) -> Result<SymbolicVerdict, ZonesError> {
+    check_lease_pattern_with(cfg, leased, &Limits::default())
+}
+
+/// Three-valued summary of a symbolic verdict: a truncated search is
+/// *inconclusive*, which must never be conflated with a falsification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymbolicOutcome {
+    /// Proof: no violating zone reachable.
+    Safe,
+    /// Falsification: a symbolic counter-example exists.
+    Unsafe,
+    /// Budget exhausted before the search finished — no verdict.
+    Inconclusive,
+}
+
+impl From<&SymbolicVerdict> for SymbolicOutcome {
+    fn from(v: &SymbolicVerdict) -> SymbolicOutcome {
+        match v {
+            SymbolicVerdict::Safe(_) => SymbolicOutcome::Safe,
+            SymbolicVerdict::Unsafe(_) => SymbolicOutcome::Unsafe,
+            SymbolicVerdict::OutOfBudget(_) => SymbolicOutcome::Inconclusive,
+        }
+    }
+}
+
+/// Agreement record between the symbolic and bounded-exhaustive
+/// backends on one configuration.
+#[derive(Clone, Debug)]
+pub struct CrossCheck {
+    /// Symbolic outcome (proof-grade over the timed abstraction when
+    /// conclusive).
+    pub symbolic: SymbolicOutcome,
+    /// Bounded-exhaustive verdict at the queried depth.
+    pub exhaustive_safe: bool,
+    /// Runs executed by the exhaustive backend.
+    pub exhaustive_runs: usize,
+    /// Symbolic states explored.
+    pub symbolic_states: usize,
+}
+
+impl CrossCheck {
+    /// `true` when the symbolic search proved safety.
+    pub fn symbolic_safe(&self) -> bool {
+        self.symbolic == SymbolicOutcome::Safe
+    }
+
+    /// `true` when both backends reached a conclusive, matching verdict.
+    /// An inconclusive symbolic search never "agrees". (Disagreement
+    /// with `Unsafe` can still be legitimate — the exhaustive backend
+    /// only covers a bounded prefix of loss fates and a single driver
+    /// script — but for the lease pattern's standard configurations the
+    /// two coincide.)
+    pub fn agree(&self) -> bool {
+        match self.symbolic {
+            SymbolicOutcome::Safe => self.exhaustive_safe,
+            SymbolicOutcome::Unsafe => !self.exhaustive_safe,
+            SymbolicOutcome::Inconclusive => false,
+        }
+    }
+}
+
+impl fmt::Display for CrossCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let symbolic = match self.symbolic {
+            SymbolicOutcome::Safe => "safe",
+            SymbolicOutcome::Unsafe => "UNSAFE",
+            SymbolicOutcome::Inconclusive => "inconclusive",
+        };
+        write!(
+            f,
+            "symbolic: {} ({} states) | exhaustive: {} ({} runs) => {}",
+            symbolic,
+            self.symbolic_states,
+            if self.exhaustive_safe {
+                "safe"
+            } else {
+                "UNSAFE"
+            },
+            self.exhaustive_runs,
+            if self.agree() { "agree" } else { "DISAGREE" },
+        )
+    }
+}
+
+/// Cross-checks the symbolic verdict against [`crate::exhaustive::explore`]
+/// on the same configuration, with the default symbolic budget.
+pub fn cross_check(
+    cfg: &LeaseConfig,
+    leased: bool,
+    depth: usize,
+    cancel_mid_emission: bool,
+) -> Result<CrossCheck, ZonesError> {
+    cross_check_with(cfg, leased, depth, cancel_mid_emission, &Limits::default())
+}
+
+/// [`cross_check`] with an explicit symbolic exploration budget.
+pub fn cross_check_with(
+    cfg: &LeaseConfig,
+    leased: bool,
+    depth: usize,
+    cancel_mid_emission: bool,
+    limits: &Limits,
+) -> Result<CrossCheck, ZonesError> {
+    let symbolic = check_lease_pattern_with(cfg, leased, limits)?;
+    let symbolic_states = match &symbolic {
+        SymbolicVerdict::Safe(s) | SymbolicVerdict::OutOfBudget(s) => s.states,
+        SymbolicVerdict::Unsafe(_) => 0,
+    };
+    let exhaustive = crate::exhaustive::explore(cfg, leased, depth, cancel_mid_emission);
+    Ok(CrossCheck {
+        symbolic: SymbolicOutcome::from(&symbolic),
+        exhaustive_safe: exhaustive.all_safe(),
+        exhaustive_runs: exhaustive.runs,
+        symbolic_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The case-study lease configuration is provably safe, and the
+    /// baseline provably unsafe, through the verify-facing API.
+    #[test]
+    fn case_study_verdicts() {
+        let cfg = LeaseConfig::case_study();
+        assert!(verify_symbolic(&cfg, true).unwrap().is_safe());
+        let baseline = verify_symbolic(&cfg, false).unwrap();
+        assert!(baseline.is_unsafe());
+        if let SymbolicVerdict::Unsafe(ce) = baseline {
+            // The witness is a real trace, not an empty stub.
+            assert!(ce.steps.len() > 1, "{ce}");
+        }
+    }
+
+    /// A starved budget reports Inconclusive and never "agrees" — the
+    /// sharp edge that once produced phantom disagreements.
+    #[test]
+    fn starved_budget_is_inconclusive_not_unsafe() {
+        let cfg = LeaseConfig::case_study();
+        let cc = cross_check_with(&cfg, true, 0, false, &Limits { max_states: 10 }).unwrap();
+        assert_eq!(cc.symbolic, SymbolicOutcome::Inconclusive);
+        assert!(!cc.symbolic_safe());
+        assert!(!cc.agree());
+        assert!(format!("{cc}").contains("inconclusive"), "{cc}");
+    }
+}

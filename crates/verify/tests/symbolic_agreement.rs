@@ -1,0 +1,72 @@
+//! Backend agreement: the symbolic zone engine must reach the same
+//! verdicts as the bounded-exhaustive explorer on shared configurations
+//! (the ISSUE's acceptance criterion for the fourth backend).
+//!
+//! Three shared configurations are checked: the paper's leased
+//! case-study (safe), the without-lease baseline (unsafe), and a
+//! leased-but-misconfigured variant violating condition c5 (unsafe in
+//! both backends). A synthesized configuration rounds the set out on
+//! the safe side.
+
+use pte_core::pattern::{check_conditions, LeaseConfig};
+use pte_core::rules::PairSpec;
+use pte_core::synthesis::{synthesize, SynthesisRequest};
+use pte_hybrid::Time;
+use pte_verify::symbolic::cross_check;
+
+/// A c5-violating variant: the inner entity enters risky with no enter
+/// lead over the outer one (Section V scenario 3's misconfiguration).
+fn c5_broken() -> LeaseConfig {
+    let mut cfg = LeaseConfig::case_study();
+    cfg.t_enter[1] = cfg.t_enter[0]; // equal enter dwell: zero lead < T^min_risky
+    cfg
+}
+
+#[test]
+fn agreement_on_leased_case_study() {
+    let cfg = LeaseConfig::case_study();
+    assert!(check_conditions(&cfg).is_satisfied());
+    let cc = cross_check(&cfg, true, 6, false).expect("cross-check runs");
+    assert!(cc.symbolic_safe(), "Theorem 1 symbolically: {cc}");
+    assert!(cc.agree(), "{cc}");
+}
+
+#[test]
+fn agreement_on_unleased_baseline() {
+    let cfg = LeaseConfig::case_study();
+    let cc = cross_check(&cfg, false, 6, true).expect("cross-check runs");
+    assert!(
+        !cc.symbolic_safe(),
+        "baseline must be provably unsafe: {cc}"
+    );
+    assert!(cc.agree(), "{cc}");
+}
+
+#[test]
+fn agreement_on_c5_violation() {
+    let cfg = c5_broken();
+    assert!(
+        !check_conditions(&cfg).is_satisfied(),
+        "the variant must violate c1-c7"
+    );
+    let cc = cross_check(&cfg, true, 6, false).expect("cross-check runs");
+    assert!(!cc.symbolic_safe(), "zero enter lead must be found: {cc}");
+    assert!(cc.agree(), "{cc}");
+}
+
+#[test]
+fn synthesized_configuration_is_symbolically_safe() {
+    let req = SynthesisRequest {
+        n: 2,
+        safeguards: vec![PairSpec::new(Time::seconds(2.0), Time::seconds(1.0))],
+        rule1_bound: Time::seconds(120.0),
+        min_run_initializer: Time::seconds(10.0),
+        t_wait: Time::seconds(2.0),
+        margin: Time::seconds(0.5),
+    };
+    let cfg = synthesize(&req).expect("feasible");
+    assert!(check_conditions(&cfg).is_satisfied());
+    let cc = cross_check(&cfg, true, 5, false).expect("cross-check runs");
+    assert!(cc.symbolic_safe(), "{cc}");
+    assert!(cc.agree(), "{cc}");
+}

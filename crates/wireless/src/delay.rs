@@ -13,8 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 /// A per-packet delay process.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub enum DelayModel {
     /// No delay (events arrive at the send instant).
     #[default]
@@ -65,7 +64,6 @@ impl DelayModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -458,7 +458,10 @@ mod tests {
             }
         }
         // Frame ~20 bytes => ~80% chance of >=1 flip at BER 1e-2.
-        assert!(discarded > 500, "CRC discards corrupted frames: {discarded}");
+        assert!(
+            discarded > 500,
+            "CRC discards corrupted frames: {discarded}"
+        );
     }
 
     #[test]

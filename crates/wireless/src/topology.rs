@@ -34,10 +34,7 @@ impl StarTopology {
     /// `N ≥ 2`) or if `base` also appears among the remotes.
     pub fn new(base: usize, remotes: Vec<usize>) -> StarTopology {
         assert!(remotes.len() >= 2, "the paper's model requires N >= 2");
-        assert!(
-            !remotes.contains(&base),
-            "base station cannot be a remote"
-        );
+        assert!(!remotes.contains(&base), "base station cannot be a remote");
         StarTopology { base, remotes }
     }
 

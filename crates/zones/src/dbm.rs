@@ -1,0 +1,366 @@
+//! Difference Bound Matrices — the canonical constraint representation for
+//! zones of clock valuations.
+//!
+//! A zone over clocks `x1 … xn` is a conjunction of constraints
+//! `xi - xj ≺ m` with `≺ ∈ {<, ≤}`; adding the reference "clock" `x0 ≡ 0`
+//! makes single-clock bounds (`xi ≤ 5`, `xi > 2`) differences too. A DBM
+//! stores the tightest such bound for every ordered pair in an
+//! `(n+1) × (n+1)` matrix; Floyd–Warshall shortest paths bring it to
+//! *canonical form*, on which emptiness, inclusion and hashing are
+//! syntactic checks (Bengtsson & Yi, *Timed Automata: Semantics,
+//! Algorithms and Tools*, Lect. Notes 3098).
+//!
+//! Bounds are kept in integer **ticks** (this crate scales seconds by
+//! [`crate::SCALE`] = 1 µs/tick), which keeps canonicalization exact —
+//! floating-point DBMs lose confluence of the closure operation.
+
+use std::fmt;
+
+/// One bound `≺ m`: either `(<, m)`, `(≤, m)`, or `∞` (unconstrained).
+///
+/// Encoded in a single `i64` as `2m + 1` for `≤ m` and `2m` for `< m`,
+/// so the natural integer order is exactly bound tightness:
+/// `(<, m) < (≤, m) < (<, m+1)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bound(i64);
+
+/// Sentinel for `∞`, chosen so additions cannot overflow.
+const INF_RAW: i64 = i64::MAX / 4;
+
+impl Bound {
+    /// The unconstrained bound `∞`.
+    pub const INF: Bound = Bound(INF_RAW);
+
+    /// `≤ 0`, the bound tying a freshly reset clock to the reference.
+    pub const LE_ZERO: Bound = Bound(1);
+
+    /// `< 0`, an unsatisfiable self-bound (used to mark empty DBMs).
+    pub const LT_ZERO: Bound = Bound(0);
+
+    /// The non-strict bound `≤ m`.
+    pub fn le(m: i64) -> Bound {
+        Bound(2 * m + 1)
+    }
+
+    /// The strict bound `< m`.
+    pub fn lt(m: i64) -> Bound {
+        Bound(2 * m)
+    }
+
+    /// `true` if this is `∞`.
+    pub fn is_inf(self) -> bool {
+        self.0 >= INF_RAW
+    }
+
+    /// The numeric bound `m` (meaningless for `∞`).
+    pub fn value(self) -> i64 {
+        self.0 >> 1
+    }
+
+    /// `true` for `≤`, `false` for `<` (meaningless for `∞`).
+    pub fn is_weak(self) -> bool {
+        self.0 & 1 == 1
+    }
+}
+
+impl std::ops::Add for Bound {
+    type Output = Bound;
+
+    /// Bound addition (path concatenation): values add, strictness is
+    /// inherited from either strict operand; `∞` absorbs.
+    fn add(self, other: Bound) -> Bound {
+        if self.is_inf() || other.is_inf() {
+            Bound::INF
+        } else {
+            // Values add; the result is weak (`≤`) only if both operands
+            // are weak: raw sum carries w1 + w2 in the parity bits, so
+            // subtracting (w1 | w2) leaves w1 & w2.
+            Bound(self.0 + other.0 - ((self.0 | other.0) & 1))
+        }
+    }
+}
+
+impl fmt::Debug for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "<inf")
+        } else if self.is_weak() {
+            write!(f, "<={}", self.value())
+        } else {
+            write!(f, "<{}", self.value())
+        }
+    }
+}
+
+/// A zone as a difference bound matrix over `dim - 1` real clocks plus
+/// the reference clock `0`.
+///
+/// Entry `(i, j)` bounds `xi - xj`. Mutating operations leave the matrix
+/// non-canonical; call [`Dbm::canonicalize`] (or use the `*_canon`
+/// helpers) before emptiness/inclusion tests. All public predicates
+/// (`is_empty`, `includes`, `satisfies`) assume canonical inputs.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dbm {
+    dim: usize,
+    m: Vec<Bound>,
+}
+
+impl Dbm {
+    /// The zone `{0}` — every clock exactly zero (`clocks` real clocks).
+    pub fn zero(clocks: usize) -> Dbm {
+        let dim = clocks + 1;
+        Dbm {
+            dim,
+            m: vec![Bound::LE_ZERO; dim * dim],
+        }
+    }
+
+    /// The universal zone: all clock valuations `≥ 0`.
+    pub fn universe(clocks: usize) -> Dbm {
+        let dim = clocks + 1;
+        let mut m = vec![Bound::INF; dim * dim];
+        for i in 0..dim {
+            m[i * dim + i] = Bound::LE_ZERO;
+            // x0 - xi <= 0 (clocks are non-negative).
+            m[i] = Bound::LE_ZERO;
+        }
+        Dbm { dim, m }
+    }
+
+    /// Number of real clocks (matrix dimension minus the reference).
+    pub fn clocks(&self) -> usize {
+        self.dim - 1
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.dim + j
+    }
+
+    /// The bound on `xi - xj`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Bound {
+        self.m[self.idx(i, j)]
+    }
+
+    /// Sets the bound on `xi - xj` (no tightening check, no closure).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, b: Bound) {
+        let k = self.idx(i, j);
+        self.m[k] = b;
+    }
+
+    /// Floyd–Warshall all-pairs tightening to canonical form.
+    pub fn canonicalize(&mut self) {
+        let d = self.dim;
+        for k in 0..d {
+            for i in 0..d {
+                let ik = self.m[i * d + k];
+                if ik.is_inf() {
+                    continue;
+                }
+                for j in 0..d {
+                    let through = ik + self.m[k * d + j];
+                    if through < self.m[i * d + j] {
+                        self.m[i * d + j] = through;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` if the zone is empty (canonical form required): some
+    /// diagonal entry became negative.
+    pub fn is_empty(&self) -> bool {
+        (0..self.dim).any(|i| self.get(i, i) < Bound::LE_ZERO)
+    }
+
+    /// Delay (future) operator `up`: removes upper bounds on every clock,
+    /// letting arbitrary time elapse. Preserves canonical form.
+    pub fn up(&mut self) {
+        for i in 1..self.dim {
+            let k = self.idx(i, 0);
+            self.m[k] = Bound::INF;
+        }
+    }
+
+    /// Past operator `down`: lets time flow backwards to the zone's
+    /// origins (clamped at zero). Preserves canonical form.
+    pub fn down(&mut self) {
+        let d = self.dim;
+        for i in 1..d {
+            self.m[i] = Bound::LE_ZERO;
+            for j in 1..d {
+                let ji = self.m[j * d + i];
+                if ji < self.m[i] {
+                    self.m[i] = ji;
+                }
+            }
+        }
+    }
+
+    /// Frees clock `x` (1-based): removes every constraint on it.
+    /// Leaves the matrix canonical if it was canonical.
+    pub fn free(&mut self, x: usize) {
+        debug_assert!(x >= 1 && x < self.dim);
+        for i in 0..self.dim {
+            if i != x {
+                let a = self.idx(x, i);
+                self.m[a] = Bound::INF;
+                let b0 = self.get(i, 0);
+                let b = self.idx(i, x);
+                self.m[b] = b0;
+            }
+        }
+    }
+
+    /// Resets clock `x` (1-based) to the constant `v` ticks. Preserves
+    /// canonical form.
+    pub fn reset(&mut self, x: usize, v: i64) {
+        debug_assert!(x >= 1 && x < self.dim);
+        for i in 0..self.dim {
+            if i == x {
+                continue;
+            }
+            let zero_i = self.get(0, i);
+            let i_zero = self.get(i, 0);
+            let a = self.idx(x, i);
+            self.m[a] = Bound::le(v) + zero_i;
+            let b = self.idx(i, x);
+            self.m[b] = i_zero + Bound::le(-v);
+        }
+    }
+
+    /// Conjoins the constraint `xi - xj ≺ b`, tightening in place.
+    /// Returns `false` immediately if the constraint is trivially
+    /// inconsistent with the current matrix (fast pre-check); a full
+    /// [`Dbm::canonicalize`] is still needed before further queries.
+    pub fn constrain(&mut self, i: usize, j: usize, b: Bound) -> bool {
+        // Inconsistent with the reverse path ⇒ empty.
+        if self.get(j, i) + b < Bound::LE_ZERO {
+            let k = self.idx(0, 0);
+            self.m[k] = Bound::LT_ZERO;
+            return false;
+        }
+        if b < self.get(i, j) {
+            let k = self.idx(i, j);
+            self.m[k] = b;
+        }
+        true
+    }
+
+    /// Pointwise intersection with `other`; call
+    /// [`Dbm::canonicalize`] afterwards.
+    pub fn intersect(&mut self, other: &Dbm) {
+        debug_assert_eq!(self.dim, other.dim);
+        for k in 0..self.m.len() {
+            if other.m[k] < self.m[k] {
+                self.m[k] = other.m[k];
+            }
+        }
+    }
+
+    /// `true` if `self` ⊇ `other` (both canonical, neither empty):
+    /// every bound of `self` is at least as loose.
+    pub fn includes(&self, other: &Dbm) -> bool {
+        debug_assert_eq!(self.dim, other.dim);
+        self.m
+            .iter()
+            .zip(other.m.iter())
+            .all(|(mine, theirs)| theirs <= mine)
+    }
+
+    /// `true` if the (canonical, non-empty) zone intersects
+    /// `xi - xj ≺ b`.
+    pub fn satisfies(&self, i: usize, j: usize, b: Bound) -> bool {
+        self.get(j, i) + b >= Bound::LE_ZERO
+    }
+
+    /// Classical maximal-constant extrapolation `Extra_M` (k-normalization):
+    /// bounds looser than `k[x]` are widened to `∞`, lower bounds tighter
+    /// than `-k[x]` are clamped, guaranteeing finitely many zones per
+    /// location. `k` is indexed by clock (entry 0 is the reference and
+    /// ignored). Sound for diagonal-free timed automata; re-canonicalizes.
+    pub fn extrapolate(&mut self, k: &[i64]) {
+        debug_assert_eq!(k.len(), self.dim);
+        let d = self.dim;
+        let mut changed = false;
+        for i in 0..d {
+            for j in 0..d {
+                if i == j {
+                    continue;
+                }
+                let idx = i * d + j;
+                let b = self.m[idx];
+                if b.is_inf() {
+                    continue;
+                }
+                if i != 0 && b > Bound::le(k[i]) {
+                    self.m[idx] = Bound::INF;
+                    changed = true;
+                } else if j != 0 && b < Bound::lt(-k[j]) {
+                    self.m[idx] = Bound::lt(-k[j]);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.canonicalize();
+        }
+    }
+
+    /// Renders the non-trivial constraints (canonical form assumed),
+    /// `names[i]` naming clock `i+1`, in ticks.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut parts = Vec::new();
+        let name = |i: usize| -> String {
+            if i == 0 {
+                "0".to_string()
+            } else {
+                names.get(i - 1).cloned().unwrap_or_else(|| format!("x{i}"))
+            }
+        };
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i == j {
+                    continue;
+                }
+                let b = self.get(i, j);
+                if b.is_inf() {
+                    continue;
+                }
+                // Skip the implicit non-negativity bounds to keep output
+                // readable.
+                if i == 0 && b == Bound::LE_ZERO {
+                    continue;
+                }
+                let op = if b.is_weak() { "<=" } else { "<" };
+                if i == 0 {
+                    parts.push(format!("{} {} {}", -b.value(), op, name(j)));
+                } else if j == 0 {
+                    parts.push(format!("{} {} {}", name(i), op, b.value()));
+                } else {
+                    parts.push(format!("{} - {} {} {}", name(i), name(j), op, b.value()));
+                }
+            }
+        }
+        if parts.is_empty() {
+            "true".to_string()
+        } else {
+            parts.join(" ∧ ")
+        }
+    }
+}
+
+impl fmt::Debug for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dbm[{}]", self.dim)?;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                write!(f, "{:?}\t", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,587 @@
+//! Lowering lease-pattern hybrid automata to timed automata.
+//!
+//! The pattern automata built by `pte-core` live in a decidable fragment
+//! of the hybrid formalism: every continuous variable is either a
+//! **clock** (rate 1 everywhere) or a **discrete register** (rate 0
+//! everywhere, reset to constants, compared against constants — e.g. the
+//! Supervisor's `approval_bad` flag). This module checks that a network
+//! is inside the fragment and lowers it:
+//!
+//! * clocks become global TA clocks (`"{automaton}.{var}"`);
+//! * discrete registers are folded into the location space — each hybrid
+//!   location splits into one TA location per reachable register
+//!   valuation ("mode"), guards/invariants over registers are evaluated
+//!   per mode, and register resets become mode jumps;
+//! * predicates must be conjunctive over clocks (single clock vs.
+//!   constant); arbitrary boolean structure is allowed over registers
+//!   since it constant-folds per mode;
+//! * receive triggers are classified by scanning the network's emissions:
+//!   a reliable trigger nobody emits is an **external** stimulus
+//!   (driver/environment), everything else synchronizes internally.
+//!
+//! Constants are scaled from seconds to integer ticks ([`crate::SCALE`]),
+//! the exactness condition for DBM canonicalization.
+
+use crate::ta::{Atom, Rel, Sync, TaAutomaton, TaEdge, TaLocation, TaNetwork};
+use crate::{to_ticks, try_to_ticks};
+use pte_hybrid::automaton::{Trigger, VarKind};
+use pte_hybrid::{Cmp, Expr, HybridAutomaton, Pred, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a hybrid automaton could not be lowered to a timed automaton.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LowerError {
+    /// A continuous variable has a non-zero flow somewhere (a genuinely
+    /// hybrid dynamic — out of the timed fragment).
+    NonClockFlow {
+        /// Automaton name.
+        automaton: String,
+        /// Variable name.
+        var: String,
+        /// Location where the flow is non-zero.
+        location: String,
+    },
+    /// A predicate mixes clocks in a way the conjunctive clock fragment
+    /// cannot express (disjunction over clocks, clock-to-clock
+    /// comparison, non-constant bound, …).
+    UnsupportedPredicate {
+        /// Automaton name.
+        automaton: String,
+        /// Rendered predicate.
+        pred: String,
+    },
+    /// A reset assigns a non-constant expression.
+    UnsupportedReset {
+        /// Automaton name.
+        automaton: String,
+        /// Variable name.
+        var: String,
+    },
+    /// Too many discrete register valuations to enumerate.
+    ModeExplosion {
+        /// Automaton name.
+        automaton: String,
+        /// Number of modes that would be required.
+        modes: usize,
+    },
+    /// The automaton declares no initial state.
+    NoInitialState {
+        /// Automaton name.
+        automaton: String,
+    },
+    /// A clock starts at a non-zero value (the zone engine's initial
+    /// zone is the origin; support would need per-clock offsets).
+    NonZeroClockInit {
+        /// Automaton name.
+        automaton: String,
+        /// Clock variable name.
+        var: String,
+    },
+    /// A timing constant is not exactly representable in integer ticks:
+    /// rounding it would make the engine verify a *different* model, so
+    /// the lowering refuses instead.
+    InexactConstant {
+        /// Automaton name.
+        automaton: String,
+        /// The offending constant, in seconds.
+        seconds: f64,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::NonClockFlow {
+                automaton,
+                var,
+                location,
+            } => write!(
+                f,
+                "automaton `{automaton}`: variable `{var}` has a non-zero flow in \
+                 `{location}` — not in the timed fragment"
+            ),
+            LowerError::UnsupportedPredicate { automaton, pred } => write!(
+                f,
+                "automaton `{automaton}`: predicate `{pred}` is outside the \
+                 conjunctive clock fragment"
+            ),
+            LowerError::UnsupportedReset { automaton, var } => {
+                write!(f, "automaton `{automaton}`: non-constant reset of `{var}`")
+            }
+            LowerError::ModeExplosion { automaton, modes } => write!(
+                f,
+                "automaton `{automaton}`: {modes} discrete modes exceed the \
+                 enumeration budget"
+            ),
+            LowerError::NoInitialState { automaton } => {
+                write!(f, "automaton `{automaton}` has no initial state")
+            }
+            LowerError::NonZeroClockInit { automaton, var } => write!(
+                f,
+                "automaton `{automaton}`: clock `{var}` starts non-zero — \
+                 unsupported by the zone engine's origin initial zone"
+            ),
+            LowerError::InexactConstant { automaton, seconds } => write!(
+                f,
+                "automaton `{automaton}`: constant {seconds} s is not \
+                 microsecond-exact — rounding would change the model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Exact integer-scaled register values (registers only ever hold
+/// constants; scaling by [`crate::SCALE`] keeps equality exact).
+type Mode = Vec<i64>;
+
+/// Checked seconds→ticks conversion: inexact constants abort the
+/// lowering instead of silently verifying a rounded model.
+fn ticks_exact(a: &HybridAutomaton, secs: f64) -> Result<i64, LowerError> {
+    try_to_ticks(secs).ok_or(LowerError::InexactConstant {
+        automaton: a.name.clone(),
+        seconds: secs,
+    })
+}
+
+struct VarInfo {
+    /// Clock variables: `VarId -> global clock DBM index` (1-based).
+    clock_index: Vec<Option<usize>>,
+    /// Discrete registers: `VarId -> index into the mode vector`.
+    reg_index: Vec<Option<usize>>,
+    /// Possible values per register (scaled).
+    reg_values: Vec<BTreeSet<i64>>,
+    /// Initial mode.
+    init_mode: Mode,
+}
+
+/// Result of lowering a conjunctive predicate in a given mode.
+enum LoweredPred {
+    /// Constantly false in this mode: the guarded edge is unreachable.
+    False,
+    /// A conjunction of clock atoms (empty = true).
+    Atoms(Vec<Atom>),
+}
+
+fn classify_vars(
+    a: &HybridAutomaton,
+    clock_names: &mut Vec<String>,
+) -> Result<VarInfo, LowerError> {
+    let nv = a.vars.len();
+    let mut clock_index = vec![None; nv];
+    let mut reg_index = vec![None; nv];
+    let mut reg_values: Vec<BTreeSet<i64>> = Vec::new();
+    let mut init_mode = Vec::new();
+
+    for (vi, decl) in a.vars.iter().enumerate() {
+        match decl.kind {
+            VarKind::Clock => {
+                if to_ticks(decl.init) != 0 {
+                    return Err(LowerError::NonZeroClockInit {
+                        automaton: a.name.clone(),
+                        var: decl.name.clone(),
+                    });
+                }
+                // Global 1-based DBM index: the clock list is shared by
+                // the whole network and already holds earlier automata.
+                clock_index[vi] = Some(clock_names.len() + 1);
+                clock_names.push(format!("{}.{}", a.name, decl.name));
+            }
+            VarKind::Continuous => {
+                // Must have zero flow everywhere to be a register.
+                for loc in &a.locations {
+                    let flow = loc.flow_of(VarId(vi), decl.kind);
+                    if flow.const_value() != Some(0.0) {
+                        return Err(LowerError::NonClockFlow {
+                            automaton: a.name.clone(),
+                            var: decl.name.clone(),
+                            location: loc.name.clone(),
+                        });
+                    }
+                }
+                let mut values = BTreeSet::new();
+                values.insert(ticks_exact(a, decl.init)?);
+                for e in &a.edges {
+                    for (rv, expr) in &e.resets {
+                        if rv.0 == vi {
+                            match expr.const_value() {
+                                Some(c) => {
+                                    values.insert(ticks_exact(a, c)?);
+                                }
+                                None => {
+                                    return Err(LowerError::UnsupportedReset {
+                                        automaton: a.name.clone(),
+                                        var: decl.name.clone(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                }
+                reg_index[vi] = Some(reg_values.len());
+                init_mode.push(ticks_exact(a, decl.init)?);
+                reg_values.push(values);
+            }
+        }
+    }
+    Ok(VarInfo {
+        clock_index,
+        reg_index,
+        reg_values,
+        init_mode,
+    })
+}
+
+/// Constant-folds an expression given the current register mode; `None`
+/// if it references a clock or is genuinely non-constant.
+fn fold_expr(e: &Expr, info: &VarInfo, mode: &Mode) -> Option<f64> {
+    match e {
+        Expr::Const(c) => Some(*c),
+        Expr::Var(v) => info.reg_index[v.0].map(|r| mode[r] as f64 / crate::SCALE),
+        Expr::Neg(a) => fold_expr(a, info, mode).map(|x| -x),
+        Expr::Abs(a) => fold_expr(a, info, mode).map(f64::abs),
+        Expr::Add(a, b) => Some(fold_expr(a, info, mode)? + fold_expr(b, info, mode)?),
+        Expr::Sub(a, b) => Some(fold_expr(a, info, mode)? - fold_expr(b, info, mode)?),
+        Expr::Mul(a, b) => Some(fold_expr(a, info, mode)? * fold_expr(b, info, mode)?),
+        Expr::Div(a, b) => Some(fold_expr(a, info, mode)? / fold_expr(b, info, mode)?),
+        Expr::Min(a, b) => Some(fold_expr(a, info, mode)?.min(fold_expr(b, info, mode)?)),
+        Expr::Max(a, b) => Some(fold_expr(a, info, mode)?.max(fold_expr(b, info, mode)?)),
+    }
+}
+
+/// Extracts `Some(clock)` if the expression is exactly one clock variable.
+fn as_clock(e: &Expr, info: &VarInfo) -> Option<usize> {
+    match e {
+        Expr::Var(v) => info.clock_index[v.0],
+        _ => None,
+    }
+}
+
+fn lower_pred(
+    a: &HybridAutomaton,
+    p: &Pred,
+    info: &VarInfo,
+    mode: &Mode,
+    out: &mut Vec<Atom>,
+) -> Result<bool, LowerError> {
+    let unsupported = || LowerError::UnsupportedPredicate {
+        automaton: a.name.clone(),
+        pred: format!("{p:?}"),
+    };
+    match p {
+        Pred::True => Ok(true),
+        Pred::False => Ok(false),
+        Pred::And(ps) => {
+            for sub in ps {
+                if !lower_pred(a, sub, info, mode, out)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Pred::Cmp(lhs, op, rhs) => {
+            // Register-only comparisons constant-fold per mode.
+            if let (Some(l), Some(r)) = (fold_expr(lhs, info, mode), fold_expr(rhs, info, mode)) {
+                return Ok(op.apply(l, r));
+            }
+            // Otherwise: clock vs constant (either orientation).
+            let (clock, rel, bound) = if let (Some(c), Some(k)) =
+                (as_clock(lhs, info), fold_expr(rhs, info, mode))
+            {
+                let rel = match op {
+                    Cmp::Lt => Rel::Lt,
+                    Cmp::Le => Rel::Le,
+                    Cmp::Gt => Rel::Gt,
+                    Cmp::Ge => Rel::Ge,
+                    Cmp::Eq | Cmp::Ne => {
+                        return lower_clock_eq(a, *op, c, k, out).ok_or_else(unsupported)
+                    }
+                };
+                (c, rel, k)
+            } else if let (Some(k), Some(c)) = (fold_expr(lhs, info, mode), as_clock(rhs, info)) {
+                let rel = match op {
+                    Cmp::Lt => Rel::Gt,
+                    Cmp::Le => Rel::Ge,
+                    Cmp::Gt => Rel::Lt,
+                    Cmp::Ge => Rel::Le,
+                    Cmp::Eq | Cmp::Ne => {
+                        return lower_clock_eq(a, *op, c, k, out).ok_or_else(unsupported)
+                    }
+                };
+                (c, rel, k)
+            } else {
+                return Err(unsupported());
+            };
+            out.push(Atom {
+                clock,
+                rel,
+                ticks: ticks_exact(a, bound)?,
+            });
+            Ok(true)
+        }
+        // Boolean structure is only supported when it constant-folds
+        // (registers / constants only — no clocks underneath).
+        Pred::Or(_) | Pred::Not(_) => eval_register_pred(p, info, mode).ok_or_else(unsupported),
+    }
+}
+
+/// `clock == k` becomes two atoms; `clock != k` is not conjunctive.
+fn lower_clock_eq(
+    _a: &HybridAutomaton,
+    op: Cmp,
+    clock: usize,
+    k: f64,
+    out: &mut Vec<Atom>,
+) -> Option<bool> {
+    match op {
+        Cmp::Eq => {
+            let ticks = try_to_ticks(k)?;
+            out.push(Atom {
+                clock,
+                rel: Rel::Le,
+                ticks,
+            });
+            out.push(Atom {
+                clock,
+                rel: Rel::Ge,
+                ticks,
+            });
+            Some(true)
+        }
+        _ => None,
+    }
+}
+
+/// Evaluates a clock-free predicate against the register mode.
+fn eval_register_pred(p: &Pred, info: &VarInfo, mode: &Mode) -> Option<bool> {
+    match p {
+        Pred::True => Some(true),
+        Pred::False => Some(false),
+        Pred::Cmp(l, op, r) => Some(op.apply(fold_expr(l, info, mode)?, fold_expr(r, info, mode)?)),
+        Pred::And(ps) => {
+            for sub in ps {
+                if !eval_register_pred(sub, info, mode)? {
+                    return Some(false);
+                }
+            }
+            Some(true)
+        }
+        Pred::Or(ps) => {
+            for sub in ps {
+                if eval_register_pred(sub, info, mode)? {
+                    return Some(true);
+                }
+            }
+            Some(false)
+        }
+        Pred::Not(sub) => eval_register_pred(sub, info, mode).map(|b| !b),
+    }
+}
+
+fn lower_pred_full(
+    a: &HybridAutomaton,
+    p: &Pred,
+    info: &VarInfo,
+    mode: &Mode,
+) -> Result<LoweredPred, LowerError> {
+    let mut atoms = Vec::new();
+    if lower_pred(a, p, info, mode, &mut atoms)? {
+        Ok(LoweredPred::Atoms(atoms))
+    } else {
+        Ok(LoweredPred::False)
+    }
+}
+
+/// Maximum number of discrete modes enumerated per automaton.
+const MODE_BUDGET: usize = 64;
+
+fn enumerate_modes(info: &VarInfo) -> Result<Vec<Mode>, ()> {
+    let mut modes: Vec<Mode> = vec![Vec::new()];
+    for values in &info.reg_values {
+        let mut next = Vec::with_capacity(modes.len() * values.len());
+        for m in &modes {
+            for v in values {
+                let mut m2 = m.clone();
+                m2.push(*v);
+                next.push(m2);
+            }
+        }
+        modes = next;
+        if modes.len() > MODE_BUDGET {
+            return Err(());
+        }
+    }
+    Ok(modes)
+}
+
+fn mode_suffix(info: &VarInfo, a: &HybridAutomaton, mode: &Mode) -> String {
+    if mode.is_empty() {
+        return String::new();
+    }
+    let names: Vec<String> = a
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(vi, d)| {
+            info.reg_index[vi].map(|r| format!("{}={}", d.name, mode[r] as f64 / crate::SCALE))
+        })
+        .collect();
+    format!(" [{}]", names.join(","))
+}
+
+fn lower_automaton(
+    a: &HybridAutomaton,
+    clock_names: &mut Vec<String>,
+) -> Result<TaAutomaton, LowerError> {
+    let info = classify_vars(a, clock_names)?;
+    let modes = enumerate_modes(&info).map_err(|_| LowerError::ModeExplosion {
+        automaton: a.name.clone(),
+        modes: info.reg_values.iter().map(BTreeSet::len).product::<usize>(),
+    })?;
+    let n_modes = modes.len();
+    let ta_loc = |loc: usize, mode_idx: usize| loc * n_modes + mode_idx;
+
+    // Locations: base × mode, with invariants lowered per mode.
+    let mut locations = Vec::with_capacity(a.locations.len() * n_modes);
+    for loc in &a.locations {
+        for mode in &modes {
+            let (invariant, frozen) = match lower_pred_full(a, &loc.invariant, &info, mode)? {
+                LoweredPred::False => (Vec::new(), true),
+                LoweredPred::Atoms(atoms) => (atoms, false),
+            };
+            locations.push(TaLocation {
+                name: format!("{}{}", loc.name, mode_suffix(&info, a, mode)),
+                invariant,
+                frozen,
+                risky: loc.risky,
+            });
+        }
+    }
+
+    // Edges, one instance per source mode.
+    let mut edges = Vec::new();
+    for e in &a.edges {
+        for (mi, mode) in modes.iter().enumerate() {
+            let guard = match lower_pred_full(a, &e.guard, &info, mode)? {
+                LoweredPred::False => continue,
+                LoweredPred::Atoms(atoms) => atoms,
+            };
+            let mut clock_resets = Vec::new();
+            let mut dst_mode = mode.clone();
+            for (rv, expr) in &e.resets {
+                let value =
+                    fold_expr(expr, &info, mode).ok_or_else(|| LowerError::UnsupportedReset {
+                        automaton: a.name.clone(),
+                        var: a.vars[rv.0].name.clone(),
+                    })?;
+                if let Some(c) = info.clock_index[rv.0] {
+                    clock_resets.push((c, ticks_exact(a, value)?));
+                } else if let Some(r) = info.reg_index[rv.0] {
+                    dst_mode[r] = ticks_exact(a, value)?;
+                }
+            }
+            let dst_mi = modes
+                .iter()
+                .position(|m| *m == dst_mode)
+                .expect("register reset values are pre-enumerated");
+            let sync = match &e.trigger {
+                None => Sync::None,
+                // Classified (reliable-external vs reliable-internal) by
+                // `lower_network` once all emissions are known.
+                Some(Trigger::Reliable(r)) => Sync::Reliable(r.clone()),
+                Some(Trigger::Lossy(r)) => Sync::Lossy(r.clone()),
+            };
+            edges.push(TaEdge {
+                src: ta_loc(e.src.0, mi),
+                dst: ta_loc(e.dst.0, dst_mi),
+                guard,
+                resets: clock_resets,
+                sync,
+                emits: e.emits.clone(),
+                urgent: e.urgent,
+            });
+        }
+    }
+
+    // Initial location and mode. The lease pattern starts from declared
+    // per-variable initials (all zeros); explicit initial data vectors
+    // are folded the same way.
+    let init = a
+        .initial
+        .first()
+        .ok_or_else(|| LowerError::NoInitialState {
+            automaton: a.name.clone(),
+        })?;
+    let init_mode_idx = match &init.data {
+        None => modes
+            .iter()
+            .position(|m| *m == info.init_mode)
+            .expect("declared initial mode is enumerated"),
+        Some(data) => {
+            let mut m = info.init_mode.clone();
+            for (vi, value) in data.iter().enumerate() {
+                if info.clock_index[vi].is_some() && to_ticks(*value) != 0 {
+                    return Err(LowerError::NonZeroClockInit {
+                        automaton: a.name.clone(),
+                        var: a.vars[vi].name.clone(),
+                    });
+                }
+                if let Some(r) = info.reg_index[vi] {
+                    m[r] = ticks_exact(a, *value)?;
+                }
+            }
+            modes
+                .iter()
+                .position(|x| *x == m)
+                .ok_or_else(|| LowerError::UnsupportedReset {
+                    automaton: a.name.clone(),
+                    var: "<initial data>".into(),
+                })?
+        }
+    };
+
+    Ok(TaAutomaton {
+        name: a.name.clone(),
+        locations,
+        edges,
+        initial: ta_loc(init.loc.0, init_mode_idx),
+    })
+}
+
+/// Lowers a network of clock-like hybrid automata into a [`TaNetwork`].
+///
+/// Reliable receive triggers whose root no network member emits are
+/// reclassified as [`Sync::External`] stimuli (driver commands,
+/// environment signals): the engine lets them occur at any enabled
+/// instant, which over-approximates every possible driver script.
+pub fn lower_network(automata: &[HybridAutomaton]) -> Result<TaNetwork, LowerError> {
+    let mut clock_names = Vec::new();
+    let mut lowered = Vec::with_capacity(automata.len());
+    for a in automata {
+        lowered.push(lower_automaton(a, &mut clock_names)?);
+    }
+
+    // Classify reliable triggers by emission visibility.
+    let emitted: BTreeSet<String> = lowered
+        .iter()
+        .flat_map(|a| a.edges.iter())
+        .flat_map(|e| e.emits.iter())
+        .map(|r| r.as_str().to_string())
+        .collect();
+    for a in &mut lowered {
+        for e in &mut a.edges {
+            if let Sync::Reliable(r) = &e.sync {
+                if !emitted.contains(r.as_str()) {
+                    e.sync = Sync::External(r.clone());
+                }
+            }
+        }
+    }
+
+    Ok(TaNetwork {
+        clocks: clock_names,
+        automata: lowered,
+    })
+}

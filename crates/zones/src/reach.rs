@@ -1,0 +1,842 @@
+//! Zone-graph reachability with an embedded PTE observer.
+//!
+//! The engine explores the product of a [`TaNetwork`] symbolically:
+//! a state is a location vector plus a zone (DBM) over every clock, and
+//! the passed/waiting-list algorithm with zone inclusion and maximal-
+//! constant extrapolation guarantees termination. Every drop/deliver
+//! assignment of every wireless emission and every real-valued timing is
+//! covered — the dense-time completion of `pte-verify`'s bounded
+//! `2^k` exhaustive exploration.
+//!
+//! PTE checking is built in as a deterministic observer rather than a
+//! monitor automaton: per entity a clock `r_i` tracks time since the
+//! current risky dwelling began (Rule 1), and per adjacent pair a state
+//! machine (`Idle / OuterOnly / Embedded / InnerExited`) plus a clock
+//! `s_k` (time since the inner entity left risky) check proper temporal
+//! embedding — coverage, the `T^min_risky` enter lead, and the
+//! `T^min_safe` exit lag — exactly mirroring `pte_core::monitor`.
+
+use crate::dbm::Dbm;
+use crate::ta::{Atom, Rel, Sync, TaNetwork};
+use pte_core::rules::PteSpec;
+use pte_hybrid::Root;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Integer-tick form of the PTE specification the observer enforces.
+#[derive(Clone, Debug)]
+pub struct ObserverSpec {
+    /// Entity names, outermost first (must name automata in the network).
+    pub entities: Vec<String>,
+    /// Rule-1 bound per entity, in ticks.
+    pub rule1_ticks: Vec<i64>,
+    /// Safeguard bounds per adjacent pair (`pairs[k]` relates outer
+    /// entity `k` and inner entity `k + 1`).
+    pub pairs: Vec<PairBounds>,
+}
+
+/// Safeguard intervals of one adjacent pair, in ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct PairBounds {
+    /// `T^min_risky`: minimum enter lead of the outer entity.
+    pub t_min_risky: i64,
+    /// `T^min_safe`: minimum exit lag of the outer entity.
+    pub t_min_safe: i64,
+}
+
+impl ObserverSpec {
+    /// Converts a [`PteSpec`] into tick units.
+    pub fn from_spec(spec: &PteSpec) -> ObserverSpec {
+        ObserverSpec {
+            entities: spec.entities.clone(),
+            rule1_ticks: spec
+                .rule1_bounds
+                .iter()
+                .map(|t| crate::to_ticks(t.as_secs_f64()))
+                .collect(),
+            pairs: spec
+                .pairs
+                .iter()
+                .map(|p| PairBounds {
+                    t_min_risky: crate::to_ticks(p.t_min_risky.as_secs_f64()),
+                    t_min_safe: crate::to_ticks(p.t_min_safe.as_secs_f64()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Which PTE rule a symbolic counter-example violates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Rule 1: entity `entity` can dwell risky beyond its bound.
+    Rule1 {
+        /// Index into [`ObserverSpec::entities`].
+        entity: usize,
+    },
+    /// Rule 2/3 coverage: the inner entity of `pair` is risky while its
+    /// outer entity is not.
+    Coverage {
+        /// Index into [`ObserverSpec::pairs`].
+        pair: usize,
+    },
+    /// The inner entity can enter risky less than `T^min_risky` after
+    /// the outer entity did.
+    EnterMargin {
+        /// Index into [`ObserverSpec::pairs`].
+        pair: usize,
+    },
+    /// The outer entity can leave risky while the inner entity is still
+    /// risky.
+    ExitUncovered {
+        /// Index into [`ObserverSpec::pairs`].
+        pair: usize,
+    },
+    /// The outer entity can leave risky less than `T^min_safe` after the
+    /// inner entity did.
+    ExitLag {
+        /// Index into [`ObserverSpec::pairs`].
+        pair: usize,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Rule1 { entity } => {
+                write!(f, "rule 1 dwelling bound exceedable (entity #{entity})")
+            }
+            ViolationKind::Coverage { pair } => {
+                write!(f, "inner risky while outer safe (pair #{pair})")
+            }
+            ViolationKind::EnterMargin { pair } => {
+                write!(f, "enter lead below T^min_risky (pair #{pair})")
+            }
+            ViolationKind::ExitUncovered { pair } => {
+                write!(f, "outer exits risky before inner (pair #{pair})")
+            }
+            ViolationKind::ExitLag { pair } => {
+                write!(f, "exit lag below T^min_safe (pair #{pair})")
+            }
+        }
+    }
+}
+
+/// A symbolic counter-example: an interleaving of discrete actions
+/// (with explicit drop/deliver fates) whose zone contains at least one
+/// violating real-valued timing.
+#[derive(Clone, Debug)]
+pub struct SymbolicCounterExample {
+    /// The violated rule.
+    pub kind: ViolationKind,
+    /// Discrete actions from the initial state to the violation, one
+    /// line per settled step.
+    pub steps: Vec<String>,
+    /// Rendered zone constraints at the violation point (ticks).
+    pub zone: String,
+}
+
+impl fmt::Display for SymbolicCounterExample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "symbolic PTE violation: {}", self.kind)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>3}. {s}", i + 1)?;
+        }
+        write!(f, "  zone: {}", self.zone)
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Settled symbolic states stored.
+    pub states: usize,
+    /// Discrete transitions fired (including cascade branches).
+    pub transitions: usize,
+    /// Successor states subsumed by an already-passed zone.
+    pub subsumed: usize,
+}
+
+/// Outcome of a symbolic reachability check.
+#[derive(Clone, Debug)]
+pub enum SymbolicVerdict {
+    /// No PTE violation is reachable for any loss fate or timing.
+    Safe(SearchStats),
+    /// A violation is reachable; the witness explains how.
+    Unsafe(Box<SymbolicCounterExample>),
+    /// The state budget was exhausted before the search finished.
+    OutOfBudget(SearchStats),
+}
+
+impl SymbolicVerdict {
+    /// `true` if the verdict proves safety.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, SymbolicVerdict::Safe(_))
+    }
+
+    /// `true` if a violation was found.
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, SymbolicVerdict::Unsafe(_))
+    }
+}
+
+impl fmt::Display for SymbolicVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicVerdict::Safe(s) => write!(
+                f,
+                "PTE-unreachable: safe over all timings and loss fates \
+                 ({} states, {} transitions)",
+                s.states, s.transitions
+            ),
+            SymbolicVerdict::Unsafe(ce) => write!(f, "{ce}"),
+            SymbolicVerdict::OutOfBudget(s) => write!(
+                f,
+                "inconclusive: state budget exhausted ({} states)",
+                s.states
+            ),
+        }
+    }
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum number of settled symbolic states.
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_states: 200_000,
+        }
+    }
+}
+
+/// Per-pair observer state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum PairState {
+    /// Both entities safe.
+    Idle,
+    /// Outer risky, inner has not entered this round.
+    OuterOnly,
+    /// Both risky (proper embedding in progress).
+    Embedded,
+    /// Inner exited, outer still risky (lag phase).
+    InnerExited,
+}
+
+type Key = (Vec<u32>, Vec<PairState>);
+
+struct Node {
+    key: Key,
+    zone: Dbm,
+    parent: Option<usize>,
+    action: String,
+}
+
+/// In-flight resolution work: a state mid-cascade (pending emissions not
+/// yet assigned a fate) with the actions taken so far this step.
+#[derive(Clone)]
+struct Work {
+    locs: Vec<u32>,
+    pairs: Vec<PairState>,
+    zone: Dbm,
+    /// In-flight emissions: `(sender automaton, root)` — the sender is
+    /// excluded from delivery (the executor never self-delivers).
+    queue: VecDeque<(usize, Root)>,
+    actions: Vec<String>,
+}
+
+struct Violation {
+    kind: ViolationKind,
+    actions: Vec<String>,
+    zone: Dbm,
+}
+
+/// Maximum zero-time cascade depth (urgent chains + deliveries) before
+/// the engine settles a state as-is; prevents pathological recursion on
+/// malformed inputs.
+const CASCADE_DEPTH: usize = 128;
+
+struct Engine<'s> {
+    net: TaNetwork,
+    spec: &'s ObserverSpec,
+    /// entity index -> automaton index.
+    entity_aut: Vec<usize>,
+    /// automaton index -> entity index.
+    aut_entity: Vec<Option<usize>>,
+    /// entity index -> DBM index of its risky-dwell clock `r_i`.
+    r_clock: Vec<usize>,
+    /// pair index -> DBM index of its inner-exit clock `s_k`.
+    s_clock: Vec<usize>,
+    kmax: Vec<i64>,
+    nodes: Vec<Node>,
+    passed: HashMap<Key, Vec<usize>>,
+    waiting: VecDeque<usize>,
+    stats: SearchStats,
+}
+
+/// Runs the symbolic PTE check of `spec` over `net`.
+///
+/// Returns an error if a spec entity names no automaton in the network.
+pub fn check(
+    net: &TaNetwork,
+    spec: &ObserverSpec,
+    limits: &Limits,
+) -> Result<SymbolicVerdict, String> {
+    let mut net = net.clone();
+    let mut entity_aut = Vec::with_capacity(spec.entities.len());
+    let mut aut_entity = vec![None; net.automata.len()];
+    for (ei, name) in spec.entities.iter().enumerate() {
+        let ai = net
+            .automaton_by_name(name)
+            .ok_or_else(|| format!("spec entity `{name}` not found in network"))?;
+        entity_aut.push(ai);
+        aut_entity[ai] = Some(ei);
+    }
+    let r_clock: Vec<usize> = spec
+        .entities
+        .iter()
+        .map(|name| net.add_clock(format!("r[{name}]")))
+        .collect();
+    let s_clock: Vec<usize> = (0..spec.pairs.len())
+        .map(|k| net.add_clock(format!("s[pair{k}]")))
+        .collect();
+
+    // Maximal constants: network constants plus the observer's bounds.
+    let mut kmax = net.max_constants();
+    for (ei, &c) in r_clock.iter().enumerate() {
+        let mut k = spec.rule1_ticks[ei];
+        if ei < spec.pairs.len() {
+            k = k.max(spec.pairs[ei].t_min_risky);
+        }
+        kmax[c] = k;
+    }
+    for (pk, &c) in s_clock.iter().enumerate() {
+        kmax[c] = spec.pairs[pk].t_min_safe;
+    }
+
+    let mut engine = Engine {
+        net,
+        spec,
+        entity_aut,
+        aut_entity,
+        r_clock,
+        s_clock,
+        kmax,
+        nodes: Vec::new(),
+        passed: HashMap::new(),
+        waiting: VecDeque::new(),
+        stats: SearchStats::default(),
+    };
+    Ok(engine.run(limits))
+}
+
+impl Engine<'_> {
+    fn run(&mut self, limits: &Limits) -> SymbolicVerdict {
+        // Initial state: every automaton in its initial location, every
+        // clock zero, all pairs idle.
+        let init = Work {
+            locs: self.net.automata.iter().map(|a| a.initial as u32).collect(),
+            pairs: vec![PairState::Idle; self.spec.pairs.len()],
+            zone: Dbm::zero(self.net.clock_count()),
+            queue: VecDeque::new(),
+            actions: vec!["initial state".to_string()],
+        };
+        let mut settled = Vec::new();
+        if let Err(v) = self.resolve(init, 0, &mut settled) {
+            return SymbolicVerdict::Unsafe(Box::new(self.render_ce(None, v)));
+        }
+        for w in settled {
+            if let Err(v) = self.admit(w, None) {
+                return SymbolicVerdict::Unsafe(Box::new(self.render_ce(None, v)));
+            }
+        }
+
+        while let Some(idx) = self.waiting.pop_front() {
+            if self.nodes.len() > limits.max_states {
+                return SymbolicVerdict::OutOfBudget(self.stats);
+            }
+            let (locs, pairs) = self.nodes[idx].key.clone();
+            let zone = self.nodes[idx].zone.clone();
+            for ai in 0..self.net.automata.len() {
+                let loc = locs[ai] as usize;
+                let edge_ids: Vec<usize> = self.net.automata[ai]
+                    .edges_from(loc)
+                    .filter(|(_, e)| matches!(e.sync, Sync::None | Sync::External(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                for eid in edge_ids {
+                    let w = Work {
+                        locs: locs.clone(),
+                        pairs: pairs.clone(),
+                        zone: zone.clone(),
+                        queue: VecDeque::new(),
+                        actions: Vec::new(),
+                    };
+                    let fired = match self.apply_edge(w, ai, eid) {
+                        Ok(Some(w2)) => w2,
+                        Ok(None) => continue,
+                        Err(v) => {
+                            return SymbolicVerdict::Unsafe(Box::new(self.render_ce(Some(idx), v)))
+                        }
+                    };
+                    let mut settled = Vec::new();
+                    if let Err(v) = self.resolve(fired, 0, &mut settled) {
+                        return SymbolicVerdict::Unsafe(Box::new(self.render_ce(Some(idx), v)));
+                    }
+                    for s in settled {
+                        if let Err(v) = self.admit(s, Some(idx)) {
+                            return SymbolicVerdict::Unsafe(Box::new(self.render_ce(Some(idx), v)));
+                        }
+                    }
+                }
+            }
+        }
+        SymbolicVerdict::Safe(self.stats)
+    }
+
+    /// Fires edge `eid` of automaton `ai` on `w`: guard restriction, PTE
+    /// observer transition checks, resets, location move, emission
+    /// enqueue. `Ok(None)` when the guard is unsatisfiable.
+    fn apply_edge(
+        &mut self,
+        mut w: Work,
+        ai: usize,
+        eid: usize,
+    ) -> Result<Option<Work>, Violation> {
+        let mut zone = w.zone.clone();
+        {
+            // Scoped borrow: keep the hot path allocation-free.
+            let edge = &self.net.automata[ai].edges[eid];
+            for atom in &edge.guard {
+                atom.apply(&mut zone);
+            }
+        }
+        zone.canonicalize();
+        if zone.is_empty() {
+            return Ok(None);
+        }
+        self.stats.transitions += 1;
+
+        let edge = &self.net.automata[ai].edges[eid];
+        let src_risky = self.net.automata[ai].locations[edge.src].risky;
+        let dst_risky = self.net.automata[ai].locations[edge.dst].risky;
+        let desc = format!(
+            "{}: {} -> {}{}",
+            self.net.automata[ai].name,
+            self.net.automata[ai].locations[edge.src].name,
+            self.net.automata[ai].locations[edge.dst].name,
+            match &edge.sync {
+                Sync::External(r) => format!(" (on {})", r.as_str()),
+                Sync::Reliable(r) | Sync::Lossy(r) => format!(" (recv {})", r.as_str()),
+                Sync::None => String::new(),
+            }
+        );
+        w.actions.push(desc);
+
+        // PTE observer: transitions across the risky boundary.
+        if let Some(ei) = self.aut_entity[ai] {
+            if !src_risky && dst_risky {
+                self.observe_enter(ei, &mut w, &mut zone)?;
+            } else if src_risky && !dst_risky {
+                self.observe_exit(ei, &mut w, &mut zone)?;
+            }
+        }
+
+        for (clock, v) in &edge.resets {
+            zone.reset(*clock, *v);
+        }
+        w.locs[ai] = edge.dst as u32;
+        for root in &edge.emits {
+            w.queue.push_back((ai, root.clone()));
+        }
+        w.zone = zone;
+        Ok(Some(w))
+    }
+
+    /// Entity `ei` enters risky: coverage + enter-lead checks, pair state
+    /// updates, `r` clock reset.
+    fn observe_enter(&self, ei: usize, w: &mut Work, zone: &mut Dbm) -> Result<(), Violation> {
+        // Pairs where `ei` is the inner entity.
+        if ei >= 1 && ei - 1 < self.spec.pairs.len() {
+            let pk = ei - 1;
+            let outer_loc = w.locs[self.entity_aut[pk]] as usize;
+            let outer_risky = self.net.automata[self.entity_aut[pk]].locations[outer_loc].risky;
+            if !outer_risky {
+                return Err(Violation {
+                    kind: ViolationKind::Coverage { pair: pk },
+                    actions: w.actions.clone(),
+                    zone: zone.clone(),
+                });
+            }
+            let lead_short = Atom {
+                clock: self.r_clock[pk],
+                rel: Rel::Lt,
+                ticks: self.spec.pairs[pk].t_min_risky,
+            };
+            if lead_short.satisfiable_in(zone) {
+                let mut witness = zone.clone();
+                lead_short.apply(&mut witness);
+                witness.canonicalize();
+                return Err(Violation {
+                    kind: ViolationKind::EnterMargin { pair: pk },
+                    actions: w.actions.clone(),
+                    zone: witness,
+                });
+            }
+            w.pairs[pk] = PairState::Embedded;
+        }
+        // Pairs where `ei` is the outer entity.
+        if ei < self.spec.pairs.len() && w.pairs[ei] == PairState::Idle {
+            w.pairs[ei] = PairState::OuterOnly;
+        }
+        zone.reset(self.r_clock[ei], 0);
+        Ok(())
+    }
+
+    /// Entity `ei` leaves risky: exit-lag checks, pair state updates,
+    /// `s` clock reset.
+    fn observe_exit(&self, ei: usize, w: &mut Work, zone: &mut Dbm) -> Result<(), Violation> {
+        // Pairs where `ei` is the inner entity: start the lag phase.
+        if ei >= 1 && ei - 1 < self.spec.pairs.len() {
+            let pk = ei - 1;
+            if w.pairs[pk] == PairState::Embedded {
+                w.pairs[pk] = PairState::InnerExited;
+                zone.reset(self.s_clock[pk], 0);
+            }
+        }
+        // Pairs where `ei` is the outer entity.
+        if ei < self.spec.pairs.len() {
+            match w.pairs[ei] {
+                PairState::Embedded => {
+                    return Err(Violation {
+                        kind: ViolationKind::ExitUncovered { pair: ei },
+                        actions: w.actions.clone(),
+                        zone: zone.clone(),
+                    });
+                }
+                PairState::InnerExited => {
+                    let lag_short = Atom {
+                        clock: self.s_clock[ei],
+                        rel: Rel::Lt,
+                        ticks: self.spec.pairs[ei].t_min_safe,
+                    };
+                    if lag_short.satisfiable_in(zone) {
+                        let mut witness = zone.clone();
+                        lag_short.apply(&mut witness);
+                        witness.canonicalize();
+                        return Err(Violation {
+                            kind: ViolationKind::ExitLag { pair: ei },
+                            actions: w.actions.clone(),
+                            zone: witness,
+                        });
+                    }
+                    w.pairs[ei] = PairState::Idle;
+                }
+                PairState::OuterOnly | PairState::Idle => {
+                    w.pairs[ei] = PairState::Idle;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Assigns a delivery fate to receiver `idx` of an in-flight event
+    /// and recurses over the remaining receivers (in automaton order,
+    /// matching the executor's broadcast order), producing the full
+    /// cartesian product of per-receiver fates:
+    ///
+    /// * every enabled receiving edge is a *delivered* branch;
+    /// * a **lossy** receiver can always *drop* instead;
+    /// * a **reliable** receiver only ignores the event where no edge of
+    ///   its is enabled — exact via guard-atom negation for a single
+    ///   guarded edge, conservatively over-approximated (full-zone
+    ///   ignore, which can only add behaviours, never hide one) when
+    ///   several guarded edges compete.
+    fn deliver_fates(
+        &mut self,
+        w: Work,
+        root: &Root,
+        receivers: &[(usize, Vec<(usize, bool)>)],
+        idx: usize,
+        depth: usize,
+        out: &mut Vec<Work>,
+    ) -> Result<(), Violation> {
+        if idx == receivers.len() {
+            return self.resolve(w, depth + 1, out);
+        }
+        let (ai, edges) = &receivers[idx];
+        let mut any_delivered = false;
+        for (eid, _) in edges {
+            let mut branch = w.clone();
+            branch.actions.push(format!(
+                "deliver {} to {}",
+                root.as_str(),
+                self.net.automata[*ai].name
+            ));
+            if let Some(w2) = self.apply_edge(branch, *ai, *eid)? {
+                any_delivered = true;
+                self.deliver_fates(w2, root, receivers, idx + 1, depth, out)?;
+            }
+        }
+        // Any lossy receiving edge means the wireless hop itself can drop
+        // the message (also the conservative fate when an automaton mixes
+        // lossy and reliable edges on one root, which the pattern never
+        // does); a purely reliable receiver only misses the event where
+        // none of its edges is enabled.
+        let any_lossy = edges.iter().any(|(_, lossy)| *lossy);
+        if any_lossy || !any_delivered {
+            // Drop (lossy) or discard (reliable but nowhere enabled).
+            let mut branch = w.clone();
+            branch.actions.push(format!(
+                "{} lost/ignored by {}",
+                root.as_str(),
+                self.net.automata[*ai].name
+            ));
+            self.deliver_fates(branch, root, receivers, idx + 1, depth, out)?;
+        } else {
+            // Reliable and at least one edge delivered somewhere in the
+            // zone: the event is still ignored on the sub-zone where no
+            // edge is enabled.
+            let guarded: Vec<usize> = edges
+                .iter()
+                .filter(|(eid, _)| !self.net.automata[*ai].edges[*eid].guard.is_empty())
+                .map(|(eid, _)| *eid)
+                .collect();
+            let unguarded_exists = edges.len() > guarded.len();
+            if !unguarded_exists && guarded.len() == 1 {
+                // Exact complement: one guarded edge, branch per negated
+                // guard atom.
+                let atoms = self.net.automata[*ai].edges[guarded[0]].guard.clone();
+                for atom in atoms {
+                    let mut branch = w.clone();
+                    atom.negated().apply(&mut branch.zone);
+                    branch.zone.canonicalize();
+                    if branch.zone.is_empty() {
+                        continue;
+                    }
+                    branch.actions.push(format!(
+                        "{} ignored by {} (guard off)",
+                        root.as_str(),
+                        self.net.automata[*ai].name
+                    ));
+                    self.deliver_fates(branch, root, receivers, idx + 1, depth, out)?;
+                }
+            } else if !unguarded_exists {
+                // Several guarded reliable edges: over-approximate with a
+                // full-zone ignore branch (sound for Safe verdicts).
+                let mut branch = w.clone();
+                branch.actions.push(format!(
+                    "{} possibly ignored by {}",
+                    root.as_str(),
+                    self.net.automata[*ai].name
+                ));
+                self.deliver_fates(branch, root, receivers, idx + 1, depth, out)?;
+            }
+            // An unguarded reliable edge is always enabled: no ignore
+            // fate exists.
+        }
+        Ok(())
+    }
+
+    /// Resolves pending emissions (branching on delivery fates) and
+    /// invariant-expired sub-zones (firing urgent escapes), collecting
+    /// fully settled states.
+    fn resolve(&mut self, mut w: Work, depth: usize, out: &mut Vec<Work>) -> Result<(), Violation> {
+        if depth > CASCADE_DEPTH {
+            out.push(w);
+            return Ok(());
+        }
+        if let Some((sender, root)) = w.queue.pop_front() {
+            // Candidate receivers, grouped per automaton: the executor
+            // broadcasts an emission to every listener except the sender
+            // (`route_emission` skips `receiver == sender`), and each
+            // listener's wireless delivery has its own drop fate.
+            let mut receivers: Vec<(usize, Vec<(usize, bool)>)> = Vec::new(); // (aut, [(edge, lossy)])
+            for ai in 0..self.net.automata.len() {
+                if ai == sender {
+                    continue;
+                }
+                let loc = w.locs[ai] as usize;
+                let edges: Vec<(usize, bool)> = self.net.automata[ai]
+                    .edges_from(loc)
+                    .filter_map(|(eid, e)| match &e.sync {
+                        Sync::Lossy(r) if *r == root => Some((eid, true)),
+                        Sync::Reliable(r) if *r == root => Some((eid, false)),
+                        _ => None,
+                    })
+                    .collect();
+                if !edges.is_empty() {
+                    receivers.push((ai, edges));
+                }
+            }
+            return self.deliver_fates(w, &root, &receivers, 0, depth, out);
+        }
+
+        // No pending events: split on invariant satisfaction.
+        let mut zin = w.zone.clone();
+        let mut atoms: Vec<(usize, Atom)> = Vec::new();
+        for (ai, aut) in self.net.automata.iter().enumerate() {
+            for atom in &aut.locations[w.locs[ai] as usize].invariant {
+                atom.apply(&mut zin);
+                atoms.push((ai, *atom));
+            }
+        }
+        zin.canonicalize();
+        if !zin.is_empty() {
+            let mut settled = w.clone();
+            settled.zone = zin;
+            out.push(settled);
+        }
+        // Sub-zones beyond some invariant must take an urgent escape now.
+        for (ai, atom) in &atoms {
+            let mut zout = w.zone.clone();
+            atom.negated().apply(&mut zout);
+            zout.canonicalize();
+            if zout.is_empty() {
+                continue;
+            }
+            let loc = w.locs[*ai] as usize;
+            let urgent_ids: Vec<usize> = self.net.automata[*ai]
+                .edges_from(loc)
+                .filter(|(_, e)| e.urgent)
+                .map(|(i, _)| i)
+                .collect();
+            for eid in urgent_ids {
+                let mut branch = w.clone();
+                branch.zone = zout.clone();
+                branch
+                    .actions
+                    .push(format!("{} invariant expired", self.net.automata[*ai].name));
+                if let Some(w2) = self.apply_edge(branch, *ai, eid)? {
+                    self.resolve(w2, depth + 1, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies delay + extrapolation to a settled work item, runs the
+    /// state-level PTE checks, and stores it unless subsumed.
+    fn admit(&mut self, mut w: Work, parent: Option<usize>) -> Result<(), Violation> {
+        // Delay: up-close within the conjunction of location invariants,
+        // unless some occupied location freezes time.
+        let frozen = w
+            .locs
+            .iter()
+            .enumerate()
+            .any(|(ai, &l)| self.net.automata[ai].locations[l as usize].frozen);
+        if !frozen {
+            w.zone.up();
+            for (ai, aut) in self.net.automata.iter().enumerate() {
+                for atom in &aut.locations[w.locs[ai] as usize].invariant {
+                    atom.apply(&mut w.zone);
+                }
+            }
+            w.zone.canonicalize();
+            if w.zone.is_empty() {
+                // Cannot happen for a zone that satisfied the invariants,
+                // but guard against malformed inputs.
+                return Ok(());
+            }
+        }
+        // Observer-clock activity reduction: `r_i` is only ever read
+        // while entity `i` is risky (it is reset on entry), and `s_k`
+        // only in the pair's `InnerExited` lag phase (reset on entry) —
+        // elsewhere they are dead, and freeing them collapses zones that
+        // differ only in dead-clock history.
+        for (ei, &ai) in self.entity_aut.iter().enumerate() {
+            if !self.net.automata[ai].locations[w.locs[ai] as usize].risky {
+                w.zone.free(self.r_clock[ei]);
+            }
+        }
+        for pk in 0..self.spec.pairs.len() {
+            if w.pairs[pk] != PairState::InnerExited {
+                w.zone.free(self.s_clock[pk]);
+            }
+        }
+        w.zone.extrapolate(&self.kmax);
+
+        // State-level PTE checks on the delay-closed zone.
+        for (ei, &ai) in self.entity_aut.iter().enumerate() {
+            let risky = self.net.automata[ai].locations[w.locs[ai] as usize].risky;
+            if !risky {
+                continue;
+            }
+            let over = Atom {
+                clock: self.r_clock[ei],
+                rel: Rel::Gt,
+                ticks: self.spec.rule1_ticks[ei],
+            };
+            if over.satisfiable_in(&w.zone) {
+                let mut witness = w.zone.clone();
+                over.apply(&mut witness);
+                witness.canonicalize();
+                let mut actions = w.actions.clone();
+                actions.push(format!(
+                    "dwell risky beyond the Rule-1 bound ({} ticks)",
+                    self.spec.rule1_ticks[ei]
+                ));
+                return Err(Violation {
+                    kind: ViolationKind::Rule1 { entity: ei },
+                    actions,
+                    zone: witness,
+                });
+            }
+        }
+        for pk in 0..self.spec.pairs.len() {
+            let outer = self.entity_aut[pk];
+            let inner = self.entity_aut[pk + 1];
+            let outer_risky = self.net.automata[outer].locations[w.locs[outer] as usize].risky;
+            let inner_risky = self.net.automata[inner].locations[w.locs[inner] as usize].risky;
+            if inner_risky && !outer_risky {
+                return Err(Violation {
+                    kind: ViolationKind::Coverage { pair: pk },
+                    actions: w.actions.clone(),
+                    zone: w.zone.clone(),
+                });
+            }
+        }
+
+        let key: Key = (w.locs.clone(), w.pairs.clone());
+        let bucket = self.passed.entry(key.clone()).or_default();
+        for &ni in bucket.iter() {
+            if self.nodes[ni].zone.includes(&w.zone) {
+                self.stats.subsumed += 1;
+                return Ok(());
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            key,
+            zone: w.zone,
+            parent,
+            action: w.actions.join("; "),
+        });
+        bucket.push(idx);
+        self.waiting.push_back(idx);
+        self.stats.states = self.nodes.len();
+        Ok(())
+    }
+
+    fn render_ce(&self, parent: Option<usize>, v: Violation) -> SymbolicCounterExample {
+        let mut steps = Vec::new();
+        let mut chain = Vec::new();
+        let mut cursor = parent;
+        while let Some(i) = cursor {
+            chain.push(self.nodes[i].action.clone());
+            cursor = self.nodes[i].parent;
+        }
+        chain.reverse();
+        steps.extend(chain);
+        steps.push(v.actions.join("; "));
+        SymbolicCounterExample {
+            kind: v.kind,
+            steps,
+            zone: v.zone.render(&self.net.clocks),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The timed-automata network model the zone engine explores.
+//!
+//! This is the target of the lowering in [`crate::lower`]: a network of
+//! timed automata with integer-tick clock constraints, clock resets,
+//! and the lease pattern's communication discipline — wireless events
+//! (`??root` receives) that a sender's emission may **deliver or drop**,
+//! reliable internal events (`?root` with an in-network sender, always
+//! delivered), and external events (`?root` with no in-network sender:
+//! driver commands and environment signals, which may occur at any
+//! moment).
+
+use crate::dbm::{Bound, Dbm};
+use pte_hybrid::Root;
+use std::fmt;
+
+/// Comparison relation of a clock atom.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    /// `clock ≤ c`.
+    Le,
+    /// `clock < c`.
+    Lt,
+    /// `clock ≥ c`.
+    Ge,
+    /// `clock > c`.
+    Gt,
+}
+
+/// One atomic clock constraint `clock ⋈ ticks` (clock is a **global**
+/// 1-based DBM index).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Global clock index (1-based; 0 is the DBM reference).
+    pub clock: usize,
+    /// Comparison relation.
+    pub rel: Rel,
+    /// Constant, in ticks.
+    pub ticks: i64,
+}
+
+impl Atom {
+    /// Conjoins this atom onto a DBM (no closure; caller canonicalizes).
+    pub fn apply(&self, z: &mut Dbm) {
+        match self.rel {
+            Rel::Le => z.constrain(self.clock, 0, Bound::le(self.ticks)),
+            Rel::Lt => z.constrain(self.clock, 0, Bound::lt(self.ticks)),
+            Rel::Ge => z.constrain(0, self.clock, Bound::le(-self.ticks)),
+            Rel::Gt => z.constrain(0, self.clock, Bound::lt(-self.ticks)),
+        };
+    }
+
+    /// The negation of this atom (`≤` ↔ `>`, `<` ↔ `≥`).
+    pub fn negated(&self) -> Atom {
+        let rel = match self.rel {
+            Rel::Le => Rel::Gt,
+            Rel::Lt => Rel::Ge,
+            Rel::Ge => Rel::Lt,
+            Rel::Gt => Rel::Le,
+        };
+        Atom { rel, ..*self }
+    }
+
+    /// `true` if the (canonical, non-empty) zone has at least one point
+    /// satisfying this atom.
+    pub fn satisfiable_in(&self, z: &Dbm) -> bool {
+        match self.rel {
+            Rel::Le => z.satisfies(self.clock, 0, Bound::le(self.ticks)),
+            Rel::Lt => z.satisfies(self.clock, 0, Bound::lt(self.ticks)),
+            Rel::Ge => z.satisfies(0, self.clock, Bound::le(-self.ticks)),
+            Rel::Gt => z.satisfies(0, self.clock, Bound::lt(-self.ticks)),
+        }
+    }
+}
+
+/// Synchronization discipline of an edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sync {
+    /// No trigger: fires spontaneously whenever the guard holds (timed /
+    /// urgent edges).
+    None,
+    /// Receive of an event no in-network automaton emits: an *external*
+    /// stimulus (driver command, environment signal) that may arrive at
+    /// any instant the guard holds.
+    External(Root),
+    /// Reliable receive of an in-network event: fires exactly when a
+    /// matching emission happens (never lost).
+    Reliable(Root),
+    /// Lossy wireless receive (`??root`): a matching emission is
+    /// delivered *or dropped*, nondeterministically.
+    Lossy(Root),
+}
+
+impl Sync {
+    /// The received root, if any.
+    pub fn root(&self) -> Option<&Root> {
+        match self {
+            Sync::None => None,
+            Sync::External(r) | Sync::Reliable(r) | Sync::Lossy(r) => Some(r),
+        }
+    }
+}
+
+/// One location of a lowered timed automaton.
+#[derive(Clone, Debug)]
+pub struct TaLocation {
+    /// Display name (base location name plus any folded discrete mode).
+    pub name: String,
+    /// Conjunctive clock invariant bounding dwell.
+    pub invariant: Vec<Atom>,
+    /// `true` if time may not elapse here (a discrete-state invariant
+    /// evaluated to false in this mode, or a `clock ≤ 0` style freeze is
+    /// detected by the engine via `invariant` itself).
+    pub frozen: bool,
+    /// Risky classification carried over from the hybrid model.
+    pub risky: bool,
+}
+
+/// One edge of a lowered timed automaton.
+#[derive(Clone, Debug)]
+pub struct TaEdge {
+    /// Source location index (within the owning automaton).
+    pub src: usize,
+    /// Destination location index.
+    pub dst: usize,
+    /// Conjunctive clock guard.
+    pub guard: Vec<Atom>,
+    /// Clock resets `clock := ticks` (global clock indices).
+    pub resets: Vec<(usize, i64)>,
+    /// Synchronization.
+    pub sync: Sync,
+    /// Events emitted when the edge fires (delivered or dropped per
+    /// [`Sync::Lossy`] receivers).
+    pub emits: Vec<Root>,
+    /// Urgent edges must fire as soon as enabled; the engine uses them to
+    /// escape invariant-expired states.
+    pub urgent: bool,
+}
+
+/// One lowered automaton.
+#[derive(Clone, Debug)]
+pub struct TaAutomaton {
+    /// Name (matches the hybrid automaton / PTE entity name).
+    pub name: String,
+    /// Locations.
+    pub locations: Vec<TaLocation>,
+    /// Edges.
+    pub edges: Vec<TaEdge>,
+    /// Initial location index.
+    pub initial: usize,
+}
+
+impl TaAutomaton {
+    /// Indices of edges leaving `loc`.
+    pub fn edges_from(&self, loc: usize) -> impl Iterator<Item = (usize, &TaEdge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.src == loc)
+    }
+}
+
+/// A network of timed automata sharing a global clock space.
+#[derive(Clone, Debug)]
+pub struct TaNetwork {
+    /// Global clock names; clock `i` is DBM index `i + 1`.
+    pub clocks: Vec<String>,
+    /// The member automata.
+    pub automata: Vec<TaAutomaton>,
+}
+
+impl TaNetwork {
+    /// Number of clocks.
+    pub fn clock_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Registers an additional global clock (used by the engine for its
+    /// PTE observer clocks) and returns its 1-based DBM index.
+    pub fn add_clock(&mut self, name: impl Into<String>) -> usize {
+        self.clocks.push(name.into());
+        self.clocks.len()
+    }
+
+    /// Finds an automaton index by name.
+    pub fn automaton_by_name(&self, name: &str) -> Option<usize> {
+        self.automata.iter().position(|a| a.name == name)
+    }
+
+    /// The maximal constant (ticks) each clock is compared against
+    /// anywhere in the network, indexed like a DBM bound vector
+    /// (`result[0] = 0` for the reference). Extra engine-side bounds can
+    /// be folded in afterwards.
+    pub fn max_constants(&self) -> Vec<i64> {
+        let mut k = vec![0i64; self.clock_count() + 1];
+        fn fold(k: &mut [i64], a: &Atom) {
+            if a.clock < k.len() && a.ticks > k[a.clock] {
+                k[a.clock] = a.ticks;
+            }
+        }
+        for aut in &self.automata {
+            for loc in &aut.locations {
+                for a in &loc.invariant {
+                    fold(&mut k, a);
+                }
+            }
+            for e in &aut.edges {
+                for a in &e.guard {
+                    fold(&mut k, a);
+                }
+                for (c, v) in &e.resets {
+                    if *c < k.len() && *v > k[*c] {
+                        k[*c] = *v;
+                    }
+                }
+            }
+        }
+        k
+    }
+}
+
+impl fmt::Display for TaNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TA network: {} automata, {} clocks",
+            self.automata.len(),
+            self.clocks.len()
+        )?;
+        for a in &self.automata {
+            writeln!(
+                f,
+                "  {}: {} locations, {} edges",
+                a.name,
+                a.locations.len(),
+                a.edges.len()
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -50,5 +50,8 @@ fn main() {
     }
 
     assert!(result.report.is_safe(), "{}", result.report);
-    println!("\nall rounds PTE-safe despite {:.0}% event loss.", result.loss_rate() * 100.0);
+    println!(
+        "\nall rounds PTE-safe despite {:.0}% event loss.",
+        result.loss_rate() * 100.0
+    );
 }

@@ -43,7 +43,11 @@ fn main() {
         let r = run_trial(&trial).expect("trial executes");
         println!(
             "  {}: {} emissions, {} failures, {:.0}% loss",
-            if leased { "with lease   " } else { "without lease" },
+            if leased {
+                "with lease   "
+            } else {
+                "without lease"
+            },
             r.emissions,
             r.failures,
             r.loss_rate() * 100.0

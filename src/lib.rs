@@ -15,7 +15,10 @@
 //! * [`core`] — the paper's contribution: PTE safety rules, lease design
 //!   pattern, conditions c1–c7, parameter synthesis, runtime monitor;
 //! * [`tracheotomy`] — the Section V laser tracheotomy case study;
-//! * [`verify`] — Monte-Carlo / exhaustive / adversarial verification.
+//! * [`verify`] — Monte-Carlo / exhaustive / adversarial verification;
+//! * [`zones`] — symbolic zone-based (DBM) reachability: the fourth
+//!   verification backend, proving PTE safety over all real-valued
+//!   timings and loss fates.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub use pte_sim as sim;
 pub use pte_tracheotomy as tracheotomy;
 pub use pte_verify as verify;
 pub use pte_wireless as wireless;
+pub use pte_zones as zones;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
@@ -47,4 +51,5 @@ pub mod prelude {
     pub use pte_hybrid::{Expr, HybridAutomaton, Pred, Time};
     pub use pte_sim::executor::{Executor, ExecutorConfig};
     pub use pte_sim::trace::Trace;
+    pub use pte_zones::{check_lease_pattern, SymbolicVerdict};
 }

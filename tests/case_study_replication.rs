@@ -39,7 +39,9 @@ fn without_lease_rows_accumulate_failures() {
     for mean_off in [18.0, 6.0] {
         let mut total = 0usize;
         for seed in [42u64, 43, 44] {
-            total += run_trial(&short_trial(mean_off, false, seed)).unwrap().failures;
+            total += run_trial(&short_trial(mean_off, false, seed))
+                .unwrap()
+                .failures;
         }
         assert!(total > 0, "E(Toff)={mean_off}: no failures in 3 x 10 min");
     }
@@ -67,8 +69,12 @@ fn lease_stops_track_toff_distribution() {
     let mut stops_18 = 0usize;
     let mut stops_6 = 0usize;
     for seed in 42u64..47 {
-        stops_18 += run_trial(&short_trial(18.0, true, seed)).unwrap().evt_to_stop;
-        stops_6 += run_trial(&short_trial(6.0, true, seed)).unwrap().evt_to_stop;
+        stops_18 += run_trial(&short_trial(18.0, true, seed))
+            .unwrap()
+            .evt_to_stop;
+        stops_6 += run_trial(&short_trial(6.0, true, seed))
+            .unwrap()
+            .evt_to_stop;
     }
     assert!(
         stops_18 > stops_6,

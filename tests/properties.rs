@@ -13,23 +13,23 @@ use pte::wireless::topology::{bernoulli_star, StarTopology};
 
 /// Strategy: a feasible synthesis request for small chains.
 fn requests() -> impl Strategy<Value = SynthesisRequest> {
-    (2usize..4, 200u64..2_000, 100u64..1_000, 2u64..20, 500u64..3_000).prop_map(
-        |(n, risky_ms, safe_ms, run_s, wait_ms)| SynthesisRequest {
+    (
+        2usize..4,
+        200u64..2_000,
+        100u64..1_000,
+        2u64..20,
+        500u64..3_000,
+    )
+        .prop_map(|(n, risky_ms, safe_ms, run_s, wait_ms)| SynthesisRequest {
             n,
             safeguards: (0..n - 1)
-                .map(|_| {
-                    PairSpec::new(
-                        Time::millis(risky_ms as f64),
-                        Time::millis(safe_ms as f64),
-                    )
-                })
+                .map(|_| PairSpec::new(Time::millis(risky_ms as f64), Time::millis(safe_ms as f64)))
                 .collect(),
             rule1_bound: Time::seconds(100_000.0),
             min_run_initializer: Time::seconds(run_s as f64),
             t_wait: Time::millis(wait_ms as f64),
             margin: Time::millis(150.0),
-        },
-    )
+        })
 }
 
 proptest! {
@@ -120,8 +120,16 @@ fn online_offline_agree(windows: Vec<(f64, f64, f64, f64)>) -> Result<(), TestCa
 
     // Lay out rounds 200 s apart so they never overlap.
     let mut events = vec![
-        TraceEvent::Init { t: Time::ZERO, aut: 0, loc: LocId(0) },
-        TraceEvent::Init { t: Time::ZERO, aut: 1, loc: LocId(0) },
+        TraceEvent::Init {
+            t: Time::ZERO,
+            aut: 0,
+            loc: LocId(0),
+        },
+        TraceEvent::Init {
+            t: Time::ZERO,
+            aut: 1,
+            loc: LocId(0),
+        },
     ];
     let mut changes: Vec<(Time, usize, bool)> = Vec::new();
     for (k, (o_start, o_len, i_off, i_len)) in windows.iter().enumerate() {

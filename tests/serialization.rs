@@ -12,10 +12,7 @@ use pte::tracheotomy::ventilator::ventilator;
 #[test]
 fn automaton_round_trips_through_json() {
     let cfg = LeaseConfig::case_study();
-    for automaton in [
-        build_supervisor(&cfg).unwrap(),
-        ventilator(&cfg).unwrap(),
-    ] {
+    for automaton in [build_supervisor(&cfg).unwrap(), ventilator(&cfg).unwrap()] {
         let json = serde_json::to_string(&automaton).expect("serializes");
         let back: HybridAutomaton = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(automaton, back);

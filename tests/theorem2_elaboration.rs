@@ -8,14 +8,14 @@ use pte::core::pattern::{build_participant, LeaseConfig};
 use pte::hybrid::automaton::VarKind;
 use pte::hybrid::elaboration::{elaborate, elaborate_parallel};
 use pte::hybrid::independence::{are_independent, is_simple};
+use pte::hybrid::Root;
 use pte::hybrid::{Expr, HybridAutomaton, Pred, Time};
+use pte::sim::driver::ScriptedDriver;
 use pte::sim::executor::{Executor, ExecutorConfig};
 use pte::tracheotomy::emulation::{build_case_study, emulation_spec, score_trace};
 use pte::tracheotomy::ventilator::standalone_ventilator;
 use pte::wireless::loss::BernoulliLoss;
 use pte::wireless::topology::StarTopology;
-use pte::sim::driver::ScriptedDriver;
-use pte::hybrid::Root;
 
 /// A second simple child: a status lamp cycling through colors.
 fn lamp() -> HybridAutomaton {
@@ -50,9 +50,7 @@ fn elaborated_case_study_is_pte_safe_under_loss() {
         let automata = build_case_study(&cfg, true).expect("builds");
         let mut exec = Executor::new(automata, ExecutorConfig::default()).expect("executor");
         let topo = StarTopology::new(0, vec![1, 2]);
-        exec.set_bridge(topo.wire(seed, |_, _, s| {
-            Box::new(BernoulliLoss::new(0.35, s))
-        }));
+        exec.set_bridge(topo.wire(seed, |_, _, s| Box::new(BernoulliLoss::new(0.35, s))));
         exec.add_driver(Box::new(pte::tracheotomy::surgeon::Surgeon::new(
             "laser-scalpel",
             Time::seconds(20.0),
@@ -89,11 +87,8 @@ fn projection_maps_elaborated_trace_to_pattern_locations() {
     stim.initial(s0, None);
     let stim = stim.build().expect("stim builds");
 
-    let exec = Executor::new(
-        vec![el.automaton.clone(), stim],
-        ExecutorConfig::default(),
-    )
-    .expect("executor");
+    let exec = Executor::new(vec![el.automaton.clone(), stim], ExecutorConfig::default())
+        .expect("executor");
     let trace = exec.run_until(Time::seconds(60.0)).expect("runs");
 
     let history = trace.location_history(0);
@@ -103,7 +98,7 @@ fn projection_maps_elaborated_trace_to_pattern_locations() {
         .map(|(_, loc)| el.projection[loc.0].0)
         .collect();
     projected.dedup(); // collapse stuttering inside the child
-    // The projected itinerary must follow pattern edges.
+                       // The projected itinerary must follow pattern edges.
     for w in projected.windows(2) {
         let (from, to) = (w[0], w[1]);
         assert!(
@@ -147,11 +142,8 @@ fn double_elaboration_preserves_safety() {
     assert!(are_independent(&pattern, &the_lamp));
     assert!(are_independent(&plant, &the_lamp));
 
-    let el = elaborate_parallel(
-        &pattern,
-        &[("Fall-Back", &plant), ("Exiting 2", &the_lamp)],
-    )
-    .expect("elaborates");
+    let el = elaborate_parallel(&pattern, &[("Fall-Back", &plant), ("Exiting 2", &the_lamp)])
+        .expect("elaborates");
     let mut vent2 = el.automaton;
     vent2.name = "ventilator".to_string();
 

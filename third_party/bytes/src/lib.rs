@@ -1,0 +1,179 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Covers the surface the wireless packet codec uses: [`Bytes`] (cheaply
+//! cloneable immutable buffer), [`BytesMut`] (growable builder) and the
+//! big-endian `put_*` writers from [`BufMut`]. Backed by `Arc<[u8]>` /
+//! `Vec<u8>` rather than the upstream vtable machinery.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for b in self.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+/// Growable byte buffer used to assemble frames.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated contents into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian writers (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_builders() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u16(0xBEEF);
+        b.put_u32(0x01020304);
+        b.put_slice(&[9, 9]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[0xBE, 0xEF, 1, 2, 3, 4, 9, 9]);
+        assert_eq!(frozen.len(), 8);
+        assert_eq!(frozen.to_vec(), frozen.clone().to_vec());
+    }
+
+    #[test]
+    fn copy_from_slice_is_independent() {
+        let src = vec![1u8, 2, 3];
+        let b = Bytes::copy_from_slice(&src);
+        drop(src);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, Bytes::from(vec![1, 2, 3]));
+    }
+}

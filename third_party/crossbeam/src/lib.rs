@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! Since Rust 1.63 the standard library has scoped threads, so this shim
+//! adapts `std::thread::scope` to crossbeam's calling convention: the
+//! spawn closure receives the scope again (for nested spawns) and
+//! `scope(..)` returns a `Result` (always `Ok` here — a panicking worker
+//! propagates through `std::thread::scope` instead of being captured).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads in crossbeam's API shape.
+
+    /// Wrapper handing crossbeam's `&Scope` argument to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker; the closure receives the scope so it
+        /// can spawn further workers, crossbeam-style.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; returns once every spawned thread has finished.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

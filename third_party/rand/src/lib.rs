@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors minimal implementations of the external crates it
+//! depends on. This one covers exactly the surface the PTE workspace
+//! uses: `StdRng`, `SeedableRng::seed_from_u64`, and `Rng::random` for
+//! the primitive types. The generator is a PCG-XSH-RR 64/32 pair folded
+//! to 64 bits — statistically solid for simulation workloads, seeded
+//! deterministically (runs are reproducible, which the test-suite relies
+//! on), but of course not the upstream `StdRng` stream.
+
+#![forbid(unsafe_code)]
+
+/// Core trait: a source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing sampling trait (`rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples a boolean that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    fn random_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        debug_assert!(span > 0, "empty range");
+        // Rejection-free modulo is fine for our non-cryptographic uses.
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of RNGs (`rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    const MUL: u64 = 6364136223846793005;
+
+    /// Deterministic PCG-based generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+        inc: u64,
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u32 {
+            let old = self.state;
+            self.state = old.wrapping_mul(MUL).wrapping_add(self.inc);
+            let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+            let rot = (old >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            ((self.step() as u64) << 32) | self.step() as u64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix the seed into state/increment so nearby seeds give
+            // unrelated streams.
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            let mut mix = || {
+                z = z.wrapping_add(0x9E3779B97F4A7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+                x ^ (x >> 31)
+            };
+            let state = mix();
+            let inc = mix() | 1; // must be odd
+            let mut rng = StdRng { state, inc };
+            // Warm up so the first output already depends on all seed bits.
+            let _ = rng.step();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

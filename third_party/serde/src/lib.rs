@@ -1,0 +1,379 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde streams through `Serializer`/`Deserializer` visitors;
+//! this stand-in goes through an owned [`Value`] tree instead, which is
+//! all the workspace needs (its only format is JSON, via the sibling
+//! `serde_json` stand-in). The public contract is the same shape:
+//! `#[derive(Serialize, Deserialize)]` on plain structs and enums, and
+//! `serde_json::{to_string, from_str}` round-trips.
+//!
+//! Encoding conventions (mirroring serde's externally-tagged defaults):
+//! named structs → objects; newtype structs → their inner value; tuple
+//! structs → arrays; unit enum variants → `"Variant"`; data-carrying
+//! variants → `{"Variant": payload}`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A dynamically-typed serialized value (the data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Obj(Vec<(String, Value)>),
+}
+
+/// A number, kept in its widest exact representation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Floating point (non-finite values allowed; the JSON layer encodes
+    /// them as `inf` / `-inf` tokens that only it reads back).
+    F(f64),
+}
+
+impl Number {
+    /// Widens to `f64` (lossy above 2^53, like serde_json's `as_f64`).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+/// Deserialization failure: a message plus nothing else — call sites in
+/// this workspace only `expect`/`unwrap` these.
+#[derive(Clone, Debug)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod value {
+    //! Helpers used by the derive-generated code.
+
+    use super::{Error, Value};
+
+    static NULL: Value = Value::Null;
+
+    /// Looks up a struct field; a missing field reads as `null` (so
+    /// `Option` fields tolerate elision).
+    pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+        match v {
+            Value::Obj(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Indexes a tuple encoded as an array.
+    pub fn index(v: &Value, i: usize) -> Result<&Value, Error> {
+        match v {
+            Value::Arr(items) => items
+                .get(i)
+                .ok_or_else(|| Error::msg(format!("tuple index {i} out of range"))),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Wraps an enum payload in its externally-tagged representation.
+    pub fn variant(name: &str, payload: Value) -> Value {
+        Value::Obj(vec![(name.to_string(), payload)])
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, payload)`.
+    pub fn enum_repr(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s, None)),
+            Value::Obj(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+            other => Err(Error::msg(format!("expected enum encoding, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let wide: u64 = match v {
+                    Value::Num(Number::U(u)) => *u,
+                    Value::Num(Number::I(i)) if *i >= 0 => *i as u64,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(Error::msg(format!("expected unsigned int, got {other:?}"))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg("unsigned int out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::I(*self as i64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let wide: i64 = match v {
+                    Value::Num(Number::I(i)) => *i,
+                    Value::Num(Number::U(u)) => i64::try_from(*u)
+                        .map_err(|_| Error::msg("signed int out of range"))?,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(Error::msg(format!("expected int, got {other:?}"))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg("signed int out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::from_value(value::index(v, $n)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, Some(2.0f64)), (3, None)];
+        let back: Vec<(u32, Option<f64>)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let b: Box<u8> = Deserialize::from_value(&Box::new(9u8).to_value()).unwrap();
+        assert_eq!(*b, 9);
+    }
+
+    #[test]
+    fn cross_width_numbers_tolerated() {
+        // An integer-valued float deserializes into ints (the JSON layer
+        // prints 1.0 as "1").
+        assert_eq!(u8::from_value(&Value::Num(Number::F(3.0))).unwrap(), 3);
+        assert_eq!(i32::from_value(&Value::Num(Number::U(5))).unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let obj = Value::Obj(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(value::field(&obj, "b").unwrap(), &Value::Null);
+        let opt: Option<u8> = Deserialize::from_value(value::field(&obj, "b").unwrap()).unwrap();
+        assert_eq!(opt, None);
+    }
+}

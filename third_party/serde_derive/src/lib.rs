@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based, see the sibling `serde` crate) for plain
+//! structs and enums. Implemented directly over `proc_macro::TokenStream`
+//! — no `syn`/`quote` available offline — so it supports exactly the item
+//! shapes this workspace uses: non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, tuple, or struct-like. Attributes
+//! (`#[serde(...)]` included) are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a struct body or an enum variant's payload.
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all we need (access is by index).
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Splits a token slice on top-level commas, treating `<...>` spans as
+/// nested (commas inside generic arguments do not split).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from a token slice.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` then `[...]` — skip both.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Parses the fields of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    split_commas(&tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let chunk = skip_attrs_and_vis(&chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a tuple body (`(T, U)`).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    split_commas(&tokens).len()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => continue,
+            None => panic!("derive(Serialize/Deserialize): expected struct or enum"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    let next = it.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            panic!("derive stand-in does not support generic type `{name}`");
+        }
+    }
+    if kind == "struct" {
+        let fields = match next {
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("derive: unsupported struct body {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("derive: expected enum body, got {other:?}"),
+        };
+        let tokens: Vec<TokenTree> = body.into_iter().collect();
+        let variants = split_commas(&tokens)
+            .into_iter()
+            .filter_map(|chunk| {
+                let chunk = skip_attrs_and_vis(&chunk);
+                let mut it = chunk.iter();
+                let name = match it.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let fields = match it.next() {
+                    None => Fields::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    other => panic!("derive: unsupported variant shape {other:?}"),
+                };
+                Some(Variant { name, fields })
+            })
+            .collect();
+        Item::Enum { name, variants }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then parsed into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Arr(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(ref __f0) => serde::value::variant(\"{vn}\", \
+                             serde::Serialize::to_value(__f0)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("ref __f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::value::variant(\"{vn}\", \
+                                 serde::Value::Arr(vec![{}])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| format!("ref {f}")).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::value::variant(\"{vn}\", \
+                                 serde::Value::Obj(vec![{}])),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match *self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "serde::Deserialize::from_value(serde::value::index(__v, {i})?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name}({}))", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(\
+                                 serde::value::field(__v, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("(\"{vn}\", _) => Ok({name}::{vn}),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "(\"{vn}\", Some(__p)) => \
+                             Ok({name}::{vn}(serde::Deserialize::from_value(__p)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "serde::Deserialize::from_value(\
+                                         serde::value::index(__p, {i})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "(\"{vn}\", Some(__p)) => Ok({name}::{vn}({})),",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(\
+                                         serde::value::field(__p, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "(\"{vn}\", Some(__p)) => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match serde::value::enum_repr(__v)? {{\n\
+                             {}\n\
+                             (__other, _) => Err(serde::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
