@@ -1,10 +1,19 @@
-//! Benchmarks of the symbolic zone engine: raw DBM throughput and
-//! end-to-end verdict latency on the case-study pattern.
+//! Benchmarks of the symbolic zone engine: raw DBM throughput,
+//! end-to-end verdict latency on the case-study pattern, the parallel
+//! worker-count scaling of the sharded engine, and the ExtraM-vs-LU
+//! extrapolation comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pte_core::pattern::LeaseConfig;
 use pte_zones::dbm::{Bound, Dbm};
-use pte_zones::{check_lease_pattern_with, lower_network, Limits};
+use pte_zones::{check_lease_pattern_with, lower_network, Extrapolation, Limits};
+
+fn case_limits() -> Limits {
+    Limits {
+        max_states: 60_000,
+        ..Limits::default()
+    }
+}
 
 /// Canonicalization cost on a representative matrix (the engine's inner
 /// loop: every successor zone is re-closed).
@@ -45,7 +54,7 @@ fn bench_lowering(c: &mut Criterion) {
 /// system and the (much faster) falsification of the baseline.
 fn bench_symbolic_verdicts(c: &mut Criterion) {
     let cfg = LeaseConfig::case_study();
-    let limits = Limits { max_states: 60_000 };
+    let limits = case_limits();
     let mut group = c.benchmark_group("symbolic");
     group.bench_function("prove_leased_safe", |b| {
         b.iter(|| {
@@ -64,10 +73,86 @@ fn bench_symbolic_verdicts(c: &mut Criterion) {
     group.finish();
 }
 
+/// Worker-count scaling of the sharded parallel engine on the leased
+/// safety proof. Verdicts are asserted identical across counts (the
+/// engine's determinism guarantee), so these rows differ only in
+/// wall-clock time.
+fn bench_parallel_workers(c: &mut Criterion) {
+    let cfg = LeaseConfig::case_study();
+    let mut group = c.benchmark_group("symbolic_workers");
+    for workers in [1usize, 2, 4, 8] {
+        let limits = Limits {
+            max_workers: workers,
+            ..case_limits()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("prove_leased_safe", workers),
+            &limits,
+            |b, limits| {
+                b.iter(|| {
+                    assert!(check_lease_pattern_with(&cfg, true, limits)
+                        .unwrap()
+                        .is_safe())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// ExtraM vs ExtraLU on the leased safety proof: LU is a coarser sound
+/// abstraction, so it must settle no more states — and on this
+/// configuration strictly fewer (asserted, so the claim can't bit-rot).
+fn bench_extrapolation(c: &mut Criterion) {
+    let cfg = LeaseConfig::case_study();
+    let settled = |extrapolation: Extrapolation| -> usize {
+        let limits = Limits {
+            extrapolation,
+            ..case_limits()
+        };
+        let verdict = check_lease_pattern_with(&cfg, true, &limits).unwrap();
+        assert!(verdict.is_safe());
+        verdict.stats().expect("safe verdict carries stats").states
+    };
+    let m_states = settled(Extrapolation::ExtraM);
+    let lu_states = settled(Extrapolation::ExtraLu);
+    assert!(
+        lu_states < m_states,
+        "ExtraLU must settle strictly fewer states than ExtraM \
+         on the case study (LU {lu_states} vs M {m_states})"
+    );
+    println!("bench: symbolic_extrapolation/settled_states          ExtraM {m_states}, ExtraLU {lu_states}");
+
+    let mut group = c.benchmark_group("symbolic_extrapolation");
+    for (name, extrapolation) in [
+        ("extra_m", Extrapolation::ExtraM),
+        ("extra_lu", Extrapolation::ExtraLu),
+    ] {
+        let limits = Limits {
+            extrapolation,
+            ..case_limits()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("prove_leased_safe", name),
+            &limits,
+            |b, limits| {
+                b.iter(|| {
+                    assert!(check_lease_pattern_with(&cfg, true, limits)
+                        .unwrap()
+                        .is_safe())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dbm_ops,
     bench_lowering,
-    bench_symbolic_verdicts
+    bench_symbolic_verdicts,
+    bench_parallel_workers,
+    bench_extrapolation
 );
 criterion_main!(benches);

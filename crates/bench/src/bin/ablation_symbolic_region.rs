@@ -26,7 +26,10 @@ fn main() {
 
     let enters: Vec<f64> = (0..7).map(|k| 2.0 + k as f64 * 2.5).collect(); // 2..17
     let runs: Vec<f64> = (0..6).map(|k| 23.0 + k as f64 * 6.0).collect(); // 23..53 (incl. 35)
-    let limits = Limits { max_states: 60_000 };
+    let limits = Limits {
+        max_states: 60_000,
+        ..Limits::default()
+    };
 
     print!("           ");
     for e in &enters {

@@ -1,0 +1,349 @@
+//! Verification campaign driver: sweeps a matrix of lease
+//! configurations × {leased, baseline} across the analytic (c1–c7),
+//! symbolic (zone-based), and bounded-exhaustive backends in parallel,
+//! and emits both a text table and a machine-readable JSON report.
+//!
+//! ```sh
+//! cargo run --release -p pte-bench --bin campaign -- \
+//!     [--smoke] [--depth K] [--workers W] [--budget N] [--json PATH]
+//! ```
+//!
+//! * `--smoke` — tiny matrix for CI: asserts that every cell reaches a
+//!   conclusive symbolic verdict, that conclusive backends agree, and
+//!   that the emitted JSON parses back cleanly; any failure exits
+//!   non-zero.
+//! * `--depth K` — bounded-exhaustive decision depth (default 6).
+//! * `--workers W` — symbolic engine workers per cell (default 1).
+//! * `--budget N` — symbolic state budget per cell (default 60 000).
+//! * `--json PATH` — write the JSON report to `PATH` (default: print a
+//!   `== JSON ==` section to stdout).
+//!
+//! Concurrency: the campaign runs a few cells at a time (capped, since
+//! each cell's exhaustive `explore` already fans out to every core
+//! internally — uncapped nesting would square the thread count and the
+//! timing columns would measure scheduler contention, not backends).
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use pte_bench::arg_value;
+use pte_core::pattern::{check_conditions, LeaseConfig};
+use pte_hybrid::Time;
+use pte_verify::exhaustive::explore;
+use pte_verify::report::TextTable;
+use pte_verify::{verify_symbolic_with, CrossCheck, Extrapolation, Limits, SymbolicOutcome};
+use serde::{Number, Value};
+use std::time::Instant;
+
+/// Cap on concurrently running cells (see module docs).
+const MAX_CELL_WORKERS: usize = 4;
+
+/// One cell of the campaign matrix.
+#[derive(Clone, Debug)]
+struct Cell {
+    t_run1: f64,
+    t_enter2: f64,
+    leased: bool,
+}
+
+/// Backend results of one cell: the library's [`CrossCheck`] (which
+/// owns the agreement semantics) plus per-backend timings and the
+/// exhaustive explorer's violation/error split (`exhaustive_safe`
+/// inside [`CrossCheck`] conflates the two on purpose — an errored run
+/// is not a verified one — but diagnosis needs them apart).
+#[derive(Clone, Debug)]
+struct Row {
+    cell: Cell,
+    analytic_ok: bool,
+    cross: CrossCheck,
+    exhaustive_violations: usize,
+    exhaustive_errors: usize,
+    symbolic_ms: f64,
+    exhaustive_ms: f64,
+}
+
+fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
+    let mut cfg = LeaseConfig::case_study();
+    cfg.t_run[0] = Time::seconds(cell.t_run1);
+    cfg.t_enter[1] = Time::seconds(cell.t_enter2);
+
+    let analytic_ok = check_conditions(&cfg).is_satisfied();
+
+    let t = Instant::now();
+    let verdict = verify_symbolic_with(&cfg, cell.leased, limits);
+    let symbolic_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (symbolic, symbolic_states) = match &verdict {
+        Ok(v) => (SymbolicOutcome::from(v), v.stats().map_or(0, |s| s.states)),
+        Err(_) => (SymbolicOutcome::Inconclusive, 0),
+    };
+
+    let t = Instant::now();
+    let exhaustive = explore(&cfg, cell.leased, depth, false);
+    let exhaustive_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    Row {
+        cell: cell.clone(),
+        analytic_ok,
+        cross: CrossCheck {
+            symbolic,
+            exhaustive_safe: exhaustive.all_safe(),
+            exhaustive_runs: exhaustive.runs,
+            symbolic_states,
+        },
+        exhaustive_violations: exhaustive.violations.len(),
+        exhaustive_errors: exhaustive.errors.len(),
+        symbolic_ms,
+        exhaustive_ms,
+    }
+}
+
+/// Human label for the exhaustive column: an errored exploration is not
+/// "UNSAFE", it failed to execute.
+fn exhaustive_label(r: &Row) -> &'static str {
+    if r.exhaustive_errors > 0 {
+        "ERROR"
+    } else if r.cross.exhaustive_safe {
+        "safe"
+    } else {
+        "UNSAFE"
+    }
+}
+
+fn symbolic_label(outcome: SymbolicOutcome) -> &'static str {
+    match outcome {
+        SymbolicOutcome::Safe => "safe",
+        SymbolicOutcome::Unsafe => "unsafe",
+        SymbolicOutcome::Inconclusive => "inconclusive",
+    }
+}
+
+/// Builds the report as a `serde::Value` tree and serializes it with
+/// the vendored `serde_json` — the same machinery the self-validation
+/// parse uses, so escaping/number formatting can't diverge from it.
+fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> String {
+    let num_u = |u: usize| Value::Num(Number::U(u as u64));
+    let num_f = |f: f64| Value::Num(Number::F(f));
+    let cells: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("t_run1".into(), num_f(r.cell.t_run1)),
+                ("t_enter2".into(), num_f(r.cell.t_enter2)),
+                ("leased".into(), Value::Bool(r.cell.leased)),
+                ("analytic".into(), Value::Bool(r.analytic_ok)),
+                (
+                    "symbolic".into(),
+                    Value::Str(symbolic_label(r.cross.symbolic).into()),
+                ),
+                ("symbolic_states".into(), num_u(r.cross.symbolic_states)),
+                ("symbolic_ms".into(), num_f(r.symbolic_ms)),
+                (
+                    "exhaustive_safe".into(),
+                    Value::Bool(r.cross.exhaustive_safe),
+                ),
+                (
+                    "exhaustive_violations".into(),
+                    num_u(r.exhaustive_violations),
+                ),
+                ("exhaustive_errors".into(), num_u(r.exhaustive_errors)),
+                ("exhaustive_runs".into(), num_u(r.cross.exhaustive_runs)),
+                ("exhaustive_ms".into(), num_f(r.exhaustive_ms)),
+                ("agree".into(), Value::Bool(r.cross.agree())),
+            ])
+        })
+        .collect();
+    let report = Value::Obj(vec![
+        (
+            "campaign".into(),
+            Value::Obj(vec![
+                ("depth".into(), num_u(depth)),
+                ("symbolic_budget".into(), num_u(limits.max_states)),
+                ("symbolic_workers".into(), num_u(limits.effective_workers())),
+                (
+                    "extrapolation".into(),
+                    Value::Str(format!("{:?}", limits.extrapolation)),
+                ),
+                ("wall_ms".into(), num_f(elapsed_ms)),
+            ]),
+        ),
+        ("cells".into(), Value::Arr(cells)),
+    ]);
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let depth: usize = arg_value(&args, "--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 6 });
+    let budget: usize = arg_value(&args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000);
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let json_path = arg_value(&args, "--json");
+
+    let limits = Limits {
+        max_states: budget,
+        max_workers: workers,
+        extrapolation: Extrapolation::ExtraLu,
+        ..Limits::default()
+    };
+
+    // The sweep plane of `ablation_symbolic_region`, coarsened for the
+    // smoke matrix: the paper's configuration plus a violating corner.
+    let (runs1, enters2): (Vec<f64>, Vec<f64>) = if smoke {
+        (vec![35.0], vec![2.0, 10.0])
+    } else {
+        (vec![23.0, 35.0, 47.0], vec![2.0, 7.0, 10.0, 14.5])
+    };
+    let mut cells = Vec::new();
+    for r in &runs1 {
+        for e in &enters2 {
+            for leased in [true, false] {
+                cells.push(Cell {
+                    t_run1: *r,
+                    t_enter2: *e,
+                    leased,
+                });
+            }
+        }
+    }
+
+    println!(
+        "campaign: {} cells × 3 backends (exhaustive depth {depth}, symbolic budget {budget}, \
+         {} symbolic workers)\n",
+        cells.len(),
+        limits.effective_workers(),
+    );
+
+    // Run cells concurrently: each worker pops the next unstarted cell.
+    let started = Instant::now();
+    let n_cells = cells.len();
+    let queue: Mutex<Vec<Cell>> = Mutex::new(cells);
+    let results: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(MAX_CELL_WORKERS)
+        .min(n_cells);
+    thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| loop {
+                let Some(cell) = queue.lock().pop() else {
+                    break;
+                };
+                let row = run_cell(&cell, &limits, depth);
+                results.lock().push(row);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows = results.into_inner();
+    rows.sort_by(|a, b| {
+        (a.cell.t_run1, a.cell.t_enter2, a.cell.leased)
+            .partial_cmp(&(b.cell.t_run1, b.cell.t_enter2, b.cell.leased))
+            .expect("finite sweep constants")
+    });
+
+    let mut table = TextTable::new(vec![
+        "T_run1",
+        "T_enter2",
+        "arm",
+        "c1-c7",
+        "symbolic",
+        "states",
+        "sym ms",
+        "exhaustive",
+        "runs",
+        "exh ms",
+        "agree",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{}", r.cell.t_run1),
+            format!("{}", r.cell.t_enter2),
+            if r.cell.leased { "leased" } else { "baseline" }.to_string(),
+            if r.analytic_ok { "ok" } else { "-" }.to_string(),
+            symbolic_label(r.cross.symbolic).to_string(),
+            format!("{}", r.cross.symbolic_states),
+            format!("{:.0}", r.symbolic_ms),
+            exhaustive_label(r).to_string(),
+            format!("{}", r.cross.exhaustive_runs),
+            format!("{:.0}", r.exhaustive_ms),
+            if r.cross.agree() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("campaign wall time: {elapsed_ms:.0} ms");
+
+    let json = to_json(&rows, depth, &limits, elapsed_ms);
+    match &json_path {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write JSON report");
+            println!("JSON report written to {path}");
+        }
+        None => println!("\n== JSON ==\n{json}"),
+    }
+
+    // Self-validation (always; `--smoke` additionally asserts verdicts).
+    let parsed = serde_json::from_str_value(&json).expect("campaign JSON must be well-formed");
+    drop(parsed);
+
+    // Gates. Always fatal: an exhaustive backend that failed to execute
+    // (infrastructure, not a verdict), a Theorem-1 soundness hole
+    // (analytically valid leased cell falsified symbolically), and a
+    // symbolic *proof* contradicted by a concrete exhaustive
+    // counter-example. The reverse direction — symbolic Unsafe,
+    // bounded-exhaustive safe — can be legitimate at small depths (the
+    // explorer only covers a `2^k` prefix of loss fates and one driver
+    // script; see `CrossCheck::agree`), so outside `--smoke` it is
+    // reported as a warning, not a failure. `--smoke` pins a matrix
+    // whose cells are known to agree and asserts full conclusiveness.
+    let mut failures = Vec::new();
+    for r in &rows {
+        if r.exhaustive_errors > 0 {
+            failures.push(format!(
+                "exhaustive backend failed to execute ({} errors) at {:?}",
+                r.exhaustive_errors, r.cell
+            ));
+            continue;
+        }
+        if r.cell.leased && r.analytic_ok && r.cross.symbolic == SymbolicOutcome::Unsafe {
+            failures.push(format!("soundness hole at {:?}", r.cell));
+        }
+        match r.cross.symbolic {
+            SymbolicOutcome::Safe if !r.cross.exhaustive_safe => {
+                failures.push(format!(
+                    "symbolic proof contradicted by a concrete counter-example at {:?}",
+                    r.cell
+                ));
+            }
+            SymbolicOutcome::Unsafe if r.cross.exhaustive_safe => {
+                let msg = format!(
+                    "symbolic falsification not reproduced at exhaustive depth {depth} at {:?}",
+                    r.cell
+                );
+                if smoke {
+                    failures.push(msg);
+                } else {
+                    eprintln!("WARNING: {msg}");
+                }
+            }
+            _ => {}
+        }
+        if smoke && r.cross.symbolic == SymbolicOutcome::Inconclusive {
+            failures.push(format!("inconclusive smoke cell at {:?}", r.cell));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all campaign gates passed");
+}

@@ -18,9 +18,12 @@
 //! | `ablation_loss_sweep` | failure rate vs loss probability × lease arm |
 //! | `ablation_conditions` | safeguard margin vs c5 slack |
 //! | `exhaustive` | bounded-exhaustive loss exploration |
+//! | `campaign` | config-matrix sweep across analytic/symbolic/exhaustive backends (JSON + text report) |
 //!
 //! Criterion benches (`cargo bench -p pte-bench`): executor throughput,
-//! monitor throughput, channel models, parameter synthesis, elaboration.
+//! monitor throughput, channel models, parameter synthesis, elaboration,
+//! and the symbolic zone engine (DBM ops, worker-count scaling,
+//! ExtraM-vs-ExtraLU extrapolation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

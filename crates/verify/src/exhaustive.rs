@@ -35,16 +35,34 @@ pub struct CounterExample {
 pub struct ExplorationResult {
     /// Number of complete runs executed.
     pub runs: usize,
-    /// Decision depth `k`.
+    /// Effective decision depth `k` (the requested depth clamped to
+    /// [`MAX_DEPTH`]).
     pub depth: usize,
+    /// The depth the caller asked for. When it exceeds [`MAX_DEPTH`]
+    /// the exploration is *truncated*: only the first `depth`
+    /// transmissions were enumerated, and claiming full enumeration at
+    /// `requested_depth` would overstate the result.
+    pub requested_depth: usize,
     /// Counter-examples found (must be empty for valid configurations).
     pub violations: Vec<CounterExample>,
+    /// Infrastructure failures (executor construction, run execution).
+    /// Any entry poisons [`ExplorationResult::all_safe`]: a run that
+    /// could not execute must never count as a safe run.
+    pub errors: Vec<String>,
 }
 
 impl ExplorationResult {
-    /// `true` if every explored assignment satisfied the PTE rules.
+    /// `true` if every explored assignment executed *and* satisfied the
+    /// PTE rules. Infrastructure errors make this `false` — a broken
+    /// build is not a verified one.
     pub fn all_safe(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    /// `true` when the requested depth was clamped to [`MAX_DEPTH`] and
+    /// the enumeration therefore covers fewer transmissions than asked.
+    pub fn truncated(&self) -> bool {
+        self.requested_depth > self.depth
     }
 }
 
@@ -52,13 +70,33 @@ impl fmt::Display for ExplorationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} runs at depth {}: {}",
+            "{} runs at depth {}{}: {}",
             self.runs,
             self.depth,
-            if self.all_safe() {
-                "all PTE-safe".to_string()
+            if self.truncated() {
+                format!(
+                    " (TRUNCATED from requested depth {}; deeper fates not enumerated)",
+                    self.requested_depth
+                )
             } else {
-                format!("{} VIOLATIONS", self.violations.len())
+                String::new()
+            },
+            match (self.violations.is_empty(), self.errors.is_empty()) {
+                (true, true) => "all PTE-safe".to_string(),
+                (false, true) => format!("{} VIOLATIONS", self.violations.len()),
+                (true, false) => format!(
+                    "{} EXECUTION ERRORS, exploration aborted (first: {})",
+                    self.errors.len(),
+                    self.errors[0]
+                ),
+                // Both: the falsification matters most, but the errors
+                // mean coverage was incomplete — show both.
+                (false, false) => format!(
+                    "{} VIOLATIONS plus {} EXECUTION ERRORS (first: {})",
+                    self.violations.len(),
+                    self.errors.len(),
+                    self.errors[0]
+                ),
             }
         )
     }
@@ -97,7 +135,12 @@ impl Channel for SharedScript {
     }
 }
 
-/// Runs one assignment; returns the monitor report if it violates PTE.
+/// Runs one assignment; `Ok(Some(report))` when the run violates PTE,
+/// `Ok(None)` when it is safe. Infrastructure failures — the pattern
+/// not building, the executor refusing the system, the run aborting —
+/// are **errors**, never silently treated as safe runs: the old
+/// `Executor::new(..).ok()?` here once turned a broken build into a
+/// clean verification verdict.
 fn run_assignment(
     cfg: &LeaseConfig,
     leased: bool,
@@ -105,9 +148,31 @@ fn run_assignment(
     depth: usize,
     default_drop: bool,
     cancel_mid_emission: bool,
-) -> Option<String> {
-    let sys = build_pattern_system(cfg, leased).expect("pattern builds");
-    let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).ok()?;
+) -> Result<Option<String>, String> {
+    let sys = build_pattern_system(cfg, leased)
+        .map_err(|e| format!("pattern system failed to build: {e:?}"))?;
+    execute_assignment(
+        sys.automata,
+        cfg,
+        mask,
+        depth,
+        default_drop,
+        cancel_mid_emission,
+    )
+}
+
+/// [`run_assignment`] past the build step: drives an already-built
+/// automata network through one loss assignment.
+fn execute_assignment(
+    automata: Vec<pte_hybrid::HybridAutomaton>,
+    cfg: &LeaseConfig,
+    mask: u64,
+    depth: usize,
+    default_drop: bool,
+    cancel_mid_emission: bool,
+) -> Result<Option<String>, String> {
+    let mut exec = Executor::new(automata, ExecutorConfig::default())
+        .map_err(|e| format!("executor construction failed: {e}"))?;
 
     let state = Arc::new(Mutex::new((mask, 0usize)));
     let mut bridge = NetworkBridge::perfect();
@@ -127,29 +192,45 @@ fn run_assignment(
     exec.add_driver(Box::new(ScriptedDriver::new("driver", script)));
 
     let horizon = cfg.max_risky_dwelling() * 3.0 + cfg.t_fb0_min;
-    let trace = exec.run_until(horizon).expect("pattern run executes");
+    let trace = exec
+        .run_until(horizon)
+        .map_err(|e| format!("pattern run failed to execute: {e}"))?;
     let report = check_pte(&trace, &cfg.pte_spec());
     if report.is_safe() {
-        None
+        Ok(None)
     } else {
-        Some(format!("{report}"))
+        Ok(Some(format!("{report}")))
     }
+}
+
+/// Hard cap on the decision depth: `2^20 × 2` is already over two
+/// million runs. Requests beyond it are clamped and reported as
+/// truncated (see [`ExplorationResult::truncated`]).
+pub const MAX_DEPTH: usize = 20;
+
+/// Clamps a requested decision depth to [`MAX_DEPTH`].
+fn clamp_depth(requested: usize) -> usize {
+    requested.min(MAX_DEPTH)
 }
 
 /// Explores all `2^depth × 2 (tail defaults)` loss assignments of the
 /// pattern system in parallel.
 ///
-/// `depth` is capped at 20 (over a million runs) to keep explorations
-/// tractable; typical verification uses 8–12.
+/// `depth` is capped at [`MAX_DEPTH`] to keep explorations tractable
+/// (typical verification uses 8–12); a clamped request is surfaced via
+/// [`ExplorationResult::requested_depth`] and its `Display`, so a
+/// depth-25 request is never silently reported as fully enumerated.
 pub fn explore(
     cfg: &LeaseConfig,
     leased: bool,
     depth: usize,
     cancel_mid_emission: bool,
 ) -> ExplorationResult {
-    let depth = depth.min(20);
+    let requested_depth = depth;
+    let depth = clamp_depth(requested_depth);
     let total: u64 = 1 << depth;
     let violations: Mutex<Vec<CounterExample>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let runs = Mutex::new(0usize);
 
     let n_workers = std::thread::available_parallelism()
@@ -159,14 +240,14 @@ pub fn explore(
     thread::scope(|scope| {
         for w in 0..n_workers {
             let violations = &violations;
+            let errors = &errors;
             let runs = &runs;
             scope.spawn(move |_| {
                 let mut local_runs = 0usize;
                 let mut mask = w as u64;
-                while mask < total {
+                'masks: while mask < total {
                     for default_drop in [false, true] {
-                        local_runs += 1;
-                        if let Some(report) = run_assignment(
+                        match run_assignment(
                             cfg,
                             leased,
                             mask,
@@ -174,11 +255,25 @@ pub fn explore(
                             default_drop,
                             cancel_mid_emission,
                         ) {
-                            violations.lock().push(CounterExample {
-                                mask,
-                                default_drop,
-                                report,
-                            });
+                            Ok(None) => local_runs += 1,
+                            Ok(Some(report)) => {
+                                local_runs += 1;
+                                violations.lock().push(CounterExample {
+                                    mask,
+                                    default_drop,
+                                    report,
+                                });
+                            }
+                            Err(e) => {
+                                // An execution failure is systemic (it
+                                // does not depend on the loss mask):
+                                // record it and stop this worker rather
+                                // than collect millions of copies.
+                                errors.lock().push(format!(
+                                    "mask {mask:#b} default_drop={default_drop}: {e}"
+                                ));
+                                break 'masks;
+                            }
                         }
                     }
                     mask += n_workers as u64;
@@ -192,7 +287,9 @@ pub fn explore(
     ExplorationResult {
         runs: runs.into_inner(),
         depth,
+        requested_depth,
         violations: violations.into_inner(),
+        errors: errors.into_inner(),
     }
 }
 
@@ -240,5 +337,69 @@ mod tests {
         let result = explore(&cfg, true, 0, false);
         assert_eq!(result.runs, 2);
         assert!(result.all_safe());
+    }
+
+    /// The depth clamp is recorded, not hidden: requested and effective
+    /// depths are both reported, and the `Display` of a truncated
+    /// exploration says so explicitly.
+    #[test]
+    fn truncated_depth_is_surfaced() {
+        assert_eq!(clamp_depth(25), MAX_DEPTH);
+        assert_eq!(clamp_depth(MAX_DEPTH), MAX_DEPTH);
+        assert_eq!(clamp_depth(3), 3);
+
+        // An in-range request is reported as exactly what ran…
+        let cfg = LeaseConfig::case_study();
+        let result = explore(&cfg, true, 3, false);
+        assert_eq!(result.depth, 3);
+        assert_eq!(result.requested_depth, 3);
+        assert!(!result.truncated());
+        assert!(!format!("{result}").contains("TRUNCATED"), "{result}");
+
+        // …while a clamped request advertises the truncation (shaped
+        // result; actually running 2^20 × 2 simulations here would take
+        // hours, and `explore` wires `requested_depth` through the same
+        // struct path).
+        let truncated = ExplorationResult {
+            runs: 2 << MAX_DEPTH,
+            depth: MAX_DEPTH,
+            requested_depth: 25,
+            violations: Vec::new(),
+            errors: Vec::new(),
+        };
+        assert!(truncated.truncated());
+        let text = format!("{truncated}");
+        assert!(text.contains("TRUNCATED"), "{text}");
+        assert!(text.contains("25"), "{text}");
+    }
+
+    /// An executor that cannot even be constructed is an error, not a
+    /// safe run — the regression fixed here used to turn it into a
+    /// clean verdict via `Executor::new(..).ok()?`.
+    #[test]
+    fn executor_construction_error_propagates() {
+        let cfg = LeaseConfig::case_study();
+        let err = execute_assignment(Vec::new(), &cfg, 0, 4, false, false)
+            .expect_err("an empty network must not execute");
+        assert!(
+            err.contains("executor construction failed"),
+            "unexpected error text: {err}"
+        );
+    }
+
+    /// Any recorded error poisons `all_safe` and is visible in the
+    /// rendered result.
+    #[test]
+    fn errors_poison_all_safe() {
+        let result = ExplorationResult {
+            runs: 8,
+            depth: 2,
+            requested_depth: 2,
+            violations: Vec::new(),
+            errors: vec!["mask 0b0 default_drop=false: executor construction failed".into()],
+        };
+        assert!(!result.all_safe());
+        let text = format!("{result}");
+        assert!(text.contains("EXECUTION ERRORS"), "{text}");
     }
 }

@@ -42,4 +42,7 @@ pub mod symbolic;
 pub use adversary::{run_with_adversary, Adversary};
 pub use exhaustive::{explore, ExplorationResult};
 pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};
-pub use symbolic::{cross_check, cross_check_with, verify_symbolic, CrossCheck, SymbolicOutcome};
+pub use symbolic::{
+    cross_check, cross_check_with, verify_symbolic, verify_symbolic_with, CrossCheck,
+    Extrapolation, Limits, SymbolicOutcome, TrippedLimit,
+};

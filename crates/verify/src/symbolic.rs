@@ -9,7 +9,8 @@
 //! `Unsafe` verdict carries a symbolic counter-example trace.
 
 use pte_core::pattern::LeaseConfig;
-use pte_zones::{check_lease_pattern_with, Limits, SymbolicVerdict, ZonesError};
+use pte_zones::{check_lease_pattern_with, SymbolicVerdict, ZonesError};
+pub use pte_zones::{Extrapolation, Limits, TrippedLimit};
 use std::fmt;
 
 /// Runs the symbolic backend on a lease configuration with the default
@@ -19,6 +20,17 @@ use std::fmt;
 /// checks PTE reachability over all timings and loss fates.
 pub fn verify_symbolic(cfg: &LeaseConfig, leased: bool) -> Result<SymbolicVerdict, ZonesError> {
     check_lease_pattern_with(cfg, leased, &Limits::default())
+}
+
+/// [`verify_symbolic`] with explicit engine knobs: state / wall-clock
+/// budgets, worker count (the verdict is identical for every worker
+/// count), and extrapolation operator.
+pub fn verify_symbolic_with(
+    cfg: &LeaseConfig,
+    leased: bool,
+    limits: &Limits,
+) -> Result<SymbolicVerdict, ZonesError> {
+    check_lease_pattern_with(cfg, leased, limits)
 }
 
 /// Three-valued summary of a symbolic verdict: a truncated search is
@@ -38,7 +50,7 @@ impl From<&SymbolicVerdict> for SymbolicOutcome {
         match v {
             SymbolicVerdict::Safe(_) => SymbolicOutcome::Safe,
             SymbolicVerdict::Unsafe(_) => SymbolicOutcome::Unsafe,
-            SymbolicVerdict::OutOfBudget(_) => SymbolicOutcome::Inconclusive,
+            SymbolicVerdict::OutOfBudget { .. } => SymbolicOutcome::Inconclusive,
         }
     }
 }
@@ -122,10 +134,7 @@ pub fn cross_check_with(
     limits: &Limits,
 ) -> Result<CrossCheck, ZonesError> {
     let symbolic = check_lease_pattern_with(cfg, leased, limits)?;
-    let symbolic_states = match &symbolic {
-        SymbolicVerdict::Safe(s) | SymbolicVerdict::OutOfBudget(s) => s.states,
-        SymbolicVerdict::Unsafe(_) => 0,
-    };
+    let symbolic_states = symbolic.stats().map_or(0, |s| s.states);
     let exhaustive = crate::exhaustive::explore(cfg, leased, depth, cancel_mid_emission);
     Ok(CrossCheck {
         symbolic: SymbolicOutcome::from(&symbolic),
@@ -158,10 +167,35 @@ mod tests {
     #[test]
     fn starved_budget_is_inconclusive_not_unsafe() {
         let cfg = LeaseConfig::case_study();
-        let cc = cross_check_with(&cfg, true, 0, false, &Limits { max_states: 10 }).unwrap();
+        let limits = Limits {
+            max_states: 10,
+            ..Limits::default()
+        };
+        let cc = cross_check_with(&cfg, true, 0, false, &limits).unwrap();
         assert_eq!(cc.symbolic, SymbolicOutcome::Inconclusive);
         assert!(!cc.symbolic_safe());
         assert!(!cc.agree());
         assert!(format!("{cc}").contains("inconclusive"), "{cc}");
+    }
+
+    /// A starved budget names the limit that tripped and the frontier
+    /// left unexplored — the diagnosability fix for `Inconclusive`
+    /// cross-checks.
+    #[test]
+    fn out_of_budget_reports_frontier_and_tripped_limit() {
+        let cfg = LeaseConfig::case_study();
+        let limits = Limits {
+            max_states: 10,
+            ..Limits::default()
+        };
+        let verdict = verify_symbolic_with(&cfg, true, &limits).unwrap();
+        let SymbolicVerdict::OutOfBudget { stats, tripped } = &verdict else {
+            panic!("10-state budget must be exhausted, got {verdict}");
+        };
+        assert_eq!(*tripped, TrippedLimit::MaxStates(10));
+        assert!(stats.frontier > 0, "a truncated search has a frontier");
+        let text = format!("{verdict}");
+        assert!(text.contains("max_states = 10"), "{text}");
+        assert!(text.contains("frontier"), "{text}");
     }
 }

@@ -99,7 +99,11 @@ impl fmt::Debug for Bound {
 /// non-canonical; call [`Dbm::canonicalize`] (or use the `*_canon`
 /// helpers) before emptiness/inclusion tests. All public predicates
 /// (`is_empty`, `includes`, `satisfies`) assume canonical inputs.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// The derived `Ord` is a *syntactic* lexicographic order over the
+/// bound matrix — unrelated to zone inclusion — provided so engines can
+/// sort zones into a deterministic processing order.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Dbm {
     dim: usize,
     m: Vec<Bound>,
@@ -281,12 +285,37 @@ impl Dbm {
     /// than `-k[x]` are clamped, guaranteeing finitely many zones per
     /// location. `k` is indexed by clock (entry 0 is the reference and
     /// ignored). Sound for diagonal-free timed automata; re-canonicalizes.
+    ///
+    /// `Extra_M` is exactly [`Dbm::extrapolate_lu`] with `L = U = M`.
     pub fn extrapolate(&mut self, k: &[i64]) {
-        debug_assert_eq!(k.len(), self.dim);
+        self.extrapolate_lu(k, k);
+    }
+
+    /// Lower/upper-bound extrapolation `Extra_LU` (Behrmann, Bouyer,
+    /// Larsen & Pelánek, *Lower and Upper Bounds in Zone Based
+    /// Abstractions of Timed Automata*):
+    ///
+    /// * an upper bound on `x_i` looser than `L(x_i)` is widened to `∞`
+    ///   — no *lower-bound* guard (`x > c`, `x ≥ c`, `c ≤ L(x_i)`) can
+    ///   distinguish values above `L(x_i)`;
+    /// * a lower bound on `x_j` tighter than `-U(x_j)` is clamped to
+    ///   `< -U(x_j)` — no *upper-bound* guard can distinguish values
+    ///   above `U(x_j)`.
+    ///
+    /// With `L ≤ M` and `U ≤ M` this abstracts at least as coarsely as
+    /// `Extra_M` (strictly coarser whenever some clock is only ever
+    /// compared in one direction), so the zone graph settles *fewer*
+    /// states while preserving reachability of every diagonal-free
+    /// property. Both vectors are indexed like `k` in
+    /// [`Dbm::extrapolate`] (entry 0 = reference, ignored).
+    /// Re-canonicalizes when anything changed.
+    pub fn extrapolate_lu(&mut self, lower: &[i64], upper: &[i64]) {
+        debug_assert_eq!(lower.len(), self.dim);
+        debug_assert_eq!(upper.len(), self.dim);
         let d = self.dim;
         let mut changed = false;
-        for i in 0..d {
-            for j in 0..d {
+        for (i, &li) in lower.iter().enumerate() {
+            for (j, &uj) in upper.iter().enumerate().take(d) {
                 if i == j {
                     continue;
                 }
@@ -295,11 +324,69 @@ impl Dbm {
                 if b.is_inf() {
                     continue;
                 }
-                if i != 0 && b > Bound::le(k[i]) {
+                if i != 0 && b > Bound::le(li) {
                     self.m[idx] = Bound::INF;
                     changed = true;
-                } else if j != 0 && b < Bound::lt(-k[j]) {
-                    self.m[idx] = Bound::lt(-k[j]);
+                } else if j != 0 && b < Bound::lt(-uj) {
+                    self.m[idx] = Bound::lt(-uj);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.canonicalize();
+        }
+    }
+
+    /// Zone-position-based LU extrapolation `Extra⁺_LU` (ibid., the
+    /// operator UPPAAL applies): in addition to [`Dbm::extrapolate_lu`]'s
+    /// per-entry rules, whole rows and columns are widened based on
+    /// where the *zone* sits relative to the bounds —
+    ///
+    /// * row `i` is widened when the zone already implies
+    ///   `x_i > L(x_i)` (no lower-bound guard can tell its values apart);
+    /// * column `j` (and, on the reference row, the lower bound of
+    ///   `x_j`, clamped to `> U(x_j)`) is widened when the zone implies
+    ///   `x_j > U(x_j)` (no upper-bound guard can tell its values
+    ///   apart), which erases the diagonal correlations `x - x_j` that
+    ///   keep otherwise-equivalent zones distinct.
+    ///
+    /// Strictly coarser than `Extra_LU` (hence than `Extra_M`), and
+    /// sound for diagonal-free timed automata whose lower-/upper-bound
+    /// guard constants are covered by `L`/`U`. Unlike the per-entry
+    /// operators it is **not** idempotent in general: widening plus
+    /// re-canonicalization can expose further widening opportunities.
+    /// Each zone passes through it once per settle, so the engine only
+    /// needs soundness and the (preserved) finite-range guarantee, not
+    /// idempotence.
+    pub fn extrapolate_lu_plus(&mut self, lower: &[i64], upper: &[i64]) {
+        debug_assert_eq!(lower.len(), self.dim);
+        debug_assert_eq!(upper.len(), self.dim);
+        let d = self.dim;
+        let mut changed = false;
+        // The rules read the zone's pre-extrapolation lower bounds
+        // (reference row `c_0x`), so snapshot them first.
+        let c0: Vec<Bound> = self.m[0..d].to_vec();
+        for (i, &li) in lower.iter().enumerate() {
+            for (j, &uj) in upper.iter().enumerate().take(d) {
+                if i == j {
+                    continue;
+                }
+                let idx = i * d + j;
+                let b = self.m[idx];
+                if b.is_inf() {
+                    continue;
+                }
+                // `c0[x] < le(-k)` encodes "the zone implies x > k".
+                let widen = i != 0
+                    && (b > Bound::le(li)
+                        || c0[i] < Bound::le(-li)
+                        || (j != 0 && c0[j] < Bound::le(-uj)));
+                if widen {
+                    self.m[idx] = Bound::INF;
+                    changed = true;
+                } else if i == 0 && c0[j] < Bound::le(-uj) && b < Bound::lt(-uj) {
+                    self.m[idx] = Bound::lt(-uj);
                     changed = true;
                 }
             }

@@ -13,17 +13,21 @@
 //!
 //! 1. [`dbm`] — Difference Bound Matrices over integer ticks:
 //!    canonicalization (Floyd–Warshall), `up`/`down`/`free`/`reset`,
-//!    intersection, inclusion, emptiness, and maximal-constant
-//!    extrapolation for termination;
+//!    intersection, inclusion, emptiness, and two extrapolation
+//!    operators for termination (maximal-constant `Extra_M` and the
+//!    coarser LU-bound `Extra_LU`);
 //! 2. [`lower`] — a timed abstraction of the `pte-core` pattern
 //!    automata: their continuous dynamics are clock-like by construction
 //!    (rate-1 lease/dwell timers, rate-0 registers such as the
 //!    Supervisor's approval flag), so the hybrid network lowers exactly
 //!    into a network of timed automata ([`ta`]) with invariants, guards,
 //!    resets and the reliable/lossy synchronization labels;
-//! 3. [`reach`] — a zone-graph reachability engine with a passed/waiting
-//!    list and an embedded PTE observer (Rule 1 dwelling bounds plus the
-//!    per-pair `T^min_risky`/`T^min_safe` safeguards), reporting either
+//! 3. [`reach`] — a parallel zone-graph reachability engine: the passed
+//!    list is sharded by discrete-location hash, scoped workers expand
+//!    the frontier in deterministic BFS layers ([`Limits::max_workers`];
+//!    the verdict and counter-example are identical for every worker
+//!    count), and an embedded PTE observer (Rule 1 dwelling bounds plus
+//!    the per-pair `T^min_risky`/`T^min_safe` safeguards) reports either
 //!    `PTE-unreachable` or a symbolic counter-example trace.
 //!
 //! ## Quickstart
@@ -51,9 +55,10 @@ pub mod ta;
 pub use dbm::{Bound, Dbm};
 pub use lower::{lower_network, LowerError};
 pub use reach::{
-    check, Limits, ObserverSpec, SearchStats, SymbolicCounterExample, SymbolicVerdict,
-    ViolationKind,
+    check, Extrapolation, Limits, ObserverSpec, SearchStats, SymbolicCounterExample,
+    SymbolicVerdict, TrippedLimit, ViolationKind,
 };
+pub use ta::LuBounds;
 
 use pte_core::pattern::{build_pattern_system, LeaseConfig};
 use std::fmt;

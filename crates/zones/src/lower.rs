@@ -21,6 +21,11 @@
 //!
 //! Constants are scaled from seconds to integer ticks ([`crate::SCALE`]),
 //! the exactness condition for DBM canonicalization.
+//!
+//! Every lowered atom keeps its comparison direction, which is what lets
+//! the engine derive the per-clock lower/upper extrapolation bounds
+//! ([`TaNetwork::lu_bounds`]) behind `Extra⁺_LU` — invariants only feed
+//! upper bounds, guards feed whichever direction they compare.
 
 use crate::ta::{Atom, Rel, Sync, TaAutomaton, TaEdge, TaLocation, TaNetwork};
 use crate::{to_ticks, try_to_ticks};

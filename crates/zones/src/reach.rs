@@ -1,12 +1,61 @@
-//! Zone-graph reachability with an embedded PTE observer.
+//! Zone-graph reachability with an embedded PTE observer — parallel,
+//! sharded, and deterministic.
 //!
 //! The engine explores the product of a [`TaNetwork`] symbolically:
 //! a state is a location vector plus a zone (DBM) over every clock, and
-//! the passed/waiting-list algorithm with zone inclusion and maximal-
-//! constant extrapolation guarantees termination. Every drop/deliver
-//! assignment of every wireless emission and every real-valued timing is
-//! covered — the dense-time completion of `pte-verify`'s bounded
-//! `2^k` exhaustive exploration.
+//! the passed/waiting-list algorithm with zone inclusion and
+//! extrapolation (maximal-constant `Extra_M` or the coarser LU-bound
+//! `Extra_LU`, selectable via [`Limits::extrapolation`]) guarantees
+//! termination. Every drop/deliver assignment of every wireless
+//! emission and every real-valued timing is covered — the dense-time
+//! completion of `pte-verify`'s bounded `2^k` exhaustive exploration.
+//!
+//! ## Parallel sharding
+//!
+//! The passed list is sharded by a hash of the discrete part of the
+//! state (location vector + observer pair states) into [`SHARD_COUNT`]
+//! shards, each behind its own `parking_lot::Mutex`. Because a zone can
+//! only subsume another zone with the *same* discrete part, subsumption
+//! is a shard-local operation and shards never need to coordinate.
+//!
+//! Exploration proceeds in BFS layers with two phases per round, run by
+//! a pool of `crossbeam` scoped workers spawned once per check
+//! ([`Limits::max_workers`]) and coordinated with epoch counters and
+//! spin/yield barriers (thread spawning costs ≈1 ms on some kernels —
+//! far more than a round):
+//!
+//! 1. **Expand** — workers claim frontier states from a shared cursor
+//!    (an atomic index over the round's frontier vector), fire every
+//!    enabled edge, resolve emission cascades, apply delay closure +
+//!    extrapolation, and run all PTE observer checks. Cooked successor
+//!    candidates are pushed into the pending list of their target shard;
+//!    violations are collected worker-locally.
+//! 2. **Admit** — workers claim whole shards from a second cursor. Each
+//!    shard sorts its pending candidates into a *content-defined* order
+//!    (discrete key, then zone matrix, then parent id, then action
+//!    text), discards those subsumed by an already-passed zone, and
+//!    appends the survivors to the shard's node arena and the next
+//!    frontier.
+//!
+//! ## Determinism
+//!
+//! The verdict (`Safe` / `Unsafe` / `OutOfBudget`) and the reported
+//! counter-example are identical for every worker count:
+//!
+//! * the frontier of round `r + 1` is a pure function of the frontier of
+//!   round `r` — phase 1 only reads shared state, and phase 2 admits
+//!   each shard's candidates in the content-defined order above, so
+//!   races can only reorder *work*, never results;
+//! * violations never abort the round; they are collected, and once the
+//!   round completes the engine reports the **lexicographically least
+//!   violating trace** (by step list, then violation kind, then zone),
+//!   which is a content-defined choice independent of which worker found
+//!   it first. Layered BFS additionally guarantees the reported trace
+//!   belongs to the *earliest* round containing any violation;
+//! * budget checks run at round boundaries only, so `OutOfBudget`
+//!   verdicts trip at the same round for every worker count (the
+//!   optional wall-clock limit is the one deliberately nondeterministic
+//!   exception).
 //!
 //! PTE checking is built in as a deterministic observer rather than a
 //! monitor automaton: per entity a clock `r_i` tracks time since the
@@ -17,11 +66,14 @@
 //! `T^min_safe` exit lag — exactly mirroring `pte_core::monitor`.
 
 use crate::dbm::Dbm;
-use crate::ta::{Atom, Rel, Sync, TaNetwork};
+use crate::ta::{Atom, LuBounds, Rel, Sync, TaNetwork};
+use parking_lot::{Mutex, RwLock};
 use pte_core::rules::PteSpec;
 use pte_hybrid::Root;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Integer-tick form of the PTE specification the observer enforces.
 #[derive(Clone, Debug)]
@@ -100,6 +152,20 @@ pub enum ViolationKind {
     },
 }
 
+impl ViolationKind {
+    /// Content-defined total order used to tie-break counter-examples
+    /// with identical step lists.
+    fn rank(&self) -> (u8, usize) {
+        match self {
+            ViolationKind::Rule1 { entity } => (0, *entity),
+            ViolationKind::Coverage { pair } => (1, *pair),
+            ViolationKind::EnterMargin { pair } => (2, *pair),
+            ViolationKind::ExitUncovered { pair } => (3, *pair),
+            ViolationKind::ExitLag { pair } => (4, *pair),
+        }
+    }
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -155,6 +221,29 @@ pub struct SearchStats {
     pub transitions: usize,
     /// Successor states subsumed by an already-passed zone.
     pub subsumed: usize,
+    /// Unexplored frontier states at the moment the search ended
+    /// (always 0 for a completed search).
+    pub frontier: usize,
+}
+
+/// Which exploration limit ended an inconclusive search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrippedLimit {
+    /// [`Limits::max_states`] was exceeded (carries the limit value).
+    MaxStates(usize),
+    /// [`Limits::max_wall`] was exceeded (carries the budget).
+    WallClock(Duration),
+}
+
+impl fmt::Display for TrippedLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrippedLimit::MaxStates(n) => write!(f, "state budget (max_states = {n})"),
+            TrippedLimit::WallClock(d) => {
+                write!(f, "wall-clock budget ({:.3} s)", d.as_secs_f64())
+            }
+        }
+    }
 }
 
 /// Outcome of a symbolic reachability check.
@@ -164,8 +253,14 @@ pub enum SymbolicVerdict {
     Safe(SearchStats),
     /// A violation is reachable; the witness explains how.
     Unsafe(Box<SymbolicCounterExample>),
-    /// The state budget was exhausted before the search finished.
-    OutOfBudget(SearchStats),
+    /// An exploration limit was exhausted before the search finished.
+    OutOfBudget {
+        /// Search statistics at the point of truncation, including the
+        /// size of the unexplored frontier.
+        stats: SearchStats,
+        /// The limit that ended the search.
+        tripped: TrippedLimit,
+    },
 }
 
 impl SymbolicVerdict {
@@ -177,6 +272,16 @@ impl SymbolicVerdict {
     /// `true` if a violation was found.
     pub fn is_unsafe(&self) -> bool {
         matches!(self, SymbolicVerdict::Unsafe(_))
+    }
+
+    /// Search statistics, when the verdict carries them (`Safe` and
+    /// `OutOfBudget`; a falsification stops at its witness).
+    pub fn stats(&self) -> Option<&SearchStats> {
+        match self {
+            SymbolicVerdict::Safe(s) => Some(s),
+            SymbolicVerdict::OutOfBudget { stats, .. } => Some(stats),
+            SymbolicVerdict::Unsafe(_) => None,
+        }
     }
 }
 
@@ -190,32 +295,70 @@ impl fmt::Display for SymbolicVerdict {
                 s.states, s.transitions
             ),
             SymbolicVerdict::Unsafe(ce) => write!(f, "{ce}"),
-            SymbolicVerdict::OutOfBudget(s) => write!(
+            SymbolicVerdict::OutOfBudget { stats, tripped } => write!(
                 f,
-                "inconclusive: state budget exhausted ({} states)",
-                s.states
+                "inconclusive: {tripped} exhausted with {} settled states \
+                 and {} frontier states unexplored",
+                stats.states, stats.frontier
             ),
         }
     }
 }
 
-/// Exploration limits.
+/// Extrapolation operator applied to every settled zone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Extrapolation {
+    /// Classical maximal-constant `Extra_M` ([`Dbm::extrapolate`]).
+    ExtraM,
+    /// LU-bound `Extra⁺_LU` ([`Dbm::extrapolate_lu_plus`]) — strictly
+    /// coarser than `Extra_M`, so the search settles no more (usually
+    /// strictly fewer) states. The default.
+    #[default]
+    ExtraLu,
+}
+
+/// Exploration limits and engine knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct Limits {
     /// Maximum number of settled symbolic states.
     pub max_states: usize,
+    /// Worker threads for the parallel exploration; `1` explores on the
+    /// calling thread, `0` means one worker per available CPU. The
+    /// verdict is identical for every value.
+    pub max_workers: usize,
+    /// Optional wall-clock budget, checked at round boundaries. `None`
+    /// (the default) never trips, keeping verdicts fully deterministic.
+    pub max_wall: Option<Duration>,
+    /// Extrapolation operator (see [`Extrapolation`]).
+    pub extrapolation: Extrapolation,
 }
 
 impl Default for Limits {
     fn default() -> Limits {
         Limits {
             max_states: 200_000,
+            max_workers: 1,
+            max_wall: None,
+            extrapolation: Extrapolation::default(),
+        }
+    }
+}
+
+impl Limits {
+    /// Worker count after resolving `0` to the available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.max_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.max_workers
         }
     }
 }
 
 /// Per-pair observer state.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum PairState {
     /// Both entities safe.
     Idle,
@@ -229,11 +372,75 @@ enum PairState {
 
 type Key = (Vec<u32>, Vec<PairState>);
 
+/// Number of passed-list shards. A constant (rather than a function of
+/// the worker count) so the shard assignment — and hence node numbering
+/// — is identical across worker counts.
+pub const SHARD_COUNT: usize = 64;
+
+/// FNV-1a over the discrete part of a state: deterministic across runs,
+/// platforms, and (unlike `std`'s `RandomState`) processes.
+fn shard_of(key: &Key) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in &key.0 {
+        h = (h ^ u64::from(l)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for p in &key.1 {
+        h = (h ^ (*p as u64)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
+/// Global node address: shard index + index into the shard's arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct NodeId {
+    shard: u32,
+    idx: u32,
+}
+
+/// A settled node in a shard's arena. The discrete key lives in the
+/// shard's passed map; nodes only carry what trace reconstruction and
+/// subsumption need.
 struct Node {
+    zone: Dbm,
+    parent: Option<NodeId>,
+    action: String,
+}
+
+/// One shard of the passed list: a discrete-key-indexed map into a node
+/// arena, plus the staging area phase 1 fills and phase 2 drains.
+#[derive(Default)]
+struct Shard {
+    passed: HashMap<Key, Vec<u32>>,
+    nodes: Vec<Node>,
+    pending: Vec<Candidate>,
+}
+
+/// A fully cooked successor: delay-closed, activity-reduced,
+/// extrapolated, and observer-checked — everything except subsumption,
+/// which is phase 2's shard-local job.
+struct Candidate {
     key: Key,
     zone: Dbm,
-    parent: Option<usize>,
+    parent: Option<NodeId>,
     action: String,
+}
+
+impl Candidate {
+    /// Content-defined admission order: discrete key, zone matrix,
+    /// parent id, action text. Sorting pending candidates by this key
+    /// makes phase 2 independent of phase-1 arrival order.
+    fn order_key(&self) -> (&Key, &Dbm, Option<NodeId>, &str) {
+        (&self.key, &self.zone, self.parent, &self.action)
+    }
+}
+
+/// A frontier entry: a settled node plus the clones phase 1 needs to
+/// expand it without touching its home shard.
+struct FrontierEntry {
+    id: NodeId,
+    locs: Vec<u32>,
+    pairs: Vec<PairState>,
+    zone: Dbm,
 }
 
 /// In-flight resolution work: a state mid-cascade (pending emissions not
@@ -255,6 +462,12 @@ struct Violation {
     zone: Dbm,
 }
 
+/// Worker-local tallies merged into [`SearchStats`] at round barriers.
+#[derive(Default)]
+struct LocalStats {
+    transitions: usize,
+}
+
 /// Maximum zero-time cascade depth (urgent chains + deliveries) before
 /// the engine settles a state as-is; prevents pathological recursion on
 /// malformed inputs.
@@ -271,11 +484,12 @@ struct Engine<'s> {
     r_clock: Vec<usize>,
     /// pair index -> DBM index of its inner-exit clock `s_k`.
     s_clock: Vec<usize>,
+    /// `Extra_M` ceiling vector (network + observer constants).
     kmax: Vec<i64>,
-    nodes: Vec<Node>,
-    passed: HashMap<Key, Vec<usize>>,
-    waiting: VecDeque<usize>,
-    stats: SearchStats,
+    /// `Extra_LU` bound vectors (network + observer constants).
+    lu: LuBounds,
+    extrapolation: Extrapolation,
+    shards: Vec<Mutex<Shard>>,
 }
 
 /// Runs the symbolic PTE check of `spec` over `net`.
@@ -306,19 +520,26 @@ pub fn check(
         .collect();
 
     // Maximal constants: network constants plus the observer's bounds.
+    // The observer compares `r_i` downward against `T^min_risky` (enter
+    // lead) and upward against the Rule-1 bound, and `s_k` downward
+    // against `T^min_safe`, so the LU split mirrors those directions.
     let mut kmax = net.max_constants();
+    let mut lu = net.lu_bounds();
     for (ei, &c) in r_clock.iter().enumerate() {
         let mut k = spec.rule1_ticks[ei];
+        lu.fold_lower(c, spec.rule1_ticks[ei]);
         if ei < spec.pairs.len() {
             k = k.max(spec.pairs[ei].t_min_risky);
+            lu.fold_upper(c, spec.pairs[ei].t_min_risky);
         }
         kmax[c] = k;
     }
     for (pk, &c) in s_clock.iter().enumerate() {
         kmax[c] = spec.pairs[pk].t_min_safe;
+        lu.fold_upper(c, spec.pairs[pk].t_min_safe);
     }
 
-    let mut engine = Engine {
+    let engine = Engine {
         net,
         spec,
         entity_aut,
@@ -326,18 +547,121 @@ pub fn check(
         r_clock,
         s_clock,
         kmax,
-        nodes: Vec::new(),
-        passed: HashMap::new(),
-        waiting: VecDeque::new(),
-        stats: SearchStats::default(),
+        lu,
+        extrapolation: limits.extrapolation,
+        shards: (0..SHARD_COUNT)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect(),
     };
     Ok(engine.run(limits))
 }
 
+/// Phase selector for the persistent worker pool. Thread spawning is
+/// expensive enough (≈1 ms per scope on some kernels) to swamp per-round
+/// parallelism, so the pool is spawned once per [`check`] and rounds are
+/// coordinated with an epoch counter: the coordinator stages a phase,
+/// bumps `epoch`, participates in the work itself, and spin/yield-waits
+/// for every helper to raise `done`.
+const TASK_EXIT: usize = 0;
+const TASK_EXPAND: usize = 1;
+const TASK_ADMIT: usize = 2;
+
+/// Phase-control block guarded by [`RoundSync::phase`].
+struct PhaseCtl {
+    /// Bumped by the coordinator to start the next phase.
+    epoch: usize,
+    /// Which phase the current epoch runs ([`TASK_EXPAND`], …).
+    task: usize,
+    /// Helpers that finished the current phase.
+    done: usize,
+}
+
+/// Shared round state between the coordinator and the helper pool.
+/// Phase hand-off uses `std::sync::Condvar` so idle helpers sleep
+/// instead of burning a core (matters when `max_workers` exceeds the
+/// machine's parallelism).
+struct RoundSync {
+    phase: std::sync::Mutex<PhaseCtl>,
+    /// Signalled by the coordinator when a new phase starts.
+    start: std::sync::Condvar,
+    /// Signalled by helpers when they finish a phase.
+    finish: std::sync::Condvar,
+    /// Work-claim cursor of the current phase (frontier index or shard
+    /// index).
+    cursor: AtomicUsize,
+    /// The frontier being expanded (published before the phase starts).
+    frontier: RwLock<Vec<FrontierEntry>>,
+    /// Violations found by helpers this round.
+    violations: Mutex<Vec<(Option<NodeId>, Violation)>>,
+    /// Per-shard admissions produced by helpers this round.
+    admitted: Mutex<Vec<(usize, Vec<FrontierEntry>)>>,
+    /// Helper-side transition / subsumption tallies.
+    transitions: AtomicUsize,
+    subsumed: AtomicUsize,
+    /// Set by a helper whose phase work panicked; the coordinator
+    /// aborts the check instead of trusting a partial round.
+    helper_panicked: std::sync::atomic::AtomicBool,
+}
+
+impl RoundSync {
+    fn new() -> RoundSync {
+        RoundSync {
+            phase: std::sync::Mutex::new(PhaseCtl {
+                epoch: 0,
+                task: TASK_EXIT,
+                done: 0,
+            }),
+            start: std::sync::Condvar::new(),
+            finish: std::sync::Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            frontier: RwLock::new(Vec::new()),
+            violations: Mutex::new(Vec::new()),
+            admitted: Mutex::new(Vec::new()),
+            transitions: AtomicUsize::new(0),
+            subsumed: AtomicUsize::new(0),
+            helper_panicked: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn ctl(&self) -> std::sync::MutexGuard<'_, PhaseCtl> {
+        self.phase.lock().expect("phase lock poisoned")
+    }
+}
+
 impl Engine<'_> {
-    fn run(&mut self, limits: &Limits) -> SymbolicVerdict {
-        // Initial state: every automaton in its initial location, every
-        // clock zero, all pairs idle.
+    fn run(&self, limits: &Limits) -> SymbolicVerdict {
+        let workers = limits.effective_workers().max(1);
+        let sync = RoundSync::new();
+        if workers == 1 {
+            return self.drive(&sync, limits, 0);
+        }
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers - 1 {
+                scope.spawn(|_| self.helper_loop(&sync));
+            }
+            // Catch a coordinator panic so the pool is always dismissed:
+            // the scope joins helpers before propagating, and helpers
+            // blocked on the start condvar would otherwise hang forever,
+            // turning the crash into a silent CI timeout.
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.drive(&sync, limits, workers - 1)
+            }));
+            self.start_phase(&sync, TASK_EXIT);
+            match verdict {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        })
+        .expect("worker pool scope")
+    }
+
+    /// The coordinator: seeds the search, then alternates expand/admit
+    /// phases (participating in each) until a verdict is reached.
+    fn drive(&self, sync: &RoundSync, limits: &Limits, helpers: usize) -> SymbolicVerdict {
+        let started = Instant::now();
+        let mut stats = SearchStats::default();
+
+        // Seed round: resolve + cook the initial state on this thread.
         let init = Work {
             locs: self.net.automata.iter().map(|a| a.initial as u32).collect(),
             pairs: vec![PairState::Idle; self.spec.pairs.len()],
@@ -345,67 +669,316 @@ impl Engine<'_> {
             queue: VecDeque::new(),
             actions: vec!["initial state".to_string()],
         };
+        let mut local = LocalStats::default();
         let mut settled = Vec::new();
-        if let Err(v) = self.resolve(init, 0, &mut settled) {
-            return SymbolicVerdict::Unsafe(Box::new(self.render_ce(None, v)));
+        let mut violations: Vec<(Option<NodeId>, Violation)> = Vec::new();
+        match self.resolve(init, 0, &mut settled, &mut local) {
+            Ok(()) => {}
+            Err(v) => violations.push((None, v)),
         }
         for w in settled {
-            if let Err(v) = self.admit(w, None) {
-                return SymbolicVerdict::Unsafe(Box::new(self.render_ce(None, v)));
+            match self.cook(w, None) {
+                Ok(Some(c)) => self.shards[shard_of(&c.key)].lock().pending.push(c),
+                Ok(None) => {}
+                Err(v) => violations.push((None, v)),
             }
         }
+        stats.transitions += local.transitions;
+        if !violations.is_empty() {
+            return self.least_counter_example(violations);
+        }
+        let mut frontier = self.admit_phase(sync, helpers, &mut stats);
 
-        while let Some(idx) = self.waiting.pop_front() {
-            if self.nodes.len() > limits.max_states {
-                return SymbolicVerdict::OutOfBudget(self.stats);
+        loop {
+            if frontier.is_empty() {
+                stats.frontier = 0;
+                return SymbolicVerdict::Safe(stats);
             }
-            let (locs, pairs) = self.nodes[idx].key.clone();
-            let zone = self.nodes[idx].zone.clone();
-            for ai in 0..self.net.automata.len() {
-                let loc = locs[ai] as usize;
-                let edge_ids: Vec<usize> = self.net.automata[ai]
-                    .edges_from(loc)
-                    .filter(|(_, e)| matches!(e.sync, Sync::None | Sync::External(_)))
-                    .map(|(i, _)| i)
-                    .collect();
-                for eid in edge_ids {
-                    let w = Work {
-                        locs: locs.clone(),
-                        pairs: pairs.clone(),
-                        zone: zone.clone(),
-                        queue: VecDeque::new(),
-                        actions: Vec::new(),
+            if stats.states > limits.max_states {
+                stats.frontier = frontier.len();
+                return SymbolicVerdict::OutOfBudget {
+                    stats,
+                    tripped: TrippedLimit::MaxStates(limits.max_states),
+                };
+            }
+            if let Some(budget) = limits.max_wall {
+                if started.elapsed() > budget {
+                    stats.frontier = frontier.len();
+                    return SymbolicVerdict::OutOfBudget {
+                        stats,
+                        tripped: TrippedLimit::WallClock(budget),
                     };
-                    let fired = match self.apply_edge(w, ai, eid) {
-                        Ok(Some(w2)) => w2,
-                        Ok(None) => continue,
-                        Err(v) => {
-                            return SymbolicVerdict::Unsafe(Box::new(self.render_ce(Some(idx), v)))
-                        }
+                }
+            }
+            let violations = self.expand_phase(sync, frontier, helpers, &mut stats);
+            if !violations.is_empty() {
+                return self.least_counter_example(violations);
+            }
+            frontier = self.admit_phase(sync, helpers, &mut stats);
+        }
+    }
+
+    /// Helper thread body: wait for the next epoch, run its phase, raise
+    /// `done`; exit on [`TASK_EXIT`].
+    fn helper_loop(&self, sync: &RoundSync) {
+        // Baseline is the pool-creation epoch (0), NOT the current value:
+        // a helper that spawns after the coordinator's first bump must
+        // still join that phase, or the coordinator waits forever.
+        let mut seen = 0usize;
+        loop {
+            let task = {
+                let mut ctl = sync.ctl();
+                while ctl.epoch == seen {
+                    ctl = sync.start.wait(ctl).expect("phase lock poisoned");
+                }
+                seen = ctl.epoch;
+                ctl.task
+            };
+            // A panicking phase must still raise `done`, or the
+            // coordinator waits for this helper forever and a crash
+            // becomes a hang. Catch the unwind, flag it, and let the
+            // coordinator abort the whole check.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task {
+                TASK_EXPAND => {
+                    let (transitions, violations) = {
+                        let frontier = sync.frontier.read();
+                        self.expand_work(&frontier, &sync.cursor)
                     };
-                    let mut settled = Vec::new();
-                    if let Err(v) = self.resolve(fired, 0, &mut settled) {
-                        return SymbolicVerdict::Unsafe(Box::new(self.render_ce(Some(idx), v)));
+                    sync.transitions.fetch_add(transitions, Ordering::Relaxed);
+                    if !violations.is_empty() {
+                        sync.violations.lock().extend(violations);
                     }
-                    for s in settled {
-                        if let Err(v) = self.admit(s, Some(idx)) {
-                            return SymbolicVerdict::Unsafe(Box::new(self.render_ce(Some(idx), v)));
-                        }
+                    true
+                }
+                TASK_ADMIT => {
+                    let (admitted, subsumed) = self.admit_work(&sync.cursor);
+                    sync.subsumed.fetch_add(subsumed, Ordering::Relaxed);
+                    if !admitted.is_empty() {
+                        sync.admitted.lock().extend(admitted);
+                    }
+                    true
+                }
+                _ => false,
+            }));
+            let keep_going = match outcome {
+                Ok(keep_going) => keep_going,
+                Err(_) => {
+                    sync.helper_panicked.store(true, Ordering::Release);
+                    true
+                }
+            };
+            if !keep_going {
+                break;
+            }
+            let mut ctl = sync.ctl();
+            ctl.done += 1;
+            sync.finish.notify_one();
+        }
+    }
+
+    /// Publishes a phase to the pool and waits for every helper to
+    /// finish it (the coordinator's own share is run by the caller
+    /// between `start` and `wait`).
+    fn start_phase(&self, sync: &RoundSync, task: usize) {
+        sync.cursor.store(0, Ordering::Relaxed);
+        let mut ctl = sync.ctl();
+        ctl.epoch += 1;
+        ctl.task = task;
+        ctl.done = 0;
+        drop(ctl);
+        sync.start.notify_all();
+    }
+
+    fn wait_helpers(&self, sync: &RoundSync, helpers: usize) {
+        let mut ctl = sync.ctl();
+        while ctl.done < helpers {
+            ctl = sync.finish.wait(ctl).expect("phase lock poisoned");
+        }
+        drop(ctl);
+        if sync.helper_panicked.load(Ordering::Acquire) {
+            // Dismiss the pool first so the scope join below us cannot
+            // deadlock on helpers waiting for a phase that never comes,
+            // then surface the crash instead of trusting a partial round.
+            self.start_phase(sync, TASK_EXIT);
+            panic!("symbolic exploration worker panicked; aborting the check");
+        }
+    }
+
+    /// Phase 1: expands every frontier entry, staging cooked successors
+    /// into their target shards and returning the round's violations.
+    fn expand_phase(
+        &self,
+        sync: &RoundSync,
+        frontier: Vec<FrontierEntry>,
+        helpers: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<(Option<NodeId>, Violation)> {
+        *sync.frontier.write() = frontier;
+        self.start_phase(sync, TASK_EXPAND);
+        let (transitions, mut violations) = {
+            let frontier = sync.frontier.read();
+            self.expand_work(&frontier, &sync.cursor)
+        };
+        self.wait_helpers(sync, helpers);
+        stats.transitions += transitions + sync.transitions.swap(0, Ordering::Relaxed);
+        violations.append(&mut sync.violations.lock());
+        violations
+    }
+
+    /// One worker's share of an expand phase: claim frontier entries
+    /// from the shared cursor, expand them, flush staged candidates to
+    /// their shards (one lock per shard per phase).
+    fn expand_work(
+        &self,
+        frontier: &[FrontierEntry],
+        cursor: &AtomicUsize,
+    ) -> (usize, Vec<(Option<NodeId>, Violation)>) {
+        let mut local = LocalStats::default();
+        let mut violations = Vec::new();
+        let mut staged: Vec<Vec<Candidate>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(entry) = frontier.get(i) else { break };
+            self.expand(entry, &mut staged, &mut violations, &mut local);
+        }
+        for (s, mut batch) in staged.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.shards[s].lock().pending.append(&mut batch);
+            }
+        }
+        (local.transitions, violations)
+    }
+
+    /// Phase 2: drains every shard's pending list in content-defined
+    /// order, admitting unsubsumed candidates; returns the next
+    /// frontier (concatenated in shard order — deterministic).
+    fn admit_phase(
+        &self,
+        sync: &RoundSync,
+        helpers: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<FrontierEntry> {
+        self.start_phase(sync, TASK_ADMIT);
+        let (mut per_shard, subsumed) = self.admit_work(&sync.cursor);
+        self.wait_helpers(sync, helpers);
+        stats.subsumed += subsumed + sync.subsumed.swap(0, Ordering::Relaxed);
+        per_shard.append(&mut sync.admitted.lock());
+        per_shard.sort_by_key(|(s, _)| *s);
+        let frontier: Vec<FrontierEntry> =
+            per_shard.into_iter().flat_map(|(_, fresh)| fresh).collect();
+        stats.states += frontier.len();
+        frontier
+    }
+
+    /// One worker's share of an admit phase: claim whole shards from the
+    /// shared cursor and admit their pending candidates deterministically.
+    fn admit_work(&self, cursor: &AtomicUsize) -> (Vec<(usize, Vec<FrontierEntry>)>, usize) {
+        let mut admitted: Vec<(usize, Vec<FrontierEntry>)> = Vec::new();
+        let mut subsumed = 0usize;
+        loop {
+            let s = cursor.fetch_add(1, Ordering::Relaxed);
+            if s >= SHARD_COUNT {
+                break;
+            }
+            let mut shard = self.shards[s].lock();
+            if shard.pending.is_empty() {
+                continue;
+            }
+            let mut pending = std::mem::take(&mut shard.pending);
+            pending.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
+            let mut fresh = Vec::new();
+            let Shard { passed, nodes, .. } = &mut *shard;
+            for c in pending {
+                let bucket = passed.entry(c.key.clone()).or_default();
+                if bucket
+                    .iter()
+                    .any(|&ni| nodes[ni as usize].zone.includes(&c.zone))
+                {
+                    subsumed += 1;
+                    continue;
+                }
+                let idx = nodes.len() as u32;
+                nodes.push(Node {
+                    zone: c.zone.clone(),
+                    parent: c.parent,
+                    action: c.action,
+                });
+                bucket.push(idx);
+                fresh.push(FrontierEntry {
+                    id: NodeId {
+                        shard: s as u32,
+                        idx,
+                    },
+                    locs: c.key.0,
+                    pairs: c.key.1,
+                    zone: c.zone,
+                });
+            }
+            admitted.push((s, fresh));
+        }
+        (admitted, subsumed)
+    }
+
+    /// Expands one settled state: fires every spontaneous/external edge,
+    /// resolves the emission cascade, cooks the settled successors into
+    /// shard-staged candidates, and records violations. A violation in
+    /// one edge branch never hides violations or successors of sibling
+    /// branches (determinism requires the full per-node violation set).
+    fn expand(
+        &self,
+        entry: &FrontierEntry,
+        staged: &mut [Vec<Candidate>],
+        violations: &mut Vec<(Option<NodeId>, Violation)>,
+        local: &mut LocalStats,
+    ) {
+        for ai in 0..self.net.automata.len() {
+            let loc = entry.locs[ai] as usize;
+            let edge_ids: Vec<usize> = self.net.automata[ai]
+                .edges_from(loc)
+                .filter(|(_, e)| matches!(e.sync, Sync::None | Sync::External(_)))
+                .map(|(i, _)| i)
+                .collect();
+            for eid in edge_ids {
+                let w = Work {
+                    locs: entry.locs.clone(),
+                    pairs: entry.pairs.clone(),
+                    zone: entry.zone.clone(),
+                    queue: VecDeque::new(),
+                    actions: Vec::new(),
+                };
+                let fired = match self.apply_edge(w, ai, eid, local) {
+                    Ok(Some(w2)) => w2,
+                    Ok(None) => continue,
+                    Err(v) => {
+                        violations.push((Some(entry.id), v));
+                        continue;
+                    }
+                };
+                let mut settled = Vec::new();
+                if let Err(v) = self.resolve(fired, 0, &mut settled, local) {
+                    violations.push((Some(entry.id), v));
+                    continue;
+                }
+                for s in settled {
+                    match self.cook(s, Some(entry.id)) {
+                        Ok(Some(c)) => staged[shard_of(&c.key)].push(c),
+                        Ok(None) => {}
+                        Err(v) => violations.push((Some(entry.id), v)),
                     }
                 }
             }
         }
-        SymbolicVerdict::Safe(self.stats)
     }
 
     /// Fires edge `eid` of automaton `ai` on `w`: guard restriction, PTE
     /// observer transition checks, resets, location move, emission
     /// enqueue. `Ok(None)` when the guard is unsatisfiable.
     fn apply_edge(
-        &mut self,
+        &self,
         mut w: Work,
         ai: usize,
         eid: usize,
+        local: &mut LocalStats,
     ) -> Result<Option<Work>, Violation> {
         let mut zone = w.zone.clone();
         {
@@ -419,7 +992,7 @@ impl Engine<'_> {
         if zone.is_empty() {
             return Ok(None);
         }
-        self.stats.transitions += 1;
+        local.transitions += 1;
 
         let edge = &self.net.automata[ai].edges[eid];
         let src_risky = self.net.automata[ai].locations[edge.src].risky;
@@ -556,17 +1129,19 @@ impl Engine<'_> {
     ///   guarded edge, conservatively over-approximated (full-zone
     ///   ignore, which can only add behaviours, never hide one) when
     ///   several guarded edges compete.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_fates(
-        &mut self,
+        &self,
         w: Work,
         root: &Root,
         receivers: &[(usize, Vec<(usize, bool)>)],
         idx: usize,
         depth: usize,
         out: &mut Vec<Work>,
+        local: &mut LocalStats,
     ) -> Result<(), Violation> {
         if idx == receivers.len() {
-            return self.resolve(w, depth + 1, out);
+            return self.resolve(w, depth + 1, out, local);
         }
         let (ai, edges) = &receivers[idx];
         let mut any_delivered = false;
@@ -577,9 +1152,9 @@ impl Engine<'_> {
                 root.as_str(),
                 self.net.automata[*ai].name
             ));
-            if let Some(w2) = self.apply_edge(branch, *ai, *eid)? {
+            if let Some(w2) = self.apply_edge(branch, *ai, *eid, local)? {
                 any_delivered = true;
-                self.deliver_fates(w2, root, receivers, idx + 1, depth, out)?;
+                self.deliver_fates(w2, root, receivers, idx + 1, depth, out, local)?;
             }
         }
         // Any lossy receiving edge means the wireless hop itself can drop
@@ -596,7 +1171,7 @@ impl Engine<'_> {
                 root.as_str(),
                 self.net.automata[*ai].name
             ));
-            self.deliver_fates(branch, root, receivers, idx + 1, depth, out)?;
+            self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local)?;
         } else {
             // Reliable and at least one edge delivered somewhere in the
             // zone: the event is still ignored on the sub-zone where no
@@ -623,7 +1198,7 @@ impl Engine<'_> {
                         root.as_str(),
                         self.net.automata[*ai].name
                     ));
-                    self.deliver_fates(branch, root, receivers, idx + 1, depth, out)?;
+                    self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local)?;
                 }
             } else if !unguarded_exists {
                 // Several guarded reliable edges: over-approximate with a
@@ -634,7 +1209,7 @@ impl Engine<'_> {
                     root.as_str(),
                     self.net.automata[*ai].name
                 ));
-                self.deliver_fates(branch, root, receivers, idx + 1, depth, out)?;
+                self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local)?;
             }
             // An unguarded reliable edge is always enabled: no ignore
             // fate exists.
@@ -645,7 +1220,13 @@ impl Engine<'_> {
     /// Resolves pending emissions (branching on delivery fates) and
     /// invariant-expired sub-zones (firing urgent escapes), collecting
     /// fully settled states.
-    fn resolve(&mut self, mut w: Work, depth: usize, out: &mut Vec<Work>) -> Result<(), Violation> {
+    fn resolve(
+        &self,
+        mut w: Work,
+        depth: usize,
+        out: &mut Vec<Work>,
+        local: &mut LocalStats,
+    ) -> Result<(), Violation> {
         if depth > CASCADE_DEPTH {
             out.push(w);
             return Ok(());
@@ -673,7 +1254,7 @@ impl Engine<'_> {
                     receivers.push((ai, edges));
                 }
             }
-            return self.deliver_fates(w, &root, &receivers, 0, depth, out);
+            return self.deliver_fates(w, &root, &receivers, 0, depth, out, local);
         }
 
         // No pending events: split on invariant satisfaction.
@@ -711,17 +1292,18 @@ impl Engine<'_> {
                 branch
                     .actions
                     .push(format!("{} invariant expired", self.net.automata[*ai].name));
-                if let Some(w2) = self.apply_edge(branch, *ai, eid)? {
-                    self.resolve(w2, depth + 1, out)?;
+                if let Some(w2) = self.apply_edge(branch, *ai, eid, local)? {
+                    self.resolve(w2, depth + 1, out, local)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Applies delay + extrapolation to a settled work item, runs the
-    /// state-level PTE checks, and stores it unless subsumed.
-    fn admit(&mut self, mut w: Work, parent: Option<usize>) -> Result<(), Violation> {
+    /// Cooks a settled work item into an admission candidate: delay
+    /// closure, observer-clock activity reduction, extrapolation, and
+    /// the state-level PTE checks. Subsumption is deferred to phase 2.
+    fn cook(&self, mut w: Work, parent: Option<NodeId>) -> Result<Option<Candidate>, Violation> {
         // Delay: up-close within the conjunction of location invariants,
         // unless some occupied location freezes time.
         let frozen = w
@@ -740,7 +1322,7 @@ impl Engine<'_> {
             if w.zone.is_empty() {
                 // Cannot happen for a zone that satisfied the invariants,
                 // but guard against malformed inputs.
-                return Ok(());
+                return Ok(None);
             }
         }
         // Observer-clock activity reduction: `r_i` is only ever read
@@ -758,7 +1340,10 @@ impl Engine<'_> {
                 w.zone.free(self.s_clock[pk]);
             }
         }
-        w.zone.extrapolate(&self.kmax);
+        match self.extrapolation {
+            Extrapolation::ExtraM => w.zone.extrapolate(&self.kmax),
+            Extrapolation::ExtraLu => w.zone.extrapolate_lu_plus(&self.lu.lower, &self.lu.upper),
+        }
 
         // State-level PTE checks on the delay-closed zone.
         for (ei, &ai) in self.entity_aut.iter().enumerate() {
@@ -801,37 +1386,42 @@ impl Engine<'_> {
             }
         }
 
-        let key: Key = (w.locs.clone(), w.pairs.clone());
-        let bucket = self.passed.entry(key.clone()).or_default();
-        for &ni in bucket.iter() {
-            if self.nodes[ni].zone.includes(&w.zone) {
-                self.stats.subsumed += 1;
-                return Ok(());
-            }
-        }
-        let idx = self.nodes.len();
-        self.nodes.push(Node {
-            key,
+        Ok(Some(Candidate {
+            key: (w.locs, w.pairs),
             zone: w.zone,
             parent,
             action: w.actions.join("; "),
-        });
-        bucket.push(idx);
-        self.waiting.push_back(idx);
-        self.stats.states = self.nodes.len();
-        Ok(())
+        }))
     }
 
-    fn render_ce(&self, parent: Option<usize>, v: Violation) -> SymbolicCounterExample {
+    /// Renders every violation of the round and returns the
+    /// lexicographically least counter-example (by step list, then
+    /// violation kind, then zone text) — a content-defined choice, so
+    /// the witness is identical for every worker count.
+    fn least_counter_example(
+        &self,
+        violations: Vec<(Option<NodeId>, Violation)>,
+    ) -> SymbolicVerdict {
+        let least = violations
+            .into_iter()
+            .map(|(parent, v)| self.render_ce(parent, v))
+            .min_by(|a, b| {
+                (&a.steps, a.kind.rank(), &a.zone).cmp(&(&b.steps, b.kind.rank(), &b.zone))
+            })
+            .expect("at least one violation");
+        SymbolicVerdict::Unsafe(Box::new(least))
+    }
+
+    fn render_ce(&self, parent: Option<NodeId>, v: Violation) -> SymbolicCounterExample {
         let mut steps = Vec::new();
-        let mut chain = Vec::new();
         let mut cursor = parent;
-        while let Some(i) = cursor {
-            chain.push(self.nodes[i].action.clone());
-            cursor = self.nodes[i].parent;
+        while let Some(id) = cursor {
+            let shard = self.shards[id.shard as usize].lock();
+            let node = &shard.nodes[id.idx as usize];
+            steps.push(node.action.clone());
+            cursor = node.parent;
         }
-        chain.reverse();
-        steps.extend(chain);
+        steps.reverse();
         steps.push(v.actions.join("; "));
         SymbolicCounterExample {
             kind: v.kind,

@@ -216,6 +216,83 @@ impl TaNetwork {
         }
         k
     }
+
+    /// Direction-split maximal constants for LU-bound extrapolation
+    /// ([`crate::dbm::Dbm::extrapolate_lu`]): per clock, `lower` is the
+    /// largest constant of any *lower-bound* comparison (`x > c`,
+    /// `x ≥ c`) and `upper` the largest of any *upper-bound* comparison
+    /// (`x < c`, `x ≤ c`), each indexed like a DBM bound vector. Reset
+    /// constants are folded into both directions (a clock pinned at `v`
+    /// must stay distinguishable on both sides), which keeps the
+    /// abstraction conservative without giving up the split where it
+    /// matters — invariants (`x ≤ c`) no longer inflate `lower`, and
+    /// one-sided guards no longer inflate the opposite direction.
+    /// Pointwise `lower, upper ≤ max_constants()`, so `Extra_LU` with
+    /// these vectors is at least as coarse as `Extra_M`.
+    pub fn lu_bounds(&self) -> LuBounds {
+        let mut lu = LuBounds {
+            lower: vec![0i64; self.clock_count() + 1],
+            upper: vec![0i64; self.clock_count() + 1],
+        };
+        for aut in &self.automata {
+            for loc in &aut.locations {
+                for a in &loc.invariant {
+                    lu.fold_atom(a);
+                }
+            }
+            for e in &aut.edges {
+                for a in &e.guard {
+                    lu.fold_atom(a);
+                }
+                for (c, v) in &e.resets {
+                    lu.fold_both(*c, *v);
+                }
+            }
+        }
+        lu
+    }
+}
+
+/// Per-clock lower/upper comparison constants feeding
+/// [`crate::dbm::Dbm::extrapolate_lu`]; built by
+/// [`TaNetwork::lu_bounds`] and extendable with engine-side observer
+/// bounds via [`LuBounds::fold_lower`] / [`LuBounds::fold_upper`].
+#[derive(Clone, Debug)]
+pub struct LuBounds {
+    /// Largest lower-bound comparison constant per clock (DBM-indexed;
+    /// entry 0 is the reference).
+    pub lower: Vec<i64>,
+    /// Largest upper-bound comparison constant per clock (DBM-indexed).
+    pub upper: Vec<i64>,
+}
+
+impl LuBounds {
+    fn fold_atom(&mut self, a: &Atom) {
+        match a.rel {
+            Rel::Le | Rel::Lt => self.fold_upper(a.clock, a.ticks),
+            Rel::Ge | Rel::Gt => self.fold_lower(a.clock, a.ticks),
+        }
+    }
+
+    /// Raises the lower-comparison constant of `clock` to at least `c`.
+    pub fn fold_lower(&mut self, clock: usize, c: i64) {
+        if clock < self.lower.len() && c > self.lower[clock] {
+            self.lower[clock] = c;
+        }
+    }
+
+    /// Raises the upper-comparison constant of `clock` to at least `c`.
+    pub fn fold_upper(&mut self, clock: usize, c: i64) {
+        if clock < self.upper.len() && c > self.upper[clock] {
+            self.upper[clock] = c;
+        }
+    }
+
+    /// Folds `c` into both directions (reset values, equality tests).
+    pub fn fold_both(&mut self, clock: usize, c: i64) {
+        self.fold_lower(clock, c);
+        self.fold_upper(clock, c);
+    }
 }
 
 impl fmt::Display for TaNetwork {

@@ -1,0 +1,188 @@
+//! Determinism and agreement laws of the parallel sharded engine.
+//!
+//! The engine guarantees that the verdict — and, for falsifications,
+//! the exact counter-example — is identical for every worker count and
+//! that the two extrapolation operators agree on verdicts. These tests
+//! pin both guarantees on the case-study configuration and on
+//! randomized lease configurations.
+
+use proptest::prelude::*;
+use pte_core::pattern::LeaseConfig;
+use pte_hybrid::Time;
+use pte_zones::{check_lease_pattern_with, Extrapolation, Limits, SymbolicVerdict};
+
+fn limits(workers: usize, extrapolation: Extrapolation, max_states: usize) -> Limits {
+    Limits {
+        max_states,
+        max_workers: workers,
+        max_wall: None,
+        extrapolation,
+    }
+}
+
+/// A stable fingerprint of a verdict: discriminant plus every
+/// content-bearing field that must not depend on scheduling.
+fn fingerprint(v: &SymbolicVerdict) -> String {
+    match v {
+        SymbolicVerdict::Safe(s) => format!("safe states={}", s.states),
+        // The full rendered counter-example: kind, step list, zone.
+        SymbolicVerdict::Unsafe(_) => format!("unsafe {v}"),
+        SymbolicVerdict::OutOfBudget { stats, tripped } => format!(
+            "out-of-budget states={} frontier={} tripped={tripped:?}",
+            stats.states, stats.frontier
+        ),
+    }
+}
+
+#[test]
+fn case_study_verdict_identical_across_worker_counts() {
+    let cfg = LeaseConfig::case_study();
+    for leased in [true, false] {
+        let reference =
+            check_lease_pattern_with(&cfg, leased, &limits(1, Extrapolation::ExtraLu, 60_000))
+                .expect("case study lowers");
+        assert_eq!(reference.is_safe(), leased);
+        for workers in [2usize, 4, 8] {
+            let parallel = check_lease_pattern_with(
+                &cfg,
+                leased,
+                &limits(workers, Extrapolation::ExtraLu, 60_000),
+            )
+            .expect("case study lowers");
+            assert_eq!(
+                fingerprint(&reference),
+                fingerprint(&parallel),
+                "worker count {workers} changed the verdict (leased={leased})"
+            );
+        }
+    }
+}
+
+#[test]
+fn counter_example_is_reproducible_across_worker_counts() {
+    let cfg = LeaseConfig::case_study();
+    let render = |workers: usize| {
+        let v = check_lease_pattern_with(
+            &cfg,
+            false,
+            &limits(workers, Extrapolation::ExtraLu, 60_000),
+        )
+        .expect("case study lowers");
+        assert!(v.is_unsafe(), "baseline must be falsified");
+        format!("{v}")
+    };
+    let reference = render(1);
+    for workers in [2usize, 3, 4, 8] {
+        assert_eq!(
+            reference,
+            render(workers),
+            "witness drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_budget_trips_as_out_of_budget() {
+    let cfg = LeaseConfig::case_study();
+    let limits = Limits {
+        max_wall: Some(std::time::Duration::ZERO),
+        ..limits(2, Extrapolation::ExtraLu, 60_000)
+    };
+    let verdict = check_lease_pattern_with(&cfg, true, &limits).expect("case study lowers");
+    let SymbolicVerdict::OutOfBudget { stats, tripped } = &verdict else {
+        panic!("a zero wall budget must be inconclusive, got {verdict}");
+    };
+    assert!(matches!(
+        tripped,
+        pte_zones::TrippedLimit::WallClock(d) if d.is_zero()
+    ));
+    assert!(stats.frontier > 0);
+    assert!(format!("{verdict}").contains("wall-clock"));
+}
+
+#[test]
+fn extrapolation_operators_agree_and_lu_settles_fewer_states() {
+    let cfg = LeaseConfig::case_study();
+    let m = check_lease_pattern_with(&cfg, true, &limits(4, Extrapolation::ExtraM, 60_000))
+        .expect("case study lowers");
+    let lu = check_lease_pattern_with(&cfg, true, &limits(4, Extrapolation::ExtraLu, 60_000))
+        .expect("case study lowers");
+    assert!(m.is_safe() && lu.is_safe());
+    let m_states = m.stats().unwrap().states;
+    let lu_states = lu.stats().unwrap().states;
+    assert!(
+        lu_states < m_states,
+        "LU must settle strictly fewer states on the case study \
+         (LU {lu_states} vs M {m_states})"
+    );
+}
+
+/// Randomized configurations: whatever the verdict (safe, unsafe, or
+/// out-of-budget), it must be bit-identical across worker counts, and
+/// ExtraM/ExtraLU must agree on conclusive verdicts.
+#[derive(Clone, Debug)]
+struct RandomConfig {
+    t_run1: i64,
+    t_enter2: i64,
+    leased: bool,
+}
+
+fn random_config() -> impl Strategy<Value = RandomConfig> {
+    (5i64..50, 2i64..16, 0u8..2).prop_map(|(t_run1, t_enter2, leased)| RandomConfig {
+        t_run1,
+        t_enter2,
+        leased: leased == 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn randomized_configs_agree_across_workers(rc in random_config()) {
+        let mut cfg = LeaseConfig::case_study();
+        // Integer seconds stay microsecond-exact, so the lowering never
+        // rejects the randomized constants.
+        cfg.t_run[0] = Time::seconds(rc.t_run1 as f64);
+        cfg.t_enter[1] = Time::seconds(rc.t_enter2 as f64);
+
+        let budget = 20_000;
+        let reference =
+            check_lease_pattern_with(&cfg, rc.leased, &limits(1, Extrapolation::ExtraLu, budget))
+                .expect("randomized config lowers");
+        for workers in [2usize, 4, 8] {
+            let parallel = check_lease_pattern_with(
+                &cfg,
+                rc.leased,
+                &limits(workers, Extrapolation::ExtraLu, budget),
+            )
+            .expect("randomized config lowers");
+            prop_assert_eq!(
+                fingerprint(&reference),
+                fingerprint(&parallel),
+                "worker count {} changed the verdict for {:?}",
+                workers,
+                rc
+            );
+        }
+
+        // ExtraM agreement on conclusive verdicts (give M more head
+        // room: it settles more states than LU for the same system).
+        let m = check_lease_pattern_with(
+            &cfg,
+            rc.leased,
+            &limits(4, Extrapolation::ExtraM, 3 * budget),
+        )
+        .expect("randomized config lowers");
+        let conclusive =
+            |v: &SymbolicVerdict| matches!(v, SymbolicVerdict::Safe(_) | SymbolicVerdict::Unsafe(_));
+        if conclusive(&reference) && conclusive(&m) {
+            prop_assert_eq!(
+                reference.is_safe(),
+                m.is_safe(),
+                "extrapolation operators disagree for {:?}",
+                rc
+            );
+        }
+    }
+}

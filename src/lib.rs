@@ -51,5 +51,7 @@ pub mod prelude {
     pub use pte_hybrid::{Expr, HybridAutomaton, Pred, Time};
     pub use pte_sim::executor::{Executor, ExecutorConfig};
     pub use pte_sim::trace::Trace;
-    pub use pte_zones::{check_lease_pattern, SymbolicVerdict};
+    pub use pte_zones::{
+        check_lease_pattern, check_lease_pattern_with, Extrapolation, Limits, SymbolicVerdict,
+    };
 }

@@ -141,6 +141,20 @@ pub mod value {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// `Value` round-trips through itself, mirroring real serde_json's
+// `Serialize`/`Deserialize` impls for its `Value` — callers can build a
+// tree by hand and serialize it with the same machinery derived types use.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
