@@ -1,12 +1,19 @@
 //! Benchmarks of the symbolic zone engine: raw DBM throughput,
 //! end-to-end verdict latency on the case-study pattern, the parallel
-//! worker-count scaling of the sharded engine, and the ExtraM-vs-LU
-//! extrapolation comparison.
+//! worker-count scaling of the sharded engine, the ExtraM-vs-LU
+//! extrapolation comparison, and the passed-list compression factor.
+//!
+//! Besides the human-readable `bench:` lines, the run emits a
+//! machine-readable `BENCH_zones.json` (path overridable via the
+//! `BENCH_ZONES_JSON` env var) with wall time, settled states,
+//! states/sec, and peak passed-list bytes, so CI tracks the perf
+//! trajectory instead of an empty folder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pte_core::pattern::LeaseConfig;
 use pte_zones::dbm::{Bound, Dbm};
-use pte_zones::{check_lease_pattern_with, lower_network, Extrapolation, Limits};
+use pte_zones::{check_lease_pattern_with, lower_network, Extrapolation, Limits, SymbolicVerdict};
+use std::time::Instant;
 
 fn case_limits() -> Limits {
     Limits {
@@ -147,12 +154,73 @@ fn bench_extrapolation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Passed-list compression: the engine stores settled zones in minimal
+/// constraint form; the full-matrix footprint it replaces is tracked
+/// alongside, and the ratio is asserted ≥ 2× so the compression claim
+/// can't bit-rot (the measured factor on the case study is far higher —
+/// printed below and recorded in `BENCH_zones.json`).
+fn bench_passed_compression(_c: &mut Criterion) {
+    let cfg = LeaseConfig::case_study();
+    let verdict = check_lease_pattern_with(&cfg, true, &case_limits()).unwrap();
+    let stats = verdict.stats().expect("safe verdict carries stats");
+    assert!(stats.peak_passed_bytes > 0, "peak bytes must be reported");
+    assert!(
+        stats.peak_passed_bytes_full >= 2 * stats.peak_passed_bytes,
+        "minimal constraint form must at least halve passed-list memory \
+         (minimal {} vs full-matrix {})",
+        stats.peak_passed_bytes,
+        stats.peak_passed_bytes_full
+    );
+    println!(
+        "bench: symbolic_memory/passed_list                       minimal {} B vs full {} B ({:.1}x)",
+        stats.peak_passed_bytes,
+        stats.peak_passed_bytes_full,
+        stats.peak_passed_bytes_full as f64 / stats.peak_passed_bytes as f64
+    );
+}
+
+/// Emits `BENCH_zones.json`: best-of-5 wall time of the leased
+/// case-study proof (plus the baseline falsification), settled states,
+/// states/sec, and the passed-list byte accounting.
+fn emit_bench_json(_c: &mut Criterion) {
+    let cfg = LeaseConfig::case_study();
+    let limits = case_limits();
+
+    let mut proof_secs = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let verdict = check_lease_pattern_with(&cfg, true, &limits).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        let SymbolicVerdict::Safe(s) = verdict else {
+            panic!("leased case study must be safe");
+        };
+        proof_secs = proof_secs.min(secs);
+        stats = Some(s);
+    }
+    let stats = stats.expect("at least one proof run");
+
+    let mut falsify_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        assert!(check_lease_pattern_with(&cfg, false, &limits)
+            .unwrap()
+            .is_unsafe());
+        falsify_secs = falsify_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let path = std::env::var("BENCH_ZONES_JSON").unwrap_or_else(|_| "BENCH_zones.json".to_string());
+    pte_bench::write_zones_bench_json(&path, proof_secs, Some(falsify_secs), &stats, &limits);
+}
+
 criterion_group!(
     benches,
     bench_dbm_ops,
     bench_lowering,
     bench_symbolic_verdicts,
     bench_parallel_workers,
-    bench_extrapolation
+    bench_extrapolation,
+    bench_passed_compression,
+    emit_bench_json
 );
 criterion_main!(benches);

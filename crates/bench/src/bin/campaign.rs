@@ -5,7 +5,8 @@
 //!
 //! ```sh
 //! cargo run --release -p pte-bench --bin campaign -- \
-//!     [--smoke] [--depth K] [--workers W] [--budget N] [--json PATH]
+//!     [--smoke] [--depth K] [--workers W] [--budget N] [--json PATH] \
+//!     [--bench-json PATH]
 //! ```
 //!
 //! * `--smoke` — tiny matrix for CI: asserts that every cell reaches a
@@ -17,6 +18,11 @@
 //! * `--budget N` — symbolic state budget per cell (default 60 000).
 //! * `--json PATH` — write the JSON report to `PATH` (default: print a
 //!   `== JSON ==` section to stdout).
+//! * `--bench-json PATH` — additionally time the leased case-study
+//!   proof (best of 3) and write a `BENCH_zones.json`-schema record
+//!   (wall time, settled states, states/sec, peak passed-list bytes)
+//!   to `PATH`, so campaign runs feed the same perf trajectory as
+//!   `bench/benches/zones.rs`.
 //!
 //! Concurrency: the campaign runs a few cells at a time (capped, since
 //! each cell's exhaustive `explore` already fans out to every core
@@ -59,6 +65,8 @@ struct Row {
     exhaustive_errors: usize,
     symbolic_ms: f64,
     exhaustive_ms: f64,
+    /// Peak passed-list bytes (minimal form, full-matrix equivalent).
+    passed_bytes: (usize, usize),
 }
 
 fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
@@ -71,9 +79,14 @@ fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
     let t = Instant::now();
     let verdict = verify_symbolic_with(&cfg, cell.leased, limits);
     let symbolic_ms = t.elapsed().as_secs_f64() * 1e3;
-    let (symbolic, symbolic_states) = match &verdict {
-        Ok(v) => (SymbolicOutcome::from(v), v.stats().map_or(0, |s| s.states)),
-        Err(_) => (SymbolicOutcome::Inconclusive, 0),
+    let (symbolic, symbolic_states, passed_bytes) = match &verdict {
+        Ok(v) => (
+            SymbolicOutcome::from(v),
+            v.stats().map_or(0, |s| s.states),
+            v.stats()
+                .map_or((0, 0), |s| (s.peak_passed_bytes, s.peak_passed_bytes_full)),
+        ),
+        Err(_) => (SymbolicOutcome::Inconclusive, 0, (0, 0)),
     };
 
     let t = Instant::now();
@@ -93,6 +106,7 @@ fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
         exhaustive_errors: exhaustive.errors.len(),
         symbolic_ms,
         exhaustive_ms,
+        passed_bytes,
     }
 }
 
@@ -136,6 +150,8 @@ fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> Stri
                 ),
                 ("symbolic_states".into(), num_u(r.cross.symbolic_states)),
                 ("symbolic_ms".into(), num_f(r.symbolic_ms)),
+                ("symbolic_passed_bytes".into(), num_u(r.passed_bytes.0)),
+                ("symbolic_passed_bytes_full".into(), num_u(r.passed_bytes.1)),
                 (
                     "exhaustive_safe".into(),
                     Value::Bool(r.cross.exhaustive_safe),
@@ -183,6 +199,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
     let json_path = arg_value(&args, "--json");
+    let bench_json_path = arg_value(&args, "--bench-json");
 
     let limits = Limits {
         max_states: budget,
@@ -346,4 +363,30 @@ fn main() {
         std::process::exit(1);
     }
     println!("all campaign gates passed");
+
+    if let Some(path) = bench_json_path {
+        write_bench_json(&path, &limits);
+    }
+}
+
+/// Times the leased case-study proof (best of 3) and writes the
+/// `BENCH_zones.json` schema shared with `bench/benches/zones.rs`.
+fn write_bench_json(path: &str, limits: &Limits) {
+    use pte_zones::SymbolicVerdict;
+
+    let cfg = LeaseConfig::case_study();
+    let mut best_secs = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let verdict = verify_symbolic_with(&cfg, true, limits).expect("case study lowers");
+        let secs = t.elapsed().as_secs_f64();
+        let SymbolicVerdict::Safe(s) = verdict else {
+            panic!("leased case study must be safe");
+        };
+        best_secs = best_secs.min(secs);
+        stats = Some(s);
+    }
+    let stats = stats.expect("at least one proof run");
+    pte_bench::write_zones_bench_json(path, best_secs, None, &stats, limits);
 }

@@ -28,11 +28,66 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pte_zones::{Limits, SearchStats};
+use serde::{Number, Value};
+
 /// Parses `--name value` style options from `std::env::args`-like input.
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Writes the `BENCH_zones.json` perf record shared by
+/// `benches/zones.rs` and `campaign --bench-json`: wall time of the
+/// leased case-study proof, settled states, states/sec, and the
+/// passed-list byte accounting. `falsify_secs` is the optional
+/// baseline-falsification timing (the bench measures it, the campaign
+/// does not). The emitted JSON is round-trip-validated before writing.
+pub fn write_zones_bench_json(
+    path: &str,
+    proof_secs: f64,
+    falsify_secs: Option<f64>,
+    stats: &SearchStats,
+    limits: &Limits,
+) {
+    let num_u = |u: usize| Value::Num(Number::U(u as u64));
+    let num_f = |f: f64| Value::Num(Number::F(f));
+    let mut fields = vec![
+        ("bench".into(), Value::Str("zones".into())),
+        ("case".into(), Value::Str("leased_case_study_proof".into())),
+        ("wall_ms".into(), num_f(proof_secs * 1e3)),
+    ];
+    if let Some(secs) = falsify_secs {
+        fields.push(("falsify_baseline_ms".into(), num_f(secs * 1e3)));
+    }
+    fields.extend([
+        ("settled_states".into(), num_u(stats.states)),
+        ("transitions".into(), num_u(stats.transitions)),
+        (
+            "states_per_sec".into(),
+            num_f(stats.states as f64 / proof_secs),
+        ),
+        ("peak_passed_bytes".into(), num_u(stats.peak_passed_bytes)),
+        (
+            "peak_passed_bytes_full".into(),
+            num_u(stats.peak_passed_bytes_full),
+        ),
+        (
+            "compression_factor".into(),
+            num_f(stats.peak_passed_bytes_full as f64 / stats.peak_passed_bytes.max(1) as f64),
+        ),
+        ("workers".into(), num_u(limits.effective_workers())),
+        ("max_states".into(), num_u(limits.max_states)),
+    ]);
+    let json = serde_json::to_string(&Value::Obj(fields)).expect("bench report serializes");
+    serde_json::from_str_value(&json).expect("bench JSON must parse back");
+    std::fs::write(path, &json).expect("write zones bench JSON");
+    println!(
+        "zones bench record: {:.1} ms, {:.0} states/s -> {path}",
+        proof_secs * 1e3,
+        stats.states as f64 / proof_secs
+    );
 }
 
 /// Parses a `--seeds N` option with a default.

@@ -10,7 +10,7 @@
 
 use pte_core::pattern::LeaseConfig;
 use pte_zones::{check_lease_pattern_with, SymbolicVerdict, ZonesError};
-pub use pte_zones::{Extrapolation, Limits, TrippedLimit};
+pub use pte_zones::{Extrapolation, Limits, SearchStats, TrippedLimit};
 use std::fmt;
 
 /// Runs the symbolic backend on a lease configuration with the default
@@ -160,6 +160,23 @@ mod tests {
             // The witness is a real trace, not an empty stub.
             assert!(ce.steps.len() > 1, "{ce}");
         }
+    }
+
+    /// The verify facade surfaces the engine's passed-list memory
+    /// accounting: peak bytes are reported and the minimal constraint
+    /// form undercuts the full-matrix equivalent.
+    #[test]
+    fn search_stats_report_compressed_passed_list() {
+        let cfg = LeaseConfig::case_study();
+        let verdict = verify_symbolic(&cfg, true).unwrap();
+        let stats = verdict.stats().expect("safe verdict carries stats");
+        assert!(stats.peak_passed_bytes > 0);
+        assert!(
+            stats.peak_passed_bytes < stats.peak_passed_bytes_full,
+            "compressed storage must undercut full matrices ({} vs {})",
+            stats.peak_passed_bytes,
+            stats.peak_passed_bytes_full
+        );
     }
 
     /// A starved budget reports Inconclusive and never "agrees" — the

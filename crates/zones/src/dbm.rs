@@ -155,6 +155,11 @@ impl Dbm {
     }
 
     /// Floyd–Warshall all-pairs tightening to canonical form.
+    ///
+    /// This is the O(n³) *construction-time* closure: the engine only
+    /// needs it when a zone is built from scratch (lowering, tests) or
+    /// loosened wholesale (extrapolation). Successor computation uses
+    /// the O(n²) incremental [`Dbm::close1`] path instead.
     pub fn canonicalize(&mut self) {
         let d = self.dim;
         for k in 0..d {
@@ -173,10 +178,158 @@ impl Dbm {
         }
     }
 
-    /// `true` if the zone is empty (canonical form required): some
-    /// diagonal entry became negative.
+    /// Incremental re-closure after tightening the single entry `(i, j)`
+    /// of an otherwise-canonical matrix — O(n²) instead of the full
+    /// O(n³) Floyd–Warshall.
+    ///
+    /// Every path that got shorter must use the new edge `i → j` (and,
+    /// absent negative cycles, uses it exactly once), so it decomposes
+    /// as `p → i → j → q` with both halves already closed. Pass 1 folds
+    /// the new edge into column `j` (`p → i → j`); pass 2 extends those
+    /// through the old rows (`p → j → q`).
+    ///
+    /// Precondition: the matrix was canonical before `(i, j)` was
+    /// tightened, and the tightening does not empty the zone (check
+    /// `get(j, i) + b ≥ ≤0` first — [`Dbm::constrain_and_close`] does).
+    pub fn close1(&mut self, i: usize, j: usize) {
+        let d = self.dim;
+        let b = self.m[i * d + j];
+        if b.is_inf() {
+            return;
+        }
+        // Track which `(p, j)` entries pass 1 actually tightens (plus
+        // row `i`, whose `(i, j)` entry the caller tightened): a row
+        // whose shortest path to `j` did not improve cannot improve
+        // anywhere through the new edge, so pass 2 only walks the
+        // touched rows — O(n + changed·n) in practice. One u64 word per
+        // 64 rows; the engine's dimensions fit the first word.
+        let words = d.div_ceil(64);
+        let mut touched = [0u64; 4];
+        let mut touched_vec;
+        let touched: &mut [u64] = if words <= 4 {
+            &mut touched[..words]
+        } else {
+            touched_vec = vec![0u64; words];
+            &mut touched_vec
+        };
+        touched[i / 64] |= 1 << (i % 64);
+        for p in 0..d {
+            let pi = self.m[p * d + i];
+            if pi.is_inf() {
+                continue;
+            }
+            let through = pi + b;
+            if through < self.m[p * d + j] {
+                self.m[p * d + j] = through;
+                touched[p / 64] |= 1 << (p % 64);
+            }
+        }
+        for (w, &word) in touched.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let p = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let pj = self.m[p * d + j];
+                if pj.is_inf() {
+                    continue;
+                }
+                for q in 0..d {
+                    let through = pj + self.m[j * d + q];
+                    if through < self.m[p * d + q] {
+                        self.m[p * d + q] = through;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Conjoins `xi - xj ≺ b` onto a **canonical** matrix and restores
+    /// canonical form incrementally ([`Dbm::close1`], O(n²)). Returns
+    /// `false` — and marks the zone empty — when the constraint is
+    /// inconsistent with the current zone; on `true` the matrix is
+    /// canonical and non-empty, so no separate
+    /// [`Dbm::canonicalize`]/[`Dbm::is_empty`] round is needed.
+    pub fn constrain_and_close(&mut self, i: usize, j: usize, b: Bound) -> bool {
+        debug_assert!(
+            self.closed_through_zero(),
+            "constrain_and_close requires a canonical matrix"
+        );
+        // On a canonical matrix the consistency pre-check is exact: the
+        // constraint empties the zone iff it closes a negative cycle
+        // with the tightest reverse path.
+        if self.get(j, i) + b < Bound::LE_ZERO {
+            let k = self.idx(0, 0);
+            self.m[k] = Bound::LT_ZERO;
+            return false;
+        }
+        if b < self.get(i, j) {
+            let k = self.idx(i, j);
+            self.m[k] = b;
+            self.close1(i, j);
+        }
+        true
+    }
+
+    /// `true` if the matrix is a Floyd–Warshall fixpoint (fully closed):
+    /// no triangle `i → k → j` is shorter than the stored `(i, j)`
+    /// bound. O(n³) — meant for debug assertions and law tests, not the
+    /// hot path.
+    pub fn is_closed(&self) -> bool {
+        let d = self.dim;
+        for k in 0..d {
+            for i in 0..d {
+                let ik = self.m[i * d + k];
+                if ik.is_inf() {
+                    continue;
+                }
+                for j in 0..d {
+                    if ik + self.m[k * d + j] < self.m[i * d + j] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Cheap necessary condition for canonical form — closure through
+    /// the reference clock only (O(n²)) plus non-negative diagonal.
+    /// Used as the `debug_assert!` precondition on the hot incremental
+    /// path, where the full [`Dbm::is_closed`] sweep would dominate
+    /// debug-build runtimes; full closure is law-tested in the crate's
+    /// proptests instead.
+    pub fn closed_through_zero(&self) -> bool {
+        let d = self.dim;
+        for i in 0..d {
+            if self.m[i * d + i] < Bound::LE_ZERO {
+                return false;
+            }
+            let i0 = self.m[i * d];
+            if i0.is_inf() {
+                continue;
+            }
+            for j in 0..d {
+                if i0 + self.m[j] < self.m[i * d + j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if the zone is empty: some diagonal entry became negative.
+    ///
+    /// Precondition (debug-asserted): the matrix is canonical, or was
+    /// explicitly marked empty by a failed
+    /// [`Dbm::constrain`]/[`Dbm::constrain_and_close`] — on arbitrary
+    /// non-canonical matrices the diagonal test is meaningless.
     pub fn is_empty(&self) -> bool {
-        (0..self.dim).any(|i| self.get(i, i) < Bound::LE_ZERO)
+        let marked = (0..self.dim).any(|i| self.get(i, i) < Bound::LE_ZERO);
+        debug_assert!(
+            marked || self.closed_through_zero(),
+            "is_empty requires a canonical (or explicitly empty-marked) matrix"
+        );
+        marked
     }
 
     /// Delay (future) operator `up`: removes upper bounds on every clock,
@@ -268,6 +421,10 @@ impl Dbm {
     /// every bound of `self` is at least as loose.
     pub fn includes(&self, other: &Dbm) -> bool {
         debug_assert_eq!(self.dim, other.dim);
+        debug_assert!(
+            self.closed_through_zero() && other.closed_through_zero(),
+            "includes requires canonical non-empty operands"
+        );
         self.m
             .iter()
             .zip(other.m.iter())
@@ -277,7 +434,20 @@ impl Dbm {
     /// `true` if the (canonical, non-empty) zone intersects
     /// `xi - xj ≺ b`.
     pub fn satisfies(&self, i: usize, j: usize, b: Bound) -> bool {
+        debug_assert!(
+            self.closed_through_zero(),
+            "satisfies requires a canonical non-empty zone"
+        );
         self.get(j, i) + b >= Bound::LE_ZERO
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing the existing
+    /// bound-matrix allocation when the dimensions match — the pool
+    /// path that keeps successor computation allocation-free.
+    pub fn copy_from(&mut self, other: &Dbm) {
+        self.dim = other.dim;
+        self.m.clear();
+        self.m.extend_from_slice(&other.m);
     }
 
     /// Classical maximal-constant extrapolation `Extra_M` (k-normalization):
@@ -364,10 +534,14 @@ impl Dbm {
         debug_assert_eq!(upper.len(), self.dim);
         let d = self.dim;
         let mut changed = false;
-        // The rules read the zone's pre-extrapolation lower bounds
-        // (reference row `c_0x`), so snapshot them first.
-        let c0: Vec<Bound> = self.m[0..d].to_vec();
-        for (i, &li) in lower.iter().enumerate() {
+        // The rules read the zone's pre-extrapolation lower bounds (the
+        // reference row `c_0x`); processing rows `i ≥ 1` first and the
+        // reference row last keeps those reads on the original values
+        // without snapshotting the row (`i ≥ 1` writes never alias row
+        // 0, and the row-0 clamp reads each entry before writing it).
+        for (i, &li) in lower.iter().enumerate().take(d).skip(1) {
+            // `m[0][x] < le(-k)` encodes "the zone implies x > k".
+            let row_free = self.m[i] < Bound::le(-li);
             for (j, &uj) in upper.iter().enumerate().take(d) {
                 if i == j {
                     continue;
@@ -377,22 +551,114 @@ impl Dbm {
                 if b.is_inf() {
                     continue;
                 }
-                // `c0[x] < le(-k)` encodes "the zone implies x > k".
-                let widen = i != 0
-                    && (b > Bound::le(li)
-                        || c0[i] < Bound::le(-li)
-                        || (j != 0 && c0[j] < Bound::le(-uj)));
-                if widen {
+                if b > Bound::le(li) || row_free || (j != 0 && self.m[j] < Bound::le(-uj)) {
                     self.m[idx] = Bound::INF;
-                    changed = true;
-                } else if i == 0 && c0[j] < Bound::le(-uj) && b < Bound::lt(-uj) {
-                    self.m[idx] = Bound::lt(-uj);
                     changed = true;
                 }
             }
         }
+        for (j, &uj) in upper.iter().enumerate().take(d).skip(1) {
+            // `b < lt(-uj)` subsumes the zone-position test
+            // `b < le(-uj)` — `lt` is the strictly tighter encoding.
+            let b = self.m[j];
+            if !b.is_inf() && b < Bound::lt(-uj) {
+                self.m[j] = Bound::lt(-uj);
+                changed = true;
+            }
+        }
         if changed {
             self.canonicalize();
+        }
+    }
+
+    /// Reduces a **canonical, non-empty** zone to its minimal constraint
+    /// form — the smallest constraint set whose closure reproduces this
+    /// matrix (Larsen–Larsson–Pettersson–Yi's compact passed-list
+    /// representation, as presented in Bengtsson & Yi §4):
+    ///
+    /// 1. clocks are partitioned into *zero-equivalence* classes
+    ///    (`i ≡ j` iff `m[i][j] + m[j][i] = ≤0`, i.e. the zone pins
+    ///    their difference exactly); each class of size ≥ 2 contributes
+    ///    one constraint cycle through its members in index order;
+    /// 2. between class representatives, an entry is dropped iff some
+    ///    third representative lies on an equally short path —
+    ///    simultaneous removal is sound because the representative
+    ///    graph has no zero-length cycles.
+    ///
+    /// `∞` entries are never stored; everything else is recovered by
+    /// closure ([`MinimalDbm::restore`] is the inverse, law-tested in
+    /// the crate proptests).
+    pub fn reduce(&self) -> MinimalDbm {
+        debug_assert!(
+            !self.is_empty() && self.is_closed(),
+            "reduce requires a canonical non-empty zone"
+        );
+        debug_assert!(self.dim <= u8::MAX as usize, "dim fits u8 indices");
+        let d = self.dim;
+        // 1. Zero-equivalence classes; rep[i] = least member of i's class.
+        let mut rep = vec![0u8; d];
+        for i in 0..d {
+            rep[i] = i as u8;
+            for j in 0..i {
+                if rep[j] as usize == j && self.get(i, j) + self.get(j, i) == Bound::LE_ZERO {
+                    rep[i] = j as u8;
+                    break;
+                }
+            }
+        }
+        let mut cons: Vec<MinCon> = Vec::new();
+        // Class cycles: members in index order, closing back to the head.
+        for head in 0..d {
+            if rep[head] as usize != head {
+                continue;
+            }
+            let members: Vec<usize> = (head..d).filter(|&i| rep[i] as usize == head).collect();
+            if members.len() < 2 {
+                continue;
+            }
+            for w in 0..members.len() {
+                let a = members[w];
+                let b = members[(w + 1) % members.len()];
+                cons.push(MinCon {
+                    i: a as u8,
+                    j: b as u8,
+                    b: self.get(a, b),
+                });
+            }
+        }
+        // Representative graph: keep (i, j) unless a third representative
+        // lies on an equally tight path.
+        for i in 0..d {
+            if rep[i] as usize != i {
+                continue;
+            }
+            for j in 0..d {
+                if i == j || rep[j] as usize != j {
+                    continue;
+                }
+                let b = self.get(i, j);
+                if b.is_inf() {
+                    continue;
+                }
+                let redundant = (0..d).any(|k| {
+                    k != i
+                        && k != j
+                        && rep[k] as usize == k
+                        && !self.get(i, k).is_inf()
+                        && self.get(i, k) + self.get(k, j) <= b
+                });
+                if !redundant {
+                    cons.push(MinCon {
+                        i: i as u8,
+                        j: j as u8,
+                        b,
+                    });
+                }
+            }
+        }
+        MinimalDbm {
+            dim: d as u8,
+            cons: cons.into_boxed_slice(),
         }
     }
 
@@ -449,5 +715,126 @@ impl fmt::Debug for Dbm {
             writeln!(f)?;
         }
         Ok(())
+    }
+}
+
+/// One stored constraint `xi - xj ≺ b` of a [`MinimalDbm`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MinCon {
+    /// Row (minuend) clock index.
+    pub i: u8,
+    /// Column (subtrahend) clock index.
+    pub j: u8,
+    /// The bound.
+    pub b: Bound,
+}
+
+/// A zone in minimal constraint form: the irredundant constraint set
+/// produced by [`Dbm::reduce`], typically O(n) entries instead of the
+/// full `(n+1)²` matrix. This is the passed-list storage format —
+/// inclusion against a full canonical DBM needs only the stored
+/// constraints, and [`MinimalDbm::restore`] recovers the exact matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MinimalDbm {
+    dim: u8,
+    cons: Box<[MinCon]>,
+}
+
+impl MinimalDbm {
+    /// Number of stored constraints.
+    pub fn len(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// `true` when no constraint is stored (the delay-closed universe).
+    pub fn is_empty(&self) -> bool {
+        self.cons.is_empty()
+    }
+
+    /// Heap bytes held by the constraint list — the passed-list memory
+    /// accounting unit reported in `SearchStats`.
+    pub fn heap_bytes(&self) -> usize {
+        self.cons.len() * std::mem::size_of::<MinCon>()
+    }
+
+    /// Heap bytes the same zone would occupy as a full bound matrix
+    /// (the PR 2 storage format this form replaces).
+    pub fn full_matrix_bytes(&self) -> usize {
+        let d = self.dim as usize;
+        d * d * std::mem::size_of::<Bound>()
+    }
+
+    /// `true` if this zone ⊇ `other` (a canonical, non-empty full DBM
+    /// of the same dimension).
+    ///
+    /// Sound and complete without restoring the matrix: every point of
+    /// `other` satisfies `p_i - p_j ≤ other[i][j] ≤ b` for each stored
+    /// constraint, hence lies in this zone; conversely a violated
+    /// stored constraint exhibits a point of `other` outside it
+    /// (`other` is canonical, so its bounds are tight).
+    pub fn includes(&self, other: &Dbm) -> bool {
+        debug_assert_eq!(self.dim as usize, other.clocks() + 1);
+        self.cons
+            .iter()
+            .all(|c| other.get(c.i as usize, c.j as usize) <= c.b)
+    }
+
+    /// Rebuilds the full canonical DBM: start unconstrained, apply the
+    /// stored constraints, close. Inverse of [`Dbm::reduce`] on
+    /// canonical non-empty zones.
+    pub fn restore(&self) -> Dbm {
+        let d = self.dim as usize;
+        let mut z = Dbm {
+            dim: d,
+            m: vec![Bound::INF; d * d],
+        };
+        for i in 0..d {
+            z.set(i, i, Bound::LE_ZERO);
+        }
+        for c in self.cons.iter() {
+            z.set(c.i as usize, c.j as usize, c.b);
+        }
+        z.canonicalize();
+        z
+    }
+}
+
+/// A free-list of [`Dbm`] allocations: successor computation clones
+/// zones constantly, and recycling the bound-matrix `Vec`s through a
+/// per-worker pool removes that allocation traffic from the hot path
+/// (workers never share a pool, so no synchronization is involved).
+#[derive(Default)]
+pub struct DbmPool {
+    free: Vec<Dbm>,
+}
+
+impl DbmPool {
+    /// An empty pool.
+    pub fn new() -> DbmPool {
+        DbmPool::default()
+    }
+
+    /// Clones `src`, reusing a pooled allocation when available.
+    pub fn clone_dbm(&mut self, src: &Dbm) -> Dbm {
+        match self.free.pop() {
+            Some(mut z) => {
+                z.copy_from(src);
+                z
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// Returns a no-longer-needed zone's allocation to the pool.
+    ///
+    /// Capped: bulk refills (the engine recycles whole expanded
+    /// frontiers, thousands of zones on real runs) would otherwise pin
+    /// peak-frontier memory in one worker's free list for the rest of
+    /// the search; beyond the cap the allocation is simply dropped.
+    pub fn recycle(&mut self, z: Dbm) {
+        const MAX_POOLED: usize = 256;
+        if self.free.len() < MAX_POOLED {
+            self.free.push(z);
+        }
     }
 }

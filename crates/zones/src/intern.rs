@@ -1,0 +1,88 @@
+//! Interning of discrete state keys.
+//!
+//! The zone engine's passed list is keyed by the *discrete* part of a
+//! symbolic state (location vector + observer pair states). Hashing and
+//! cloning those vectors for every passed-list touch is pure overhead:
+//! each shard of the engine therefore interns the keys it owns into
+//! dense `u32` ids — the sharded concurrent interner is the collection
+//! of per-shard [`Interner`]s, with the engine's content-defined shard
+//! hash routing each key to its owning shard (so no cross-shard
+//! coordination is ever needed, mirroring the passed list itself).
+//!
+//! Determinism: ids are handed out in first-intern order, and the
+//! engine only interns during its content-ordered admission phase, so
+//! the id assignment — like everything else about the search — is
+//! identical for every worker count. Nothing orders on ids anyway;
+//! they are addresses, not keys.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One shard's key interner: a `key → u32` table where the key is
+/// stored exactly once and ids are handed out densely in first-intern
+/// order (so callers can index parallel side tables — the engine's
+/// per-key subsumption buckets — by id).
+pub struct Interner<K> {
+    index: HashMap<K, u32>,
+}
+
+impl<K: Clone + Eq + Hash> Interner<K> {
+    /// An empty interner.
+    pub fn new() -> Interner<K> {
+        Interner {
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The id of `key` if it is already interned (no clone, no insert).
+    pub fn get(&self, key: &K) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// Interns `key`, cloning it only on first sight, and returns
+    /// `(id, freshly_inserted)`.
+    pub fn intern(&mut self, key: &K) -> (u32, bool) {
+        if let Some(&id) = self.index.get(key) {
+            return (id, false);
+        }
+        let id = self.index.len() as u32;
+        self.index.insert(key.clone(), id);
+        (id, true)
+    }
+}
+
+impl<K: Clone + Eq + Hash> Default for Interner<K> {
+    fn default() -> Interner<K> {
+        Interner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i: Interner<Vec<u32>> = Interner::new();
+        assert!(i.is_empty());
+        let (a, fresh_a) = i.intern(&vec![1, 2]);
+        let (b, fresh_b) = i.intern(&vec![3]);
+        let (a2, fresh_a2) = i.intern(&vec![1, 2]);
+        assert_eq!((a, fresh_a), (0, true));
+        assert_eq!((b, fresh_b), (1, true));
+        assert_eq!((a2, fresh_a2), (0, false));
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get(&vec![3]), Some(1));
+        assert_eq!(i.get(&vec![9]), None);
+    }
+}

@@ -12,10 +12,16 @@
 //! checkers (UPPAAL, ECDAR):
 //!
 //! 1. [`dbm`] — Difference Bound Matrices over integer ticks:
-//!    canonicalization (Floyd–Warshall), `up`/`down`/`free`/`reset`,
-//!    intersection, inclusion, emptiness, and two extrapolation
-//!    operators for termination (maximal-constant `Extra_M` and the
-//!    coarser LU-bound `Extra_LU`);
+//!    construction-time canonicalization (Floyd–Warshall) plus the
+//!    **incremental** O(n²) re-closure [`Dbm::close1`] /
+//!    [`Dbm::constrain_and_close`] the engine's hot path runs on,
+//!    `up`/`down`/`free`/`reset` (all closure-preserving, law-tested),
+//!    inclusion, emptiness, two extrapolation operators for
+//!    termination (maximal-constant `Extra_M` and the coarser LU-bound
+//!    `Extra⁺_LU`), the **minimal constraint form** ([`Dbm::reduce`] /
+//!    [`MinimalDbm`]) that compresses the passed list by a measured
+//!    ~3.6×, and a [`DbmPool`] free-list for allocation-free successor
+//!    computation;
 //! 2. [`lower`] — a timed abstraction of the `pte-core` pattern
 //!    automata: their continuous dynamics are clock-like by construction
 //!    (rate-1 lease/dwell timers, rate-0 registers such as the
@@ -23,12 +29,19 @@
 //!    into a network of timed automata ([`ta`]) with invariants, guards,
 //!    resets and the reliable/lossy synchronization labels;
 //! 3. [`reach`] — a parallel zone-graph reachability engine: the passed
-//!    list is sharded by discrete-location hash, scoped workers expand
-//!    the frontier in deterministic BFS layers ([`Limits::max_workers`];
-//!    the verdict and counter-example are identical for every worker
-//!    count), and an embedded PTE observer (Rule 1 dwelling bounds plus
-//!    the per-pair `T^min_risky`/`T^min_safe` safeguards) reports either
-//!    `PTE-unreachable` or a symbolic counter-example trace.
+//!    list is sharded by discrete-location hash with per-shard key
+//!    interning ([`intern`]), scoped workers expand the frontier in
+//!    deterministic BFS layers ([`Limits::max_workers`]; the verdict
+//!    and counter-example are identical for every worker count) moving
+//!    fixed-size action codes and pooled zones instead of strings and
+//!    fresh allocations, candidates are probed against the passed list
+//!    *before* extrapolation, and an embedded PTE observer (Rule 1
+//!    dwelling bounds plus the per-pair `T^min_risky`/`T^min_safe`
+//!    safeguards) reports either `PTE-unreachable` (with
+//!    [`SearchStats`] including peak passed-list bytes) or a symbolic
+//!    counter-example trace. Case-study proof: ≈ 51 ms / ≈ 69 000
+//!    states/s on a 2-vCPU container (4.1× over the PR 2 engine; see
+//!    `bench/benches/zones.rs` and its `BENCH_zones.json`).
 //!
 //! ## Quickstart
 //!
@@ -48,11 +61,12 @@
 #![warn(missing_docs)]
 
 pub mod dbm;
+pub mod intern;
 pub mod lower;
 pub mod reach;
 pub mod ta;
 
-pub use dbm::{Bound, Dbm};
+pub use dbm::{Bound, Dbm, DbmPool, MinimalDbm};
 pub use lower::{lower_network, LowerError};
 pub use reach::{
     check, Extrapolation, Limits, ObserverSpec, SearchStats, SymbolicCounterExample,
@@ -132,7 +146,10 @@ pub fn check_lease_pattern_with(
 ) -> Result<SymbolicVerdict, ZonesError> {
     let sys = build_pattern_system(cfg, leased).map_err(|e| ZonesError::Build(format!("{e:?}")))?;
     let net = lower_network(&sys.automata)?;
-    let spec = ObserverSpec::from_spec(&cfg.pte_spec());
+    // The spec is moved (not re-cloned) into tick units, and `check`
+    // borrows both the network and the spec — nothing on this path
+    // clones an automaton.
+    let spec = ObserverSpec::from(cfg.pte_spec());
     check(&net, &spec, limits).map_err(ZonesError::Spec)
 }
 

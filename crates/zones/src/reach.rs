@@ -64,8 +64,45 @@
 //! `s_k` (time since the inner entity left risky) check proper temporal
 //! embedding — coverage, the `T^min_risky` enter lead, and the
 //! `T^min_safe` exit lag — exactly mirroring `pte_core::monitor`.
+//!
+//! ## Hot-path engineering
+//!
+//! Three layers keep the per-state cost low (PR 3):
+//!
+//! * **Incremental canonicalization** — guards, invariants and urgent
+//!   splits tighten zones through [`Atom::apply_and_close`]
+//!   ([`Dbm::close1`], O(n²)) instead of deferring to a full O(n³)
+//!   Floyd–Warshall per successor; the only remaining full closures run
+//!   at lowering time and inside extrapolation.
+//! * **Interned, allocation-free successor plumbing** — action labels
+//!   are fixed-size `Act` codes (rendered to the PR 2 strings only
+//!   when a counter-example is reported), event roots are interned into
+//!   `u16` ids with per-`(automaton, location)` dispatch tables
+//!   replacing edge scans, discrete keys are interned per shard into
+//!   `u32` ids ([`crate::intern::Interner`]), and successor zones are
+//!   drawn from a per-worker [`DbmPool`] free-list.
+//! * **Compressed passed list** — settled zones are stored in minimal
+//!   constraint form ([`Dbm::reduce`], typically O(n) constraints
+//!   instead of the full `(n+1)²` matrix) with subsumption checked
+//!   directly against the compact form
+//!   ([`crate::dbm::MinimalDbm::includes`]); the measured footprint is
+//!   reported in [`SearchStats::peak_passed_bytes`]. Candidates are
+//!   additionally probed against the passed list *before*
+//!   extrapolation: a subsumed candidate's concrete behaviours are all
+//!   covered by an explored (and violation-free) state, so it is
+//!   dropped without paying for extrapolation or admission.
+//!
+//! Determinism is unchanged: canonical forms are unique and every
+//! admission/drop decision is content-defined, so verdicts, stored
+//! zones, and counter-examples are bit-for-bit identical at every
+//! worker count. The *explored set* can differ slightly from the PR 2
+//! engine, though — the pre-extrapolation probe drops candidates whose
+//! (non-monotone) `Extra⁺_LU` widening the old engine would have
+//! admitted — so settled-state counts are comparable only within a
+//! version, never across the optimization boundary.
 
-use crate::dbm::Dbm;
+use crate::dbm::{Dbm, DbmPool, MinimalDbm};
+use crate::intern::Interner;
 use crate::ta::{Atom, LuBounds, Rel, Sync, TaNetwork};
 use parking_lot::{Mutex, RwLock};
 use pte_core::rules::PteSpec;
@@ -97,10 +134,16 @@ pub struct PairBounds {
 }
 
 impl ObserverSpec {
-    /// Converts a [`PteSpec`] into tick units.
+    /// Converts a [`PteSpec`] into tick units, borrowing (and cloning)
+    /// the entity names. Prefer the `From<PteSpec>` impl when the spec
+    /// is owned — it moves the names instead.
     pub fn from_spec(spec: &PteSpec) -> ObserverSpec {
+        ObserverSpec::convert(spec.entities.clone(), spec)
+    }
+
+    fn convert(entities: Vec<String>, spec: &PteSpec) -> ObserverSpec {
         ObserverSpec {
-            entities: spec.entities.clone(),
+            entities,
             rule1_ticks: spec
                 .rule1_bounds
                 .iter()
@@ -115,6 +158,15 @@ impl ObserverSpec {
                 })
                 .collect(),
         }
+    }
+}
+
+impl From<PteSpec> for ObserverSpec {
+    /// Tick conversion that takes ownership, moving the entity names
+    /// instead of cloning them.
+    fn from(mut spec: PteSpec) -> ObserverSpec {
+        let entities = std::mem::take(&mut spec.entities);
+        ObserverSpec::convert(entities, &spec)
     }
 }
 
@@ -224,6 +276,15 @@ pub struct SearchStats {
     /// Unexplored frontier states at the moment the search ended
     /// (always 0 for a completed search).
     pub frontier: usize,
+    /// Peak heap bytes of passed-list zone storage in the minimal
+    /// constraint form actually used ([`Dbm::reduce`]). The passed list
+    /// only grows, so the value at the end of the search *is* the peak.
+    pub peak_passed_bytes: usize,
+    /// Heap bytes the same passed zones would occupy as full
+    /// `(n+1)²` bound matrices — the PR 2 storage format. The ratio
+    /// `peak_passed_bytes_full / peak_passed_bytes` is the measured
+    /// compression factor (asserted ≥ 2× in `bench/benches/zones.rs`).
+    pub peak_passed_bytes_full: usize,
 }
 
 /// Which exploration limit ended an inconclusive search.
@@ -397,40 +458,80 @@ struct NodeId {
     idx: u32,
 }
 
-/// A settled node in a shard's arena. The discrete key lives in the
-/// shard's passed map; nodes only carry what trace reconstruction and
-/// subsumption need.
-struct Node {
-    zone: Dbm,
-    parent: Option<NodeId>,
-    action: String,
+/// One step of a discrete action, as a fixed-size code. The hot path
+/// moves and compares these 8-byte values; the human-readable strings
+/// of PR 2 are produced only when a counter-example is rendered
+/// (`Engine::render_act`). Automata are referenced by index, event
+/// roots by interned id (`Engine::roots`). The derived `Ord` gives the
+/// content-defined tie-break order previously provided by action text.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum Act {
+    /// The seed state.
+    Initial,
+    /// Edge `eid` of automaton `aut` fired.
+    Edge { aut: u16, eid: u16 },
+    /// Event `root` delivered to `aut`.
+    Deliver { root: u16, aut: u16 },
+    /// Event `root` dropped by the wireless hop / ignored by `aut`.
+    Lost { root: u16, aut: u16 },
+    /// Event `root` ignored by `aut` on the sub-zone where its single
+    /// guarded edge is disabled.
+    GuardOff { root: u16, aut: u16 },
+    /// Event `root` possibly ignored by `aut` (over-approximated fate
+    /// when several guarded reliable edges compete).
+    MaybeIgnored { root: u16, aut: u16 },
+    /// `aut`'s location invariant expired, forcing an urgent escape.
+    InvariantExpired { aut: u16 },
+    /// Entity `entity` can dwell risky beyond its Rule-1 bound.
+    DwellExceeded { entity: u16 },
 }
 
-/// One shard of the passed list: a discrete-key-indexed map into a node
-/// arena, plus the staging area phase 1 fills and phase 2 drains.
+/// A settled node in a shard's arena. The discrete key lives in the
+/// shard's interner; nodes carry the zone in **minimal constraint
+/// form** (subsumption checks run directly against it) plus the
+/// fixed-size data trace reconstruction needs.
+struct Node {
+    zone: MinimalDbm,
+    parent: Option<NodeId>,
+    acts: Box<[Act]>,
+}
+
+/// One shard of the passed list: discrete keys interned to dense ids,
+/// per-key subsumption buckets over a node arena, the staging area
+/// phase 1 fills and phase 2 drains, and the shard's share of the
+/// passed-list memory accounting.
 #[derive(Default)]
 struct Shard {
-    passed: HashMap<Key, Vec<u32>>,
+    /// Key → dense id; each key is stored exactly once.
+    keys: Interner<Key>,
+    /// `buckets[key_id]` = node indices settled under that key.
+    buckets: Vec<Vec<u32>>,
     nodes: Vec<Node>,
     pending: Vec<Candidate>,
+    /// Heap bytes of stored zones in minimal constraint form.
+    min_bytes: usize,
+    /// Heap bytes the same zones would occupy as full matrices.
+    full_bytes: usize,
 }
 
 /// A fully cooked successor: delay-closed, activity-reduced,
 /// extrapolated, and observer-checked — everything except subsumption,
-/// which is phase 2's shard-local job.
+/// which is phase 2's shard-local job. Carries the key *content* (not
+/// an id) because admission order — and hence interning order — must be
+/// content-defined.
 struct Candidate {
     key: Key,
     zone: Dbm,
     parent: Option<NodeId>,
-    action: String,
+    acts: Vec<Act>,
 }
 
 impl Candidate {
     /// Content-defined admission order: discrete key, zone matrix,
-    /// parent id, action text. Sorting pending candidates by this key
+    /// parent id, action codes. Sorting pending candidates by this key
     /// makes phase 2 independent of phase-1 arrival order.
-    fn order_key(&self) -> (&Key, &Dbm, Option<NodeId>, &str) {
-        (&self.key, &self.zone, self.parent, &self.action)
+    fn order_key(&self) -> (&Key, &Dbm, Option<NodeId>, &[Act]) {
+        (&self.key, &self.zone, self.parent, &self.acts)
     }
 }
 
@@ -445,20 +546,33 @@ struct FrontierEntry {
 
 /// In-flight resolution work: a state mid-cascade (pending emissions not
 /// yet assigned a fate) with the actions taken so far this step.
-#[derive(Clone)]
 struct Work {
     locs: Vec<u32>,
     pairs: Vec<PairState>,
     zone: Dbm,
-    /// In-flight emissions: `(sender automaton, root)` — the sender is
-    /// excluded from delivery (the executor never self-delivers).
-    queue: VecDeque<(usize, Root)>,
-    actions: Vec<String>,
+    /// In-flight emissions: `(sender automaton, interned root id)` —
+    /// the sender is excluded from delivery (the executor never
+    /// self-delivers).
+    queue: VecDeque<(u32, u16)>,
+    acts: Vec<Act>,
+}
+
+impl Work {
+    /// Clones this work item, drawing the zone copy from `pool`.
+    fn clone_via(&self, pool: &mut DbmPool) -> Work {
+        Work {
+            locs: self.locs.clone(),
+            pairs: self.pairs.clone(),
+            zone: pool.clone_dbm(&self.zone),
+            queue: self.queue.clone(),
+            acts: self.acts.clone(),
+        }
+    }
 }
 
 struct Violation {
     kind: ViolationKind,
-    actions: Vec<String>,
+    acts: Vec<Act>,
     zone: Dbm,
 }
 
@@ -466,6 +580,8 @@ struct Violation {
 #[derive(Default)]
 struct LocalStats {
     transitions: usize,
+    /// Successors dropped by the pre-extrapolation subsumption probe.
+    subsumed: usize,
 }
 
 /// Maximum zero-time cascade depth (urgent chains + deliveries) before
@@ -473,8 +589,23 @@ struct LocalStats {
 /// malformed inputs.
 const CASCADE_DEPTH: usize = 128;
 
+/// One receiving edge in a location's dispatch table.
+#[derive(Clone, Copy)]
+struct RecvEdge {
+    /// Interned root id this edge listens for.
+    root: u16,
+    /// Edge index within the owning automaton.
+    eid: u32,
+    /// `true` for lossy wireless receives.
+    lossy: bool,
+}
+
 struct Engine<'s> {
-    net: TaNetwork,
+    /// The lowered network, **borrowed** — the engine's observer clocks
+    /// live in the DBM dimensions above [`TaNetwork::clock_count`] and
+    /// in [`Engine::observer_clock_names`], so the network itself is
+    /// never cloned or mutated.
+    net: &'s TaNetwork,
     spec: &'s ObserverSpec,
     /// entity index -> automaton index.
     entity_aut: Vec<usize>,
@@ -484,23 +615,40 @@ struct Engine<'s> {
     r_clock: Vec<usize>,
     /// pair index -> DBM index of its inner-exit clock `s_k`.
     s_clock: Vec<usize>,
+    /// Total clock count (network + observer clocks).
+    nclocks: usize,
+    /// Render names of the observer clocks (appended after
+    /// `net.clocks` when a zone is displayed).
+    observer_clock_names: Vec<String>,
     /// `Extra_M` ceiling vector (network + observer constants).
     kmax: Vec<i64>,
     /// `Extra_LU` bound vectors (network + observer constants).
     lu: LuBounds,
     extrapolation: Extrapolation,
+    /// Interned event roots (`Act`/queue ids index into this).
+    roots: Vec<Root>,
+    /// `spont[ai][loc]` — spontaneous/external edges leaving `loc`.
+    spont: Vec<Vec<Vec<u32>>>,
+    /// `urgent[ai][loc]` — urgent escape edges leaving `loc`.
+    urgent: Vec<Vec<Vec<u32>>>,
+    /// `recv[ai][loc]` — receiving edges leaving `loc`, by root id.
+    recv: Vec<Vec<Vec<RecvEdge>>>,
+    /// `emit_ids[ai][eid]` — interned roots the edge emits.
+    emit_ids: Vec<Vec<Vec<u16>>>,
     shards: Vec<Mutex<Shard>>,
 }
 
 /// Runs the symbolic PTE check of `spec` over `net`.
 ///
-/// Returns an error if a spec entity names no automaton in the network.
+/// Borrows both inputs — the network is *not* cloned (PR 2 cloned the
+/// full automata; the observer clocks now live beside it instead of
+/// inside it). Returns an error if a spec entity names no automaton in
+/// the network.
 pub fn check(
     net: &TaNetwork,
     spec: &ObserverSpec,
     limits: &Limits,
 ) -> Result<SymbolicVerdict, String> {
-    let mut net = net.clone();
     let mut entity_aut = Vec::with_capacity(spec.entities.len());
     let mut aut_entity = vec![None; net.automata.len()];
     for (ei, name) in spec.entities.iter().enumerate() {
@@ -510,21 +658,36 @@ pub fn check(
         entity_aut.push(ai);
         aut_entity[ai] = Some(ei);
     }
+    // Observer clocks occupy the DBM dimensions above the network's own
+    // clocks: `r` clocks first, then the per-pair `s` clocks.
+    let base = net.clock_count();
+    let mut observer_clock_names = Vec::with_capacity(spec.entities.len() + spec.pairs.len());
     let r_clock: Vec<usize> = spec
         .entities
         .iter()
-        .map(|name| net.add_clock(format!("r[{name}]")))
+        .enumerate()
+        .map(|(ei, name)| {
+            observer_clock_names.push(format!("r[{name}]"));
+            base + 1 + ei
+        })
         .collect();
     let s_clock: Vec<usize> = (0..spec.pairs.len())
-        .map(|k| net.add_clock(format!("s[pair{k}]")))
+        .map(|k| {
+            observer_clock_names.push(format!("s[pair{k}]"));
+            base + 1 + spec.entities.len() + k
+        })
         .collect();
+    let nclocks = base + spec.entities.len() + spec.pairs.len();
 
     // Maximal constants: network constants plus the observer's bounds.
     // The observer compares `r_i` downward against `T^min_risky` (enter
     // lead) and upward against the Rule-1 bound, and `s_k` downward
     // against `T^min_safe`, so the LU split mirrors those directions.
     let mut kmax = net.max_constants();
+    kmax.resize(nclocks + 1, 0);
     let mut lu = net.lu_bounds();
+    lu.lower.resize(nclocks + 1, 0);
+    lu.upper.resize(nclocks + 1, 0);
     for (ei, &c) in r_clock.iter().enumerate() {
         let mut k = spec.rule1_ticks[ei];
         lu.fold_lower(c, spec.rule1_ticks[ei]);
@@ -539,6 +702,85 @@ pub fn check(
         lu.fold_upper(c, spec.pairs[pk].t_min_safe);
     }
 
+    // `Act` codes and interned root ids index automata/edges/roots with
+    // u16, and the minimal constraint form ([`Dbm::reduce`]) indexes
+    // clocks with u8; reject (rather than silently truncate) networks
+    // beyond those bounds, far past anything the lowering produces.
+    if net.automata.len() > u16::MAX as usize
+        || net
+            .automata
+            .iter()
+            .any(|a| a.edges.len() > u16::MAX as usize)
+    {
+        return Err("network too large: more than 65535 automata or edges per automaton".into());
+    }
+    if nclocks + 1 > u8::MAX as usize {
+        return Err(format!(
+            "network too large: {nclocks} clocks (incl. observer clocks) exceed the \
+             254-clock limit of the compressed passed list"
+        ));
+    }
+
+    // Intern every event root in deterministic first-seen order over
+    // the network. Roots accumulate *across* automata, so their count
+    // is bounded separately from the per-automaton edge guard above —
+    // and gracefully, like the other size limits.
+    let mut roots: Vec<Root> = Vec::new();
+    let mut root_ids: HashMap<Root, u16> = HashMap::new();
+    for aut in &net.automata {
+        for e in &aut.edges {
+            for r in e.sync.root().into_iter().chain(e.emits.iter()) {
+                if root_ids.contains_key(r) {
+                    continue;
+                }
+                if roots.len() > u16::MAX as usize {
+                    return Err(
+                        "network too large: more than 65536 distinct event roots".to_string()
+                    );
+                }
+                root_ids.insert(r.clone(), roots.len() as u16);
+                roots.push(r.clone());
+            }
+        }
+    }
+
+    // Per-(automaton, location) dispatch tables replacing per-expansion
+    // edge scans.
+    let mut spont = Vec::with_capacity(net.automata.len());
+    let mut urgent = Vec::with_capacity(net.automata.len());
+    let mut recv = Vec::with_capacity(net.automata.len());
+    let mut emit_ids = Vec::with_capacity(net.automata.len());
+    for aut in &net.automata {
+        let nloc = aut.locations.len();
+        let mut sp = vec![Vec::new(); nloc];
+        let mut ur = vec![Vec::new(); nloc];
+        let mut rc: Vec<Vec<RecvEdge>> = vec![Vec::new(); nloc];
+        let mut em = Vec::with_capacity(aut.edges.len());
+        for (eid, e) in aut.edges.iter().enumerate() {
+            match &e.sync {
+                Sync::None | Sync::External(_) => sp[e.src].push(eid as u32),
+                Sync::Reliable(r) => rc[e.src].push(RecvEdge {
+                    root: root_ids[r],
+                    eid: eid as u32,
+                    lossy: false,
+                }),
+                Sync::Lossy(r) => rc[e.src].push(RecvEdge {
+                    root: root_ids[r],
+                    eid: eid as u32,
+                    lossy: true,
+                }),
+            }
+            if e.urgent {
+                ur[e.src].push(eid as u32);
+            }
+            em.push(e.emits.iter().map(|r| root_ids[r]).collect::<Vec<u16>>());
+        }
+        spont.push(sp);
+        urgent.push(ur);
+        recv.push(rc);
+        emit_ids.push(em);
+    }
+
     let engine = Engine {
         net,
         spec,
@@ -546,9 +788,16 @@ pub fn check(
         aut_entity,
         r_clock,
         s_clock,
+        nclocks,
+        observer_clock_names,
         kmax,
         lu,
         extrapolation: limits.extrapolation,
+        roots,
+        spont,
+        urgent,
+        recv,
+        emit_ids,
         shards: (0..SHARD_COUNT)
             .map(|_| Mutex::new(Shard::default()))
             .collect(),
@@ -655,47 +904,63 @@ impl Engine<'_> {
         .expect("worker pool scope")
     }
 
+    /// Sums the per-shard passed-list byte accounting into `stats`.
+    fn fold_passed_bytes(&self, stats: &mut SearchStats) {
+        let (mut min_bytes, mut full_bytes) = (0usize, 0usize);
+        for shard in &self.shards {
+            let s = shard.lock();
+            min_bytes += s.min_bytes;
+            full_bytes += s.full_bytes;
+        }
+        stats.peak_passed_bytes = min_bytes;
+        stats.peak_passed_bytes_full = full_bytes;
+    }
+
     /// The coordinator: seeds the search, then alternates expand/admit
     /// phases (participating in each) until a verdict is reached.
     fn drive(&self, sync: &RoundSync, limits: &Limits, helpers: usize) -> SymbolicVerdict {
         let started = Instant::now();
         let mut stats = SearchStats::default();
+        let mut pool = DbmPool::new();
 
         // Seed round: resolve + cook the initial state on this thread.
         let init = Work {
             locs: self.net.automata.iter().map(|a| a.initial as u32).collect(),
             pairs: vec![PairState::Idle; self.spec.pairs.len()],
-            zone: Dbm::zero(self.net.clock_count()),
+            zone: Dbm::zero(self.nclocks),
             queue: VecDeque::new(),
-            actions: vec!["initial state".to_string()],
+            acts: vec![Act::Initial],
         };
         let mut local = LocalStats::default();
         let mut settled = Vec::new();
         let mut violations: Vec<(Option<NodeId>, Violation)> = Vec::new();
-        match self.resolve(init, 0, &mut settled, &mut local) {
+        match self.resolve(init, 0, &mut settled, &mut local, &mut pool) {
             Ok(()) => {}
             Err(v) => violations.push((None, v)),
         }
         for w in settled {
-            match self.cook(w, None) {
+            match self.cook(w, None, &mut local, &mut pool) {
                 Ok(Some(c)) => self.shards[shard_of(&c.key)].lock().pending.push(c),
                 Ok(None) => {}
                 Err(v) => violations.push((None, v)),
             }
         }
         stats.transitions += local.transitions;
+        stats.subsumed += local.subsumed;
         if !violations.is_empty() {
             return self.least_counter_example(violations);
         }
-        let mut frontier = self.admit_phase(sync, helpers, &mut stats);
+        let mut frontier = self.admit_phase(sync, helpers, &mut stats, &mut pool);
 
         loop {
             if frontier.is_empty() {
                 stats.frontier = 0;
+                self.fold_passed_bytes(&mut stats);
                 return SymbolicVerdict::Safe(stats);
             }
             if stats.states > limits.max_states {
                 stats.frontier = frontier.len();
+                self.fold_passed_bytes(&mut stats);
                 return SymbolicVerdict::OutOfBudget {
                     stats,
                     tripped: TrippedLimit::MaxStates(limits.max_states),
@@ -704,27 +969,31 @@ impl Engine<'_> {
             if let Some(budget) = limits.max_wall {
                 if started.elapsed() > budget {
                     stats.frontier = frontier.len();
+                    self.fold_passed_bytes(&mut stats);
                     return SymbolicVerdict::OutOfBudget {
                         stats,
                         tripped: TrippedLimit::WallClock(budget),
                     };
                 }
             }
-            let violations = self.expand_phase(sync, frontier, helpers, &mut stats);
+            let violations = self.expand_phase(sync, frontier, helpers, &mut stats, &mut pool);
             if !violations.is_empty() {
                 return self.least_counter_example(violations);
             }
-            frontier = self.admit_phase(sync, helpers, &mut stats);
+            frontier = self.admit_phase(sync, helpers, &mut stats, &mut pool);
         }
     }
 
     /// Helper thread body: wait for the next epoch, run its phase, raise
-    /// `done`; exit on [`TASK_EXIT`].
+    /// `done`; exit on [`TASK_EXIT`]. Each helper owns a [`DbmPool`]
+    /// that persists across phases, so successor zones recycle worker-
+    /// locally without synchronization.
     fn helper_loop(&self, sync: &RoundSync) {
         // Baseline is the pool-creation epoch (0), NOT the current value:
         // a helper that spawns after the coordinator's first bump must
         // still join that phase, or the coordinator waits forever.
         let mut seen = 0usize;
+        let mut pool = DbmPool::new();
         loop {
             let task = {
                 let mut ctl = sync.ctl();
@@ -738,20 +1007,23 @@ impl Engine<'_> {
             // coordinator waits for this helper forever and a crash
             // becomes a hang. Catch the unwind, flag it, and let the
             // coordinator abort the whole check.
+            let pool = &mut pool;
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task {
                 TASK_EXPAND => {
-                    let (transitions, violations) = {
+                    let (local, violations) = {
                         let frontier = sync.frontier.read();
-                        self.expand_work(&frontier, &sync.cursor)
+                        self.expand_work(&frontier, &sync.cursor, pool)
                     };
-                    sync.transitions.fetch_add(transitions, Ordering::Relaxed);
+                    sync.transitions
+                        .fetch_add(local.transitions, Ordering::Relaxed);
+                    sync.subsumed.fetch_add(local.subsumed, Ordering::Relaxed);
                     if !violations.is_empty() {
                         sync.violations.lock().extend(violations);
                     }
                     true
                 }
                 TASK_ADMIT => {
-                    let (admitted, subsumed) = self.admit_work(&sync.cursor);
+                    let (admitted, subsumed) = self.admit_work(&sync.cursor, pool);
                     sync.subsumed.fetch_add(subsumed, Ordering::Relaxed);
                     if !admitted.is_empty() {
                         sync.admitted.lock().extend(admitted);
@@ -812,15 +1084,22 @@ impl Engine<'_> {
         frontier: Vec<FrontierEntry>,
         helpers: usize,
         stats: &mut SearchStats,
+        pool: &mut DbmPool,
     ) -> Vec<(Option<NodeId>, Violation)> {
-        *sync.frontier.write() = frontier;
+        // The previous round's frontier has been fully expanded; recycle
+        // its zones before publishing the new one.
+        let expanded = std::mem::replace(&mut *sync.frontier.write(), frontier);
+        for e in expanded {
+            pool.recycle(e.zone);
+        }
         self.start_phase(sync, TASK_EXPAND);
-        let (transitions, mut violations) = {
+        let (local, mut violations) = {
             let frontier = sync.frontier.read();
-            self.expand_work(&frontier, &sync.cursor)
+            self.expand_work(&frontier, &sync.cursor, pool)
         };
         self.wait_helpers(sync, helpers);
-        stats.transitions += transitions + sync.transitions.swap(0, Ordering::Relaxed);
+        stats.transitions += local.transitions + sync.transitions.swap(0, Ordering::Relaxed);
+        stats.subsumed += local.subsumed + sync.subsumed.swap(0, Ordering::Relaxed);
         violations.append(&mut sync.violations.lock());
         violations
     }
@@ -832,21 +1111,22 @@ impl Engine<'_> {
         &self,
         frontier: &[FrontierEntry],
         cursor: &AtomicUsize,
-    ) -> (usize, Vec<(Option<NodeId>, Violation)>) {
+        pool: &mut DbmPool,
+    ) -> (LocalStats, Vec<(Option<NodeId>, Violation)>) {
         let mut local = LocalStats::default();
         let mut violations = Vec::new();
         let mut staged: Vec<Vec<Candidate>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(entry) = frontier.get(i) else { break };
-            self.expand(entry, &mut staged, &mut violations, &mut local);
+            self.expand(entry, &mut staged, &mut violations, &mut local, pool);
         }
         for (s, mut batch) in staged.into_iter().enumerate() {
             if !batch.is_empty() {
                 self.shards[s].lock().pending.append(&mut batch);
             }
         }
-        (local.transitions, violations)
+        (local, violations)
     }
 
     /// Phase 2: drains every shard's pending list in content-defined
@@ -857,9 +1137,10 @@ impl Engine<'_> {
         sync: &RoundSync,
         helpers: usize,
         stats: &mut SearchStats,
+        pool: &mut DbmPool,
     ) -> Vec<FrontierEntry> {
         self.start_phase(sync, TASK_ADMIT);
-        let (mut per_shard, subsumed) = self.admit_work(&sync.cursor);
+        let (mut per_shard, subsumed) = self.admit_work(&sync.cursor, pool);
         self.wait_helpers(sync, helpers);
         stats.subsumed += subsumed + sync.subsumed.swap(0, Ordering::Relaxed);
         per_shard.append(&mut sync.admitted.lock());
@@ -872,7 +1153,16 @@ impl Engine<'_> {
 
     /// One worker's share of an admit phase: claim whole shards from the
     /// shared cursor and admit their pending candidates deterministically.
-    fn admit_work(&self, cursor: &AtomicUsize) -> (Vec<(usize, Vec<FrontierEntry>)>, usize) {
+    ///
+    /// Admission is where keys are interned (content order ⇒ id
+    /// assignment is identical for every worker count) and where zones
+    /// are compressed: the node arena stores the minimal constraint
+    /// form, against which future subsumption checks run directly.
+    fn admit_work(
+        &self,
+        cursor: &AtomicUsize,
+        pool: &mut DbmPool,
+    ) -> (Vec<(usize, Vec<FrontierEntry>)>, usize) {
         let mut admitted: Vec<(usize, Vec<FrontierEntry>)> = Vec::new();
         let mut subsumed = 0usize;
         loop {
@@ -887,21 +1177,40 @@ impl Engine<'_> {
             let mut pending = std::mem::take(&mut shard.pending);
             pending.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
             let mut fresh = Vec::new();
-            let Shard { passed, nodes, .. } = &mut *shard;
+            let Shard {
+                keys,
+                buckets,
+                nodes,
+                min_bytes,
+                full_bytes,
+                ..
+            } = &mut *shard;
             for c in pending {
-                let bucket = passed.entry(c.key.clone()).or_default();
+                debug_assert!(
+                    c.zone.closed_through_zero(),
+                    "candidates must arrive canonical"
+                );
+                let (kid, new_key) = keys.intern(&c.key);
+                if new_key {
+                    buckets.push(Vec::new());
+                }
+                let bucket = &mut buckets[kid as usize];
                 if bucket
                     .iter()
                     .any(|&ni| nodes[ni as usize].zone.includes(&c.zone))
                 {
                     subsumed += 1;
+                    pool.recycle(c.zone);
                     continue;
                 }
+                let reduced = c.zone.reduce();
+                *min_bytes += reduced.heap_bytes();
+                *full_bytes += reduced.full_matrix_bytes();
                 let idx = nodes.len() as u32;
                 nodes.push(Node {
-                    zone: c.zone.clone(),
+                    zone: reduced,
                     parent: c.parent,
-                    action: c.action,
+                    acts: c.acts.into_boxed_slice(),
                 });
                 bucket.push(idx);
                 fresh.push(FrontierEntry {
@@ -930,37 +1239,46 @@ impl Engine<'_> {
         staged: &mut [Vec<Candidate>],
         violations: &mut Vec<(Option<NodeId>, Violation)>,
         local: &mut LocalStats,
+        pool: &mut DbmPool,
     ) {
         for ai in 0..self.net.automata.len() {
             let loc = entry.locs[ai] as usize;
-            let edge_ids: Vec<usize> = self.net.automata[ai]
-                .edges_from(loc)
-                .filter(|(_, e)| matches!(e.sync, Sync::None | Sync::External(_)))
-                .map(|(i, _)| i)
-                .collect();
-            for eid in edge_ids {
-                let w = Work {
+            for &eid in &self.spont[ai][loc] {
+                let eid = eid as usize;
+                // Guards are pre-tested atom-by-atom on the parent zone,
+                // skipping the Work clone entirely when any single atom
+                // is unsatisfiable (necessary condition; the joint
+                // conjunction is still checked by apply_edge).
+                let guard = &self.net.automata[ai].edges[eid].guard;
+                if guard.iter().any(|a| !a.satisfiable_in(&entry.zone)) {
+                    continue;
+                }
+                let mut w = Work {
                     locs: entry.locs.clone(),
                     pairs: entry.pairs.clone(),
-                    zone: entry.zone.clone(),
+                    zone: pool.clone_dbm(&entry.zone),
                     queue: VecDeque::new(),
-                    actions: Vec::new(),
+                    acts: Vec::new(),
                 };
-                let fired = match self.apply_edge(w, ai, eid, local) {
-                    Ok(Some(w2)) => w2,
-                    Ok(None) => continue,
-                    Err(v) => {
-                        violations.push((Some(entry.id), v));
+                match self.apply_edge(&mut w, ai, eid, local) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        pool.recycle(w.zone);
                         continue;
                     }
-                };
+                    Err(v) => {
+                        violations.push((Some(entry.id), v));
+                        pool.recycle(w.zone);
+                        continue;
+                    }
+                }
                 let mut settled = Vec::new();
-                if let Err(v) = self.resolve(fired, 0, &mut settled, local) {
+                if let Err(v) = self.resolve(w, 0, &mut settled, local, pool) {
                     violations.push((Some(entry.id), v));
                     continue;
                 }
                 for s in settled {
-                    match self.cook(s, Some(entry.id)) {
+                    match self.cook(s, Some(entry.id), local, pool) {
                         Ok(Some(c)) => staged[shard_of(&c.key)].push(c),
                         Ok(None) => {}
                         Err(v) => violations.push((Some(entry.id), v)),
@@ -970,69 +1288,56 @@ impl Engine<'_> {
         }
     }
 
-    /// Fires edge `eid` of automaton `ai` on `w`: guard restriction, PTE
-    /// observer transition checks, resets, location move, emission
-    /// enqueue. `Ok(None)` when the guard is unsatisfiable.
+    /// Fires edge `eid` of automaton `ai` on `w` in place: guard
+    /// restriction (incremental closure — the zone stays canonical
+    /// throughout, no Floyd–Warshall), PTE observer transition checks,
+    /// resets, location move, emission enqueue. `Ok(false)` when the
+    /// guard is unsatisfiable (the caller recycles `w.zone`).
     fn apply_edge(
         &self,
-        mut w: Work,
+        w: &mut Work,
         ai: usize,
         eid: usize,
         local: &mut LocalStats,
-    ) -> Result<Option<Work>, Violation> {
-        let mut zone = w.zone.clone();
-        {
-            // Scoped borrow: keep the hot path allocation-free.
-            let edge = &self.net.automata[ai].edges[eid];
-            for atom in &edge.guard {
-                atom.apply(&mut zone);
+    ) -> Result<bool, Violation> {
+        let edge = &self.net.automata[ai].edges[eid];
+        for atom in &edge.guard {
+            if !atom.apply_and_close(&mut w.zone) {
+                return Ok(false);
             }
-        }
-        zone.canonicalize();
-        if zone.is_empty() {
-            return Ok(None);
         }
         local.transitions += 1;
 
-        let edge = &self.net.automata[ai].edges[eid];
         let src_risky = self.net.automata[ai].locations[edge.src].risky;
         let dst_risky = self.net.automata[ai].locations[edge.dst].risky;
-        let desc = format!(
-            "{}: {} -> {}{}",
-            self.net.automata[ai].name,
-            self.net.automata[ai].locations[edge.src].name,
-            self.net.automata[ai].locations[edge.dst].name,
-            match &edge.sync {
-                Sync::External(r) => format!(" (on {})", r.as_str()),
-                Sync::Reliable(r) | Sync::Lossy(r) => format!(" (recv {})", r.as_str()),
-                Sync::None => String::new(),
-            }
-        );
-        w.actions.push(desc);
+        w.acts.push(Act::Edge {
+            aut: ai as u16,
+            eid: eid as u16,
+        });
 
         // PTE observer: transitions across the risky boundary.
         if let Some(ei) = self.aut_entity[ai] {
             if !src_risky && dst_risky {
-                self.observe_enter(ei, &mut w, &mut zone)?;
+                self.observe_enter(ei, w)?;
             } else if src_risky && !dst_risky {
-                self.observe_exit(ei, &mut w, &mut zone)?;
+                self.observe_exit(ei, w)?;
             }
         }
 
+        let edge = &self.net.automata[ai].edges[eid];
         for (clock, v) in &edge.resets {
-            zone.reset(*clock, *v);
+            w.zone.reset(*clock, *v);
         }
         w.locs[ai] = edge.dst as u32;
-        for root in &edge.emits {
-            w.queue.push_back((ai, root.clone()));
+        for &rid in &self.emit_ids[ai][eid] {
+            w.queue.push_back((ai as u32, rid));
         }
-        w.zone = zone;
-        Ok(Some(w))
+        Ok(true)
     }
 
     /// Entity `ei` enters risky: coverage + enter-lead checks, pair state
     /// updates, `r` clock reset.
-    fn observe_enter(&self, ei: usize, w: &mut Work, zone: &mut Dbm) -> Result<(), Violation> {
+    fn observe_enter(&self, ei: usize, w: &mut Work) -> Result<(), Violation> {
         // Pairs where `ei` is the inner entity.
         if ei >= 1 && ei - 1 < self.spec.pairs.len() {
             let pk = ei - 1;
@@ -1041,8 +1346,8 @@ impl Engine<'_> {
             if !outer_risky {
                 return Err(Violation {
                     kind: ViolationKind::Coverage { pair: pk },
-                    actions: w.actions.clone(),
-                    zone: zone.clone(),
+                    acts: w.acts.clone(),
+                    zone: w.zone.clone(),
                 });
             }
             let lead_short = Atom {
@@ -1050,13 +1355,12 @@ impl Engine<'_> {
                 rel: Rel::Lt,
                 ticks: self.spec.pairs[pk].t_min_risky,
             };
-            if lead_short.satisfiable_in(zone) {
-                let mut witness = zone.clone();
-                lead_short.apply(&mut witness);
-                witness.canonicalize();
+            if lead_short.satisfiable_in(&w.zone) {
+                let mut witness = w.zone.clone();
+                lead_short.apply_and_close(&mut witness);
                 return Err(Violation {
                     kind: ViolationKind::EnterMargin { pair: pk },
-                    actions: w.actions.clone(),
+                    acts: w.acts.clone(),
                     zone: witness,
                 });
             }
@@ -1066,19 +1370,19 @@ impl Engine<'_> {
         if ei < self.spec.pairs.len() && w.pairs[ei] == PairState::Idle {
             w.pairs[ei] = PairState::OuterOnly;
         }
-        zone.reset(self.r_clock[ei], 0);
+        w.zone.reset(self.r_clock[ei], 0);
         Ok(())
     }
 
     /// Entity `ei` leaves risky: exit-lag checks, pair state updates,
     /// `s` clock reset.
-    fn observe_exit(&self, ei: usize, w: &mut Work, zone: &mut Dbm) -> Result<(), Violation> {
+    fn observe_exit(&self, ei: usize, w: &mut Work) -> Result<(), Violation> {
         // Pairs where `ei` is the inner entity: start the lag phase.
         if ei >= 1 && ei - 1 < self.spec.pairs.len() {
             let pk = ei - 1;
             if w.pairs[pk] == PairState::Embedded {
                 w.pairs[pk] = PairState::InnerExited;
-                zone.reset(self.s_clock[pk], 0);
+                w.zone.reset(self.s_clock[pk], 0);
             }
         }
         // Pairs where `ei` is the outer entity.
@@ -1087,8 +1391,8 @@ impl Engine<'_> {
                 PairState::Embedded => {
                     return Err(Violation {
                         kind: ViolationKind::ExitUncovered { pair: ei },
-                        actions: w.actions.clone(),
-                        zone: zone.clone(),
+                        acts: w.acts.clone(),
+                        zone: w.zone.clone(),
                     });
                 }
                 PairState::InnerExited => {
@@ -1097,13 +1401,12 @@ impl Engine<'_> {
                         rel: Rel::Lt,
                         ticks: self.spec.pairs[ei].t_min_safe,
                     };
-                    if lag_short.satisfiable_in(zone) {
-                        let mut witness = zone.clone();
-                        lag_short.apply(&mut witness);
-                        witness.canonicalize();
+                    if lag_short.satisfiable_in(&w.zone) {
+                        let mut witness = w.zone.clone();
+                        lag_short.apply_and_close(&mut witness);
                         return Err(Violation {
                             kind: ViolationKind::ExitLag { pair: ei },
-                            actions: w.actions.clone(),
+                            acts: w.acts.clone(),
                             zone: witness,
                         });
                     }
@@ -1133,28 +1436,30 @@ impl Engine<'_> {
     fn deliver_fates(
         &self,
         w: Work,
-        root: &Root,
+        root: u16,
         receivers: &[(usize, Vec<(usize, bool)>)],
         idx: usize,
         depth: usize,
         out: &mut Vec<Work>,
         local: &mut LocalStats,
+        pool: &mut DbmPool,
     ) -> Result<(), Violation> {
         if idx == receivers.len() {
-            return self.resolve(w, depth + 1, out, local);
+            return self.resolve(w, depth + 1, out, local, pool);
         }
         let (ai, edges) = &receivers[idx];
         let mut any_delivered = false;
         for (eid, _) in edges {
-            let mut branch = w.clone();
-            branch.actions.push(format!(
-                "deliver {} to {}",
-                root.as_str(),
-                self.net.automata[*ai].name
-            ));
-            if let Some(w2) = self.apply_edge(branch, *ai, *eid, local)? {
+            let mut branch = w.clone_via(pool);
+            branch.acts.push(Act::Deliver {
+                root,
+                aut: *ai as u16,
+            });
+            if self.apply_edge(&mut branch, *ai, *eid, local)? {
                 any_delivered = true;
-                self.deliver_fates(w2, root, receivers, idx + 1, depth, out, local)?;
+                self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local, pool)?;
+            } else {
+                pool.recycle(branch.zone);
             }
         }
         // Any lossy receiving edge means the wireless hop itself can drop
@@ -1165,13 +1470,12 @@ impl Engine<'_> {
         let any_lossy = edges.iter().any(|(_, lossy)| *lossy);
         if any_lossy || !any_delivered {
             // Drop (lossy) or discard (reliable but nowhere enabled).
-            let mut branch = w.clone();
-            branch.actions.push(format!(
-                "{} lost/ignored by {}",
-                root.as_str(),
-                self.net.automata[*ai].name
-            ));
-            self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local)?;
+            let mut branch = w.clone_via(pool);
+            branch.acts.push(Act::Lost {
+                root,
+                aut: *ai as u16,
+            });
+            self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local, pool)?;
         } else {
             // Reliable and at least one edge delivered somewhere in the
             // zone: the event is still ignored on the sub-zone where no
@@ -1185,35 +1489,32 @@ impl Engine<'_> {
             if !unguarded_exists && guarded.len() == 1 {
                 // Exact complement: one guarded edge, branch per negated
                 // guard atom.
-                let atoms = self.net.automata[*ai].edges[guarded[0]].guard.clone();
-                for atom in atoms {
-                    let mut branch = w.clone();
-                    atom.negated().apply(&mut branch.zone);
-                    branch.zone.canonicalize();
-                    if branch.zone.is_empty() {
+                for atom in &self.net.automata[*ai].edges[guarded[0]].guard {
+                    let mut branch = w.clone_via(pool);
+                    if !atom.negated().apply_and_close(&mut branch.zone) {
+                        pool.recycle(branch.zone);
                         continue;
                     }
-                    branch.actions.push(format!(
-                        "{} ignored by {} (guard off)",
-                        root.as_str(),
-                        self.net.automata[*ai].name
-                    ));
-                    self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local)?;
+                    branch.acts.push(Act::GuardOff {
+                        root,
+                        aut: *ai as u16,
+                    });
+                    self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local, pool)?;
                 }
             } else if !unguarded_exists {
                 // Several guarded reliable edges: over-approximate with a
                 // full-zone ignore branch (sound for Safe verdicts).
-                let mut branch = w.clone();
-                branch.actions.push(format!(
-                    "{} possibly ignored by {}",
-                    root.as_str(),
-                    self.net.automata[*ai].name
-                ));
-                self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local)?;
+                let mut branch = w.clone_via(pool);
+                branch.acts.push(Act::MaybeIgnored {
+                    root,
+                    aut: *ai as u16,
+                });
+                self.deliver_fates(branch, root, receivers, idx + 1, depth, out, local, pool)?;
             }
             // An unguarded reliable edge is always enabled: no ignore
             // fate exists.
         }
+        pool.recycle(w.zone);
         Ok(())
     }
 
@@ -1226,6 +1527,7 @@ impl Engine<'_> {
         depth: usize,
         out: &mut Vec<Work>,
         local: &mut LocalStats,
+        pool: &mut DbmPool,
     ) -> Result<(), Violation> {
         if depth > CASCADE_DEPTH {
             out.push(w);
@@ -1235,75 +1537,91 @@ impl Engine<'_> {
             // Candidate receivers, grouped per automaton: the executor
             // broadcasts an emission to every listener except the sender
             // (`route_emission` skips `receiver == sender`), and each
-            // listener's wireless delivery has its own drop fate.
+            // listener's wireless delivery has its own drop fate. The
+            // per-location dispatch table replaces the full edge scan.
             let mut receivers: Vec<(usize, Vec<(usize, bool)>)> = Vec::new(); // (aut, [(edge, lossy)])
             for ai in 0..self.net.automata.len() {
-                if ai == sender {
+                if ai == sender as usize {
                     continue;
                 }
                 let loc = w.locs[ai] as usize;
-                let edges: Vec<(usize, bool)> = self.net.automata[ai]
-                    .edges_from(loc)
-                    .filter_map(|(eid, e)| match &e.sync {
-                        Sync::Lossy(r) if *r == root => Some((eid, true)),
-                        Sync::Reliable(r) if *r == root => Some((eid, false)),
-                        _ => None,
-                    })
+                let edges: Vec<(usize, bool)> = self.recv[ai][loc]
+                    .iter()
+                    .filter(|re| re.root == root)
+                    .map(|re| (re.eid as usize, re.lossy))
                     .collect();
                 if !edges.is_empty() {
                     receivers.push((ai, edges));
                 }
             }
-            return self.deliver_fates(w, &root, &receivers, 0, depth, out, local);
+            return self.deliver_fates(w, root, &receivers, 0, depth, out, local, pool);
         }
 
         // No pending events: split on invariant satisfaction.
-        let mut zin = w.zone.clone();
+        let mut zin = pool.clone_dbm(&w.zone);
+        let mut zin_alive = true;
         let mut atoms: Vec<(usize, Atom)> = Vec::new();
         for (ai, aut) in self.net.automata.iter().enumerate() {
             for atom in &aut.locations[w.locs[ai] as usize].invariant {
-                atom.apply(&mut zin);
+                // Incremental conjunction; once empty, only collect the
+                // remaining atoms (the urgent split below needs them all).
+                zin_alive = zin_alive && atom.apply_and_close(&mut zin);
                 atoms.push((ai, *atom));
             }
         }
-        zin.canonicalize();
-        if !zin.is_empty() {
-            let mut settled = w.clone();
-            settled.zone = zin;
-            out.push(settled);
+        if zin_alive {
+            out.push(Work {
+                locs: w.locs.clone(),
+                pairs: w.pairs.clone(),
+                zone: zin,
+                queue: VecDeque::new(),
+                acts: w.acts.clone(),
+            });
+        } else {
+            pool.recycle(zin);
         }
         // Sub-zones beyond some invariant must take an urgent escape now.
         for (ai, atom) in &atoms {
-            let mut zout = w.zone.clone();
-            atom.negated().apply(&mut zout);
-            zout.canonicalize();
-            if zout.is_empty() {
+            let mut zout = pool.clone_dbm(&w.zone);
+            if !atom.negated().apply_and_close(&mut zout) {
+                pool.recycle(zout);
                 continue;
             }
             let loc = w.locs[*ai] as usize;
-            let urgent_ids: Vec<usize> = self.net.automata[*ai]
-                .edges_from(loc)
-                .filter(|(_, e)| e.urgent)
-                .map(|(i, _)| i)
-                .collect();
-            for eid in urgent_ids {
-                let mut branch = w.clone();
-                branch.zone = zout.clone();
-                branch
-                    .actions
-                    .push(format!("{} invariant expired", self.net.automata[*ai].name));
-                if let Some(w2) = self.apply_edge(branch, *ai, eid, local)? {
-                    self.resolve(w2, depth + 1, out, local)?;
+            for &eid in &self.urgent[*ai][loc] {
+                let mut branch = Work {
+                    locs: w.locs.clone(),
+                    pairs: w.pairs.clone(),
+                    zone: pool.clone_dbm(&zout),
+                    queue: w.queue.clone(),
+                    acts: w.acts.clone(),
+                };
+                branch.acts.push(Act::InvariantExpired { aut: *ai as u16 });
+                if self.apply_edge(&mut branch, *ai, eid as usize, local)? {
+                    self.resolve(branch, depth + 1, out, local, pool)?;
+                } else {
+                    pool.recycle(branch.zone);
                 }
             }
+            pool.recycle(zout);
         }
+        pool.recycle(w.zone);
         Ok(())
     }
 
     /// Cooks a settled work item into an admission candidate: delay
     /// closure, observer-clock activity reduction, extrapolation, and
     /// the state-level PTE checks. Subsumption is deferred to phase 2.
-    fn cook(&self, mut w: Work, parent: Option<NodeId>) -> Result<Option<Candidate>, Violation> {
+    /// Every step preserves canonical form incrementally; the only full
+    /// closure left is the one extrapolation performs internally when
+    /// it widens anything.
+    fn cook(
+        &self,
+        mut w: Work,
+        parent: Option<NodeId>,
+        local: &mut LocalStats,
+        pool: &mut DbmPool,
+    ) -> Result<Option<Candidate>, Violation> {
         // Delay: up-close within the conjunction of location invariants,
         // unless some occupied location freezes time.
         let frozen = w
@@ -1315,14 +1633,13 @@ impl Engine<'_> {
             w.zone.up();
             for (ai, aut) in self.net.automata.iter().enumerate() {
                 for atom in &aut.locations[w.locs[ai] as usize].invariant {
-                    atom.apply(&mut w.zone);
+                    if !atom.apply_and_close(&mut w.zone) {
+                        // Cannot happen for a zone that satisfied the
+                        // invariants, but guard against malformed inputs.
+                        pool.recycle(w.zone);
+                        return Ok(None);
+                    }
                 }
-            }
-            w.zone.canonicalize();
-            if w.zone.is_empty() {
-                // Cannot happen for a zone that satisfied the invariants,
-                // but guard against malformed inputs.
-                return Ok(None);
             }
         }
         // Observer-clock activity reduction: `r_i` is only ever read
@@ -1340,6 +1657,34 @@ impl Engine<'_> {
                 w.zone.free(self.s_clock[pk]);
             }
         }
+
+        // Early subsumption probe — *before* extrapolation: if an
+        // already-passed zone (from a previous round; phase 1 never
+        // mutates node arenas, so this read is deterministic) includes
+        // the un-extrapolated candidate, every concrete behaviour from
+        // here is covered by an explored state and the candidate can be
+        // dropped without paying for extrapolation, reduction, or
+        // admission. Sound for violation reporting too: passed zones
+        // are violation-free by construction (a cooked zone with a
+        // satisfiable violation is reported, never admitted), and the
+        // LU bounds cover every observer constant, so a violation
+        // satisfiable in the dropped candidate's widening would be
+        // satisfiable in the subsuming passed zone as well.
+        let key: Key = (w.locs, w.pairs);
+        {
+            let shard = self.shards[shard_of(&key)].lock();
+            if let Some(kid) = shard.keys.get(&key) {
+                if shard.buckets[kid as usize]
+                    .iter()
+                    .any(|&ni| shard.nodes[ni as usize].zone.includes(&w.zone))
+                {
+                    local.subsumed += 1;
+                    pool.recycle(w.zone);
+                    return Ok(None);
+                }
+            }
+        }
+
         match self.extrapolation {
             Extrapolation::ExtraM => w.zone.extrapolate(&self.kmax),
             Extrapolation::ExtraLu => w.zone.extrapolate_lu_plus(&self.lu.lower, &self.lu.upper),
@@ -1347,7 +1692,7 @@ impl Engine<'_> {
 
         // State-level PTE checks on the delay-closed zone.
         for (ei, &ai) in self.entity_aut.iter().enumerate() {
-            let risky = self.net.automata[ai].locations[w.locs[ai] as usize].risky;
+            let risky = self.net.automata[ai].locations[key.0[ai] as usize].risky;
             if !risky {
                 continue;
             }
@@ -1358,16 +1703,12 @@ impl Engine<'_> {
             };
             if over.satisfiable_in(&w.zone) {
                 let mut witness = w.zone.clone();
-                over.apply(&mut witness);
-                witness.canonicalize();
-                let mut actions = w.actions.clone();
-                actions.push(format!(
-                    "dwell risky beyond the Rule-1 bound ({} ticks)",
-                    self.spec.rule1_ticks[ei]
-                ));
+                over.apply_and_close(&mut witness);
+                let mut acts = w.acts.clone();
+                acts.push(Act::DwellExceeded { entity: ei as u16 });
                 return Err(Violation {
                     kind: ViolationKind::Rule1 { entity: ei },
-                    actions,
+                    acts,
                     zone: witness,
                 });
             }
@@ -1375,22 +1716,22 @@ impl Engine<'_> {
         for pk in 0..self.spec.pairs.len() {
             let outer = self.entity_aut[pk];
             let inner = self.entity_aut[pk + 1];
-            let outer_risky = self.net.automata[outer].locations[w.locs[outer] as usize].risky;
-            let inner_risky = self.net.automata[inner].locations[w.locs[inner] as usize].risky;
+            let outer_risky = self.net.automata[outer].locations[key.0[outer] as usize].risky;
+            let inner_risky = self.net.automata[inner].locations[key.0[inner] as usize].risky;
             if inner_risky && !outer_risky {
                 return Err(Violation {
                     kind: ViolationKind::Coverage { pair: pk },
-                    actions: w.actions.clone(),
+                    acts: w.acts.clone(),
                     zone: w.zone.clone(),
                 });
             }
         }
 
         Ok(Some(Candidate {
-            key: (w.locs, w.pairs),
+            key,
             zone: w.zone,
             parent,
-            action: w.actions.join("; "),
+            acts: w.acts,
         }))
     }
 
@@ -1412,21 +1753,83 @@ impl Engine<'_> {
         SymbolicVerdict::Unsafe(Box::new(least))
     }
 
+    /// Renders one action code to its human-readable string (the exact
+    /// PR 2 wording — only the moment of formatting moved, from the hot
+    /// path to counter-example reporting).
+    fn render_act(&self, a: Act) -> String {
+        match a {
+            Act::Initial => "initial state".to_string(),
+            Act::Edge { aut, eid } => {
+                let a = &self.net.automata[aut as usize];
+                let edge = &a.edges[eid as usize];
+                format!(
+                    "{}: {} -> {}{}",
+                    a.name,
+                    a.locations[edge.src].name,
+                    a.locations[edge.dst].name,
+                    match &edge.sync {
+                        Sync::External(r) => format!(" (on {})", r.as_str()),
+                        Sync::Reliable(r) | Sync::Lossy(r) => format!(" (recv {})", r.as_str()),
+                        Sync::None => String::new(),
+                    }
+                )
+            }
+            Act::Deliver { root, aut } => format!(
+                "deliver {} to {}",
+                self.roots[root as usize].as_str(),
+                self.net.automata[aut as usize].name
+            ),
+            Act::Lost { root, aut } => format!(
+                "{} lost/ignored by {}",
+                self.roots[root as usize].as_str(),
+                self.net.automata[aut as usize].name
+            ),
+            Act::GuardOff { root, aut } => format!(
+                "{} ignored by {} (guard off)",
+                self.roots[root as usize].as_str(),
+                self.net.automata[aut as usize].name
+            ),
+            Act::MaybeIgnored { root, aut } => format!(
+                "{} possibly ignored by {}",
+                self.roots[root as usize].as_str(),
+                self.net.automata[aut as usize].name
+            ),
+            Act::InvariantExpired { aut } => {
+                format!("{} invariant expired", self.net.automata[aut as usize].name)
+            }
+            Act::DwellExceeded { entity } => format!(
+                "dwell risky beyond the Rule-1 bound ({} ticks)",
+                self.spec.rule1_ticks[entity as usize]
+            ),
+        }
+    }
+
+    /// Renders one step (a settle's action codes) as PR 2's `"; "`-joined
+    /// line.
+    fn render_step(&self, acts: &[Act]) -> String {
+        acts.iter()
+            .map(|&a| self.render_act(a))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
     fn render_ce(&self, parent: Option<NodeId>, v: Violation) -> SymbolicCounterExample {
         let mut steps = Vec::new();
         let mut cursor = parent;
         while let Some(id) = cursor {
             let shard = self.shards[id.shard as usize].lock();
             let node = &shard.nodes[id.idx as usize];
-            steps.push(node.action.clone());
+            steps.push(self.render_step(&node.acts));
             cursor = node.parent;
         }
         steps.reverse();
-        steps.push(v.actions.join("; "));
+        steps.push(self.render_step(&v.acts));
+        let mut names = self.net.clocks.clone();
+        names.extend(self.observer_clock_names.iter().cloned());
         SymbolicCounterExample {
             kind: v.kind,
             steps,
-            zone: v.zone.render(&self.net.clocks),
+            zone: v.zone.render(&names),
         }
     }
 }

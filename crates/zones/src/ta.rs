@@ -49,6 +49,19 @@ impl Atom {
         };
     }
 
+    /// Conjoins this atom onto a **canonical** DBM, restoring canonical
+    /// form incrementally ([`Dbm::constrain_and_close`], O(n²) instead
+    /// of a deferred O(n³) closure). Returns `false` when the atom
+    /// empties the zone.
+    pub fn apply_and_close(&self, z: &mut Dbm) -> bool {
+        match self.rel {
+            Rel::Le => z.constrain_and_close(self.clock, 0, Bound::le(self.ticks)),
+            Rel::Lt => z.constrain_and_close(self.clock, 0, Bound::lt(self.ticks)),
+            Rel::Ge => z.constrain_and_close(0, self.clock, Bound::le(-self.ticks)),
+            Rel::Gt => z.constrain_and_close(0, self.clock, Bound::lt(-self.ticks)),
+        }
+    }
+
     /// The negation of this atom (`≤` ↔ `>`, `<` ↔ `≥`).
     pub fn negated(&self) -> Atom {
         let rel = match self.rel {

@@ -21,10 +21,16 @@ fn limits(workers: usize, extrapolation: Extrapolation, max_states: usize) -> Li
 }
 
 /// A stable fingerprint of a verdict: discriminant plus every
-/// content-bearing field that must not depend on scheduling.
+/// content-bearing field that must not depend on scheduling — including
+/// the passed-list byte accounting, which pins the *stored zones*
+/// themselves (minimal constraint form) as bit-identical across worker
+/// counts, not just their number.
 fn fingerprint(v: &SymbolicVerdict) -> String {
     match v {
-        SymbolicVerdict::Safe(s) => format!("safe states={}", s.states),
+        SymbolicVerdict::Safe(s) => format!(
+            "safe states={} passed_bytes={}/{}",
+            s.states, s.peak_passed_bytes, s.peak_passed_bytes_full
+        ),
         // The full rendered counter-example: kind, step list, zone.
         SymbolicVerdict::Unsafe(_) => format!("unsafe {v}"),
         SymbolicVerdict::OutOfBudget { stats, tripped } => format!(
@@ -98,6 +104,29 @@ fn wall_clock_budget_trips_as_out_of_budget() {
     ));
     assert!(stats.frontier > 0);
     assert!(format!("{verdict}").contains("wall-clock"));
+}
+
+/// The compressed passed list reports its footprint and beats
+/// full-matrix storage by at least 2× on the case study (the measured
+/// factor is higher; the bench prints it).
+#[test]
+fn passed_list_compression_is_reported_and_substantial() {
+    let cfg = LeaseConfig::case_study();
+    let verdict = check_lease_pattern_with(&cfg, true, &limits(1, Extrapolation::ExtraLu, 60_000))
+        .expect("case study lowers");
+    let stats = verdict.stats().expect("safe verdict carries stats");
+    assert!(stats.states > 0);
+    assert!(
+        stats.peak_passed_bytes > 0,
+        "peak passed-list bytes must be reported"
+    );
+    assert!(
+        stats.peak_passed_bytes_full >= 2 * stats.peak_passed_bytes,
+        "minimal constraint form must at least halve passed-list memory \
+         (minimal {} vs full {})",
+        stats.peak_passed_bytes,
+        stats.peak_passed_bytes_full
+    );
 }
 
 #[test]
