@@ -179,9 +179,52 @@ fn bench_passed_compression(_c: &mut Criterion) {
     );
 }
 
+/// N-entity chain scaling: settled states and states/sec of the leased
+/// safety proof for `chain-2` … `chain-4` (the registry's scalable
+/// scenario family; `chain-5`/`chain-6` are provable too — ≈ 169k /
+/// 477k states — but too slow for a per-push bench). The measured rows
+/// are printed and carried into `BENCH_zones.json` by
+/// [`emit_bench_json`].
+fn chain_scaling_rows() -> Vec<pte_bench::ScalingRow> {
+    let mut rows = Vec::new();
+    for n in 2..=4usize {
+        let cfg = LeaseConfig::chain(n);
+        // Real headroom over chain-4's ≈ 57k settled states: a small
+        // future shift in the explored set must not turn this row into
+        // an OutOfBudget panic.
+        let limits = Limits {
+            max_states: 120_000,
+            ..case_limits()
+        };
+        let t = Instant::now();
+        let verdict = check_lease_pattern_with(&cfg, true, &limits).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        let SymbolicVerdict::Safe(stats) = verdict else {
+            panic!("chain-{n} leased must be safe");
+        };
+        println!(
+            "bench: symbolic_scaling/chain-{n}                          {} states, {:.0} ms, {:.0} states/s",
+            stats.states,
+            secs * 1e3,
+            stats.states as f64 / secs
+        );
+        rows.push(pte_bench::ScalingRow {
+            scenario: format!("chain-{n}"),
+            n,
+            states: stats.states,
+            secs: Some(secs),
+        });
+    }
+    // Zone graphs must grow strictly with N, or the scenarios are not
+    // actually exercising scale.
+    assert!(rows.windows(2).all(|w| w[0].states < w[1].states));
+    rows
+}
+
 /// Emits `BENCH_zones.json`: best-of-5 wall time of the leased
 /// case-study proof (plus the baseline falsification), settled states,
-/// states/sec, and the passed-list byte accounting.
+/// states/sec, the passed-list byte accounting, and the chain scaling
+/// rows.
 fn emit_bench_json(_c: &mut Criterion) {
     let cfg = LeaseConfig::case_study();
     let limits = case_limits();
@@ -209,8 +252,16 @@ fn emit_bench_json(_c: &mut Criterion) {
         falsify_secs = falsify_secs.min(t.elapsed().as_secs_f64());
     }
 
+    let scaling = chain_scaling_rows();
     let path = std::env::var("BENCH_ZONES_JSON").unwrap_or_else(|_| "BENCH_zones.json".to_string());
-    pte_bench::write_zones_bench_json(&path, proof_secs, Some(falsify_secs), &stats, &limits);
+    pte_bench::write_zones_bench_json(
+        &path,
+        proof_secs,
+        Some(falsify_secs),
+        &stats,
+        &limits,
+        &scaling,
+    );
 }
 
 criterion_group!(

@@ -1,0 +1,85 @@
+//! Bench-regression gate: compares a freshly emitted `BENCH_zones.json`
+//! against the committed baseline and fails (exit 1) when the
+//! case-study row's `states_per_sec` regressed by more than the
+//! allowed fraction.
+//!
+//! ```sh
+//! cargo run --release -p pte-bench --bin bench_gate -- \
+//!     [--fresh BENCH_zones.json] \
+//!     [--baseline crates/bench/BENCH_zones.baseline.json] \
+//!     [--max-regression 0.25]
+//! ```
+//!
+//! The baseline is a real record from the PR 4 container (2 vCPUs);
+//! `--max-regression` (default 0.25, i.e. a fresh run must reach at
+//! least 75% of the baseline throughput) absorbs ordinary scheduler
+//! noise while still catching real hot-path regressions. Runners with
+//! wildly different hardware should regenerate the baseline or widen
+//! the margin rather than delete the gate.
+
+use pte_bench::arg_value;
+use serde::Value;
+
+/// Reads `path` and extracts the case-study `states_per_sec` plus the
+/// `wall_ms` of a zones bench record.
+fn read_record(path: &str) -> Result<(f64, f64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value = serde_json::from_str_value(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Value::Obj(fields) = &value else {
+        return Err(format!("{path}: expected a JSON object"));
+    };
+    let field = |name: &str| -> Result<f64, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| match v {
+                Value::Num(n) => Some(n.as_f64()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("{path}: missing numeric field `{name}`"))
+    };
+    match fields.iter().find(|(k, _)| k == "bench") {
+        Some((_, Value::Str(s))) if s == "zones" => {}
+        _ => return Err(format!("{path}: not a zones bench record")),
+    }
+    Ok((field("states_per_sec")?, field("wall_ms")?))
+}
+
+fn num_f(v: Option<&str>, default: f64) -> f64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fresh_path = arg_value(&args, "--fresh").unwrap_or_else(|| "BENCH_zones.json".to_string());
+    let baseline_path = arg_value(&args, "--baseline")
+        .unwrap_or_else(|| "crates/bench/BENCH_zones.baseline.json".to_string());
+    let max_regression = num_f(arg_value(&args, "--max-regression").as_deref(), 0.25);
+
+    let (fresh, fresh_ms) = read_record(&fresh_path).unwrap_or_else(|e| {
+        eprintln!("bench gate: {e}");
+        std::process::exit(2);
+    });
+    let (baseline, baseline_ms) = read_record(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench gate: {e}");
+        std::process::exit(2);
+    });
+
+    let ratio = fresh / baseline;
+    println!(
+        "bench gate: case-study states/sec {fresh:.0} vs baseline {baseline:.0} \
+         (ratio {ratio:.2}; wall {fresh_ms:.1} ms vs {baseline_ms:.1} ms; \
+         allowed regression {max_regression:.0}%)",
+        max_regression = max_regression * 100.0
+    );
+    if ratio < 1.0 - max_regression {
+        eprintln!(
+            "bench gate FAILED: fresh throughput is {:.0}% of baseline \
+             (floor {:.0}%) — the zone-engine hot path regressed",
+            ratio * 100.0,
+            (1.0 - max_regression) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

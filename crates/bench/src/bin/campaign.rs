@@ -1,28 +1,44 @@
-//! Verification campaign driver: sweeps a matrix of lease
-//! configurations × {leased, baseline} across the analytic (c1–c7),
-//! symbolic (zone-based), and bounded-exhaustive backends in parallel,
-//! and emits both a text table and a machine-readable JSON report.
+//! Verification campaign driver: sweeps the scenario registry (case
+//! study, `chain-2` … `chain-6` N-device lease chains, the lossy
+//! stress variant) plus a case-study parameter sweep, each × {leased,
+//! baseline}, across the analytic (c1–c7), symbolic (zone-based), and
+//! bounded-exhaustive backends in parallel, and emits both a text table
+//! and a machine-readable JSON report.
 //!
 //! ```sh
 //! cargo run --release -p pte-bench --bin campaign -- \
-//!     [--smoke] [--depth K] [--workers W] [--budget N] [--json PATH] \
-//!     [--bench-json PATH]
+//!     [--smoke] [--scenario NAME] [--depth K] [--workers W] \
+//!     [--budget N] [--json PATH] [--bench-json PATH]
 //! ```
 //!
-//! * `--smoke` — tiny matrix for CI: asserts that every cell reaches a
+//! * `--smoke` — tiny matrix for CI (case study + `chain-3` + a
+//!   violating sweep corner): asserts that every cell reaches a
 //!   conclusive symbolic verdict, that conclusive backends agree, and
 //!   that the emitted JSON parses back cleanly; any failure exits
 //!   non-zero.
+//! * `--scenario NAME` — run a single registry scenario (both arms,
+//!   all backends). An unknown name exits non-zero after listing the
+//!   available scenarios.
 //! * `--depth K` — bounded-exhaustive decision depth (default 6).
 //! * `--workers W` — symbolic engine workers per cell (default 1).
-//! * `--budget N` — symbolic state budget per cell (default 60 000).
+//! * `--budget N` — symbolic state budget per cell. When omitted, each
+//!   cell gets the registry's `recommended_budget` (N-scaled, ≥ 2×
+//!   the measured explored set) so the default run stays conclusive
+//!   on every registry scenario; an explicit value applies verbatim to every cell (and
+//!   can deliberately starve a search to exercise the `inconclusive`
+//!   reporting path).
 //! * `--json PATH` — write the JSON report to `PATH` (default: print a
 //!   `== JSON ==` section to stdout).
 //! * `--bench-json PATH` — additionally time the leased case-study
 //!   proof (best of 3) and write a `BENCH_zones.json`-schema record
-//!   (wall time, settled states, states/sec, peak passed-list bytes)
-//!   to `PATH`, so campaign runs feed the same perf trajectory as
-//!   `bench/benches/zones.rs`.
+//!   (wall time, settled states, states/sec, peak passed-list bytes,
+//!   plus per-N scaling rows derived from the campaign's own chain
+//!   cells) to `PATH`.
+//!
+//! A tripped budget is **never** a verdict: such cells are reported as
+//! `inconclusive` (with the tripped limit named) in the table, the
+//! JSON, and the gate summary — distinct from `safe`, `unsafe`, and
+//! `error`.
 //!
 //! Concurrency: the campaign runs a few cells at a time (capped, since
 //! each cell's exhaustive `explore` already fans out to every core
@@ -31,9 +47,10 @@
 
 use crossbeam::thread;
 use parking_lot::Mutex;
-use pte_bench::arg_value;
+use pte_bench::{arg_value, ScalingRow};
 use pte_core::pattern::{check_conditions, LeaseConfig};
 use pte_hybrid::Time;
+use pte_tracheotomy::registry;
 use pte_verify::exhaustive::explore;
 use pte_verify::report::TextTable;
 use pte_verify::{verify_symbolic_with, CrossCheck, Extrapolation, Limits, SymbolicOutcome};
@@ -43,24 +60,37 @@ use std::time::Instant;
 /// Cap on concurrently running cells (see module docs).
 const MAX_CELL_WORKERS: usize = 4;
 
-/// One cell of the campaign matrix.
+/// One cell of the campaign matrix: a named configuration and an arm.
 #[derive(Clone, Debug)]
 struct Cell {
-    t_run1: f64,
-    t_enter2: f64,
+    /// Registry scenario name, or `sweep[r=..,e=..]` for sweep cells.
+    name: String,
+    /// Number of leased entities.
+    n: usize,
+    cfg: LeaseConfig,
     leased: bool,
+    /// Per-cell symbolic state budget (N-scaled for big chains).
+    budget: usize,
+    /// Sweep parameters in milliseconds `(t_run1, t_enter2)` for sweep
+    /// cells (`None` for registry cells): rows sort by name then by
+    /// these numerically, so `e=2` precedes `e=10` and `e=14.5`.
+    sweep_params: Option<(i64, i64)>,
 }
 
 /// Backend results of one cell: the library's [`CrossCheck`] (which
-/// owns the agreement semantics) plus per-backend timings and the
-/// exhaustive explorer's violation/error split (`exhaustive_safe`
-/// inside [`CrossCheck`] conflates the two on purpose — an errored run
-/// is not a verified one — but diagnosis needs them apart).
+/// owns the agreement semantics) plus per-backend timings, the
+/// exhaustive explorer's violation/error split, and the explicit
+/// symbolic status (`safe` / `unsafe` / `inconclusive` / `error` —
+/// a tripped budget or a failed build must never read as a verdict).
 #[derive(Clone, Debug)]
 struct Row {
     cell: Cell,
     analytic_ok: bool,
     cross: CrossCheck,
+    /// The limit that ended an inconclusive search, rendered.
+    symbolic_tripped: Option<String>,
+    /// Build/lowering failure, rendered (status `error`).
+    symbolic_error: Option<String>,
     exhaustive_violations: usize,
     exhaustive_errors: usize,
     symbolic_ms: f64,
@@ -69,28 +99,57 @@ struct Row {
     passed_bytes: (usize, usize),
 }
 
+impl Row {
+    /// Explicit four-valued symbolic status for table/JSON/gates.
+    fn symbolic_status(&self) -> &'static str {
+        if self.symbolic_error.is_some() {
+            "error"
+        } else {
+            match self.cross.symbolic {
+                SymbolicOutcome::Safe => "safe",
+                SymbolicOutcome::Unsafe => "unsafe",
+                SymbolicOutcome::Inconclusive => "inconclusive",
+            }
+        }
+    }
+}
+
 fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
-    let mut cfg = LeaseConfig::case_study();
-    cfg.t_run[0] = Time::seconds(cell.t_run1);
-    cfg.t_enter[1] = Time::seconds(cell.t_enter2);
-
-    let analytic_ok = check_conditions(&cfg).is_satisfied();
-
-    let t = Instant::now();
-    let verdict = verify_symbolic_with(&cfg, cell.leased, limits);
-    let symbolic_ms = t.elapsed().as_secs_f64() * 1e3;
-    let (symbolic, symbolic_states, passed_bytes) = match &verdict {
-        Ok(v) => (
-            SymbolicOutcome::from(v),
-            v.stats().map_or(0, |s| s.states),
-            v.stats()
-                .map_or((0, 0), |s| (s.peak_passed_bytes, s.peak_passed_bytes_full)),
-        ),
-        Err(_) => (SymbolicOutcome::Inconclusive, 0, (0, 0)),
+    let analytic_ok = check_conditions(&cell.cfg).is_satisfied();
+    let limits = Limits {
+        max_states: cell.budget,
+        ..*limits
     };
 
     let t = Instant::now();
-    let exhaustive = explore(&cfg, cell.leased, depth, false);
+    let verdict = verify_symbolic_with(&cell.cfg, cell.leased, &limits);
+    let symbolic_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (symbolic, symbolic_states, symbolic_tripped, symbolic_error, passed_bytes) = match &verdict
+    {
+        Ok(v) => (
+            SymbolicOutcome::from(v),
+            v.stats().map_or(0, |s| s.states),
+            match v {
+                pte_zones::SymbolicVerdict::OutOfBudget { tripped, .. } => {
+                    Some(tripped.to_string())
+                }
+                _ => None,
+            },
+            None,
+            v.stats()
+                .map_or((0, 0), |s| (s.peak_passed_bytes, s.peak_passed_bytes_full)),
+        ),
+        Err(e) => (
+            SymbolicOutcome::Inconclusive,
+            0,
+            None,
+            Some(e.to_string()),
+            (0, 0),
+        ),
+    };
+
+    let t = Instant::now();
+    let exhaustive = explore(&cell.cfg, cell.leased, depth, false);
     let exhaustive_ms = t.elapsed().as_secs_f64() * 1e3;
 
     Row {
@@ -102,6 +161,8 @@ fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
             exhaustive_runs: exhaustive.runs,
             symbolic_states,
         },
+        symbolic_tripped,
+        symbolic_error,
         exhaustive_violations: exhaustive.violations.len(),
         exhaustive_errors: exhaustive.errors.len(),
         symbolic_ms,
@@ -122,32 +183,28 @@ fn exhaustive_label(r: &Row) -> &'static str {
     }
 }
 
-fn symbolic_label(outcome: SymbolicOutcome) -> &'static str {
-    match outcome {
-        SymbolicOutcome::Safe => "safe",
-        SymbolicOutcome::Unsafe => "unsafe",
-        SymbolicOutcome::Inconclusive => "inconclusive",
-    }
-}
-
 /// Builds the report as a `serde::Value` tree and serializes it with
 /// the vendored `serde_json` — the same machinery the self-validation
 /// parse uses, so escaping/number formatting can't diverge from it.
 fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> String {
     let num_u = |u: usize| Value::Num(Number::U(u as u64));
     let num_f = |f: f64| Value::Num(Number::F(f));
+    let opt_str = |o: &Option<String>| match o {
+        Some(s) => Value::Str(s.clone()),
+        None => Value::Null,
+    };
     let cells: Vec<Value> = rows
         .iter()
         .map(|r| {
             Value::Obj(vec![
-                ("t_run1".into(), num_f(r.cell.t_run1)),
-                ("t_enter2".into(), num_f(r.cell.t_enter2)),
+                ("scenario".into(), Value::Str(r.cell.name.clone())),
+                ("n".into(), num_u(r.cell.n)),
                 ("leased".into(), Value::Bool(r.cell.leased)),
                 ("analytic".into(), Value::Bool(r.analytic_ok)),
-                (
-                    "symbolic".into(),
-                    Value::Str(symbolic_label(r.cross.symbolic).into()),
-                ),
+                ("symbolic".into(), Value::Str(r.symbolic_status().into())),
+                ("symbolic_tripped".into(), opt_str(&r.symbolic_tripped)),
+                ("symbolic_error".into(), opt_str(&r.symbolic_error)),
+                ("symbolic_budget".into(), num_u(r.cell.budget)),
                 ("symbolic_states".into(), num_u(r.cross.symbolic_states)),
                 ("symbolic_ms".into(), num_f(r.symbolic_ms)),
                 ("symbolic_passed_bytes".into(), num_u(r.passed_bytes.0)),
@@ -167,12 +224,17 @@ fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> Stri
             ])
         })
         .collect();
+    let count = |status: &str| {
+        rows.iter()
+            .filter(|r| r.symbolic_status() == status)
+            .count()
+    };
     let report = Value::Obj(vec![
         (
             "campaign".into(),
             Value::Obj(vec![
                 ("depth".into(), num_u(depth)),
-                ("symbolic_budget".into(), num_u(limits.max_states)),
+                ("base_symbolic_budget".into(), num_u(limits.max_states)),
                 ("symbolic_workers".into(), num_u(limits.effective_workers())),
                 (
                     "extrapolation".into(),
@@ -181,35 +243,29 @@ fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> Stri
                 ("wall_ms".into(), num_f(elapsed_ms)),
             ]),
         ),
+        // Explicit status tally: `inconclusive`/`error` counts can never
+        // be silently folded into `safe` by a report consumer.
+        (
+            "summary".into(),
+            Value::Obj(vec![
+                ("safe".into(), num_u(count("safe"))),
+                ("unsafe".into(), num_u(count("unsafe"))),
+                ("inconclusive".into(), num_u(count("inconclusive"))),
+                ("error".into(), num_u(count("error"))),
+                (
+                    "agree".into(),
+                    num_u(rows.iter().filter(|r| r.cross.agree()).count()),
+                ),
+            ]),
+        ),
         ("cells".into(), Value::Arr(cells)),
     ]);
     serde_json::to_string(&report).expect("report serializes")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let depth: usize = arg_value(&args, "--depth")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if smoke { 4 } else { 6 });
-    let budget: usize = arg_value(&args, "--budget")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60_000);
-    let workers: usize = arg_value(&args, "--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    let json_path = arg_value(&args, "--json");
-    let bench_json_path = arg_value(&args, "--bench-json");
-
-    let limits = Limits {
-        max_states: budget,
-        max_workers: workers,
-        extrapolation: Extrapolation::ExtraLu,
-        ..Limits::default()
-    };
-
-    // The sweep plane of `ablation_symbolic_region`, coarsened for the
-    // smoke matrix: the paper's configuration plus a violating corner.
+/// The case-study parameter sweep (the `ablation_symbolic_region`
+/// plane, coarsened): the paper's configuration plus violating corners.
+fn sweep_cells(smoke: bool, base_budget: usize) -> Vec<Cell> {
     let (runs1, enters2): (Vec<f64>, Vec<f64>) = if smoke {
         (vec![35.0], vec![2.0, 10.0])
     } else {
@@ -219,18 +275,86 @@ fn main() {
     for r in &runs1 {
         for e in &enters2 {
             for leased in [true, false] {
+                let mut cfg = LeaseConfig::case_study();
+                cfg.t_run[0] = Time::seconds(*r);
+                cfg.t_enter[1] = Time::seconds(*e);
                 cells.push(Cell {
-                    t_run1: *r,
-                    t_enter2: *e,
+                    name: format!("sweep[r={r},e={e}]"),
+                    n: 2,
+                    cfg,
                     leased,
+                    budget: base_budget,
+                    sweep_params: Some(((r * 1e3) as i64, (e * 1e3) as i64)),
                 });
             }
         }
     }
+    cells
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let depth: usize = arg_value(&args, "--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 6 });
+    let explicit_budget: Option<usize> = arg_value(&args, "--budget").and_then(|v| v.parse().ok());
+    let base_budget: usize = explicit_budget.unwrap_or(60_000);
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let json_path = arg_value(&args, "--json");
+    let bench_json_path = arg_value(&args, "--bench-json");
+    let only_scenario = arg_value(&args, "--scenario");
+
+    let limits = Limits {
+        max_states: base_budget,
+        max_workers: workers,
+        extrapolation: Extrapolation::ExtraLu,
+        ..Limits::default()
+    };
+
+    let registry_cell = |s: &registry::Scenario, leased: bool| Cell {
+        name: s.name.clone(),
+        n: s.n,
+        cfg: s.config.clone(),
+        leased,
+        budget: explicit_budget.unwrap_or(s.recommended_budget),
+        sweep_params: None,
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    match &only_scenario {
+        Some(name) => {
+            let Some(s) = registry::by_name(name) else {
+                eprintln!(
+                    "unknown scenario `{name}`; available scenarios:\n{}",
+                    registry::listing()
+                );
+                std::process::exit(2);
+            };
+            for leased in [true, false] {
+                cells.push(registry_cell(&s, leased));
+            }
+        }
+        None => {
+            for s in registry::registry() {
+                // The smoke matrix keeps CI fast: case study + chain-3
+                // cover both the paper instance and an N > 2 chain.
+                if smoke && !matches!(s.name.as_str(), "case-study" | "chain-3") {
+                    continue;
+                }
+                for leased in [true, false] {
+                    cells.push(registry_cell(&s, leased));
+                }
+            }
+            cells.extend(sweep_cells(smoke, base_budget));
+        }
+    }
 
     println!(
-        "campaign: {} cells × 3 backends (exhaustive depth {depth}, symbolic budget {budget}, \
-         {} symbolic workers)\n",
+        "campaign: {} cells × 3 backends (exhaustive depth {depth}, base symbolic budget \
+         {base_budget}, {} symbolic workers)\n",
         cells.len(),
         limits.effective_workers(),
     );
@@ -260,15 +384,18 @@ fn main() {
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let mut rows = results.into_inner();
-    rows.sort_by(|a, b| {
-        (a.cell.t_run1, a.cell.t_enter2, a.cell.leased)
-            .partial_cmp(&(b.cell.t_run1, b.cell.t_enter2, b.cell.leased))
-            .expect("finite sweep constants")
-    });
+    fn row_order(r: &Row) -> (&str, i64, i64, bool) {
+        match r.cell.sweep_params {
+            // Sweep cells group under "sweep" and order numerically.
+            Some((run, enter)) => ("sweep", run, enter, r.cell.leased),
+            None => (r.cell.name.as_str(), 0, 0, r.cell.leased),
+        }
+    }
+    rows.sort_by(|a, b| row_order(a).cmp(&row_order(b)));
 
     let mut table = TextTable::new(vec![
-        "T_run1",
-        "T_enter2",
+        "scenario",
+        "N",
         "arm",
         "c1-c7",
         "symbolic",
@@ -281,11 +408,11 @@ fn main() {
     ]);
     for r in &rows {
         table.row(vec![
-            format!("{}", r.cell.t_run1),
-            format!("{}", r.cell.t_enter2),
+            r.cell.name.clone(),
+            format!("{}", r.cell.n),
             if r.cell.leased { "leased" } else { "baseline" }.to_string(),
             if r.analytic_ok { "ok" } else { "-" }.to_string(),
-            symbolic_label(r.cross.symbolic).to_string(),
+            r.symbolic_status().to_string(),
             format!("{}", r.cross.symbolic_states),
             format!("{:.0}", r.symbolic_ms),
             exhaustive_label(r).to_string(),
@@ -311,38 +438,58 @@ fn main() {
     drop(parsed);
 
     // Gates. Always fatal: an exhaustive backend that failed to execute
-    // (infrastructure, not a verdict), a Theorem-1 soundness hole
-    // (analytically valid leased cell falsified symbolically), and a
-    // symbolic *proof* contradicted by a concrete exhaustive
-    // counter-example. The reverse direction — symbolic Unsafe,
-    // bounded-exhaustive safe — can be legitimate at small depths (the
-    // explorer only covers a `2^k` prefix of loss fates and one driver
-    // script; see `CrossCheck::agree`), so outside `--smoke` it is
-    // reported as a warning, not a failure. `--smoke` pins a matrix
-    // whose cells are known to agree and asserts full conclusiveness.
+    // (infrastructure, not a verdict), a symbolic backend that failed
+    // to build, a Theorem-1 soundness hole (analytically valid leased
+    // cell falsified symbolically), and a symbolic *proof* contradicted
+    // by a concrete exhaustive counter-example. An inconclusive cell is
+    // surfaced by name with the limit that tripped — fatal in `--smoke`
+    // (its matrix is sized to be conclusive), a loud warning otherwise
+    // — and never counts as agreement. The reverse disagreement —
+    // symbolic Unsafe, bounded-exhaustive safe — can be legitimate at
+    // small depths (the explorer only covers a `2^k` prefix of loss
+    // fates and one driver script; see `CrossCheck::agree`), so outside
+    // `--smoke` it is a warning too.
     let mut failures = Vec::new();
     for r in &rows {
+        let where_ = format!(
+            "{} ({})",
+            r.cell.name,
+            if r.cell.leased { "leased" } else { "baseline" }
+        );
         if r.exhaustive_errors > 0 {
             failures.push(format!(
-                "exhaustive backend failed to execute ({} errors) at {:?}",
-                r.exhaustive_errors, r.cell
+                "exhaustive backend failed to execute ({} errors) at {where_}",
+                r.exhaustive_errors
             ));
             continue;
         }
+        if let Some(e) = &r.symbolic_error {
+            failures.push(format!("symbolic backend failed to build at {where_}: {e}"));
+            continue;
+        }
         if r.cell.leased && r.analytic_ok && r.cross.symbolic == SymbolicOutcome::Unsafe {
-            failures.push(format!("soundness hole at {:?}", r.cell));
+            failures.push(format!("soundness hole at {where_}"));
         }
         match r.cross.symbolic {
             SymbolicOutcome::Safe if !r.cross.exhaustive_safe => {
                 failures.push(format!(
-                    "symbolic proof contradicted by a concrete counter-example at {:?}",
-                    r.cell
+                    "symbolic proof contradicted by a concrete counter-example at {where_}"
                 ));
             }
             SymbolicOutcome::Unsafe if r.cross.exhaustive_safe => {
                 let msg = format!(
-                    "symbolic falsification not reproduced at exhaustive depth {depth} at {:?}",
-                    r.cell
+                    "symbolic falsification not reproduced at exhaustive depth {depth} at {where_}"
+                );
+                if smoke {
+                    failures.push(msg);
+                } else {
+                    eprintln!("WARNING: {msg}");
+                }
+            }
+            SymbolicOutcome::Inconclusive => {
+                let msg = format!(
+                    "inconclusive cell at {where_} (tripped: {}; raise --budget)",
+                    r.symbolic_tripped.as_deref().unwrap_or("unknown"),
                 );
                 if smoke {
                     failures.push(msg);
@@ -351,9 +498,6 @@ fn main() {
                 }
             }
             _ => {}
-        }
-        if smoke && r.cross.symbolic == SymbolicOutcome::Inconclusive {
-            failures.push(format!("inconclusive smoke cell at {:?}", r.cell));
         }
     }
     if !failures.is_empty() {
@@ -365,13 +509,15 @@ fn main() {
     println!("all campaign gates passed");
 
     if let Some(path) = bench_json_path {
-        write_bench_json(&path, &limits);
+        write_bench_json(&path, &limits, &rows);
     }
 }
 
 /// Times the leased case-study proof (best of 3) and writes the
-/// `BENCH_zones.json` schema shared with `bench/benches/zones.rs`.
-fn write_bench_json(path: &str, limits: &Limits) {
+/// `BENCH_zones.json` schema shared with `bench/benches/zones.rs`,
+/// attaching per-N scaling rows derived from the campaign's own leased
+/// chain cells (no re-verification needed).
+fn write_bench_json(path: &str, limits: &Limits, rows: &[Row]) {
     use pte_zones::SymbolicVerdict;
 
     let cfg = LeaseConfig::case_study();
@@ -388,5 +534,19 @@ fn write_bench_json(path: &str, limits: &Limits) {
         stats = Some(s);
     }
     let stats = stats.expect("at least one proof run");
-    pte_bench::write_zones_bench_json(path, best_secs, None, &stats, limits);
+    let scaling: Vec<ScalingRow> = rows
+        .iter()
+        .filter(|r| {
+            r.cell.leased && r.cell.name.starts_with("chain-") && r.symbolic_status() == "safe"
+        })
+        .map(|r| ScalingRow {
+            scenario: r.cell.name.clone(),
+            n: r.cell.n,
+            states: r.cross.symbolic_states,
+            // Campaign cells run concurrently; their wall times measure
+            // contention, so only the state counts travel.
+            secs: None,
+        })
+        .collect();
+    pte_bench::write_zones_bench_json(path, best_secs, None, &stats, limits, &scaling);
 }

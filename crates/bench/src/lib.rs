@@ -38,18 +38,38 @@ pub fn arg_value(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// One per-scenario scaling measurement attached to `BENCH_zones.json`
+/// (states settled and states/sec vs the entity count `N`).
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Registry scenario name (e.g. `chain-4`).
+    pub scenario: String,
+    /// Number of leased entities.
+    pub n: usize,
+    /// Settled symbolic states of the leased safety proof.
+    pub states: usize,
+    /// Proof wall time in seconds, when measured **sequentially**
+    /// (`benches/zones.rs`). `None` for rows derived from campaign
+    /// cells, which run up to 4 cells concurrently — their wall times
+    /// measure contention, not the engine, so only the
+    /// contention-free state counts are recorded.
+    pub secs: Option<f64>,
+}
+
 /// Writes the `BENCH_zones.json` perf record shared by
 /// `benches/zones.rs` and `campaign --bench-json`: wall time of the
-/// leased case-study proof, settled states, states/sec, and the
-/// passed-list byte accounting. `falsify_secs` is the optional
-/// baseline-falsification timing (the bench measures it, the campaign
-/// does not). The emitted JSON is round-trip-validated before writing.
+/// leased case-study proof, settled states, states/sec, the
+/// passed-list byte accounting, and per-N chain scaling rows.
+/// `falsify_secs` is the optional baseline-falsification timing (the
+/// bench measures it, the campaign does not). The emitted JSON is
+/// round-trip-validated before writing.
 pub fn write_zones_bench_json(
     path: &str,
     proof_secs: f64,
     falsify_secs: Option<f64>,
     stats: &SearchStats,
     limits: &Limits,
+    scaling: &[ScalingRow],
 ) {
     let num_u = |u: usize| Value::Num(Number::U(u as u64));
     let num_f = |f: f64| Value::Num(Number::F(f));
@@ -80,6 +100,27 @@ pub fn write_zones_bench_json(
         ("workers".into(), num_u(limits.effective_workers())),
         ("max_states".into(), num_u(limits.max_states)),
     ]);
+    if !scaling.is_empty() {
+        let rows: Vec<Value> = scaling
+            .iter()
+            .map(|r| {
+                let mut row = vec![
+                    ("scenario".into(), Value::Str(r.scenario.clone())),
+                    ("n".into(), num_u(r.n)),
+                    ("settled_states".into(), num_u(r.states)),
+                ];
+                if let Some(secs) = r.secs {
+                    row.push(("wall_ms".into(), num_f(secs * 1e3)));
+                    row.push((
+                        "states_per_sec".into(),
+                        num_f(r.states as f64 / secs.max(1e-9)),
+                    ));
+                }
+                Value::Obj(row)
+            })
+            .collect();
+        fields.push(("scaling".into(), Value::Arr(rows)));
+    }
     let json = serde_json::to_string(&Value::Obj(fields)).expect("bench report serializes");
     serde_json::from_str_value(&json).expect("bench JSON must parse back");
     std::fs::write(path, &json).expect("write zones bench JSON");

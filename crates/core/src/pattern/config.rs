@@ -69,6 +69,44 @@ impl LeaseConfig {
         }
     }
 
+    /// A c1–c7-satisfying lease chain of `n ≥ 2` interlocked entities
+    /// (one Supervisor, `n` leased devices): the scalable scenario
+    /// family behind the registry's `chain-N` entries.
+    ///
+    /// Construction (all constants integer or half-integer seconds, so
+    /// tick scaling is exact): `T^max_wait = 1`, every exit dwell `1`,
+    /// every safeguard pair `(1, 0.5)`, enter dwells `2i` (so each c5
+    /// enter lead has slack 1), and run dwells built inner→outer so
+    /// each c6 nesting inequality holds with slack exactly 1. That
+    /// yields `T^max_LS1 = 5n + 2 > n·T^max_wait` (c2),
+    /// `T^max_req = n` sits strictly inside c3's window, and the c4
+    /// budget telescopes with slack `2(i−1)`. `check_conditions`
+    /// verifies all of this mechanically for every `n` (unit-tested to
+    /// `n = 8`).
+    pub fn chain(n: usize) -> LeaseConfig {
+        assert!(n >= 2, "the lease pattern needs at least 2 entities");
+        let t_wait = 1.0;
+        let t_enter: Vec<f64> = (1..=n).map(|i| (2 * i) as f64).collect();
+        let t_exit = vec![1.0; n];
+        let mut t_run = vec![0.0; n];
+        t_run[n - 1] = 4.0;
+        for i in (0..n - 1).rev() {
+            // c6 with slack 1: enter_i + run_i = T_wait + enter_{i+1} +
+            // run_{i+1} + exit_{i+1} + 1.
+            t_run[i] = t_wait + t_enter[i + 1] + t_run[i + 1] + t_exit[i + 1] + 1.0 - t_enter[i];
+        }
+        LeaseConfig {
+            n,
+            t_fb0_min: Time::seconds(5.0),
+            t_wait_max: Time::seconds(t_wait),
+            t_req_max: Time::seconds(n as f64),
+            t_enter: t_enter.into_iter().map(Time::seconds).collect(),
+            t_run: t_run.into_iter().map(Time::seconds).collect(),
+            t_exit: t_exit.into_iter().map(Time::seconds).collect(),
+            safeguards: vec![PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)); n - 1],
+        }
+    }
+
     /// Entity names used by the pattern builders: `ξi` for `i = 1…N−1` is
     /// `participant{i}`, `ξN` is `initializer`.
     pub fn entity_name(&self, i: usize) -> String {
@@ -132,6 +170,33 @@ mod tests {
         assert_eq!(s.entities, vec!["participant1", "initializer"]);
         assert_eq!(s.rule1_bounds[0], Time::seconds(47.0));
         assert_eq!(s.pairs[0].t_min_risky, Time::seconds(3.0));
+    }
+
+    #[test]
+    fn chains_satisfy_all_conditions() {
+        for n in 2..=8 {
+            let cfg = LeaseConfig::chain(n);
+            assert!(cfg.dimensions_ok(), "chain({n}) dimensions");
+            assert!(cfg.pte_spec().validate().is_ok(), "chain({n}) spec");
+            let report = crate::pattern::check_conditions(&cfg);
+            assert!(report.is_satisfied(), "chain({n}):\n{report}");
+        }
+    }
+
+    #[test]
+    fn chain_2_shape() {
+        let cfg = LeaseConfig::chain(2);
+        assert_eq!(cfg.t_enter, vec![Time::seconds(2.0), Time::seconds(4.0)]);
+        assert_eq!(cfg.t_run, vec![Time::seconds(9.0), Time::seconds(4.0)]);
+        assert_eq!(cfg.t_ls1(), Time::seconds(12.0));
+        let spec = cfg.pte_spec();
+        assert_eq!(spec.entities, vec!["participant1", "initializer"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 entities")]
+    fn chain_rejects_n1() {
+        let _ = LeaseConfig::chain(1);
     }
 
     #[test]

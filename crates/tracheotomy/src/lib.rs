@@ -21,7 +21,10 @@
 //!   `Ton`/`Toff` timers injecting `cmd_request`/`cmd_cancel`;
 //! * [`emulation`] — 30-minute trials under WiFi-interferer loss with and
 //!   without leases, producing the rows of **Table I**;
-//! * [`scenarios`] — the three failure narratives of Section V.
+//! * [`scenarios`] — the three failure narratives of Section V;
+//! * [`registry`] — the named scenario set (case study, `chain-2` …
+//!   `chain-6` N-device lease chains, a lossy stress variant) that the
+//!   analytic, exhaustive, and symbolic backends all consume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +32,12 @@
 pub mod emulation;
 pub mod laser;
 pub mod patient;
+pub mod registry;
 pub mod scenarios;
 pub mod supervisor;
 pub mod surgeon;
 pub mod ventilator;
 
 pub use emulation::{run_trial, TrialConfig, TrialResult};
+pub use registry::{by_name as scenario_by_name, registry as scenario_registry, Scenario};
 pub use ventilator::{standalone_ventilator, ventilator};

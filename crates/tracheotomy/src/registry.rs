@@ -1,0 +1,146 @@
+//! The scenario registry: named lease-pattern configurations every
+//! verification backend consumes.
+//!
+//! Until PR 4 each backend, bench, and campaign cell was hard-wired to
+//! the single 2-device laser-tracheotomy instance. The registry turns
+//! "which system are we verifying?" into data: a [`Scenario`] is a
+//! named [`LeaseConfig`] (the analytic c1–c7 check, the bounded
+//! exhaustive explorer, and the symbolic zone engine all start from
+//! one), and the standard set spans
+//!
+//! * `case-study` — the paper's Section V laser-tracheotomy constants;
+//! * `chain-2` … `chain-6` — N-device interlocking lease chains
+//!   ([`LeaseConfig::chain`]): one supervisor, `N` leased devices, a
+//!   c5/c6 nesting ladder with slack exactly 1 at every rung;
+//! * `stress-lossy` — the case-study wiring with the outermost lease
+//!   stretched to its c4 boundary (`T^max_run,1 = 47`,
+//!   `T^max_enter,2 = 10`), which maximizes the window in which lossy
+//!   messages race the lease timers and is the largest 2-device zone
+//!   graph in the set.
+//!
+//! Every scenario in the registry satisfies c1–c7, so Theorem 1 says
+//! its leased arm is PTE-safe and the symbolic backend must prove it
+//! (and falsify the lease-stripped baseline) — the cross-backend
+//! agreement gate `campaign` enforces.
+
+use pte_core::pattern::LeaseConfig;
+use pte_hybrid::Time;
+
+/// A named verification scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Registry name (stable; used by `--scenario` selectors).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Number of leased entities `N`.
+    pub n: usize,
+    /// The timing configuration (satisfies c1–c7).
+    pub config: LeaseConfig,
+    /// Symbolic state budget that concludes this scenario with ≥ 2×
+    /// headroom over its measured explored set (`chain-4` settles
+    /// ≈ 57k states, `chain-5` ≈ 169k, `chain-6` ≈ 477k) — the single
+    /// source every `--scenario` consumer (campaign, zprobe) scales
+    /// its default budget from, so a future shift in the engine's
+    /// search cannot silently turn one tool's default inconclusive.
+    pub recommended_budget: usize,
+}
+
+/// The ≥ 2×-headroom budget for an `N`-entity scenario (see
+/// [`Scenario::recommended_budget`]).
+fn recommended_budget(n: usize) -> usize {
+    match n {
+        0..=3 => 60_000,
+        4 => 120_000,
+        5 => 350_000,
+        _ => 1_000_000,
+    }
+}
+
+/// The standard scenario set, in registry order (`case-study` first,
+/// chains by `N`, stress variant last).
+pub fn registry() -> Vec<Scenario> {
+    let mut scenarios = vec![Scenario {
+        name: "case-study".to_string(),
+        description: "Section V laser tracheotomy (ventilator < laser scalpel)".to_string(),
+        n: 2,
+        config: LeaseConfig::case_study(),
+        recommended_budget: recommended_budget(2),
+    }];
+    for n in 2..=6 {
+        scenarios.push(Scenario {
+            name: format!("chain-{n}"),
+            description: format!("{n}-device interlocking lease chain"),
+            n,
+            config: LeaseConfig::chain(n),
+            recommended_budget: recommended_budget(n),
+        });
+    }
+    let mut stress = LeaseConfig::case_study();
+    stress.t_run[0] = Time::seconds(47.0);
+    stress.t_enter[1] = Time::seconds(10.0);
+    scenarios.push(Scenario {
+        name: "stress-lossy".to_string(),
+        description: "case study with T^max_run,1 at the c4 boundary (largest loss-race window)"
+            .to_string(),
+        n: 2,
+        config: stress,
+        recommended_budget: recommended_budget(2),
+    });
+    scenarios
+}
+
+/// Looks a scenario up by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The registry's scenario names, in registry order.
+pub fn names() -> Vec<String> {
+    registry().into_iter().map(|s| s.name).collect()
+}
+
+/// One-line-per-scenario listing for `--scenario` error messages.
+pub fn listing() -> String {
+    registry()
+        .iter()
+        .map(|s| format!("  {:<12} (N={}) — {}", s.name, s.n, s.description))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_core::pattern::check_conditions;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = names();
+        for (i, n) in names.iter().enumerate() {
+            assert!(!names[..i].contains(n), "duplicate scenario `{n}`");
+            assert_eq!(by_name(n).unwrap().name, *n);
+        }
+        assert!(by_name("no-such-scenario").is_none());
+        assert!(listing().contains("case-study"));
+    }
+
+    #[test]
+    fn every_scenario_satisfies_theorem_1_conditions() {
+        for s in registry() {
+            let report = check_conditions(&s.config);
+            assert!(report.is_satisfied(), "{}:\n{report}", s.name);
+            assert_eq!(s.config.n, s.n, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn every_scenario_builds_both_arms() {
+        for s in registry() {
+            for leased in [true, false] {
+                pte_core::pattern::build_pattern_system(&s.config, leased)
+                    .unwrap_or_else(|e| panic!("{} (leased={leased}): {e:?}", s.name));
+            }
+        }
+    }
+}

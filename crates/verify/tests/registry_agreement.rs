@@ -1,0 +1,82 @@
+//! Acceptance gates of the scenario registry: every backend consumes
+//! the same named scenarios, the symbolic engine proves the N = 4
+//! lease chain, and the backends agree wherever tier-1 time permits
+//! (the full matrix — including `chain-5`/`chain-6` — is the
+//! `campaign` binary's job; these tests pin the fast core of it).
+
+use pte_tracheotomy::registry;
+use pte_verify::exhaustive::explore;
+use pte_verify::{verify_symbolic_with, Limits, SymbolicOutcome};
+use pte_zones::SymbolicVerdict;
+
+fn limits(max_states: usize) -> Limits {
+    Limits {
+        max_states,
+        // Two workers: verdicts are bit-identical at every count (the
+        // engine's determinism guarantee, pinned by
+        // `crates/zones/tests/parallel.rs`), so tests may as well use
+        // both vCPUs of the CI container.
+        max_workers: 2,
+        ..Limits::default()
+    }
+}
+
+/// The headline scale gate: the symbolic backend proves the 4-device
+/// interlocking lease chain safe over all timings and loss fates, and
+/// falsifies its lease-stripped baseline with a real counter-example
+/// trace.
+#[test]
+fn chain_4_proved_safe_and_baseline_falsified() {
+    let s = registry::by_name("chain-4").expect("chain-4 registered");
+    let proof = verify_symbolic_with(&s.config, true, &limits(80_000)).expect("chain-4 lowers");
+    let SymbolicVerdict::Safe(stats) = &proof else {
+        panic!("chain-4 leased must be safe, got {proof}");
+    };
+    assert!(stats.states > 50_000, "N=4 must exercise scale: {proof}");
+
+    let baseline = verify_symbolic_with(&s.config, false, &limits(80_000)).expect("lowers");
+    let SymbolicVerdict::Unsafe(ce) = baseline else {
+        panic!("chain-4 baseline must be falsified, got {baseline}");
+    };
+    assert!(ce.steps.len() > 1, "witness must be a real trace:\n{ce}");
+    assert!(!ce.zone.is_empty(), "witness zone must be rendered");
+}
+
+/// Cross-backend agreement on the fast registry scenarios (N ≤ 3 plus
+/// the stress variant), both arms: analytic c1–c7 says the leased arm
+/// is safe, the symbolic engine proves it, the bounded-exhaustive
+/// explorer confirms it at depth 4 — and all three flip on the
+/// baseline (c1–c7 does not apply to the lease-stripped arm, but
+/// symbolic + exhaustive both falsify it). `chain-4` has its own gate
+/// above; `chain-5`/`chain-6` are campaign territory (25 s / 170 s
+/// release-mode proofs).
+#[test]
+fn fast_registry_scenarios_agree_across_backends() {
+    for s in registry::registry() {
+        if s.n > 3 {
+            continue;
+        }
+        let analytic_ok = pte_core::pattern::check_conditions(&s.config).is_satisfied();
+        assert!(analytic_ok, "{}: registry scenarios satisfy c1–c7", s.name);
+
+        for leased in [true, false] {
+            let verdict = verify_symbolic_with(&s.config, leased, &limits(80_000))
+                .unwrap_or_else(|e| panic!("{} (leased={leased}): {e}", s.name));
+            let outcome = SymbolicOutcome::from(&verdict);
+            let expected = if leased {
+                SymbolicOutcome::Safe
+            } else {
+                SymbolicOutcome::Unsafe
+            };
+            assert_eq!(outcome, expected, "{} (leased={leased}): {verdict}", s.name);
+
+            let exhaustive = explore(&s.config, leased, 4, false);
+            assert_eq!(
+                exhaustive.all_safe(),
+                leased,
+                "{} (leased={leased}): exhaustive disagrees: {exhaustive}",
+                s.name
+            );
+        }
+    }
+}

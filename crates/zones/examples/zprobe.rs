@@ -1,22 +1,64 @@
-//! Prints the symbolic verdicts for the paper's case-study
-//! configuration: a PTE-safety proof for the leased system and a
-//! symbolic counter-example for the without-lease baseline.
+//! Prints the symbolic verdicts for a registry scenario: a safety proof
+//! for the leased system and a symbolic counter-example for the
+//! without-lease baseline.
 //!
 //! ```sh
 //! cargo run --release -p pte-zones --example zprobe
+//! cargo run --release -p pte-zones --example zprobe -- --scenario chain-4
+//! cargo run --release -p pte-zones --example zprobe -- --list
+//! cargo run --release -p pte-zones --example zprobe -- --workers 4 --budget 200000
 //! ```
+//!
+//! An unknown `--scenario` exits non-zero after listing the available
+//! names.
 
-use pte_core::pattern::LeaseConfig;
-use pte_zones::check_lease_pattern;
+use pte_tracheotomy::registry;
+use pte_zones::{check_lease_pattern_with, Limits};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
-    let cfg = LeaseConfig::case_study();
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("available scenarios:\n{}", registry::listing());
+        return;
+    }
+    let name = arg_value(&args, "--scenario").unwrap_or_else(|| "case-study".to_string());
+    let Some(scenario) = registry::by_name(&name) else {
+        eprintln!(
+            "unknown scenario `{name}`; available scenarios:\n{}",
+            registry::listing()
+        );
+        std::process::exit(2);
+    };
+    // The registry's recommended budget concludes every advertised
+    // scenario out of the box (`chain-6` settles ≈ 477k states; each
+    // recommendation leaves ≥ 2× headroom).
+    let limits = Limits {
+        max_states: arg_value(&args, "--budget")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(scenario.recommended_budget),
+        max_workers: arg_value(&args, "--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+        ..Limits::default()
+    };
 
+    println!(
+        "scenario {} (N={}): {}",
+        scenario.name, scenario.n, scenario.description
+    );
     let t = std::time::Instant::now();
-    let leased = check_lease_pattern(&cfg, true).expect("lowering succeeds");
+    let leased =
+        check_lease_pattern_with(&scenario.config, true, &limits).expect("lowering succeeds");
     println!("with lease ({:.2?}):\n{leased}\n", t.elapsed());
 
     let t = std::time::Instant::now();
-    let baseline = check_lease_pattern(&cfg, false).expect("lowering succeeds");
+    let baseline =
+        check_lease_pattern_with(&scenario.config, false, &limits).expect("lowering succeeds");
     println!("without lease ({:.2?}):\n{baseline}", t.elapsed());
 }

@@ -28,20 +28,29 @@
 //!    Supervisor's approval flag), so the hybrid network lowers exactly
 //!    into a network of timed automata ([`ta`]) with invariants, guards,
 //!    resets and the reliable/lossy synchronization labels;
-//! 3. [`reach`] — a parallel zone-graph reachability engine: the passed
-//!    list is sharded by discrete-location hash with per-shard key
-//!    interning ([`intern`]), scoped workers expand the frontier in
-//!    deterministic BFS layers ([`Limits::max_workers`]; the verdict
-//!    and counter-example are identical for every worker count) moving
-//!    fixed-size action codes and pooled zones instead of strings and
-//!    fresh allocations, candidates are probed against the passed list
-//!    *before* extrapolation, and an embedded PTE observer (Rule 1
-//!    dwelling bounds plus the per-pair `T^min_risky`/`T^min_safe`
-//!    safeguards) reports either `PTE-unreachable` (with
-//!    [`SearchStats`] including peak passed-list bytes) or a symbolic
-//!    counter-example trace. Case-study proof: ≈ 51 ms / ≈ 69 000
-//!    states/s on a 2-vCPU container (4.1× over the PR 2 engine; see
-//!    `bench/benches/zones.rs` and its `BENCH_zones.json`).
+//! 3. [`monitor`] — the property layer: safety properties are
+//!    [`Monitor`]s composed with the network (observer clocks,
+//!    discrete observer state in every passed-list key, guard
+//!    constants folded into the extrapolation bounds), in the
+//!    component/observer style of ECDAR — [`PteMonitor`] encodes the
+//!    paper's PTE rules for any entity count, and
+//!    [`LocationReachMonitor`] turns the engine into a plain
+//!    reachability checker;
+//! 4. [`reach`] — a parallel, property-agnostic zone-graph
+//!    reachability engine: the passed list is sharded by
+//!    discrete-state hash with per-shard key interning ([`intern`]),
+//!    scoped workers expand the frontier in deterministic BFS layers
+//!    ([`Limits::max_workers`]; the verdict and counter-example are
+//!    identical for every worker count) moving fixed-size action codes
+//!    and pooled zones instead of strings and fresh allocations,
+//!    candidates are probed against the passed list *before*
+//!    extrapolation, and any monitor violation is reported as a
+//!    symbolic counter-example trace ([`SearchStats`] includes peak
+//!    passed-list bytes on the safe side). Case-study proof: ≈ 51 ms /
+//!    ≈ 69 000 states/s on a 2-vCPU container; the `chain-N` registry
+//!    scenarios scale the same engine to ≈ 477 000 settled states at
+//!    `N = 6` (see `bench/benches/zones.rs` and its
+//!    `BENCH_zones.json`).
 //!
 //! ## Quickstart
 //!
@@ -63,14 +72,19 @@
 pub mod dbm;
 pub mod intern;
 pub mod lower;
+pub mod monitor;
 pub mod reach;
 pub mod ta;
 
 pub use dbm::{Bound, Dbm, DbmPool, MinimalDbm};
 pub use lower::{lower_network, LowerError};
+pub use monitor::{
+    LocationReachMonitor, Monitor, MonitorState, MonitorViolation, ObserverSpec, PairBounds,
+    PteMonitor, TransitionCtx, ViolationKind,
+};
 pub use reach::{
-    check, Extrapolation, Limits, ObserverSpec, SearchStats, SymbolicCounterExample,
-    SymbolicVerdict, TrippedLimit, ViolationKind,
+    check, check_monitored, Extrapolation, Limits, SearchStats, SymbolicCounterExample,
+    SymbolicVerdict, TrippedLimit,
 };
 pub use ta::LuBounds;
 

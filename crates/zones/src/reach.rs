@@ -1,19 +1,21 @@
-//! Zone-graph reachability with an embedded PTE observer — parallel,
-//! sharded, and deterministic.
+//! Zone-graph reachability of a [`TaNetwork`] composed with a safety
+//! [`Monitor`] — parallel, sharded, and deterministic.
 //!
-//! The engine explores the product of a [`TaNetwork`] symbolically:
-//! a state is a location vector plus a zone (DBM) over every clock, and
-//! the passed/waiting-list algorithm with zone inclusion and
-//! extrapolation (maximal-constant `Extra_M` or the coarser LU-bound
-//! `Extra_LU`, selectable via [`Limits::extrapolation`]) guarantees
-//! termination. Every drop/deliver assignment of every wireless
-//! emission and every real-valued timing is covered — the dense-time
-//! completion of `pte-verify`'s bounded `2^k` exhaustive exploration.
+//! The engine explores the product of a [`TaNetwork`] and a monitor
+//! symbolically: a state is a location vector plus the monitor's
+//! observer state plus a zone (DBM) over every clock (network clocks
+//! and observer clocks), and the passed/waiting-list algorithm with
+//! zone inclusion and extrapolation (maximal-constant `Extra_M` or the
+//! coarser LU-bound `Extra_LU`, selectable via
+//! [`Limits::extrapolation`]) guarantees termination. Every
+//! drop/deliver assignment of every wireless emission and every
+//! real-valued timing is covered — the dense-time completion of
+//! `pte-verify`'s bounded `2^k` exhaustive exploration.
 //!
 //! ## Parallel sharding
 //!
 //! The passed list is sharded by a hash of the discrete part of the
-//! state (location vector + observer pair states) into [`SHARD_COUNT`]
+//! state (location vector + observer state) into [`SHARD_COUNT`]
 //! shards, each behind its own `parking_lot::Mutex`. Because a zone can
 //! only subsume another zone with the *same* discrete part, subsumption
 //! is a shard-local operation and shards never need to coordinate.
@@ -27,7 +29,7 @@
 //! 1. **Expand** — workers claim frontier states from a shared cursor
 //!    (an atomic index over the round's frontier vector), fire every
 //!    enabled edge, resolve emission cascades, apply delay closure +
-//!    extrapolation, and run all PTE observer checks. Cooked successor
+//!    extrapolation, and run all monitor checks. Cooked successor
 //!    candidates are pushed into the pending list of their target shard;
 //!    violations are collected worker-locally.
 //! 2. **Admit** — workers claim whole shards from a second cursor. Each
@@ -57,13 +59,15 @@
 //!   optional wall-clock limit is the one deliberately nondeterministic
 //!   exception).
 //!
-//! PTE checking is built in as a deterministic observer rather than a
-//! monitor automaton: per entity a clock `r_i` tracks time since the
-//! current risky dwelling began (Rule 1), and per adjacent pair a state
-//! machine (`Idle / OuterOnly / Embedded / InnerExited`) plus a clock
-//! `s_k` (time since the inner entity left risky) check proper temporal
-//! embedding — coverage, the `T^min_risky` enter lead, and the
-//! `T^min_safe` exit lag — exactly mirroring `pte_core::monitor`.
+//! The property being checked is **not** part of this engine: it is a
+//! [`Monitor`] (see [`crate::monitor`]) composed with the network —
+//! observer clocks live in the DBM dimensions above the network's
+//! clocks, observer locations are part of the passed-list key, and the
+//! monitor's constants are folded into the extrapolation bound sets
+//! (which is what keeps the pre-extrapolation subsumption probe below
+//! sound for *any* monitor, not just the PTE observer the engine once
+//! hard-coded). [`check`] is the PTE entry point (it composes a
+//! [`PteMonitor`]); [`check_monitored`] takes any monitor.
 //!
 //! ## Hot-path engineering
 //!
@@ -103,150 +107,27 @@
 
 use crate::dbm::{Dbm, DbmPool, MinimalDbm};
 use crate::intern::Interner;
-use crate::ta::{Atom, LuBounds, Rel, Sync, TaNetwork};
+use crate::monitor::{
+    Monitor, MonitorState, MonitorViolation, ObserverSpec, PteMonitor, TransitionCtx,
+};
+use crate::ta::{Atom, LuBounds, Sync, TaNetwork};
 use parking_lot::{Mutex, RwLock};
-use pte_core::rules::PteSpec;
 use pte_hybrid::Root;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-/// Integer-tick form of the PTE specification the observer enforces.
-#[derive(Clone, Debug)]
-pub struct ObserverSpec {
-    /// Entity names, outermost first (must name automata in the network).
-    pub entities: Vec<String>,
-    /// Rule-1 bound per entity, in ticks.
-    pub rule1_ticks: Vec<i64>,
-    /// Safeguard bounds per adjacent pair (`pairs[k]` relates outer
-    /// entity `k` and inner entity `k + 1`).
-    pub pairs: Vec<PairBounds>,
-}
-
-/// Safeguard intervals of one adjacent pair, in ticks.
-#[derive(Clone, Copy, Debug)]
-pub struct PairBounds {
-    /// `T^min_risky`: minimum enter lead of the outer entity.
-    pub t_min_risky: i64,
-    /// `T^min_safe`: minimum exit lag of the outer entity.
-    pub t_min_safe: i64,
-}
-
-impl ObserverSpec {
-    /// Converts a [`PteSpec`] into tick units, borrowing (and cloning)
-    /// the entity names. Prefer the `From<PteSpec>` impl when the spec
-    /// is owned — it moves the names instead.
-    pub fn from_spec(spec: &PteSpec) -> ObserverSpec {
-        ObserverSpec::convert(spec.entities.clone(), spec)
-    }
-
-    fn convert(entities: Vec<String>, spec: &PteSpec) -> ObserverSpec {
-        ObserverSpec {
-            entities,
-            rule1_ticks: spec
-                .rule1_bounds
-                .iter()
-                .map(|t| crate::to_ticks(t.as_secs_f64()))
-                .collect(),
-            pairs: spec
-                .pairs
-                .iter()
-                .map(|p| PairBounds {
-                    t_min_risky: crate::to_ticks(p.t_min_risky.as_secs_f64()),
-                    t_min_safe: crate::to_ticks(p.t_min_safe.as_secs_f64()),
-                })
-                .collect(),
-        }
-    }
-}
-
-impl From<PteSpec> for ObserverSpec {
-    /// Tick conversion that takes ownership, moving the entity names
-    /// instead of cloning them.
-    fn from(mut spec: PteSpec) -> ObserverSpec {
-        let entities = std::mem::take(&mut spec.entities);
-        ObserverSpec::convert(entities, &spec)
-    }
-}
-
-/// Which PTE rule a symbolic counter-example violates.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ViolationKind {
-    /// Rule 1: entity `entity` can dwell risky beyond its bound.
-    Rule1 {
-        /// Index into [`ObserverSpec::entities`].
-        entity: usize,
-    },
-    /// Rule 2/3 coverage: the inner entity of `pair` is risky while its
-    /// outer entity is not.
-    Coverage {
-        /// Index into [`ObserverSpec::pairs`].
-        pair: usize,
-    },
-    /// The inner entity can enter risky less than `T^min_risky` after
-    /// the outer entity did.
-    EnterMargin {
-        /// Index into [`ObserverSpec::pairs`].
-        pair: usize,
-    },
-    /// The outer entity can leave risky while the inner entity is still
-    /// risky.
-    ExitUncovered {
-        /// Index into [`ObserverSpec::pairs`].
-        pair: usize,
-    },
-    /// The outer entity can leave risky less than `T^min_safe` after the
-    /// inner entity did.
-    ExitLag {
-        /// Index into [`ObserverSpec::pairs`].
-        pair: usize,
-    },
-}
-
-impl ViolationKind {
-    /// Content-defined total order used to tie-break counter-examples
-    /// with identical step lists.
-    fn rank(&self) -> (u8, usize) {
-        match self {
-            ViolationKind::Rule1 { entity } => (0, *entity),
-            ViolationKind::Coverage { pair } => (1, *pair),
-            ViolationKind::EnterMargin { pair } => (2, *pair),
-            ViolationKind::ExitUncovered { pair } => (3, *pair),
-            ViolationKind::ExitLag { pair } => (4, *pair),
-        }
-    }
-}
-
-impl fmt::Display for ViolationKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ViolationKind::Rule1 { entity } => {
-                write!(f, "rule 1 dwelling bound exceedable (entity #{entity})")
-            }
-            ViolationKind::Coverage { pair } => {
-                write!(f, "inner risky while outer safe (pair #{pair})")
-            }
-            ViolationKind::EnterMargin { pair } => {
-                write!(f, "enter lead below T^min_risky (pair #{pair})")
-            }
-            ViolationKind::ExitUncovered { pair } => {
-                write!(f, "outer exits risky before inner (pair #{pair})")
-            }
-            ViolationKind::ExitLag { pair } => {
-                write!(f, "exit lag below T^min_safe (pair #{pair})")
-            }
-        }
-    }
-}
-
 /// A symbolic counter-example: an interleaving of discrete actions
 /// (with explicit drop/deliver fates) whose zone contains at least one
 /// violating real-valued timing.
 #[derive(Clone, Debug)]
 pub struct SymbolicCounterExample {
-    /// The violated rule.
-    pub kind: ViolationKind,
+    /// Rendered description of the violated property (monitor-defined).
+    pub violation: String,
+    /// Content-defined violation rank ([`MonitorViolation::rank`]) used
+    /// for deterministic tie-breaking.
+    pub rank: (u8, u32),
     /// Discrete actions from the initial state to the violation, one
     /// line per settled step.
     pub steps: Vec<String>,
@@ -256,7 +137,7 @@ pub struct SymbolicCounterExample {
 
 impl fmt::Display for SymbolicCounterExample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "symbolic PTE violation: {}", self.kind)?;
+        writeln!(f, "symbolic safety violation: {}", self.violation)?;
         for (i, s) in self.steps.iter().enumerate() {
             writeln!(f, "  {:>3}. {s}", i + 1)?;
         }
@@ -351,7 +232,7 @@ impl fmt::Display for SymbolicVerdict {
         match self {
             SymbolicVerdict::Safe(s) => write!(
                 f,
-                "PTE-unreachable: safe over all timings and loss fates \
+                "violation-unreachable: safe over all timings and loss fates \
                  ({} states, {} transitions)",
                 s.states, s.transitions
             ),
@@ -418,20 +299,9 @@ impl Limits {
     }
 }
 
-/// Per-pair observer state.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-enum PairState {
-    /// Both entities safe.
-    Idle,
-    /// Outer risky, inner has not entered this round.
-    OuterOnly,
-    /// Both risky (proper embedding in progress).
-    Embedded,
-    /// Inner exited, outer still risky (lag phase).
-    InnerExited,
-}
-
-type Key = (Vec<u32>, Vec<PairState>);
+/// Discrete part of a product state: the network's location vector plus
+/// the monitor's observer state.
+type Key = (Vec<u32>, MonitorState);
 
 /// Number of passed-list shards. A constant (rather than a function of
 /// the worker count) so the shard assignment — and hence node numbering
@@ -445,8 +315,8 @@ fn shard_of(key: &Key) -> usize {
     for &l in &key.0 {
         h = (h ^ u64::from(l)).wrapping_mul(0x0000_0100_0000_01b3);
     }
-    for p in &key.1 {
-        h = (h ^ (*p as u64)).wrapping_mul(0x0000_0100_0000_01b3);
+    for &p in &key.1 {
+        h = (h ^ u64::from(p)).wrapping_mul(0x0000_0100_0000_01b3);
     }
     (h % SHARD_COUNT as u64) as usize
 }
@@ -482,8 +352,6 @@ enum Act {
     MaybeIgnored { root: u16, aut: u16 },
     /// `aut`'s location invariant expired, forcing an urgent escape.
     InvariantExpired { aut: u16 },
-    /// Entity `entity` can dwell risky beyond its Rule-1 bound.
-    DwellExceeded { entity: u16 },
 }
 
 /// A settled node in a shard's arena. The discrete key lives in the
@@ -540,7 +408,7 @@ impl Candidate {
 struct FrontierEntry {
     id: NodeId,
     locs: Vec<u32>,
-    pairs: Vec<PairState>,
+    mon: MonitorState,
     zone: Dbm,
 }
 
@@ -548,7 +416,7 @@ struct FrontierEntry {
 /// yet assigned a fate) with the actions taken so far this step.
 struct Work {
     locs: Vec<u32>,
-    pairs: Vec<PairState>,
+    mon: MonitorState,
     zone: Dbm,
     /// In-flight emissions: `(sender automaton, interned root id)` —
     /// the sender is excluded from delivery (the executor never
@@ -562,7 +430,7 @@ impl Work {
     fn clone_via(&self, pool: &mut DbmPool) -> Work {
         Work {
             locs: self.locs.clone(),
-            pairs: self.pairs.clone(),
+            mon: self.mon.clone(),
             zone: pool.clone_dbm(&self.zone),
             queue: self.queue.clone(),
             acts: self.acts.clone(),
@@ -570,8 +438,11 @@ impl Work {
     }
 }
 
+/// A monitor violation with the engine-side context a counter-example
+/// needs: the action trace of the violating step and the violating
+/// (sub-)zone.
 struct Violation {
-    kind: ViolationKind,
+    mv: MonitorViolation,
     acts: Vec<Act>,
     zone: Dbm,
 }
@@ -601,28 +472,18 @@ struct RecvEdge {
 }
 
 struct Engine<'s> {
-    /// The lowered network, **borrowed** — the engine's observer clocks
-    /// live in the DBM dimensions above [`TaNetwork::clock_count`] and
-    /// in [`Engine::observer_clock_names`], so the network itself is
-    /// never cloned or mutated.
+    /// The lowered network, **borrowed** — the monitor's observer
+    /// clocks live in the DBM dimensions above
+    /// [`TaNetwork::clock_count`], so the network itself is never
+    /// cloned or mutated.
     net: &'s TaNetwork,
-    spec: &'s ObserverSpec,
-    /// entity index -> automaton index.
-    entity_aut: Vec<usize>,
-    /// automaton index -> entity index.
-    aut_entity: Vec<Option<usize>>,
-    /// entity index -> DBM index of its risky-dwell clock `r_i`.
-    r_clock: Vec<usize>,
-    /// pair index -> DBM index of its inner-exit clock `s_k`.
-    s_clock: Vec<usize>,
+    /// The composed safety monitor (see [`crate::monitor`]).
+    monitor: &'s dyn Monitor,
     /// Total clock count (network + observer clocks).
     nclocks: usize,
-    /// Render names of the observer clocks (appended after
-    /// `net.clocks` when a zone is displayed).
-    observer_clock_names: Vec<String>,
-    /// `Extra_M` ceiling vector (network + observer constants).
+    /// `Extra_M` ceiling vector (network + monitor constants).
     kmax: Vec<i64>,
-    /// `Extra_LU` bound vectors (network + observer constants).
+    /// `Extra_LU` bound vectors (network + monitor constants).
     lu: LuBounds,
     extrapolation: Extrapolation,
     /// Interned event roots (`Act`/queue ids index into this).
@@ -638,7 +499,9 @@ struct Engine<'s> {
     shards: Vec<Mutex<Shard>>,
 }
 
-/// Runs the symbolic PTE check of `spec` over `net`.
+/// Runs the symbolic PTE check of `spec` over `net` — the PTE-specific
+/// entry point, composing a [`PteMonitor`] with the network and
+/// delegating to [`check_monitored`].
 ///
 /// Borrows both inputs — the network is *not* cloned (PR 2 cloned the
 /// full automata; the observer clocks now live beside it instead of
@@ -649,58 +512,36 @@ pub fn check(
     spec: &ObserverSpec,
     limits: &Limits,
 ) -> Result<SymbolicVerdict, String> {
-    let mut entity_aut = Vec::with_capacity(spec.entities.len());
-    let mut aut_entity = vec![None; net.automata.len()];
-    for (ei, name) in spec.entities.iter().enumerate() {
-        let ai = net
-            .automaton_by_name(name)
-            .ok_or_else(|| format!("spec entity `{name}` not found in network"))?;
-        entity_aut.push(ai);
-        aut_entity[ai] = Some(ei);
-    }
-    // Observer clocks occupy the DBM dimensions above the network's own
-    // clocks: `r` clocks first, then the per-pair `s` clocks.
-    let base = net.clock_count();
-    let mut observer_clock_names = Vec::with_capacity(spec.entities.len() + spec.pairs.len());
-    let r_clock: Vec<usize> = spec
-        .entities
-        .iter()
-        .enumerate()
-        .map(|(ei, name)| {
-            observer_clock_names.push(format!("r[{name}]"));
-            base + 1 + ei
-        })
-        .collect();
-    let s_clock: Vec<usize> = (0..spec.pairs.len())
-        .map(|k| {
-            observer_clock_names.push(format!("s[pair{k}]"));
-            base + 1 + spec.entities.len() + k
-        })
-        .collect();
-    let nclocks = base + spec.entities.len() + spec.pairs.len();
+    let monitor = PteMonitor::new(net, spec)?;
+    check_monitored(net, &monitor, limits)
+}
 
-    // Maximal constants: network constants plus the observer's bounds.
-    // The observer compares `r_i` downward against `T^min_risky` (enter
-    // lead) and upward against the Rule-1 bound, and `s_k` downward
-    // against `T^min_safe`, so the LU split mirrors those directions.
+/// Runs the symbolic safety check of any [`Monitor`] composed with
+/// `net`.
+///
+/// The monitor's observer clocks occupy the DBM dimensions above the
+/// network's own clocks, its observer state becomes part of every
+/// passed-list key, and its constants are folded into the
+/// extrapolation bound sets — so both extrapolation and the
+/// pre-extrapolation subsumption probe stay sound for whatever
+/// property the monitor encodes. Returns an error when the composed
+/// system exceeds the engine's size limits.
+pub fn check_monitored(
+    net: &TaNetwork,
+    monitor: &dyn Monitor,
+    limits: &Limits,
+) -> Result<SymbolicVerdict, String> {
+    let base = net.clock_count();
+    let nclocks = base + monitor.clock_names().len();
+
+    // Maximal constants: network constants plus whatever the monitor's
+    // guards compare its clocks against.
     let mut kmax = net.max_constants();
     kmax.resize(nclocks + 1, 0);
     let mut lu = net.lu_bounds();
     lu.lower.resize(nclocks + 1, 0);
     lu.upper.resize(nclocks + 1, 0);
-    for (ei, &c) in r_clock.iter().enumerate() {
-        let mut k = spec.rule1_ticks[ei];
-        lu.fold_lower(c, spec.rule1_ticks[ei]);
-        if ei < spec.pairs.len() {
-            k = k.max(spec.pairs[ei].t_min_risky);
-            lu.fold_upper(c, spec.pairs[ei].t_min_risky);
-        }
-        kmax[c] = k;
-    }
-    for (pk, &c) in s_clock.iter().enumerate() {
-        kmax[c] = spec.pairs[pk].t_min_safe;
-        lu.fold_upper(c, spec.pairs[pk].t_min_safe);
-    }
+    monitor.fold_bounds(&mut kmax, &mut lu);
 
     // `Act` codes and interned root ids index automata/edges/roots with
     // u16, and the minimal constraint form ([`Dbm::reduce`]) indexes
@@ -783,13 +624,8 @@ pub fn check(
 
     let engine = Engine {
         net,
-        spec,
-        entity_aut,
-        aut_entity,
-        r_clock,
-        s_clock,
+        monitor,
         nclocks,
-        observer_clock_names,
         kmax,
         lu,
         extrapolation: limits.extrapolation,
@@ -926,7 +762,7 @@ impl Engine<'_> {
         // Seed round: resolve + cook the initial state on this thread.
         let init = Work {
             locs: self.net.automata.iter().map(|a| a.initial as u32).collect(),
-            pairs: vec![PairState::Idle; self.spec.pairs.len()],
+            mon: self.monitor.initial_state(),
             zone: Dbm::zero(self.nclocks),
             queue: VecDeque::new(),
             acts: vec![Act::Initial],
@@ -936,13 +772,13 @@ impl Engine<'_> {
         let mut violations: Vec<(Option<NodeId>, Violation)> = Vec::new();
         match self.resolve(init, 0, &mut settled, &mut local, &mut pool) {
             Ok(()) => {}
-            Err(v) => violations.push((None, v)),
+            Err(v) => violations.push((None, *v)),
         }
         for w in settled {
             match self.cook(w, None, &mut local, &mut pool) {
                 Ok(Some(c)) => self.shards[shard_of(&c.key)].lock().pending.push(c),
                 Ok(None) => {}
-                Err(v) => violations.push((None, v)),
+                Err(v) => violations.push((None, *v)),
             }
         }
         stats.transitions += local.transitions;
@@ -1219,7 +1055,7 @@ impl Engine<'_> {
                         idx,
                     },
                     locs: c.key.0,
-                    pairs: c.key.1,
+                    mon: c.key.1,
                     zone: c.zone,
                 });
             }
@@ -1255,7 +1091,7 @@ impl Engine<'_> {
                 }
                 let mut w = Work {
                     locs: entry.locs.clone(),
-                    pairs: entry.pairs.clone(),
+                    mon: entry.mon.clone(),
                     zone: pool.clone_dbm(&entry.zone),
                     queue: VecDeque::new(),
                     acts: Vec::new(),
@@ -1267,30 +1103,42 @@ impl Engine<'_> {
                         continue;
                     }
                     Err(v) => {
-                        violations.push((Some(entry.id), v));
+                        violations.push((Some(entry.id), *v));
                         pool.recycle(w.zone);
                         continue;
                     }
                 }
                 let mut settled = Vec::new();
                 if let Err(v) = self.resolve(w, 0, &mut settled, local, pool) {
-                    violations.push((Some(entry.id), v));
+                    violations.push((Some(entry.id), *v));
                     continue;
                 }
                 for s in settled {
                     match self.cook(s, Some(entry.id), local, pool) {
                         Ok(Some(c)) => staged[shard_of(&c.key)].push(c),
                         Ok(None) => {}
-                        Err(v) => violations.push((Some(entry.id), v)),
+                        Err(v) => violations.push((Some(entry.id), *v)),
                     }
                 }
             }
         }
     }
 
+    /// Packages a monitor violation with the trace context of `w` (the
+    /// monitor's witness sub-zone when it tightened one, the current
+    /// zone otherwise).
+    fn violation(&self, mut mv: MonitorViolation, w: &Work) -> Box<Violation> {
+        let zone = mv.witness.take().unwrap_or_else(|| w.zone.clone());
+        Box::new(Violation {
+            mv,
+            acts: w.acts.clone(),
+            zone,
+        })
+    }
+
     /// Fires edge `eid` of automaton `ai` on `w` in place: guard
     /// restriction (incremental closure — the zone stays canonical
-    /// throughout, no Floyd–Warshall), PTE observer transition checks,
+    /// throughout, no Floyd–Warshall), monitor transition checks,
     /// resets, location move, emission enqueue. `Ok(false)` when the
     /// guard is unsatisfiable (the caller recycles `w.zone`).
     fn apply_edge(
@@ -1299,7 +1147,7 @@ impl Engine<'_> {
         ai: usize,
         eid: usize,
         local: &mut LocalStats,
-    ) -> Result<bool, Violation> {
+    ) -> Result<bool, Box<Violation>> {
         let edge = &self.net.automata[ai].edges[eid];
         for atom in &edge.guard {
             if !atom.apply_and_close(&mut w.zone) {
@@ -1307,21 +1155,27 @@ impl Engine<'_> {
             }
         }
         local.transitions += 1;
-
-        let src_risky = self.net.automata[ai].locations[edge.src].risky;
-        let dst_risky = self.net.automata[ai].locations[edge.dst].risky;
         w.acts.push(Act::Edge {
             aut: ai as u16,
             eid: eid as u16,
         });
 
-        // PTE observer: transitions across the risky boundary.
-        if let Some(ei) = self.aut_entity[ai] {
-            if !src_risky && dst_risky {
-                self.observe_enter(ei, w)?;
-            } else if src_risky && !dst_risky {
-                self.observe_exit(ei, w)?;
-            }
+        // Monitor observation: guard applied, resets and location move
+        // still pending (`ctx.locs` shows the pre-move vector).
+        let ctx = TransitionCtx {
+            net: self.net,
+            aut: ai,
+            src: edge.src,
+            dst: edge.dst,
+            locs: &w.locs,
+        };
+        let Work {
+            ref mut mon,
+            ref mut zone,
+            ..
+        } = *w;
+        if let Err(mv) = self.monitor.on_transition(&ctx, mon, zone) {
+            return Err(self.violation(mv, w));
         }
 
         let edge = &self.net.automata[ai].edges[eid];
@@ -1333,91 +1187,6 @@ impl Engine<'_> {
             w.queue.push_back((ai as u32, rid));
         }
         Ok(true)
-    }
-
-    /// Entity `ei` enters risky: coverage + enter-lead checks, pair state
-    /// updates, `r` clock reset.
-    fn observe_enter(&self, ei: usize, w: &mut Work) -> Result<(), Violation> {
-        // Pairs where `ei` is the inner entity.
-        if ei >= 1 && ei - 1 < self.spec.pairs.len() {
-            let pk = ei - 1;
-            let outer_loc = w.locs[self.entity_aut[pk]] as usize;
-            let outer_risky = self.net.automata[self.entity_aut[pk]].locations[outer_loc].risky;
-            if !outer_risky {
-                return Err(Violation {
-                    kind: ViolationKind::Coverage { pair: pk },
-                    acts: w.acts.clone(),
-                    zone: w.zone.clone(),
-                });
-            }
-            let lead_short = Atom {
-                clock: self.r_clock[pk],
-                rel: Rel::Lt,
-                ticks: self.spec.pairs[pk].t_min_risky,
-            };
-            if lead_short.satisfiable_in(&w.zone) {
-                let mut witness = w.zone.clone();
-                lead_short.apply_and_close(&mut witness);
-                return Err(Violation {
-                    kind: ViolationKind::EnterMargin { pair: pk },
-                    acts: w.acts.clone(),
-                    zone: witness,
-                });
-            }
-            w.pairs[pk] = PairState::Embedded;
-        }
-        // Pairs where `ei` is the outer entity.
-        if ei < self.spec.pairs.len() && w.pairs[ei] == PairState::Idle {
-            w.pairs[ei] = PairState::OuterOnly;
-        }
-        w.zone.reset(self.r_clock[ei], 0);
-        Ok(())
-    }
-
-    /// Entity `ei` leaves risky: exit-lag checks, pair state updates,
-    /// `s` clock reset.
-    fn observe_exit(&self, ei: usize, w: &mut Work) -> Result<(), Violation> {
-        // Pairs where `ei` is the inner entity: start the lag phase.
-        if ei >= 1 && ei - 1 < self.spec.pairs.len() {
-            let pk = ei - 1;
-            if w.pairs[pk] == PairState::Embedded {
-                w.pairs[pk] = PairState::InnerExited;
-                w.zone.reset(self.s_clock[pk], 0);
-            }
-        }
-        // Pairs where `ei` is the outer entity.
-        if ei < self.spec.pairs.len() {
-            match w.pairs[ei] {
-                PairState::Embedded => {
-                    return Err(Violation {
-                        kind: ViolationKind::ExitUncovered { pair: ei },
-                        acts: w.acts.clone(),
-                        zone: w.zone.clone(),
-                    });
-                }
-                PairState::InnerExited => {
-                    let lag_short = Atom {
-                        clock: self.s_clock[ei],
-                        rel: Rel::Lt,
-                        ticks: self.spec.pairs[ei].t_min_safe,
-                    };
-                    if lag_short.satisfiable_in(&w.zone) {
-                        let mut witness = w.zone.clone();
-                        lag_short.apply_and_close(&mut witness);
-                        return Err(Violation {
-                            kind: ViolationKind::ExitLag { pair: ei },
-                            acts: w.acts.clone(),
-                            zone: witness,
-                        });
-                    }
-                    w.pairs[ei] = PairState::Idle;
-                }
-                PairState::OuterOnly | PairState::Idle => {
-                    w.pairs[ei] = PairState::Idle;
-                }
-            }
-        }
-        Ok(())
     }
 
     /// Assigns a delivery fate to receiver `idx` of an in-flight event
@@ -1443,7 +1212,7 @@ impl Engine<'_> {
         out: &mut Vec<Work>,
         local: &mut LocalStats,
         pool: &mut DbmPool,
-    ) -> Result<(), Violation> {
+    ) -> Result<(), Box<Violation>> {
         if idx == receivers.len() {
             return self.resolve(w, depth + 1, out, local, pool);
         }
@@ -1528,7 +1297,7 @@ impl Engine<'_> {
         out: &mut Vec<Work>,
         local: &mut LocalStats,
         pool: &mut DbmPool,
-    ) -> Result<(), Violation> {
+    ) -> Result<(), Box<Violation>> {
         if depth > CASCADE_DEPTH {
             out.push(w);
             return Ok(());
@@ -1572,7 +1341,7 @@ impl Engine<'_> {
         if zin_alive {
             out.push(Work {
                 locs: w.locs.clone(),
-                pairs: w.pairs.clone(),
+                mon: w.mon.clone(),
                 zone: zin,
                 queue: VecDeque::new(),
                 acts: w.acts.clone(),
@@ -1591,7 +1360,7 @@ impl Engine<'_> {
             for &eid in &self.urgent[*ai][loc] {
                 let mut branch = Work {
                     locs: w.locs.clone(),
-                    pairs: w.pairs.clone(),
+                    mon: w.mon.clone(),
                     zone: pool.clone_dbm(&zout),
                     queue: w.queue.clone(),
                     acts: w.acts.clone(),
@@ -1621,7 +1390,7 @@ impl Engine<'_> {
         parent: Option<NodeId>,
         local: &mut LocalStats,
         pool: &mut DbmPool,
-    ) -> Result<Option<Candidate>, Violation> {
+    ) -> Result<Option<Candidate>, Box<Violation>> {
         // Delay: up-close within the conjunction of location invariants,
         // unless some occupied location freezes time.
         let frozen = w
@@ -1642,21 +1411,10 @@ impl Engine<'_> {
                 }
             }
         }
-        // Observer-clock activity reduction: `r_i` is only ever read
-        // while entity `i` is risky (it is reset on entry), and `s_k`
-        // only in the pair's `InnerExited` lag phase (reset on entry) —
-        // elsewhere they are dead, and freeing them collapses zones that
+        // Observer-clock activity reduction: the monitor frees whichever
+        // of its clocks are dead in this state, collapsing zones that
         // differ only in dead-clock history.
-        for (ei, &ai) in self.entity_aut.iter().enumerate() {
-            if !self.net.automata[ai].locations[w.locs[ai] as usize].risky {
-                w.zone.free(self.r_clock[ei]);
-            }
-        }
-        for pk in 0..self.spec.pairs.len() {
-            if w.pairs[pk] != PairState::InnerExited {
-                w.zone.free(self.s_clock[pk]);
-            }
-        }
+        self.monitor.reduce_activity(&w.locs, &w.mon, &mut w.zone);
 
         // Early subsumption probe — *before* extrapolation: if an
         // already-passed zone (from a previous round; phase 1 never
@@ -1667,10 +1425,11 @@ impl Engine<'_> {
         // admission. Sound for violation reporting too: passed zones
         // are violation-free by construction (a cooked zone with a
         // satisfiable violation is reported, never admitted), and the
-        // LU bounds cover every observer constant, so a violation
-        // satisfiable in the dropped candidate's widening would be
-        // satisfiable in the subsuming passed zone as well.
-        let key: Key = (w.locs, w.pairs);
+        // bound sets cover every monitor constant
+        // ([`Monitor::fold_bounds`]), so a violation satisfiable in the
+        // dropped candidate's widening would be satisfiable in the
+        // subsuming passed zone as well.
+        let key: Key = (w.locs, w.mon);
         {
             let shard = self.shards[shard_of(&key)].lock();
             if let Some(kid) = shard.keys.get(&key) {
@@ -1690,41 +1449,14 @@ impl Engine<'_> {
             Extrapolation::ExtraLu => w.zone.extrapolate_lu_plus(&self.lu.lower, &self.lu.upper),
         }
 
-        // State-level PTE checks on the delay-closed zone.
-        for (ei, &ai) in self.entity_aut.iter().enumerate() {
-            let risky = self.net.automata[ai].locations[key.0[ai] as usize].risky;
-            if !risky {
-                continue;
-            }
-            let over = Atom {
-                clock: self.r_clock[ei],
-                rel: Rel::Gt,
-                ticks: self.spec.rule1_ticks[ei],
-            };
-            if over.satisfiable_in(&w.zone) {
-                let mut witness = w.zone.clone();
-                over.apply_and_close(&mut witness);
-                let mut acts = w.acts.clone();
-                acts.push(Act::DwellExceeded { entity: ei as u16 });
-                return Err(Violation {
-                    kind: ViolationKind::Rule1 { entity: ei },
-                    acts,
-                    zone: witness,
-                });
-            }
-        }
-        for pk in 0..self.spec.pairs.len() {
-            let outer = self.entity_aut[pk];
-            let inner = self.entity_aut[pk + 1];
-            let outer_risky = self.net.automata[outer].locations[key.0[outer] as usize].risky;
-            let inner_risky = self.net.automata[inner].locations[key.0[inner] as usize].risky;
-            if inner_risky && !outer_risky {
-                return Err(Violation {
-                    kind: ViolationKind::Coverage { pair: pk },
-                    acts: w.acts.clone(),
-                    zone: w.zone.clone(),
-                });
-            }
+        // State-level monitor checks on the delay-closed zone.
+        if let Err(mut mv) = self.monitor.check_settled(&key.0, &key.1, &w.zone) {
+            let zone = mv.witness.take().unwrap_or_else(|| w.zone.clone());
+            return Err(Box::new(Violation {
+                mv,
+                acts: w.acts.clone(),
+                zone,
+            }));
         }
 
         Ok(Some(Candidate {
@@ -1737,7 +1469,7 @@ impl Engine<'_> {
 
     /// Renders every violation of the round and returns the
     /// lexicographically least counter-example (by step list, then
-    /// violation kind, then zone text) — a content-defined choice, so
+    /// violation rank, then zone text) — a content-defined choice, so
     /// the witness is identical for every worker count.
     fn least_counter_example(
         &self,
@@ -1746,9 +1478,7 @@ impl Engine<'_> {
         let least = violations
             .into_iter()
             .map(|(parent, v)| self.render_ce(parent, v))
-            .min_by(|a, b| {
-                (&a.steps, a.kind.rank(), &a.zone).cmp(&(&b.steps, b.kind.rank(), &b.zone))
-            })
+            .min_by(|a, b| (&a.steps, a.rank, &a.zone).cmp(&(&b.steps, b.rank, &b.zone)))
             .expect("at least one violation");
         SymbolicVerdict::Unsafe(Box::new(least))
     }
@@ -1797,10 +1527,6 @@ impl Engine<'_> {
             Act::InvariantExpired { aut } => {
                 format!("{} invariant expired", self.net.automata[aut as usize].name)
             }
-            Act::DwellExceeded { entity } => format!(
-                "dwell risky beyond the Rule-1 bound ({} ticks)",
-                self.spec.rule1_ticks[entity as usize]
-            ),
         }
     }
 
@@ -1823,11 +1549,24 @@ impl Engine<'_> {
             cursor = node.parent;
         }
         steps.reverse();
-        steps.push(self.render_step(&v.acts));
+        // The monitor's trace note (e.g. "dwell risky beyond the Rule-1
+        // bound") joins the final step like any other action.
+        let mut last = self.render_step(&v.acts);
+        if let Some(note) = &v.mv.trace_note {
+            if last.is_empty() {
+                last = note.clone();
+            } else {
+                last.push_str("; ");
+                last.push_str(note);
+            }
+        }
+        steps.push(last);
         let mut names = self.net.clocks.clone();
-        names.extend(self.observer_clock_names.iter().cloned());
+        names.extend(self.monitor.clock_names().iter().cloned());
+        let rank = v.mv.rank();
         SymbolicCounterExample {
-            kind: v.kind,
+            violation: v.mv.message,
+            rank,
             steps,
             zone: v.zone.render(&names),
         }

@@ -146,6 +146,38 @@ fn extrapolation_operators_agree_and_lu_settles_fewer_states() {
     );
 }
 
+/// The N-entity lease-chain lowering is deterministic: building and
+/// lowering the same scenario twice yields structurally identical
+/// networks (the engine's cross-worker determinism starts from here —
+/// a nondeterministic lowering would desynchronize shard hashes).
+#[test]
+fn chain_lowering_is_deterministic_and_scales() {
+    use pte_core::pattern::build_pattern_system;
+    let mut prev_clocks = 0;
+    for n in 2..=6 {
+        let cfg = LeaseConfig::chain(n);
+        let lower = || {
+            let sys = build_pattern_system(&cfg, true).expect("chain builds");
+            pte_zones::lower_network(&sys.automata).expect("chain lowers")
+        };
+        let net = lower();
+        assert_eq!(
+            format!("{net:?}"),
+            format!("{:?}", lower()),
+            "chain({n}) lowering must be reproducible"
+        );
+        // One supervisor + n devices, every one contributing clocks:
+        // the composed network grows strictly with N.
+        assert_eq!(net.automata.len(), n + 1, "chain({n}) automata");
+        assert!(
+            net.clock_count() > prev_clocks,
+            "chain({n}) clock space must grow ({} vs {prev_clocks})",
+            net.clock_count()
+        );
+        prev_clocks = net.clock_count();
+    }
+}
+
 /// Randomized configurations: whatever the verdict (safe, unsafe, or
 /// out-of-budget), it must be bit-identical across worker counts, and
 /// ExtraM/ExtraLU must agree on conclusive verdicts.
@@ -211,6 +243,86 @@ proptest! {
                 m.is_safe(),
                 "extrapolation operators disagree for {:?}",
                 rc
+            );
+        }
+    }
+}
+
+/// A generated N-entity scenario: a lease chain with perturbed timing
+/// constants, either arm. Perturbations keep integer seconds (so the
+/// lowering never rejects a constant) but freely break c5/c6 nesting,
+/// so generated cases cover safe, unsafe, and out-of-budget verdicts.
+#[derive(Clone, Debug)]
+struct GeneratedScenario {
+    n: usize,
+    run_bump: i64,
+    enter_bump: i64,
+    leased: bool,
+}
+
+fn generated_scenario() -> impl Strategy<Value = GeneratedScenario> {
+    (2usize..=3, -3i64..8, 0i64..6, 0u8..2).prop_map(|(n, run_bump, enter_bump, leased)| {
+        GeneratedScenario {
+            n,
+            run_bump,
+            enter_bump,
+            leased: leased == 1,
+        }
+    })
+}
+
+fn generated_config(g: &GeneratedScenario) -> LeaseConfig {
+    let mut cfg = LeaseConfig::chain(g.n);
+    // Perturb the outermost lease and the innermost enter dwell — the
+    // two knobs c6 and c5 are most sensitive to.
+    cfg.t_run[0] = Time::seconds((9 + g.run_bump).max(1) as f64);
+    let last = g.n - 1;
+    cfg.t_enter[last] = Time::seconds((2 * g.n as i64 + g.enter_bump) as f64);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Generated N-entity scenarios: the lowering is deterministic, and
+    /// the verdict *and* counter-example are bit-identical at 1/2/4/8
+    /// workers (the fingerprint covers the rendered witness trace and
+    /// the passed-list byte accounting, so stored zones are pinned
+    /// too). A deliberately small budget keeps debug-mode runtime down
+    /// and makes `OutOfBudget` determinism part of the covered space.
+    #[test]
+    fn generated_scenarios_deterministic_across_workers(g in generated_scenario()) {
+        use pte_core::pattern::build_pattern_system;
+
+        let cfg = generated_config(&g);
+
+        // Lowering determinism on the generated system.
+        let lowered = || {
+            let sys = build_pattern_system(&cfg, g.leased).expect("generated scenario builds");
+            let net = pte_zones::lower_network(&sys.automata).expect("generated scenario lowers");
+            format!("{net:?}")
+        };
+        prop_assert_eq!(lowered(), lowered(), "lowering must be reproducible for {:?}", g);
+
+        // Verdict + counter-example bit-identity across worker counts.
+        let budget = 6_000;
+        let reference =
+            check_lease_pattern_with(&cfg, g.leased, &limits(1, Extrapolation::ExtraLu, budget))
+                .expect("generated scenario lowers");
+        let reference_fp = format!("{} {}", fingerprint(&reference), reference);
+        for workers in [2usize, 4, 8] {
+            let parallel = check_lease_pattern_with(
+                &cfg,
+                g.leased,
+                &limits(workers, Extrapolation::ExtraLu, budget),
+            )
+            .expect("generated scenario lowers");
+            prop_assert_eq!(
+                &reference_fp,
+                &format!("{} {}", fingerprint(&parallel), parallel),
+                "worker count {} changed the verdict for {:?}",
+                workers,
+                g
             );
         }
     }

@@ -17,8 +17,9 @@
 //! * [`tracheotomy`] — the Section V laser tracheotomy case study;
 //! * [`verify`] — Monte-Carlo / exhaustive / adversarial verification;
 //! * [`zones`] — symbolic zone-based (DBM) reachability: the fourth
-//!   verification backend, proving PTE safety over all real-valued
-//!   timings and loss fates.
+//!   verification backend — a property-agnostic engine plus a
+//!   safety-monitor layer — proving PTE safety (or any composed
+//!   monitor property) over all real-valued timings and loss fates.
 //!
 //! ## Quickstart
 //!
@@ -51,7 +52,9 @@ pub mod prelude {
     pub use pte_hybrid::{Expr, HybridAutomaton, Pred, Time};
     pub use pte_sim::executor::{Executor, ExecutorConfig};
     pub use pte_sim::trace::Trace;
+    pub use pte_tracheotomy::{scenario_by_name, scenario_registry, Scenario};
     pub use pte_zones::{
-        check_lease_pattern, check_lease_pattern_with, Extrapolation, Limits, SymbolicVerdict,
+        check_lease_pattern, check_lease_pattern_with, check_monitored, Extrapolation, Limits,
+        Monitor, SymbolicVerdict,
     };
 }
