@@ -17,8 +17,10 @@
 //!   that the emitted JSON parses back cleanly; any failure exits
 //!   non-zero.
 //! * `--scenario NAME` — run a single registry scenario (both arms,
-//!   all backends). An unknown name exits non-zero after listing the
-//!   available scenarios.
+//!   all backends). An unknown name exits with status 2 after listing
+//!   the available scenarios on stderr
+//!   ([`registry::resolve_cli`]).
+//! * `--list` — print the scenario listing to stdout and exit 0.
 //! * `--depth K` — bounded-exhaustive decision depth (default 6).
 //! * `--workers W` — symbolic engine workers per cell (default 1).
 //! * `--budget N` — symbolic state budget per cell. When omitted, each
@@ -44,16 +46,23 @@
 //! each cell's exhaustive `explore` already fans out to every core
 //! internally — uncapped nesting would square the thread count and the
 //! timing columns would measure scheduler contention, not backends).
+//!
+//! All backend dispatch goes through the unified
+//! [`pte_verify::api`] session layer — this binary only builds
+//! requests, lays the per-backend stats out as a table/JSON, and
+//! enforces the cross-backend gates.
 
 use crossbeam::thread;
 use parking_lot::Mutex;
 use pte_bench::{arg_value, ScalingRow};
-use pte_core::pattern::{check_conditions, LeaseConfig};
+use pte_core::pattern::LeaseConfig;
 use pte_hybrid::Time;
 use pte_tracheotomy::registry;
-use pte_verify::exhaustive::explore;
 use pte_verify::report::TextTable;
-use pte_verify::{verify_symbolic_with, CrossCheck, Extrapolation, Limits, SymbolicOutcome};
+use pte_verify::{
+    BackendSel, BackendStats, CrossCheck, Extrapolation, Limits, Query, SymbolicOutcome, Verdict,
+    VerificationRequest,
+};
 use serde::{Number, Value};
 use std::time::Instant;
 
@@ -114,60 +123,61 @@ impl Row {
     }
 }
 
-fn run_cell(cell: &Cell, limits: &Limits, depth: usize) -> Row {
-    let analytic_ok = check_conditions(&cell.cfg).is_satisfied();
-    let limits = Limits {
-        max_states: cell.budget,
-        ..*limits
+/// Maps an API verdict back onto the three-valued [`SymbolicOutcome`]
+/// the agreement logic ([`CrossCheck`]) speaks.
+fn outcome_of(v: &Verdict) -> SymbolicOutcome {
+    match v {
+        Verdict::Safe => SymbolicOutcome::Safe,
+        Verdict::Unsafe => SymbolicOutcome::Unsafe,
+        Verdict::Inconclusive(_) => SymbolicOutcome::Inconclusive,
+    }
+}
+
+fn run_cell(cell: &Cell, workers: usize, depth: usize) -> Row {
+    let request = |backend: BackendSel| {
+        VerificationRequest::config(cell.cfg.clone())
+            .leased(cell.leased)
+            .backend(backend)
+            .max_states(cell.budget)
+            .workers(workers)
+            .depth(depth)
+    };
+    let backend_stats = |backend: BackendSel| -> BackendStats {
+        request(backend)
+            .run()
+            .expect("inline-config requests are well-formed")
+            .primary()
+            .clone()
     };
 
-    let t = Instant::now();
-    let verdict = verify_symbolic_with(&cell.cfg, cell.leased, &limits);
-    let symbolic_ms = t.elapsed().as_secs_f64() * 1e3;
-    let (symbolic, symbolic_states, symbolic_tripped, symbolic_error, passed_bytes) = match &verdict
-    {
-        Ok(v) => (
-            SymbolicOutcome::from(v),
-            v.stats().map_or(0, |s| s.states),
-            match v {
-                pte_zones::SymbolicVerdict::OutOfBudget { tripped, .. } => {
-                    Some(tripped.to_string())
-                }
-                _ => None,
-            },
-            None,
-            v.stats()
-                .map_or((0, 0), |s| (s.peak_passed_bytes, s.peak_passed_bytes_full)),
-        ),
-        Err(e) => (
-            SymbolicOutcome::Inconclusive,
-            0,
-            None,
-            Some(e.to_string()),
-            (0, 0),
-        ),
-    };
+    // The c1–c7 column is arm-independent: conditions constrain the
+    // configuration, not the lease arm.
+    let analytic_ok = request(BackendSel::Analytic)
+        .query(Query::ConditionCheck)
+        .run()
+        .expect("inline-config requests are well-formed")
+        .verdict
+        == Verdict::Safe;
 
-    let t = Instant::now();
-    let exhaustive = explore(&cell.cfg, cell.leased, depth, false);
-    let exhaustive_ms = t.elapsed().as_secs_f64() * 1e3;
+    let symbolic = backend_stats(BackendSel::Symbolic);
+    let exhaustive = backend_stats(BackendSel::Exhaustive);
 
     Row {
         cell: cell.clone(),
         analytic_ok,
         cross: CrossCheck {
-            symbolic,
-            exhaustive_safe: exhaustive.all_safe(),
+            symbolic: outcome_of(&symbolic.verdict),
+            exhaustive_safe: exhaustive.verdict == Verdict::Safe,
             exhaustive_runs: exhaustive.runs,
-            symbolic_states,
+            symbolic_states: symbolic.states,
         },
-        symbolic_tripped,
-        symbolic_error,
-        exhaustive_violations: exhaustive.violations.len(),
-        exhaustive_errors: exhaustive.errors.len(),
-        symbolic_ms,
-        exhaustive_ms,
-        passed_bytes,
+        symbolic_tripped: symbolic.tripped,
+        symbolic_error: symbolic.error,
+        exhaustive_violations: exhaustive.violations,
+        exhaustive_errors: exhaustive.errors,
+        symbolic_ms: symbolic.wall_ms,
+        exhaustive_ms: exhaustive.wall_ms,
+        passed_bytes: (symbolic.peak_passed_bytes, symbolic.peak_passed_bytes_full),
     }
 }
 
@@ -186,7 +196,13 @@ fn exhaustive_label(r: &Row) -> &'static str {
 /// Builds the report as a `serde::Value` tree and serializes it with
 /// the vendored `serde_json` — the same machinery the self-validation
 /// parse uses, so escaping/number formatting can't diverge from it.
-fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> String {
+fn to_json(
+    rows: &[Row],
+    depth: usize,
+    base_budget: usize,
+    workers: usize,
+    elapsed_ms: f64,
+) -> String {
     let num_u = |u: usize| Value::Num(Number::U(u as u64));
     let num_f = |f: f64| Value::Num(Number::F(f));
     let opt_str = |o: &Option<String>| match o {
@@ -234,11 +250,13 @@ fn to_json(rows: &[Row], depth: usize, limits: &Limits, elapsed_ms: f64) -> Stri
             "campaign".into(),
             Value::Obj(vec![
                 ("depth".into(), num_u(depth)),
-                ("base_symbolic_budget".into(), num_u(limits.max_states)),
-                ("symbolic_workers".into(), num_u(limits.effective_workers())),
+                ("base_symbolic_budget".into(), num_u(base_budget)),
+                ("symbolic_workers".into(), num_u(effective_workers(workers))),
+                // The extrapolation operator the API's symbolic runs use
+                // (the engine default; the API exposes no override).
                 (
                     "extrapolation".into(),
-                    Value::Str(format!("{:?}", limits.extrapolation)),
+                    Value::Str(format!("{:?}", Extrapolation::default())),
                 ),
                 ("wall_ms".into(), num_f(elapsed_ms)),
             ]),
@@ -307,12 +325,10 @@ fn main() {
     let bench_json_path = arg_value(&args, "--bench-json");
     let only_scenario = arg_value(&args, "--scenario");
 
-    let limits = Limits {
-        max_states: base_budget,
-        max_workers: workers,
-        extrapolation: Extrapolation::ExtraLu,
-        ..Limits::default()
-    };
+    if args.iter().any(|a| a == "--list") {
+        println!("available scenarios:\n{}", registry::listing());
+        return;
+    }
 
     let registry_cell = |s: &registry::Scenario, leased: bool| Cell {
         name: s.name.clone(),
@@ -326,13 +342,7 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     match &only_scenario {
         Some(name) => {
-            let Some(s) = registry::by_name(name) else {
-                eprintln!(
-                    "unknown scenario `{name}`; available scenarios:\n{}",
-                    registry::listing()
-                );
-                std::process::exit(2);
-            };
+            let s = registry::resolve_cli(name);
             for leased in [true, false] {
                 cells.push(registry_cell(&s, leased));
             }
@@ -356,7 +366,7 @@ fn main() {
         "campaign: {} cells × 3 backends (exhaustive depth {depth}, base symbolic budget \
          {base_budget}, {} symbolic workers)\n",
         cells.len(),
-        limits.effective_workers(),
+        effective_workers(workers),
     );
 
     // Run cells concurrently: each worker pops the next unstarted cell.
@@ -375,7 +385,7 @@ fn main() {
                 let Some(cell) = queue.lock().pop() else {
                     break;
                 };
-                let row = run_cell(&cell, &limits, depth);
+                let row = run_cell(&cell, workers, depth);
                 results.lock().push(row);
             });
         }
@@ -424,7 +434,7 @@ fn main() {
     println!("{}", table.render());
     println!("campaign wall time: {elapsed_ms:.0} ms");
 
-    let json = to_json(&rows, depth, &limits, elapsed_ms);
+    let json = to_json(&rows, depth, base_budget, workers, elapsed_ms);
     match &json_path {
         Some(path) => {
             std::fs::write(path, &json).expect("write JSON report");
@@ -509,29 +519,54 @@ fn main() {
     println!("all campaign gates passed");
 
     if let Some(path) = bench_json_path {
-        write_bench_json(&path, &limits, &rows);
+        write_bench_json(&path, base_budget, workers, &rows);
     }
+}
+
+/// `--workers 0` resolved to one per CPU — the same rule the symbolic
+/// engine applies ([`Limits::effective_workers`]), used here only for
+/// report metadata.
+fn effective_workers(workers: usize) -> usize {
+    Limits {
+        max_workers: workers,
+        ..Limits::default()
+    }
+    .effective_workers()
 }
 
 /// Times the leased case-study proof (best of 3) and writes the
 /// `BENCH_zones.json` schema shared with `bench/benches/zones.rs`,
 /// attaching per-N scaling rows derived from the campaign's own leased
 /// chain cells (no re-verification needed).
-fn write_bench_json(path: &str, limits: &Limits, rows: &[Row]) {
-    use pte_zones::SymbolicVerdict;
+fn write_bench_json(path: &str, base_budget: usize, workers: usize, rows: &[Row]) {
+    use pte_zones::SearchStats;
 
-    let cfg = LeaseConfig::case_study();
+    // The limits the timed request actually runs under (the bench
+    // record schema reports max_states/workers from them).
+    let limits = Limits {
+        max_states: base_budget,
+        max_workers: workers,
+        ..Limits::default()
+    };
+    let request = VerificationRequest::config(LeaseConfig::case_study())
+        .leased(true)
+        .backend(BackendSel::Symbolic)
+        .max_states(limits.max_states)
+        .workers(limits.max_workers);
     let mut best_secs = f64::INFINITY;
     let mut stats = None;
     for _ in 0..3 {
-        let t = Instant::now();
-        let verdict = verify_symbolic_with(&cfg, true, limits).expect("case study lowers");
-        let secs = t.elapsed().as_secs_f64();
-        let SymbolicVerdict::Safe(s) = verdict else {
-            panic!("leased case study must be safe");
-        };
-        best_secs = best_secs.min(secs);
-        stats = Some(s);
+        let report = request.run().expect("case study lowers");
+        let s = report.primary().clone();
+        assert_eq!(s.verdict, Verdict::Safe, "leased case study must be safe");
+        best_secs = best_secs.min(s.wall_ms / 1e3);
+        stats = Some(SearchStats {
+            states: s.states,
+            transitions: s.transitions,
+            peak_passed_bytes: s.peak_passed_bytes,
+            peak_passed_bytes_full: s.peak_passed_bytes_full,
+            ..SearchStats::default()
+        });
     }
     let stats = stats.expect("at least one proof run");
     let scaling: Vec<ScalingRow> = rows
@@ -548,5 +583,5 @@ fn write_bench_json(path: &str, limits: &Limits, rows: &[Row]) {
             secs: None,
         })
         .collect();
-    pte_bench::write_zones_bench_json(path, best_secs, None, &stats, limits, &scaling);
+    pte_bench::write_zones_bench_json(path, best_secs, None, &stats, &limits, &scaling);
 }

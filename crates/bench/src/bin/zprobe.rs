@@ -1,0 +1,63 @@
+//! Prints the symbolic verdicts for a registry scenario: a safety proof
+//! for the leased system and a symbolic counter-example for the
+//! without-lease baseline. A thin shell over the unified
+//! [`pte_verify::api`] session layer.
+//!
+//! ```sh
+//! cargo run --release -p pte-bench --bin zprobe
+//! cargo run --release -p pte-bench --bin zprobe -- --scenario chain-4
+//! cargo run --release -p pte-bench --bin zprobe -- --list
+//! cargo run --release -p pte-bench --bin zprobe -- --workers 4 --budget 200000
+//! ```
+//!
+//! `--list` prints the scenario catalogue to stdout and exits 0; an
+//! unknown `--scenario` prints it to stderr and exits 2
+//! ([`registry::resolve_cli`]).
+
+use pte_bench::arg_value;
+use pte_tracheotomy::registry;
+use pte_verify::{BackendSel, VerificationRequest};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("available scenarios:\n{}", registry::listing());
+        return;
+    }
+    let name = arg_value(&args, "--scenario").unwrap_or_else(|| "case-study".to_string());
+    let scenario = registry::resolve_cli(&name);
+
+    // The registry's recommended budget (the request default when only
+    // a scenario name is given) concludes every advertised scenario out
+    // of the box; `--budget`/`--workers` override it.
+    let mut request = VerificationRequest::scenario(&scenario.name)
+        .backend(BackendSel::Symbolic)
+        .workers(
+            arg_value(&args, "--workers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+        );
+    if let Some(budget) = arg_value(&args, "--budget").and_then(|v| v.parse().ok()) {
+        request = request.max_states(budget);
+    }
+
+    println!(
+        "scenario {} (N={}): {}",
+        scenario.name, scenario.n, scenario.description
+    );
+    for (label, leased) in [("with lease", true), ("without lease", false)] {
+        let report = request
+            .clone()
+            .leased(leased)
+            .run()
+            .expect("registry scenarios resolve");
+        let stats = report.primary();
+        let trailer = if leased { "\n" } else { "" };
+        println!(
+            "{label} ({:.2?}):\n{}{trailer}",
+            Duration::from_secs_f64(stats.wall_ms / 1e3),
+            stats.rendered
+        );
+    }
+}

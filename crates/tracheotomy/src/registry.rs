@@ -109,6 +109,34 @@ pub fn listing() -> String {
         .join("\n")
 }
 
+/// The canonical unknown-scenario diagnostic, shared by every surface
+/// that reports one (the CLI resolver here and
+/// `pte_verify::api::ApiError`), so the wording cannot drift between
+/// them. `listing` is the catalogue to embed — pass [`listing`]'s
+/// output unless replaying a captured one.
+pub fn unknown_scenario_diagnostic(name: &str, listing: &str) -> String {
+    format!("unknown scenario `{name}`; available scenarios:\n{listing}")
+}
+
+/// Resolves a `--scenario` CLI value: `Ok` for a registry name, `Err`
+/// with the ready-to-print diagnostic (unknown name + [`listing`])
+/// otherwise.
+pub fn resolve(name: &str) -> Result<Scenario, String> {
+    by_name(name).ok_or_else(|| unknown_scenario_diagnostic(name, &listing()))
+}
+
+/// The shared CLI front door for `--scenario` (used by `campaign` and
+/// `zprobe`): resolves the name, or prints the diagnostic — listing
+/// included — to **stderr** and exits with status `2`. (`--list`
+/// output goes to stdout with status `0`; only the error path lands on
+/// stderr.)
+pub fn resolve_cli(name: &str) -> Scenario {
+    resolve(name).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +151,17 @@ mod tests {
         }
         assert!(by_name("no-such-scenario").is_none());
         assert!(listing().contains("case-study"));
+    }
+
+    /// The CLI resolver returns the scenario for known names and a
+    /// diagnostic that embeds the listing for unknown ones.
+    #[test]
+    fn resolve_embeds_listing_on_unknown_names() {
+        assert_eq!(resolve("chain-3").unwrap().name, "chain-3");
+        let err = resolve("no-such-scenario").unwrap_err();
+        assert!(err.contains("unknown scenario `no-such-scenario`"), "{err}");
+        assert!(err.contains("case-study"), "{err}");
+        assert!(err.contains("stress-lossy"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,1389 @@
+//! One front door: the unified verification session layer.
+//!
+//! Every backend of this crate — the analytic c1–c7 check, the
+//! bounded-exhaustive explorer, the Monte-Carlo sampler, and the
+//! symbolic zone engine — historically exposed its own entry point,
+//! verdict type, and budget knobs, and every consumer (`campaign`,
+//! `zprobe`, the agreement tests) re-implemented the same dispatch and
+//! verdict-mapping glue. This module replaces that glue with a single
+//! query API in the style of ECDAR/Reveaal: build a
+//! [`VerificationRequest`] (scenario-or-config × [`Query`] ×
+//! [`BackendSel`] × [`Budget`]), call [`VerificationRequest::run`], and
+//! get one [`VerificationReport`] (verdict, witness, per-backend stats,
+//! tripped limits). Requests and reports are serde-serializable, so a
+//! service layer can ship them over the wire unchanged.
+//!
+//! ## Backend conclusiveness caveats
+//!
+//! The backends differ in what their verdicts *mean* — the report
+//! records which backend produced the verdict precisely because the
+//! strength differs:
+//!
+//! * **analytic** ([`pte_core::pattern::check_conditions`]) is
+//!   *conservative*: c1–c7 are sufficient, not necessary, and Theorem 1
+//!   covers the leased arm only. It can conclude [`Verdict::Safe`]
+//!   (leased arm, conditions satisfied) in microseconds but can never
+//!   falsify — a violated condition yields
+//!   [`Inconclusive::Unknown`], not `Unsafe`.
+//! * **exhaustive** ([`crate::exhaustive::explore`]) enumerates all
+//!   `2^depth × 2` loss fates of one driver script. Its `Unsafe` is a
+//!   real, replayable counter-example; its `Safe` is a *bounded* proof
+//!   — the recorded [`BackendStats::depth`] says how bounded.
+//! * **montecarlo** samples random loss assignments. It can only
+//!   falsify: zero observed violations yield
+//!   [`Inconclusive::Unknown`] with a Wilson confidence interval,
+//!   never `Safe`.
+//! * **symbolic** ([`crate::symbolic::verify_symbolic_with`]) covers
+//!   all real-valued timings and all loss fates at once: both `Safe`
+//!   and `Unsafe` are proof-grade over the timed abstraction.
+//!
+//! ## Portfolio racing and cancellation
+//!
+//! [`BackendSel::Portfolio`] races every backend applicable to the
+//! query and returns the **first conclusive** verdict
+//! ([`Verdict::Safe`] or [`Verdict::Unsafe`]), firing a cooperative
+//! [`CancelToken`] at the losers — the symbolic engine stops within one
+//! BFS layer, the exhaustive explorer and the sampler within one run
+//! per worker. Racers are admitted through `available_parallelism - 1`
+//! slots in expected-cost order (analytic → symbolic → exhaustive →
+//! Monte-Carlo), so a narrow machine tries the cheap proof-grade
+//! backends first instead of drowning them in simulator threads, and a
+//! wide machine races everything at once; a racer cancelled before its
+//! slot opens never runs at all. Losing backends surface in
+//! [`VerificationReport::backends`] as `Inconclusive(Cancelled)` with
+//! whatever stats they had accumulated; the report's top-level verdict
+//! and witness come from the winner alone, so partial loser output
+//! never leaks into the result. [`BackendSel::Auto`] and `Portfolio`
+//! requests default to `max_workers = 0` (one symbolic worker per CPU)
+//! so the front door is fast out of the box; an explicit
+//! [`Budget::max_workers`] always wins.
+//!
+//! ## Example
+//!
+//! ```
+//! use pte_verify::api::{BackendSel, VerificationRequest, Verdict};
+//!
+//! let report = VerificationRequest::scenario("case-study")
+//!     .leased(true)
+//!     .backend(BackendSel::Symbolic)
+//!     .max_states(60_000)
+//!     .run()
+//!     .expect("case-study is a registry scenario");
+//! assert_eq!(report.verdict, Verdict::Safe);
+//! assert!(report.winner.as_deref() == Some("symbolic"));
+//! ```
+
+use crate::exhaustive;
+use crate::montecarlo::wilson_ci;
+use pte_core::pattern::{build_pattern_system, check_conditions, LeaseConfig};
+use pte_tracheotomy::registry;
+use pte_zones::{
+    check_monitored, lower_network, CancelToken, Limits, LocationReachMonitor, Progress,
+    ProgressFn, SymbolicVerdict, TrippedLimit, ZonesError,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bounded-exhaustive decision depth when [`Budget::depth`] is
+/// unset (the `campaign` default: `2^6 × 2 = 128` runs).
+pub const DEFAULT_DEPTH: usize = 6;
+
+/// Default Monte-Carlo trial count when [`Budget::trials`] is unset.
+pub const DEFAULT_TRIALS: usize = 64;
+
+/// Loss-decision depth of one Monte-Carlo trial: each trial drives a
+/// random assignment of the first `MC_MASK_DEPTH` wireless
+/// transmissions (plus a random tail default) through the simulator.
+pub const MC_MASK_DEPTH: usize = 16;
+
+/// What to check.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// The paper's PTE safety rules (Rule 1 bounded dwelling plus
+    /// per-pair proper temporal embedding) — every backend applies.
+    PteSafety,
+    /// Plain location reachability: is any `(automaton, location
+    /// name-prefix)` target reachable? Symbolic-only (the zone engine
+    /// composes a [`LocationReachMonitor`]); `Verdict::Unsafe` means
+    /// *reachable* (with a witness trace), `Verdict::Safe` means
+    /// unreachable over all timings and loss fates.
+    LocationReach {
+        /// `(automaton name, location name-prefix)` targets.
+        targets: Vec<(String, String)>,
+    },
+    /// The analytic c1–c7 feasibility check alone (arm-independent:
+    /// conditions constrain the configuration, not the lease arm).
+    /// `Verdict::Safe` means every condition holds.
+    ConditionCheck,
+}
+
+impl Query {
+    /// Short name used in error messages.
+    fn name(&self) -> &'static str {
+        match self {
+            Query::PteSafety => "pte-safety",
+            Query::LocationReach { .. } => "location-reach",
+            Query::ConditionCheck => "condition-check",
+        }
+    }
+}
+
+/// Which backend(s) to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendSel {
+    /// The analytic c1–c7 check (conservative; see the module docs).
+    Analytic,
+    /// The bounded-exhaustive loss-fate explorer.
+    Exhaustive,
+    /// The Monte-Carlo loss-fate sampler (falsification only).
+    MonteCarlo,
+    /// The symbolic zone engine (proof-grade both ways).
+    Symbolic,
+    /// Pick one backend for the query: `ConditionCheck` → analytic,
+    /// everything else → symbolic, with `max_workers` defaulting to `0`
+    /// (auto).
+    Auto,
+    /// Race every applicable backend on threads; first conclusive
+    /// verdict wins, losers are cancelled cooperatively.
+    Portfolio,
+}
+
+/// Unified resource budget across all backends. Every field is
+/// optional; unset fields resolve to per-backend defaults (documented
+/// per field). The struct is plain data — serializable, clonable,
+/// reusable across requests.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Symbolic state budget. Unset: the scenario's
+    /// [`registry::Scenario::recommended_budget`] when the request
+    /// names a registry scenario, otherwise the engine default
+    /// ([`Limits::default`]).
+    pub max_states: Option<usize>,
+    /// Wall-clock budget in milliseconds. Applied natively by the
+    /// symbolic engine (checked at BFS round boundaries) and as a
+    /// global deadline by `Portfolio` (all racers are cancelled when it
+    /// expires). Stand-alone exhaustive / Monte-Carlo runs are bounded
+    /// by their enumeration counts (`depth`, `trials`) instead.
+    pub max_wall_ms: Option<u64>,
+    /// Symbolic worker threads (`0` = one per CPU). Unset: `0` for
+    /// [`BackendSel::Auto`] / [`BackendSel::Portfolio`] requests, `1`
+    /// (the reproducible library default) otherwise.
+    pub max_workers: Option<usize>,
+    /// Bounded-exhaustive decision depth. Unset: [`DEFAULT_DEPTH`].
+    pub depth: Option<usize>,
+    /// Monte-Carlo trial count. Unset: [`DEFAULT_TRIALS`].
+    pub trials: Option<usize>,
+    /// Monte-Carlo base seed (trials use `seed..seed + trials`).
+    pub seed: u64,
+}
+
+/// A verification request: *what system* (registry scenario or inline
+/// configuration) × *which arm* × *what property* ([`Query`]) × *which
+/// backend(s)* ([`BackendSel`]) × *how much work* ([`Budget`]).
+///
+/// Build one with [`VerificationRequest::scenario`] or
+/// [`VerificationRequest::config`] and the chained setters, then call
+/// [`VerificationRequest::run`] (or
+/// [`VerificationRequest::run_with`] for cancellation and streaming
+/// progress).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VerificationRequest {
+    /// Registry scenario name (mutually exclusive with `config`).
+    pub scenario: Option<String>,
+    /// Inline lease configuration (mutually exclusive with `scenario`).
+    pub config: Option<LeaseConfig>,
+    /// `true` checks the leased arm, `false` the lease-stripped
+    /// baseline.
+    pub leased: bool,
+    /// The property to check.
+    pub query: Query,
+    /// The backend selection.
+    pub backend: BackendSel,
+    /// The resource budget.
+    pub budget: Budget,
+}
+
+/// Why a backend (or the whole request) failed to reach a verdict.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Inconclusive {
+    /// A [`CancelToken`] ended the search (portfolio loser, caller
+    /// cancellation, or an expired portfolio deadline).
+    Cancelled,
+    /// A resource limit tripped before the search finished; the string
+    /// names the limit (e.g. `"state budget (max_states = 10)"`).
+    Budget(String),
+    /// The backend failed to execute (build/lowering/simulation
+    /// infrastructure error) — never conflated with a verdict.
+    Error(String),
+    /// The backend does not support the query (e.g. Monte-Carlo asked
+    /// for `LocationReach`).
+    Unsupported(String),
+    /// The backend ran to completion but its method cannot decide this
+    /// instance (analytic conservatism, Monte-Carlo found nothing).
+    Unknown(String),
+}
+
+impl fmt::Display for Inconclusive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inconclusive::Cancelled => write!(f, "cancelled"),
+            Inconclusive::Budget(s) => write!(f, "budget exhausted: {s}"),
+            Inconclusive::Error(s) => write!(f, "backend error: {s}"),
+            Inconclusive::Unsupported(s) => write!(f, "unsupported: {s}"),
+            Inconclusive::Unknown(s) => write!(f, "undecided: {s}"),
+        }
+    }
+}
+
+/// The unified three-valued verdict. What `Safe`/`Unsafe` *prove*
+/// depends on the backend that produced them — see the module docs'
+/// conclusiveness table; [`VerificationReport::winner`] records which
+/// backend it was.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The property holds (to the producing backend's strength: a
+    /// symbolic proof, a bounded-exhaustive sweep, or analytic
+    /// sufficiency).
+    Safe,
+    /// The property is violated; [`VerificationReport::witness`] (and
+    /// the per-backend [`BackendStats::witness`]) carries the
+    /// counter-example.
+    Unsafe,
+    /// No verdict — the reason says why. Never conflated with `Safe`:
+    /// a cancelled or budget-starved search cannot certify anything.
+    Inconclusive(Inconclusive),
+}
+
+impl Verdict {
+    /// `true` for `Safe` / `Unsafe` (what a portfolio race accepts as a
+    /// win).
+    pub fn is_conclusive(&self) -> bool {
+        matches!(self, Verdict::Safe | Verdict::Unsafe)
+    }
+
+    /// Four-way status label (`"safe"` / `"unsafe"` / `"error"` /
+    /// `"inconclusive"`), the vocabulary the campaign table and JSON
+    /// use.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Verdict::Safe => "safe",
+            Verdict::Unsafe => "unsafe",
+            Verdict::Inconclusive(Inconclusive::Error(_)) => "error",
+            Verdict::Inconclusive(_) => "inconclusive",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe => write!(f, "safe"),
+            Verdict::Unsafe => write!(f, "unsafe"),
+            Verdict::Inconclusive(r) => write!(f, "inconclusive ({r})"),
+        }
+    }
+}
+
+/// One backend's contribution to a report: its verdict, its native
+/// rendered verdict text, and its resource/stat counters. Fields that a
+/// backend does not populate stay at their zero defaults (e.g.
+/// `states` for the exhaustive explorer).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Backend name: `"analytic"`, `"exhaustive"`, `"montecarlo"`, or
+    /// `"symbolic"`.
+    pub backend: String,
+    /// The backend's verdict (see the module docs for per-backend
+    /// strength).
+    pub verdict: Verdict,
+    /// The backend's native rendered verdict — exactly what its own
+    /// `Display` prints (`zprobe` echoes this verbatim).
+    pub rendered: String,
+    /// Counter-example / witness text, for `Unsafe` verdicts.
+    pub witness: Option<String>,
+    /// Wall time of this backend's run, milliseconds.
+    pub wall_ms: f64,
+    /// Symbolic: settled states.
+    pub states: usize,
+    /// Symbolic: discrete transitions fired.
+    pub transitions: usize,
+    /// Symbolic: unexplored frontier at truncation (0 when complete).
+    pub frontier: usize,
+    /// Symbolic: peak passed-list bytes (minimal constraint form).
+    pub peak_passed_bytes: usize,
+    /// Symbolic: the same zones as full matrices (compression
+    /// denominator).
+    pub peak_passed_bytes_full: usize,
+    /// Exhaustive: completed runs. Monte-Carlo: completed trials.
+    pub runs: usize,
+    /// Exhaustive: effective decision depth.
+    pub depth: usize,
+    /// Exhaustive / Monte-Carlo: violating runs found.
+    pub violations: usize,
+    /// Exhaustive / Monte-Carlo: infrastructure errors.
+    pub errors: usize,
+    /// The tripped limit, rendered, when a budget ended the search.
+    pub tripped: Option<String>,
+    /// Build / execution error text, when the backend failed to run.
+    pub error: Option<String>,
+    /// `true` when a [`CancelToken`] stopped this backend (portfolio
+    /// losers report their final progress snapshot here and then go
+    /// quiet).
+    pub cancelled: bool,
+}
+
+impl Default for Verdict {
+    fn default() -> Verdict {
+        Verdict::Inconclusive(Inconclusive::Unknown("not run".into()))
+    }
+}
+
+/// The unified verification report: one top-level verdict (+ witness)
+/// plus per-backend stats. Serializable as-is.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// The registry scenario name, when the request used one.
+    pub scenario: Option<String>,
+    /// Which arm was checked.
+    pub leased: bool,
+    /// The top-level verdict — for portfolio requests, the winner's
+    /// verdict verbatim.
+    pub verdict: Verdict,
+    /// Counter-example / witness of the deciding backend (byte-for-byte
+    /// the winner's own witness; losers never contribute).
+    pub witness: Option<String>,
+    /// Name of the backend that produced [`VerificationReport::verdict`]
+    /// (`None` when no backend reached a conclusive verdict).
+    pub winner: Option<String>,
+    /// The deciding backend's tripped limit, when inconclusive on
+    /// budget.
+    pub tripped: Option<String>,
+    /// Every backend that ran, in a fixed backend order (analytic,
+    /// exhaustive, montecarlo, symbolic) independent of finish order.
+    pub backends: Vec<BackendStats>,
+    /// End-to-end wall time of the request, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl VerificationReport {
+    /// The stats of a backend by name, if it ran.
+    pub fn backend(&self, name: &str) -> Option<&BackendStats> {
+        self.backends.iter().find(|b| b.backend == name)
+    }
+
+    /// The deciding backend's stats: the winner's when there is one,
+    /// otherwise the first backend that ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report (cannot happen for reports produced by
+    /// [`VerificationRequest::run`]).
+    pub fn primary(&self) -> &BackendStats {
+        if let Some(w) = &self.winner {
+            if let Some(b) = self.backend(w) {
+                return b;
+            }
+        }
+        &self.backends[0]
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verdict: {}", self.verdict)?;
+        if let Some(w) = &self.winner {
+            write!(f, " (by {w})")?;
+        }
+        writeln!(f, " in {:.1} ms", self.wall_ms)?;
+        for b in &self.backends {
+            writeln!(
+                f,
+                "  {:<10} {} ({:.1} ms){}",
+                b.backend,
+                b.verdict,
+                b.wall_ms,
+                if b.cancelled { " [cancelled]" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Request-level failures: the request itself is malformed (the
+/// backends never ran). Backend-level failures are reported in-band as
+/// [`Inconclusive::Error`] instead.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// The named scenario is not in the registry; `listing` is the
+    /// one-line-per-scenario catalogue.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// [`registry::listing`] at the time of the request.
+        listing: String,
+    },
+    /// Neither `scenario` nor `config` was provided.
+    NoSystem,
+    /// Both `scenario` and `config` were provided.
+    AmbiguousSystem,
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::UnknownScenario { name, listing } => {
+                write!(
+                    f,
+                    "{}",
+                    registry::unknown_scenario_diagnostic(name, listing)
+                )
+            }
+            ApiError::NoSystem => {
+                write!(f, "request names no system: set `scenario` or `config`")
+            }
+            ApiError::AmbiguousSystem => write!(
+                f,
+                "request names two systems: set `scenario` or `config`, not both"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Caller-facing progress sink: `(backend name, snapshot)`. Portfolio
+/// requests stream every racer's snapshots through one sink — watching
+/// a loser's snapshots stop is how cancellation is observable from the
+/// outside.
+pub type ProgressSink = Arc<dyn Fn(&str, &Progress) + Send + Sync>;
+
+/// The concrete (non-meta) backends, in report order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Concrete {
+    Analytic,
+    Exhaustive,
+    MonteCarlo,
+    Symbolic,
+}
+
+impl Concrete {
+    fn name(self) -> &'static str {
+        match self {
+            Concrete::Analytic => "analytic",
+            Concrete::Exhaustive => "exhaustive",
+            Concrete::MonteCarlo => "montecarlo",
+            Concrete::Symbolic => "symbolic",
+        }
+    }
+}
+
+impl VerificationRequest {
+    /// Starts a request against a named registry scenario (leased arm,
+    /// [`Query::PteSafety`], [`BackendSel::Auto`], default budget).
+    pub fn scenario(name: impl Into<String>) -> VerificationRequest {
+        VerificationRequest {
+            scenario: Some(name.into()),
+            config: None,
+            leased: true,
+            query: Query::PteSafety,
+            backend: BackendSel::Auto,
+            budget: Budget::default(),
+        }
+    }
+
+    /// Starts a request against an inline [`LeaseConfig`] (leased arm,
+    /// [`Query::PteSafety`], [`BackendSel::Auto`], default budget).
+    pub fn config(cfg: LeaseConfig) -> VerificationRequest {
+        VerificationRequest {
+            scenario: None,
+            config: Some(cfg),
+            leased: true,
+            query: Query::PteSafety,
+            backend: BackendSel::Auto,
+            budget: Budget::default(),
+        }
+    }
+
+    /// Selects the arm: `true` = leased, `false` = baseline.
+    pub fn leased(mut self, leased: bool) -> Self {
+        self.leased = leased;
+        self
+    }
+
+    /// Sets the property to check.
+    pub fn query(mut self, query: Query) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Sets the backend selection.
+    pub fn backend(mut self, backend: BackendSel) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the whole budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the symbolic state budget.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.budget.max_states = Some(max_states);
+        self
+    }
+
+    /// Sets the symbolic worker count (`0` = one per CPU).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.budget.max_workers = Some(workers);
+        self
+    }
+
+    /// Sets the bounded-exhaustive decision depth.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.budget.depth = Some(depth);
+        self
+    }
+
+    /// Sets the Monte-Carlo trial count.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.budget.trials = Some(trials);
+        self
+    }
+
+    /// Sets the wall-clock budget in milliseconds (see
+    /// [`Budget::max_wall_ms`] for which backends honour it).
+    pub fn max_wall_ms(mut self, ms: u64) -> Self {
+        self.budget.max_wall_ms = Some(ms);
+        self
+    }
+
+    /// Runs the request to completion.
+    pub fn run(&self) -> Result<VerificationReport, ApiError> {
+        self.run_with(&CancelToken::new(), None)
+    }
+
+    /// [`VerificationRequest::run`] with cooperative cancellation and
+    /// streaming progress: firing `cancel` stops every running backend
+    /// within one BFS layer / one run per worker and yields
+    /// `Inconclusive(Cancelled)`; `progress` receives every backend's
+    /// round-boundary snapshots, labelled by backend name.
+    pub fn run_with(
+        &self,
+        cancel: &CancelToken,
+        progress: Option<ProgressSink>,
+    ) -> Result<VerificationReport, ApiError> {
+        let (cfg, scenario_name, recommended) = self.resolve()?;
+        let started = Instant::now();
+        let members = self.members();
+        let mut report = match self.backend {
+            BackendSel::Portfolio => {
+                self.run_portfolio(&cfg, recommended, &members, cancel, progress)
+            }
+            _ => {
+                let only = members[0];
+                let stats = self.run_one(only, &cfg, recommended, cancel, progress.as_ref());
+                let conclusive = stats.verdict.is_conclusive();
+                VerificationReport {
+                    scenario: None,
+                    leased: self.leased,
+                    verdict: stats.verdict.clone(),
+                    witness: stats.witness.clone(),
+                    winner: conclusive.then(|| stats.backend.clone()),
+                    tripped: stats.tripped.clone(),
+                    backends: vec![stats],
+                    wall_ms: 0.0,
+                }
+            }
+        };
+        report.scenario = scenario_name;
+        report.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        Ok(report)
+    }
+
+    /// Resolves the scenario-or-config pair into a configuration, the
+    /// echoed scenario name, and the registry's recommended budget.
+    fn resolve(&self) -> Result<(LeaseConfig, Option<String>, Option<usize>), ApiError> {
+        match (&self.scenario, &self.config) {
+            (Some(name), None) => {
+                let s = registry::by_name(name).ok_or_else(|| ApiError::UnknownScenario {
+                    name: name.clone(),
+                    listing: registry::listing(),
+                })?;
+                Ok((s.config, Some(s.name), Some(s.recommended_budget)))
+            }
+            (None, Some(cfg)) => Ok((cfg.clone(), None, None)),
+            (None, None) => Err(ApiError::NoSystem),
+            (Some(_), Some(_)) => Err(ApiError::AmbiguousSystem),
+        }
+    }
+
+    /// The concrete backends this request runs, in report order.
+    fn members(&self) -> Vec<Concrete> {
+        let applicable: &[Concrete] = match self.query {
+            Query::PteSafety => &[
+                Concrete::Analytic,
+                Concrete::Exhaustive,
+                Concrete::MonteCarlo,
+                Concrete::Symbolic,
+            ],
+            Query::LocationReach { .. } => &[Concrete::Symbolic],
+            Query::ConditionCheck => &[Concrete::Analytic],
+        };
+        match self.backend {
+            BackendSel::Analytic => vec![Concrete::Analytic],
+            BackendSel::Exhaustive => vec![Concrete::Exhaustive],
+            BackendSel::MonteCarlo => vec![Concrete::MonteCarlo],
+            BackendSel::Symbolic => vec![Concrete::Symbolic],
+            BackendSel::Auto => vec![match self.query {
+                Query::ConditionCheck => Concrete::Analytic,
+                _ => Concrete::Symbolic,
+            }],
+            BackendSel::Portfolio => applicable.to_vec(),
+        }
+    }
+
+    /// The effective symbolic worker count: an explicit
+    /// [`Budget::max_workers`] wins; otherwise `Auto`/`Portfolio`
+    /// default to `0` (one worker per CPU) and the explicit single
+    /// backends to the engine's reproducible default of `1`.
+    fn resolved_workers(&self) -> usize {
+        self.budget.max_workers.unwrap_or(match self.backend {
+            BackendSel::Auto | BackendSel::Portfolio => 0,
+            _ => 1,
+        })
+    }
+
+    /// Builds the symbolic engine limits for this request.
+    fn limits(
+        &self,
+        recommended: Option<usize>,
+        cancel: CancelToken,
+        progress: Option<ProgressFn>,
+    ) -> Limits {
+        Limits {
+            max_states: self
+                .budget
+                .max_states
+                .or(recommended)
+                .unwrap_or(Limits::default().max_states),
+            max_workers: self.resolved_workers(),
+            max_wall: self.budget.max_wall_ms.map(Duration::from_millis),
+            cancel: Some(cancel),
+            progress,
+            ..Limits::default()
+        }
+    }
+
+    /// Runs one concrete backend to completion (or cancellation).
+    fn run_one(
+        &self,
+        backend: Concrete,
+        cfg: &LeaseConfig,
+        recommended: Option<usize>,
+        cancel: &CancelToken,
+        progress: Option<&ProgressSink>,
+    ) -> BackendStats {
+        let labelled: Option<ProgressFn> = progress.map(|sink| {
+            let sink = sink.clone();
+            let name = backend.name();
+            Arc::new(move |p: &Progress| sink(name, p)) as ProgressFn
+        });
+        match backend {
+            Concrete::Analytic => self.run_analytic(cfg),
+            Concrete::Exhaustive => self.run_exhaustive(cfg, cancel, labelled.as_ref()),
+            Concrete::MonteCarlo => self.run_montecarlo(cfg, cancel, labelled.as_ref()),
+            Concrete::Symbolic => self.run_symbolic(cfg, recommended, cancel, labelled),
+        }
+    }
+
+    /// The analytic backend: microsecond-fast, conservative (see the
+    /// module docs).
+    fn run_analytic(&self, cfg: &LeaseConfig) -> BackendStats {
+        let t = Instant::now();
+        let mut stats = BackendStats {
+            backend: "analytic".into(),
+            ..BackendStats::default()
+        };
+        match &self.query {
+            Query::LocationReach { .. } => {
+                stats.verdict = Verdict::Inconclusive(Inconclusive::Unsupported(
+                    "the analytic backend checks c1–c7 only".into(),
+                ));
+                stats.rendered = "unsupported query".into();
+            }
+            Query::PteSafety | Query::ConditionCheck => {
+                let report = check_conditions(cfg);
+                let satisfied = report.is_satisfied();
+                stats.rendered = format!("{report}");
+                stats.verdict = match (&self.query, satisfied, self.leased) {
+                    (Query::ConditionCheck, true, _) => Verdict::Safe,
+                    (Query::PteSafety, true, true) => Verdict::Safe,
+                    (Query::PteSafety, true, false) => Verdict::Inconclusive(
+                        Inconclusive::Unknown("Theorem 1 covers the leased arm only".into()),
+                    ),
+                    _ => Verdict::Inconclusive(Inconclusive::Unknown(
+                        "c1–c7 violated; the analytic check is sufficient, not necessary".into(),
+                    )),
+                };
+            }
+        }
+        stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats
+    }
+
+    /// The symbolic backend: [`Query::PteSafety`] through
+    /// [`crate::symbolic::verify_symbolic_with`],
+    /// [`Query::LocationReach`] through a composed
+    /// [`LocationReachMonitor`].
+    fn run_symbolic(
+        &self,
+        cfg: &LeaseConfig,
+        recommended: Option<usize>,
+        cancel: &CancelToken,
+        progress: Option<ProgressFn>,
+    ) -> BackendStats {
+        let t = Instant::now();
+        let limits = self.limits(recommended, cancel.clone(), progress);
+        let mut stats = BackendStats {
+            backend: "symbolic".into(),
+            ..BackendStats::default()
+        };
+        let outcome: Result<SymbolicVerdict, String> = match &self.query {
+            Query::PteSafety => crate::symbolic::verify_symbolic_with(cfg, self.leased, &limits)
+                .map_err(|e: ZonesError| e.to_string()),
+            Query::LocationReach { targets } => {
+                symbolic_location_reach(cfg, self.leased, targets, &limits)
+            }
+            Query::ConditionCheck => {
+                stats.verdict = Verdict::Inconclusive(Inconclusive::Unsupported(
+                    "the symbolic backend does not evaluate c1–c7".into(),
+                ));
+                stats.rendered = "unsupported query".into();
+                stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+                return stats;
+            }
+        };
+        match outcome {
+            Ok(verdict) => {
+                stats.rendered = format!("{verdict}");
+                if let Some(s) = verdict.stats() {
+                    stats.states = s.states;
+                    stats.transitions = s.transitions;
+                    stats.frontier = s.frontier;
+                    stats.peak_passed_bytes = s.peak_passed_bytes;
+                    stats.peak_passed_bytes_full = s.peak_passed_bytes_full;
+                }
+                stats.verdict = match verdict {
+                    SymbolicVerdict::Safe(_) => Verdict::Safe,
+                    SymbolicVerdict::Unsafe(ce) => {
+                        stats.witness = Some(format!("{ce}"));
+                        Verdict::Unsafe
+                    }
+                    SymbolicVerdict::OutOfBudget { tripped, .. } => {
+                        stats.tripped = Some(tripped.to_string());
+                        if tripped == TrippedLimit::Cancelled {
+                            stats.cancelled = true;
+                            Verdict::Inconclusive(Inconclusive::Cancelled)
+                        } else {
+                            Verdict::Inconclusive(Inconclusive::Budget(tripped.to_string()))
+                        }
+                    }
+                };
+            }
+            Err(e) => {
+                stats.rendered = format!("error: {e}");
+                stats.error = Some(e.clone());
+                stats.verdict = Verdict::Inconclusive(Inconclusive::Error(e));
+            }
+        }
+        stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats
+    }
+
+    /// The bounded-exhaustive backend.
+    fn run_exhaustive(
+        &self,
+        cfg: &LeaseConfig,
+        cancel: &CancelToken,
+        progress: Option<&ProgressFn>,
+    ) -> BackendStats {
+        let t = Instant::now();
+        let mut stats = BackendStats {
+            backend: "exhaustive".into(),
+            ..BackendStats::default()
+        };
+        if !matches!(self.query, Query::PteSafety) {
+            stats.verdict = Verdict::Inconclusive(Inconclusive::Unsupported(format!(
+                "the exhaustive backend checks PTE safety only, not {}",
+                self.query.name()
+            )));
+            stats.rendered = "unsupported query".into();
+            stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            return stats;
+        }
+        let depth = self.budget.depth.unwrap_or(DEFAULT_DEPTH);
+        let result =
+            exhaustive::explore_with(cfg, self.leased, depth, false, Some(cancel), progress);
+        stats.rendered = format!("{result}");
+        stats.runs = result.runs;
+        stats.depth = result.depth;
+        stats.violations = result.violations.len();
+        stats.errors = result.errors.len();
+        stats.cancelled = result.cancelled;
+        stats.verdict = if let Some(v) = result.violations.first() {
+            // Violations come back in (mask, default_drop) order, so
+            // this witness is deterministic for completed explorations.
+            stats.witness = Some(format!(
+                "mask {:#b} default_drop={}: {}",
+                v.mask, v.default_drop, v.report
+            ));
+            Verdict::Unsafe
+        } else if result.cancelled {
+            stats.tripped = Some("cancellation token".into());
+            Verdict::Inconclusive(Inconclusive::Cancelled)
+        } else if let Some(e) = result.errors.first() {
+            stats.error = Some(e.clone());
+            Verdict::Inconclusive(Inconclusive::Error(e.clone()))
+        } else {
+            Verdict::Safe
+        };
+        stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats
+    }
+
+    /// The Monte-Carlo backend: `trials` random loss assignments
+    /// (seeded, deterministic per seed), falsification only.
+    fn run_montecarlo(
+        &self,
+        cfg: &LeaseConfig,
+        cancel: &CancelToken,
+        progress: Option<&ProgressFn>,
+    ) -> BackendStats {
+        let t = Instant::now();
+        let mut stats = BackendStats {
+            backend: "montecarlo".into(),
+            ..BackendStats::default()
+        };
+        if !matches!(self.query, Query::PteSafety) {
+            stats.verdict = Verdict::Inconclusive(Inconclusive::Unsupported(format!(
+                "the Monte-Carlo backend checks PTE safety only, not {}",
+                self.query.name()
+            )));
+            stats.rendered = "unsupported query".into();
+            stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            return stats;
+        }
+        let trials = self.budget.trials.unwrap_or(DEFAULT_TRIALS);
+        let outcome =
+            sample_loss_fates(cfg, self.leased, trials, self.budget.seed, cancel, progress);
+        stats.runs = outcome.completed;
+        stats.violations = outcome.violations.len();
+        stats.errors = outcome.errors.len();
+        stats.cancelled = outcome.cancelled;
+        let ci = wilson_ci(outcome.violations.len(), outcome.completed.max(1), 1.96);
+        stats.rendered = format!(
+            "{} of {} sampled loss assignments violate PTE \
+             (95% CI on the violation rate [{:.3}, {:.3}]){}",
+            outcome.violations.len(),
+            outcome.completed,
+            ci.0,
+            ci.1,
+            if outcome.cancelled {
+                " (CANCELLED)"
+            } else {
+                ""
+            }
+        );
+        stats.verdict = if let Some((seed, report)) = outcome.violations.first() {
+            stats.witness = Some(format!("seed {seed}: {report}"));
+            Verdict::Unsafe
+        } else if outcome.cancelled {
+            stats.tripped = Some("cancellation token".into());
+            Verdict::Inconclusive(Inconclusive::Cancelled)
+        } else if let Some(e) = outcome.errors.first() {
+            stats.error = Some(e.clone());
+            Verdict::Inconclusive(Inconclusive::Error(e.clone()))
+        } else {
+            Verdict::Inconclusive(Inconclusive::Unknown(format!(
+                "Monte-Carlo sampling can only falsify; 0 violations in {} trials",
+                outcome.completed
+            )))
+        };
+        stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats
+    }
+
+    /// Races `members` on threads; the first conclusive verdict wins
+    /// and the losers' tokens are fired. The report lists backends in
+    /// member order (never finish order), and its verdict/witness are
+    /// the winner's alone.
+    ///
+    /// Racers are admitted through `available_parallelism() - 1` slots
+    /// in expected-cost order (analytic, then symbolic, then the
+    /// simulation-heavy exhaustive/Monte-Carlo backends): on a wide
+    /// machine every backend races at once, while on a 2-core box the
+    /// cheap proof-grade backends are not starved by a wall of
+    /// simulator threads — which is what keeps the portfolio within a
+    /// few percent of the symbolic backend alone. A racer whose token
+    /// fires before its slot opens is reported as cancelled without
+    /// ever running.
+    fn run_portfolio(
+        &self,
+        cfg: &LeaseConfig,
+        recommended: Option<usize>,
+        members: &[Concrete],
+        cancel: &CancelToken,
+        progress: Option<ProgressSink>,
+    ) -> VerificationReport {
+        let started = Instant::now();
+        let tokens: Vec<CancelToken> = members.iter().map(|_| CancelToken::new()).collect();
+        // Propagate a caller cancellation that fired before we started.
+        if cancel.is_cancelled() {
+            for t in &tokens {
+                t.cancel();
+            }
+        }
+        // Expected-cost start order: indices into `members`, cheapest
+        // route to a conclusive verdict first.
+        let cost = |m: Concrete| match m {
+            Concrete::Analytic => 0,
+            Concrete::Symbolic => 1,
+            Concrete::Exhaustive => 2,
+            Concrete::MonteCarlo => 3,
+        };
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by_key(|&i| cost(members[i]));
+        let slots = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .saturating_sub(1)
+            .max(1);
+
+        let (tx, rx) = mpsc::channel::<(usize, BackendStats)>();
+        let deadline = self.budget.max_wall_ms.map(Duration::from_millis);
+        let mut collected: Vec<Option<BackendStats>> = members.iter().map(|_| None).collect();
+        let mut winner: Option<usize> = None;
+        crossbeam::thread::scope(|scope| {
+            let mut next = 0usize;
+            let mut running = 0usize;
+            let mut remaining = members.len();
+            // Admits queued racers into free slots; a racer cancelled
+            // before its slot opens is settled in place, without a
+            // thread.
+            let admit = |running: &mut usize,
+                         next: &mut usize,
+                         remaining: &mut usize,
+                         collected: &mut Vec<Option<BackendStats>>| {
+                while *running < slots && *next < order.len() {
+                    let i = order[*next];
+                    *next += 1;
+                    if tokens[i].is_cancelled() {
+                        collected[i] = Some(BackendStats {
+                            backend: members[i].name().into(),
+                            verdict: Verdict::Inconclusive(Inconclusive::Cancelled),
+                            rendered: "cancelled before start".into(),
+                            tripped: Some("cancellation token".into()),
+                            cancelled: true,
+                            ..BackendStats::default()
+                        });
+                        *remaining -= 1;
+                        continue;
+                    }
+                    let tx = tx.clone();
+                    let token = tokens[i].clone();
+                    let progress = progress.clone();
+                    let m = members[i];
+                    scope.spawn(move |_| {
+                        // Every racer must send exactly once, or the
+                        // coordinator waits forever: a panicking backend
+                        // becomes an in-band error, never a hang.
+                        let stats = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.run_one(m, cfg, recommended, &token, progress.as_ref())
+                        }))
+                        .unwrap_or_else(|_| BackendStats {
+                            backend: m.name().into(),
+                            verdict: Verdict::Inconclusive(Inconclusive::Error(
+                                "backend panicked".into(),
+                            )),
+                            rendered: "backend panicked".into(),
+                            error: Some("backend panicked".into()),
+                            ..BackendStats::default()
+                        });
+                        let _ = tx.send((i, stats));
+                    });
+                    *running += 1;
+                }
+            };
+            admit(&mut running, &mut next, &mut remaining, &mut collected);
+            while remaining > 0 {
+                match rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok((i, stats)) => {
+                        remaining -= 1;
+                        running -= 1;
+                        if winner.is_none() && stats.verdict.is_conclusive() {
+                            winner = Some(i);
+                            for (j, t) in tokens.iter().enumerate() {
+                                if j != i {
+                                    t.cancel();
+                                }
+                            }
+                        }
+                        collected[i] = Some(stats);
+                        admit(&mut running, &mut next, &mut remaining, &mut collected);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let out_of_time = deadline.is_some_and(|d| started.elapsed() > d);
+                        if cancel.is_cancelled() || out_of_time {
+                            for t in &tokens {
+                                t.cancel();
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("portfolio racer panicked");
+
+        let backends: Vec<BackendStats> = collected
+            .into_iter()
+            .map(|s| s.expect("every racer reports"))
+            .collect();
+        let (verdict, witness, tripped, winner_name) = match winner {
+            Some(i) => {
+                let w = &backends[i];
+                (
+                    w.verdict.clone(),
+                    w.witness.clone(),
+                    w.tripped.clone(),
+                    Some(w.backend.clone()),
+                )
+            }
+            None => {
+                // No conclusive verdict anywhere. Prefer the most
+                // actionable reason, in member order: a tripped budget
+                // (raise it), then an error, then cancellation, then
+                // inherent undecidedness.
+                let pick = |f: &dyn Fn(&BackendStats) -> bool| {
+                    backends.iter().find(|b| f(b)).map(|b| b.verdict.clone())
+                };
+                let verdict =
+                    pick(&|b| matches!(b.verdict, Verdict::Inconclusive(Inconclusive::Budget(_))))
+                        .or_else(|| {
+                            pick(&|b| {
+                                matches!(b.verdict, Verdict::Inconclusive(Inconclusive::Error(_)))
+                            })
+                        })
+                        .or_else(|| {
+                            pick(&|b| {
+                                matches!(b.verdict, Verdict::Inconclusive(Inconclusive::Cancelled))
+                            })
+                        })
+                        .unwrap_or_else(|| {
+                            Verdict::Inconclusive(Inconclusive::Unknown(
+                                "no backend reached a conclusive verdict".into(),
+                            ))
+                        });
+                let tripped = backends.iter().find_map(|b| b.tripped.clone());
+                (verdict, None, tripped, None)
+            }
+        };
+        VerificationReport {
+            scenario: None,
+            leased: self.leased,
+            verdict,
+            witness,
+            winner: winner_name,
+            tripped,
+            backends,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Location reachability through the symbolic engine: build, lower,
+/// compose a [`LocationReachMonitor`], explore.
+fn symbolic_location_reach(
+    cfg: &LeaseConfig,
+    leased: bool,
+    targets: &[(String, String)],
+    limits: &Limits,
+) -> Result<SymbolicVerdict, String> {
+    let sys =
+        build_pattern_system(cfg, leased).map_err(|e| format!("pattern build failed: {e:?}"))?;
+    let net = lower_network(&sys.automata).map_err(|e| format!("lowering failed: {e}"))?;
+    let queries: Vec<(&str, &str)> = targets
+        .iter()
+        .map(|(a, l)| (a.as_str(), l.as_str()))
+        .collect();
+    let monitor = LocationReachMonitor::new(&net, &queries)?;
+    check_monitored(&net, &monitor, limits)
+}
+
+/// Outcome of a Monte-Carlo sampling pass.
+struct SampleOutcome {
+    completed: usize,
+    /// `(trial seed, rendered report)` of every violating trial, in
+    /// seed order (deterministic witness for completed passes).
+    violations: Vec<(u64, String)>,
+    errors: Vec<String>,
+    cancelled: bool,
+}
+
+/// SplitMix64: the seed-to-assignment scrambler (deterministic,
+/// dependency-free).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs `trials` random loss assignments in parallel: trial `k` drives
+/// the assignment derived from `splitmix64(seed + k)` — a
+/// [`MC_MASK_DEPTH`]-bit drop mask plus a tail default — through the
+/// simulator and checks the trace against the PTE rules.
+fn sample_loss_fates(
+    cfg: &LeaseConfig,
+    leased: bool,
+    trials: usize,
+    seed: u64,
+    cancel: &CancelToken,
+    progress: Option<&ProgressFn>,
+) -> SampleOutcome {
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let violations: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let completed = AtomicUsize::new(0);
+    // Set only when a worker abandons unfinished trials on
+    // cancellation — a token that fires after the last trial leaves a
+    // complete (and reportable) sampling pass.
+    let stopped_early = std::sync::atomic::AtomicBool::new(false);
+    let started = Instant::now();
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(trials.max(1));
+    crossbeam::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let violations = &violations;
+            let errors = &errors;
+            let completed = &completed;
+            let stopped_early = &stopped_early;
+            scope.spawn(move |_| {
+                let mut k = w;
+                let mut round = 0usize;
+                while k < trials {
+                    if cancel.is_cancelled() {
+                        stopped_early.store(true, Ordering::Release);
+                        break;
+                    }
+                    if w == 0 {
+                        if let Some(report) = progress {
+                            let done = completed.load(Ordering::Relaxed);
+                            report(&Progress {
+                                round,
+                                settled: done,
+                                frontier: trials - done,
+                                elapsed: started.elapsed(),
+                            });
+                        }
+                        round += 1;
+                    }
+                    let trial_seed = seed.wrapping_add(k as u64);
+                    let bits = splitmix64(trial_seed);
+                    let mask = bits & ((1u64 << MC_MASK_DEPTH) - 1);
+                    let default_drop = (bits >> MC_MASK_DEPTH) & 1 == 1;
+                    match exhaustive::run_assignment(
+                        cfg,
+                        leased,
+                        mask,
+                        MC_MASK_DEPTH,
+                        default_drop,
+                        false,
+                    ) {
+                        Ok(None) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Some(report)) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            violations.lock().push((trial_seed, report));
+                        }
+                        Err(e) => {
+                            errors.lock().push(format!("seed {trial_seed}: {e}"));
+                            break;
+                        }
+                    }
+                    k += n_workers;
+                }
+            });
+        }
+    })
+    .expect("sampler worker panicked");
+    let mut violations = violations.into_inner();
+    violations.sort_by_key(|(seed, _)| *seed);
+    SampleOutcome {
+        completed: completed.into_inner(),
+        violations,
+        errors: errors.into_inner(),
+        cancelled: stopped_early.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_and_portfolio_default_to_auto_workers() {
+        let base = VerificationRequest::scenario("case-study");
+        assert_eq!(base.clone().backend(BackendSel::Auto).resolved_workers(), 0);
+        assert_eq!(
+            base.clone()
+                .backend(BackendSel::Portfolio)
+                .resolved_workers(),
+            0
+        );
+        assert_eq!(
+            base.clone()
+                .backend(BackendSel::Symbolic)
+                .resolved_workers(),
+            1
+        );
+        // An explicit worker count always wins over the defaults.
+        assert_eq!(
+            base.backend(BackendSel::Portfolio)
+                .workers(3)
+                .resolved_workers(),
+            3
+        );
+    }
+
+    #[test]
+    fn scenario_budget_defaults_to_registry_recommendation() {
+        let req = VerificationRequest::scenario("chain-4").backend(BackendSel::Symbolic);
+        let (_, name, recommended) = req.resolve().unwrap();
+        assert_eq!(name.as_deref(), Some("chain-4"));
+        let limits = req.limits(recommended, CancelToken::new(), None);
+        assert_eq!(
+            limits.max_states,
+            registry::by_name("chain-4").unwrap().recommended_budget
+        );
+        // An explicit budget wins.
+        let req = req.max_states(123);
+        assert_eq!(
+            req.limits(recommended, CancelToken::new(), None).max_states,
+            123
+        );
+    }
+
+    #[test]
+    fn request_validation_errors() {
+        let unknown = VerificationRequest::scenario("no-such").run();
+        let Err(ApiError::UnknownScenario { name, listing }) = unknown else {
+            panic!("unknown scenario must fail: {unknown:?}");
+        };
+        assert_eq!(name, "no-such");
+        assert!(listing.contains("case-study"));
+
+        let mut none = VerificationRequest::scenario("case-study");
+        none.scenario = None;
+        assert_eq!(none.run().unwrap_err(), ApiError::NoSystem);
+
+        let mut both = VerificationRequest::scenario("case-study");
+        both.config = Some(LeaseConfig::case_study());
+        assert_eq!(both.run().unwrap_err(), ApiError::AmbiguousSystem);
+    }
+
+    #[test]
+    fn member_selection_follows_query_applicability() {
+        let req = VerificationRequest::scenario("case-study").backend(BackendSel::Portfolio);
+        assert_eq!(req.members().len(), 4);
+        let req = req.query(Query::LocationReach { targets: vec![] });
+        assert_eq!(req.members(), vec![Concrete::Symbolic]);
+        let req = req.query(Query::ConditionCheck);
+        assert_eq!(req.members(), vec![Concrete::Analytic]);
+        // Auto picks one backend per query.
+        let auto = VerificationRequest::scenario("case-study").backend(BackendSel::Auto);
+        assert_eq!(auto.members(), vec![Concrete::Symbolic]);
+        assert_eq!(
+            auto.query(Query::ConditionCheck).members(),
+            vec![Concrete::Analytic]
+        );
+    }
+
+    #[test]
+    fn analytic_condition_check_is_arm_independent() {
+        for leased in [true, false] {
+            let report = VerificationRequest::config(LeaseConfig::case_study())
+                .leased(leased)
+                .query(Query::ConditionCheck)
+                .backend(BackendSel::Analytic)
+                .run()
+                .unwrap();
+            assert_eq!(report.verdict, Verdict::Safe, "leased={leased}");
+            assert_eq!(report.winner.as_deref(), Some("analytic"));
+        }
+        // On PteSafety the same backend only concludes for the leased arm.
+        let baseline = VerificationRequest::config(LeaseConfig::case_study())
+            .leased(false)
+            .backend(BackendSel::Analytic)
+            .run()
+            .unwrap();
+        assert!(!baseline.verdict.is_conclusive(), "{:?}", baseline.verdict);
+    }
+
+    #[test]
+    fn montecarlo_can_only_falsify() {
+        // The unleased case study violates PTE under sampled loss…
+        let baseline = VerificationRequest::config(LeaseConfig::case_study())
+            .leased(false)
+            .backend(BackendSel::MonteCarlo)
+            .trials(24)
+            .run()
+            .unwrap();
+        assert_eq!(baseline.verdict, Verdict::Unsafe, "{baseline}");
+        assert!(baseline.witness.as_deref().unwrap().starts_with("seed "));
+        // …and the same sampler on the leased arm stays inconclusive:
+        // zero violations are evidence, not proof.
+        let leased = VerificationRequest::config(LeaseConfig::case_study())
+            .leased(true)
+            .backend(BackendSel::MonteCarlo)
+            .trials(8)
+            .run()
+            .unwrap();
+        assert!(
+            matches!(
+                leased.verdict,
+                Verdict::Inconclusive(Inconclusive::Unknown(_))
+            ),
+            "{:?}",
+            leased.verdict
+        );
+    }
+
+    #[test]
+    fn verdict_status_vocabulary() {
+        assert_eq!(Verdict::Safe.status(), "safe");
+        assert_eq!(Verdict::Unsafe.status(), "unsafe");
+        assert_eq!(
+            Verdict::Inconclusive(Inconclusive::Error("x".into())).status(),
+            "error"
+        );
+        assert_eq!(
+            Verdict::Inconclusive(Inconclusive::Cancelled).status(),
+            "inconclusive"
+        );
+        assert_eq!(
+            Verdict::Inconclusive(Inconclusive::Budget("b".into())).status(),
+            "inconclusive"
+        );
+    }
+}

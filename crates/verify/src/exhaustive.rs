@@ -16,8 +16,11 @@ use pte_hybrid::{Root, Time};
 use pte_sim::driver::ScriptedDriver;
 use pte_sim::executor::{Executor, ExecutorConfig};
 use pte_sim::network::{Channel, Delivery, DropReason, Message, NetworkBridge};
+use pte_zones::{CancelToken, Progress, ProgressFn};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One counter-example (never expected for valid configurations).
 #[derive(Clone, Debug)]
@@ -49,14 +52,21 @@ pub struct ExplorationResult {
     /// Any entry poisons [`ExplorationResult::all_safe`]: a run that
     /// could not execute must never count as a safe run.
     pub errors: Vec<String>,
+    /// `true` when a [`CancelToken`] ended the exploration before every
+    /// assignment ran. A cancelled exploration is *partial*: any
+    /// violations it did find are real, but the absence of violations
+    /// proves nothing, so cancellation poisons
+    /// [`ExplorationResult::all_safe`] too.
+    pub cancelled: bool,
 }
 
 impl ExplorationResult {
     /// `true` if every explored assignment executed *and* satisfied the
     /// PTE rules. Infrastructure errors make this `false` — a broken
-    /// build is not a verified one.
+    /// build is not a verified one — and so does cancellation, because
+    /// a partial enumeration is not an enumeration.
     pub fn all_safe(&self) -> bool {
-        self.violations.is_empty() && self.errors.is_empty()
+        self.violations.is_empty() && self.errors.is_empty() && !self.cancelled
     }
 
     /// `true` when the requested depth was clamped to [`MAX_DEPTH`] and
@@ -70,7 +80,7 @@ impl fmt::Display for ExplorationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} runs at depth {}{}: {}",
+            "{} runs at depth {}{}{}: {}",
             self.runs,
             self.depth,
             if self.truncated() {
@@ -80,6 +90,11 @@ impl fmt::Display for ExplorationResult {
                 )
             } else {
                 String::new()
+            },
+            if self.cancelled {
+                " (CANCELLED; enumeration incomplete)"
+            } else {
+                ""
             },
             match (self.violations.is_empty(), self.errors.is_empty()) {
                 (true, true) => "all PTE-safe".to_string(),
@@ -141,7 +156,7 @@ impl Channel for SharedScript {
 /// are **errors**, never silently treated as safe runs: the old
 /// `Executor::new(..).ok()?` here once turned a broken build into a
 /// clean verification verdict.
-fn run_assignment(
+pub(crate) fn run_assignment(
     cfg: &LeaseConfig,
     leased: bool,
     mask: u64,
@@ -226,12 +241,41 @@ pub fn explore(
     depth: usize,
     cancel_mid_emission: bool,
 ) -> ExplorationResult {
+    explore_with(cfg, leased, depth, cancel_mid_emission, None, None)
+}
+
+/// [`explore`] with cooperative cancellation and streaming progress.
+///
+/// * `cancel` — polled by every worker between runs: once fired, the
+///   exploration stops within one assignment per worker and the result
+///   comes back with [`ExplorationResult::cancelled`] set (which
+///   poisons `all_safe`; violations already found are still reported).
+/// * `progress` — invoked by one designated worker between its own
+///   assignments: [`Progress::settled`] counts completed runs,
+///   [`Progress::frontier`] the assignments still to execute.
+///
+/// Violations are returned in `(mask, default_drop)` order, so the
+/// first entry — and hence any witness derived from it — is
+/// deterministic regardless of worker scheduling.
+pub fn explore_with(
+    cfg: &LeaseConfig,
+    leased: bool,
+    depth: usize,
+    cancel_mid_emission: bool,
+    cancel: Option<&CancelToken>,
+    progress: Option<&ProgressFn>,
+) -> ExplorationResult {
     let requested_depth = depth;
     let depth = clamp_depth(requested_depth);
     let total: u64 = 1 << depth;
     let violations: Mutex<Vec<CounterExample>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let runs = Mutex::new(0usize);
+    let runs = AtomicUsize::new(0);
+    // Set only when a worker abandons unfinished work because the token
+    // fired — a token that fires after the last run completes leaves a
+    // *complete* enumeration, which must not be reported as truncated.
+    let stopped_early = AtomicBool::new(false);
+    let started = Instant::now();
 
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -242,10 +286,30 @@ pub fn explore(
             let violations = &violations;
             let errors = &errors;
             let runs = &runs;
+            let stopped_early = &stopped_early;
             scope.spawn(move |_| {
-                let mut local_runs = 0usize;
+                let mut round = 0usize;
                 let mut mask = w as u64;
                 'masks: while mask < total {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        stopped_early.store(true, Ordering::Release);
+                        break 'masks;
+                    }
+                    // One designated worker streams progress; the
+                    // others just run. Observational only, so the
+                    // verdict stays deterministic.
+                    if w == 0 {
+                        if let Some(report) = progress {
+                            let settled = runs.load(Ordering::Relaxed);
+                            report(&Progress {
+                                round,
+                                settled,
+                                frontier: (total as usize * 2).saturating_sub(settled),
+                                elapsed: started.elapsed(),
+                            });
+                        }
+                        round += 1;
+                    }
                     for default_drop in [false, true] {
                         match run_assignment(
                             cfg,
@@ -255,9 +319,11 @@ pub fn explore(
                             default_drop,
                             cancel_mid_emission,
                         ) {
-                            Ok(None) => local_runs += 1,
+                            Ok(None) => {
+                                runs.fetch_add(1, Ordering::Relaxed);
+                            }
                             Ok(Some(report)) => {
-                                local_runs += 1;
+                                runs.fetch_add(1, Ordering::Relaxed);
                                 violations.lock().push(CounterExample {
                                     mask,
                                     default_drop,
@@ -278,18 +344,20 @@ pub fn explore(
                     }
                     mask += n_workers as u64;
                 }
-                *runs.lock() += local_runs;
             });
         }
     })
     .expect("worker panicked");
 
+    let mut violations = violations.into_inner();
+    violations.sort_by_key(|v| (v.mask, v.default_drop));
     ExplorationResult {
         runs: runs.into_inner(),
         depth,
         requested_depth,
-        violations: violations.into_inner(),
+        violations,
         errors: errors.into_inner(),
+        cancelled: stopped_early.into_inner(),
     }
 }
 
@@ -364,8 +432,7 @@ mod tests {
             runs: 2 << MAX_DEPTH,
             depth: MAX_DEPTH,
             requested_depth: 25,
-            violations: Vec::new(),
-            errors: Vec::new(),
+            ..ExplorationResult::default()
         };
         assert!(truncated.truncated());
         let text = format!("{truncated}");
@@ -395,8 +462,8 @@ mod tests {
             runs: 8,
             depth: 2,
             requested_depth: 2,
-            violations: Vec::new(),
             errors: vec!["mask 0b0 default_drop=false: executor construction failed".into()],
+            ..ExplorationResult::default()
         };
         assert!(!result.all_safe());
         let text = format!("{result}");

@@ -29,19 +29,31 @@
 //! | `exhaustive`   | one concrete run   | all `2^k` prefixes  | bounded proof    |
 //! | `adversary`    | one concrete run   | targeted strategies | falsification    |
 //! | `symbolic`     | all (dense time)   | all (unbounded)     | proof            |
+//!
+//! The [`api`] module is the one front door over all of them: a
+//! [`VerificationRequest`] (scenario-or-config × query × backend
+//! selection × unified budget) returns one [`VerificationReport`],
+//! with portfolio racing, cooperative cancellation, and streaming
+//! progress.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod api;
 pub mod exhaustive;
 pub mod montecarlo;
 pub mod report;
 pub mod symbolic;
 
 pub use adversary::{run_with_adversary, Adversary};
-pub use exhaustive::{explore, ExplorationResult};
+pub use api::{
+    ApiError, BackendSel, BackendStats, Budget, Inconclusive, ProgressSink, Query, Verdict,
+    VerificationReport, VerificationRequest,
+};
+pub use exhaustive::{explore, explore_with, ExplorationResult};
 pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};
+pub use pte_zones::{CancelToken, Progress, ProgressFn};
 pub use symbolic::{
     cross_check, cross_check_with, verify_symbolic, verify_symbolic_with, CrossCheck,
     Extrapolation, Limits, SymbolicOutcome, TrippedLimit,

@@ -1,0 +1,301 @@
+//! Integration gates of the unified `pte_verify::api` front door:
+//! cooperative cancellation (prompt, never a spurious verdict, at every
+//! worker count), portfolio racing (the report is byte-identical to
+//! the winning backend's own output — losers never leak), query
+//! routing, and serde round-trips of requests and reports.
+
+use proptest::prelude::*;
+use pte_verify::api::{
+    ApiError, BackendSel, Budget, Inconclusive, Query, Verdict, VerificationReport,
+    VerificationRequest,
+};
+use pte_verify::{CancelToken, Progress, ProgressSink};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A progress sink that fires `token` once `cancel_round` is reached
+/// and records the highest round it ever observed.
+fn cancelling_sink(
+    token: CancelToken,
+    cancel_round: usize,
+    max_seen: Arc<AtomicUsize>,
+) -> ProgressSink {
+    Arc::new(move |_backend: &str, p: &Progress| {
+        max_seen.fetch_max(p.round, Ordering::Relaxed);
+        if p.round >= cancel_round {
+            token.cancel();
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A `CancelToken` fired mid-search stops the symbolic engine
+    /// within one BFS layer — the progress stream ends at the round
+    /// that fired — and the verdict is `Inconclusive(Cancelled)`,
+    /// never a spurious `Safe`/`Unsafe`, at 1/2/4/8 workers alike.
+    #[test]
+    fn cancellation_is_prompt_and_never_a_verdict(cancel_round in 0usize..5) {
+        for workers in [1usize, 2, 4, 8] {
+            let token = CancelToken::new();
+            let max_seen = Arc::new(AtomicUsize::new(0));
+            let sink = cancelling_sink(token.clone(), cancel_round, max_seen.clone());
+            let report = VerificationRequest::scenario("case-study")
+                .leased(true)
+                .backend(BackendSel::Symbolic)
+                .workers(workers)
+                .run_with(&token, Some(sink))
+                .expect("case-study resolves");
+            prop_assert_eq!(
+                &report.verdict,
+                &Verdict::Inconclusive(Inconclusive::Cancelled),
+                "workers={}: {}", workers, report
+            );
+            prop_assert!(!report.verdict.is_conclusive());
+            // Within one layer: the engine honours the token at the
+            // very boundary whose snapshot fired it, so no later round
+            // is ever explored (or reported).
+            let seen = max_seen.load(Ordering::Relaxed);
+            prop_assert_eq!(
+                seen, cancel_round,
+                "workers={}: cancellation at round {} must not run past it (saw {})",
+                workers, cancel_round, seen
+            );
+            let stats = report.backend("symbolic").expect("symbolic ran");
+            prop_assert!(stats.cancelled);
+            prop_assert_eq!(stats.tripped.as_deref(), Some("cancellation token"));
+            // A cancelled search is truncated mid-flight: its frontier
+            // is still populated.
+            prop_assert!(stats.frontier > 0, "workers={}", workers);
+        }
+    }
+}
+
+/// On every registry scenario with N ≤ 3 (both arms), the portfolio's
+/// verdict and witness are byte-identical to running the winning
+/// backend alone with the same budget: losers' partial output never
+/// leaks into the report.
+#[test]
+fn portfolio_report_is_byte_identical_to_the_winner_alone() {
+    for s in pte_tracheotomy::registry::registry() {
+        if s.n > 3 {
+            continue;
+        }
+        for leased in [true, false] {
+            let budget = Budget {
+                depth: Some(4),
+                trials: Some(12),
+                ..Budget::default()
+            };
+            let portfolio = VerificationRequest::scenario(&s.name)
+                .leased(leased)
+                .backend(BackendSel::Portfolio)
+                .budget(budget.clone())
+                .run()
+                .expect("registry scenario resolves");
+            assert!(
+                portfolio.verdict.is_conclusive(),
+                "{} (leased={leased}): portfolio must conclude: {portfolio}",
+                s.name
+            );
+            let winner = portfolio
+                .winner
+                .clone()
+                .expect("a conclusive portfolio names its winner");
+            let solo_sel = match winner.as_str() {
+                "analytic" => BackendSel::Analytic,
+                "exhaustive" => BackendSel::Exhaustive,
+                "montecarlo" => BackendSel::MonteCarlo,
+                "symbolic" => BackendSel::Symbolic,
+                other => panic!("unknown winner `{other}`"),
+            };
+            let solo = VerificationRequest::scenario(&s.name)
+                .leased(leased)
+                .backend(solo_sel)
+                .budget(budget)
+                .run()
+                .expect("registry scenario resolves");
+            assert_eq!(
+                portfolio.verdict, solo.verdict,
+                "{} (leased={leased}, winner={winner})",
+                s.name
+            );
+            assert_eq!(
+                portfolio.witness, solo.witness,
+                "{} (leased={leased}, winner={winner}): witnesses must be byte-identical",
+                s.name
+            );
+            // The top-level fields are the winner's alone.
+            let wstats = portfolio.backend(&winner).expect("winner stats present");
+            assert_eq!(portfolio.witness, wstats.witness);
+            assert_eq!(portfolio.tripped, wstats.tripped);
+            // The winner itself ran to completion.
+            assert!(!wstats.cancelled, "{} (leased={leased})", s.name);
+            // Report order is the fixed member order, not finish order.
+            let order: Vec<&str> = portfolio
+                .backends
+                .iter()
+                .map(|b| b.backend.as_str())
+                .collect();
+            assert_eq!(
+                order,
+                vec!["analytic", "exhaustive", "montecarlo", "symbolic"],
+                "{} (leased={leased})",
+                s.name
+            );
+        }
+    }
+}
+
+/// Portfolio losers are cancelled: once the winner decides, every
+/// other backend's progress stream stops and its stats say so.
+#[test]
+fn portfolio_cancels_losing_backends() {
+    // The leased case study: the analytic backend wins in microseconds
+    // while the symbolic proof takes tens of milliseconds — the
+    // symbolic racer must be cancelled mid-search, observably.
+    let report = VerificationRequest::scenario("case-study")
+        .leased(true)
+        .backend(BackendSel::Portfolio)
+        .trials(12)
+        .run()
+        .expect("case-study resolves");
+    assert_eq!(report.verdict, Verdict::Safe);
+    assert_eq!(report.winner.as_deref(), Some("analytic"));
+    let cancelled: Vec<&str> = report
+        .backends
+        .iter()
+        .filter(|b| b.cancelled)
+        .map(|b| b.backend.as_str())
+        .collect();
+    assert!(
+        !cancelled.is_empty(),
+        "at least one losing backend must observe the cancellation: {report}"
+    );
+    for b in &report.backends {
+        if b.cancelled {
+            assert_eq!(
+                b.verdict,
+                Verdict::Inconclusive(Inconclusive::Cancelled),
+                "{}: a cancelled loser must not claim a verdict",
+                b.backend
+            );
+        }
+    }
+}
+
+/// `LocationReach` routes to the symbolic engine: a reachable target
+/// yields `Unsafe` with a witness trace, an unknown automaton an
+/// in-band backend error.
+#[test]
+fn location_reach_routes_to_the_symbolic_engine() {
+    let reach = |targets: Vec<(String, String)>| {
+        VerificationRequest::scenario("case-study")
+            .leased(true)
+            .query(Query::LocationReach { targets })
+            .backend(BackendSel::Auto)
+            .run()
+            .expect("case-study resolves")
+    };
+    let hit = reach(vec![("participant1".into(), "Risky Core".into())]);
+    assert_eq!(hit.verdict, Verdict::Unsafe, "{hit}");
+    assert_eq!(hit.winner.as_deref(), Some("symbolic"));
+    assert!(
+        hit.witness.as_deref().unwrap().contains("Risky Core"),
+        "{:?}",
+        hit.witness
+    );
+
+    let bogus = reach(vec![("no-such-automaton".into(), "x".into())]);
+    assert!(
+        matches!(bogus.verdict, Verdict::Inconclusive(Inconclusive::Error(_))),
+        "{:?}",
+        bogus.verdict
+    );
+}
+
+/// Requests and reports round-trip through the vendored serde — the
+/// wire contract a service layer builds on.
+#[test]
+fn requests_and_reports_serde_round_trip() {
+    let request = VerificationRequest::scenario("chain-3")
+        .leased(false)
+        .backend(BackendSel::Portfolio)
+        .query(Query::LocationReach {
+            targets: vec![("participant1".into(), "Risky Core".into())],
+        })
+        .max_states(12_345)
+        .workers(2)
+        .depth(5)
+        .trials(7)
+        .max_wall_ms(9_000);
+    let json = serde_json::to_string(&request).expect("request serializes");
+    let back: VerificationRequest = serde_json::from_str(&json).expect("request parses");
+    assert_eq!(request, back);
+
+    let report = VerificationRequest::scenario("case-study")
+        .leased(true)
+        .backend(BackendSel::Analytic)
+        .run()
+        .expect("case-study resolves");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: VerificationReport = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(report, back);
+
+    // Errors are serializable too (they cross the same wire).
+    let err = VerificationRequest::scenario("no-such").run().unwrap_err();
+    let json = serde_json::to_string(&err).expect("error serializes");
+    let back: ApiError = serde_json::from_str(&json).expect("error parses");
+    assert_eq!(err, back);
+}
+
+/// Release-mode overhead probe (ignored in tier-1 — wall-clock
+/// assertions belong on a quiet machine):
+///
+/// ```sh
+/// cargo test --release -p pte-verify --test api -- --ignored --nocapture
+/// ```
+///
+/// Prints portfolio-vs-symbolic wall times on the case study, both
+/// arms, and asserts the acceptance bound: the portfolio — which races
+/// the symbolic engine against three other backends and cancels the
+/// losers — is never slower than the symbolic backend alone by more
+/// than 10% (plus a 10 ms floor for thread-spawn noise on loaded CI
+/// boxes).
+#[test]
+#[ignore]
+fn portfolio_overhead_stays_within_ten_percent_of_symbolic() {
+    for leased in [true, false] {
+        let symbolic = VerificationRequest::scenario("case-study")
+            .leased(leased)
+            .backend(BackendSel::Symbolic)
+            .workers(0)
+            .run()
+            .expect("case-study resolves");
+        let portfolio = VerificationRequest::scenario("case-study")
+            .leased(leased)
+            .backend(BackendSel::Portfolio)
+            .run()
+            .expect("case-study resolves");
+        assert!(portfolio.verdict.is_conclusive(), "{portfolio}");
+        println!(
+            "leased={leased}: symbolic {:.1} ms, portfolio {:.1} ms (winner {})",
+            symbolic.wall_ms,
+            portfolio.wall_ms,
+            portfolio.winner.as_deref().unwrap_or("-")
+        );
+        for b in &portfolio.backends {
+            println!(
+                "    {}: {} {:.1} ms cancelled={}",
+                b.backend, b.verdict, b.wall_ms, b.cancelled
+            );
+        }
+        assert!(
+            portfolio.wall_ms <= symbolic.wall_ms * 1.1 + 10.0,
+            "leased={leased}: portfolio {:.1} ms vs symbolic {:.1} ms",
+            portfolio.wall_ms,
+            symbolic.wall_ms
+        );
+    }
+}

@@ -1,24 +1,24 @@
-//! Acceptance gates of the scenario registry: every backend consumes
-//! the same named scenarios, the symbolic engine proves the N = 4
-//! lease chain, and the backends agree wherever tier-1 time permits
-//! (the full matrix — including `chain-5`/`chain-6` — is the
-//! `campaign` binary's job; these tests pin the fast core of it).
+//! Acceptance gates of the scenario registry, driven through the
+//! unified [`pte_verify::api`] front door: every backend consumes the
+//! same named scenarios, the symbolic engine proves the N = 4 lease
+//! chain, and the backends agree wherever tier-1 time permits (the
+//! full matrix — including `chain-5`/`chain-6` — is the `campaign`
+//! binary's job; these tests pin the fast core of it).
 
 use pte_tracheotomy::registry;
-use pte_verify::exhaustive::explore;
-use pte_verify::{verify_symbolic_with, Limits, SymbolicOutcome};
-use pte_zones::SymbolicVerdict;
+use pte_verify::{BackendSel, Verdict, VerificationRequest};
 
-fn limits(max_states: usize) -> Limits {
-    Limits {
-        max_states,
-        // Two workers: verdicts are bit-identical at every count (the
-        // engine's determinism guarantee, pinned by
-        // `crates/zones/tests/parallel.rs`), so tests may as well use
-        // both vCPUs of the CI container.
-        max_workers: 2,
-        ..Limits::default()
-    }
+/// A symbolic request against a registry scenario with the test-wide
+/// budget. Two workers: verdicts are bit-identical at every count (the
+/// engine's determinism guarantee, pinned by
+/// `crates/zones/tests/parallel.rs`), so tests may as well use both
+/// vCPUs of the CI container.
+fn symbolic(scenario: &str, leased: bool, max_states: usize) -> VerificationRequest {
+    VerificationRequest::scenario(scenario)
+        .leased(leased)
+        .backend(BackendSel::Symbolic)
+        .max_states(max_states)
+        .workers(2)
 }
 
 /// The headline scale gate: the symbolic backend proves the 4-device
@@ -27,28 +27,34 @@ fn limits(max_states: usize) -> Limits {
 /// trace.
 #[test]
 fn chain_4_proved_safe_and_baseline_falsified() {
-    let s = registry::by_name("chain-4").expect("chain-4 registered");
-    let proof = verify_symbolic_with(&s.config, true, &limits(80_000)).expect("chain-4 lowers");
-    let SymbolicVerdict::Safe(stats) = &proof else {
-        panic!("chain-4 leased must be safe, got {proof}");
-    };
+    let proof = symbolic("chain-4", true, 80_000)
+        .run()
+        .expect("chain-4 registered");
+    assert_eq!(proof.verdict, Verdict::Safe, "chain-4 leased: {proof}");
+    let stats = proof.backend("symbolic").expect("symbolic ran");
     assert!(stats.states > 50_000, "N=4 must exercise scale: {proof}");
 
-    let baseline = verify_symbolic_with(&s.config, false, &limits(80_000)).expect("lowers");
-    let SymbolicVerdict::Unsafe(ce) = baseline else {
-        panic!("chain-4 baseline must be falsified, got {baseline}");
-    };
-    assert!(ce.steps.len() > 1, "witness must be a real trace:\n{ce}");
-    assert!(!ce.zone.is_empty(), "witness zone must be rendered");
+    let baseline = symbolic("chain-4", false, 80_000).run().expect("resolves");
+    assert_eq!(baseline.verdict, Verdict::Unsafe, "{baseline}");
+    let ce = baseline
+        .witness
+        .as_deref()
+        .expect("falsification carries a witness");
+    assert!(
+        ce.lines().count() > 2,
+        "witness must be a real trace:\n{ce}"
+    );
+    assert!(ce.contains("zone:"), "witness zone must be rendered:\n{ce}");
 }
 
 /// Cross-backend agreement on the fast registry scenarios (N ≤ 3 plus
-/// the stress variant), both arms: analytic c1–c7 says the leased arm
-/// is safe, the symbolic engine proves it, the bounded-exhaustive
-/// explorer confirms it at depth 4 — and all three flip on the
-/// baseline (c1–c7 does not apply to the lease-stripped arm, but
-/// symbolic + exhaustive both falsify it). `chain-4` has its own gate
-/// above; `chain-5`/`chain-6` are campaign territory (25 s / 170 s
+/// the stress variant), both arms, all through the one front door:
+/// analytic c1–c7 says the leased arm is safe (Theorem 1), the
+/// symbolic engine proves it, the bounded-exhaustive explorer confirms
+/// it at depth 4 — and symbolic + exhaustive both falsify the baseline
+/// (the analytic backend is conservative there and must report
+/// inconclusive, never a verdict). `chain-4` has its own gate above;
+/// `chain-5`/`chain-6` are campaign territory (25 s / 170 s
 /// release-mode proofs).
 #[test]
 fn fast_registry_scenarios_agree_across_backends() {
@@ -56,23 +62,51 @@ fn fast_registry_scenarios_agree_across_backends() {
         if s.n > 3 {
             continue;
         }
-        let analytic_ok = pte_core::pattern::check_conditions(&s.config).is_satisfied();
-        assert!(analytic_ok, "{}: registry scenarios satisfy c1–c7", s.name);
-
         for leased in [true, false] {
-            let verdict = verify_symbolic_with(&s.config, leased, &limits(80_000))
+            let request = symbolic(&s.name, leased, 80_000);
+            let analytic = request
+                .clone()
+                .backend(BackendSel::Analytic)
+                .run()
                 .unwrap_or_else(|e| panic!("{} (leased={leased}): {e}", s.name));
-            let outcome = SymbolicOutcome::from(&verdict);
-            let expected = if leased {
-                SymbolicOutcome::Safe
+            if leased {
+                assert_eq!(
+                    analytic.verdict,
+                    Verdict::Safe,
+                    "{}: registry scenarios satisfy c1–c7, so Theorem 1 applies",
+                    s.name
+                );
             } else {
-                SymbolicOutcome::Unsafe
-            };
-            assert_eq!(outcome, expected, "{} (leased={leased}): {verdict}", s.name);
+                assert!(
+                    !analytic.verdict.is_conclusive(),
+                    "{}: the analytic backend must not judge the baseline: {:?}",
+                    s.name,
+                    analytic.verdict
+                );
+            }
 
-            let exhaustive = explore(&s.config, leased, 4, false);
+            let symbolic = request
+                .run()
+                .unwrap_or_else(|e| panic!("{} (leased={leased}): {e}", s.name));
+            let expected = if leased {
+                Verdict::Safe
+            } else {
+                Verdict::Unsafe
+            };
             assert_eq!(
-                exhaustive.all_safe(),
+                symbolic.verdict, expected,
+                "{} (leased={leased}): {symbolic}",
+                s.name
+            );
+
+            let exhaustive = request
+                .clone()
+                .backend(BackendSel::Exhaustive)
+                .depth(4)
+                .run()
+                .unwrap_or_else(|e| panic!("{} (leased={leased}): {e}", s.name));
+            assert_eq!(
+                exhaustive.verdict == Verdict::Safe,
                 leased,
                 "{} (leased={leased}): exhaustive disagrees: {exhaustive}",
                 s.name

@@ -83,8 +83,8 @@ pub use monitor::{
     PteMonitor, TransitionCtx, ViolationKind,
 };
 pub use reach::{
-    check, check_monitored, Extrapolation, Limits, SearchStats, SymbolicCounterExample,
-    SymbolicVerdict, TrippedLimit,
+    check, check_monitored, CancelToken, Extrapolation, Limits, Progress, ProgressFn, SearchStats,
+    SymbolicCounterExample, SymbolicVerdict, TrippedLimit,
 };
 pub use ta::LuBounds;
 

@@ -115,8 +115,60 @@ use parking_lot::{Mutex, RwLock};
 use pte_hybrid::Root;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle: a cheaply clonable flag the engine
+/// polls at every BFS round boundary (and the exhaustive explorer polls
+/// between runs). Firing it turns the search into an
+/// [`SymbolicVerdict::OutOfBudget`] with [`TrippedLimit::Cancelled`]
+/// within one layer — a cancelled search never reports `Safe` or
+/// `Unsafe`, so cancellation can only lose work, never soundness.
+///
+/// Clones share the flag: cancel any clone and every holder observes it.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// One progress snapshot, emitted through [`Limits::progress`] at every
+/// BFS round boundary (and by the exhaustive explorer between batches
+/// of runs). Observational only: the callback cannot influence the
+/// verdict except by firing a [`CancelToken`].
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// BFS round (zone engine) or reporting tick (exhaustive explorer).
+    pub round: usize,
+    /// Settled symbolic states so far (zone engine) or completed runs
+    /// (exhaustive explorer).
+    pub settled: usize,
+    /// Frontier states awaiting expansion (zone engine) or runs still
+    /// to execute (exhaustive explorer).
+    pub frontier: usize,
+    /// Wall-clock time since the search started.
+    pub elapsed: Duration,
+}
+
+/// Shared, thread-safe progress callback (the engine invokes it from
+/// the coordinator thread only; the exhaustive explorer from one
+/// designated worker).
+pub type ProgressFn = Arc<dyn Fn(&Progress) + Send + std::marker::Sync>;
 
 /// A symbolic counter-example: an interleaving of discrete actions
 /// (with explicit drop/deliver fates) whose zone contains at least one
@@ -175,6 +227,10 @@ pub enum TrippedLimit {
     MaxStates(usize),
     /// [`Limits::max_wall`] was exceeded (carries the budget).
     WallClock(Duration),
+    /// [`Limits::cancel`] was fired mid-search (cooperative
+    /// cancellation, e.g. by a portfolio race that already has a
+    /// conclusive verdict from another backend).
+    Cancelled,
 }
 
 impl fmt::Display for TrippedLimit {
@@ -184,6 +240,7 @@ impl fmt::Display for TrippedLimit {
             TrippedLimit::WallClock(d) => {
                 write!(f, "wall-clock budget ({:.3} s)", d.as_secs_f64())
             }
+            TrippedLimit::Cancelled => write!(f, "cancellation token"),
         }
     }
 }
@@ -260,19 +317,30 @@ pub enum Extrapolation {
 }
 
 /// Exploration limits and engine knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct Limits {
     /// Maximum number of settled symbolic states.
     pub max_states: usize,
-    /// Worker threads for the parallel exploration; `1` explores on the
-    /// calling thread, `0` means one worker per available CPU. The
-    /// verdict is identical for every value.
+    /// Worker threads for the parallel exploration; `1` (the library
+    /// default) explores on the calling thread — fully reproducible
+    /// single-core cost — while `0` means one worker per available CPU
+    /// (what `pte_verify::api` resolves `Auto`/`Portfolio` requests to,
+    /// so the front door is fast out of the box). The verdict is
+    /// identical for every value.
     pub max_workers: usize,
     /// Optional wall-clock budget, checked at round boundaries. `None`
     /// (the default) never trips, keeping verdicts fully deterministic.
     pub max_wall: Option<Duration>,
     /// Extrapolation operator (see [`Extrapolation`]).
     pub extrapolation: Extrapolation,
+    /// Optional cooperative cancellation token, polled at every BFS
+    /// round boundary: once fired, the search returns
+    /// [`SymbolicVerdict::OutOfBudget`] with [`TrippedLimit::Cancelled`]
+    /// within one layer.
+    pub cancel: Option<CancelToken>,
+    /// Optional progress callback, invoked at every BFS round boundary
+    /// with settled/frontier counts and elapsed wall time.
+    pub progress: Option<ProgressFn>,
 }
 
 impl Default for Limits {
@@ -282,7 +350,22 @@ impl Default for Limits {
             max_workers: 1,
             max_wall: None,
             extrapolation: Extrapolation::default(),
+            cancel: None,
+            progress: None,
         }
+    }
+}
+
+impl fmt::Debug for Limits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Limits")
+            .field("max_states", &self.max_states)
+            .field("max_workers", &self.max_workers)
+            .field("max_wall", &self.max_wall)
+            .field("extrapolation", &self.extrapolation)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .finish()
     }
 }
 
@@ -788,7 +871,33 @@ impl Engine<'_> {
         }
         let mut frontier = self.admit_phase(sync, helpers, &mut stats, &mut pool);
 
+        let mut round = 0usize;
         loop {
+            // Round boundary: publish a progress snapshot, then honour a
+            // fired cancellation token *before* any verdict — a search
+            // cancelled mid-flight must never settle into `Safe`, even
+            // when the frontier happens to drain on the same boundary.
+            if let Some(report) = &limits.progress {
+                report(&Progress {
+                    round,
+                    settled: stats.states,
+                    frontier: frontier.len(),
+                    elapsed: started.elapsed(),
+                });
+            }
+            round += 1;
+            if limits
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+            {
+                stats.frontier = frontier.len();
+                self.fold_passed_bytes(&mut stats);
+                return SymbolicVerdict::OutOfBudget {
+                    stats,
+                    tripped: TrippedLimit::Cancelled,
+                };
+            }
             if frontier.is_empty() {
                 stats.frontier = 0;
                 self.fold_passed_bytes(&mut stats);

@@ -15,8 +15,8 @@ fn limits(workers: usize, extrapolation: Extrapolation, max_states: usize) -> Li
     Limits {
         max_states,
         max_workers: workers,
-        max_wall: None,
         extrapolation,
+        ..Limits::default()
     }
 }
 

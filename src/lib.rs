@@ -15,7 +15,10 @@
 //! * [`core`] — the paper's contribution: PTE safety rules, lease design
 //!   pattern, conditions c1–c7, parameter synthesis, runtime monitor;
 //! * [`tracheotomy`] — the Section V laser tracheotomy case study;
-//! * [`verify`] — Monte-Carlo / exhaustive / adversarial verification;
+//! * [`verify`] — Monte-Carlo / exhaustive / adversarial verification,
+//!   plus the unified `verify::api` session layer (one
+//!   `VerificationRequest` front door over every backend, with
+//!   portfolio racing, cancellation, and streaming progress);
 //! * [`zones`] — symbolic zone-based (DBM) reachability: the fourth
 //!   verification backend — a property-agnostic engine plus a
 //!   safety-monitor layer — proving PTE safety (or any composed
@@ -53,8 +56,11 @@ pub mod prelude {
     pub use pte_sim::executor::{Executor, ExecutorConfig};
     pub use pte_sim::trace::Trace;
     pub use pte_tracheotomy::{scenario_by_name, scenario_registry, Scenario};
+    pub use pte_verify::api::{
+        BackendSel, BackendStats, Budget, Query, Verdict, VerificationReport, VerificationRequest,
+    };
     pub use pte_zones::{
-        check_lease_pattern, check_lease_pattern_with, check_monitored, Extrapolation, Limits,
-        Monitor, SymbolicVerdict,
+        check_lease_pattern, check_lease_pattern_with, check_monitored, CancelToken, Extrapolation,
+        Limits, Monitor, Progress, SymbolicVerdict,
     };
 }

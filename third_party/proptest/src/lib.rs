@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of proptest this workspace uses: the
-//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
 //! strategies for numeric ranges, tuples, `Just`, simple regex-like
 //! string patterns, `collection::vec`, the `prop_oneof!` /
 //! `proptest!` / `prop_assert*!` / `prop_assume!` macros, and
@@ -400,7 +400,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact count or a range.
+    /// Size specification for [`vec()`]: an exact count or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -432,7 +432,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
