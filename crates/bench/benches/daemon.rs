@@ -1,0 +1,124 @@
+//! Daemon dispatch latency: the same case-study safety proof measured
+//! in-process, through `pte-verifyd` cold, and through the daemon's
+//! report cache — quantifying what the service layer costs (socket +
+//! JSON framing + scheduling) and what it buys (a cache hit skips the
+//! zone search entirely).
+//!
+//! Besides the human-readable `bench:` lines, the run emits a
+//! machine-readable `BENCH_daemon.json` (path overridable via the
+//! `BENCH_DAEMON_JSON` env var) with the three latencies plus the
+//! derived dispatch overhead and cache speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pte_server::client::Client;
+use pte_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
+use pte_server::transport::Endpoint;
+use pte_verify::{BackendSel, Verdict, VerificationRequest};
+use std::thread;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+fn request() -> VerificationRequest {
+    VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic)
+}
+
+/// Boots a daemon on a unique Unix socket; returns endpoint, handle,
+/// and serving thread.
+fn boot(cache_capacity: usize, tag: &str) -> (Endpoint, DaemonHandle, thread::JoinHandle<()>) {
+    let endpoint = Endpoint::Unix(std::env::temp_dir().join(format!(
+        "pte-verifyd-bench-{}-{tag}.sock",
+        std::process::id()
+    )));
+    let daemon = Daemon::bind(&DaemonConfig {
+        endpoint: endpoint.clone(),
+        workers: 0,
+        cache_capacity,
+    })
+    .expect("bind bench daemon");
+    let handle = daemon.handle();
+    let serving = thread::spawn(move || daemon.run().expect("bench daemon run"));
+    (endpoint, handle, serving)
+}
+
+/// Best-of-N in-process latency — the floor the daemon adds overhead
+/// to.
+fn measure_in_process() -> f64 {
+    let req = request();
+    (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let report = req.run().expect("in-process run");
+            assert_eq!(report.verdict, Verdict::Safe);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Best-of-N cold submit→report latency (cache disabled, so every
+/// submit runs the search).
+fn measure_daemon_cold() -> f64 {
+    let (endpoint, handle, serving) = boot(0, "cold");
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let best = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let outcome = client.verify(&request()).expect("cold verify");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(!outcome.cached, "cache is disabled — every run is cold");
+            assert_eq!(outcome.report.verdict, Verdict::Safe);
+            ms
+        })
+        .fold(f64::INFINITY, f64::min);
+    handle.shutdown();
+    serving.join().expect("bench daemon thread");
+    best
+}
+
+/// Best-of-N cached submit→report latency (one cold run populates the
+/// entry, then every hit is a lookup).
+fn measure_daemon_cached() -> f64 {
+    let (endpoint, handle, serving) = boot(16, "cached");
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let cold = client.verify(&request()).expect("populating verify");
+    assert!(!cold.cached);
+    let best = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let outcome = client.verify(&request()).expect("cached verify");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(outcome.cached, "repeat submits must hit the cache");
+            assert_eq!(outcome.report.verdict, Verdict::Safe);
+            ms
+        })
+        .fold(f64::INFINITY, f64::min);
+    handle.shutdown();
+    serving.join().expect("bench daemon thread");
+    best
+}
+
+fn bench_daemon_latency(_c: &mut Criterion) {
+    let in_process_ms = measure_in_process();
+    let daemon_cold_ms = measure_daemon_cold();
+    let daemon_cached_ms = measure_daemon_cached();
+
+    println!("bench: daemon/in_process                                 {in_process_ms:.1} ms");
+    println!("bench: daemon/cold_submit                                {daemon_cold_ms:.1} ms");
+    println!("bench: daemon/cached_submit                              {daemon_cached_ms:.2} ms");
+
+    // A cache hit skips the whole search: it must beat the cold path
+    // outright (generously bounded so a loaded CI machine cannot flake
+    // this).
+    assert!(
+        daemon_cached_ms < daemon_cold_ms,
+        "cache hit ({daemon_cached_ms:.2} ms) must be faster than a cold run \
+         ({daemon_cold_ms:.1} ms)"
+    );
+
+    let path =
+        std::env::var("BENCH_DAEMON_JSON").unwrap_or_else(|_| "BENCH_daemon.json".to_string());
+    pte_bench::write_daemon_bench_json(&path, in_process_ms, daemon_cold_ms, daemon_cached_ms);
+}
+
+criterion_group!(benches, bench_daemon_latency);
+criterion_main!(benches);

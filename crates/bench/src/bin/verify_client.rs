@@ -1,0 +1,178 @@
+//! `pte-verify-client` — submit verification requests to a running
+//! `pte-verifyd`, render its streamed progress, and exit with the
+//! verdict.
+//!
+//! ```sh
+//! pte-verify-client --scenario case-study            # leased arm, symbolic
+//! pte-verify-client --scenario chain-4 --baseline    # lease-stripped arm
+//! pte-verify-client --scenario chain-3 --backend portfolio
+//! pte-verify-client --list                           # daemon's catalogue
+//! pte-verify-client --stats                          # scheduler/cache stats
+//! pte-verify-client --shutdown                       # graceful drain
+//! ```
+//!
+//! Connection flags: `--socket PATH` (default `/tmp/pte-verifyd.sock`)
+//! or `--tcp ADDR`. Request flags: `--baseline`, `--backend
+//! {analytic,exhaustive,montecarlo,symbolic,auto,portfolio}`,
+//! `--budget N` (symbolic state budget), `--workers N`, `--quiet`
+//! (suppress progress lines).
+//!
+//! Exit status mirrors the CLI conventions of `zprobe`: `0` for a
+//! `Safe` verdict (and for `--list`/`--stats`/`--shutdown`), `1` for
+//! `Unsafe`, `2` for usage, connection, and unknown-scenario errors
+//! (the daemon's diagnostic — "did you mean" suggestion included — is
+//! printed to stderr verbatim), `3` for an inconclusive verdict.
+
+use pte_bench::arg_value;
+use pte_server::client::Client;
+use pte_server::protocol::ServerFrame;
+use pte_server::transport::Endpoint;
+use pte_verify::{BackendSel, Verdict, VerificationRequest};
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().collect();
+    let endpoint = match arg_value(&args, "--tcp") {
+        Some(addr) => Endpoint::Tcp(addr),
+        None => Endpoint::Unix(PathBuf::from(
+            arg_value(&args, "--socket").unwrap_or_else(|| "/tmp/pte-verifyd.sock".to_string()),
+        )),
+    };
+    let mut client = match Client::connect(&endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pte-verify-client: cannot connect to {endpoint}: {e}");
+            return 2;
+        }
+    };
+
+    if args.iter().any(|a| a == "--list") {
+        return match client.list_scenarios() {
+            Ok(scenarios) => {
+                println!("available scenarios (from {endpoint}):");
+                for s in scenarios {
+                    println!("  {:<12} (N={}) — {}", s.name, s.n, s.description);
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("pte-verify-client: {e}");
+                2
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--stats") {
+        return match client.stats() {
+            Ok(s) => {
+                println!(
+                    "workers: {}/{} in use (peak {}), {} queued, {} active",
+                    s.workers_in_use, s.worker_budget, s.peak_workers_in_use, s.queued, s.active
+                );
+                println!(
+                    "requests: {} submitted, {} completed, {} cancelled",
+                    s.submitted, s.completed, s.cancelled
+                );
+                println!(
+                    "cache: {} entries, {} hits / {} misses, {} evictions",
+                    s.cache_entries, s.cache_hits, s.cache_misses, s.cache_evictions
+                );
+                println!("uptime: {:.1} s", s.uptime_ms / 1e3);
+                0
+            }
+            Err(e) => {
+                eprintln!("pte-verify-client: {e}");
+                2
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        return match client.shutdown() {
+            Ok(()) => {
+                println!("daemon at {endpoint} is draining");
+                0
+            }
+            Err(e) => {
+                eprintln!("pte-verify-client: {e}");
+                2
+            }
+        };
+    }
+
+    let name = arg_value(&args, "--scenario").unwrap_or_else(|| "case-study".to_string());
+    let backend = match arg_value(&args, "--backend").as_deref() {
+        None | Some("symbolic") => BackendSel::Symbolic,
+        Some("analytic") => BackendSel::Analytic,
+        Some("exhaustive") => BackendSel::Exhaustive,
+        Some("montecarlo") => BackendSel::MonteCarlo,
+        Some("auto") => BackendSel::Auto,
+        Some("portfolio") => BackendSel::Portfolio,
+        Some(other) => {
+            eprintln!("unknown backend `{other}`");
+            return 2;
+        }
+    };
+    let mut request = VerificationRequest::scenario(&name)
+        .leased(!args.iter().any(|a| a == "--baseline"))
+        .backend(backend);
+    if let Some(budget) = arg_value(&args, "--budget").and_then(|v| v.parse().ok()) {
+        request = request.max_states(budget);
+    }
+    if let Some(workers) = arg_value(&args, "--workers").and_then(|v| v.parse().ok()) {
+        request = request.workers(workers);
+    }
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let id = match client.submit(&request) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("pte-verify-client: {e}");
+            return 2;
+        }
+    };
+    let outcome = client.wait_report(id, |frame| {
+        if quiet {
+            return;
+        }
+        if let ServerFrame::Progress {
+            backend,
+            round,
+            settled,
+            frontier,
+            elapsed_ms,
+            ..
+        } = frame
+        {
+            eprintln!(
+                "  [{backend}] round {round}: {settled} settled, {frontier} frontier ({:.1} s)",
+                elapsed_ms / 1e3
+            );
+        }
+    });
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            // Unknown-scenario diagnostics (with the "did you mean"
+            // suggestion and the catalogue) arrive here.
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print!("{}", outcome.report);
+    println!(
+        "key: {}{}",
+        outcome.key,
+        if outcome.cached { " (cached)" } else { "" }
+    );
+    if let Some(witness) = &outcome.report.witness {
+        println!("witness:\n{witness}");
+    }
+    match outcome.report.verdict {
+        Verdict::Safe => 0,
+        Verdict::Unsafe => 1,
+        Verdict::Inconclusive(_) => 3,
+    }
+}

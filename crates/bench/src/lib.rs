@@ -131,6 +131,44 @@ pub fn write_zones_bench_json(
     );
 }
 
+/// Writes the `BENCH_daemon.json` perf record emitted by
+/// `benches/daemon.rs`: best-of-N wall times of the same case-study
+/// proof run three ways — in-process (`VerificationRequest::run`),
+/// through `pte-verifyd` cold (socket + scheduling + a real search),
+/// and through the daemon's report cache — plus the derived dispatch
+/// overhead and cache speedup. The emitted JSON is round-trip-validated
+/// before writing.
+pub fn write_daemon_bench_json(
+    path: &str,
+    in_process_ms: f64,
+    daemon_cold_ms: f64,
+    daemon_cached_ms: f64,
+) {
+    let num_f = |f: f64| Value::Num(Number::F(f));
+    let json = serde_json::to_string(&Value::Obj(vec![
+        ("bench".into(), Value::Str("daemon".into())),
+        ("case".into(), Value::Str("leased_case_study_proof".into())),
+        ("in_process_ms".into(), num_f(in_process_ms)),
+        ("daemon_cold_ms".into(), num_f(daemon_cold_ms)),
+        ("daemon_cached_ms".into(), num_f(daemon_cached_ms)),
+        (
+            "dispatch_overhead_ms".into(),
+            num_f(daemon_cold_ms - in_process_ms),
+        ),
+        (
+            "cache_speedup".into(),
+            num_f(daemon_cold_ms / daemon_cached_ms.max(1e-9)),
+        ),
+    ]))
+    .expect("daemon bench report serializes");
+    serde_json::from_str_value(&json).expect("daemon bench JSON must parse back");
+    std::fs::write(path, &json).expect("write daemon bench JSON");
+    println!(
+        "daemon bench record: in-process {in_process_ms:.1} ms, cold {daemon_cold_ms:.1} ms, \
+         cached {daemon_cached_ms:.2} ms -> {path}"
+    );
+}
+
 /// Parses a `--seeds N` option with a default.
 pub fn seeds_arg(args: &[String], default: usize) -> usize {
     arg_value(args, "--seeds")

@@ -1,0 +1,232 @@
+//! The report cache: canonical request key → completed
+//! [`VerificationReport`], FIFO-bounded.
+//!
+//! Keys come from [`VerificationRequest::cache_key`]
+//! (`pte_verify::api`), which hashes the *semantics* of a request —
+//! resolved configuration, arm, query, backend selection, normalized
+//! budget — so a scenario-by-name submit and the equivalent inline
+//! config submit share an entry, and wire-level field order cannot
+//! split the cache.
+//!
+//! Soundness rule: **only conclusive reports are cached.** A
+//! `Safe`/`Unsafe` verdict means the search ran to completion, so
+//! replaying it for an identical request is exact. An inconclusive
+//! report (cancelled, budget-tripped, backend error) is circumstantial
+//! — a retry might conclude — so it is never stored, and in particular
+//! a cancelled search can never poison the cache.
+//!
+//! A cache hit returns the stored report verbatim: byte-identical to
+//! the cold run that produced it, *including* its timing fields (the
+//! daemon does not re-time hits; clients that diff reports should
+//! ignore `wall_ms`, which is exactly what the integration tests do).
+
+use parking_lot::Mutex;
+use pte_verify::api::{VerificationReport, VerificationRequest};
+use std::collections::{HashMap, VecDeque};
+
+/// Cache counters (feed [`crate::protocol::DaemonStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a report.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Reports currently stored.
+    pub entries: usize,
+    /// Reports evicted (FIFO) since construction.
+    pub evictions: u64,
+}
+
+struct Inner {
+    map: HashMap<String, VerificationReport>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The bounded report cache. Clone-free: the daemon holds one behind
+/// an `Arc`.
+pub struct ReportCache {
+    inner: Mutex<Inner>,
+}
+
+impl ReportCache {
+    /// A cache holding at most `capacity` reports (0 disables caching
+    /// — every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> ReportCache {
+        ReportCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks `key` up, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<VerificationReport> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).cloned() {
+            Some(r) => {
+                inner.hits += 1;
+                Some(r)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `report` under `key` if it is conclusive (and the cache
+    /// has capacity); evicts the oldest entry when full. Returns
+    /// whether the report was stored.
+    pub fn insert(&self, key: &str, report: &VerificationReport) -> bool {
+        if !report.verdict.is_conclusive() {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return false;
+        }
+        if !inner.map.contains_key(key) {
+            while inner.order.len() >= inner.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                    inner.evictions += 1;
+                }
+            }
+            inner.order.push_back(key.to_string());
+        }
+        inner.map.insert(key.to_string(), report.clone());
+        true
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            evictions: inner.evictions,
+        }
+    }
+}
+
+/// Zeroes every timing field of a report (top-level and per-backend
+/// `wall_ms`), the comparison form for "cache hits equal cold runs
+/// modulo timing". Everything else — verdicts, witnesses, state
+/// counts, byte counts — must match exactly.
+pub fn strip_timing(report: &VerificationReport) -> VerificationReport {
+    let mut r = report.clone();
+    r.wall_ms = 0.0;
+    for b in &mut r.backends {
+        b.wall_ms = 0.0;
+    }
+    r
+}
+
+/// Convenience: [`VerificationRequest::cache_key`] unwrapped for
+/// requests already validated by resolution (daemon-internal use,
+/// after `Submit` has been accepted).
+pub fn key_of(request: &VerificationRequest) -> Option<String> {
+    request.cache_key().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pte_verify::api::{Inconclusive, Verdict};
+
+    fn report(verdict: Verdict, wall_ms: f64) -> VerificationReport {
+        VerificationReport {
+            scenario: Some("case-study".into()),
+            leased: true,
+            verdict,
+            witness: None,
+            winner: Some("symbolic".into()),
+            tripped: None,
+            backends: Vec::new(),
+            wall_ms,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_report_verbatim() {
+        let c = ReportCache::new(4);
+        let r = report(Verdict::Safe, 12.5);
+        assert!(c.insert("k1", &r));
+        assert_eq!(c.get("k1"), Some(r));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn inconclusive_reports_are_never_cached() {
+        let c = ReportCache::new(4);
+        for v in [
+            Verdict::Inconclusive(Inconclusive::Cancelled),
+            Verdict::Inconclusive(Inconclusive::Budget("max_states".into())),
+            Verdict::Inconclusive(Inconclusive::Error("boom".into())),
+        ] {
+            assert!(!c.insert("k", &report(v, 1.0)));
+        }
+        assert_eq!(c.get("k"), None);
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_counted() {
+        let c = ReportCache::new(2);
+        c.insert("a", &report(Verdict::Safe, 1.0));
+        c.insert("b", &report(Verdict::Unsafe, 2.0));
+        c.insert("c", &report(Verdict::Safe, 3.0));
+        assert_eq!(c.get("a"), None, "oldest entry must be evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let c = ReportCache::new(2);
+        c.insert("a", &report(Verdict::Safe, 1.0));
+        c.insert("b", &report(Verdict::Safe, 2.0));
+        c.insert("a", &report(Verdict::Unsafe, 9.0));
+        assert_eq!(c.get("a").unwrap().verdict, Verdict::Unsafe);
+        assert!(c.get("b").is_some());
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ReportCache::new(0);
+        assert!(!c.insert("a", &report(Verdict::Safe, 1.0)));
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn strip_timing_zeroes_only_wall_clocks() {
+        let mut r = report(Verdict::Safe, 42.0);
+        r.backends.push(pte_verify::api::BackendStats {
+            backend: "symbolic".into(),
+            wall_ms: 17.0,
+            states: 123,
+            ..Default::default()
+        });
+        let s = strip_timing(&r);
+        assert_eq!(s.wall_ms, 0.0);
+        assert_eq!(s.backends[0].wall_ms, 0.0);
+        assert_eq!(s.backends[0].states, 123);
+        assert_eq!(s.verdict, r.verdict);
+    }
+}

@@ -1,0 +1,195 @@
+//! A thin synchronous client for `pte-verifyd` — the library behind
+//! the `pte-verify-client` CLI and the integration tests.
+//!
+//! One [`Client`] is one connection. Reads are blocking (the daemon
+//! always answers), writes are line-at-a-time; the caller drives the
+//! frame stream with [`Client::recv`] or lets [`Client::wait_report`]
+//! collect a request's terminal report while forwarding its progress
+//! frames to a callback.
+
+use crate::protocol::{
+    read_frame, write_frame, ClientFrame, DaemonStats, ServerFrame, PROTOCOL_VERSION,
+};
+use crate::transport::{Endpoint, Stream};
+use pte_tracheotomy::registry::Scenario;
+use pte_verify::api::{VerificationReport, VerificationRequest};
+use std::io::{self, BufReader, BufWriter};
+
+/// The terminal outcome of one submitted request, as observed on the
+/// wire.
+#[derive(Clone, Debug)]
+pub struct SubmitOutcome {
+    /// The daemon's canonical cache key for the request.
+    pub key: String,
+    /// Whether the report came from the daemon's cache.
+    pub cached: bool,
+    /// The report itself, verbatim.
+    pub report: VerificationReport,
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+    /// The daemon's advertised global worker budget (from `Hello`).
+    worker_budget: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and consumes the `Hello` frame, verifying the protocol
+    /// revision.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let stream = Stream::connect(endpoint)?;
+        let read_half = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            worker_budget: 0,
+            next_id: 1,
+        };
+        match client.recv()? {
+            ServerFrame::Hello {
+                protocol,
+                worker_budget,
+            } if protocol == PROTOCOL_VERSION => {
+                client.worker_budget = worker_budget;
+                Ok(client)
+            }
+            ServerFrame::Hello { protocol, .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("daemon speaks protocol {protocol}, this client {PROTOCOL_VERSION}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Hello, got {other:?}"),
+            )),
+        }
+    }
+
+    /// The daemon's global worker budget, as advertised at connect.
+    pub fn worker_budget(&self) -> usize {
+        self.worker_budget
+    }
+
+    /// Submits a request and returns the correlation id assigned to it.
+    pub fn submit(&mut self, request: &VerificationRequest) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &ClientFrame::Submit {
+                id,
+                request: request.clone(),
+            },
+        )?;
+        Ok(id)
+    }
+
+    /// Sends a cancel for an in-flight request.
+    pub fn cancel(&mut self, id: u64) -> io::Result<()> {
+        self.send(&ClientFrame::Cancel { id })
+    }
+
+    /// Sends a raw frame without reading a reply — the escape hatch
+    /// for callers (tests, mostly) that drive the frame stream
+    /// manually with [`Client::recv`].
+    pub fn send(&mut self, frame: &ClientFrame) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Reads the next server frame (blocking).
+    pub fn recv(&mut self) -> io::Result<ServerFrame> {
+        read_frame::<ServerFrame>(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })
+    }
+
+    /// Drives the frame stream until request `id`'s terminal frame
+    /// arrives, forwarding its `Progress` frames to `on_progress`.
+    /// Frames about other in-flight ids are skipped (single-request
+    /// callers never see any). An `Error` frame for `id` (or an
+    /// unkeyed one) becomes an `io::Error`.
+    pub fn wait_report(
+        &mut self,
+        id: u64,
+        mut on_progress: impl FnMut(&ServerFrame),
+    ) -> io::Result<SubmitOutcome> {
+        loop {
+            match self.recv()? {
+                ServerFrame::Report {
+                    id: rid,
+                    key,
+                    cached,
+                    report,
+                } if rid == id => {
+                    return Ok(SubmitOutcome {
+                        key,
+                        cached,
+                        report,
+                    })
+                }
+                f @ ServerFrame::Progress { .. } => {
+                    if matches!(f, ServerFrame::Progress { id: pid, .. } if pid == id) {
+                        on_progress(&f);
+                    }
+                }
+                ServerFrame::Error { id: eid, message } if eid == Some(id) || eid.is_none() => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidInput, message));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Convenience: submit + wait, ignoring progress.
+    pub fn verify(&mut self, request: &VerificationRequest) -> io::Result<SubmitOutcome> {
+        let id = self.submit(request)?;
+        self.wait_report(id, |_| {})
+    }
+
+    /// Fetches the scenario registry.
+    pub fn list_scenarios(&mut self) -> io::Result<Vec<Scenario>> {
+        write_frame(&mut self.writer, &ClientFrame::ListScenarios)?;
+        loop {
+            match self.recv()? {
+                ServerFrame::Scenarios { scenarios } => return Ok(scenarios),
+                ServerFrame::Error { message, .. } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Fetches daemon statistics.
+    pub fn stats(&mut self) -> io::Result<DaemonStats> {
+        write_frame(&mut self.writer, &ClientFrame::Stats)?;
+        loop {
+            match self.recv()? {
+                ServerFrame::Stats { stats } => return Ok(stats),
+                ServerFrame::Error { message, .. } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully; returns once the
+    /// daemon acknowledges with `ShuttingDown` (in-flight requests on
+    /// this connection have flushed their reports by then).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&ClientFrame::Shutdown)?;
+        loop {
+            match self.recv() {
+                Ok(ServerFrame::ShuttingDown) => return Ok(()),
+                Ok(_) => continue,
+                // The daemon may close the connection right after (or
+                // instead of) the ack under a racing signal shutdown.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Minimal SIGTERM/SIGINT handling without a `libc` dependency.
+//!
+//! The build environment vendors no `libc` crate, so the handler is
+//! installed through a direct `extern "C"` declaration of POSIX
+//! `signal(2)`. The handler does the only async-signal-safe thing
+//! worth doing: it sets a static flag, which the daemon's accept loop
+//! polls every pass (the loop already wakes every few milliseconds for
+//! non-blocking accepts, so delivery-to-shutdown latency is one poll
+//! interval).
+//!
+//! The flag is process-global — exactly right for a signal, which is
+//! process-global too. The `Shutdown` protocol frame deliberately does
+//! *not* funnel through here: it sets the owning [`crate::Daemon`]'s
+//! own flag, so test binaries running several daemons in one process
+//! can shut one down without killing the rest.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `SIGINT` (POSIX-mandated value).
+const SIGINT: i32 = 2;
+/// `SIGTERM` (POSIX-mandated value).
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the flag-setting handler for `SIGTERM` and `SIGINT`.
+/// Idempotent; the `pte-verifyd` binary calls it once at start (the
+/// library never installs handlers behind an embedder's back).
+pub fn install() {
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// `true` once a handled signal has been delivered.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}

@@ -1,0 +1,175 @@
+//! Transport layer: one daemon, two socket families.
+//!
+//! `pte-verifyd` listens on a Unix-domain socket (the default — private
+//! to the machine, access-controlled by file permissions) and/or a TCP
+//! socket (for cross-host clients and CI containers). Everything above
+//! this module is transport-agnostic: a [`Stream`] is "something
+//! bidirectional that carries JSON lines", nothing more.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens / a client connects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP address, `host:port` (port `0` lets the OS pick — the bound
+    /// address is reported by [`crate::Daemon::tcp_addr`]).
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// A connected byte stream of either family.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `endpoint`.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
+        match endpoint {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+        }
+    }
+
+    /// Clones the underlying descriptor (independent read/write halves
+    /// for the reader-thread / writer-mutex split).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Sets the read timeout — the poll interval at which a blocked
+    /// reader rechecks the shutdown flag.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, non-blocking listener of either family.
+pub enum Listener {
+    /// Unix-domain listener (remembers its path so shutdown can unlink
+    /// it).
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `endpoint` in non-blocking mode (the accept loop polls, so
+    /// a shutdown request is honoured within one poll interval). An
+    /// existing Unix socket file is an error unless nothing is
+    /// listening behind it (a stale file from a killed daemon is
+    /// silently replaced).
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a daemon is already listening on {}", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+        }
+    }
+
+    /// Accepts one pending connection, if any. The returned stream is
+    /// switched back to blocking mode (per-connection readers use read
+    /// timeouts instead).
+    pub fn accept(&self) -> io::Result<Option<Stream>> {
+        let stream = match self {
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Stream::Unix(s)
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Stream::Tcp(s)
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(Some(stream))
+    }
+
+    /// The locally-bound TCP address (for `port 0` binds); `None` for
+    /// Unix listeners.
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        match self {
+            Listener::Unix(..) => None,
+            Listener::Tcp(l) => l.local_addr().ok(),
+        }
+    }
+
+    /// Removes the socket file of a Unix listener (shutdown cleanup).
+    pub fn cleanup(&self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

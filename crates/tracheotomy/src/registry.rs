@@ -25,9 +25,13 @@
 
 use pte_core::pattern::LeaseConfig;
 use pte_hybrid::Time;
+use serde::{Deserialize, Serialize};
 
-/// A named verification scenario.
-#[derive(Clone, Debug)]
+/// A named verification scenario. Serializable as-is, so a service
+/// layer (`pte-verifyd`'s `ListScenarios` frame) can ship the whole
+/// catalogue — configs and recommended budgets included — over the
+/// wire instead of re-encoding a parallel listing type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Registry name (stable; used by `--scenario` selectors).
     pub name: String,
@@ -109,13 +113,51 @@ pub fn listing() -> String {
         .join("\n")
 }
 
+/// Case-insensitive Levenshtein edit distance, the basis of the
+/// nearest-name suggestion in [`unknown_scenario_diagnostic`]. Small
+/// inputs only (scenario names), so the O(|a|·|b|) two-row form is
+/// plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.chars().flat_map(char::to_lowercase).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The registry name closest to `name`, when it is close enough to be
+/// a plausible typo (edit distance ≤ 2, or ≤ a third of the name's
+/// length for long names) — the "did you mean" candidate.
+pub fn nearest_name(name: &str) -> Option<String> {
+    let names = names();
+    let (best, dist) = names
+        .iter()
+        .map(|n| (n, edit_distance(name, n)))
+        .min_by_key(|&(n, d)| (d, n.clone()))?;
+    let threshold = 2.max(name.chars().count() / 3);
+    (dist <= threshold).then(|| best.clone())
+}
+
 /// The canonical unknown-scenario diagnostic, shared by every surface
 /// that reports one (the CLI resolver here and
 /// `pte_verify::api::ApiError`), so the wording cannot drift between
-/// them. `listing` is the catalogue to embed — pass [`listing`]'s
-/// output unless replaying a captured one.
+/// them. When the failed name is a near-miss of a registry name the
+/// first line carries a "did you mean" suggestion. `listing` is the
+/// catalogue to embed — pass [`listing`]'s output unless replaying a
+/// captured one.
 pub fn unknown_scenario_diagnostic(name: &str, listing: &str) -> String {
-    format!("unknown scenario `{name}`; available scenarios:\n{listing}")
+    let suggestion = nearest_name(name)
+        .map(|n| format!("; did you mean `{n}`?"))
+        .unwrap_or_default();
+    format!("unknown scenario `{name}`{suggestion}; available scenarios:\n{listing}")
 }
 
 /// Resolves a `--scenario` CLI value: `Ok` for a registry name, `Err`
@@ -162,6 +204,35 @@ mod tests {
         assert!(err.contains("unknown scenario `no-such-scenario`"), "{err}");
         assert!(err.contains("case-study"), "{err}");
         assert!(err.contains("stress-lossy"), "{err}");
+    }
+
+    /// Near-miss names get a "did you mean" line; distant ones do not.
+    #[test]
+    fn unknown_name_suggests_the_nearest_scenario() {
+        let err = resolve("chain4").unwrap_err();
+        assert!(err.contains("did you mean `chain-4`?"), "{err}");
+        let err = resolve("CASE-STUDY ").unwrap_err();
+        assert!(err.contains("did you mean `case-study`?"), "{err}");
+        let err = resolve("stress_lossy").unwrap_err();
+        assert!(err.contains("did you mean `stress-lossy`?"), "{err}");
+        // A name nothing like any scenario stays suggestion-free but
+        // still embeds the listing.
+        let err = resolve("ventilator-only-fleet").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("available scenarios:"), "{err}");
+        assert_eq!(nearest_name("chain-44").as_deref(), Some("chain-4"));
+        assert_eq!(nearest_name("zzzzzzzzzz"), None);
+    }
+
+    /// Scenarios ship over the wire unchanged: the whole registry
+    /// round-trips through serde, configs and budgets included.
+    #[test]
+    fn scenarios_round_trip_through_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        for s in registry() {
+            let back = Scenario::from_value(&s.to_value()).unwrap();
+            assert_eq!(back, s, "{}", s.name);
+        }
     }
 
     #[test]

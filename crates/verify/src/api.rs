@@ -81,7 +81,7 @@ use pte_zones::{
     check_monitored, lower_network, CancelToken, Limits, LocationReachMonitor, Progress,
     ProgressFn, SymbolicVerdict, TrippedLimit, ZonesError,
 };
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Number, Serialize, Value};
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -460,6 +460,47 @@ impl std::error::Error for ApiError {}
 /// outside.
 pub type ProgressSink = Arc<dyn Fn(&str, &Progress) + Send + Sync>;
 
+/// Schema version folded into every [`VerificationRequest::cache_key`]
+/// digest. Bump it whenever the serialized shape of [`LeaseConfig`],
+/// [`Query`], [`BackendSel`], or the normalized budget changes, so a
+/// persisted report cache can never serve a report produced under a
+/// different request schema.
+pub const CACHE_KEY_VERSION: u64 = 1;
+
+/// FNV-1a, 64-bit: the dependency-free stable hash behind
+/// [`VerificationRequest::cache_key`]. Not cryptographic — the cache it
+/// keys is a performance artifact, not a security boundary.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonicalizes a serialized [`Value`] tree for hashing: object
+/// entries are sorted by key (so the digest is independent of field
+/// order — both in wire JSON and in future struct-declaration
+/// reorderings) and `null` entries are dropped (so an elided optional
+/// field hashes identically to an explicit `null`). Arrays keep their
+/// order: element order is data (e.g. per-entity timing vectors).
+fn canonical_value(v: &Value) -> Value {
+    match v {
+        Value::Obj(entries) => {
+            let mut entries: Vec<(String, Value)> = entries
+                .iter()
+                .filter(|(_, v)| !matches!(v, Value::Null))
+                .map(|(k, v)| (k.clone(), canonical_value(v)))
+                .collect();
+            entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+            Value::Obj(entries)
+        }
+        Value::Arr(items) => Value::Arr(items.iter().map(canonical_value).collect()),
+        other => other.clone(),
+    }
+}
+
 /// The concrete (non-meta) backends, in report order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Concrete {
@@ -577,16 +618,47 @@ impl VerificationRequest {
         cancel: &CancelToken,
         progress: Option<ProgressSink>,
     ) -> Result<VerificationReport, ApiError> {
+        self.dispatch(cancel, progress, None)
+    }
+
+    /// Scheduler hook: [`VerificationRequest::run_with`] with a hard cap
+    /// of `slots` worker threads (clamped to ≥ 1), for callers — like
+    /// `pte-verifyd` — that admit requests through a **shared** worker
+    /// budget and must keep N concurrent requests from oversubscribing
+    /// the machine. The cap bounds both the portfolio's racer-admission
+    /// slots (replacing the per-request `available_parallelism - 1`
+    /// default) and the symbolic engine's worker pool (`max_workers = 0`
+    /// resolves to `slots` instead of one-per-CPU; an explicit worker
+    /// count is clamped to `slots`). Verdicts and witnesses are
+    /// unaffected — the engine is worker-count-deterministic — only the
+    /// degree of parallelism is.
+    pub fn run_with_slots(
+        &self,
+        cancel: &CancelToken,
+        progress: Option<ProgressSink>,
+        slots: usize,
+    ) -> Result<VerificationReport, ApiError> {
+        self.dispatch(cancel, progress, Some(slots.max(1)))
+    }
+
+    /// Shared driver behind [`VerificationRequest::run_with`] (no cap)
+    /// and [`VerificationRequest::run_with_slots`] (capped).
+    fn dispatch(
+        &self,
+        cancel: &CancelToken,
+        progress: Option<ProgressSink>,
+        cap: Option<usize>,
+    ) -> Result<VerificationReport, ApiError> {
         let (cfg, scenario_name, recommended) = self.resolve()?;
         let started = Instant::now();
         let members = self.members();
         let mut report = match self.backend {
             BackendSel::Portfolio => {
-                self.run_portfolio(&cfg, recommended, &members, cancel, progress)
+                self.run_portfolio(&cfg, recommended, &members, cancel, progress, cap)
             }
             _ => {
                 let only = members[0];
-                let stats = self.run_one(only, &cfg, recommended, cancel, progress.as_ref());
+                let stats = self.run_one(only, &cfg, recommended, cancel, progress.as_ref(), cap);
                 let conclusive = stats.verdict.is_conclusive();
                 VerificationReport {
                     scenario: None,
@@ -650,28 +722,142 @@ impl VerificationRequest {
     /// The effective symbolic worker count: an explicit
     /// [`Budget::max_workers`] wins; otherwise `Auto`/`Portfolio`
     /// default to `0` (one worker per CPU) and the explicit single
-    /// backends to the engine's reproducible default of `1`.
-    fn resolved_workers(&self) -> usize {
+    /// backends to the engine's reproducible default of `1`. Public so
+    /// schedulers can account for a request before running it (`0`
+    /// means "as wide as allowed" — see
+    /// [`VerificationRequest::worker_cost`] for the machine-resolved
+    /// slot count).
+    pub fn resolved_workers(&self) -> usize {
         self.budget.max_workers.unwrap_or(match self.backend {
             BackendSel::Auto | BackendSel::Portfolio => 0,
             _ => 1,
         })
     }
 
-    /// Builds the symbolic engine limits for this request.
+    /// The number of worker slots this request occupies on *this*
+    /// machine when run uncapped — what a shared-budget scheduler
+    /// should reserve before calling
+    /// [`VerificationRequest::run_with_slots`] with the grant. A
+    /// portfolio costs its racer-admission slots
+    /// (`min(available_parallelism - 1, members)`); a symbolic request
+    /// its resolved worker count (`0` → one per CPU); the
+    /// simulation-fan-out backends (exhaustive, Monte-Carlo) reserve
+    /// the whole machine because their internal worker pools are
+    /// machine-wide; the analytic check is one slot.
+    pub fn worker_cost(&self) -> usize {
+        let ap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        let members = self.members();
+        match self.backend {
+            BackendSel::Portfolio => ap.saturating_sub(1).max(1).min(members.len()),
+            _ => match members[0] {
+                Concrete::Analytic => 1,
+                Concrete::Symbolic => match self.resolved_workers() {
+                    0 => ap,
+                    w => w,
+                },
+                Concrete::Exhaustive | Concrete::MonteCarlo => ap,
+            },
+        }
+    }
+
+    /// The canonical report-cache key of this request: a 16-hex-digit
+    /// FNV-1a digest of the **resolved, normalized** request —
+    /// `(CACHE_KEY_VERSION, resolved LeaseConfig, leased arm, query,
+    /// backend selection, normalized budget)` — so two requests that
+    /// run the same search hash identically no matter how they were
+    /// spelled:
+    ///
+    /// * field order never matters (object keys are sorted before
+    ///   hashing, and `null`/elided optional fields are dropped);
+    /// * a registry-scenario request and the equivalent inline-config
+    ///   request collide (the scenario resolves to its config, and its
+    ///   recommended state budget is folded into the normalized
+    ///   budget);
+    /// * unset budget fields hash as their resolved defaults
+    ///   ([`DEFAULT_DEPTH`], [`DEFAULT_TRIALS`], the engine's default
+    ///   state budget, the backend policy's worker default).
+    ///
+    /// **Stability caveats.** The digest is pinned by unit tests and
+    /// stable across processes and machines *for one schema version*:
+    /// it hashes the serde encoding of the request, so renaming or
+    /// reordering-with-different-names a field, changing a float's
+    /// shortest-round-trip `Display`, or changing budget defaults all
+    /// change digests — bump [`CACHE_KEY_VERSION`] when they do. It is
+    /// **not** collision-resistant against adversaries (FNV-1a); use it
+    /// for caching, not authentication. `max_workers` is part of the
+    /// key out of conservatism even though verdicts are
+    /// worker-count-deterministic, so differently-parallel runs never
+    /// share a (timing-bearing) cached report.
+    ///
+    /// Fails like [`VerificationRequest::run`] does when the request
+    /// names no system, two systems, or an unknown scenario.
+    pub fn cache_key(&self) -> Result<String, ApiError> {
+        let (cfg, _, recommended) = self.resolve()?;
+        let num = |u: u64| Value::Num(Number::U(u));
+        let mut budget = vec![
+            (
+                "max_states".to_string(),
+                num(self
+                    .budget
+                    .max_states
+                    .or(recommended)
+                    .unwrap_or(Limits::default().max_states) as u64),
+            ),
+            (
+                "max_workers".to_string(),
+                num(self.resolved_workers() as u64),
+            ),
+            (
+                "depth".to_string(),
+                num(self.budget.depth.unwrap_or(DEFAULT_DEPTH) as u64),
+            ),
+            (
+                "trials".to_string(),
+                num(self.budget.trials.unwrap_or(DEFAULT_TRIALS) as u64),
+            ),
+            ("seed".to_string(), num(self.budget.seed)),
+        ];
+        if let Some(wall) = self.budget.max_wall_ms {
+            budget.push(("max_wall_ms".to_string(), num(wall)));
+        }
+        let tuple = Value::Obj(vec![
+            ("v".to_string(), num(CACHE_KEY_VERSION)),
+            ("config".to_string(), cfg.to_value()),
+            ("leased".to_string(), Value::Bool(self.leased)),
+            ("query".to_string(), self.query.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            ("budget".to_string(), Value::Obj(budget)),
+        ]);
+        let json = serde_json::to_string(&canonical_value(&tuple))
+            .expect("canonical request value serializes");
+        Ok(format!("{:016x}", fnv1a64(json.as_bytes())))
+    }
+
+    /// Builds the symbolic engine limits for this request. `cap` is the
+    /// scheduler grant from [`VerificationRequest::run_with_slots`]:
+    /// it resolves an auto (`0`) worker count and clamps an explicit
+    /// one.
     fn limits(
         &self,
         recommended: Option<usize>,
         cancel: CancelToken,
         progress: Option<ProgressFn>,
+        cap: Option<usize>,
     ) -> Limits {
+        let workers = match (self.resolved_workers(), cap) {
+            (w, None) => w,
+            (0, Some(c)) => c,
+            (w, Some(c)) => w.min(c),
+        };
         Limits {
             max_states: self
                 .budget
                 .max_states
                 .or(recommended)
                 .unwrap_or(Limits::default().max_states),
-            max_workers: self.resolved_workers(),
+            max_workers: workers,
             max_wall: self.budget.max_wall_ms.map(Duration::from_millis),
             cancel: Some(cancel),
             progress,
@@ -687,6 +873,7 @@ impl VerificationRequest {
         recommended: Option<usize>,
         cancel: &CancelToken,
         progress: Option<&ProgressSink>,
+        cap: Option<usize>,
     ) -> BackendStats {
         let labelled: Option<ProgressFn> = progress.map(|sink| {
             let sink = sink.clone();
@@ -697,7 +884,7 @@ impl VerificationRequest {
             Concrete::Analytic => self.run_analytic(cfg),
             Concrete::Exhaustive => self.run_exhaustive(cfg, cancel, labelled.as_ref()),
             Concrete::MonteCarlo => self.run_montecarlo(cfg, cancel, labelled.as_ref()),
-            Concrete::Symbolic => self.run_symbolic(cfg, recommended, cancel, labelled),
+            Concrete::Symbolic => self.run_symbolic(cfg, recommended, cancel, labelled, cap),
         }
     }
 
@@ -746,9 +933,10 @@ impl VerificationRequest {
         recommended: Option<usize>,
         cancel: &CancelToken,
         progress: Option<ProgressFn>,
+        cap: Option<usize>,
     ) -> BackendStats {
         let t = Instant::now();
-        let limits = self.limits(recommended, cancel.clone(), progress);
+        let limits = self.limits(recommended, cancel.clone(), progress, cap);
         let mut stats = BackendStats {
             backend: "symbolic".into(),
             ..BackendStats::default()
@@ -931,7 +1119,9 @@ impl VerificationRequest {
     /// simulator threads — which is what keeps the portfolio within a
     /// few percent of the symbolic backend alone. A racer whose token
     /// fires before its slot opens is reported as cancelled without
-    /// ever running.
+    /// ever running. A scheduler `cap`
+    /// ([`VerificationRequest::run_with_slots`]) replaces the
+    /// `available_parallelism - 1` default outright.
     fn run_portfolio(
         &self,
         cfg: &LeaseConfig,
@@ -939,6 +1129,7 @@ impl VerificationRequest {
         members: &[Concrete],
         cancel: &CancelToken,
         progress: Option<ProgressSink>,
+        cap: Option<usize>,
     ) -> VerificationReport {
         let started = Instant::now();
         let tokens: Vec<CancelToken> = members.iter().map(|_| CancelToken::new()).collect();
@@ -958,11 +1149,13 @@ impl VerificationRequest {
         };
         let mut order: Vec<usize> = (0..members.len()).collect();
         order.sort_by_key(|&i| cost(members[i]));
-        let slots = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .saturating_sub(1)
-            .max(1);
+        let slots = cap.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .saturating_sub(1)
+                .max(1)
+        });
 
         let (tx, rx) = mpsc::channel::<(usize, BackendStats)>();
         let deadline = self.budget.max_wall_ms.map(Duration::from_millis);
@@ -1003,7 +1196,7 @@ impl VerificationRequest {
                         // coordinator waits forever: a panicking backend
                         // becomes an in-band error, never a hang.
                         let stats = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_one(m, cfg, recommended, &token, progress.as_ref())
+                            self.run_one(m, cfg, recommended, &token, progress.as_ref(), cap)
                         }))
                         .unwrap_or_else(|_| BackendStats {
                             backend: m.name().into(),
@@ -1271,7 +1464,7 @@ mod tests {
         let req = VerificationRequest::scenario("chain-4").backend(BackendSel::Symbolic);
         let (_, name, recommended) = req.resolve().unwrap();
         assert_eq!(name.as_deref(), Some("chain-4"));
-        let limits = req.limits(recommended, CancelToken::new(), None);
+        let limits = req.limits(recommended, CancelToken::new(), None, None);
         assert_eq!(
             limits.max_states,
             registry::by_name("chain-4").unwrap().recommended_budget
@@ -1279,9 +1472,144 @@ mod tests {
         // An explicit budget wins.
         let req = req.max_states(123);
         assert_eq!(
-            req.limits(recommended, CancelToken::new(), None).max_states,
+            req.limits(recommended, CancelToken::new(), None, None)
+                .max_states,
             123
         );
+    }
+
+    /// A scheduler cap resolves auto workers to the grant and clamps an
+    /// explicit worker count; without a cap nothing changes.
+    #[test]
+    fn slot_cap_resolves_and_clamps_workers() {
+        let auto = VerificationRequest::scenario("case-study").backend(BackendSel::Auto);
+        assert_eq!(
+            auto.limits(None, CancelToken::new(), None, None)
+                .max_workers,
+            0
+        );
+        assert_eq!(
+            auto.limits(None, CancelToken::new(), None, Some(3))
+                .max_workers,
+            3
+        );
+        let explicit = VerificationRequest::scenario("case-study")
+            .backend(BackendSel::Symbolic)
+            .workers(8);
+        assert_eq!(
+            explicit
+                .limits(None, CancelToken::new(), None, Some(2))
+                .max_workers,
+            2
+        );
+        assert_eq!(
+            explicit
+                .limits(None, CancelToken::new(), None, Some(16))
+                .max_workers,
+            8
+        );
+    }
+
+    /// Worker-cost accounting: analytic is one slot, an explicit
+    /// symbolic worker count is itself, auto and the simulation
+    /// backends scale with the machine, and a portfolio costs its
+    /// admission slots.
+    #[test]
+    fn worker_cost_accounts_for_backend_shape() {
+        let ap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        let base = VerificationRequest::scenario("case-study");
+        assert_eq!(base.clone().backend(BackendSel::Analytic).worker_cost(), 1);
+        assert_eq!(
+            base.clone()
+                .backend(BackendSel::Symbolic)
+                .workers(3)
+                .worker_cost(),
+            3
+        );
+        assert_eq!(base.clone().backend(BackendSel::Auto).worker_cost(), ap);
+        assert_eq!(
+            base.clone().backend(BackendSel::Exhaustive).worker_cost(),
+            ap
+        );
+        let portfolio = base.backend(BackendSel::Portfolio).worker_cost();
+        assert!((1..=4).contains(&portfolio), "{portfolio}");
+    }
+
+    /// The canonical cache key is invariant across request *spellings*:
+    /// scenario-vs-inline-config, elided-vs-explicit defaults, and wire
+    /// JSON field order all hash identically, while every semantic
+    /// field separates the digest.
+    #[test]
+    fn cache_key_is_canonical() {
+        let by_name = VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic);
+        let key = by_name.cache_key().unwrap();
+
+        // Scenario and the equivalent inline config collide — the
+        // scenario's recommended budget is folded into the key.
+        let by_config = VerificationRequest::config(LeaseConfig::case_study())
+            .backend(BackendSel::Symbolic)
+            .max_states(registry::by_name("case-study").unwrap().recommended_budget);
+        assert_eq!(by_config.cache_key().unwrap(), key);
+
+        // Spelling the resolved defaults explicitly changes nothing.
+        let explicit = by_name
+            .clone()
+            .workers(1)
+            .depth(DEFAULT_DEPTH)
+            .trials(DEFAULT_TRIALS);
+        assert_eq!(explicit.cache_key().unwrap(), key);
+
+        // Wire JSON field order is irrelevant: a reordered request
+        // parses to the same key.
+        let json = serde_json::to_string(&by_name).unwrap();
+        let reordered: VerificationRequest = serde_json::from_str(
+            r#"{"budget":{"seed":0},"backend":"Symbolic","query":"PteSafety","leased":true,"scenario":"case-study"}"#,
+        )
+        .unwrap();
+        assert_eq!(reordered.cache_key().unwrap(), key, "original: {json}");
+
+        // Every semantic field separates digests.
+        for other in [
+            by_name.clone().leased(false),
+            by_name.clone().backend(BackendSel::Portfolio),
+            by_name.clone().query(Query::ConditionCheck),
+            by_name.clone().max_states(99),
+            by_name.clone().workers(2),
+            by_name.clone().max_wall_ms(1000),
+        ] {
+            assert_ne!(other.cache_key().unwrap(), key, "{other:?}");
+        }
+        let mut seeded = by_name.clone();
+        seeded.budget.seed = 7;
+        assert_ne!(seeded.cache_key().unwrap(), key);
+
+        // Unknown scenarios fail like `run` does.
+        assert!(matches!(
+            VerificationRequest::scenario("no-such").cache_key(),
+            Err(ApiError::UnknownScenario { .. })
+        ));
+    }
+
+    /// Pins the digests themselves: a silent change to the canonical
+    /// encoding (field sorting, null dropping, float rendering, budget
+    /// normalization, FNV seed) is a cache-compatibility break and must
+    /// show up here — bump [`CACHE_KEY_VERSION`] when one is intended.
+    #[test]
+    fn cache_key_digests_are_pinned() {
+        let case = VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic);
+        let baseline = case.clone().leased(false);
+        let chain = VerificationRequest::scenario("chain-3");
+        insta_eq(case.cache_key().unwrap(), "00d14e3326706fa9");
+        insta_eq(baseline.cache_key().unwrap(), "12d9fe3ee42c15bc");
+        insta_eq(chain.cache_key().unwrap(), "fbde288c8729497a");
+    }
+
+    /// Tiny pinned-value helper so the expected digests live in one
+    /// visually-diffable place.
+    fn insta_eq(actual: String, expected: &str) {
+        assert_eq!(actual, expected);
     }
 
     #[test]

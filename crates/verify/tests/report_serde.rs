@@ -1,0 +1,215 @@
+//! Serde round-trip gates for [`VerificationReport`] — the artifact
+//! `pte-verifyd` ships over the wire and stores in its report cache.
+//! A report that does not survive serialization byte-for-byte would
+//! silently corrupt both, so every variant of the verdict lattice
+//! (each [`Inconclusive`] reason included) and witness text of every
+//! unpleasant shape (control characters, quotes, non-BMP unicode,
+//! bidi overrides) must come back exactly.
+
+use proptest::prelude::*;
+use pte_verify::api::{BackendStats, Inconclusive, Verdict, VerificationReport};
+use serde::{Deserialize as _, Serialize as _};
+
+/// Characters chosen to stress JSON escaping: ASCII, quotes and
+/// backslashes, every escape-class control character, DEL, combining
+/// and non-BMP unicode, and a bidi override.
+const NASTY_CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{8}', '\u{c}', '\u{1b}',
+    '\u{7f}', 'é', 'λ', '→', '子', '𝄞', '\u{202e}', '\u{301}',
+];
+
+fn text() -> BoxedStrategy<String> {
+    proptest::collection::vec(
+        (0usize..NASTY_CHARS.len()).prop_map(|i| NASTY_CHARS[i]),
+        0..24,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+    .boxed()
+}
+
+fn option_text() -> BoxedStrategy<Option<String>> {
+    prop_oneof![Just(None), text().prop_map(Some)].boxed()
+}
+
+fn boolean() -> BoxedStrategy<bool> {
+    prop_oneof![Just(false), Just(true)].boxed()
+}
+
+/// Every [`Inconclusive`] reason, with adversarial payload text.
+fn inconclusive() -> BoxedStrategy<Inconclusive> {
+    prop_oneof![
+        Just(Inconclusive::Cancelled),
+        text().prop_map(Inconclusive::Budget),
+        text().prop_map(Inconclusive::Error),
+        text().prop_map(Inconclusive::Unsupported),
+        text().prop_map(Inconclusive::Unknown),
+    ]
+    .boxed()
+}
+
+fn verdict() -> BoxedStrategy<Verdict> {
+    prop_oneof![
+        Just(Verdict::Safe),
+        Just(Verdict::Unsafe),
+        inconclusive().prop_map(Verdict::Inconclusive),
+    ]
+    .boxed()
+}
+
+fn backend_stats() -> BoxedStrategy<BackendStats> {
+    (
+        prop_oneof![
+            Just("analytic".to_string()),
+            Just("exhaustive".to_string()),
+            Just("montecarlo".to_string()),
+            Just("symbolic".to_string()),
+        ],
+        verdict(),
+        (text(), option_text(), option_text(), option_text()),
+        (0.0f64..5e3, boolean()),
+        proptest::collection::vec(0usize..1_000_000, 8),
+    )
+        .prop_map(
+            |(backend, verdict, (rendered, witness, tripped, error), (wall_ms, cancelled), ns)| {
+                BackendStats {
+                    backend,
+                    verdict,
+                    rendered,
+                    witness,
+                    wall_ms,
+                    states: ns[0],
+                    transitions: ns[1],
+                    frontier: ns[2],
+                    peak_passed_bytes: ns[3],
+                    peak_passed_bytes_full: ns[4],
+                    runs: ns[5],
+                    depth: ns[6],
+                    violations: ns[7],
+                    errors: ns[7] % 3,
+                    tripped,
+                    error,
+                    cancelled,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn report() -> BoxedStrategy<VerificationReport> {
+    (
+        option_text(),
+        boolean(),
+        verdict(),
+        (option_text(), option_text(), option_text()),
+        proptest::collection::vec(backend_stats(), 0..4),
+        0.0f64..6e4,
+    )
+        .prop_map(
+            |(scenario, leased, verdict, (witness, winner, tripped), backends, wall_ms)| {
+                VerificationReport {
+                    scenario,
+                    leased,
+                    verdict,
+                    witness,
+                    winner,
+                    tripped,
+                    backends,
+                    wall_ms,
+                }
+            },
+        )
+        .boxed()
+}
+
+/// One full round trip through compact JSON text — the exact path the
+/// daemon's `Report` frames and cache comparisons take.
+fn round_trip(report: &VerificationReport) -> VerificationReport {
+    let json = serde_json::to_string(&report.to_value()).expect("report serializes");
+    let value = serde_json::from_str_value(&json).expect("report JSON parses");
+    VerificationReport::from_value(&value).expect("report deserializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary reports — every verdict shape, adversarial strings,
+    /// random stat blocks — survive value-tree AND text round trips
+    /// exactly.
+    #[test]
+    fn reports_round_trip_through_serde(report in report()) {
+        let via_value = VerificationReport::from_value(&report.to_value())
+            .expect("value round trip");
+        prop_assert_eq!(&via_value, &report);
+        let via_text = round_trip(&report);
+        prop_assert_eq!(&via_text, &report);
+    }
+}
+
+/// Pinned (non-random) coverage: every `Inconclusive` reason variant
+/// round-trips inside a full report, so a missing match arm in a
+/// future serde impl cannot hide behind sampling.
+#[test]
+fn every_inconclusive_reason_round_trips() {
+    let reasons = vec![
+        Inconclusive::Cancelled,
+        Inconclusive::Budget("state budget (max_states = 10)".into()),
+        Inconclusive::Error("lowering failed: \"clock overflow\"\n  at λ".into()),
+        Inconclusive::Unsupported("montecarlo cannot decide location-reach".into()),
+        Inconclusive::Unknown(String::new()),
+    ];
+    for reason in reasons {
+        let report = VerificationReport {
+            scenario: Some("case-study".into()),
+            leased: true,
+            verdict: Verdict::Inconclusive(reason.clone()),
+            witness: None,
+            winner: None,
+            tripped: Some("cancellation token".into()),
+            backends: vec![BackendStats {
+                backend: "symbolic".into(),
+                verdict: Verdict::Inconclusive(reason.clone()),
+                cancelled: matches!(reason, Inconclusive::Cancelled),
+                ..BackendStats::default()
+            }],
+            wall_ms: 1.5,
+        };
+        assert_eq!(round_trip(&report), report, "reason {reason:?}");
+    }
+}
+
+/// Pinned witness-text shapes: the strings most likely to break a JSON
+/// writer (raw control characters, backslash runs, bidi overrides,
+/// astral-plane symbols, embedded JSON) come back byte-identical.
+#[test]
+fn unusual_witness_text_round_trips() {
+    let witnesses = [
+        "plain ascii witness",
+        "quotes \" and \\ backslashes \\\\ and / slashes",
+        "controls: \u{0}\u{1}\u{8}\t\n\r\u{c}\u{1b}\u{7f}",
+        "unicode: é λ → 子 𝄞 🚨 \u{301}combining",
+        "bidi: \u{202e}override\u{202c} done",
+        "{\"looks\":\"like json\",\"n\":[1,2,3]}",
+        "line1\nline2\n  indented zone: x - y <= 17\n",
+    ];
+    for witness in witnesses {
+        let report = VerificationReport {
+            scenario: None,
+            leased: false,
+            verdict: Verdict::Unsafe,
+            witness: Some(witness.to_string()),
+            winner: Some("symbolic".into()),
+            tripped: None,
+            backends: vec![BackendStats {
+                backend: "symbolic".into(),
+                verdict: Verdict::Unsafe,
+                witness: Some(witness.to_string()),
+                rendered: format!("unsafe: {witness}"),
+                ..BackendStats::default()
+            }],
+            wall_ms: 0.25,
+        };
+        let back = round_trip(&report);
+        assert_eq!(back.witness.as_deref(), Some(witness));
+        assert_eq!(back, report, "witness {witness:?}");
+    }
+}
