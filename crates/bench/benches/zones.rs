@@ -181,17 +181,17 @@ fn bench_passed_compression(_c: &mut Criterion) {
 
 /// N-entity chain scaling: settled states and states/sec of the leased
 /// safety proof for `chain-2` … `chain-4` (the registry's scalable
-/// scenario family; `chain-5`/`chain-6` are provable too — ≈ 169k /
-/// 477k states — but too slow for a per-push bench). The measured rows
-/// are printed and carried into `BENCH_zones.json` by
-/// [`emit_bench_json`].
+/// scenario family), run with the default engine — static analysis on,
+/// so the rows track what `check` actually does. The unreduced
+/// trajectory (≈ 57k states at `chain-4`, ≈ 477k at `chain-6`) is
+/// recorded separately by [`reduction_rows`]. The measured rows are
+/// printed and carried into `BENCH_zones.json` by [`emit_bench_json`].
 fn chain_scaling_rows() -> Vec<pte_bench::ScalingRow> {
     let mut rows = Vec::new();
     for n in 2..=4usize {
         let cfg = LeaseConfig::chain(n);
-        // Real headroom over chain-4's ≈ 57k settled states: a small
-        // future shift in the explored set must not turn this row into
-        // an OutOfBudget panic.
+        // Real headroom over the explored set: a small future shift
+        // must not turn this row into an OutOfBudget panic.
         let limits = Limits {
             max_states: 120_000,
             ..case_limits()
@@ -221,10 +221,69 @@ fn chain_scaling_rows() -> Vec<pte_bench::ScalingRow> {
     rows
 }
 
+/// Reduced-vs-unreduced ablation: the chain-4 and chain-6 leased
+/// safety proofs run with the static analysis pass on
+/// (`Limits::reduce_clocks = true`, the default) and off. Chains are
+/// globally clock-irreducible — every clock is live during the
+/// innermost nested lease, so the DBM dimension is identical across
+/// arms — but the per-location activity masks collapse the idle-device
+/// interleavings, and the states/sec improvement is asserted so the
+/// payoff can't silently bit-rot. One run per arm: the unreduced
+/// chain-6 proof settles ≈ 477k states, far too slow for best-of-5.
+fn reduction_rows() -> Vec<pte_bench::ReductionRow> {
+    let mut rows = Vec::new();
+    for n in [4usize, 6] {
+        let cfg = LeaseConfig::chain(n);
+        let arm = |reduce: bool| -> (usize, usize, f64, f64) {
+            let limits = Limits {
+                max_states: 600_000,
+                reduce_clocks: reduce,
+                ..Limits::default()
+            };
+            let t = Instant::now();
+            let verdict = check_lease_pattern_with(&cfg, true, &limits).unwrap();
+            let secs = t.elapsed().as_secs_f64();
+            let SymbolicVerdict::Safe(stats) = verdict else {
+                panic!("chain-{n} leased must be safe (reduce={reduce})");
+            };
+            (
+                stats.dbm_clocks,
+                stats.states,
+                secs,
+                stats.states as f64 / secs,
+            )
+        };
+        let (clocks_r, states_r, secs_r, rate_r) = arm(true);
+        let (clocks_u, states_u, secs_u, rate_u) = arm(false);
+        println!(
+            "bench: symbolic_reduction/chain-{n}                        \
+             reduced {clocks_r} clocks / {states_r} states / {:.0} ms vs \
+             unreduced {clocks_u} clocks / {states_u} states / {:.0} ms",
+            secs_r * 1e3,
+            secs_u * 1e3,
+        );
+        assert!(
+            secs_r < secs_u && rate_r > rate_u,
+            "the analysis pass must speed chain-{n} up \
+             (reduced {:.0} ms vs unreduced {:.0} ms)",
+            secs_r * 1e3,
+            secs_u * 1e3
+        );
+        rows.push(pte_bench::ReductionRow {
+            scenario: format!("chain-{n}"),
+            clocks_reduced: clocks_r,
+            clocks_unreduced: clocks_u,
+            reduced: (states_r, secs_r, rate_r),
+            unreduced: (states_u, secs_u, rate_u),
+        });
+    }
+    rows
+}
+
 /// Emits `BENCH_zones.json`: best-of-5 wall time of the leased
 /// case-study proof (plus the baseline falsification), settled states,
-/// states/sec, the passed-list byte accounting, and the chain scaling
-/// rows.
+/// states/sec, the passed-list byte accounting, the chain scaling
+/// rows, and the reduced-vs-unreduced ablation rows.
 fn emit_bench_json(_c: &mut Criterion) {
     let cfg = LeaseConfig::case_study();
     let limits = case_limits();
@@ -253,6 +312,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     }
 
     let scaling = chain_scaling_rows();
+    let reduction = reduction_rows();
     let path = std::env::var("BENCH_ZONES_JSON").unwrap_or_else(|_| "BENCH_zones.json".to_string());
     pte_bench::write_zones_bench_json(
         &path,
@@ -261,6 +321,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         &stats,
         &limits,
         &scaling,
+        &reduction,
     );
 }
 

@@ -56,13 +56,31 @@ pub struct ScalingRow {
     pub secs: Option<f64>,
 }
 
+/// One reduced-vs-unreduced measurement pair attached to
+/// `BENCH_zones.json`: the same leased safety proof run with the
+/// static-analysis pass on and off, so the clock-reduction /
+/// activity-mask payoff is a recorded number rather than a claim.
+#[derive(Clone, Debug)]
+pub struct ReductionRow {
+    /// Registry scenario name (e.g. `chain-4`).
+    pub scenario: String,
+    /// DBM clock count (network + observer) with the analysis pass on.
+    pub clocks_reduced: usize,
+    /// DBM clock count with the analysis pass off.
+    pub clocks_unreduced: usize,
+    /// Settled states / wall seconds / states-per-sec, analysis on.
+    pub reduced: (usize, f64, f64),
+    /// Settled states / wall seconds / states-per-sec, analysis off.
+    pub unreduced: (usize, f64, f64),
+}
+
 /// Writes the `BENCH_zones.json` perf record shared by
 /// `benches/zones.rs` and `campaign --bench-json`: wall time of the
 /// leased case-study proof, settled states, states/sec, the
-/// passed-list byte accounting, and per-N chain scaling rows.
-/// `falsify_secs` is the optional baseline-falsification timing (the
-/// bench measures it, the campaign does not). The emitted JSON is
-/// round-trip-validated before writing.
+/// passed-list byte accounting, per-N chain scaling rows, and
+/// reduced-vs-unreduced ablation rows. `falsify_secs` is the optional
+/// baseline-falsification timing (the bench measures it, the campaign
+/// does not). The emitted JSON is round-trip-validated before writing.
 pub fn write_zones_bench_json(
     path: &str,
     proof_secs: f64,
@@ -70,6 +88,7 @@ pub fn write_zones_bench_json(
     stats: &SearchStats,
     limits: &Limits,
     scaling: &[ScalingRow],
+    reduction: &[ReductionRow],
 ) {
     let num_u = |u: usize| Value::Num(Number::U(u as u64));
     let num_f = |f: f64| Value::Num(Number::F(f));
@@ -120,6 +139,31 @@ pub fn write_zones_bench_json(
             })
             .collect();
         fields.push(("scaling".into(), Value::Arr(rows)));
+    }
+    if !reduction.is_empty() {
+        let arm = |clocks: usize, (states, secs, rate): (usize, f64, f64)| {
+            Value::Obj(vec![
+                ("dbm_clocks".into(), num_u(clocks)),
+                ("settled_states".into(), num_u(states)),
+                ("wall_ms".into(), num_f(secs * 1e3)),
+                ("states_per_sec".into(), num_f(rate)),
+            ])
+        };
+        let rows: Vec<Value> = reduction
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("scenario".into(), Value::Str(r.scenario.clone())),
+                    ("reduced".into(), arm(r.clocks_reduced, r.reduced)),
+                    ("unreduced".into(), arm(r.clocks_unreduced, r.unreduced)),
+                    (
+                        "speedup".into(),
+                        num_f(r.reduced.2 / r.unreduced.2.max(1e-9)),
+                    ),
+                ])
+            })
+            .collect();
+        fields.push(("reduction".into(), Value::Arr(rows)));
     }
     let json = serde_json::to_string(&Value::Obj(fields)).expect("bench report serializes");
     serde_json::from_str_value(&json).expect("bench JSON must parse back");

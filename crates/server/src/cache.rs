@@ -154,6 +154,7 @@ mod tests {
             winner: Some("symbolic".into()),
             tripped: None,
             backends: Vec::new(),
+            analysis: None,
             wall_ms,
         }
     }

@@ -440,6 +440,7 @@ fn run_job(
                 winner: None,
                 tripped: None,
                 backends: Vec::new(),
+                analysis: None,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
             })
         }

@@ -78,8 +78,9 @@ use crate::montecarlo::wilson_ci;
 use pte_core::pattern::{build_pattern_system, check_conditions, LeaseConfig};
 use pte_tracheotomy::registry;
 use pte_zones::{
-    check_monitored, lower_network, CancelToken, Limits, LocationReachMonitor, Progress,
-    ProgressFn, SymbolicVerdict, TrippedLimit, ZonesError,
+    analyze_lease_pattern, check_monitored, lower_network, CancelToken, Limits,
+    LocationReachMonitor, ModelAnalysis, Progress, ProgressFn, SymbolicVerdict, TrippedLimit,
+    ZonesError,
 };
 use serde::{Deserialize, Number, Serialize, Value};
 use std::fmt;
@@ -341,6 +342,46 @@ impl Default for Verdict {
     }
 }
 
+/// What the [static model analysis](pte_zones::analysis) found about
+/// the verified network — clock reduction results and lint counts,
+/// attached to every report whose system lowers (`pte-lint` renders the
+/// full diagnostics; the report carries the summary).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisSummary {
+    /// Network clocks before the global clock reduction.
+    pub clocks_before: usize,
+    /// Network clocks after dropping unread and merging equivalent ones.
+    pub clocks_after: usize,
+    /// Clocks dropped (never read by a reachable guard or invariant).
+    pub clocks_dropped: usize,
+    /// Clocks merged into an equivalent representative.
+    pub clocks_merged: usize,
+    /// Discretely unreachable locations across all automata.
+    pub locations_unreachable: usize,
+    /// Lint diagnostics at `error` severity.
+    pub errors: usize,
+    /// Lint diagnostics at `warning` severity.
+    pub warnings: usize,
+    /// Lint diagnostics at `info` severity.
+    pub infos: usize,
+}
+
+impl From<&ModelAnalysis> for AnalysisSummary {
+    fn from(a: &ModelAnalysis) -> AnalysisSummary {
+        let s = a.stats();
+        AnalysisSummary {
+            clocks_before: s.clocks_before,
+            clocks_after: s.clocks_after,
+            clocks_dropped: s.clocks_dropped,
+            clocks_merged: s.clocks_merged,
+            locations_unreachable: s.locations_unreachable,
+            errors: s.errors,
+            warnings: s.warnings,
+            infos: s.infos,
+        }
+    }
+}
+
 /// The unified verification report: one top-level verdict (+ witness)
 /// plus per-backend stats. Serializable as-is.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -364,6 +405,9 @@ pub struct VerificationReport {
     /// Every backend that ran, in a fixed backend order (analytic,
     /// exhaustive, montecarlo, symbolic) independent of finish order.
     pub backends: Vec<BackendStats>,
+    /// Static model analysis of the checked arm (`None` only when the
+    /// system does not lower to the clock-like fragment).
+    pub analysis: Option<AnalysisSummary>,
     /// End-to-end wall time of the request, milliseconds.
     pub wall_ms: f64,
 }
@@ -668,11 +712,18 @@ impl VerificationRequest {
                     winner: conclusive.then(|| stats.backend.clone()),
                     tripped: stats.tripped.clone(),
                     backends: vec![stats],
+                    analysis: None,
                     wall_ms: 0.0,
                 }
             }
         };
         report.scenario = scenario_name;
+        // Attach the static analysis summary: purely static (no state
+        // exploration), so it is cheap enough to compute per report and
+        // deterministic per (config, arm).
+        report.analysis = analyze_lease_pattern(&cfg, self.leased)
+            .ok()
+            .map(|a| AnalysisSummary::from(&a));
         report.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         Ok(report)
     }
@@ -1294,6 +1345,7 @@ impl VerificationRequest {
             winner: winner_name,
             tripped,
             backends,
+            analysis: None,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         }
     }

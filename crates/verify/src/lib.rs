@@ -48,8 +48,8 @@ pub mod symbolic;
 
 pub use adversary::{run_with_adversary, Adversary};
 pub use api::{
-    ApiError, BackendSel, BackendStats, Budget, Inconclusive, ProgressSink, Query, Verdict,
-    VerificationReport, VerificationRequest,
+    AnalysisSummary, ApiError, BackendSel, BackendStats, Budget, Inconclusive, ProgressSink, Query,
+    Verdict, VerificationReport, VerificationRequest,
 };
 pub use exhaustive::{explore, explore_with, ExplorationResult};
 pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};

@@ -7,7 +7,7 @@
 //! bidi overrides) must come back exactly.
 
 use proptest::prelude::*;
-use pte_verify::api::{BackendStats, Inconclusive, Verdict, VerificationReport};
+use pte_verify::api::{AnalysisSummary, BackendStats, Inconclusive, Verdict, VerificationReport};
 use serde::{Deserialize as _, Serialize as _};
 
 /// Characters chosen to stress JSON escaping: ASCII, quotes and
@@ -95,17 +95,45 @@ fn backend_stats() -> BoxedStrategy<BackendStats> {
         .boxed()
 }
 
+fn analysis() -> BoxedStrategy<Option<AnalysisSummary>> {
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(0usize..200, 8).prop_map(|ns| {
+            Some(AnalysisSummary {
+                clocks_before: ns[0],
+                clocks_after: ns[1],
+                clocks_dropped: ns[2],
+                clocks_merged: ns[3],
+                locations_unreachable: ns[4],
+                errors: ns[5],
+                warnings: ns[6],
+                infos: ns[7],
+            })
+        }),
+    ]
+    .boxed()
+}
+
 fn report() -> BoxedStrategy<VerificationReport> {
     (
         option_text(),
         boolean(),
         verdict(),
-        (option_text(), option_text(), option_text()),
+        // The vendored proptest implements `Strategy` for tuples of at
+        // most six elements; nest to stay under the limit.
+        (option_text(), option_text(), option_text(), analysis()),
         proptest::collection::vec(backend_stats(), 0..4),
         0.0f64..6e4,
     )
         .prop_map(
-            |(scenario, leased, verdict, (witness, winner, tripped), backends, wall_ms)| {
+            |(
+                scenario,
+                leased,
+                verdict,
+                (witness, winner, tripped, analysis),
+                backends,
+                wall_ms,
+            )| {
                 VerificationReport {
                     scenario,
                     leased,
@@ -114,6 +142,7 @@ fn report() -> BoxedStrategy<VerificationReport> {
                     winner,
                     tripped,
                     backends,
+                    analysis,
                     wall_ms,
                 }
             },
@@ -171,6 +200,14 @@ fn every_inconclusive_reason_round_trips() {
                 cancelled: matches!(reason, Inconclusive::Cancelled),
                 ..BackendStats::default()
             }],
+            analysis: Some(AnalysisSummary {
+                clocks_before: 5,
+                clocks_after: 5,
+                warnings: 3,
+                infos: 3,
+                locations_unreachable: 2,
+                ..AnalysisSummary::default()
+            }),
             wall_ms: 1.5,
         };
         assert_eq!(round_trip(&report), report, "reason {reason:?}");
@@ -206,6 +243,7 @@ fn unusual_witness_text_round_trips() {
                 rendered: format!("unsafe: {witness}"),
                 ..BackendStats::default()
             }],
+            analysis: None,
             wall_ms: 0.25,
         };
         let back = round_trip(&report);

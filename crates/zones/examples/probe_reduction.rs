@@ -1,0 +1,38 @@
+//! Ad-hoc probe: print the static analysis summary for registry-style
+//! configurations (kept as a development aid; `pte-lint` is the real
+//! surface).
+
+use pte_core::pattern::{build_pattern_system, LeaseConfig};
+use pte_zones::{analyze, lower_network};
+
+fn main() {
+    for (name, cfg) in [
+        ("case-study", LeaseConfig::case_study()),
+        ("chain-4", LeaseConfig::chain(4)),
+        ("chain-6", LeaseConfig::chain(6)),
+    ] {
+        for leased in [true, false] {
+            let sys = build_pattern_system(&cfg, leased).unwrap();
+            let net = lower_network(&sys.automata).unwrap();
+            let a = analyze(&net);
+            let s = a.stats();
+            println!(
+                "{name} leased={leased}: clocks {}->{} (dropped {}, merged {}), \
+                 unreachable locs {}, E/W/I {}/{}/{}, masks trivial={} shared={}",
+                s.clocks_before,
+                s.clocks_after,
+                s.clocks_dropped,
+                s.clocks_merged,
+                s.locations_unreachable,
+                s.errors,
+                s.warnings,
+                s.infos,
+                a.activity.is_trivial(),
+                a.activity.shared,
+            );
+            for d in &a.diagnostics {
+                println!("  {d}");
+            }
+        }
+    }
+}

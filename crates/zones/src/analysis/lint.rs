@@ -1,0 +1,314 @@
+//! Model lint: structured diagnostics over a lowered network.
+//!
+//! Each check is purely static and deterministic (model order), so a
+//! given network always lints identically — the property the CI lint
+//! gate relies on. Severity semantics:
+//!
+//! * [`Severity::Error`] — the model asks for something impossible
+//!   (e.g. a statically unsatisfiable guard). The `pte-lint` binary
+//!   and the CI gate fail on these.
+//! * [`Severity::Warning`] — dead model text (unreachable locations,
+//!   edges that can never fire or never complete). Often intentional
+//!   fallout of register folding, but worth a look.
+//! * [`Severity::Info`] — observations (receiver-less sends, registers
+//!   folded to constants, clocks the reduction dropped or merged).
+
+use super::clocks::ClockReduction;
+use super::reachable::{atoms_satisfiable, NetReachability};
+use crate::ta::{Atom, Rel, TaNetwork};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Diagnostic severity, ordered `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// An observation; nothing is wrong.
+    Info,
+    /// Dead or suspicious model text.
+    Warning,
+    /// A statically impossible construct.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable kebab-case check identifier (e.g. `unsat-guard`).
+    pub code: &'static str,
+    /// Owning automaton, when the finding is automaton-scoped.
+    pub automaton: Option<String>,
+    /// Location name or `edge #k: src -> dst` site description.
+    pub site: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(a) = &self.automaton {
+            write!(f, " {a}")?;
+        }
+        if let Some(s) = &self.site {
+            write!(f, " at {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Renders an edge site as `edge #k: src -> dst`.
+fn edge_site(net: &TaNetwork, ai: usize, eid: usize) -> String {
+    let aut = &net.automata[ai];
+    let e = &aut.edges[eid];
+    format!(
+        "edge #{eid}: {} -> {}",
+        aut.locations[e.src].name, aut.locations[e.dst].name
+    )
+}
+
+/// Runs every lint check, in deterministic order.
+pub fn lint(net: &TaNetwork, reach: &NetReachability, red: &ClockReduction) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    unreachable_locations(net, reach, &mut out);
+    unsat_guards(net, reach, &mut out);
+    dead_edges(net, reach, &mut out);
+    no_receiver_sends(net, reach, &mut out);
+    register_constants(net, reach, &mut out);
+    reduced_clocks(net, red, &mut out);
+    out
+}
+
+/// `unreachable-location` (warning): no run can enter the location.
+/// Register folding routinely produces these (location × mode products
+/// for mode values nothing assigns).
+fn unreachable_locations(net: &TaNetwork, reach: &NetReachability, out: &mut Vec<Diagnostic>) {
+    for (ai, aut) in net.automata.iter().enumerate() {
+        for (li, loc) in aut.locations.iter().enumerate() {
+            if !reach.reachable[ai][li] {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "unreachable-location",
+                    automaton: Some(aut.name.clone()),
+                    site: Some(loc.name.clone()),
+                    message: "location is unreachable in the discrete graph".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `unsat-guard` (error): the guard contradicts itself or the source
+/// invariant it must fire under — the edge asks for an impossible
+/// transition.
+fn unsat_guards(net: &TaNetwork, reach: &NetReachability, out: &mut Vec<Diagnostic>) {
+    for (ai, aut) in net.automata.iter().enumerate() {
+        for (eid, e) in aut.edges.iter().enumerate() {
+            if reach.unsat_guard[ai][eid] {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: "unsat-guard",
+                    automaton: Some(aut.name.clone()),
+                    site: Some(edge_site(net, ai, eid)),
+                    message: if atoms_satisfiable(&[e.guard.as_slice()]) {
+                        "guard contradicts the source invariant".to_string()
+                    } else {
+                        "guard bounds are contradictory; the edge can never fire".to_string()
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// `dead-edge` (warning): the edge never fires for a reason other than
+/// its own guard — a receive nothing emits, or a target whose
+/// invariant rejects every post-reset valuation. (Edges from
+/// unreachable sources are implied by `unreachable-location` and not
+/// re-reported.)
+fn dead_edges(net: &TaNetwork, reach: &NetReachability, out: &mut Vec<Diagnostic>) {
+    for (ai, aut) in net.automata.iter().enumerate() {
+        for (eid, e) in aut.edges.iter().enumerate() {
+            if reach.unsat_guard[ai][eid] || !reach.reachable[ai][e.src] {
+                continue;
+            }
+            if reach.dead_edge[ai][eid] {
+                let root = e.sync.root().map(|r| r.as_str().to_string());
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "dead-edge",
+                    automaton: Some(aut.name.clone()),
+                    site: Some(edge_site(net, ai, eid)),
+                    message: format!(
+                        "receive of `{}` can never fire: no live edge emits it",
+                        root.unwrap_or_default()
+                    ),
+                });
+                continue;
+            }
+            // Fireable, but can the target be entered? Clocks the edge
+            // resets enter the target at their reset value; the rest
+            // must satisfy guard ∧ target invariant jointly.
+            let reset_violates = aut.locations[e.dst].invariant.iter().any(|a| {
+                e.resets
+                    .iter()
+                    .find(|(c, _)| *c == a.clock)
+                    .is_some_and(|&(_, v)| !const_satisfies(v, a))
+            });
+            let unreset: Vec<Atom> = aut.locations[e.dst]
+                .invariant
+                .iter()
+                .filter(|a| !e.resets.iter().any(|(c, _)| *c == a.clock))
+                .copied()
+                .collect();
+            if reset_violates || !atoms_satisfiable(&[e.guard.as_slice(), unreset.as_slice()]) {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "dead-edge",
+                    automaton: Some(aut.name.clone()),
+                    site: Some(edge_site(net, ai, eid)),
+                    message: "target invariant rejects every valuation the edge produces"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `v ⋈ ticks` for a constant clock value `v`.
+fn const_satisfies(v: i64, a: &Atom) -> bool {
+    match a.rel {
+        Rel::Le => v <= a.ticks,
+        Rel::Lt => v < a.ticks,
+        Rel::Ge => v >= a.ticks,
+        Rel::Gt => v > a.ticks,
+    }
+}
+
+/// `no-receiver-send` (info): a live edge emits an event no automaton
+/// has a receiving edge for — an output to the environment (plant
+/// signals like `evt_to_stop_*`), or a wiring mistake.
+fn no_receiver_sends(net: &TaNetwork, reach: &NetReachability, out: &mut Vec<Diagnostic>) {
+    use std::collections::HashSet;
+    let received: HashSet<&str> = net
+        .automata
+        .iter()
+        .flat_map(|a| a.edges.iter())
+        .filter_map(|e| e.sync.root().map(|r| r.as_str()))
+        .collect();
+    let mut reported: HashSet<&str> = HashSet::new();
+    for (ai, aut) in net.automata.iter().enumerate() {
+        for (_, e) in reach.live_edges(net, ai) {
+            for r in &e.emits {
+                if !received.contains(r.as_str()) && reported.insert(r.as_str()) {
+                    out.push(Diagnostic {
+                        severity: Severity::Info,
+                        code: "no-receiver-send",
+                        automaton: Some(aut.name.clone()),
+                        site: None,
+                        message: format!(
+                            "emitted event `{}` has no receiver; treated as an environment output",
+                            r.as_str()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `register-constant` (info): the lowering folds hybrid registers
+/// into location × mode products, naming locations `base [reg=val]`.
+/// When every *reachable* location of an automaton agrees on one value
+/// for a register, the register is constant in practice and its other
+/// mode copies are dead weight.
+fn register_constants(net: &TaNetwork, reach: &NetReachability, out: &mut Vec<Diagnostic>) {
+    for (ai, aut) in net.automata.iter().enumerate() {
+        // register -> (reachable values, total values) observed in names.
+        let mut values: BTreeMap<String, (Vec<String>, usize)> = BTreeMap::new();
+        for (li, loc) in aut.locations.iter().enumerate() {
+            for (reg, val) in parse_mode_suffix(&loc.name) {
+                let entry = values.entry(reg).or_default();
+                entry.1 += 1;
+                if reach.reachable[ai][li] && !entry.0.contains(&val) {
+                    entry.0.push(val);
+                }
+            }
+        }
+        for (reg, (reachable_vals, total)) in values {
+            if reachable_vals.len() == 1 && total > aut.locations.len() / 2 {
+                out.push(Diagnostic {
+                    severity: Severity::Info,
+                    code: "register-constant",
+                    automaton: Some(aut.name.clone()),
+                    site: None,
+                    message: format!(
+                        "register `{reg}` holds the constant value {} in every reachable \
+                         location; its other mode copies are unreachable",
+                        reachable_vals[0]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Parses the lowering's ` [reg=val,...]` location-name suffix.
+fn parse_mode_suffix(name: &str) -> Vec<(String, String)> {
+    let Some(open) = name.rfind(" [") else {
+        return Vec::new();
+    };
+    let Some(inner) = name[open + 2..].strip_suffix(']') else {
+        return Vec::new();
+    };
+    inner
+        .split(',')
+        .filter_map(|kv| {
+            kv.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+/// `unread-clock` / `duplicate-clock` (info): what the global clock
+/// reduction found.
+fn reduced_clocks(net: &TaNetwork, red: &ClockReduction, out: &mut Vec<Diagnostic>) {
+    for &c in &red.dropped {
+        out.push(Diagnostic {
+            severity: Severity::Info,
+            code: "unread-clock",
+            automaton: None,
+            site: None,
+            message: format!(
+                "clock `{}` is never read by a reachable guard or invariant; \
+                 the reduction drops it",
+                net.clocks[c - 1]
+            ),
+        });
+    }
+    for &(dup, rep) in &red.merged {
+        out.push(Diagnostic {
+            severity: Severity::Info,
+            code: "duplicate-clock",
+            automaton: None,
+            site: None,
+            message: format!(
+                "clock `{}` always equals `{}` (reset together by the same live edges); \
+                 the reduction merges them",
+                net.clocks[dup - 1],
+                net.clocks[rep - 1]
+            ),
+        });
+    }
+}

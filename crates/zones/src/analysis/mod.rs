@@ -1,0 +1,150 @@
+//! Static model analysis over lowered [`TaNetwork`]s.
+//!
+//! Runs once per model, after [`crate::lower::lower_network`] and
+//! before [`crate::reach::check`], and produces three artifacts:
+//!
+//! 1. **Clock reduction** ([`ClockReduction`], the Reveaal/ECDAR pass):
+//!    clocks never read by any reachable guard or invariant are
+//!    dropped, and clocks that are provably equal forever — reset by
+//!    exactly the same live edges to the same values, hence never
+//!    diverging — are merged onto one representative. The result is an
+//!    index remapping ([`TaNetwork::apply_clock_map`]) that shrinks the
+//!    DBM dimension the engine pays O(k²)–O(k³) for.
+//! 2. **Activity masks** ([`ActivityMasks`], UPPAAL's active-clock
+//!    reduction): a backward liveness dataflow per automaton computes,
+//!    for every location, which of the automaton's clocks may still be
+//!    read before their next reset. The engine frees dead clocks per
+//!    state ([`crate::dbm::Dbm::free`]), collapsing zones that differ
+//!    only in dead-clock history.
+//! 3. **Lint diagnostics** ([`lint::Diagnostic`]): unreachable
+//!    locations, statically unsatisfiable guards, dead edges,
+//!    receiver-less sends, and registers folded to constants —
+//!    surfaced by the `pte-lint` binary and attached to verification
+//!    reports.
+//!
+//! Soundness contract: every transformation here preserves the
+//! verdict of the reachability check bit-for-bit. Dropped clocks are
+//! unread, merged clocks are equal in every reachable valuation, and
+//! freed clocks are dead (unread before their next reset), so no
+//! guard, invariant, or observer constraint ever sees a different
+//! value. Counter-example *traces* are additionally pinned by the
+//! engine itself: [`crate::reach::check`] re-derives any violation
+//! with the reduction disabled, so witness text is identical by
+//! construction (see `Limits::reduce_clocks`).
+//!
+//! On the paper's own chain models the honest finding is that the
+//! **global** pass reduces nothing: during the innermost nested lease
+//! every supervisor stage timer `g_k`, the phase clock `c`, and every
+//! device clock are simultaneously live — the pattern's concurrency is
+//! exactly what the paper verifies. The measured win on chains comes
+//! from the *per-location* masks (device clocks are dead in
+//! `Fall-Back`, stage timers before their grant), while the global
+//! pass pays off on models with genuinely redundant clocks (the lint
+//! fixtures and proptest-generated networks exercise both).
+
+mod activity;
+mod clocks;
+pub mod lint;
+mod reachable;
+
+pub use activity::ActivityMasks;
+pub use clocks::ClockReduction;
+pub use lint::{Diagnostic, Severity};
+pub use reachable::NetReachability;
+
+use crate::ta::TaNetwork;
+
+/// Everything the static analysis learned about one lowered network.
+#[derive(Clone, Debug)]
+pub struct ModelAnalysis {
+    /// Discrete reachability / dead-edge classification.
+    pub reachability: NetReachability,
+    /// The global clock reduction (identity when nothing is redundant).
+    pub reduction: ClockReduction,
+    /// Per-(automaton, location) dead-clock masks **over the reduced
+    /// clock space** (the space the engine explores when the reduction
+    /// is enabled).
+    pub activity: ActivityMasks,
+    /// Structured lint findings, in deterministic model order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Compact numeric summary of a [`ModelAnalysis`], sized for
+/// verification reports and bench records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Network clocks before the global reduction.
+    pub clocks_before: usize,
+    /// Network clocks after dropping/merging.
+    pub clocks_after: usize,
+    /// Clocks dropped because nothing reachable reads them.
+    pub clocks_dropped: usize,
+    /// Clocks merged into an always-equal representative.
+    pub clocks_merged: usize,
+    /// Statically unreachable locations across all automata.
+    pub locations_unreachable: usize,
+    /// Lint findings with [`Severity::Error`].
+    pub errors: usize,
+    /// Lint findings with [`Severity::Warning`].
+    pub warnings: usize,
+    /// Lint findings with [`Severity::Info`].
+    pub infos: usize,
+}
+
+impl ModelAnalysis {
+    /// The numeric summary of this analysis.
+    pub fn stats(&self) -> AnalysisStats {
+        let (mut errors, mut warnings, mut infos) = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => infos += 1,
+            }
+        }
+        AnalysisStats {
+            clocks_before: self.reduction.map.len().saturating_sub(1),
+            clocks_after: self.reduction.kept.len(),
+            clocks_dropped: self.reduction.dropped.len(),
+            clocks_merged: self.reduction.merged.len(),
+            locations_unreachable: self
+                .reachability
+                .reachable
+                .iter()
+                .map(|locs| locs.iter().filter(|r| !**r).count())
+                .sum(),
+            errors,
+            warnings,
+            infos,
+        }
+    }
+
+    /// `true` if any diagnostic is [`Severity::Error`] — the CI lint
+    /// gate's failure condition.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Runs the full static analysis over a lowered network.
+///
+/// Deterministic: iteration is in model order everywhere, so the same
+/// network always produces the same diagnostics, reduction, and masks.
+pub fn analyze(net: &TaNetwork) -> ModelAnalysis {
+    let reachability = NetReachability::compute(net);
+    let reduction = ClockReduction::compute(net, &reachability);
+    // Liveness runs over the *reduced* network (reads of merged clocks
+    // land on their representative), reusing the reachability — the
+    // discrete structure is untouched by the clock map.
+    let reduced = reduction.apply(net);
+    let activity = ActivityMasks::compute(&reduced, &reachability);
+    let diagnostics = lint::lint(net, &reachability, &reduction);
+    ModelAnalysis {
+        reachability,
+        reduction,
+        activity,
+        diagnostics,
+    }
+}

@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod dbm;
 pub mod intern;
 pub mod lower;
@@ -76,6 +77,9 @@ pub mod monitor;
 pub mod reach;
 pub mod ta;
 
+pub use analysis::{
+    analyze, ActivityMasks, AnalysisStats, ClockReduction, Diagnostic, ModelAnalysis, Severity,
+};
 pub use dbm::{Bound, Dbm, DbmPool, MinimalDbm};
 pub use lower::{lower_network, LowerError};
 pub use monitor::{
@@ -165,6 +169,16 @@ pub fn check_lease_pattern_with(
     // clones an automaton.
     let spec = ObserverSpec::from(cfg.pte_spec());
     check(&net, &spec, limits).map_err(ZonesError::Spec)
+}
+
+/// Builds and lowers one arm of the `N`-entity lease-pattern system
+/// for `cfg` and runs the [static model analysis](analysis) over it —
+/// the entry point `pte-lint` and the verification report's `analysis`
+/// stats use. Purely static: no state-space exploration happens.
+pub fn analyze_lease_pattern(cfg: &LeaseConfig, leased: bool) -> Result<ModelAnalysis, ZonesError> {
+    let sys = build_pattern_system(cfg, leased).map_err(|e| ZonesError::Build(format!("{e:?}")))?;
+    let net = lower_network(&sys.automata)?;
+    Ok(analyze(&net))
 }
 
 #[cfg(test)]

@@ -105,6 +105,7 @@
 //! admitted — so settled-state counts are comparable only within a
 //! version, never across the optimization boundary.
 
+use crate::analysis::{analyze, ActivityMasks};
 use crate::dbm::{Dbm, DbmPool, MinimalDbm};
 use crate::intern::Interner;
 use crate::monitor::{
@@ -218,6 +219,14 @@ pub struct SearchStats {
     /// `peak_passed_bytes_full / peak_passed_bytes` is the measured
     /// compression factor (asserted ≥ 2× in `bench/benches/zones.rs`).
     pub peak_passed_bytes_full: usize,
+    /// DBM clock dimensions the search actually explored (network plus
+    /// observer clocks, *after* the static clock reduction when
+    /// [`Limits::reduce_clocks`] is on).
+    pub dbm_clocks: usize,
+    /// DBM clock dimensions the unreduced network would have used.
+    /// Equal to [`SearchStats::dbm_clocks`] when reduction is off or
+    /// found nothing to drop.
+    pub dbm_clocks_unreduced: usize,
 }
 
 /// Which exploration limit ended an inconclusive search.
@@ -341,6 +350,15 @@ pub struct Limits {
     /// Optional progress callback, invoked at every BFS round boundary
     /// with settled/frontier counts and elapsed wall time.
     pub progress: Option<ProgressFn>,
+    /// Run the [static model analysis](crate::analysis) before the
+    /// search ([`check`] only): drop/merge provably redundant network
+    /// clocks (shrinking every DBM) and free per-location dead clocks
+    /// during exploration, exactly as the monitor already does for its
+    /// observer clocks. On by default; the verdict and the
+    /// counter-example text are identical either way — a violation
+    /// found in the reduced space is re-derived on the unreduced
+    /// network, so witnesses never mention a remapped clock.
+    pub reduce_clocks: bool,
 }
 
 impl Default for Limits {
@@ -352,6 +370,7 @@ impl Default for Limits {
             extrapolation: Extrapolation::default(),
             cancel: None,
             progress: None,
+            reduce_clocks: true,
         }
     }
 }
@@ -365,6 +384,7 @@ impl fmt::Debug for Limits {
             .field("extrapolation", &self.extrapolation)
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("reduce_clocks", &self.reduce_clocks)
             .finish()
     }
 }
@@ -579,6 +599,10 @@ struct Engine<'s> {
     recv: Vec<Vec<Vec<RecvEdge>>>,
     /// `emit_ids[ai][eid]` — interned roots the edge emits.
     emit_ids: Vec<Vec<Vec<u16>>>,
+    /// Per-location dead-clock masks over the *network's* clock space
+    /// (already in `net`'s indices when `net` is a reduced network).
+    /// `None` when reduction is off or the masks are trivial.
+    masks: Option<&'s ActivityMasks>,
     shards: Vec<Mutex<Shard>>,
 }
 
@@ -595,8 +619,53 @@ pub fn check(
     spec: &ObserverSpec,
     limits: &Limits,
 ) -> Result<SymbolicVerdict, String> {
-    let monitor = PteMonitor::new(net, spec)?;
-    check_monitored(net, &monitor, limits)
+    if !limits.reduce_clocks {
+        let monitor = PteMonitor::new(net, spec)?;
+        return check_monitored(net, &monitor, limits);
+    }
+
+    // Static analysis first: drop/merge provably redundant network
+    // clocks (smaller DBMs on every operation) and collect per-location
+    // dead-clock masks for the search to free, the same collapse the
+    // monitor already applies to its own observer clocks.
+    let analysis = analyze(net);
+    let reduced;
+    let rnet: &TaNetwork = if analysis.reduction.is_identity() {
+        net
+    } else {
+        reduced = analysis.reduction.apply(net);
+        &reduced
+    };
+    let monitor = PteMonitor::new(rnet, spec)?;
+    let masks = (analysis.activity.clocks != 0 && !analysis.activity.is_trivial())
+        .then_some(&analysis.activity);
+
+    match check_monitored_with(rnet, &monitor, limits, masks)? {
+        // Rerun-on-violation: the reduced search is the fast path for
+        // proofs; a falsification is re-derived on the unreduced
+        // network so the counter-example text (clock names, zone
+        // constraints, step list) is byte-identical to a run with
+        // reduction off — the engine's determinism guarantee extended
+        // across this knob. Freeing dead clocks never removes a
+        // reachable violation (it only widens zones along dimensions
+        // no future guard or observer constraint reads), so the rerun
+        // finds a violation too; if it instead trips a budget first,
+        // that inconclusive verdict is returned as-is — conservative,
+        // never wrong.
+        SymbolicVerdict::Unsafe(_) => {
+            let mut legacy = limits.clone();
+            legacy.reduce_clocks = false;
+            check(net, spec, &legacy)
+        }
+        SymbolicVerdict::Safe(mut stats) => {
+            stats.dbm_clocks_unreduced = net.clock_count() + monitor.clock_names().len();
+            Ok(SymbolicVerdict::Safe(stats))
+        }
+        SymbolicVerdict::OutOfBudget { mut stats, tripped } => {
+            stats.dbm_clocks_unreduced = net.clock_count() + monitor.clock_names().len();
+            Ok(SymbolicVerdict::OutOfBudget { stats, tripped })
+        }
+    }
 }
 
 /// Runs the symbolic safety check of any [`Monitor`] composed with
@@ -613,6 +682,19 @@ pub fn check_monitored(
     net: &TaNetwork,
     monitor: &dyn Monitor,
     limits: &Limits,
+) -> Result<SymbolicVerdict, String> {
+    check_monitored_with(net, monitor, limits, None)
+}
+
+/// [`check_monitored`] plus optional per-location dead-clock masks over
+/// `net`'s clock space (what [`check`] computes from the static
+/// analysis — callers handing masks for a *different* network would
+/// free live clocks and lose soundness, hence not public).
+fn check_monitored_with(
+    net: &TaNetwork,
+    monitor: &dyn Monitor,
+    limits: &Limits,
+    masks: Option<&ActivityMasks>,
 ) -> Result<SymbolicVerdict, String> {
     let base = net.clock_count();
     let nclocks = base + monitor.clock_names().len();
@@ -717,6 +799,7 @@ pub fn check_monitored(
         urgent,
         recv,
         emit_ids,
+        masks,
         shards: (0..SHARD_COUNT)
             .map(|_| Mutex::new(Shard::default()))
             .collect(),
@@ -839,7 +922,13 @@ impl Engine<'_> {
     /// phases (participating in each) until a verdict is reached.
     fn drive(&self, sync: &RoundSync, limits: &Limits, helpers: usize) -> SymbolicVerdict {
         let started = Instant::now();
-        let mut stats = SearchStats::default();
+        let mut stats = SearchStats {
+            // `check` overwrites the unreduced count when it ran the
+            // reduction; on the direct path both are the real dimension.
+            dbm_clocks: self.nclocks,
+            dbm_clocks_unreduced: self.nclocks,
+            ..SearchStats::default()
+        };
         let mut pool = DbmPool::new();
 
         // Seed round: resolve + cook the initial state on this thread.
@@ -1524,6 +1613,17 @@ impl Engine<'_> {
         // of its clocks are dead in this state, collapsing zones that
         // differ only in dead-clock history.
         self.monitor.reduce_activity(&w.locs, &w.mon, &mut w.zone);
+        // …and the same collapse for the network's own clocks, from the
+        // static per-location liveness masks. A freed clock is reset
+        // before its next read, so no future guard, invariant, or
+        // observer constraint can tell the difference.
+        if let Some(masks) = self.masks {
+            let mut dead = masks.dead_mask(&w.locs);
+            while dead != 0 {
+                w.zone.free(dead.trailing_zeros() as usize + 1);
+                dead &= dead - 1;
+            }
+        }
 
         // Early subsumption probe — *before* extrapolation: if an
         // already-passed zone (from a previous round; phase 1 never
