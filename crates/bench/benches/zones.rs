@@ -12,7 +12,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pte_core::pattern::LeaseConfig;
 use pte_zones::dbm::{Bound, Dbm};
-use pte_zones::{check_lease_pattern_with, lower_network, Extrapolation, Limits, SymbolicVerdict};
+use pte_zones::reach::check_monitored;
+use pte_zones::{
+    check_lease_pattern_with, demo_fleet, lower_network, Extrapolation, Limits,
+    LocationReachMonitor, SymbolicVerdict,
+};
 use std::time::Instant;
 
 fn case_limits() -> Limits {
@@ -180,20 +184,23 @@ fn bench_passed_compression(_c: &mut Criterion) {
 }
 
 /// N-entity chain scaling: settled states and states/sec of the leased
-/// safety proof for `chain-2` … `chain-4` (the registry's scalable
+/// safety proof for `chain-2` … `chain-8` (the registry's scalable
 /// scenario family), run with the default engine — static analysis on,
 /// so the rows track what `check` actually does. The unreduced
 /// trajectory (≈ 57k states at `chain-4`, ≈ 477k at `chain-6`) is
 /// recorded separately by [`reduction_rows`]. The measured rows are
-/// printed and carried into `BENCH_zones.json` by [`emit_bench_json`].
+/// printed and carried into `BENCH_zones.json` by [`emit_bench_json`];
+/// the bench gate requires the `chain-8` row, so a regression that
+/// makes the deep chain infeasible fails CI instead of dropping a row.
 fn chain_scaling_rows() -> Vec<pte_bench::ScalingRow> {
     let mut rows = Vec::new();
-    for n in 2..=4usize {
+    for n in 2..=8usize {
         let cfg = LeaseConfig::chain(n);
         // Real headroom over the explored set: a small future shift
-        // must not turn this row into an OutOfBudget panic.
+        // must not turn this row into an OutOfBudget panic. Deep chains
+        // need the registry-scale budget.
         let limits = Limits {
-            max_states: 120_000,
+            max_states: if n >= 6 { 1_000_000 } else { 120_000 },
             ..case_limits()
         };
         let t = Instant::now();
@@ -280,10 +287,66 @@ fn reduction_rows() -> Vec<pte_bench::ReductionRow> {
     rows
 }
 
+/// Symmetry-quotient ablation on the structurally symmetric demo
+/// fleet (the lease chains are asymmetric, so the quotient
+/// self-disables there — measuring it on a chain would record a no-op).
+/// Each row is a full fleet exploration with the orbit quotient on and
+/// off: fleet-3 sequentially, fleet-4 at 4 workers (its unquotiented
+/// arm settles ≈ 130k states — the expensive run that motivates the
+/// quotient). The ≥ 5× state reduction is asserted per row so the
+/// acceptance number can't silently bit-rot, and one run per arm:
+/// the unquotiented fleet-4 exploration is far too slow for best-of-5.
+fn symmetry_rows() -> Vec<pte_bench::SymmetryRow> {
+    let mut rows = Vec::new();
+    for (devices, workers) in [(3usize, 1usize), (4, 4)] {
+        let arm = |symmetry: bool| -> (usize, f64, f64, usize) {
+            let limits = Limits {
+                max_states: 400_000,
+                max_workers: workers,
+                symmetry,
+                ..Limits::default()
+            };
+            let net = demo_fleet(devices);
+            let monitor = LocationReachMonitor::new(&net, &[]).unwrap();
+            let t = Instant::now();
+            let verdict = check_monitored(&net, &monitor, &limits).unwrap();
+            let secs = t.elapsed().as_secs_f64();
+            let SymbolicVerdict::Safe(stats) = verdict else {
+                panic!("fleet-{devices} exploration must settle (symmetry={symmetry})");
+            };
+            (stats.states, secs, stats.states as f64 / secs, stats.orbits)
+        };
+        let (states_q, secs_q, rate_q, orbits) = arm(true);
+        let (states_f, secs_f, rate_f, _) = arm(false);
+        println!(
+            "bench: symbolic_symmetry/fleet-{devices}                          \
+             quotient {states_q} states / {:.0} ms vs full {states_f} states / {:.0} ms \
+             ({:.1}x states, {orbits} orbits folded)",
+            secs_q * 1e3,
+            secs_f * 1e3,
+            states_f as f64 / states_q.max(1) as f64,
+        );
+        assert!(
+            states_q * 5 <= states_f,
+            "the quotient must shrink fleet-{devices} by ≥ 5× \
+             (quotient {states_q} vs full {states_f})"
+        );
+        assert!(orbits > 0, "the quotient must engage on the fleet");
+        rows.push(pte_bench::SymmetryRow {
+            model: format!("fleet-{devices}"),
+            quotient: (states_q, secs_q, rate_q),
+            full: (states_f, secs_f, rate_f),
+            orbits,
+        });
+    }
+    rows
+}
+
 /// Emits `BENCH_zones.json`: best-of-5 wall time of the leased
 /// case-study proof (plus the baseline falsification), settled states,
 /// states/sec, the passed-list byte accounting, the chain scaling
-/// rows, and the reduced-vs-unreduced ablation rows.
+/// rows, the reduced-vs-unreduced ablation rows, and the
+/// symmetry-quotient rows.
 fn emit_bench_json(_c: &mut Criterion) {
     let cfg = LeaseConfig::case_study();
     let limits = case_limits();
@@ -313,6 +376,7 @@ fn emit_bench_json(_c: &mut Criterion) {
 
     let scaling = chain_scaling_rows();
     let reduction = reduction_rows();
+    let symmetry = symmetry_rows();
     let path = std::env::var("BENCH_ZONES_JSON").unwrap_or_else(|_| "BENCH_zones.json".to_string());
     pte_bench::write_zones_bench_json(
         &path,
@@ -322,6 +386,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         &limits,
         &scaling,
         &reduction,
+        &symmetry,
     );
 }
 

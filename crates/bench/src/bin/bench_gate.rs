@@ -1,7 +1,10 @@
 //! Bench-regression gate: compares a freshly emitted `BENCH_zones.json`
 //! against the committed baseline and fails (exit 1) when the
 //! case-study row's `states_per_sec` regressed by more than the
-//! allowed fraction.
+//! allowed fraction, when any chain scaling row present in **both**
+//! records regressed past the same margin, or when the fresh record
+//! lacks the `chain-8` scaling row (the deep chain must stay feasible,
+//! not silently drop out of the bench).
 //!
 //! ```sh
 //! cargo run --release -p pte-bench --bin bench_gate -- \
@@ -20,9 +23,17 @@
 use pte_bench::arg_value;
 use serde::Value;
 
-/// Reads `path` and extracts the case-study `states_per_sec` plus the
-/// `wall_ms` of a zones bench record.
-fn read_record(path: &str) -> Result<(f64, f64), String> {
+/// One zones bench record: the case-study throughput/wall-time pair
+/// plus the per-scenario chain scaling throughputs (scenario →
+/// states_per_sec, for rows that carry a sequential timing).
+struct Record {
+    states_per_sec: f64,
+    wall_ms: f64,
+    scaling: Vec<(String, f64)>,
+}
+
+/// Reads and validates a zones bench record at `path`.
+fn read_record(path: &str) -> Result<Record, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let value = serde_json::from_str_value(&text).map_err(|e| format!("parse {path}: {e}"))?;
     let Value::Obj(fields) = &value else {
@@ -42,7 +53,26 @@ fn read_record(path: &str) -> Result<(f64, f64), String> {
         Some((_, Value::Str(s))) if s == "zones" => {}
         _ => return Err(format!("{path}: not a zones bench record")),
     }
-    Ok((field("states_per_sec")?, field("wall_ms")?))
+    let mut scaling = Vec::new();
+    if let Some((_, Value::Arr(rows))) = fields.iter().find(|(k, _)| k == "scaling") {
+        for row in rows {
+            let Value::Obj(row) = row else { continue };
+            let get = |name: &str| row.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let (Some(Value::Str(scenario)), Some(Value::Num(rate))) =
+                (get("scenario"), get("states_per_sec"))
+            else {
+                // Campaign-derived rows carry no contention-free
+                // timing; they are informational, not gated.
+                continue;
+            };
+            scaling.push((scenario.clone(), rate.as_f64()));
+        }
+    }
+    Ok(Record {
+        states_per_sec: field("states_per_sec")?,
+        wall_ms: field("wall_ms")?,
+        scaling,
+    })
 }
 
 fn num_f(v: Option<&str>, default: f64) -> f64 {
@@ -55,30 +85,68 @@ fn main() {
     let baseline_path = arg_value(&args, "--baseline")
         .unwrap_or_else(|| "crates/bench/BENCH_zones.baseline.json".to_string());
     let max_regression = num_f(arg_value(&args, "--max-regression").as_deref(), 0.25);
+    let floor = 1.0 - max_regression;
 
-    let (fresh, fresh_ms) = read_record(&fresh_path).unwrap_or_else(|e| {
+    let fresh = read_record(&fresh_path).unwrap_or_else(|e| {
         eprintln!("bench gate: {e}");
         std::process::exit(2);
     });
-    let (baseline, baseline_ms) = read_record(&baseline_path).unwrap_or_else(|e| {
+    let baseline = read_record(&baseline_path).unwrap_or_else(|e| {
         eprintln!("bench gate: {e}");
         std::process::exit(2);
     });
 
-    let ratio = fresh / baseline;
+    let mut failed = false;
+    let ratio = fresh.states_per_sec / baseline.states_per_sec;
     println!(
-        "bench gate: case-study states/sec {fresh:.0} vs baseline {baseline:.0} \
-         (ratio {ratio:.2}; wall {fresh_ms:.1} ms vs {baseline_ms:.1} ms; \
-         allowed regression {max_regression:.0}%)",
-        max_regression = max_regression * 100.0
+        "bench gate: case-study states/sec {:.0} vs baseline {:.0} \
+         (ratio {ratio:.2}; wall {:.1} ms vs {:.1} ms; \
+         allowed regression {:.0}%)",
+        fresh.states_per_sec,
+        baseline.states_per_sec,
+        fresh.wall_ms,
+        baseline.wall_ms,
+        max_regression * 100.0
     );
-    if ratio < 1.0 - max_regression {
+    if ratio < floor {
         eprintln!(
             "bench gate FAILED: fresh throughput is {:.0}% of baseline \
              (floor {:.0}%) — the zone-engine hot path regressed",
             ratio * 100.0,
-            (1.0 - max_regression) * 100.0
+            floor * 100.0
         );
+        failed = true;
+    }
+
+    // The deep chain must stay in the record: a change that makes
+    // chain-8 blow its budget would otherwise just drop the row.
+    if !fresh.scaling.iter().any(|(s, _)| s == "chain-8") {
+        eprintln!("bench gate FAILED: fresh record has no chain-8 scaling row");
+        failed = true;
+    }
+
+    // Per-scenario scaling throughput, for rows both records carry.
+    for (scenario, fresh_rate) in &fresh.scaling {
+        let Some((_, base_rate)) = baseline.scaling.iter().find(|(s, _)| s == scenario) else {
+            continue;
+        };
+        let ratio = fresh_rate / base_rate;
+        println!(
+            "bench gate: {scenario} states/sec {fresh_rate:.0} vs baseline \
+             {base_rate:.0} (ratio {ratio:.2})"
+        );
+        if ratio < floor {
+            eprintln!(
+                "bench gate FAILED: {scenario} throughput is {:.0}% of baseline \
+                 (floor {:.0}%)",
+                ratio * 100.0,
+                floor * 100.0
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
     println!("bench gate passed");

@@ -8,16 +8,26 @@
 //! `error`-severity, `2` on usage/build failures, `0` otherwise
 //! (warnings and infos never fail the gate).
 //!
+//! The canonical pattern allowlist
+//! ([`pte_zones::analysis::lint::pattern_allowlist`]) is applied by
+//! default, downgrading the base pattern's *intentional* dead text
+//! (the `lease_deny` receives that go live only under
+//! `PatternOptions { deny_capable: true }`, and the `[approval_bad=1]`
+//! mode copies of the register fold) to info — so registry scenarios
+//! lint warning-clean and any *new* warning stands out. `--raw` shows
+//! undowngraded findings.
+//!
 //! ```sh
 //! cargo run --release -p pte-bench --bin pte-lint                # all scenarios
 //! cargo run --release -p pte-bench --bin pte-lint -- chain-4    # one scenario
 //! cargo run --release -p pte-bench --bin pte-lint -- --chain 8  # ad-hoc chain N
+//! cargo run --release -p pte-bench --bin pte-lint -- --raw      # no allowlist
 //! cargo run --release -p pte-bench --bin pte-lint -- --arm leased --json
 //! ```
 
 use pte_core::pattern::LeaseConfig;
 use pte_tracheotomy::registry;
-use pte_zones::{analyze_lease_pattern, ModelAnalysis};
+use pte_zones::{analyze_lease_pattern, apply_allowlist, pattern_allowlist, ModelAnalysis};
 use serde::{Number, Value};
 
 /// One linted (scenario, arm) cell.
@@ -27,14 +37,19 @@ struct Cell {
     analysis: ModelAnalysis,
 }
 
-fn lint_config(name: &str, cfg: &LeaseConfig, arms: &[bool], out: &mut Vec<Cell>) {
+fn lint_config(name: &str, cfg: &LeaseConfig, arms: &[bool], raw: bool, out: &mut Vec<Cell>) {
     for &leased in arms {
         match analyze_lease_pattern(cfg, leased) {
-            Ok(analysis) => out.push(Cell {
-                name: name.to_string(),
-                leased,
-                analysis,
-            }),
+            Ok(mut analysis) => {
+                if !raw {
+                    apply_allowlist(&mut analysis.diagnostics, &pattern_allowlist());
+                }
+                out.push(Cell {
+                    name: name.to_string(),
+                    leased,
+                    analysis,
+                })
+            }
             Err(e) => {
                 eprintln!("pte-lint: {name} (leased={leased}): {e}");
                 std::process::exit(2);
@@ -83,6 +98,7 @@ fn cell_value(c: &Cell) -> Value {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
+    let raw = args.iter().any(|a| a == "--raw");
     let arms: &[bool] = match pte_bench::arg_value(&args, "--arm").as_deref() {
         None | Some("both") => &[true, false],
         Some("leased") => &[true],
@@ -103,6 +119,7 @@ fn main() {
             &format!("chain-{n}"),
             &LeaseConfig::chain(n),
             arms,
+            raw,
             &mut cells,
         );
     }
@@ -118,7 +135,7 @@ fn main() {
     if !named.is_empty() {
         for name in named {
             match registry::by_name(name) {
-                Some(s) => lint_config(&s.name, &s.config, arms, &mut cells),
+                Some(s) => lint_config(&s.name, &s.config, arms, raw, &mut cells),
                 None => {
                     eprintln!(
                         "{}",
@@ -130,7 +147,7 @@ fn main() {
         }
     } else if cells.is_empty() {
         for s in registry::registry() {
-            lint_config(&s.name, &s.config, arms, &mut cells);
+            lint_config(&s.name, &s.config, arms, raw, &mut cells);
         }
     }
 

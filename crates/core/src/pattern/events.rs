@@ -93,6 +93,20 @@ impl EventNames {
     pub fn env_approval_bad(&self) -> Root {
         Root::new("env_approval_bad")
     }
+
+    /// Environment event: entity `i`'s `ParticipationCondition` became
+    /// true again. Local to `ξi` (a wired sensor), hence reliable. Only
+    /// deny-capable participants receive these
+    /// ([`crate::pattern::build_participant_deniable`]).
+    pub fn env_participation_ok(&self, i: usize) -> Root {
+        Root::new(format!("env_participation_ok_xi{i}"))
+    }
+
+    /// Environment event: entity `i`'s `ParticipationCondition` became
+    /// false.
+    pub fn env_participation_bad(&self, i: usize) -> Root {
+        Root::new(format!("env_participation_bad_xi{i}"))
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +124,14 @@ mod tests {
         assert_eq!(e.abort(2).as_str(), "evt_xi0_to_xi2_abort");
         assert_eq!(e.exit(1).as_str(), "evt_xi1_to_xi0_exit");
         assert_eq!(e.to_stop(2).as_str(), "evt_to_stop_xi2");
+        assert_eq!(
+            e.env_participation_ok(1).as_str(),
+            "env_participation_ok_xi1"
+        );
+        assert_eq!(
+            e.env_participation_bad(2).as_str(),
+            "env_participation_bad_xi2"
+        );
     }
 
     #[test]
@@ -133,6 +155,8 @@ mod tests {
                 e.abort(i),
                 e.exit(i),
                 e.to_stop(i),
+                e.env_participation_ok(i),
+                e.env_participation_bad(i),
             ]);
         }
         let mut dedup = all.clone();

@@ -31,6 +31,6 @@ pub use config::LeaseConfig;
 pub use events::EventNames;
 pub use initializer::build_initializer;
 pub use no_lease::strip_leases;
-pub use participant::build_participant;
+pub use participant::{build_participant, build_participant_deniable};
 pub use supervisor::build_supervisor;
-pub use system::{build_pattern_system, PatternSystem};
+pub use system::{build_pattern_system, build_pattern_system_with, PatternOptions, PatternSystem};

@@ -19,6 +19,7 @@
 
 use crate::pattern::config::LeaseConfig;
 use crate::pattern::events::EventNames;
+use pte_hybrid::automaton::VarKind;
 use pte_hybrid::{BuildError, Expr, HybridAutomaton, Pred};
 
 /// Builds the Participant automaton for entity `ξi` (`1 ≤ i ≤ N−1`).
@@ -32,6 +33,30 @@ pub fn build_participant(
     i: usize,
     participation_condition: Pred,
 ) -> Result<HybridAutomaton, BuildError> {
+    build_participant_impl(cfg, i, Some(participation_condition))
+}
+
+/// Builds a **deny-capable** Participant: `ParticipationCondition` is
+/// the register predicate `participate_bad ≤ 0.5`, maintained by the
+/// reliable local environment events `env_participation_ok_xi{i}` /
+/// `env_participation_bad_xi{i}` (mirroring the Supervisor's
+/// `approval_bad` machinery). With the condition falsifiable, the L0
+/// deny edge — and the Supervisor's `lease_deny` receive that aborts
+/// the chain — is live.
+pub fn build_participant_deniable(
+    cfg: &LeaseConfig,
+    i: usize,
+) -> Result<HybridAutomaton, BuildError> {
+    build_participant_impl(cfg, i, None)
+}
+
+/// Shared body: `Some(pred)` uses the caller's participation condition
+/// verbatim (the base pattern); `None` wires the deniable register.
+fn build_participant_impl(
+    cfg: &LeaseConfig,
+    i: usize,
+    external_condition: Option<Pred>,
+) -> Result<HybridAutomaton, BuildError> {
     assert!((1..cfg.n).contains(&i), "participant index must be in 1..N");
     let ev = EventNames::new(cfg.n);
     let t_enter = cfg.t_enter[i - 1].as_secs_f64();
@@ -40,6 +65,13 @@ pub fn build_participant(
 
     let mut b = HybridAutomaton::builder(cfg.entity_name(i));
     let c = b.clock("c");
+    let (participation_condition, participate_bad) = match external_condition {
+        Some(p) => (p, None),
+        None => {
+            let bad = b.var("participate_bad", VarKind::Continuous, 0.0);
+            (Pred::le(Expr::var(bad), Expr::c(0.5)), Some(bad))
+        }
+    };
 
     let fall_back = b.location("Fall-Back");
     let l0 = b.location("L0");
@@ -53,6 +85,19 @@ pub fn build_participant(
         .on_lossy(ev.lease_req(i))
         .reset_clock(c)
         .done();
+    // Deny-capable participants track their participation condition in
+    // Fall-Back via reliable environment maintenance self-loops, exactly
+    // as the Supervisor tracks `approval_bad`.
+    if let Some(bad) = participate_bad {
+        b.edge(fall_back, fall_back)
+            .on(ev.env_participation_ok(i))
+            .reset(bad, Expr::c(0.0))
+            .done();
+        b.edge(fall_back, fall_back)
+            .on(ev.env_participation_bad(i))
+            .reset(bad, Expr::c(1.0))
+            .done();
+    }
 
     // L0: zero-dwell decision on ParticipationCondition.
     b.invariant(l0, Pred::le(Expr::var(c), Expr::c(0.0)));
@@ -235,6 +280,50 @@ mod tests {
             .events_with_root("evt_xi1_to_xi0_lease_approve")
             .is_empty());
         assert!(trace.risky_intervals(0).is_empty());
+    }
+
+    /// The deniable participant's condition register round-trips: a bad
+    /// environment event makes the next lease request deny, a good one
+    /// restores approval — so both L0 edges (and the Supervisor's
+    /// `lease_deny` receive downstream) are live model text.
+    #[test]
+    fn deniable_participant_denies_then_recovers() {
+        let p = build_participant_deniable(&LeaseConfig::case_study(), 1).unwrap();
+        let stim = stimulus(vec![
+            (0.5, "env_participation_bad_xi1"),
+            (1.0, "evt_xi0_to_xi1_lease_req"),
+            (2.0, "env_participation_ok_xi1"),
+            (3.0, "evt_xi0_to_xi1_lease_req"),
+        ]);
+        let exec = Executor::new(vec![p, stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(10.0)).unwrap();
+        assert_eq!(trace.events_with_root("evt_xi1_to_xi0_lease_deny").len(), 1);
+        assert_eq!(
+            trace.events_with_root("evt_xi1_to_xi0_lease_approve").len(),
+            1
+        );
+    }
+
+    /// With no environment interference the deniable participant behaves
+    /// exactly like the base one (all-zero initial data satisfies the
+    /// condition), and its validation report is clean — no intentionally
+    /// dead deny edge to excuse.
+    #[test]
+    fn deniable_participant_defaults_to_approving() {
+        let p = build_participant_deniable(&LeaseConfig::case_study(), 1).unwrap();
+        let report = validate(&p);
+        assert!(
+            report.findings.is_empty(),
+            "unexpected findings: {:?}",
+            report.findings
+        );
+        let stim = stimulus(vec![(1.0, "evt_xi0_to_xi1_lease_req")]);
+        let exec = Executor::new(vec![p, stim], ExecutorConfig::default()).unwrap();
+        let trace = exec.run_until(Time::seconds(50.0)).unwrap();
+        assert_eq!(trace.risky_intervals(0).len(), 1);
+        assert!(trace
+            .events_with_root("evt_xi1_to_xi0_lease_deny")
+            .is_empty());
     }
 
     #[test]

@@ -8,9 +8,26 @@
 use crate::pattern::config::LeaseConfig;
 use crate::pattern::initializer::build_initializer;
 use crate::pattern::no_lease::strip_leases;
-use crate::pattern::participant::build_participant;
+use crate::pattern::participant::{build_participant, build_participant_deniable};
 use crate::pattern::supervisor::build_supervisor;
 use pte_hybrid::{BuildError, HybridAutomaton, Pred};
+
+/// Assembly options beyond the leased/baseline arm switch. `Default`
+/// reproduces the base pattern exactly, so every existing call site is
+/// unchanged by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PatternOptions {
+    /// Build **deny-capable** participants
+    /// ([`build_participant_deniable`]): each `ξi` maintains its own
+    /// `ParticipationCondition` register, driven by the reliable local
+    /// events `env_participation_ok_xi{i}` / `env_participation_bad_xi{i}`,
+    /// which makes the L0 deny edge — and the Supervisor's `lease_deny`
+    /// receive that starts the abort chain — live model text. `false`
+    /// (the default) keeps the base pattern's always-true condition,
+    /// whose deny edge is intentionally dead (the lint allowlist
+    /// documents it).
+    pub deny_capable: bool,
+}
 
 /// A fully assembled pattern system.
 #[derive(Clone, Debug)]
@@ -46,10 +63,23 @@ impl PatternSystem {
 /// entity are stripped (the paper's "without Lease" comparison arm); the
 /// Supervisor is unchanged in both arms.
 pub fn build_pattern_system(cfg: &LeaseConfig, leased: bool) -> Result<PatternSystem, BuildError> {
+    build_pattern_system_with(cfg, leased, PatternOptions::default())
+}
+
+/// [`build_pattern_system`] with explicit [`PatternOptions`].
+pub fn build_pattern_system_with(
+    cfg: &LeaseConfig,
+    leased: bool,
+    opts: PatternOptions,
+) -> Result<PatternSystem, BuildError> {
     let mut automata = Vec::with_capacity(cfg.n + 1);
     automata.push(build_supervisor(cfg)?);
     for i in 1..cfg.n {
-        let mut p = build_participant(cfg, i, Pred::True)?;
+        let mut p = if opts.deny_capable {
+            build_participant_deniable(cfg, i)?
+        } else {
+            build_participant(cfg, i, Pred::True)?
+        };
         if !leased {
             p = strip_leases(&p);
         }
@@ -172,6 +202,45 @@ mod tests {
         assert!(trace.risky_intervals(1).is_empty());
         assert!(trace.risky_intervals(2).is_empty());
         assert!(trace.drop_count() > 0);
+    }
+
+    /// Deny-capable assembly: the deny wiring is closed (the lossy
+    /// `lease_deny` roots the Supervisor receives are now emitted by a
+    /// live participant edge), and an environment veto before the lease
+    /// round makes the whole chain abort instead of running.
+    #[test]
+    fn deny_capable_system_wires_and_vetoes() {
+        let cfg = LeaseConfig::case_study();
+        let opts = PatternOptions { deny_capable: true };
+        let sys = build_pattern_system_with(&cfg, true, opts).unwrap();
+        assert_eq!(sys.automata.len(), 3);
+        let emitted: Vec<String> = sys
+            .automata
+            .iter()
+            .flat_map(|a| a.emit_roots())
+            .map(|r| r.as_str().to_string())
+            .collect();
+        assert!(emitted.iter().any(|e| e == "evt_xi1_to_xi0_lease_deny"));
+
+        let mut exec = Executor::new(sys.automata, ExecutorConfig::default()).unwrap();
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "environment",
+            vec![(Time::seconds(1.0), Root::new("env_participation_bad_xi1"))],
+        )));
+        exec.add_driver(Box::new(ScriptedDriver::new(
+            "surgeon",
+            vec![(Time::seconds(14.0), Root::new("cmd_request"))],
+        )));
+        let trace = exec.run_until(Time::seconds(120.0)).unwrap();
+        assert!(!trace
+            .events_with_root("evt_xi1_to_xi0_lease_deny")
+            .is_empty());
+        // The veto keeps everyone out of risky: the participant never
+        // approved and the supervisor aborted before approving ξN.
+        assert!(trace.risky_intervals(1).is_empty());
+        assert!(trace.risky_intervals(2).is_empty());
+        let report = check_pte(&trace, &cfg.pte_spec());
+        assert!(report.is_safe(), "{report}");
     }
 
     #[test]

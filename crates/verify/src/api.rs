@@ -79,8 +79,8 @@ use pte_core::pattern::{build_pattern_system, check_conditions, LeaseConfig};
 use pte_tracheotomy::registry;
 use pte_zones::{
     analyze_lease_pattern, check_monitored, lower_network, CancelToken, Limits,
-    LocationReachMonitor, ModelAnalysis, Progress, ProgressFn, SymbolicVerdict, TrippedLimit,
-    ZonesError,
+    LocationReachMonitor, ModelAnalysis, Progress, ProgressFn, Scheduler, SymbolicVerdict,
+    TrippedLimit, ZonesError,
 };
 use serde::{Deserialize, Number, Serialize, Value};
 use std::fmt;
@@ -179,6 +179,16 @@ pub struct Budget {
     pub trials: Option<usize>,
     /// Monte-Carlo base seed (trials use `seed..seed + trials`).
     pub seed: u64,
+    /// Symbolic symmetry quotient ([`Limits::symmetry`]). Unset: the
+    /// engine default (on — and self-gating, so asymmetric models are
+    /// unaffected either way).
+    pub symmetry: Option<bool>,
+    /// Run the symbolic search under the work-stealing frontier
+    /// scheduler ([`pte_zones::Scheduler::WorkStealing`]) instead of
+    /// the default round barrier. Verdicts and counter-example text
+    /// are identical; per-round statistics are not bit-stable, which
+    /// is why the knob is opt-in. Unset: round barrier.
+    pub work_stealing: Option<bool>,
 }
 
 /// A verification request: *what system* (registry scenario or inline
@@ -509,7 +519,7 @@ pub type ProgressSink = Arc<dyn Fn(&str, &Progress) + Send + Sync>;
 /// [`Query`], [`BackendSel`], or the normalized budget changes, so a
 /// persisted report cache can never serve a report produced under a
 /// different request schema.
-pub const CACHE_KEY_VERSION: u64 = 1;
+pub const CACHE_KEY_VERSION: u64 = 2;
 
 /// FNV-1a, 64-bit: the dependency-free stable hash behind
 /// [`VerificationRequest::cache_key`]. Not cryptographic — the cache it
@@ -644,6 +654,20 @@ impl VerificationRequest {
     /// [`Budget::max_wall_ms`] for which backends honour it).
     pub fn max_wall_ms(mut self, ms: u64) -> Self {
         self.budget.max_wall_ms = Some(ms);
+        self
+    }
+
+    /// Enables or disables the symbolic symmetry quotient (see
+    /// [`Budget::symmetry`]).
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.budget.symmetry = Some(on);
+        self
+    }
+
+    /// Selects the work-stealing frontier scheduler (see
+    /// [`Budget::work_stealing`]).
+    pub fn work_stealing(mut self, on: bool) -> Self {
+        self.budget.work_stealing = Some(on);
         self
     }
 
@@ -869,6 +893,14 @@ impl VerificationRequest {
                 num(self.budget.trials.unwrap_or(DEFAULT_TRIALS) as u64),
             ),
             ("seed".to_string(), num(self.budget.seed)),
+            (
+                "symmetry".to_string(),
+                Value::Bool(self.resolved_symmetry()),
+            ),
+            (
+                "work_stealing".to_string(),
+                Value::Bool(self.resolved_scheduler() == Scheduler::WorkStealing),
+            ),
         ];
         if let Some(wall) = self.budget.max_wall_ms {
             budget.push(("max_wall_ms".to_string(), num(wall)));
@@ -912,7 +944,24 @@ impl VerificationRequest {
             max_wall: self.budget.max_wall_ms.map(Duration::from_millis),
             cancel: Some(cancel),
             progress,
+            symmetry: self.resolved_symmetry(),
+            scheduler: self.resolved_scheduler(),
             ..Limits::default()
+        }
+    }
+
+    /// The symmetry knob with its default applied (the engine default:
+    /// on).
+    fn resolved_symmetry(&self) -> bool {
+        self.budget.symmetry.unwrap_or(Limits::default().symmetry)
+    }
+
+    /// The scheduler the request resolves to (default: round barrier).
+    fn resolved_scheduler(&self) -> Scheduler {
+        if self.budget.work_stealing.unwrap_or(false) {
+            Scheduler::WorkStealing
+        } else {
+            Scheduler::RoundBarrier
         }
     }
 
@@ -1610,7 +1659,9 @@ mod tests {
             .clone()
             .workers(1)
             .depth(DEFAULT_DEPTH)
-            .trials(DEFAULT_TRIALS);
+            .trials(DEFAULT_TRIALS)
+            .symmetry(true)
+            .work_stealing(false);
         assert_eq!(explicit.cache_key().unwrap(), key);
 
         // Wire JSON field order is irrelevant: a reordered request
@@ -1630,6 +1681,8 @@ mod tests {
             by_name.clone().max_states(99),
             by_name.clone().workers(2),
             by_name.clone().max_wall_ms(1000),
+            by_name.clone().symmetry(false),
+            by_name.clone().work_stealing(true),
         ] {
             assert_ne!(other.cache_key().unwrap(), key, "{other:?}");
         }
@@ -1653,9 +1706,9 @@ mod tests {
         let case = VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic);
         let baseline = case.clone().leased(false);
         let chain = VerificationRequest::scenario("chain-3");
-        insta_eq(case.cache_key().unwrap(), "00d14e3326706fa9");
-        insta_eq(baseline.cache_key().unwrap(), "12d9fe3ee42c15bc");
-        insta_eq(chain.cache_key().unwrap(), "fbde288c8729497a");
+        insta_eq(case.cache_key().unwrap(), "024ff959927ea2b6");
+        insta_eq(baseline.cache_key().unwrap(), "31555a6a84e13093");
+        insta_eq(chain.cache_key().unwrap(), "5f631027688c5cb5");
     }
 
     /// Tiny pinned-value helper so the expected digests live in one

@@ -215,6 +215,36 @@ fn location_reach_routes_to_the_symbolic_engine() {
     );
 }
 
+/// The scheduler / symmetry budget knobs reach the engine: a
+/// work-stealing falsification renders the identical witness to the
+/// default round-barrier run (the determinism contract surfaces at
+/// the API layer), and the two requests hash to different cache keys.
+#[test]
+fn scheduler_and_symmetry_knobs_reach_the_engine() {
+    let base = VerificationRequest::scenario("chain-2")
+        .leased(false)
+        .backend(BackendSel::Symbolic);
+    let reference = base.clone().run().expect("chain-2 resolves");
+    assert_eq!(reference.verdict, Verdict::Unsafe);
+    for accelerated in [
+        base.clone().work_stealing(true).workers(4),
+        base.clone().symmetry(false),
+        base.clone().work_stealing(true).symmetry(false).workers(2),
+    ] {
+        let report = accelerated.run().expect("chain-2 resolves");
+        assert_eq!(report.verdict, Verdict::Unsafe);
+        assert_eq!(
+            report.witness, reference.witness,
+            "witness must not depend on scheduler/symmetry knobs"
+        );
+        assert_ne!(
+            accelerated.cache_key().unwrap(),
+            base.cache_key().unwrap(),
+            "knobs must separate cache keys"
+        );
+    }
+}
+
 /// Requests and reports round-trip through the vendored serde — the
 /// wire contract a service layer builds on.
 #[test]

@@ -1,0 +1,81 @@
+//! The registry lints warning-clean under the canonical pattern
+//! allowlist — PR 7's open finding, closed in two halves:
+//!
+//! * the base pattern's `lease_deny` receives and `[approval_bad=1]`
+//!   mode copies are *documented as intentional* by
+//!   [`pte_zones::analysis::lint::pattern_allowlist`], so `pte-lint`
+//!   (which applies the allowlist by default) reports no warnings on
+//!   any registry scenario, and a **new** warning fails this test
+//!   instead of drowning in expected noise;
+//! * the deny path itself exists behind
+//!   [`pte_core::pattern::PatternOptions::deny_capable`] — opting in
+//!   makes the deny receives live model text, so the allowlisted
+//!   `dead-edge` findings disappear *for real* rather than by fiat.
+
+use pte_core::pattern::{build_pattern_system_with, PatternOptions};
+use pte_tracheotomy::registry;
+use pte_zones::analysis::{analyze, apply_allowlist, pattern_allowlist, Severity};
+use pte_zones::{analyze_lease_pattern, lower_network};
+
+/// Every registry scenario, both arms: no error ever, and no warning
+/// once the canonical allowlist has marked the intentional findings.
+#[test]
+fn registry_lints_warning_clean_under_pattern_allowlist() {
+    for s in registry::registry() {
+        for leased in [true, false] {
+            let mut analysis = analyze_lease_pattern(&s.config, leased).unwrap();
+            let errors = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            assert_eq!(errors, 0, "{} (leased={leased}) has lint errors", s.name);
+            apply_allowlist(&mut analysis.diagnostics, &pattern_allowlist());
+            let leftover: Vec<String> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .map(|d| d.to_string())
+                .collect();
+            assert!(
+                leftover.is_empty(),
+                "{} (leased={leased}) still warns after allowlist:\n{}",
+                s.name,
+                leftover.join("\n")
+            );
+        }
+    }
+}
+
+/// The allowlist is not hiding live problems: the base pattern really
+/// does produce the allowlisted warnings (the list is load-bearing,
+/// not vestigial), and the deny-capable assembly eliminates the
+/// `lease_deny` dead-edge findings at the source.
+#[test]
+fn deny_capable_assembly_makes_deny_receives_live() {
+    let s = registry::by_name("chain-3").unwrap();
+
+    let base = analyze_lease_pattern(&s.config, true).unwrap();
+    assert!(
+        base.diagnostics
+            .iter()
+            .any(|d| d.code == "dead-edge" && d.message.contains("lease_deny")),
+        "base pattern should flag the dead deny receives"
+    );
+
+    let opts = PatternOptions { deny_capable: true };
+    let sys = build_pattern_system_with(&s.config, true, opts).unwrap();
+    let net = lower_network(&sys.automata).unwrap();
+    let deny = analyze(&net);
+    assert!(
+        !deny
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "dead-edge" && d.message.contains("lease_deny")),
+        "deny-capable arm must not flag lease_deny receives: {:#?}",
+        deny.diagnostics
+            .iter()
+            .filter(|d| d.code == "dead-edge")
+            .collect::<Vec<_>>()
+    );
+}

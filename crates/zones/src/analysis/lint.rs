@@ -68,6 +68,61 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// An allowlist rule: `(code, needle)`. A [`Severity::Warning`]
+/// diagnostic whose `code` matches and whose site **or** message
+/// contains `needle` is *expected* — [`apply_allowlist`] downgrades it
+/// to [`Severity::Info`] and marks the message. Errors are never
+/// downgraded: an allowlist documents intentional dead model text, not
+/// impossible constructs.
+pub type AllowRule = (String, String);
+
+/// The canonical allowlist for the lease-pattern models — every
+/// warning here is intentional model text, documented at its source:
+///
+/// * `dead-edge` on `lease_deny` receives — the base pattern's
+///   participation condition is `True`, so participants never emit
+///   deny; the Supervisor's receive edges are deliberately present
+///   (they become live under
+///   `pte_core::pattern::PatternOptions { deny_capable: true }`).
+/// * `unreachable-location` on `[approval_bad=1]` mode copies — the
+///   register fold's location × mode product contains Lease-state
+///   copies nothing assigns, because the only edges that set
+///   `approval_bad = 1` leave the lease chain in the same step.
+pub fn pattern_allowlist() -> Vec<AllowRule> {
+    vec![
+        ("dead-edge".to_string(), "lease_deny".to_string()),
+        (
+            "unreachable-location".to_string(),
+            "[approval_bad=1]".to_string(),
+        ),
+    ]
+}
+
+/// Downgrades allowlisted warnings to [`Severity::Info`], appending
+/// ` [allowlisted]` to the message so reports still show *why* the
+/// finding is quiet. Returns how many diagnostics were downgraded.
+/// Deterministic and idempotent (an already-downgraded finding is Info
+/// and no longer matches).
+pub fn apply_allowlist(diags: &mut [Diagnostic], rules: &[AllowRule]) -> usize {
+    let mut downgraded = 0;
+    for d in diags.iter_mut() {
+        if d.severity != Severity::Warning {
+            continue;
+        }
+        let hit = rules.iter().any(|(code, needle)| {
+            d.code == code
+                && (d.site.as_deref().is_some_and(|s| s.contains(needle))
+                    || d.message.contains(needle))
+        });
+        if hit {
+            d.severity = Severity::Info;
+            d.message.push_str(" [allowlisted]");
+            downgraded += 1;
+        }
+    }
+    downgraded
+}
+
 /// Renders an edge site as `edge #k: src -> dst`.
 fn edge_site(net: &TaNetwork, ai: usize, eid: usize) -> String {
     let aut = &net.automata[ai];
@@ -310,5 +365,64 @@ fn reduced_clocks(net: &TaNetwork, red: &ClockReduction, out: &mut Vec<Diagnosti
                 net.clocks[rep - 1]
             ),
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(severity: Severity, code: &'static str, site: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            severity,
+            code,
+            automaton: Some("supervisor".to_string()),
+            site: Some(site.to_string()),
+            message: message.to_string(),
+        }
+    }
+
+    /// The allowlist downgrades matching warnings (by site or message),
+    /// leaves errors and non-matching warnings alone, and is idempotent.
+    #[test]
+    fn allowlist_downgrades_only_matching_warnings() {
+        let mut diags = vec![
+            diag(
+                Severity::Warning,
+                "dead-edge",
+                "edge #3: Lease xi1 -> Abort Lease xi1",
+                "receive of `evt_xi1_to_xi0_lease_deny` can never fire: no live edge emits it",
+            ),
+            diag(
+                Severity::Warning,
+                "unreachable-location",
+                "Lease xi1 [approval_bad=1]",
+                "location is unreachable in the discrete graph",
+            ),
+            // Same code, different site/message: must survive.
+            diag(
+                Severity::Warning,
+                "unreachable-location",
+                "Orphan",
+                "location is unreachable in the discrete graph",
+            ),
+            // Errors are never downgraded, even on a needle hit.
+            diag(
+                Severity::Error,
+                "unsat-guard",
+                "edge #9: L0 -> Fall-Back",
+                "guard mentions lease_deny impossibly",
+            ),
+        ];
+        let rules = pattern_allowlist();
+        assert_eq!(apply_allowlist(&mut diags, &rules), 2);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert!(diags[0].message.ends_with(" [allowlisted]"));
+        assert_eq!(diags[1].severity, Severity::Info);
+        assert_eq!(diags[2].severity, Severity::Warning);
+        assert_eq!(diags[3].severity, Severity::Error);
+        // Idempotent: a second pass finds nothing left to downgrade.
+        assert_eq!(apply_allowlist(&mut diags, &rules), 0);
+        assert!(!diags[0].message.ends_with("[allowlisted] [allowlisted]"));
     }
 }

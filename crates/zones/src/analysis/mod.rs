@@ -49,7 +49,7 @@ mod reachable;
 
 pub use activity::ActivityMasks;
 pub use clocks::ClockReduction;
-pub use lint::{Diagnostic, Severity};
+pub use lint::{apply_allowlist, pattern_allowlist, AllowRule, Diagnostic, Severity};
 pub use reachable::NetReachability;
 
 use crate::ta::TaNetwork;

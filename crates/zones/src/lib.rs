@@ -75,10 +75,12 @@ pub mod intern;
 pub mod lower;
 pub mod monitor;
 pub mod reach;
+pub mod symmetry;
 pub mod ta;
 
 pub use analysis::{
-    analyze, ActivityMasks, AnalysisStats, ClockReduction, Diagnostic, ModelAnalysis, Severity,
+    analyze, apply_allowlist, pattern_allowlist, ActivityMasks, AllowRule, AnalysisStats,
+    ClockReduction, Diagnostic, ModelAnalysis, Severity,
 };
 pub use dbm::{Bound, Dbm, DbmPool, MinimalDbm};
 pub use lower::{lower_network, LowerError};
@@ -87,9 +89,10 @@ pub use monitor::{
     PteMonitor, TransitionCtx, ViolationKind,
 };
 pub use reach::{
-    check, check_monitored, CancelToken, Extrapolation, Limits, Progress, ProgressFn, SearchStats,
-    SymbolicCounterExample, SymbolicVerdict, TrippedLimit,
+    check, check_monitored, CancelToken, Extrapolation, Limits, Progress, ProgressFn, Scheduler,
+    SearchStats, SymbolicCounterExample, SymbolicVerdict, TrippedLimit,
 };
+pub use symmetry::{demo_fleet, detect as detect_symmetry, SymGroup, Symmetry};
 pub use ta::LuBounds;
 
 use pte_core::pattern::{build_pattern_system, LeaseConfig};
