@@ -7,17 +7,30 @@
 //! Besides the human-readable `bench:` lines, the run emits a
 //! machine-readable `BENCH_daemon.json` (path overridable via the
 //! `BENCH_DAEMON_JSON` env var) with the three latencies plus the
-//! derived dispatch overhead and cache speedup.
+//! derived dispatch overhead and cache speedup — and, when the
+//! chain-6 warm-start pass runs, the cold-vs-warm re-verification
+//! latencies after a monitor-weakening delta (the persistent-cache
+//! payoff: the parent proof transfers whole, no re-exploration).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pte_bench::WarmBenchRow;
+use pte_core::rules::PairSpec;
+use pte_hybrid::Time;
 use pte_server::client::Client;
 use pte_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
 use pte_server::transport::Endpoint;
 use pte_verify::{BackendSel, Verdict, VerificationRequest};
+use std::path::PathBuf;
 use std::thread;
 use std::time::Instant;
 
 const SAMPLES: usize = 5;
+/// The warm-start case: re-verifying the deep chain after a
+/// monitor-weakening delta.
+const WARM_SCENARIO: &str = "chain-6";
+/// Warm samples are cheap (proof transfer, no search); cold ones each
+/// re-run the full chain-6 proof, so fewer are taken.
+const WARM_COLD_SAMPLES: usize = 2;
 
 fn request() -> VerificationRequest {
     VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic)
@@ -25,7 +38,11 @@ fn request() -> VerificationRequest {
 
 /// Boots a daemon on a unique Unix socket; returns endpoint, handle,
 /// and serving thread.
-fn boot(cache_capacity: usize, tag: &str) -> (Endpoint, DaemonHandle, thread::JoinHandle<()>) {
+fn boot(
+    cache_capacity: usize,
+    cache_dir: Option<PathBuf>,
+    tag: &str,
+) -> (Endpoint, DaemonHandle, thread::JoinHandle<()>) {
     let endpoint = Endpoint::Unix(std::env::temp_dir().join(format!(
         "pte-verifyd-bench-{}-{tag}.sock",
         std::process::id()
@@ -34,6 +51,9 @@ fn boot(cache_capacity: usize, tag: &str) -> (Endpoint, DaemonHandle, thread::Jo
         endpoint: endpoint.clone(),
         workers: 0,
         cache_capacity,
+        cache_mem_bytes: 0,
+        cache_dir,
+        cache_disk_bytes: 0,
     })
     .expect("bind bench daemon");
     let handle = daemon.handle();
@@ -58,7 +78,7 @@ fn measure_in_process() -> f64 {
 /// Best-of-N cold submit→report latency (cache disabled, so every
 /// submit runs the search).
 fn measure_daemon_cold() -> f64 {
-    let (endpoint, handle, serving) = boot(0, "cold");
+    let (endpoint, handle, serving) = boot(0, None, "cold");
     let mut client = Client::connect(&endpoint).expect("connect");
     let best = (0..SAMPLES)
         .map(|_| {
@@ -78,7 +98,7 @@ fn measure_daemon_cold() -> f64 {
 /// Best-of-N cached submit→report latency (one cold run populates the
 /// entry, then every hit is a lookup).
 fn measure_daemon_cached() -> f64 {
-    let (endpoint, handle, serving) = boot(16, "cached");
+    let (endpoint, handle, serving) = boot(16, None, "cached");
     let mut client = Client::connect(&endpoint).expect("connect");
     let cold = client.verify(&request()).expect("populating verify");
     assert!(!cold.cached);
@@ -97,14 +117,95 @@ fn measure_daemon_cached() -> f64 {
     best
 }
 
+/// The incremental re-verification payoff: prove `chain-6` cold once
+/// (populating the persistent cache), then re-verify a
+/// monitor-weakened variant both cold and warm through the same
+/// daemon. The warm run transfers the parent's whole passed list and
+/// skips the zone search.
+fn measure_daemon_warm() -> WarmBenchRow {
+    let cache_dir =
+        std::env::temp_dir().join(format!("pte-verifyd-bench-{}-warm", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let (endpoint, handle, serving) = boot(16, Some(cache_dir.clone()), "warm");
+    let mut client = Client::connect(&endpoint).expect("connect");
+
+    let scenario = pte_tracheotomy::registry::by_name(WARM_SCENARIO).expect("registry scenario");
+    let parent_req = VerificationRequest::scenario(WARM_SCENARIO).backend(BackendSel::Symbolic);
+    let parent = client.verify(&parent_req).expect("parent proof");
+    assert_eq!(parent.report.verdict, Verdict::Safe);
+
+    // The delta: same network, every safeguard pair weakened — the
+    // canonical "timing slack grew" re-verification.
+    let mut relaxed = scenario.config;
+    relaxed.safeguards =
+        vec![PairSpec::new(Time::seconds(0.5), Time::seconds(0.25)); relaxed.safeguards.len()];
+    let child = VerificationRequest::config(relaxed)
+        .max_states(scenario.recommended_budget)
+        .backend(BackendSel::Symbolic);
+
+    // `--no-cache` keeps every sample an actual run (the warm child
+    // would otherwise be a report hit from its own first sample).
+    let cold_ms = (0..WARM_COLD_SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let outcome = client.verify_with(&child, true).expect("cold re-verify");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(!outcome.cached);
+            assert_eq!(outcome.report.verdict, Verdict::Safe);
+            ms
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let warm_req = child.clone().warm_from(parent.key.clone());
+    let mut seeded_states = 0usize;
+    let warm_ms = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let outcome = client.verify_with(&warm_req, true).expect("warm re-verify");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(!outcome.cached);
+            assert_eq!(outcome.report.verdict, Verdict::Safe);
+            seeded_states = outcome
+                .report
+                .backend("symbolic")
+                .expect("symbolic ran")
+                .warm_seeded;
+            assert!(
+                seeded_states > 0,
+                "the warm submit must actually transfer the parent proof"
+            );
+            ms
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    handle.shutdown();
+    serving.join().expect("bench daemon thread");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    WarmBenchRow {
+        case: format!("{WARM_SCENARIO} safeguards relaxed"),
+        cold_ms,
+        warm_ms,
+        seeded_states,
+    }
+}
+
 fn bench_daemon_latency(_c: &mut Criterion) {
     let in_process_ms = measure_in_process();
     let daemon_cold_ms = measure_daemon_cold();
     let daemon_cached_ms = measure_daemon_cached();
+    let warm = measure_daemon_warm();
 
     println!("bench: daemon/in_process                                 {in_process_ms:.1} ms");
     println!("bench: daemon/cold_submit                                {daemon_cold_ms:.1} ms");
     println!("bench: daemon/cached_submit                              {daemon_cached_ms:.2} ms");
+    println!(
+        "bench: daemon/warm_reverify_cold ({})        {:.1} ms",
+        warm.case, warm.cold_ms
+    );
+    println!(
+        "bench: daemon/warm_reverify_warm ({})        {:.1} ms ({} states transferred)",
+        warm.case, warm.warm_ms, warm.seeded_states
+    );
 
     // A cache hit skips the whole search: it must beat the cold path
     // outright (generously bounded so a loaded CI machine cannot flake
@@ -114,10 +215,25 @@ fn bench_daemon_latency(_c: &mut Criterion) {
         "cache hit ({daemon_cached_ms:.2} ms) must be faster than a cold run \
          ({daemon_cold_ms:.1} ms)"
     );
+    // The warm-start contract from the roadmap: re-verifying the deep
+    // chain after a slack-preserving delta is ≥5× faster than cold.
+    assert!(
+        warm.warm_ms * 5.0 <= warm.cold_ms,
+        "warm re-verification ({:.1} ms) must be at least 5x faster than \
+         cold ({:.1} ms)",
+        warm.warm_ms,
+        warm.cold_ms
+    );
 
     let path =
         std::env::var("BENCH_DAEMON_JSON").unwrap_or_else(|_| "BENCH_daemon.json".to_string());
-    pte_bench::write_daemon_bench_json(&path, in_process_ms, daemon_cold_ms, daemon_cached_ms);
+    pte_bench::write_daemon_bench_json(
+        &path,
+        in_process_ms,
+        daemon_cold_ms,
+        daemon_cached_ms,
+        Some(&warm),
+    );
 }
 
 criterion_group!(benches, bench_daemon_latency);

@@ -10,8 +10,16 @@
 //! cargo run --release -p pte-bench --bin bench_gate -- \
 //!     [--fresh BENCH_zones.json] \
 //!     [--baseline crates/bench/BENCH_zones.baseline.json] \
+//!     [--daemon-fresh BENCH_daemon.json] \
+//!     [--daemon-baseline crates/bench/BENCH_daemon.baseline.json] \
 //!     [--max-regression 0.25]
 //! ```
+//!
+//! When `--daemon-fresh` is given, the daemon record's warm-start row
+//! is gated too: the fresh `warm_speedup` (cold re-verification wall
+//! time over warm) must reach the same fraction of the baseline's,
+//! and the row must be present at all — a change that silently stops
+//! warm starts from engaging would otherwise just drop it.
 //!
 //! The baseline is a real record from the PR 4 container (2 vCPUs);
 //! `--max-regression` (default 0.25, i.e. a fresh run must reach at
@@ -79,6 +87,30 @@ fn num_f(v: Option<&str>, default: f64) -> f64 {
     v.and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
+/// Reads a daemon bench record's warm-start row: `(warm_speedup,
+/// warm_seeded_states)`, or `None` when the record has no warm row.
+fn read_daemon_warm(path: &str) -> Result<Option<(f64, u64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value = serde_json::from_str_value(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Value::Obj(fields) = &value else {
+        return Err(format!("{path}: expected a JSON object"));
+    };
+    match fields.iter().find(|(k, _)| k == "bench") {
+        Some((_, Value::Str(s))) if s == "daemon" => {}
+        _ => return Err(format!("{path}: not a daemon bench record")),
+    }
+    let num = |name: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| match v {
+                Value::Num(n) => Some(n.as_f64()),
+                _ => None,
+            })
+    };
+    Ok(num("warm_speedup").map(|s| (s, num("warm_seeded_states").unwrap_or(0.0) as u64)))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fresh_path = arg_value(&args, "--fresh").unwrap_or_else(|| "BENCH_zones.json".to_string());
@@ -143,6 +175,58 @@ fn main() {
                 floor * 100.0
             );
             failed = true;
+        }
+    }
+
+    // The daemon warm-start row, when a daemon record was supplied.
+    if let Some(daemon_fresh_path) = arg_value(&args, "--daemon-fresh") {
+        let daemon_baseline_path = arg_value(&args, "--daemon-baseline")
+            .unwrap_or_else(|| "crates/bench/BENCH_daemon.baseline.json".to_string());
+        let fresh_warm = read_daemon_warm(&daemon_fresh_path).unwrap_or_else(|e| {
+            eprintln!("bench gate: {e}");
+            std::process::exit(2);
+        });
+        let base_warm = read_daemon_warm(&daemon_baseline_path).unwrap_or_else(|e| {
+            eprintln!("bench gate: {e}");
+            std::process::exit(2);
+        });
+        match (fresh_warm, base_warm) {
+            (None, _) => {
+                eprintln!(
+                    "bench gate FAILED: {daemon_fresh_path} has no warm-start row \
+                     — warm re-verification silently stopped engaging"
+                );
+                failed = true;
+            }
+            (Some((fresh, seeded)), base) => {
+                let base_speedup = base.map(|(s, _)| s);
+                let ratio = base_speedup.map(|b| fresh / b);
+                println!(
+                    "bench gate: warm-start speedup {fresh:.1}x vs baseline {} \
+                     ({seeded} states transferred)",
+                    base_speedup
+                        .map(|b| format!("{b:.1}x (ratio {:.2})", fresh / b))
+                        .unwrap_or_else(|| "none".to_string()),
+                );
+                if seeded == 0 {
+                    eprintln!(
+                        "bench gate FAILED: warm row transferred 0 states — the \
+                         artifact was rejected and the 'warm' run was really cold"
+                    );
+                    failed = true;
+                }
+                if let Some(ratio) = ratio {
+                    if ratio < floor {
+                        eprintln!(
+                            "bench gate FAILED: warm-vs-cold speedup is {:.0}% of \
+                             baseline (floor {:.0}%) — the warm-start path regressed",
+                            ratio * 100.0,
+                            floor * 100.0
+                        );
+                        failed = true;
+                    }
+                }
+            }
         }
     }
 

@@ -6,6 +6,7 @@
 //! pte-verify-client --scenario case-study            # leased arm, symbolic
 //! pte-verify-client --scenario chain-4 --baseline    # lease-stripped arm
 //! pte-verify-client --scenario chain-3 --backend portfolio
+//! pte-verify-client --scenario chain-6 --warm-from KEY   # seed from a prior proof
 //! pte-verify-client --list                           # daemon's catalogue
 //! pte-verify-client --stats                          # scheduler/cache stats
 //! pte-verify-client --shutdown                       # graceful drain
@@ -15,7 +16,14 @@
 //! or `--tcp ADDR`. Request flags: `--baseline`, `--backend
 //! {analytic,exhaustive,montecarlo,symbolic,auto,portfolio}`,
 //! `--budget N` (symbolic state budget), `--workers N`, `--quiet`
-//! (suppress progress lines).
+//! (suppress progress lines), `--no-cache` (bypass both cache tiers for
+//! the lookup and the store), `--warm-from KEY` (ask the daemon to seed
+//! the search from the named prior run's passed-list artifact — needs a
+//! daemon started with `--cache-dir`; inadmissible artifacts silently
+//! fall back to a cold run), and `--relax-safeguards MS` (submit the
+//! scenario's config with every safeguard pair weakened to
+//! `(MS, MS/2)` milliseconds — the canonical warm-start demo: a weaker
+//! monitor over the same network admits the parent's whole proof).
 //!
 //! Exit status mirrors the CLI conventions of `zprobe`: `0` for a
 //! `Safe` verdict (and for `--list`/`--stats`/`--shutdown`), `1` for
@@ -77,8 +85,36 @@ fn run() -> i32 {
                     s.submitted, s.completed, s.cancelled
                 );
                 println!(
-                    "cache: {} entries, {} hits / {} misses, {} evictions",
-                    s.cache_entries, s.cache_hits, s.cache_misses, s.cache_evictions
+                    "cache: {} entries ({} B{}), {} hits / {} misses, {} evictions",
+                    s.cache_entries,
+                    s.cache_bytes,
+                    if s.cache_max_bytes != 0 {
+                        format!(" of {} B", s.cache_max_bytes)
+                    } else {
+                        String::new()
+                    },
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_evictions
+                );
+                println!(
+                    "disk: {} files ({} B{}), {} hits / {} misses, \
+                     {} artifact hits / {} artifact misses, {} stores, \
+                     {} evictions, {} corrupt",
+                    s.disk_files,
+                    s.disk_bytes,
+                    if s.disk_max_bytes != 0 {
+                        format!(" of {} B", s.disk_max_bytes)
+                    } else {
+                        String::new()
+                    },
+                    s.disk_hits,
+                    s.disk_misses,
+                    s.disk_artifact_hits,
+                    s.disk_artifact_misses,
+                    s.disk_stores,
+                    s.disk_evictions,
+                    s.disk_corrupt
                 );
                 println!("uptime: {:.1} s", s.uptime_ms / 1e3);
                 0
@@ -115,18 +151,45 @@ fn run() -> i32 {
             return 2;
         }
     };
-    let mut request = VerificationRequest::scenario(&name)
-        .leased(!args.iter().any(|a| a == "--baseline"))
-        .backend(backend);
+    // `--relax-safeguards MS` swaps the scenario-by-name spelling for
+    // its inline config with every safeguard pair weakened to
+    // `(MS, MS/2)` ms — same network, weaker monitor, so a
+    // `--warm-from` parent proof transfers whole.
+    let mut request = match arg_value(&args, "--relax-safeguards") {
+        Some(ms) => {
+            let Ok(ms) = ms.parse::<u64>() else {
+                eprintln!("--relax-safeguards needs milliseconds, got `{ms}`");
+                return 2;
+            };
+            let Some(scenario) = pte_tracheotomy::registry::by_name(&name) else {
+                eprintln!("unknown scenario `{name}` (relaxation needs the registry config)");
+                return 2;
+            };
+            let mut config = scenario.config;
+            let pair = pte_core::rules::PairSpec::new(
+                pte_hybrid::Time::seconds(ms as f64 / 1e3),
+                pte_hybrid::Time::seconds(ms as f64 / 2e3),
+            );
+            config.safeguards = vec![pair; config.safeguards.len()];
+            VerificationRequest::config(config).max_states(scenario.recommended_budget)
+        }
+        None => VerificationRequest::scenario(&name),
+    }
+    .leased(!args.iter().any(|a| a == "--baseline"))
+    .backend(backend);
     if let Some(budget) = arg_value(&args, "--budget").and_then(|v| v.parse().ok()) {
         request = request.max_states(budget);
     }
     if let Some(workers) = arg_value(&args, "--workers").and_then(|v| v.parse().ok()) {
         request = request.workers(workers);
     }
+    if let Some(parent) = arg_value(&args, "--warm-from") {
+        request = request.warm_from(parent);
+    }
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     let quiet = args.iter().any(|a| a == "--quiet");
 
-    let id = match client.submit(&request) {
+    let id = match client.submit_with(&request, no_cache) {
         Ok(id) => id,
         Err(e) => {
             eprintln!("pte-verify-client: {e}");
@@ -167,6 +230,14 @@ fn run() -> i32 {
         outcome.key,
         if outcome.cached { " (cached)" } else { "" }
     );
+    if let Some(seeded) = outcome
+        .report
+        .backend("symbolic")
+        .map(|b| b.warm_seeded)
+        .filter(|&s| s > 0)
+    {
+        println!("warm-start: {seeded} states transferred");
+    }
     if let Some(witness) = &outcome.report.witness {
         println!("witness:\n{witness}");
     }

@@ -222,21 +222,38 @@ pub fn write_zones_bench_json(
     );
 }
 
+/// The warm-start measurement pair attached to `BENCH_daemon.json`:
+/// re-verifying a perturbed scenario cold vs warm-seeded from the
+/// unperturbed parent's persisted passed-list artifact.
+#[derive(Clone, Debug)]
+pub struct WarmBenchRow {
+    /// What was re-verified (e.g. `chain-6 safeguards relaxed`).
+    pub case: String,
+    /// Best-of-N cold re-verification latency (full zone search).
+    pub cold_ms: f64,
+    /// Best-of-N warm re-verification latency (proof transfer).
+    pub warm_ms: f64,
+    /// States the warm run seeded from the parent artifact.
+    pub seeded_states: usize,
+}
+
 /// Writes the `BENCH_daemon.json` perf record emitted by
 /// `benches/daemon.rs`: best-of-N wall times of the same case-study
 /// proof run three ways — in-process (`VerificationRequest::run`),
 /// through `pte-verifyd` cold (socket + scheduling + a real search),
 /// and through the daemon's report cache — plus the derived dispatch
-/// overhead and cache speedup. The emitted JSON is round-trip-validated
-/// before writing.
+/// overhead and cache speedup, and (when measured) the chain-6
+/// warm-start re-verification row. The emitted JSON is
+/// round-trip-validated before writing.
 pub fn write_daemon_bench_json(
     path: &str,
     in_process_ms: f64,
     daemon_cold_ms: f64,
     daemon_cached_ms: f64,
+    warm: Option<&WarmBenchRow>,
 ) {
     let num_f = |f: f64| Value::Num(Number::F(f));
-    let json = serde_json::to_string(&Value::Obj(vec![
+    let mut fields = vec![
         ("bench".into(), Value::Str("daemon".into())),
         ("case".into(), Value::Str("leased_case_study_proof".into())),
         ("in_process_ms".into(), num_f(in_process_ms)),
@@ -250,13 +267,33 @@ pub fn write_daemon_bench_json(
             "cache_speedup".into(),
             num_f(daemon_cold_ms / daemon_cached_ms.max(1e-9)),
         ),
-    ]))
-    .expect("daemon bench report serializes");
+    ];
+    if let Some(w) = warm {
+        fields.extend([
+            ("warm_case".into(), Value::Str(w.case.clone())),
+            ("warm_cold_ms".into(), num_f(w.cold_ms)),
+            ("warm_ms".into(), num_f(w.warm_ms)),
+            (
+                "warm_speedup".into(),
+                num_f(w.cold_ms / w.warm_ms.max(1e-9)),
+            ),
+            (
+                "warm_seeded_states".into(),
+                Value::Num(Number::U(w.seeded_states as u64)),
+            ),
+        ]);
+    }
+    let json = serde_json::to_string(&Value::Obj(fields)).expect("daemon bench report serializes");
     serde_json::from_str_value(&json).expect("daemon bench JSON must parse back");
     std::fs::write(path, &json).expect("write daemon bench JSON");
     println!(
         "daemon bench record: in-process {in_process_ms:.1} ms, cold {daemon_cold_ms:.1} ms, \
-         cached {daemon_cached_ms:.2} ms -> {path}"
+         cached {daemon_cached_ms:.2} ms{} -> {path}",
+        warm.map(|w| format!(
+            ", warm re-verify {:.1} ms vs cold {:.1} ms",
+            w.warm_ms, w.cold_ms
+        ))
+        .unwrap_or_default()
     );
 }
 

@@ -74,6 +74,16 @@ impl Client {
 
     /// Submits a request and returns the correlation id assigned to it.
     pub fn submit(&mut self, request: &VerificationRequest) -> io::Result<u64> {
+        self.submit_with(request, false)
+    }
+
+    /// Submits a request with an explicit cache policy: `no_cache`
+    /// bypasses both cache tiers for the lookup *and* the store.
+    pub fn submit_with(
+        &mut self,
+        request: &VerificationRequest,
+        no_cache: bool,
+    ) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
         write_frame(
@@ -81,6 +91,7 @@ impl Client {
             &ClientFrame::Submit {
                 id,
                 request: request.clone(),
+                no_cache: no_cache.then_some(true),
             },
         )?;
         Ok(id)
@@ -145,6 +156,17 @@ impl Client {
     /// Convenience: submit + wait, ignoring progress.
     pub fn verify(&mut self, request: &VerificationRequest) -> io::Result<SubmitOutcome> {
         let id = self.submit(request)?;
+        self.wait_report(id, |_| {})
+    }
+
+    /// Convenience: submit with an explicit cache policy + wait,
+    /// ignoring progress.
+    pub fn verify_with(
+        &mut self,
+        request: &VerificationRequest,
+        no_cache: bool,
+    ) -> io::Result<SubmitOutcome> {
+        let id = self.submit_with(request, no_cache)?;
         self.wait_report(id, |_| {})
     }
 

@@ -29,17 +29,18 @@
 //! in-flight reports to flush to their clients, join the connection
 //! threads, unlink the socket.
 
-use crate::cache::ReportCache;
+use crate::cache::{DiskCache, ReportCache};
 use crate::protocol::{read_frame_buffered, write_frame, ClientFrame, DaemonStats, ServerFrame};
 use crate::scheduler::WorkerBudget;
 use crate::signal;
 use crate::transport::{Endpoint, Listener, Stream};
 use parking_lot::Mutex;
 use pte_tracheotomy::registry;
-use pte_verify::api::{Inconclusive, Verdict, VerificationReport, VerificationRequest};
-use pte_verify::{CancelToken, ProgressSink};
+use pte_verify::api::{ArtifactIo, Inconclusive, Verdict, VerificationReport, VerificationRequest};
+use pte_verify::{new_sink, CancelToken, PassedArtifact, ProgressSink};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -67,6 +68,14 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Report-cache capacity in entries (`0` disables caching).
     pub cache_capacity: usize,
+    /// In-memory report-cache byte bound (`0` = unbounded).
+    pub cache_mem_bytes: usize,
+    /// Persistent cache directory. `None` runs memory-only: reports
+    /// die with the daemon and warm starts have no artifact source.
+    pub cache_dir: Option<PathBuf>,
+    /// Disk-tier byte bound (`0` = unbounded), enforced oldest-first
+    /// after every store.
+    pub cache_disk_bytes: u64,
 }
 
 impl DaemonConfig {
@@ -86,6 +95,8 @@ impl DaemonConfig {
 struct Shared {
     budget: WorkerBudget,
     cache: ReportCache,
+    /// The persistent tier, when the daemon was given `--cache-dir`.
+    disk: Option<DiskCache>,
     /// Daemon-local shutdown flag (`Shutdown` frame, [`DaemonHandle`]).
     shutdown: AtomicBool,
     started: Instant,
@@ -107,6 +118,7 @@ impl Shared {
     fn stats(&self) -> DaemonStats {
         let b = self.budget.stats();
         let c = self.cache.stats();
+        let d = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
         DaemonStats {
             worker_budget: b.total,
             workers_in_use: b.in_use,
@@ -121,6 +133,19 @@ impl Shared {
             cache_misses: c.misses,
             cache_entries: c.entries,
             cache_evictions: c.evictions,
+            cache_bytes: c.bytes,
+            cache_capacity: c.capacity,
+            cache_max_bytes: c.max_bytes,
+            disk_hits: d.hits,
+            disk_misses: d.misses,
+            disk_artifact_hits: d.artifact_hits,
+            disk_artifact_misses: d.artifact_misses,
+            disk_corrupt: d.corrupt,
+            disk_stores: d.stores,
+            disk_evictions: d.evictions,
+            disk_bytes: d.bytes,
+            disk_files: d.files,
+            disk_max_bytes: d.max_bytes,
             uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
         }
     }
@@ -157,9 +182,14 @@ impl Daemon {
     /// endpoint is taken (another daemon on the socket / port).
     pub fn bind(config: &DaemonConfig) -> io::Result<Daemon> {
         let listener = Listener::bind(&config.endpoint)?;
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(DiskCache::open(dir, config.cache_disk_bytes)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             budget: WorkerBudget::new(config.resolved_workers()),
-            cache: ReportCache::new(config.cache_capacity),
+            cache: ReportCache::bounded(config.cache_capacity, config.cache_mem_bytes),
+            disk,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -334,8 +364,12 @@ fn handle_frame(
     jobs: &mut Vec<thread::JoinHandle<()>>,
 ) -> bool {
     match frame {
-        ClientFrame::Submit { id, request } => {
-            submit(conn, id, request, jobs);
+        ClientFrame::Submit {
+            id,
+            request,
+            no_cache,
+        } => {
+            submit(conn, id, request, no_cache.unwrap_or(false), jobs);
             false
         }
         ClientFrame::Cancel { id } => {
@@ -364,11 +398,14 @@ fn handle_frame(
 }
 
 /// Handles a `Submit`: validates and keys the request, answers from
-/// cache when possible, otherwise spawns the job thread.
+/// the memory tier, then the disk tier (promoting the report into
+/// memory), otherwise resolves the warm-start artifact and spawns the
+/// job thread. `no_cache` skips both lookups *and* both stores.
 fn submit(
     conn: &Arc<Conn>,
     id: u64,
     request: VerificationRequest,
+    no_cache: bool,
     jobs: &mut Vec<thread::JoinHandle<()>>,
 ) {
     // `cache_key` resolves the scenario, so every malformed-request
@@ -385,21 +422,40 @@ fn submit(
         }
     };
     conn.shared.submitted.fetch_add(1, Ordering::SeqCst);
-    if let Some(report) = conn.shared.cache.get(&key) {
-        let _ = conn.send(&ServerFrame::Accepted {
-            id,
-            key: key.clone(),
-            cached: true,
+    if !no_cache {
+        let hit = conn.shared.cache.get(&key).or_else(|| {
+            // Disk tier: a hit is promoted into memory, so a restarted
+            // daemon pays the file read once per key.
+            let report = conn.shared.disk.as_ref()?.get_report(&key)?;
+            conn.shared.cache.insert(&key, &report);
+            Some(report)
         });
-        let _ = conn.send(&ServerFrame::Report {
-            id,
-            key,
-            cached: true,
-            report,
-        });
-        conn.shared.completed.fetch_add(1, Ordering::SeqCst);
-        return;
+        if let Some(report) = hit {
+            let _ = conn.send(&ServerFrame::Accepted {
+                id,
+                key: key.clone(),
+                cached: true,
+            });
+            let _ = conn.send(&ServerFrame::Report {
+                id,
+                key,
+                cached: true,
+                report,
+            });
+            conn.shared.completed.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
     }
+    // Warm start: the parent key names a prior run whose artifact
+    // lives in the disk tier (memory holds reports only — artifacts
+    // exist to survive restarts). Missing or inadmissible artifacts
+    // degrade to a cold run; they can never flip a verdict.
+    let warm: Option<Arc<PassedArtifact>> = match (&request.parent_key, &conn.shared.disk) {
+        (Some(parent), Some(disk)) if request.budget.warm_start != Some(false) => {
+            disk.get_artifact(parent).map(Arc::new)
+        }
+        _ => None,
+    };
     let _ = conn.send(&ServerFrame::Accepted {
         id,
         key: key.clone(),
@@ -411,19 +467,25 @@ fn submit(
     conn.shared.jobs.lock().insert(job_id, token.clone());
     let conn = Arc::clone(conn);
     jobs.push(thread::spawn(move || {
-        run_job(&conn, id, job_id, key, request, token);
+        run_job(&conn, id, job_id, key, request, warm, no_cache, token);
     }));
 }
 
 /// Executes one admitted request on the job thread: waits for worker
-/// slots, runs capped to the grant, streams throttled progress, sends
-/// the terminal report, and maintains every registry and counter.
+/// slots, runs capped to the grant (warm-seeded when an admissible
+/// parent artifact was resolved), streams throttled progress, sends
+/// the terminal report, persists conclusive results and captured
+/// passed-list artifacts to the disk tier, and maintains every
+/// registry and counter.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     conn: &Arc<Conn>,
     id: u64,
     job_id: u64,
     key: String,
     request: VerificationRequest,
+    warm: Option<Arc<PassedArtifact>>,
+    no_cache: bool,
     token: CancelToken,
 ) {
     let started = Instant::now();
@@ -469,9 +531,25 @@ fn run_job(
                     });
                 })
             };
-            let r = request.run_with_slots(&token, Some(sink), permit.slots());
+            // Capture the passed list only when there is a disk tier
+            // to persist it into — memory holds reports, not proofs.
+            let capture = conn.shared.disk.as_ref().map(|_| new_sink());
+            let io = ArtifactIo {
+                warm,
+                capture: capture.clone(),
+            };
+            let r = request.run_with_artifacts(&token, Some(sink), Some(permit.slots()), &io);
             conn.shared.active.fetch_sub(1, Ordering::SeqCst);
             drop(permit);
+            if let (Ok(report), Some(sink)) = (&r, capture) {
+                if !no_cache && report.verdict == Verdict::Safe {
+                    if let (Some(disk), Some(artifact)) =
+                        (conn.shared.disk.as_ref(), sink.lock().take())
+                    {
+                        disk.put_artifact(&key, &artifact);
+                    }
+                }
+            }
             r
         }
     };
@@ -485,7 +563,12 @@ fn run_job(
             ) {
                 conn.shared.cancelled.fetch_add(1, Ordering::SeqCst);
             }
-            conn.shared.cache.insert(&key, &report);
+            if !no_cache {
+                conn.shared.cache.insert(&key, &report);
+                if let Some(disk) = conn.shared.disk.as_ref() {
+                    disk.put_report(&key, &report);
+                }
+            }
             conn.shared.completed.fetch_add(1, Ordering::SeqCst);
             let _ = conn.send(&ServerFrame::Report {
                 id,

@@ -48,7 +48,7 @@ pub mod scheduler;
 pub mod signal;
 pub mod transport;
 
-pub use cache::{strip_timing, ReportCache};
+pub use cache::{strip_timing, CacheStats, DiskCache, DiskStats, ReportCache};
 pub use client::{Client, SubmitOutcome};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
 pub use protocol::{ClientFrame, DaemonStats, ServerFrame, PROTOCOL_VERSION};

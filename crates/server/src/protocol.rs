@@ -57,6 +57,12 @@ pub enum ClientFrame {
         id: u64,
         /// The request, verbatim `pte_verify::api` data.
         request: VerificationRequest,
+        /// `Some(true)` bypasses **both** cache tiers: the lookup is
+        /// skipped (the search always runs) and the resulting report
+        /// and artifact are not stored. Elided/`null`/`Some(false)`
+        /// mean normal caching, so pre-existing clients are
+        /// unaffected.
+        no_cache: Option<bool>,
     },
     /// Cooperatively cancel an in-flight request. The search stops
     /// within one BFS round and its [`ServerFrame::Report`] carries
@@ -178,14 +184,41 @@ pub struct DaemonStats {
     /// Requests that ended cancelled (client frame, disconnect, or
     /// daemon shutdown).
     pub cancelled: u64,
-    /// Reports served straight from cache.
+    /// Reports served straight from the in-memory cache.
     pub cache_hits: u64,
-    /// Submits that had to run a search.
+    /// Submits the memory tier could not answer.
     pub cache_misses: u64,
-    /// Reports currently cached.
+    /// Reports currently cached in memory.
     pub cache_entries: usize,
-    /// Reports evicted (FIFO) since start.
+    /// Reports evicted (FIFO) from the memory tier since start.
     pub cache_evictions: u64,
+    /// Serialized bytes held by the memory tier.
+    pub cache_bytes: usize,
+    /// Memory-tier entry bound (`0` = caching disabled).
+    pub cache_capacity: usize,
+    /// Memory-tier byte bound (`0` = unbounded).
+    pub cache_max_bytes: usize,
+    /// Reports served from the disk tier (all zero when the daemon
+    /// runs without `--cache-dir`).
+    pub disk_hits: u64,
+    /// Disk-tier report lookups that missed.
+    pub disk_misses: u64,
+    /// Warm-start artifacts served from the disk tier.
+    pub disk_artifact_hits: u64,
+    /// Disk-tier artifact lookups that missed.
+    pub disk_artifact_misses: u64,
+    /// Corrupt / truncated / stale-version files discarded.
+    pub disk_corrupt: u64,
+    /// Files written to the disk tier (reports + artifacts).
+    pub disk_stores: u64,
+    /// Files evicted by the disk byte bound.
+    pub disk_evictions: u64,
+    /// Bytes currently in the disk tier.
+    pub disk_bytes: u64,
+    /// Files currently in the disk tier.
+    pub disk_files: usize,
+    /// Disk-tier byte bound (`0` = unbounded).
+    pub disk_max_bytes: u64,
     /// Daemon uptime, milliseconds.
     pub uptime_ms: f64,
 }
@@ -254,6 +287,12 @@ mod tests {
             ClientFrame::Submit {
                 id: 7,
                 request: VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic),
+                no_cache: None,
+            },
+            ClientFrame::Submit {
+                id: 8,
+                request: VerificationRequest::scenario("chain-3").warm_from("00d14e3326706fa9"),
+                no_cache: Some(true),
             },
             ClientFrame::Cancel { id: 7 },
             ClientFrame::ListScenarios,

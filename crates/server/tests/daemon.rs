@@ -31,6 +31,9 @@ fn boot(workers: usize) -> (Endpoint, DaemonHandle, thread::JoinHandle<()>) {
         endpoint: endpoint.clone(),
         workers,
         cache_capacity: 16,
+        cache_mem_bytes: 0,
+        cache_dir: None,
+        cache_disk_bytes: 0,
     })
     .expect("bind");
     let handle = daemon.handle();

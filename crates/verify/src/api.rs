@@ -78,9 +78,9 @@ use crate::montecarlo::wilson_ci;
 use pte_core::pattern::{build_pattern_system, check_conditions, LeaseConfig};
 use pte_tracheotomy::registry;
 use pte_zones::{
-    analyze_lease_pattern, check_monitored, lower_network, CancelToken, Limits,
-    LocationReachMonitor, ModelAnalysis, Progress, ProgressFn, Scheduler, SymbolicVerdict,
-    TrippedLimit, ZonesError,
+    analyze_lease_pattern, check_monitored, lower_network, ArtifactSink, CancelToken, Limits,
+    LocationReachMonitor, ModelAnalysis, PassedArtifact, Progress, ProgressFn, Scheduler,
+    SymbolicVerdict, TrippedLimit, ZonesError,
 };
 use serde::{Deserialize, Number, Serialize, Value};
 use std::fmt;
@@ -189,6 +189,17 @@ pub struct Budget {
     /// are identical; per-round statistics are not bit-stable, which
     /// is why the knob is opt-in. Unset: round barrier.
     pub work_stealing: Option<bool>,
+    /// Seed the symbolic search from a prior run's passed-list
+    /// artifact when the scheduler supplies one (see
+    /// [`VerificationRequest::parent_key`] and
+    /// [`VerificationRequest::run_with_artifacts`]). Warm starts are
+    /// verdict-preserving by construction — the engine transfers a
+    /// proof only when it re-validates against the new model, and
+    /// falls back to a cold search otherwise — so the knob exists to
+    /// *opt out* (`Some(false)` forces cold even when an artifact is
+    /// available) and to separate warm rows in the report-cache key.
+    /// Unset: warm when an artifact is supplied.
+    pub warm_start: Option<bool>,
 }
 
 /// A verification request: *what system* (registry scenario or inline
@@ -215,6 +226,17 @@ pub struct VerificationRequest {
     pub backend: BackendSel,
     /// The resource budget.
     pub budget: Budget,
+    /// [`VerificationRequest::cache_key`] of a prior request whose
+    /// passed-list artifact this run should warm-start from. Purely a
+    /// scheduler hint: the API layer never resolves keys to artifacts
+    /// itself (a daemon looks the key up in its persistent cache and
+    /// passes the artifact through
+    /// [`VerificationRequest::run_with_artifacts`]), but the key is
+    /// folded into this request's own cache key so warm and cold runs
+    /// of the same configuration never share a cached report. Elided
+    /// (`null`) on the wire when unset, so pre-existing serialized
+    /// requests still deserialize.
+    pub parent_key: Option<String>,
 }
 
 /// Why a backend (or the whole request) failed to reach a verdict.
@@ -328,6 +350,10 @@ pub struct BackendStats {
     /// Symbolic: the same zones as full matrices (compression
     /// denominator).
     pub peak_passed_bytes_full: usize,
+    /// Symbolic: passed-list entries transferred from a prior run's
+    /// artifact instead of being re-explored. `0` on every cold run;
+    /// equal to `states` when a warm start fully transferred the proof.
+    pub warm_seeded: usize,
     /// Exhaustive: completed runs. Monte-Carlo: completed trials.
     pub runs: usize,
     /// Exhaustive: effective decision depth.
@@ -514,6 +540,27 @@ impl std::error::Error for ApiError {}
 /// outside.
 pub type ProgressSink = Arc<dyn Fn(&str, &Progress) + Send + Sync>;
 
+/// Passed-list artifact plumbing for one run, threaded by schedulers
+/// (like `pte-verifyd`) through
+/// [`VerificationRequest::run_with_artifacts`]. Artifacts are runtime
+/// objects, not request data: they never ride the serialized request
+/// (a daemon resolves [`VerificationRequest::parent_key`] against its
+/// own cache and hands the artifact in here), so this struct is not
+/// serde-serializable by design.
+#[derive(Clone, Default)]
+pub struct ArtifactIo {
+    /// A prior run's artifact to warm-start the symbolic engine from.
+    /// Ignored when [`Budget::warm_start`] is `Some(false)`; the
+    /// engine additionally re-validates it against the new model and
+    /// silently runs cold when any gate fails — supplying a stale or
+    /// foreign artifact can never flip a verdict.
+    pub warm: Option<Arc<PassedArtifact>>,
+    /// Sink that receives the passed-list artifact of this run (the
+    /// transferred proof when it warm-started, the freshly captured
+    /// passed list when a PTE-safety search concluded `Safe`).
+    pub capture: Option<ArtifactSink>,
+}
+
 /// Schema version folded into every [`VerificationRequest::cache_key`]
 /// digest. Bump it whenever the serialized shape of [`LeaseConfig`],
 /// [`Query`], [`BackendSel`], or the normalized budget changes, so a
@@ -586,6 +633,7 @@ impl VerificationRequest {
             query: Query::PteSafety,
             backend: BackendSel::Auto,
             budget: Budget::default(),
+            parent_key: None,
         }
     }
 
@@ -599,6 +647,7 @@ impl VerificationRequest {
             query: Query::PteSafety,
             backend: BackendSel::Auto,
             budget: Budget::default(),
+            parent_key: None,
         }
     }
 
@@ -671,6 +720,20 @@ impl VerificationRequest {
         self
     }
 
+    /// Enables or disables warm-starting (see [`Budget::warm_start`]).
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.budget.warm_start = Some(on);
+        self
+    }
+
+    /// Names the prior request (by cache key) whose passed-list
+    /// artifact this run should warm-start from (see
+    /// [`VerificationRequest::parent_key`]).
+    pub fn warm_from(mut self, key: impl Into<String>) -> Self {
+        self.parent_key = Some(key.into());
+        self
+    }
+
     /// Runs the request to completion.
     pub fn run(&self) -> Result<VerificationReport, ApiError> {
         self.run_with(&CancelToken::new(), None)
@@ -686,7 +749,7 @@ impl VerificationRequest {
         cancel: &CancelToken,
         progress: Option<ProgressSink>,
     ) -> Result<VerificationReport, ApiError> {
-        self.dispatch(cancel, progress, None)
+        self.dispatch(cancel, progress, None, &ArtifactIo::default())
     }
 
     /// Scheduler hook: [`VerificationRequest::run_with`] with a hard cap
@@ -706,7 +769,25 @@ impl VerificationRequest {
         progress: Option<ProgressSink>,
         slots: usize,
     ) -> Result<VerificationReport, ApiError> {
-        self.dispatch(cancel, progress, Some(slots.max(1)))
+        self.dispatch(cancel, progress, Some(slots.max(1)), &ArtifactIo::default())
+    }
+
+    /// [`VerificationRequest::run_with_slots`] plus passed-list
+    /// artifact plumbing ([`ArtifactIo`]): `io.warm` seeds the
+    /// symbolic engine from a prior run's proof (subject to the
+    /// engine's soundness gates — an inadmissible artifact silently
+    /// runs cold), `io.capture` receives this run's artifact for
+    /// persistence. `slots = None` means uncapped, like
+    /// [`VerificationRequest::run_with`]. Only the symbolic backend
+    /// consumes either side; the other backends ignore both.
+    pub fn run_with_artifacts(
+        &self,
+        cancel: &CancelToken,
+        progress: Option<ProgressSink>,
+        slots: Option<usize>,
+        io: &ArtifactIo,
+    ) -> Result<VerificationReport, ApiError> {
+        self.dispatch(cancel, progress, slots.map(|s| s.max(1)), io)
     }
 
     /// Shared driver behind [`VerificationRequest::run_with`] (no cap)
@@ -716,17 +797,19 @@ impl VerificationRequest {
         cancel: &CancelToken,
         progress: Option<ProgressSink>,
         cap: Option<usize>,
+        io: &ArtifactIo,
     ) -> Result<VerificationReport, ApiError> {
         let (cfg, scenario_name, recommended) = self.resolve()?;
         let started = Instant::now();
         let members = self.members();
         let mut report = match self.backend {
             BackendSel::Portfolio => {
-                self.run_portfolio(&cfg, recommended, &members, cancel, progress, cap)
+                self.run_portfolio(&cfg, recommended, &members, cancel, progress, cap, io)
             }
             _ => {
                 let only = members[0];
-                let stats = self.run_one(only, &cfg, recommended, cancel, progress.as_ref(), cap);
+                let stats =
+                    self.run_one(only, &cfg, recommended, cancel, progress.as_ref(), cap, io);
                 let conclusive = stats.verdict.is_conclusive();
                 VerificationReport {
                     scenario: None,
@@ -905,6 +988,19 @@ impl VerificationRequest {
         if let Some(wall) = self.budget.max_wall_ms {
             budget.push(("max_wall_ms".to_string(), num(wall)));
         }
+        if let Some(warm) = self.budget.warm_start {
+            budget.push(("warm_start".to_string(), Value::Bool(warm)));
+        }
+        // The parent key separates a warm re-verification from a cold
+        // run of the same request: their verdicts agree but their stats
+        // (states, wall time, warm_seeded) do not, so they must never
+        // share a cached report. `Value::Null` for the common unset
+        // case is dropped by canonicalization, pinning pre-warm-start
+        // digests.
+        let parent = match &self.parent_key {
+            Some(k) => Value::Str(k.clone()),
+            None => Value::Null,
+        };
         let tuple = Value::Obj(vec![
             ("v".to_string(), num(CACHE_KEY_VERSION)),
             ("config".to_string(), cfg.to_value()),
@@ -912,6 +1008,7 @@ impl VerificationRequest {
             ("query".to_string(), self.query.to_value()),
             ("backend".to_string(), self.backend.to_value()),
             ("budget".to_string(), Value::Obj(budget)),
+            ("parent".to_string(), parent),
         ]);
         let json = serde_json::to_string(&canonical_value(&tuple))
             .expect("canonical request value serializes");
@@ -928,6 +1025,7 @@ impl VerificationRequest {
         cancel: CancelToken,
         progress: Option<ProgressFn>,
         cap: Option<usize>,
+        io: &ArtifactIo,
     ) -> Limits {
         let workers = match (self.resolved_workers(), cap) {
             (w, None) => w,
@@ -946,6 +1044,12 @@ impl VerificationRequest {
             progress,
             symmetry: self.resolved_symmetry(),
             scheduler: self.resolved_scheduler(),
+            warm_start: if self.budget.warm_start.unwrap_or(true) {
+                io.warm.clone()
+            } else {
+                None
+            },
+            capture: io.capture.clone(),
             ..Limits::default()
         }
     }
@@ -966,6 +1070,7 @@ impl VerificationRequest {
     }
 
     /// Runs one concrete backend to completion (or cancellation).
+    #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
         backend: Concrete,
@@ -974,6 +1079,7 @@ impl VerificationRequest {
         cancel: &CancelToken,
         progress: Option<&ProgressSink>,
         cap: Option<usize>,
+        io: &ArtifactIo,
     ) -> BackendStats {
         let labelled: Option<ProgressFn> = progress.map(|sink| {
             let sink = sink.clone();
@@ -984,7 +1090,7 @@ impl VerificationRequest {
             Concrete::Analytic => self.run_analytic(cfg),
             Concrete::Exhaustive => self.run_exhaustive(cfg, cancel, labelled.as_ref()),
             Concrete::MonteCarlo => self.run_montecarlo(cfg, cancel, labelled.as_ref()),
-            Concrete::Symbolic => self.run_symbolic(cfg, recommended, cancel, labelled, cap),
+            Concrete::Symbolic => self.run_symbolic(cfg, recommended, cancel, labelled, cap, io),
         }
     }
 
@@ -1034,9 +1140,10 @@ impl VerificationRequest {
         cancel: &CancelToken,
         progress: Option<ProgressFn>,
         cap: Option<usize>,
+        io: &ArtifactIo,
     ) -> BackendStats {
         let t = Instant::now();
-        let limits = self.limits(recommended, cancel.clone(), progress, cap);
+        let limits = self.limits(recommended, cancel.clone(), progress, cap, io);
         let mut stats = BackendStats {
             backend: "symbolic".into(),
             ..BackendStats::default()
@@ -1065,6 +1172,7 @@ impl VerificationRequest {
                     stats.frontier = s.frontier;
                     stats.peak_passed_bytes = s.peak_passed_bytes;
                     stats.peak_passed_bytes_full = s.peak_passed_bytes_full;
+                    stats.warm_seeded = s.warm_seeded;
                 }
                 stats.verdict = match verdict {
                     SymbolicVerdict::Safe(_) => Verdict::Safe,
@@ -1222,6 +1330,7 @@ impl VerificationRequest {
     /// ever running. A scheduler `cap`
     /// ([`VerificationRequest::run_with_slots`]) replaces the
     /// `available_parallelism - 1` default outright.
+    #[allow(clippy::too_many_arguments)]
     fn run_portfolio(
         &self,
         cfg: &LeaseConfig,
@@ -1230,6 +1339,7 @@ impl VerificationRequest {
         cancel: &CancelToken,
         progress: Option<ProgressSink>,
         cap: Option<usize>,
+        io: &ArtifactIo,
     ) -> VerificationReport {
         let started = Instant::now();
         let tokens: Vec<CancelToken> = members.iter().map(|_| CancelToken::new()).collect();
@@ -1296,7 +1406,7 @@ impl VerificationRequest {
                         // coordinator waits forever: a panicking backend
                         // becomes an in-band error, never a hang.
                         let stats = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_one(m, cfg, recommended, &token, progress.as_ref(), cap)
+                            self.run_one(m, cfg, recommended, &token, progress.as_ref(), cap, io)
                         }))
                         .unwrap_or_else(|_| BackendStats {
                             backend: m.name().into(),
@@ -1565,7 +1675,13 @@ mod tests {
         let req = VerificationRequest::scenario("chain-4").backend(BackendSel::Symbolic);
         let (_, name, recommended) = req.resolve().unwrap();
         assert_eq!(name.as_deref(), Some("chain-4"));
-        let limits = req.limits(recommended, CancelToken::new(), None, None);
+        let limits = req.limits(
+            recommended,
+            CancelToken::new(),
+            None,
+            None,
+            &ArtifactIo::default(),
+        );
         assert_eq!(
             limits.max_states,
             registry::by_name("chain-4").unwrap().recommended_budget
@@ -1573,8 +1689,14 @@ mod tests {
         // An explicit budget wins.
         let req = req.max_states(123);
         assert_eq!(
-            req.limits(recommended, CancelToken::new(), None, None)
-                .max_states,
+            req.limits(
+                recommended,
+                CancelToken::new(),
+                None,
+                None,
+                &ArtifactIo::default()
+            )
+            .max_states,
             123
         );
     }
@@ -1585,13 +1707,19 @@ mod tests {
     fn slot_cap_resolves_and_clamps_workers() {
         let auto = VerificationRequest::scenario("case-study").backend(BackendSel::Auto);
         assert_eq!(
-            auto.limits(None, CancelToken::new(), None, None)
+            auto.limits(None, CancelToken::new(), None, None, &ArtifactIo::default())
                 .max_workers,
             0
         );
         assert_eq!(
-            auto.limits(None, CancelToken::new(), None, Some(3))
-                .max_workers,
+            auto.limits(
+                None,
+                CancelToken::new(),
+                None,
+                Some(3),
+                &ArtifactIo::default()
+            )
+            .max_workers,
             3
         );
         let explicit = VerificationRequest::scenario("case-study")
@@ -1599,13 +1727,25 @@ mod tests {
             .workers(8);
         assert_eq!(
             explicit
-                .limits(None, CancelToken::new(), None, Some(2))
+                .limits(
+                    None,
+                    CancelToken::new(),
+                    None,
+                    Some(2),
+                    &ArtifactIo::default()
+                )
                 .max_workers,
             2
         );
         assert_eq!(
             explicit
-                .limits(None, CancelToken::new(), None, Some(16))
+                .limits(
+                    None,
+                    CancelToken::new(),
+                    None,
+                    Some(16),
+                    &ArtifactIo::default()
+                )
                 .max_workers,
             8
         );
@@ -1683,9 +1823,18 @@ mod tests {
             by_name.clone().max_wall_ms(1000),
             by_name.clone().symmetry(false),
             by_name.clone().work_stealing(true),
+            by_name.clone().warm_start(true),
+            by_name.clone().warm_start(false),
+            by_name.clone().warm_from("024ff959927ea2b6"),
         ] {
             assert_ne!(other.cache_key().unwrap(), key, "{other:?}");
         }
+        // Two different parents separate too — a warm chain never
+        // aliases across ancestors.
+        assert_ne!(
+            by_name.clone().warm_from("a").cache_key().unwrap(),
+            by_name.clone().warm_from("b").cache_key().unwrap()
+        );
         let mut seeded = by_name.clone();
         seeded.budget.seed = 7;
         assert_ne!(seeded.cache_key().unwrap(), key);

@@ -48,12 +48,15 @@ pub mod symbolic;
 
 pub use adversary::{run_with_adversary, Adversary};
 pub use api::{
-    AnalysisSummary, ApiError, BackendSel, BackendStats, Budget, Inconclusive, ProgressSink, Query,
-    Verdict, VerificationReport, VerificationRequest,
+    AnalysisSummary, ApiError, ArtifactIo, BackendSel, BackendStats, Budget, Inconclusive,
+    ProgressSink, Query, Verdict, VerificationReport, VerificationRequest,
 };
 pub use exhaustive::{explore, explore_with, ExplorationResult};
 pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};
-pub use pte_zones::{CancelToken, Progress, ProgressFn};
+pub use pte_zones::{
+    new_sink, ArtifactError, ArtifactSink, CancelToken, PassedArtifact, Progress, ProgressFn,
+    ARTIFACT_VERSION,
+};
 pub use symbolic::{
     cross_check, cross_check_with, verify_symbolic, verify_symbolic_with, CrossCheck,
     Extrapolation, Limits, SymbolicOutcome, TrippedLimit,

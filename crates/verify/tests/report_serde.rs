@@ -85,6 +85,7 @@ fn backend_stats() -> BoxedStrategy<BackendStats> {
                     runs: ns[5],
                     depth: ns[6],
                     violations: ns[7],
+                    warm_seeded: ns[4] % 10_000,
                     errors: ns[7] % 3,
                     tripped,
                     error,

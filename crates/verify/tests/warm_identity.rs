@@ -1,0 +1,243 @@
+//! Warm-start soundness at the API front door: for registry scenarios,
+//! a warm-started re-verification reaches the **same verdict and the
+//! same counter-example text** as a cold run — at every worker count.
+//! The fast core (N ≤ 4, both arms, workers 1/2/4/8) runs in tier-1;
+//! the full registry matrix at recommended budgets is `#[ignore]`d
+//! (campaign-scale: `chain-5`/`chain-6` are 25 s / 170 s release-mode
+//! proofs) and run with `cargo test --release -- --ignored`.
+//!
+//! The engine's warm gates are pinned in
+//! `crates/zones/tests/warm_start.rs`; this file pins what the *API*
+//! promises schedulers: `run_with_artifacts` never lets an artifact —
+//! fresh, stale, or foreign — flip a verdict or change a witness.
+
+use pte_tracheotomy::registry;
+use pte_verify::{
+    new_sink, ArtifactIo, BackendSel, CancelToken, PassedArtifact, Verdict, VerificationReport,
+    VerificationRequest,
+};
+use std::sync::Arc;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A symbolic request for one scenario arm at one worker count.
+fn request(scenario: &str, leased: bool, workers: usize, max_states: usize) -> VerificationRequest {
+    VerificationRequest::scenario(scenario)
+        .leased(leased)
+        .backend(BackendSel::Symbolic)
+        .max_states(max_states)
+        .workers(workers)
+}
+
+/// Runs `req` with artifact plumbing; panics on API errors (every
+/// scenario here resolves).
+fn run(req: &VerificationRequest, io: &ArtifactIo) -> VerificationReport {
+    req.run_with_artifacts(&CancelToken::new(), None, None, io)
+        .expect("registry scenario resolves")
+}
+
+fn warm_seeded(report: &VerificationReport) -> usize {
+    report
+        .backend("symbolic")
+        .expect("symbolic ran")
+        .warm_seeded
+}
+
+/// The cold-vs-warm contract on one scenario arm: cold runs agree
+/// bit-for-bit across worker counts, the warm runs (seeded with the
+/// cold proof, when there is one) agree with the cold verdict and
+/// witness at every worker count, and a `warm_start(false)` opt-out
+/// runs cold even with an artifact in hand.
+fn assert_identity(scenario: &str, leased: bool, max_states: usize) {
+    // Cold reference (one worker) with capture.
+    let sink = new_sink();
+    let io = ArtifactIo {
+        warm: None,
+        capture: Some(sink.clone()),
+    };
+    let reference = run(&request(scenario, leased, 1, max_states), &io);
+    let ref_stats = reference.backend("symbolic").expect("symbolic ran");
+    let artifact = sink.lock().take();
+    assert_eq!(
+        artifact.is_some(),
+        reference.verdict == Verdict::Safe,
+        "{scenario} (leased={leased}): exactly the Safe runs capture artifacts"
+    );
+
+    for w in WORKER_COUNTS {
+        let cold = run(
+            &request(scenario, leased, w, max_states),
+            &ArtifactIo::default(),
+        );
+        assert_eq!(
+            cold.verdict, reference.verdict,
+            "{scenario} (leased={leased}, workers={w}): cold verdict drifted"
+        );
+        assert_eq!(
+            cold.witness, reference.witness,
+            "{scenario} (leased={leased}, workers={w}): cold witness drifted"
+        );
+        assert_eq!(
+            cold.backend("symbolic").unwrap().rendered,
+            ref_stats.rendered,
+            "{scenario} (leased={leased}, workers={w}): cold rendering drifted"
+        );
+        assert_eq!(warm_seeded(&cold), 0);
+    }
+
+    let Some(artifact) = artifact else {
+        return;
+    };
+    let artifact = Arc::new(artifact);
+    let mut warm_rendered: Option<String> = None;
+    for w in WORKER_COUNTS {
+        let io = ArtifactIo {
+            warm: Some(artifact.clone()),
+            capture: None,
+        };
+        let warm = run(&request(scenario, leased, w, max_states), &io);
+        assert_eq!(
+            warm.verdict, reference.verdict,
+            "{scenario} (leased={leased}, workers={w}): warm verdict drifted"
+        );
+        assert_eq!(
+            warm.witness, reference.witness,
+            "{scenario} (leased={leased}, workers={w}): warm witness drifted"
+        );
+        assert_eq!(
+            warm_seeded(&warm),
+            ref_stats.states,
+            "{scenario} (leased={leased}, workers={w}): full proof transfer expected"
+        );
+        // Warm runs render deterministically too (the transferred
+        // proof's state count; no transitions are re-fired).
+        let rendered = warm.backend("symbolic").unwrap().rendered.clone();
+        if let Some(first) = &warm_rendered {
+            assert_eq!(&rendered, first);
+        } else {
+            warm_rendered = Some(rendered);
+        }
+    }
+
+    // The opt-out knob forces a cold run even with an artifact in hand.
+    let io = ArtifactIo {
+        warm: Some(artifact),
+        capture: None,
+    };
+    let opted_out = run(
+        &request(scenario, leased, 2, max_states).warm_start(false),
+        &io,
+    );
+    assert_eq!(opted_out.verdict, reference.verdict);
+    assert_eq!(
+        warm_seeded(&opted_out),
+        0,
+        "warm_start(false) must run cold"
+    );
+}
+
+/// Tier-1 core: every fast registry scenario (N ≤ 4 — `chain-5`+ are
+/// campaign-scale), both arms, workers 1/2/4/8.
+#[test]
+fn fast_registry_cold_and_warm_runs_are_bit_identical() {
+    for s in registry::registry() {
+        if s.n > 4 {
+            continue;
+        }
+        for leased in [true, false] {
+            assert_identity(&s.name, leased, 80_000);
+        }
+    }
+}
+
+/// The full matrix at recommended budgets — release-mode / campaign
+/// territory, kept out of tier-1 wall time.
+#[test]
+#[ignore = "campaign-scale: run with --release -- --ignored"]
+fn full_registry_cold_and_warm_runs_are_bit_identical() {
+    for s in registry::registry() {
+        for leased in [true, false] {
+            assert_identity(&s.name, leased, s.recommended_budget);
+        }
+    }
+}
+
+/// SplitMix64 — the workspace's dependency-free generative-test
+/// scrambler.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generative sweep: random *weakening* safeguard perturbations of the
+/// lease chain warm-start from the unperturbed proof at a random
+/// worker count, and every verdict matches the corresponding cold run.
+/// (Weakenings only — strengthened monitors are pinned to fall back to
+/// cold in `crates/zones/tests/warm_start.rs`.)
+#[test]
+fn random_weakenings_warm_start_and_agree_with_cold() {
+    use pte_core::pattern::LeaseConfig;
+    use pte_core::rules::PairSpec;
+    use pte_hybrid::Time;
+
+    for seed in 0..12u64 {
+        let mut state = splitmix64(seed ^ 0x5EED_CAFE);
+        let mut draw = |bound: u64| {
+            state = splitmix64(state);
+            state % bound
+        };
+        let n = 2 + (draw(2) as usize); // chain-2 or chain-3
+        let base = LeaseConfig::chain(n);
+
+        // Capture the parent proof cold.
+        let sink = new_sink();
+        let io = ArtifactIo {
+            warm: None,
+            capture: Some(sink.clone()),
+        };
+        let parent = run(
+            &VerificationRequest::config(base.clone()).backend(BackendSel::Symbolic),
+            &io,
+        );
+        assert_eq!(parent.verdict, Verdict::Safe);
+        let states = parent.backend("symbolic").unwrap().states;
+        let artifact: Arc<PassedArtifact> = Arc::new(sink.lock().take().expect("Safe captures"));
+
+        // Chain safeguards are (1.0 s, 0.5 s); any microsecond-exact
+        // pair at or below that only weakens the monitored property.
+        let mut relaxed = base.clone();
+        relaxed.safeguards = (0..n - 1)
+            .map(|_| {
+                let risky_ms = 1 + draw(1000); // ≤ 1.0 s
+                let safe_ms = 1 + draw(500); // ≤ 0.5 s
+                PairSpec::new(
+                    Time::seconds(risky_ms as f64 / 1000.0),
+                    Time::seconds(safe_ms as f64 / 1000.0),
+                )
+            })
+            .collect();
+        let workers = WORKER_COUNTS[draw(4) as usize];
+        let req = VerificationRequest::config(relaxed)
+            .backend(BackendSel::Symbolic)
+            .workers(workers);
+
+        let cold = run(&req, &ArtifactIo::default());
+        let warm = run(
+            &req,
+            &ArtifactIo {
+                warm: Some(artifact),
+                capture: None,
+            },
+        );
+        assert_eq!(warm.verdict, cold.verdict, "seed {seed}");
+        assert_eq!(warm.witness, cold.witness, "seed {seed}");
+        assert_eq!(
+            warm_seeded(&warm),
+            states,
+            "seed {seed}: a weakening must transfer the whole proof"
+        );
+    }
+}

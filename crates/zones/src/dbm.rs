@@ -61,6 +61,24 @@ impl Bound {
     pub fn is_weak(self) -> bool {
         self.0 & 1 == 1
     }
+
+    /// The raw `2m + weakness` encoding — the serialization unit of the
+    /// passed-list artifact. `∞` is a reserved sentinel; the encoding is stable
+    /// (the natural integer order *is* bound tightness), so persisting
+    /// raw values round-trips exactly.
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Rebuilds a bound from its [`Bound::raw`] encoding. Values at or
+    /// above the `∞` sentinel normalize to [`Bound::INF`].
+    pub fn from_raw(raw: i64) -> Bound {
+        if raw >= INF_RAW {
+            Bound::INF
+        } else {
+            Bound(raw)
+        }
+    }
 }
 
 impl std::ops::Add for Bound {
@@ -775,6 +793,28 @@ impl MinimalDbm {
         self.cons.len()
     }
 
+    /// The DBM dimension (`clocks + 1` including the reference clock).
+    pub fn dim(&self) -> u8 {
+        self.dim
+    }
+
+    /// The stored constraints, in [`Dbm::reduce`] emission order.
+    pub fn constraints(&self) -> &[MinCon] {
+        &self.cons
+    }
+
+    /// Reassembles a zone from serialized parts ([`MinimalDbm::dim`] +
+    /// [`MinimalDbm::constraints`]). The parts are trusted to describe
+    /// a canonical non-empty zone's minimal form — artifact loaders
+    /// re-validate by checking [`MinimalDbm::restore`] is non-empty
+    /// before admitting the zone anywhere.
+    pub fn from_parts(dim: u8, cons: Vec<MinCon>) -> MinimalDbm {
+        MinimalDbm {
+            dim,
+            cons: cons.into_boxed_slice(),
+        }
+    }
+
     /// `true` when no constraint is stored (the delay-closed universe).
     pub fn is_empty(&self) -> bool {
         self.cons.is_empty()
@@ -812,19 +852,62 @@ impl MinimalDbm {
     /// stored constraints, close. Inverse of [`Dbm::reduce`] on
     /// canonical non-empty zones.
     pub fn restore(&self) -> Dbm {
-        let d = self.dim as usize;
         let mut z = Dbm {
-            dim: d,
-            m: vec![Bound::INF; d * d],
+            dim: 0,
+            m: Vec::new(),
         };
-        for i in 0..d {
-            z.set(i, i, Bound::LE_ZERO);
-        }
-        for c in self.cons.iter() {
-            z.set(c.i as usize, c.j as usize, c.b);
-        }
-        z.canonicalize();
+        self.restore_into(&mut z);
         z
+    }
+
+    /// [`MinimalDbm::restore`] into a caller-owned scratch matrix —
+    /// the artifact-validation hot path restores thousands of zones
+    /// back-to-back, and this form both reuses the allocation and
+    /// restricts the Floyd–Warshall closure to constraint endpoints:
+    /// a finite path can only *leave* a node with an outgoing stored
+    /// constraint, so rows (and pivots) without one are final from the
+    /// start. On activity-reduced zones most clocks are free in most
+    /// states, which makes the restricted closure several times
+    /// cheaper than the dense one while producing the identical
+    /// canonical matrix (negative cycles still surface on a pivot's
+    /// diagonal, so [`Dbm::is_empty`] works unchanged).
+    pub fn restore_into(&self, z: &mut Dbm) {
+        let d = self.dim as usize;
+        z.dim = d;
+        z.m.clear();
+        z.m.resize(d * d, Bound::INF);
+        for i in 0..d {
+            z.m[i * d + i] = Bound::LE_ZERO;
+        }
+        // `dim` is a u8, so 4×64 bits cover every index.
+        let mut out = [0u64; 4];
+        let mut inn = [0u64; 4];
+        for c in self.cons.iter() {
+            z.m[c.i as usize * d + c.j as usize] = c.b;
+            out[(c.i >> 6) as usize] |= 1 << (c.i & 63);
+            inn[(c.j >> 6) as usize] |= 1 << (c.j & 63);
+        }
+        let bit = |mask: &[u64; 4], v: usize| mask[v >> 6] & (1u64 << (v & 63)) != 0;
+        for k in 0..d {
+            if !bit(&out, k) || !bit(&inn, k) {
+                continue;
+            }
+            for i in 0..d {
+                if !bit(&out, i) {
+                    continue;
+                }
+                let ik = z.m[i * d + k];
+                if ik.is_inf() {
+                    continue;
+                }
+                for j in 0..d {
+                    let through = ik + z.m[k * d + j];
+                    if through < z.m[i * d + j] {
+                        z.m[i * d + j] = through;
+                    }
+                }
+            }
+        }
     }
 }
 

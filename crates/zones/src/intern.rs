@@ -59,6 +59,13 @@ impl<K: Clone + Eq + Hash> Interner<K> {
         self.index.insert(key.clone(), id);
         (id, true)
     }
+
+    /// Every interned `(key, id)` pair, in arbitrary (hash-map) order.
+    /// Callers that need determinism — the passed-list artifact capture
+    /// — sort the pairs by id, which is first-intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u32)> {
+        self.index.iter().map(|(k, &id)| (k, id))
+    }
 }
 
 impl<K: Clone + Eq + Hash> Default for Interner<K> {

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod artifact;
 pub mod dbm;
 pub mod intern;
 pub mod lower;
@@ -82,7 +83,11 @@ pub use analysis::{
     analyze, apply_allowlist, pattern_allowlist, ActivityMasks, AllowRule, AnalysisStats,
     ClockReduction, Diagnostic, ModelAnalysis, Severity,
 };
-pub use dbm::{Bound, Dbm, DbmPool, MinimalDbm};
+pub use artifact::{
+    new_sink, ArtifactError, ArtifactSink, PassedArtifact, PassedEntry, WarmProfile,
+    ARTIFACT_VERSION,
+};
+pub use dbm::{Bound, Dbm, DbmPool, MinCon, MinimalDbm};
 pub use lower::{lower_network, LowerError};
 pub use monitor::{
     LocationReachMonitor, Monitor, MonitorState, MonitorViolation, ObserverSpec, PairBounds,

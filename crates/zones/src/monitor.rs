@@ -48,6 +48,7 @@
 //!   turns the safety engine into a reachability checker (the returned
 //!   "counter-example" is a witness trace to the target location).
 
+use crate::artifact::{Digest, WarmProfile};
 use crate::dbm::Dbm;
 use crate::ta::{Atom, LuBounds, Rel, TaNetwork};
 use pte_core::rules::PteSpec;
@@ -165,6 +166,18 @@ pub trait Monitor: Sync {
     /// opt in.
     fn permutation_invariant(&self, _members: &[usize]) -> bool {
         false
+    }
+
+    /// This monitor's contribution to passed-list artifact validity
+    /// ([`crate::artifact::PassedArtifact`]): a structural digest plus
+    /// the monitor's constants split by weakening direction, so a
+    /// later run can decide whether a stored proof still covers it
+    /// ([`WarmProfile::admits`]). `None` — the default — opts the
+    /// monitor out entirely: searches under it neither capture
+    /// artifacts nor warm-start from them, the conservative answer for
+    /// any monitor that has not analyzed its own weakening order.
+    fn warm_profile(&self) -> Option<WarmProfile> {
+        None
     }
 }
 
@@ -594,6 +607,35 @@ impl Monitor for PteMonitor<'_> {
                 .is_none_or(|entity| entity.is_none())
         })
     }
+
+    /// Structure: which entities (and their automaton/clock layout) the
+    /// observer watches. Constants by weakening direction: a *larger*
+    /// Rule-1 bound weakens (`r > bound` harder to satisfy), a
+    /// *smaller* `T^min_risky`/`T^min_safe` weakens (`r < margin` /
+    /// `s < margin` harder to satisfy); Coverage and ExitUncovered are
+    /// constant-free. So a proof transfers exactly to relaxed-safeguard
+    /// re-verifications.
+    fn warm_profile(&self) -> Option<WarmProfile> {
+        let mut d = Digest::new();
+        d.write_str("pte-observer");
+        d.write_u64(self.spec.entities.len() as u64);
+        for (name, &ai) in self.spec.entities.iter().zip(&self.entity_aut) {
+            d.write_str(name);
+            d.write_u64(ai as u64);
+        }
+        d.write_u64(self.spec.pairs.len() as u64);
+        for name in &self.clock_names {
+            d.write_str(name);
+        }
+        let mut weaken_upper = Vec::with_capacity(self.spec.pairs.len() * 2);
+        weaken_upper.extend(self.spec.pairs.iter().map(|p| p.t_min_risky));
+        weaken_upper.extend(self.spec.pairs.iter().map(|p| p.t_min_safe));
+        Some(WarmProfile {
+            structure: d.finish(),
+            weaken_lower: self.spec.rule1_ticks.clone(),
+            weaken_upper,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -701,5 +743,23 @@ impl Monitor for LocationReachMonitor {
         members
             .iter()
             .all(|&ai| self.targets.iter().all(|(ta, _, _)| *ta != ai))
+    }
+
+    /// Reachability has no tunable constants: the profile is the target
+    /// set itself, so a proof transfers iff the targets are identical.
+    fn warm_profile(&self) -> Option<WarmProfile> {
+        let mut d = Digest::new();
+        d.write_str("location-reach");
+        d.write_u64(self.targets.len() as u64);
+        for (ai, li, label) in &self.targets {
+            d.write_u64(*ai as u64);
+            d.write_u64(*li as u64);
+            d.write_str(label);
+        }
+        Some(WarmProfile {
+            structure: d.finish(),
+            weaken_lower: Vec::new(),
+            weaken_upper: Vec::new(),
+        })
     }
 }

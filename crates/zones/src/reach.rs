@@ -106,6 +106,9 @@
 //! version, never across the optimization boundary.
 
 use crate::analysis::{analyze, ActivityMasks};
+use crate::artifact::{
+    atom_ticks, masks_digest, net_structure_digest, ArtifactSink, PassedArtifact, PassedEntry,
+};
 use crate::dbm::{Dbm, DbmPool, MinimalDbm};
 use crate::intern::Interner;
 use crate::monitor::{
@@ -239,6 +242,11 @@ pub struct SearchStats {
     /// ([`Scheduler::WorkStealing`]); `0` under the round-barrier
     /// scheduler.
     pub steals: usize,
+    /// Passed-list entries admitted from a prior run's artifact
+    /// ([`Limits::warm_start`]). Non-zero only when the warm-start
+    /// gates all passed and the search was answered by proof transfer;
+    /// `0` for every cold search.
+    pub warm_seeded: usize,
 }
 
 /// Which exploration limit ended an inconclusive search.
@@ -417,6 +425,21 @@ pub struct Limits {
     /// spaces while keeping verdicts and counter-example text
     /// deterministic.
     pub scheduler: Scheduler,
+    /// Optional prior-run artifact to warm-start from. The engine
+    /// re-validates it against the new model (see
+    /// [`crate::artifact`]'s module docs for the gates: identical
+    /// lowered network including every timing constant, weaker-or-equal
+    /// monitor, same clock count / extrapolation / activity masks, and
+    /// every entry re-checked against the new monitor); on any failure
+    /// it silently falls back to a cold search, so a warm start can
+    /// never flip a verdict.
+    pub warm_start: Option<Arc<PassedArtifact>>,
+    /// Optional sink the engine fills with this search's own passed
+    /// list when the verdict is `Safe` and the monitor supports
+    /// artifacts ([`crate::Monitor::warm_profile`]). A warm-started
+    /// search passes its *input* artifact through unchanged, so chained
+    /// warm starts always compare against the original proof.
+    pub capture: Option<ArtifactSink>,
 }
 
 impl Default for Limits {
@@ -431,6 +454,8 @@ impl Default for Limits {
             reduce_clocks: true,
             symmetry: true,
             scheduler: Scheduler::default(),
+            warm_start: None,
+            capture: None,
         }
     }
 }
@@ -447,6 +472,14 @@ impl fmt::Debug for Limits {
             .field("reduce_clocks", &self.reduce_clocks)
             .field("symmetry", &self.symmetry)
             .field("scheduler", &self.scheduler)
+            .field(
+                "warm_start",
+                &self
+                    .warm_start
+                    .as_ref()
+                    .map(|a| format!("<{} entries>", a.entries.len())),
+            )
+            .field("capture", &self.capture.as_ref().map(|_| "<sink>"))
             .finish()
     }
 }
@@ -729,6 +762,11 @@ pub fn check(
             legacy.reduce_clocks = false;
             legacy.symmetry = false;
             legacy.scheduler = Scheduler::RoundBarrier;
+            // The rerun exists only to render the counter-example on
+            // the unreduced network: it must neither consume the warm
+            // artifact (captured on the *reduced* network) nor emit one.
+            legacy.warm_start = None;
+            legacy.capture = None;
             check(net, spec, &legacy)
         }
         SymbolicVerdict::Safe(mut stats) => {
@@ -808,6 +846,22 @@ fn check_monitored_with(
             "network too large: {nclocks} clocks (incl. observer clocks) exceed the \
              254-clock limit of the compressed passed list"
         ));
+    }
+
+    // Warm start: when a prior run's artifact survives every validity
+    // gate against *this* model, its passed list is a complete proof
+    // and the search is answered by transfer — no exploration at all.
+    // Any gate failure falls through to the cold search below.
+    if let Some(art) = &limits.warm_start {
+        if let Some(stats) = try_warm_start(art, net, monitor, masks, limits, nclocks) {
+            if let Some(sink) = &limits.capture {
+                // Pass the original artifact through unchanged:
+                // chained warm starts then always admit against the
+                // original proof (the weakening order is transitive).
+                *sink.lock() = Some((**art).clone());
+            }
+            return Ok(SymbolicVerdict::Safe(stats));
+        }
     }
 
     // Intern every event root in deterministic first-seen order over
@@ -906,6 +960,11 @@ fn check_monitored_with(
             .collect(),
     };
     let verdict = engine.run(limits);
+    if let (Some(sink), SymbolicVerdict::Safe(_)) = (&limits.capture, &verdict) {
+        if let Some(profile) = monitor.warm_profile() {
+            *sink.lock() = Some(capture_artifact(&engine, limits, masks, profile));
+        }
+    }
     drop(engine);
     if det_rerun && accelerated && verdict.is_unsafe() {
         // Determinism by post-hoc minimization: re-derive the
@@ -917,9 +976,114 @@ fn check_monitored_with(
         let mut det = limits.clone();
         det.symmetry = false;
         det.scheduler = Scheduler::RoundBarrier;
+        det.warm_start = None;
+        det.capture = None;
         return check_monitored_with(net, monitor, &det, masks, false);
     }
     Ok(verdict)
+}
+
+/// Validates `art` against the model about to be searched and, when
+/// every gate passes, returns the transferred-proof `Safe` statistics.
+/// `None` means "cold-start instead" — the only failure mode.
+///
+/// Soundness of the transfer: the structural digest plus elementwise
+/// tick equality pin the lowered network exactly, so the zone graph and
+/// the monitor's state evolution are those of the proved run; the
+/// monitor profile admission ([`crate::WarmProfile::admits`]) means
+/// every new violation predicate is a subset of an old one; hence the
+/// old "no violation reachable" verdict covers the new model verbatim.
+/// The per-entry re-validation below (shape checks, non-empty restore,
+/// re-running the *new* monitor's settled check on every stored zone)
+/// is defense in depth against a corrupt or mismatched artifact that
+/// happens to pass the digests.
+fn try_warm_start(
+    art: &PassedArtifact,
+    net: &TaNetwork,
+    monitor: &dyn Monitor,
+    masks: Option<&ActivityMasks>,
+    limits: &Limits,
+    nclocks: usize,
+) -> Option<SearchStats> {
+    let profile = monitor.warm_profile()?;
+    if art.nclocks != nclocks
+        || art.extrapolation != limits.extrapolation
+        || art.net_digest != net_structure_digest(net)
+        || art.masks_digest != masks_digest(masks)
+        || art.atom_ticks != atom_ticks(net)
+        || !art.profile.admits(&profile)
+        || art.entries.is_empty()
+    {
+        return None;
+    }
+    let mon_len = monitor.initial_state().len();
+    let mut scratch = Dbm::universe(nclocks);
+    for e in &art.entries {
+        if e.locs.len() != net.automata.len()
+            || e.mon.len() != mon_len
+            || usize::from(e.zone.dim()) != nclocks + 1
+        {
+            return None;
+        }
+        if e.locs
+            .iter()
+            .zip(&net.automata)
+            .any(|(&l, aut)| l as usize >= aut.locations.len())
+        {
+            return None;
+        }
+        e.zone.restore_into(&mut scratch);
+        if scratch.is_empty() || monitor.check_settled(&e.locs, &e.mon, &scratch).is_err() {
+            return None;
+        }
+    }
+    Some(SearchStats {
+        states: art.entries.len(),
+        warm_seeded: art.entries.len(),
+        dbm_clocks: nclocks,
+        dbm_clocks_unreduced: nclocks,
+        ..SearchStats::default()
+    })
+}
+
+/// Serializes the engine's passed list into a [`PassedArtifact`]:
+/// shards in index order, keys in intern-id (first-intern) order, one
+/// entry per settled node — deterministic under the round-barrier
+/// scheduler, and a valid (if scheduling-dependent) proof under
+/// work-stealing.
+fn capture_artifact(
+    engine: &Engine<'_>,
+    limits: &Limits,
+    masks: Option<&ActivityMasks>,
+    profile: crate::artifact::WarmProfile,
+) -> PassedArtifact {
+    let mut entries = Vec::new();
+    for shard in &engine.shards {
+        let s = shard.lock();
+        let mut keys: Vec<(&Key, u32)> = s.keys.iter().collect();
+        keys.sort_by_key(|&(_, id)| id);
+        for (key, kid) in keys {
+            for &nidx in &s.buckets[kid as usize] {
+                entries.push(PassedEntry {
+                    locs: key.0.clone(),
+                    mon: key.1.clone(),
+                    zone: s.nodes[nidx as usize].zone.clone(),
+                });
+            }
+        }
+    }
+    PassedArtifact {
+        nclocks: engine.nclocks,
+        extrapolation: limits.extrapolation,
+        reduce_clocks: limits.reduce_clocks,
+        symmetry: engine.symmetry.is_some(),
+        work_stealing: limits.scheduler == Scheduler::WorkStealing,
+        net_digest: net_structure_digest(engine.net),
+        atom_ticks: atom_ticks(engine.net),
+        masks_digest: masks_digest(masks),
+        profile,
+        entries,
+    }
 }
 
 /// Phase selector for the persistent worker pool. Thread spawning is

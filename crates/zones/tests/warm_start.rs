@@ -1,0 +1,141 @@
+//! Warm-start soundness at the engine level: a captured passed-list
+//! artifact transfers a chain-2 proof to relaxed-safeguard
+//! re-verifications, and *every* strengthening or model edit falls
+//! back to a cold search (`warm_seeded == 0`). Cross-worker-count
+//! bit-identity of cold vs warm verdicts lives in `pte-verify`'s API
+//! tests; this file pins the gates themselves.
+
+use pte_core::pattern::LeaseConfig;
+use pte_core::rules::PairSpec;
+use pte_hybrid::Time;
+use pte_zones::{check_lease_pattern_with, new_sink, Limits, PassedArtifact, SymbolicVerdict};
+use std::sync::Arc;
+
+/// Runs the leased chain-2 proof with `limits`, returning the verdict.
+fn run(cfg: &LeaseConfig, limits: &Limits) -> SymbolicVerdict {
+    check_lease_pattern_with(cfg, true, limits).expect("chain-2 builds and lowers")
+}
+
+/// Cold run with capture: proves safe and yields the artifact.
+fn capture_chain2(cfg: &LeaseConfig) -> (PassedArtifact, usize) {
+    let sink = new_sink();
+    let limits = Limits {
+        capture: Some(sink.clone()),
+        ..Limits::default()
+    };
+    let verdict = run(cfg, &limits);
+    let SymbolicVerdict::Safe(stats) = verdict else {
+        panic!("chain-2 leased must prove safe, got {verdict}");
+    };
+    assert_eq!(stats.warm_seeded, 0, "a cold run seeds nothing");
+    let art = sink
+        .lock()
+        .take()
+        .expect("safe PTE run captures an artifact");
+    assert_eq!(
+        art.entries.len(),
+        stats.states,
+        "one artifact entry per settled state"
+    );
+    (art, stats.states)
+}
+
+fn warm_limits(art: &PassedArtifact) -> Limits {
+    Limits {
+        warm_start: Some(Arc::new(art.clone())),
+        ..Limits::default()
+    }
+}
+
+/// The seeded count of a verdict (`0` = the run was cold).
+fn seeded(v: &SymbolicVerdict) -> usize {
+    v.stats().map(|s| s.warm_seeded).unwrap_or(0)
+}
+
+#[test]
+fn identical_config_warm_starts_and_survives_serialization() {
+    let cfg = LeaseConfig::chain(2);
+    let (art, states) = capture_chain2(&cfg);
+
+    // Round-trip through the wire format before warming from it — the
+    // warm path consumes exactly what the disk tier will store.
+    let art = PassedArtifact::from_bytes(&art.to_bytes()).expect("round trip");
+
+    let verdict = run(&cfg, &warm_limits(&art));
+    assert!(verdict.is_safe(), "{verdict}");
+    assert_eq!(seeded(&verdict), states, "full proof transfer");
+}
+
+#[test]
+fn relaxed_safeguards_warm_start_and_chain_transitively() {
+    let cfg = LeaseConfig::chain(2);
+    let (art, states) = capture_chain2(&cfg);
+
+    // Smaller T^min_risky / T^min_safe only weaken the property
+    // (violation predicates are `r < margin`), so the proof transfers.
+    let mut relaxed = cfg.clone();
+    relaxed.safeguards = vec![PairSpec::new(Time::seconds(0.5), Time::seconds(0.25))];
+    let sink = new_sink();
+    let mut limits = warm_limits(&art);
+    limits.capture = Some(sink.clone());
+    let verdict = run(&relaxed, &limits);
+    assert!(verdict.is_safe(), "{verdict}");
+    assert_eq!(seeded(&verdict), states);
+
+    // The warm run passed the ORIGINAL artifact through: a further
+    // relaxation still warms, and a revert past the original does not.
+    let passed = sink
+        .lock()
+        .take()
+        .expect("warm run re-exposes its artifact");
+    assert_eq!(passed, art, "pass-through, not re-capture");
+    let mut more = relaxed.clone();
+    more.safeguards = vec![PairSpec::new(Time::seconds(0.25), Time::seconds(0.25))];
+    assert_eq!(seeded(&run(&more, &warm_limits(&passed))), states);
+}
+
+#[test]
+fn strengthened_monitor_falls_back_to_cold() {
+    let cfg = LeaseConfig::chain(2);
+    let (art, _) = capture_chain2(&cfg);
+
+    // A larger margin strengthens the property: the old proof does not
+    // cover it, so the engine must re-explore (and whatever verdict
+    // the cold search reaches is bit-identical to never having had an
+    // artifact — compare against a fresh run).
+    let mut tightened = cfg.clone();
+    tightened.safeguards = vec![PairSpec::new(Time::seconds(1.5), Time::seconds(0.5))];
+    let warm = run(&tightened, &warm_limits(&art));
+    assert_eq!(seeded(&warm), 0, "strengthened monitor must run cold");
+    let cold = run(&tightened, &Limits::default());
+    assert_eq!(format!("{warm}"), format!("{cold}"));
+}
+
+#[test]
+fn network_timing_delta_falls_back_to_cold() {
+    let cfg = LeaseConfig::chain(2);
+    let (art, _) = capture_chain2(&cfg);
+
+    // Any network constant change — even slack-preserving — invalidates
+    // the elementwise tick comparison: always cold.
+    let mut shifted = cfg.clone();
+    shifted.t_run[1] = Time::seconds(4.5);
+    let warm = run(&shifted, &warm_limits(&art));
+    assert_eq!(seeded(&warm), 0, "network timing delta must run cold");
+}
+
+#[test]
+fn corrupt_entries_fall_back_to_cold() {
+    let cfg = LeaseConfig::chain(2);
+    let (art, _) = capture_chain2(&cfg);
+
+    // Structural damage that still matches every digest (the digests
+    // cover the model, not the entries): per-entry validation rejects.
+    let mut bad = art.clone();
+    bad.entries[0].locs = vec![9999; bad.entries[0].locs.len()];
+    assert_eq!(seeded(&run(&cfg, &warm_limits(&bad))), 0);
+
+    let mut empty = art.clone();
+    empty.entries.clear();
+    assert_eq!(seeded(&run(&cfg, &warm_limits(&empty))), 0);
+}
