@@ -1,7 +1,10 @@
 //! Benchmarks of the symbolic zone engine: raw DBM throughput,
 //! end-to-end verdict latency on the case-study pattern, the parallel
 //! worker-count scaling of the sharded engine, the ExtraM-vs-LU
-//! extrapolation comparison, and the passed-list compression factor.
+//! extrapolation comparison, the passed-list compression factor, and
+//! the compositional assume-guarantee rows for the chain-12/16/20
+//! fleets the monolithic engine cannot close within the registry
+//! budget.
 //!
 //! Besides the human-readable `bench:` lines, the run emits a
 //! machine-readable `BENCH_zones.json` (path overridable via the
@@ -287,6 +290,60 @@ fn reduction_rows() -> Vec<pte_bench::ReductionRow> {
     rows
 }
 
+/// Compositional-scale rows: chain-12/16/20 proved Safe through the
+/// assume-guarantee argument (per-device refinement against the
+/// `lease_client` contract library, then N−1 abstract pair networks)
+/// at the registry's 40k budget — the budget the monolithic engine
+/// trips at chain-12 (≈ 67k+ states). Each verdict is asserted Safe
+/// and asserted to have stayed on the compositional path (zero
+/// fallback), so a refinement regression that silently rerouted these
+/// rows through the monolithic engine would fail the bench instead of
+/// recording a meaningless timing. One run per row: chain-20 takes
+/// several seconds end to end.
+fn compositional_rows() -> Vec<pte_bench::CompositionalRow> {
+    use pte_contracts::{
+        check_compositional, CompositionalLimits, CompositionalVerdict, EnvProfile, RefineLimits,
+    };
+    let mut rows = Vec::new();
+    for n in [12usize, 16, 20] {
+        let cfg = LeaseConfig::chain(n);
+        let limits = CompositionalLimits {
+            search: Limits {
+                max_states: 40_000,
+                ..Limits::default()
+            },
+            refine: RefineLimits {
+                workers: 2,
+                ..RefineLimits::default()
+            },
+        };
+        let t = Instant::now();
+        let out = check_compositional(&cfg, true, EnvProfile::default(), &limits).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        assert!(
+            matches!(out.verdict, CompositionalVerdict::Safe),
+            "chain-{n} must close compositionally, got {:?}",
+            out.verdict
+        );
+        println!(
+            "bench: compositional/chain-{n}                             \
+             {} abstract states, {} pair nets, {:.0} ms",
+            out.stats.abstract_states,
+            out.stats.pair_networks,
+            secs * 1e3,
+        );
+        rows.push(pte_bench::CompositionalRow {
+            scenario: format!("chain-{n}"),
+            n,
+            abstract_states: out.stats.abstract_states,
+            pair_networks: out.stats.pair_networks,
+            refine_pairs: out.stats.refine_pairs,
+            secs,
+        });
+    }
+    rows
+}
+
 /// Symmetry-quotient ablation on the structurally symmetric demo
 /// fleet (the lease chains are asymmetric, so the quotient
 /// self-disables there — measuring it on a chain would record a no-op).
@@ -377,6 +434,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     let scaling = chain_scaling_rows();
     let reduction = reduction_rows();
     let symmetry = symmetry_rows();
+    let compositional = compositional_rows();
     let path = std::env::var("BENCH_ZONES_JSON").unwrap_or_else(|_| "BENCH_zones.json".to_string());
     pte_bench::write_zones_bench_json(
         &path,
@@ -387,6 +445,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         &scaling,
         &reduction,
         &symmetry,
+        &compositional,
     );
 }
 

@@ -2,9 +2,11 @@
 //! against the committed baseline and fails (exit 1) when the
 //! case-study row's `states_per_sec` regressed by more than the
 //! allowed fraction, when any chain scaling row present in **both**
-//! records regressed past the same margin, or when the fresh record
+//! records regressed past the same margin, when the fresh record
 //! lacks the `chain-8` scaling row (the deep chain must stay feasible,
-//! not silently drop out of the bench).
+//! not silently drop out of the bench), or when it lacks the
+//! `chain-12` compositional row (the assume-guarantee argument must
+//! keep closing the fleet the monolithic engine cannot).
 //!
 //! ```sh
 //! cargo run --release -p pte-bench --bin bench_gate -- \
@@ -38,6 +40,8 @@ struct Record {
     states_per_sec: f64,
     wall_ms: f64,
     scaling: Vec<(String, f64)>,
+    /// Compositional rows: scenario → abstract states/sec.
+    compositional: Vec<(String, f64)>,
 }
 
 /// Reads and validates a zones bench record at `path`.
@@ -61,25 +65,30 @@ fn read_record(path: &str) -> Result<Record, String> {
         Some((_, Value::Str(s))) if s == "zones" => {}
         _ => return Err(format!("{path}: not a zones bench record")),
     }
-    let mut scaling = Vec::new();
-    if let Some((_, Value::Arr(rows))) = fields.iter().find(|(k, _)| k == "scaling") {
-        for row in rows {
-            let Value::Obj(row) = row else { continue };
-            let get = |name: &str| row.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-            let (Some(Value::Str(scenario)), Some(Value::Num(rate))) =
-                (get("scenario"), get("states_per_sec"))
-            else {
-                // Campaign-derived rows carry no contention-free
-                // timing; they are informational, not gated.
-                continue;
-            };
-            scaling.push((scenario.clone(), rate.as_f64()));
+    // Both the scaling and compositional arrays carry
+    // `(scenario, states_per_sec)` rows; rows without a timing
+    // (campaign-derived) are informational, not gated.
+    let rate_rows = |name: &str| -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        if let Some((_, Value::Arr(rows))) = fields.iter().find(|(k, _)| k == name) {
+            for row in rows {
+                let Value::Obj(row) = row else { continue };
+                let get = |name: &str| row.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                let (Some(Value::Str(scenario)), Some(Value::Num(rate))) =
+                    (get("scenario"), get("states_per_sec"))
+                else {
+                    continue;
+                };
+                out.push((scenario.clone(), rate.as_f64()));
+            }
         }
-    }
+        out
+    };
     Ok(Record {
         states_per_sec: field("states_per_sec")?,
         wall_ms: field("wall_ms")?,
-        scaling,
+        scaling: rate_rows("scaling"),
+        compositional: rate_rows("compositional"),
     })
 }
 
@@ -157,24 +166,43 @@ fn main() {
         failed = true;
     }
 
-    // Per-scenario scaling throughput, for rows both records carry.
-    for (scenario, fresh_rate) in &fresh.scaling {
-        let Some((_, base_rate)) = baseline.scaling.iter().find(|(s, _)| s == scenario) else {
-            continue;
-        };
-        let ratio = fresh_rate / base_rate;
-        println!(
-            "bench gate: {scenario} states/sec {fresh_rate:.0} vs baseline \
-             {base_rate:.0} (ratio {ratio:.2})"
-        );
-        if ratio < floor {
-            eprintln!(
-                "bench gate FAILED: {scenario} throughput is {:.0}% of baseline \
-                 (floor {:.0}%)",
-                ratio * 100.0,
-                floor * 100.0
+    // The compositional argument must keep closing chain-12: a
+    // refinement or contract regression that pushed it to the
+    // monolithic fallback would panic the bench and drop the row.
+    if !fresh.compositional.iter().any(|(s, _)| s == "chain-12") {
+        eprintln!("bench gate FAILED: fresh record has no chain-12 compositional row");
+        failed = true;
+    }
+
+    // Per-scenario throughput, for rows both records carry — the
+    // monolithic chain scaling rows and the compositional rows alike.
+    let arms = [
+        ("", &fresh.scaling, &baseline.scaling),
+        (
+            " (compositional)",
+            &fresh.compositional,
+            &baseline.compositional,
+        ),
+    ];
+    for (tag, fresh_rows, base_rows) in arms {
+        for (scenario, fresh_rate) in fresh_rows.iter() {
+            let Some((_, base_rate)) = base_rows.iter().find(|(s, _)| s == scenario) else {
+                continue;
+            };
+            let ratio = fresh_rate / base_rate;
+            println!(
+                "bench gate: {scenario}{tag} states/sec {fresh_rate:.0} vs baseline \
+                 {base_rate:.0} (ratio {ratio:.2})"
             );
-            failed = true;
+            if ratio < floor {
+                eprintln!(
+                    "bench gate FAILED: {scenario}{tag} throughput is {:.0}% of baseline \
+                     (floor {:.0}%)",
+                    ratio * 100.0,
+                    floor * 100.0
+                );
+                failed = true;
+            }
         }
     }
 

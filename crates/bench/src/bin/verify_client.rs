@@ -14,7 +14,10 @@
 //!
 //! Connection flags: `--socket PATH` (default `/tmp/pte-verifyd.sock`)
 //! or `--tcp ADDR`. Request flags: `--baseline`, `--backend
-//! {analytic,exhaustive,montecarlo,symbolic,auto,portfolio}`,
+//! {analytic,exhaustive,montecarlo,symbolic,compositional,auto,portfolio}`,
+//! `--contract PROFILE` (environment contract profile for the
+//! compositional backend; unknown names get a "did you mean"
+//! diagnostic), `--refine-pairs N` (refinement state-pair budget),
 //! `--budget N` (symbolic state budget), `--workers N`, `--quiet`
 //! (suppress progress lines), `--no-cache` (bypass both cache tiers for
 //! the lookup and the store), `--warm-from KEY` (ask the daemon to seed
@@ -116,6 +119,13 @@ fn run() -> i32 {
                     s.disk_evictions,
                     s.disk_corrupt
                 );
+                println!(
+                    "contracts: {} refinements cached, {} hits / {} misses, {} deduped",
+                    s.refine_cache_entries,
+                    s.refine_cache_hits,
+                    s.refine_cache_misses,
+                    s.contracts_deduped
+                );
                 println!("uptime: {:.1} s", s.uptime_ms / 1e3);
                 0
             }
@@ -144,6 +154,7 @@ fn run() -> i32 {
         Some("analytic") => BackendSel::Analytic,
         Some("exhaustive") => BackendSel::Exhaustive,
         Some("montecarlo") => BackendSel::MonteCarlo,
+        Some("compositional") => BackendSel::Compositional,
         Some("auto") => BackendSel::Auto,
         Some("portfolio") => BackendSel::Portfolio,
         Some(other) => {
@@ -182,6 +193,18 @@ fn run() -> i32 {
     }
     if let Some(workers) = arg_value(&args, "--workers").and_then(|v| v.parse().ok()) {
         request = request.workers(workers);
+    }
+    if let Some(pairs) = arg_value(&args, "--refine-pairs").and_then(|v| v.parse().ok()) {
+        request = request.refine_pairs(pairs);
+    }
+    if let Some(profile) = arg_value(&args, "--contract") {
+        // Validate locally so typos fail fast with the same diagnostic
+        // the daemon would produce, without a round trip.
+        if pte_verify::EnvProfile::parse(&profile).is_err() {
+            eprintln!("{}", pte_verify::unknown_contract_diagnostic(&profile));
+            return 2;
+        }
+        request = request.contract(&profile);
     }
     if let Some(parent) = arg_value(&args, "--warm-from") {
         request = request.warm_from(parent);
@@ -237,6 +260,25 @@ fn run() -> i32 {
         .filter(|&s| s > 0)
     {
         println!("warm-start: {seeded} states transferred");
+    }
+    // The compositional backend's rendered verdict carries the whole
+    // assume-guarantee story (contracts held / fallback reason +
+    // refinement counter-example); surface it like a witness.
+    if let Some(b) = outcome.report.backend("compositional") {
+        println!("{}", b.rendered);
+    }
+    if let Some(c) = &outcome.report.compositional {
+        println!(
+            "compositional: {} contracts ({} checked, {} deduped, {} cached), \
+             {} refine pairs, {} pair networks, {} abstract states",
+            c.contracts_total,
+            c.contracts_checked,
+            c.contracts_deduped,
+            c.contracts_cached,
+            c.refine_pairs,
+            c.pair_networks,
+            c.abstract_states
+        );
     }
     if let Some(witness) = &outcome.report.witness {
         println!("witness:\n{witness}");

@@ -93,11 +93,33 @@ pub struct SymmetryRow {
     pub orbits: usize,
 }
 
+/// One compositional-verification measurement attached to
+/// `BENCH_zones.json`: a chain scenario proved Safe through the
+/// assume-guarantee argument (per-device refinement + abstract pair
+/// networks) instead of the monolithic zone search — the scale regime
+/// where the monolithic engine trips its budget.
+#[derive(Clone, Debug)]
+pub struct CompositionalRow {
+    /// Registry scenario name (e.g. `chain-12`).
+    pub scenario: String,
+    /// Number of leased entities.
+    pub n: usize,
+    /// Settled abstract states summed over all pair networks.
+    pub abstract_states: usize,
+    /// Abstract pair networks checked.
+    pub pair_networks: usize,
+    /// Admitted refinement state pairs summed over all contracts.
+    pub refine_pairs: usize,
+    /// End-to-end wall time in seconds (refinements + pair checks).
+    pub secs: f64,
+}
+
 /// Writes the `BENCH_zones.json` perf record shared by
 /// `benches/zones.rs` and `campaign --bench-json`: wall time of the
 /// leased case-study proof, settled states, states/sec, the
 /// passed-list byte accounting, per-N chain scaling rows,
-/// reduced-vs-unreduced ablation rows, and symmetry-quotient rows.
+/// reduced-vs-unreduced ablation rows, symmetry-quotient rows, and
+/// compositional-scale rows.
 /// `falsify_secs` is the optional baseline-falsification timing (the
 /// bench measures it, the campaign does not). The emitted JSON is
 /// round-trip-validated before writing.
@@ -111,6 +133,7 @@ pub fn write_zones_bench_json(
     scaling: &[ScalingRow],
     reduction: &[ReductionRow],
     symmetry: &[SymmetryRow],
+    compositional: &[CompositionalRow],
 ) {
     let num_u = |u: usize| Value::Num(Number::U(u as u64));
     let num_f = |f: f64| Value::Num(Number::F(f));
@@ -211,6 +234,26 @@ pub fn write_zones_bench_json(
             })
             .collect();
         fields.push(("symmetry".into(), Value::Arr(rows)));
+    }
+    if !compositional.is_empty() {
+        let rows: Vec<Value> = compositional
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("scenario".into(), Value::Str(r.scenario.clone())),
+                    ("n".into(), num_u(r.n)),
+                    ("abstract_states".into(), num_u(r.abstract_states)),
+                    ("pair_networks".into(), num_u(r.pair_networks)),
+                    ("refine_pairs".into(), num_u(r.refine_pairs)),
+                    ("wall_ms".into(), num_f(r.secs * 1e3)),
+                    (
+                        "states_per_sec".into(),
+                        num_f(r.abstract_states as f64 / r.secs.max(1e-9)),
+                    ),
+                ])
+            })
+            .collect();
+        fields.push(("compositional".into(), Value::Arr(rows)));
     }
     let json = serde_json::to_string(&Value::Obj(fields)).expect("bench report serializes");
     serde_json::from_str_value(&json).expect("bench JSON must parse back");

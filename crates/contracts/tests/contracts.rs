@@ -1,0 +1,109 @@
+//! The contract library and the compositional driver's bookkeeping:
+//! builder shapes, profile parsing, dedup/cache counters, and the
+//! soundness-by-construction fallback on the baseline arm.
+
+use pte_contracts::{
+    cache_stats, check_compositional, lease_client, lease_provider, localize, reset_cache,
+    supervisor_iface, top_for, CompositionalLimits, CompositionalVerdict, ContractKind, EnvProfile,
+    CONTRACT_NAMES, PROFILE_NAMES,
+};
+use pte_core::pattern::{build_pattern_system, LeaseConfig};
+use pte_zones::lower_network;
+
+#[test]
+fn contract_library_builders_have_expected_shapes() {
+    let cfg = LeaseConfig::chain(3);
+    let client = lease_client(&cfg, 1);
+    assert_eq!(client.kind, ContractKind::Timed);
+    assert!(!client.clocks.is_empty(), "the client envelope is timed");
+    assert!(
+        !client.alphabet.is_empty(),
+        "the client speaks the lease protocol"
+    );
+
+    let provider = lease_provider(&cfg, 1);
+    assert_eq!(provider.kind, ContractKind::Timed);
+
+    let sys = build_pattern_system(&cfg, true).unwrap();
+    let net = lower_network(&sys.automata).unwrap();
+    let sup = &net.automata[net.automaton_by_name("supervisor").unwrap()];
+    let iface = supervisor_iface(sup, &net.clocks);
+    assert_eq!(iface.kind, ContractKind::Identity);
+
+    let dev = &net.automata[net.automaton_by_name(&cfg.entity_name(1)).unwrap()];
+    let top = top_for(dev);
+    assert_eq!(top.kind, ContractKind::Universal);
+    assert!(top.clocks.is_empty(), "top is untimed chatter");
+
+    // Localization renames the device's clocks into a dense 1-based
+    // local frame.
+    let (local, clocks) = localize(dev, &net.clocks);
+    assert!(!clocks.is_empty());
+    for l in &local.locations {
+        for a in &l.invariant {
+            assert!(a.clock >= 1 && a.clock <= clocks.len());
+        }
+    }
+}
+
+#[test]
+fn profile_and_contract_names_parse() {
+    assert_eq!(EnvProfile::default(), EnvProfile::Top);
+    for name in PROFILE_NAMES {
+        let p = EnvProfile::parse(name).unwrap_or_else(|n| panic!("{n} must parse"));
+        assert_eq!(p.name(), name);
+    }
+    assert_eq!(
+        EnvProfile::parse("leese-client"),
+        Err("leese-client".to_string())
+    );
+    assert!(CONTRACT_NAMES.contains(&"lease-client"));
+    assert!(CONTRACT_NAMES.contains(&"top"));
+}
+
+/// The process-global refinement cache: a second identical run checks
+/// nothing and serves every contract from the cache; the baseline arm
+/// always falls back (never a direct Unsafe).
+#[test]
+fn refinement_cache_and_baseline_fallback() {
+    reset_cache();
+    let cfg = LeaseConfig::chain(2);
+    let limits = CompositionalLimits::default();
+
+    let cold = check_compositional(&cfg, true, EnvProfile::Top, &limits).unwrap();
+    assert!(matches!(cold.verdict, CompositionalVerdict::Safe));
+    assert!(cold.stats.contracts_checked > 0, "cold run must refine");
+    assert_eq!(cold.stats.contracts_cached, 0);
+
+    let warm = check_compositional(&cfg, true, EnvProfile::Top, &limits).unwrap();
+    assert!(matches!(warm.verdict, CompositionalVerdict::Safe));
+    assert_eq!(
+        warm.stats.contracts_checked, 0,
+        "warm run re-checks nothing"
+    );
+    assert!(warm.stats.contracts_cached > 0);
+
+    let s = cache_stats();
+    assert!(s.entries > 0);
+    assert!(s.hits > 0 && s.misses > 0);
+
+    // Baseline: the stripped devices escape the contract envelope, so
+    // the argument falls back — it must never claim Safe or Unsafe.
+    let baseline = check_compositional(&cfg, false, EnvProfile::Top, &limits).unwrap();
+    match baseline.verdict {
+        CompositionalVerdict::Fallback {
+            reason,
+            counter_example,
+        } => {
+            assert!(
+                reason.contains("refinement failed"),
+                "the baseline should fail refinement, got: {reason}"
+            );
+            assert!(
+                counter_example.is_some(),
+                "the refinement failure carries a symbolic trace"
+            );
+        }
+        CompositionalVerdict::Safe => panic!("baseline must not be claimed safe"),
+    }
+}

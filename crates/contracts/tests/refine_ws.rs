@@ -1,0 +1,102 @@
+//! Worker-count determinism of the timed refinement checker: the
+//! verdict — and for failures the exact reason and rendered
+//! counter-example — is bit-identical at 1/2/4/8 workers, on both
+//! arms of perturbed chain configurations. The baseline arm is the
+//! load-bearing case: its lease-stripped devices escape the contract's
+//! dwell envelope, and the symbolic trace that exhibits it must not
+//! drift with the shard count (the compositional driver caches and
+//! re-renders these traces, so nondeterminism here would poison the
+//! process-global cache).
+
+use proptest::prelude::*;
+use pte_contracts::{lease_client, localize, refine, RefineLimits, RefineOutcome};
+use pte_core::pattern::{build_pattern_system, LeaseConfig};
+use pte_zones::lower_network;
+
+/// `device j ⊑ lease_client(j)` at a given worker count, folded to a
+/// comparable string: `"holds"`, `"out-of-budget"`, or the failure's
+/// reason plus its full rendered trace.
+fn refine_rendered(cfg: &LeaseConfig, leased: bool, j: usize, workers: usize) -> String {
+    let sys = build_pattern_system(cfg, leased).expect("pattern system builds");
+    let net = lower_network(&sys.automata).expect("network lowers");
+    let name = cfg.entity_name(j);
+    let i = net
+        .automaton_by_name(&name)
+        .unwrap_or_else(|| panic!("device {name:?} missing"));
+    let (local_dev, local_clocks) = localize(&net.automata[i], &net.clocks);
+    let contract = lease_client(cfg, j);
+    let limits = RefineLimits {
+        workers,
+        ..RefineLimits::default()
+    };
+    match refine(&local_dev, &local_clocks, &contract, &limits) {
+        RefineOutcome::Holds(_) => "holds".to_string(),
+        RefineOutcome::OutOfBudget(_) => "out-of-budget".to_string(),
+        RefineOutcome::Fails(f) => format!("{}\n{}", f.reason, f.rendered),
+    }
+}
+
+/// Every chain-3 device implements its own lease-client contract, at
+/// every worker count.
+#[test]
+fn leased_chain_devices_refine_at_every_worker_count() {
+    let cfg = LeaseConfig::chain(3);
+    for j in 1..=3 {
+        for workers in [1usize, 2, 4, 8] {
+            assert_eq!(
+                refine_rendered(&cfg, true, j, workers),
+                "holds",
+                "device {j} at {workers} workers"
+            );
+        }
+    }
+}
+
+/// The lease-stripped baseline fails refinement — the fallback trigger
+/// the compositional driver relies on — and the counter-example text
+/// is bit-identical across worker counts.
+#[test]
+fn baseline_counter_example_is_bit_identical_across_workers() {
+    let cfg = LeaseConfig::chain(3);
+    let reference = refine_rendered(&cfg, false, 1, 1);
+    assert_ne!(reference, "holds", "the baseline must fail refinement");
+    assert!(
+        reference.lines().count() > 2,
+        "the failure must carry a real trace:\n{reference}"
+    );
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            reference,
+            refine_rendered(&cfg, false, 1, workers),
+            "counter-example drifted at {workers} workers"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized chain timings, both arms: the refinement verdict and
+    /// (when it fails) the exact counter-example text agree across
+    /// 1/2/4/8 workers.
+    #[test]
+    fn perturbed_chains_refine_identically_across_workers(
+        t_run1 in 5i64..50,
+        t_enter2 in 2i64..16,
+        leased_bit in 0u8..2,
+    ) {
+        use pte_hybrid::Time;
+        let leased = leased_bit == 1;
+        let mut cfg = LeaseConfig::chain(3);
+        cfg.t_run[0] = Time::seconds(t_run1 as f64);
+        cfg.t_enter[1] = Time::seconds(t_enter2 as f64);
+        let reference = refine_rendered(&cfg, leased, 2, 1);
+        for workers in [2usize, 4, 8] {
+            prop_assert_eq!(
+                &reference,
+                &refine_rendered(&cfg, leased, 2, workers),
+                "verdict or trace drifted at {} workers", workers
+            );
+        }
+    }
+}

@@ -537,6 +537,7 @@ mod tests {
             tripped: None,
             backends: Vec::new(),
             analysis: None,
+            compositional: None,
             wall_ms,
         }
     }

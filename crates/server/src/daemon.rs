@@ -119,6 +119,10 @@ impl Shared {
         let b = self.budget.stats();
         let c = self.cache.stats();
         let d = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
+        // The refinement verdict cache is process-global (the
+        // compositional backend shares it across requests), so the
+        // daemon polls rather than owns it.
+        let r = pte_contracts::cache_stats();
         DaemonStats {
             worker_budget: b.total,
             workers_in_use: b.in_use,
@@ -146,6 +150,10 @@ impl Shared {
             disk_bytes: d.bytes,
             disk_files: d.files,
             disk_max_bytes: d.max_bytes,
+            refine_cache_hits: r.hits,
+            refine_cache_misses: r.misses,
+            refine_cache_entries: r.entries as usize,
+            contracts_deduped: r.deduped,
             uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
         }
     }
@@ -503,6 +511,7 @@ fn run_job(
                 tripped: None,
                 backends: Vec::new(),
                 analysis: None,
+                compositional: None,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
             })
         }

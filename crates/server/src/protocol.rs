@@ -219,6 +219,18 @@ pub struct DaemonStats {
     pub disk_files: usize,
     /// Disk-tier byte bound (`0` = unbounded).
     pub disk_max_bytes: u64,
+    /// Compositional refinement checks answered from the process-global
+    /// verdict cache ([`pte_contracts::cache_stats`]) — all four
+    /// refinement counters are zero until a
+    /// `--backend compositional` request runs.
+    pub refine_cache_hits: u64,
+    /// Compositional refinement checks that had to explore.
+    pub refine_cache_misses: u64,
+    /// Refinement verdicts currently cached in-process.
+    pub refine_cache_entries: usize,
+    /// Refinement obligations skipped because a structurally identical
+    /// device was already checked in the same run.
+    pub contracts_deduped: u64,
     /// Daemon uptime, milliseconds.
     pub uptime_ms: f64,
 }
@@ -342,6 +354,10 @@ mod tests {
                 stats: DaemonStats {
                     worker_budget: 3,
                     peak_workers_in_use: 3,
+                    refine_cache_hits: 5,
+                    refine_cache_misses: 2,
+                    refine_cache_entries: 2,
+                    contracts_deduped: 9,
                     ..DaemonStats::default()
                 },
             },

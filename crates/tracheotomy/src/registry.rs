@@ -12,6 +12,18 @@
 //! * `chain-2` … `chain-8` — N-device interlocking lease chains
 //!   ([`LeaseConfig::chain`]): one supervisor, `N` leased devices, a
 //!   c5/c6 nesting ladder with slack exactly 1 at every rung;
+//! * `factory-cell` — a second domain: the industrial welding-robot
+//!   cell of `examples/factory_cell.rs` (exhaust fan ⊃ light curtain ⊃
+//!   part clamp ⊃ welding arc), with its timing **synthesized** from
+//!   the safeguard requirements via [`pte_core::synthesis::synthesize`]
+//!   rather than hand-written — so the registry also exercises the
+//!   synthesis path end-to-end;
+//! * `chain-12` / `chain-16` / `chain-20` — compositional-scale
+//!   fleets: their recommended budget (40 000 states) is deliberately
+//!   *below* the monolithic zone graph (chain-12 already exceeds
+//!   66 000 settled states), so only the assume-guarantee backend
+//!   (`--backend compositional`, whose largest abstract pair search is
+//!   three orders of magnitude smaller) can close them within budget;
 //! * `stress-lossy` — the case-study wiring with the outermost lease
 //!   stretched to its c4 boundary (`T^max_run,1 = 47`,
 //!   `T^max_enter,2 = 10`), which maximizes the window in which lossy
@@ -24,6 +36,8 @@
 //! agreement gate `campaign` enforces.
 
 use pte_core::pattern::LeaseConfig;
+use pte_core::rules::PairSpec;
+use pte_core::synthesis::{synthesize, SynthesisRequest};
 use pte_hybrid::Time;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +80,26 @@ fn recommended_budget(n: usize) -> usize {
     }
 }
 
+/// The `factory-cell` configuration: the welding-robot requirements of
+/// `examples/factory_cell.rs` run through the timing synthesizer. The
+/// request is infallible by construction (the same constants the
+/// example asserts feasible), so the registry stays a pure catalogue.
+fn factory_cell() -> LeaseConfig {
+    let request = SynthesisRequest {
+        n: 4,
+        safeguards: vec![
+            PairSpec::new(Time::seconds(3.0), Time::seconds(2.0)),
+            PairSpec::new(Time::seconds(2.0), Time::seconds(1.0)),
+            PairSpec::new(Time::seconds(1.0), Time::seconds(0.5)),
+        ],
+        rule1_bound: Time::seconds(600.0),
+        min_run_initializer: Time::seconds(20.0),
+        t_wait: Time::seconds(2.0),
+        margin: Time::seconds(0.5),
+    };
+    synthesize(&request).expect("the factory-cell timing requirements are feasible")
+}
+
 /// The standard scenario set, in registry order (`case-study` first,
 /// chains by `N`, stress variant last).
 pub fn registry() -> Vec<Scenario> {
@@ -83,6 +117,29 @@ pub fn registry() -> Vec<Scenario> {
             n,
             config: LeaseConfig::chain(n),
             recommended_budget: recommended_budget(n),
+        });
+    }
+    scenarios.push(Scenario {
+        name: "factory-cell".to_string(),
+        description: "welding-robot cell (fan ⊃ curtain ⊃ clamp ⊃ arc), synthesized timing"
+            .to_string(),
+        n: 4,
+        config: factory_cell(),
+        recommended_budget: recommended_budget(4),
+    });
+    // Compositional-scale fleets: the 40k budget is deliberately below
+    // the monolithic zone graph (chain-12 ≈ 66.8k settled states) but
+    // far above any single abstract pair search of the compositional
+    // backend (chain-20's largest is well under 4k), so these close
+    // only through `--backend compositional` — that scale gap is the
+    // scenario's point.
+    for n in [12usize, 16, 20] {
+        scenarios.push(Scenario {
+            name: format!("chain-{n}"),
+            description: format!("{n}-device fleet (compositional-scale: monolithic trips 40k)"),
+            n,
+            config: LeaseConfig::chain(n),
+            recommended_budget: 40_000,
         });
     }
     let mut stress = LeaseConfig::case_study();
@@ -138,17 +195,32 @@ fn edit_distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
-/// The registry name closest to `name`, when it is close enough to be
-/// a plausible typo (edit distance ≤ 2, or ≤ a third of the name's
-/// length for long names) — the "did you mean" candidate.
-pub fn nearest_name(name: &str) -> Option<String> {
-    let names = names();
-    let (best, dist) = names
-        .iter()
-        .map(|n| (n, edit_distance(name, n)))
-        .min_by_key(|&(n, d)| (d, n.clone()))?;
+/// The candidate closest to `name`, when it is close enough to be a
+/// plausible typo (edit distance ≤ 2, or ≤ a third of the name's
+/// length for long names) — the generic "did you mean" engine behind
+/// [`nearest_name`], reused by every other name-resolving surface
+/// (e.g. `pte-verify`'s contract-profile selector) so suggestion
+/// behaviour cannot drift between them.
+pub fn nearest_of<I, S>(name: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let (best, dist) = candidates
+        .into_iter()
+        .map(|n| {
+            let d = edit_distance(name, n.as_ref());
+            (n.as_ref().to_string(), d)
+        })
+        .min_by_key(|(n, d)| (*d, n.clone()))?;
     let threshold = 2.max(name.chars().count() / 3);
-    (dist <= threshold).then(|| best.clone())
+    (dist <= threshold).then_some(best)
+}
+
+/// The registry name closest to `name` ([`nearest_of`] over the
+/// scenario names) — the "did you mean" candidate.
+pub fn nearest_name(name: &str) -> Option<String> {
+    nearest_of(name, names())
 }
 
 /// The canonical unknown-scenario diagnostic, shared by every surface

@@ -36,6 +36,15 @@
 //! * **symbolic** ([`crate::symbolic::verify_symbolic_with`]) covers
 //!   all real-valued timings and all loss fates at once: both `Safe`
 //!   and `Unsafe` are proof-grade over the timed abstraction.
+//! * **compositional** ([`pte_contracts::check_compositional`])
+//!   verifies each device against a small contract automaton and the
+//!   safety property on abstract per-pair networks; when the argument
+//!   closes, its `Safe` is proof-grade like the symbolic engine's, at
+//!   a fraction of the state count (linear instead of exponential in
+//!   `N`). When it does not close it *falls back to the monolithic
+//!   symbolic engine* under the same limits, so it is never spuriously
+//!   safe — and never reports `Unsafe` from the abstraction alone.
+//!   Explicit-only (never chosen by `Auto`/`Portfolio`).
 //!
 //! ## Portfolio racing and cancellation
 //!
@@ -75,6 +84,10 @@
 
 use crate::exhaustive;
 use crate::montecarlo::wilson_ci;
+use pte_contracts::{
+    check_compositional, CompositionalLimits, CompositionalStats, CompositionalVerdict, EnvProfile,
+    RefineLimits, PROFILE_NAMES,
+};
 use pte_core::pattern::{build_pattern_system, check_conditions, LeaseConfig};
 use pte_tracheotomy::registry;
 use pte_zones::{
@@ -143,6 +156,13 @@ pub enum BackendSel {
     MonteCarlo,
     /// The symbolic zone engine (proof-grade both ways).
     Symbolic,
+    /// Compositional assume-guarantee verification
+    /// ([`pte_contracts::check_compositional`]): per-device contract
+    /// refinement plus small abstract pair checks, falling back to the
+    /// monolithic symbolic engine whenever the argument has a gap — so
+    /// its `Safe` is proof-grade and it can never be *spuriously* safe.
+    /// Explicit-only: `Auto`/`Portfolio` never select it.
+    Compositional,
     /// Pick one backend for the query: `ConditionCheck` → analytic,
     /// everything else → symbolic, with `max_workers` defaulting to `0`
     /// (auto).
@@ -200,6 +220,11 @@ pub struct Budget {
     /// available) and to separate warm rows in the report-cache key.
     /// Unset: warm when an artifact is supplied.
     pub warm_start: Option<bool>,
+    /// Compositional refinement budget: state-**pair** cap per
+    /// `Device ⊑ Contract` check
+    /// ([`pte_contracts::RefineLimits::max_pairs`]). Unset: the
+    /// refinement checker's default. Other backends ignore it.
+    pub refine_pairs: Option<usize>,
 }
 
 /// A verification request: *what system* (registry scenario or inline
@@ -237,6 +262,14 @@ pub struct VerificationRequest {
     /// (`null`) on the wire when unset, so pre-existing serialized
     /// requests still deserialize.
     pub parent_key: Option<String>,
+    /// Environment-contract profile for [`BackendSel::Compositional`]
+    /// (one of [`pte_contracts::PROFILE_NAMES`]): how devices *outside*
+    /// the safeguard pair under scrutiny are abstracted — `"top"`
+    /// (default; untimed chatter contracts) or `"lease-client"` (timed
+    /// lease contracts everywhere). Other backends ignore it; unknown
+    /// names fail the request with [`ApiError::UnknownContract`].
+    /// Elided (`null`) on the wire when unset.
+    pub contract: Option<String>,
 }
 
 /// Why a backend (or the whole request) failed to reach a verdict.
@@ -370,6 +403,12 @@ pub struct BackendStats {
     /// losers report their final progress snapshot here and then go
     /// quiet).
     pub cancelled: bool,
+    /// Compositional: per-stage counters (refinement pairs explored,
+    /// contracts deduplicated/cached, abstract pair-network states).
+    /// Populated even when the run fell back to the monolithic engine —
+    /// the counters then describe the attempt that triggered the
+    /// fallback. `None` for every other backend.
+    pub compositional: Option<CompositionalStats>,
 }
 
 impl Default for Verdict {
@@ -444,6 +483,10 @@ pub struct VerificationReport {
     /// Static model analysis of the checked arm (`None` only when the
     /// system does not lower to the clock-like fragment).
     pub analysis: Option<AnalysisSummary>,
+    /// The compositional backend's per-stage counters, when it ran
+    /// (mirrors [`BackendStats::compositional`] for convenient
+    /// top-level access).
+    pub compositional: Option<CompositionalStats>,
     /// End-to-end wall time of the request, milliseconds.
     pub wall_ms: f64,
 }
@@ -509,6 +552,12 @@ pub enum ApiError {
     NoSystem,
     /// Both `scenario` and `config` were provided.
     AmbiguousSystem,
+    /// [`VerificationRequest::contract`] names no known environment
+    /// profile (see [`pte_contracts::PROFILE_NAMES`]).
+    UnknownContract {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for ApiError {
@@ -528,8 +577,26 @@ impl fmt::Display for ApiError {
                 f,
                 "request names two systems: set `scenario` or `config`, not both"
             ),
+            ApiError::UnknownContract { name } => {
+                write!(f, "{}", unknown_contract_diagnostic(name))
+            }
         }
     }
+}
+
+/// The canonical unknown-contract diagnostic (shared with the daemon's
+/// `Error` frame and `pte-verify-client`, like
+/// [`registry::unknown_scenario_diagnostic`] is for scenarios): a
+/// "did you mean" near-miss suggestion over the environment-profile
+/// names, plus the available set.
+pub fn unknown_contract_diagnostic(name: &str) -> String {
+    let suggestion = registry::nearest_of(name, PROFILE_NAMES)
+        .map(|n| format!("; did you mean `{n}`?"))
+        .unwrap_or_default();
+    format!(
+        "unknown contract profile `{name}`{suggestion}; available profiles: {}",
+        PROFILE_NAMES.join(", ")
+    )
 }
 
 impl std::error::Error for ApiError {}
@@ -566,7 +633,7 @@ pub struct ArtifactIo {
 /// [`Query`], [`BackendSel`], or the normalized budget changes, so a
 /// persisted report cache can never serve a report produced under a
 /// different request schema.
-pub const CACHE_KEY_VERSION: u64 = 2;
+pub const CACHE_KEY_VERSION: u64 = 3;
 
 /// FNV-1a, 64-bit: the dependency-free stable hash behind
 /// [`VerificationRequest::cache_key`]. Not cryptographic — the cache it
@@ -609,6 +676,7 @@ enum Concrete {
     Exhaustive,
     MonteCarlo,
     Symbolic,
+    Compositional,
 }
 
 impl Concrete {
@@ -618,6 +686,7 @@ impl Concrete {
             Concrete::Exhaustive => "exhaustive",
             Concrete::MonteCarlo => "montecarlo",
             Concrete::Symbolic => "symbolic",
+            Concrete::Compositional => "compositional",
         }
     }
 }
@@ -634,6 +703,7 @@ impl VerificationRequest {
             backend: BackendSel::Auto,
             budget: Budget::default(),
             parent_key: None,
+            contract: None,
         }
     }
 
@@ -648,6 +718,7 @@ impl VerificationRequest {
             backend: BackendSel::Auto,
             budget: Budget::default(),
             parent_key: None,
+            contract: None,
         }
     }
 
@@ -734,6 +805,20 @@ impl VerificationRequest {
         self
     }
 
+    /// Sets the compositional environment-contract profile (see
+    /// [`VerificationRequest::contract`]).
+    pub fn contract(mut self, profile: impl Into<String>) -> Self {
+        self.contract = Some(profile.into());
+        self
+    }
+
+    /// Sets the compositional refinement state-pair budget (see
+    /// [`Budget::refine_pairs`]).
+    pub fn refine_pairs(mut self, pairs: usize) -> Self {
+        self.budget.refine_pairs = Some(pairs);
+        self
+    }
+
     /// Runs the request to completion.
     pub fn run(&self) -> Result<VerificationReport, ApiError> {
         self.run_with(&CancelToken::new(), None)
@@ -800,6 +885,7 @@ impl VerificationRequest {
         io: &ArtifactIo,
     ) -> Result<VerificationReport, ApiError> {
         let (cfg, scenario_name, recommended) = self.resolve()?;
+        self.resolved_profile()?;
         let started = Instant::now();
         let members = self.members();
         let mut report = match self.backend {
@@ -820,11 +906,13 @@ impl VerificationRequest {
                     tripped: stats.tripped.clone(),
                     backends: vec![stats],
                     analysis: None,
+                    compositional: None,
                     wall_ms: 0.0,
                 }
             }
         };
         report.scenario = scenario_name;
+        report.compositional = report.backends.iter().find_map(|b| b.compositional.clone());
         // Attach the static analysis summary: purely static (no state
         // exploration), so it is cheap enough to compute per report and
         // deterministic per (config, arm).
@@ -869,6 +957,11 @@ impl VerificationRequest {
             BackendSel::Exhaustive => vec![Concrete::Exhaustive],
             BackendSel::MonteCarlo => vec![Concrete::MonteCarlo],
             BackendSel::Symbolic => vec![Concrete::Symbolic],
+            // Explicit-only: the compositional route is never chosen by
+            // `Auto` and never races in a `Portfolio` (its fallback
+            // already *is* the monolithic symbolic engine, so racing it
+            // against `Symbolic` would only duplicate work).
+            BackendSel::Compositional => vec![Concrete::Compositional],
             BackendSel::Auto => vec![match self.query {
                 Query::ConditionCheck => Concrete::Analytic,
                 _ => Concrete::Symbolic,
@@ -911,7 +1004,7 @@ impl VerificationRequest {
             BackendSel::Portfolio => ap.saturating_sub(1).max(1).min(members.len()),
             _ => match members[0] {
                 Concrete::Analytic => 1,
-                Concrete::Symbolic => match self.resolved_workers() {
+                Concrete::Symbolic | Concrete::Compositional => match self.resolved_workers() {
                     0 => ap,
                     w => w,
                 },
@@ -953,6 +1046,7 @@ impl VerificationRequest {
     /// names no system, two systems, or an unknown scenario.
     pub fn cache_key(&self) -> Result<String, ApiError> {
         let (cfg, _, recommended) = self.resolve()?;
+        let profile = self.resolved_profile()?;
         let num = |u: u64| Value::Num(Number::U(u));
         let mut budget = vec![
             (
@@ -984,6 +1078,13 @@ impl VerificationRequest {
                 "work_stealing".to_string(),
                 Value::Bool(self.resolved_scheduler() == Scheduler::WorkStealing),
             ),
+            (
+                "refine_pairs".to_string(),
+                num(self
+                    .budget
+                    .refine_pairs
+                    .unwrap_or(RefineLimits::default().max_pairs) as u64),
+            ),
         ];
         if let Some(wall) = self.budget.max_wall_ms {
             budget.push(("max_wall_ms".to_string(), num(wall)));
@@ -1009,6 +1110,12 @@ impl VerificationRequest {
             ("backend".to_string(), self.backend.to_value()),
             ("budget".to_string(), Value::Obj(budget)),
             ("parent".to_string(), parent),
+            // Resolved, not raw: an elided `contract` and an explicit
+            // `"top"` name the same run, so they share a cached report.
+            (
+                "contract".to_string(),
+                Value::Str(profile.name().to_string()),
+            ),
         ]);
         let json = serde_json::to_string(&canonical_value(&tuple))
             .expect("canonical request value serializes");
@@ -1060,6 +1167,20 @@ impl VerificationRequest {
         self.budget.symmetry.unwrap_or(Limits::default().symmetry)
     }
 
+    /// The environment-contract profile with its default applied
+    /// (`"top"`), or [`ApiError::UnknownContract`] for an
+    /// unrecognized name — validated for *every* request (not only
+    /// compositional ones) so a typo surfaces immediately instead of
+    /// silently riding along unused.
+    fn resolved_profile(&self) -> Result<EnvProfile, ApiError> {
+        match &self.contract {
+            None => Ok(EnvProfile::default()),
+            Some(name) => {
+                EnvProfile::parse(name).map_err(|name| ApiError::UnknownContract { name })
+            }
+        }
+    }
+
     /// The scheduler the request resolves to (default: round barrier).
     fn resolved_scheduler(&self) -> Scheduler {
         if self.budget.work_stealing.unwrap_or(false) {
@@ -1091,6 +1212,9 @@ impl VerificationRequest {
             Concrete::Exhaustive => self.run_exhaustive(cfg, cancel, labelled.as_ref()),
             Concrete::MonteCarlo => self.run_montecarlo(cfg, cancel, labelled.as_ref()),
             Concrete::Symbolic => self.run_symbolic(cfg, recommended, cancel, labelled, cap, io),
+            Concrete::Compositional => {
+                self.run_compositional(cfg, recommended, cancel, labelled, cap, io)
+            }
         }
     }
 
@@ -1195,6 +1319,157 @@ impl VerificationRequest {
                 stats.rendered = format!("error: {e}");
                 stats.error = Some(e.clone());
                 stats.verdict = Verdict::Inconclusive(Inconclusive::Error(e));
+            }
+        }
+        stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats
+    }
+
+    /// The compositional assume-guarantee backend
+    /// ([`pte_contracts::check_compositional`]): `N` contract
+    /// refinement checks plus `N−1` abstract pair checks. A closed
+    /// argument yields a proof-grade `Safe`; any gap (failed
+    /// refinement, abstract violation, tripped pair budget) falls back
+    /// to the monolithic symbolic engine *under the same limits*, and
+    /// the verdict is then the monolithic one verbatim — the
+    /// compositional route can be slower than monolithic on a bad day,
+    /// but never wrong.
+    fn run_compositional(
+        &self,
+        cfg: &LeaseConfig,
+        recommended: Option<usize>,
+        cancel: &CancelToken,
+        progress: Option<ProgressFn>,
+        cap: Option<usize>,
+        io: &ArtifactIo,
+    ) -> BackendStats {
+        let t = Instant::now();
+        let mut stats = BackendStats {
+            backend: "compositional".into(),
+            ..BackendStats::default()
+        };
+        if !matches!(self.query, Query::PteSafety) {
+            stats.verdict = Verdict::Inconclusive(Inconclusive::Unsupported(format!(
+                "the compositional backend checks PTE safety only, not {}",
+                self.query.name()
+            )));
+            stats.rendered = "unsupported query".into();
+            stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            return stats;
+        }
+        let profile = self
+            .resolved_profile()
+            .expect("contract profile validated at dispatch");
+        let limits = self.limits(recommended, cancel.clone(), progress, cap, io);
+        let climits = CompositionalLimits {
+            // Warm-start artifacts describe the *monolithic* zone graph
+            // and must not leak into the abstract pair searches; the
+            // fallback path below still gets them.
+            search: Limits {
+                warm_start: None,
+                capture: None,
+                ..limits.clone()
+            },
+            refine: RefineLimits {
+                max_pairs: self
+                    .budget
+                    .refine_pairs
+                    .unwrap_or(RefineLimits::default().max_pairs),
+                workers: match limits.max_workers {
+                    0 => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    w => w,
+                },
+            },
+        };
+        match check_compositional(cfg, self.leased, profile, &climits) {
+            Err(e) => {
+                stats.rendered = format!("error: {e}");
+                stats.error = Some(e.clone());
+                stats.verdict = Verdict::Inconclusive(Inconclusive::Error(e));
+            }
+            Ok(out) => {
+                stats.compositional = Some(out.stats.clone());
+                match out.verdict {
+                    CompositionalVerdict::Safe => {
+                        let s = &out.stats;
+                        stats.states = s.abstract_states;
+                        stats.transitions = s.abstract_transitions;
+                        stats.rendered = format!(
+                            "SAFE (compositional, profile {}): {} device contracts hold \
+                             ({} refined, {} deduplicated, {} cached; {} refinement pairs) \
+                             and all {} abstract pair networks are safe \
+                             ({} abstract states)",
+                            profile.name(),
+                            s.contracts_total,
+                            s.contracts_checked,
+                            s.contracts_deduped,
+                            s.contracts_cached,
+                            s.refine_pairs,
+                            s.pair_networks,
+                            s.abstract_states,
+                        );
+                        stats.verdict = Verdict::Safe;
+                    }
+                    CompositionalVerdict::Fallback {
+                        reason,
+                        counter_example,
+                    } => {
+                        // Soundness by construction: the compositional
+                        // argument did not close, so the verdict comes
+                        // from the monolithic engine under the same
+                        // limits. The fallback reason (and refinement
+                        // counter-example, if any) is preserved in the
+                        // rendered text.
+                        let mono: Result<SymbolicVerdict, String> =
+                            crate::symbolic::verify_symbolic_with(cfg, self.leased, &limits)
+                                .map_err(|e: ZonesError| e.to_string());
+                        let mut rendered =
+                            format!("compositional argument fell back to monolithic: {reason}\n");
+                        if let Some(ce) = &counter_example {
+                            rendered.push_str(ce);
+                            rendered.push('\n');
+                        }
+                        match mono {
+                            Ok(verdict) => {
+                                rendered.push_str(&format!("{verdict}"));
+                                if let Some(s) = verdict.stats() {
+                                    stats.states = s.states;
+                                    stats.transitions = s.transitions;
+                                    stats.frontier = s.frontier;
+                                    stats.peak_passed_bytes = s.peak_passed_bytes;
+                                    stats.peak_passed_bytes_full = s.peak_passed_bytes_full;
+                                    stats.warm_seeded = s.warm_seeded;
+                                }
+                                stats.verdict = match verdict {
+                                    SymbolicVerdict::Safe(_) => Verdict::Safe,
+                                    SymbolicVerdict::Unsafe(ce) => {
+                                        stats.witness = Some(format!("{ce}"));
+                                        Verdict::Unsafe
+                                    }
+                                    SymbolicVerdict::OutOfBudget { tripped, .. } => {
+                                        stats.tripped = Some(tripped.to_string());
+                                        if tripped == TrippedLimit::Cancelled {
+                                            stats.cancelled = true;
+                                            Verdict::Inconclusive(Inconclusive::Cancelled)
+                                        } else {
+                                            Verdict::Inconclusive(Inconclusive::Budget(
+                                                tripped.to_string(),
+                                            ))
+                                        }
+                                    }
+                                };
+                            }
+                            Err(e) => {
+                                rendered.push_str(&format!("error: {e}"));
+                                stats.error = Some(e.clone());
+                                stats.verdict = Verdict::Inconclusive(Inconclusive::Error(e));
+                            }
+                        }
+                        stats.rendered = rendered;
+                    }
+                }
             }
         }
         stats.wall_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -1353,7 +1628,9 @@ impl VerificationRequest {
         // route to a conclusive verdict first.
         let cost = |m: Concrete| match m {
             Concrete::Analytic => 0,
-            Concrete::Symbolic => 1,
+            // Compositional never races (see `members`), but the match
+            // stays exhaustive; cost it like the symbolic engine.
+            Concrete::Symbolic | Concrete::Compositional => 1,
             Concrete::Exhaustive => 2,
             Concrete::MonteCarlo => 3,
         };
@@ -1505,6 +1782,7 @@ impl VerificationRequest {
             tripped,
             backends,
             analysis: None,
+            compositional: None,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         }
     }
@@ -1801,7 +2079,9 @@ mod tests {
             .depth(DEFAULT_DEPTH)
             .trials(DEFAULT_TRIALS)
             .symmetry(true)
-            .work_stealing(false);
+            .work_stealing(false)
+            .contract("top")
+            .refine_pairs(RefineLimits::default().max_pairs);
         assert_eq!(explicit.cache_key().unwrap(), key);
 
         // Wire JSON field order is irrelevant: a reordered request
@@ -1826,6 +2106,9 @@ mod tests {
             by_name.clone().warm_start(true),
             by_name.clone().warm_start(false),
             by_name.clone().warm_from("024ff959927ea2b6"),
+            by_name.clone().backend(BackendSel::Compositional),
+            by_name.clone().contract("lease-client"),
+            by_name.clone().refine_pairs(17),
         ] {
             assert_ne!(other.cache_key().unwrap(), key, "{other:?}");
         }
@@ -1855,9 +2138,9 @@ mod tests {
         let case = VerificationRequest::scenario("case-study").backend(BackendSel::Symbolic);
         let baseline = case.clone().leased(false);
         let chain = VerificationRequest::scenario("chain-3");
-        insta_eq(case.cache_key().unwrap(), "024ff959927ea2b6");
-        insta_eq(baseline.cache_key().unwrap(), "31555a6a84e13093");
-        insta_eq(chain.cache_key().unwrap(), "5f631027688c5cb5");
+        insta_eq(case.cache_key().unwrap(), "57fd3531a771a455");
+        insta_eq(baseline.cache_key().unwrap(), "51fc2235f7c01bf0");
+        insta_eq(chain.cache_key().unwrap(), "7e03d298c2daebd4");
     }
 
     /// Tiny pinned-value helper so the expected digests live in one
@@ -1882,6 +2165,35 @@ mod tests {
         let mut both = VerificationRequest::scenario("case-study");
         both.config = Some(LeaseConfig::case_study());
         assert_eq!(both.run().unwrap_err(), ApiError::AmbiguousSystem);
+
+        // Unknown contract profiles fail every entry point — `run`,
+        // `cache_key` — with a did-you-mean diagnostic, exactly like
+        // unknown scenarios do.
+        let typo = VerificationRequest::scenario("case-study")
+            .backend(BackendSel::Compositional)
+            .contract("leese-client");
+        let err = typo.run().unwrap_err();
+        assert_eq!(
+            err,
+            ApiError::UnknownContract {
+                name: "leese-client".into()
+            }
+        );
+        assert!(
+            err.to_string().contains("did you mean `lease-client`?"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("top"), "{err}");
+        assert!(matches!(
+            typo.cache_key(),
+            Err(ApiError::UnknownContract { .. })
+        ));
+        // A distant name gets the listing but no suggestion.
+        let err = VerificationRequest::scenario("case-study")
+            .contract("zzzzzz")
+            .run()
+            .unwrap_err();
+        assert!(!err.to_string().contains("did you mean"), "{err}");
     }
 
     #[test]

@@ -48,11 +48,12 @@ pub mod symbolic;
 
 pub use adversary::{run_with_adversary, Adversary};
 pub use api::{
-    AnalysisSummary, ApiError, ArtifactIo, BackendSel, BackendStats, Budget, Inconclusive,
-    ProgressSink, Query, Verdict, VerificationReport, VerificationRequest,
+    unknown_contract_diagnostic, AnalysisSummary, ApiError, ArtifactIo, BackendSel, BackendStats,
+    Budget, Inconclusive, ProgressSink, Query, Verdict, VerificationReport, VerificationRequest,
 };
 pub use exhaustive::{explore, explore_with, ExplorationResult};
 pub use montecarlo::{run_batch, BatchSummary, TrialOutcome};
+pub use pte_contracts::{CompositionalStats, ContractCacheStats, EnvProfile};
 pub use pte_zones::{
     new_sink, ArtifactError, ArtifactSink, CancelToken, PassedArtifact, Progress, ProgressFn,
     ARTIFACT_VERSION,

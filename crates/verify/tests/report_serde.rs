@@ -8,6 +8,7 @@
 
 use proptest::prelude::*;
 use pte_verify::api::{AnalysisSummary, BackendStats, Inconclusive, Verdict, VerificationReport};
+use pte_verify::CompositionalStats;
 use serde::{Deserialize as _, Serialize as _};
 
 /// Characters chosen to stress JSON escaping: ASCII, quotes and
@@ -56,6 +57,29 @@ fn verdict() -> BoxedStrategy<Verdict> {
     .boxed()
 }
 
+/// Optional compositional stage counters, as the compositional
+/// backend attaches them (absent on every other backend).
+fn compositional() -> BoxedStrategy<Option<CompositionalStats>> {
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(0usize..100_000, 10).prop_map(|ns| {
+            Some(CompositionalStats {
+                contracts_total: ns[0],
+                contracts_checked: ns[1],
+                contracts_deduped: ns[2],
+                contracts_cached: ns[3],
+                symmetry_groups: ns[4],
+                refine_pairs: ns[5],
+                refine_transitions: ns[6],
+                pair_networks: ns[7],
+                abstract_states: ns[8],
+                abstract_transitions: ns[9],
+            })
+        }),
+    ]
+    .boxed()
+}
+
 fn backend_stats() -> BoxedStrategy<BackendStats> {
     (
         prop_oneof![
@@ -63,14 +87,23 @@ fn backend_stats() -> BoxedStrategy<BackendStats> {
             Just("exhaustive".to_string()),
             Just("montecarlo".to_string()),
             Just("symbolic".to_string()),
+            Just("compositional".to_string()),
         ],
         verdict(),
         (text(), option_text(), option_text(), option_text()),
         (0.0f64..5e3, boolean()),
         proptest::collection::vec(0usize..1_000_000, 8),
+        compositional(),
     )
         .prop_map(
-            |(backend, verdict, (rendered, witness, tripped, error), (wall_ms, cancelled), ns)| {
+            |(
+                backend,
+                verdict,
+                (rendered, witness, tripped, error),
+                (wall_ms, cancelled),
+                ns,
+                compositional,
+            )| {
                 BackendStats {
                     backend,
                     verdict,
@@ -90,6 +123,7 @@ fn backend_stats() -> BoxedStrategy<BackendStats> {
                     tripped,
                     error,
                     cancelled,
+                    compositional,
                 }
             },
         )
@@ -135,6 +169,9 @@ fn report() -> BoxedStrategy<VerificationReport> {
                 backends,
                 wall_ms,
             )| {
+                // Mirror the dispatcher: the report-level counters are
+                // hoisted from whichever backend attached them.
+                let compositional = backends.iter().find_map(|b| b.compositional.clone());
                 VerificationReport {
                     scenario,
                     leased,
@@ -144,6 +181,7 @@ fn report() -> BoxedStrategy<VerificationReport> {
                     tripped,
                     backends,
                     analysis,
+                    compositional,
                     wall_ms,
                 }
             },
@@ -209,6 +247,15 @@ fn every_inconclusive_reason_round_trips() {
                 locations_unreachable: 2,
                 ..AnalysisSummary::default()
             }),
+            compositional: Some(CompositionalStats {
+                contracts_total: 12,
+                contracts_checked: 3,
+                contracts_deduped: 9,
+                refine_pairs: 72,
+                pair_networks: 11,
+                abstract_states: 6_694,
+                ..CompositionalStats::default()
+            }),
             wall_ms: 1.5,
         };
         assert_eq!(round_trip(&report), report, "reason {reason:?}");
@@ -245,6 +292,7 @@ fn unusual_witness_text_round_trips() {
                 ..BackendStats::default()
             }],
             analysis: None,
+            compositional: None,
             wall_ms: 0.25,
         };
         let back = round_trip(&report);

@@ -22,7 +22,11 @@
 //! * [`zones`] — symbolic zone-based (DBM) reachability: the fourth
 //!   verification backend — a property-agnostic engine plus a
 //!   safety-monitor layer — proving PTE safety (or any composed
-//!   monitor property) over all real-valued timings and loss fates.
+//!   monitor property) over all real-valued timings and loss fates;
+//! * [`contracts`] — compositional assume-guarantee verification:
+//!   lease-interface contract automata, a timed refinement checker,
+//!   and the `compositional` backend's per-device + pair-network
+//!   proof decomposition for chain-12/16/20-scale fleets.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use pte_contracts as contracts;
 pub use pte_core as core;
 pub use pte_hybrid as hybrid;
 pub use pte_ode as ode;
